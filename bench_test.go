@@ -1,0 +1,289 @@
+package shiftedmirror_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// bench regenerates its artifact through internal/experiments and reports
+// the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. Figure text is printed once per bench
+// (visible with -v); EXPERIMENTS.md records the reference output.
+
+import (
+	"testing"
+
+	"shiftedmirror"
+	"shiftedmirror/internal/experiments"
+)
+
+// benchOptions keeps -bench runtimes reasonable while staying converged
+// (per-stripe behaviour is homogeneous, so few stripes suffice).
+func benchOptions() experiments.Options {
+	o := experiments.Defaults()
+	o.Stripes = 8
+	o.WriteOps = 200
+	return o
+}
+
+func BenchmarkTable1(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table1(7)
+		total, cases := 0.0, 0.0
+		for _, row := range t.Rows {
+			cases += row[1]
+			total += row[1] * row[2]
+		}
+		avg = total / cases
+	}
+	b.ReportMetric(avg, "avg_reads")
+}
+
+func BenchmarkFig7(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig7(50)
+		last = t.Rows[len(t.Rows)-1][1]
+	}
+	b.ReportMetric(last, "pct_at_n50")
+}
+
+func BenchmarkFig8(b *testing.B) {
+	var all3 float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig8()
+		all3 = 0
+		for _, row := range t.Rows {
+			if row[1] == 1 && row[2] == 1 && row[3] == 1 {
+				all3++
+			}
+		}
+	}
+	b.ReportMetric(all3, "arrangements_with_P1P2P3")
+}
+
+func BenchmarkFig9a(b *testing.B) {
+	o := benchOptions()
+	var improvementAt7 float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig9a(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		improvementAt7 = t.Rows[len(t.Rows)-1][3]
+	}
+	b.ReportMetric(improvementAt7, "improvement_n7")
+}
+
+func BenchmarkFig9b(b *testing.B) {
+	o := benchOptions()
+	o.Stripes = 4 // 105 double-failure cases at n=7
+	var improvementAt7 float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig9b(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		improvementAt7 = t.Rows[len(t.Rows)-1][3]
+	}
+	b.ReportMetric(improvementAt7, "improvement_n7")
+}
+
+func BenchmarkFig10a(b *testing.B) {
+	o := benchOptions()
+	var gapAt7 float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig10a(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := t.Rows[len(t.Rows)-1]
+		gapAt7 = last[2] / last[1]
+	}
+	b.ReportMetric(gapAt7, "shifted_over_traditional_n7")
+}
+
+func BenchmarkFig10b(b *testing.B) {
+	o := benchOptions()
+	var gapAt7 float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig10b(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := t.Rows[len(t.Rows)-1]
+		gapAt7 = last[2] / last[1]
+	}
+	b.ReportMetric(gapAt7, "shifted_over_traditional_n7")
+}
+
+func BenchmarkSummary(b *testing.B) {
+	o := benchOptions()
+	o.Stripes = 4
+	var lo, hi float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Summary(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi = 1e9, 0
+		for _, row := range t.Rows {
+			for _, v := range []float64{row[2], row[4]} {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+	}
+	b.ReportMetric(lo, "min_improvement")
+	b.ReportMetric(hi, "max_improvement")
+}
+
+func BenchmarkAblationSeqMerge(b *testing.B) {
+	o := benchOptions()
+	var tradLoss float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Ablations(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tradLoss = t.Rows[0][1] / t.Rows[1][1] // baseline vs no-merge, traditional column
+	}
+	b.ReportMetric(tradLoss, "traditional_merge_speedup")
+}
+
+func BenchmarkAblationMaxOfN(b *testing.B) {
+	o := benchOptions()
+	var pipelinedGain float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Ablations(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pipelinedGain = t.Rows[2][2] / t.Rows[0][2] // pipelined vs barrier, shifted column
+	}
+	b.ReportMetric(pipelinedGain, "pipelined_over_barrier")
+}
+
+func BenchmarkAblationParityUpdate(b *testing.B) {
+	o := benchOptions()
+	cfg := shiftedmirror.DefaultSimConfig()
+	cfg.Stripes = o.Stripes
+	arch := shiftedmirror.NewShiftedMirrorWithParity(5)
+	ops := shiftedmirror.LargeWrites(o.Seed, o.WriteOps, 5, o.Stripes)
+	var rmwOverAuto float64
+	for i := 0; i < b.N; i++ {
+		auto, err := shiftedmirror.NewSimulator(arch, cfg).RunWrites(ops, shiftedmirror.WriteAuto)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rmw, err := shiftedmirror.NewSimulator(arch, cfg).RunWrites(ops, shiftedmirror.WriteRMW)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rmwOverAuto = rmw.ThroughputMBs / auto.ThroughputMBs
+	}
+	b.ReportMetric(rmwOverAuto, "rmw_over_auto")
+}
+
+func BenchmarkAblationIterated(b *testing.B) {
+	o := benchOptions()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Ablations(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = t.Rows[3][2] / t.Rows[0][2] // iterated(3) vs shifted
+	}
+	b.ReportMetric(ratio, "iterated3_over_shifted")
+}
+
+func BenchmarkExtensionReliability(b *testing.B) {
+	o := benchOptions()
+	o.Stripes = 4
+	var gapAtN7 float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Reliability(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := t.Rows[len(t.Rows)-1]
+		gapAtN7 = last[3] / last[4] // parity: traditional over shifted MTTDL
+	}
+	b.ReportMetric(gapAtN7, "parity_mttdl_trad_over_shifted_n7")
+}
+
+func BenchmarkExtensionSensitivity(b *testing.B) {
+	o := benchOptions()
+	var ssdImprovement float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Sensitivity(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ssdImprovement = t.Rows[2][3]
+	}
+	b.ReportMetric(ssdImprovement, "ssd_improvement_n5")
+}
+
+func BenchmarkExtensionOnline(b *testing.B) {
+	o := benchOptions()
+	o.Stripes = 6
+	var latencyGap float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Online(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := t.Rows[len(t.Rows)-1]
+		latencyGap = last[3] / last[4]
+	}
+	b.ReportMetric(latencyGap, "latency_trad_over_shifted_n7")
+}
+
+func BenchmarkExtensionThreeMirror(b *testing.B) {
+	o := benchOptions()
+	o.Stripes = 4
+	var improvementN7 float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.ThreeMirror(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		improvementN7 = t.Rows[len(t.Rows)-1][5]
+	}
+	b.ReportMetric(improvementN7, "improvement_n7")
+}
+
+func BenchmarkExtensionDegraded(b *testing.B) {
+	o := benchOptions()
+	var retentionGap float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Degraded(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := t.Rows[len(t.Rows)-1]
+		retentionGap = last[2] / last[1]
+	}
+	b.ReportMetric(retentionGap, "retention_shifted_over_trad_n7")
+}
+
+func BenchmarkExtensionRAID6(b *testing.B) {
+	o := benchOptions()
+	o.Stripes = 4
+	var shiftedOverRAID6 float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RAID6(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := t.Rows[len(t.Rows)-1]
+		shiftedOverRAID6 = last[3] / last[1]
+	}
+	b.ReportMetric(shiftedOverRAID6, "shifted_over_raid6_n7")
+}

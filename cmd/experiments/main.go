@@ -1,0 +1,95 @@
+// Command experiments regenerates the paper's evaluation artifacts: Table
+// I, Fig 7, Fig 8, Fig 9(a)/(b), Fig 10(a)/(b), the headline summary, and
+// the ablation table.
+//
+// Usage:
+//
+//	experiments -all
+//	experiments -fig9a -stripes 64
+//	experiments -table1 -n 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shiftedmirror/internal/experiments"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every experiment")
+		table1   = flag.Bool("table1", false, "Table I: failure situations of the shifted mirror method with parity")
+		fig7     = flag.Bool("fig7", false, "Fig 7: theoretical read-access ratio curves")
+		fig8     = flag.Bool("fig8", false, "Fig 8: iterated arrangement properties")
+		fig9a    = flag.Bool("fig9a", false, "Fig 9(a): reconstruction read throughput, mirror method")
+		fig9b    = flag.Bool("fig9b", false, "Fig 9(b): reconstruction read throughput, mirror method with parity")
+		fig10a   = flag.Bool("fig10a", false, "Fig 10(a): write throughput, mirror method")
+		fig10b   = flag.Bool("fig10b", false, "Fig 10(b): write throughput, mirror method with parity")
+		summary  = flag.Bool("summary", false, "headline improvement factors, theory vs simulation")
+		ablation = flag.Bool("ablations", false, "design-choice ablation table")
+		reliab   = flag.Bool("reliability", false, "extension: MTTDL with simulated repair windows")
+		sens     = flag.Bool("sensitivity", false, "extension: improvement across drive models")
+		online   = flag.Bool("online", false, "extension: online reconstruction latency")
+		three    = flag.Bool("threemirror", false, "extension: three-mirror method (paper future work)")
+		degraded = flag.Bool("degraded", false, "extension: degraded-mode read service")
+		raid6    = flag.Bool("raid6", false, "extension: simulated RAID-6 comparison")
+		n        = flag.Int("n", 7, "data disks for -table1")
+		maxN     = flag.Int("maxn", 50, "largest n for -fig7")
+		stripes  = flag.Int("stripes", 32, "stripes per array in simulations")
+		writes   = flag.Int("writes", 1000, "operations in the Fig 10 workload")
+		seed     = flag.Int64("seed", 20120910, "workload seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	opts := experiments.Defaults()
+	opts.Stripes = *stripes
+	opts.WriteOps = *writes
+	opts.Seed = *seed
+
+	type job struct {
+		enabled bool
+		run     func() (*experiments.Table, error)
+	}
+	jobs := []job{
+		{*table1, func() (*experiments.Table, error) { return experiments.Table1(*n), nil }},
+		{*fig7, func() (*experiments.Table, error) { return experiments.Fig7(*maxN), nil }},
+		{*fig8, func() (*experiments.Table, error) { return experiments.Fig8(), nil }},
+		{*fig9a, func() (*experiments.Table, error) { return experiments.Fig9a(opts) }},
+		{*fig9b, func() (*experiments.Table, error) { return experiments.Fig9b(opts) }},
+		{*fig10a, func() (*experiments.Table, error) { return experiments.Fig10a(opts) }},
+		{*fig10b, func() (*experiments.Table, error) { return experiments.Fig10b(opts) }},
+		{*summary, func() (*experiments.Table, error) { return experiments.Summary(opts) }},
+		{*ablation, func() (*experiments.Table, error) { return experiments.Ablations(opts) }},
+		{*reliab, func() (*experiments.Table, error) { return experiments.Reliability(opts) }},
+		{*sens, func() (*experiments.Table, error) { return experiments.Sensitivity(opts) }},
+		{*online, func() (*experiments.Table, error) { return experiments.Online(opts) }},
+		{*three, func() (*experiments.Table, error) { return experiments.ThreeMirror(opts) }},
+		{*degraded, func() (*experiments.Table, error) { return experiments.Degraded(opts) }},
+		{*raid6, func() (*experiments.Table, error) { return experiments.RAID6(opts) }},
+	}
+	ran := false
+	for _, j := range jobs {
+		if !j.enabled && !*all {
+			continue
+		}
+		t, err := j.run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Format())
+		}
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintln(os.Stderr, "experiments: nothing selected; pass -all or one of the experiment flags")
+		flag.Usage()
+		os.Exit(2)
+	}
+}

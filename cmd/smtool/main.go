@@ -1,0 +1,410 @@
+// Command smtool inspects and exercises shifted mirror disk arrays.
+//
+// Subcommands:
+//
+//	layout  -n 3 -arrangement shifted          render a stripe layout and its properties
+//	plan    -n 5 -parity -fail data:1,mirror:3 print the reconstruction plan for a failure
+//	recon   -n 5 -fail data:0                  simulate reconstruction and report throughput
+//	verify  -n 5 -parity -fail data:0,parity:0 byte-level recovery verification
+//	write   -n 5 -parity -ops 1000             simulate the random large-write workload
+//	search  -n 3 -limit 4                      enumerate alternative valid arrangements
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"shiftedmirror/internal/analysis"
+	"shiftedmirror/internal/blockserver"
+	"shiftedmirror/internal/dev"
+	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/raid"
+	"shiftedmirror/internal/recon"
+	"shiftedmirror/internal/trace"
+	"shiftedmirror/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "layout":
+		err = cmdLayout(os.Args[2:])
+	case "plan":
+		err = cmdPlan(os.Args[2:])
+	case "recon":
+		err = cmdRecon(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "write":
+		err = cmdWrite(os.Args[2:])
+	case "search":
+		err = cmdSearch(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "mttdl":
+		err = cmdMTTDL(os.Args[2:])
+	case "device":
+		err = cmdDevice(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "smtool: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smtool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: smtool <layout|plan|recon|verify|write|search|trace|mttdl|device|serve> [flags]
+run "smtool <subcommand> -h" for subcommand flags`)
+}
+
+// parseArrangement builds an arrangement from its CLI name.
+func parseArrangement(name string, n int) (layout.Arrangement, error) {
+	return layout.ParseSpec(name, n)
+}
+
+// parseFailures parses "data:0,mirror:3,parity:0".
+func parseFailures(s string) ([]raid.DiskID, error) {
+	if s == "" {
+		return nil, fmt.Errorf("no failed disks given (use -fail data:0,mirror:3)")
+	}
+	return raid.ParseDiskList(s)
+}
+
+func buildArch(arrName string, n int, parity bool) (*raid.Mirror, error) {
+	arr, err := parseArrangement(arrName, n)
+	if err != nil {
+		return nil, err
+	}
+	if parity {
+		return raid.NewMirrorWithParity(arr), nil
+	}
+	return raid.NewMirror(arr), nil
+}
+
+func cmdLayout(args []string) error {
+	fs := flag.NewFlagSet("layout", flag.ExitOnError)
+	n := fs.Int("n", 3, "data disks")
+	arrName := fs.String("arrangement", "shifted", "shifted, traditional or iterated:K")
+	fs.Parse(args)
+	arr, err := parseArrangement(*arrName, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Print(layout.RenderPair(arr))
+	fmt.Printf("properties: %v\n", layout.Check(arr))
+	return nil
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	n := fs.Int("n", 5, "data disks")
+	arrName := fs.String("arrangement", "shifted", "arrangement")
+	parity := fs.Bool("parity", false, "include the parity disk")
+	failSpec := fs.String("fail", "", "failed disks, e.g. data:1,mirror:3")
+	fs.Parse(args)
+	arch, err := buildArch(*arrName, *n, *parity)
+	if err != nil {
+		return err
+	}
+	failed, err := parseFailures(*failSpec)
+	if err != nil {
+		return err
+	}
+	plan, err := arch.RecoveryPlan(failed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("architecture: %s (fault tolerance %d)\n", arch.Name(), arch.FaultTolerance())
+	fmt.Printf("availability read accesses per stripe: %d\n", plan.AvailAccesses())
+	fmt.Printf("full reconstruction read accesses per stripe: %d\n", plan.FullAccesses())
+	fmt.Printf("reads (%d):\n", len(plan.Reads))
+	for _, r := range plan.Reads {
+		fmt.Printf("  %v\n", r)
+	}
+	fmt.Printf("recoveries (%d):\n", len(plan.Recoveries))
+	for _, rec := range plan.Recoveries {
+		fmt.Printf("  %v <- %s of %v\n", rec.Target, rec.Method, rec.From)
+	}
+	return nil
+}
+
+func cmdRecon(args []string) error {
+	fs := flag.NewFlagSet("recon", flag.ExitOnError)
+	n := fs.Int("n", 5, "data disks")
+	arrName := fs.String("arrangement", "shifted", "arrangement")
+	parity := fs.Bool("parity", false, "include the parity disk")
+	failSpec := fs.String("fail", "", "failed disks")
+	stripes := fs.Int("stripes", 64, "stripes per array")
+	distributed := fs.Bool("distributed", false, "spread recovered elements over surviving disks instead of a dedicated spare")
+	fs.Parse(args)
+	arch, err := buildArch(*arrName, *n, *parity)
+	if err != nil {
+		return err
+	}
+	failed, err := parseFailures(*failSpec)
+	if err != nil {
+		return err
+	}
+	cfg := recon.DefaultConfig()
+	cfg.Stripes = *stripes
+	cfg.DistributedSpare = *distributed
+	st, err := recon.NewSimulator(arch, cfg).Reconstruct(failed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("architecture:            %s\n", arch.Name())
+	fmt.Printf("failed disks:            %v\n", st.Failed)
+	fmt.Printf("recovered data:          %.1f MB\n", float64(st.RecoveredBytes)/1e6)
+	fmt.Printf("availability throughput: %.1f MB/s\n", st.AvailThroughputMBs)
+	fmt.Printf("avail accesses/stripe:   %.1f\n", st.AvailAccessesPerStripe)
+	fmt.Printf("total read time:         %.2f s\n", st.ReadTime)
+	fmt.Printf("total rebuild time:      %.2f s\n", st.TotalTime)
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	n := fs.Int("n", 5, "data disks")
+	arrName := fs.String("arrangement", "shifted", "arrangement")
+	parity := fs.Bool("parity", false, "include the parity disk")
+	failSpec := fs.String("fail", "", "failed disks")
+	stripes := fs.Int("stripes", 8, "stripes to verify")
+	fs.Parse(args)
+	arch, err := buildArch(*arrName, *n, *parity)
+	if err != nil {
+		return err
+	}
+	failed, err := parseFailures(*failSpec)
+	if err != nil {
+		return err
+	}
+	if err := recon.VerifyRecovery(arch, *stripes, 64, 1, failed); err != nil {
+		return err
+	}
+	fmt.Printf("ok: %s recovered %v byte-identically over %d stripes\n", arch.Name(), failed, *stripes)
+	return nil
+}
+
+func cmdWrite(args []string) error {
+	fs := flag.NewFlagSet("write", flag.ExitOnError)
+	n := fs.Int("n", 5, "data disks")
+	arrName := fs.String("arrangement", "shifted", "arrangement")
+	parity := fs.Bool("parity", false, "include the parity disk")
+	ops := fs.Int("ops", 1000, "random large writes")
+	stripes := fs.Int("stripes", 64, "stripes per array")
+	seed := fs.Int64("seed", 1, "workload seed")
+	fs.Parse(args)
+	arch, err := buildArch(*arrName, *n, *parity)
+	if err != nil {
+		return err
+	}
+	cfg := recon.DefaultConfig()
+	cfg.Stripes = *stripes
+	w := workload.LargeWrites(*seed, *ops, *n, *stripes)
+	st, err := recon.NewSimulator(arch, cfg).RunWrites(w, raid.WriteAuto)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("architecture:      %s\n", arch.Name())
+	fmt.Printf("user data written: %.1f MB\n", float64(st.UserBytes)/1e6)
+	fmt.Printf("write throughput:  %.1f MB/s\n", st.ThroughputMBs)
+	fmt.Printf("pre-read accesses: %d\n", st.PreReadAccesses)
+	fmt.Printf("write accesses:    %d\n", st.WriteAccesses)
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	n := fs.Int("n", 4, "data disks")
+	arrName := fs.String("arrangement", "shifted", "arrangement")
+	parity := fs.Bool("parity", false, "include the parity disk")
+	failSpec := fs.String("fail", "data:0", "failed disks")
+	stripes := fs.Int("stripes", 4, "stripes to reconstruct")
+	width := fs.Int("width", 72, "timeline width in columns")
+	fs.Parse(args)
+	arch, err := buildArch(*arrName, *n, *parity)
+	if err != nil {
+		return err
+	}
+	failed, err := parseFailures(*failSpec)
+	if err != nil {
+		return err
+	}
+	cfg := recon.DefaultConfig()
+	cfg.Stripes = *stripes
+	sim := recon.NewSimulator(arch, cfg)
+	col := trace.NewCollector()
+	for _, role := range []raid.Role{raid.RoleData, raid.RoleMirror, raid.RoleMirror2, raid.RoleParity} {
+		arr := sim.Array(role)
+		if arr == nil {
+			continue
+		}
+		for i, d := range arr.Disks {
+			col.Attach(d, fmt.Sprintf("%s[%d]", role, i))
+		}
+	}
+	st, err := sim.Reconstruct(failed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reconstruction of %v on %s (%d stripes)\n", failed, arch.Name(), *stripes)
+	fmt.Printf("S/W sequential read/write, r/w random, '.' idle\n\n")
+	fmt.Print(col.Render(*width))
+	fmt.Printf("\navailability throughput: %.1f MB/s\n", st.AvailThroughputMBs)
+	return nil
+}
+
+func cmdMTTDL(args []string) error {
+	fs := flag.NewFlagSet("mttdl", flag.ExitOnError)
+	n := fs.Int("n", 5, "data disks")
+	arrName := fs.String("arrangement", "shifted", "arrangement")
+	parity := fs.Bool("parity", false, "include the parity disk")
+	mttf := fs.Float64("mttf", 1_000_000, "per-disk MTTF in hours")
+	capacity := fs.Int64("capacity", 17_000_000_000, "bytes per data disk (repair window scales with it)")
+	stripes := fs.Int("stripes", 16, "simulated stripes for the repair model")
+	fs.Parse(args)
+	arch, err := buildArch(*arrName, *n, *parity)
+	if err != nil {
+		return err
+	}
+	cfg := recon.DefaultConfig()
+	cfg.Stripes = *stripes
+	sim := recon.NewSimulator(arch, cfg)
+	mttdl, err := analysis.MTTDL(arch, 1 / *mttf, sim.RepairRate(*capacity))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("architecture: %s\n", arch.Name())
+	fmt.Printf("disk MTTF:    %.0f h, capacity %.1f GB/disk\n", *mttf, float64(*capacity)/1e9)
+	fmt.Printf("MTTDL:        %.3g hours (%.3g years)\n", mttdl, mttdl/8766)
+	return nil
+}
+
+func cmdDevice(args []string) error {
+	fs := flag.NewFlagSet("device", flag.ExitOnError)
+	n := fs.Int("n", 4, "data disks")
+	arrName := fs.String("arrangement", "shifted", "arrangement")
+	parity := fs.Bool("parity", false, "include the parity disk")
+	dir := fs.String("dir", "", "directory for disk files (default: in-memory)")
+	elementSize := fs.Int64("element", 4096, "element size in bytes")
+	stripes := fs.Int("stripes", 8, "stripes per array")
+	failSpec := fs.String("fail", "data:0", "disks to fail during the demo")
+	fs.Parse(args)
+	arch, err := buildArch(*arrName, *n, *parity)
+	if err != nil {
+		return err
+	}
+	var d *dev.Device
+	if *dir == "" {
+		d = dev.New(arch, *elementSize, *stripes)
+		fmt.Printf("in-memory device: %s, %d KiB\n", arch.Name(), d.Size()/1024)
+	} else {
+		d, err = dev.NewOnFiles(arch, *elementSize, *stripes, *dir)
+		if err != nil {
+			return err
+		}
+		defer d.CloseStores()
+		fmt.Printf("file-backed device in %s: %s, %d KiB\n", *dir, arch.Name(), d.Size()/1024)
+	}
+	payload := make([]byte, d.Size())
+	rand.New(rand.NewSource(1)).Read(payload)
+	if _, err := d.WriteAt(payload, 0); err != nil {
+		return err
+	}
+	if err := d.Scrub(); err != nil {
+		return err
+	}
+	fmt.Println("filled; scrub clean")
+	failed, err := parseFailures(*failSpec)
+	if err != nil {
+		return err
+	}
+	for _, id := range failed {
+		if err := d.FailDisk(id); err != nil {
+			return err
+		}
+		fmt.Printf("failed %v\n", id)
+	}
+	check := make([]byte, d.Size())
+	if _, err := d.ReadAt(check, 0); err != nil {
+		return fmt.Errorf("degraded read: %w", err)
+	}
+	if !bytes.Equal(check, payload) {
+		return fmt.Errorf("degraded read returned wrong data")
+	}
+	fmt.Println("degraded reads intact")
+	for _, id := range failed {
+		if err := d.Rebuild(id); err != nil {
+			return err
+		}
+		fmt.Printf("rebuilt %v\n", id)
+	}
+	if err := d.Scrub(); err != nil {
+		return err
+	}
+	fmt.Println("post-rebuild scrub clean")
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	n := fs.Int("n", 4, "data disks")
+	arrName := fs.String("arrangement", "shifted", "arrangement")
+	parity := fs.Bool("parity", false, "include the parity disk")
+	dir := fs.String("dir", "", "directory for disk files (default: in-memory)")
+	elementSize := fs.Int64("element", 4096, "element size in bytes")
+	stripes := fs.Int("stripes", 8, "stripes per array")
+	addr := fs.String("addr", "127.0.0.1:9750", "listen address")
+	fs.Parse(args)
+	arch, err := buildArch(*arrName, *n, *parity)
+	if err != nil {
+		return err
+	}
+	var d *dev.Device
+	if *dir == "" {
+		d = dev.New(arch, *elementSize, *stripes)
+	} else if d, err = dev.CreateOnFiles(arch, *elementSize, *stripes, *dir); err != nil {
+		return err
+	} else {
+		defer d.CloseStores()
+	}
+	srv := blockserver.NewServer(d)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %s (%d KiB) on %s — ctrl-c to stop\n", arch.Name(), d.Size()/1024, bound)
+	select {} // serve until killed
+}
+
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	n := fs.Int("n", 3, "data disks (keep <= 5)")
+	limit := fs.Int("limit", 4, "arrangements to print (0 = all)")
+	fs.Parse(args)
+	if *n > 5 {
+		return fmt.Errorf("search space explodes past n=5 (asked for n=%d)", *n)
+	}
+	found := layout.SearchValid(*n, *limit)
+	fmt.Printf("%d arrangements satisfying P1+P2+P3 at n=%d:\n\n", len(found), *n)
+	for _, a := range found {
+		fmt.Print(layout.RenderPair(a))
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+// Online reconstruction: the paper's motivating scenario (§III). A disk
+// fails while the array keeps serving user reads; reads that hit the
+// failed disk before its stripe is rebuilt are recovered on demand with
+// priority. The shifted arrangement both finishes the rebuild sooner and
+// answers degraded reads faster, which is exactly the "data availability
+// during reconstruction" the paper optimizes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shiftedmirror"
+)
+
+func main() {
+	const (
+		n       = 6
+		stripes = 48
+	)
+	cfg := shiftedmirror.DefaultSimConfig()
+	cfg.Stripes = stripes
+
+	// A stream of user reads arriving every ~150 ms on average (the
+	// 4 MB element reads take ~90 ms, so the array runs loaded but
+	// stable), hitting random elements — some on the failed disk.
+	reads := shiftedmirror.UserReads(7, 250, n, stripes, 0.15)
+	failure := []shiftedmirror.DiskID{{Role: shiftedmirror.RoleData, Index: 0}}
+
+	fmt.Printf("online reconstruction of %v with %d user reads in flight\n\n", failure[0], len(reads))
+	fmt.Printf("%-20s %12s %12s %12s %12s %14s\n", "architecture", "rebuild(s)", "mean lat(ms)", "p95 lat(ms)", "p99 lat(ms)", "degraded reads")
+	for _, arch := range []*shiftedmirror.Mirror{
+		shiftedmirror.NewTraditionalMirror(n),
+		shiftedmirror.NewShiftedMirror(n),
+	} {
+		stats, err := shiftedmirror.NewSimulator(arch, cfg).ReconstructOnline(failure, reads)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %12.2f %12.2f %12.2f %12.2f %14d\n",
+			arch.Name(), stats.ReadTime, stats.MeanLatency*1e3, stats.P95*1e3, stats.P99*1e3, stats.DegradedReads)
+	}
+
+	// The same story under a double failure with the parity variant.
+	fmt.Println("\nmirror method with parity, double failure (data[0] + mirror[3]):")
+	doubleFailure := []shiftedmirror.DiskID{
+		{Role: shiftedmirror.RoleData, Index: 0},
+		{Role: shiftedmirror.RoleMirror, Index: 3},
+	}
+	for _, arch := range []*shiftedmirror.Mirror{
+		shiftedmirror.NewTraditionalMirrorWithParity(n),
+		shiftedmirror.NewShiftedMirrorWithParity(n),
+	} {
+		stats, err := shiftedmirror.NewSimulator(arch, cfg).ReconstructOnline(doubleFailure, reads)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-30s rebuild %.2fs, mean latency %.2fms, %d degraded reads\n",
+			arch.Name(), stats.ReadTime, stats.MeanLatency*1e3, stats.DegradedReads)
+	}
+}

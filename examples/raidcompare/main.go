@@ -1,0 +1,72 @@
+// RAID comparison: the paper's §II/§VI survey as a live table. For each
+// architecture: storage efficiency, fault tolerance, read accesses needed
+// during reconstruction (the availability metric), and the cost of a
+// single-element update (where RAID-6's suboptimality shows).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shiftedmirror/internal/analysis"
+	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/raid"
+)
+
+func main() {
+	const n = 5
+	fmt.Printf("architecture comparison at n=%d data disks\n\n", n)
+	fmt.Printf("%-28s %5s %4s %12s %12s %14s\n",
+		"architecture", "disks", "ft", "storage eff", "recon reads", "update writes")
+
+	type entry struct {
+		arch    raid.Architecture
+		updater raid.Updater
+		rows    int
+	}
+	entries := []entry{
+		{raid.NewMirror(layout.NewTraditional(n)), raid.NewMirror(layout.NewTraditional(n)), n},
+		{raid.NewMirror(layout.NewShifted(n)), raid.NewMirror(layout.NewShifted(n)), n},
+		{raid.NewMirrorWithParity(layout.NewTraditional(n)), raid.NewMirrorWithParity(layout.NewTraditional(n)), n},
+		{raid.NewMirrorWithParity(layout.NewShifted(n)), raid.NewMirrorWithParity(layout.NewShifted(n)), n},
+		{raid.NewRAID5(n), raid.NewRAID5(n), 1},
+		{raid.NewRAID6EvenOdd(n), raid.NewRAID6EvenOdd(n), raid.NewRAID6EvenOdd(n).Rows()},
+		{raid.NewRAID6RDP(n), raid.NewRAID6RDP(n), raid.NewRAID6RDP(n).Rows()},
+	}
+	for _, e := range entries {
+		// Average reconstruction accesses over the worst tolerated
+		// failure class.
+		var failures [][]raid.DiskID
+		if e.arch.FaultTolerance() >= 2 {
+			failures = raid.AllDoubleFailures(e.arch)
+		} else {
+			failures = raid.AllSingleFailures(e.arch)
+		}
+		totalReads, cases := 0, 0
+		for _, f := range failures {
+			plan, err := e.arch.RecoveryPlan(f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			totalReads += plan.AvailAccesses()
+			cases++
+		}
+		avgReads := float64(totalReads) / float64(cases)
+		avgUpdate, err := raid.AverageUpdateCost(e.updater, e.arch.N(), e.rows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %5d %4d %12.3f %12.2f %14.2f\n",
+			e.arch.Name(), len(e.arch.Disks()), e.arch.FaultTolerance(),
+			e.arch.StorageEfficiency(), avgReads, 1+avgUpdate)
+	}
+
+	fmt.Println()
+	fmt.Println("closed forms (analysis package):")
+	fmt.Printf("  mirror improvement           : %gx (n)\n", analysis.MirrorImprovement(n))
+	fmt.Printf("  mirror+parity improvement    : %gx ((2n+1)/4)\n", analysis.MirrorParityImprovement(n))
+	fmt.Printf("  shifted mirror+parity avg    : %.4f reads (4n/(2n+1))\n", analysis.MirrorParityAvgReads(n, true))
+	for name, eff := range analysis.StorageEfficiency(n) {
+		fmt.Printf("  storage efficiency %-13s: %.3f\n", name, eff)
+	}
+}

@@ -1,0 +1,3 @@
+module shiftedmirror
+
+go 1.22

@@ -1,0 +1,137 @@
+// Package analysis implements the paper's closed-form performance model
+// (§VI): average read-access counts during reconstruction for each
+// architecture, the Table I failure-situation breakdown, the Fig 7
+// theoretical ratio curves, and the headline improvement factors. Tests
+// cross-validate every formula against exhaustive enumeration through the
+// internal/raid planners.
+package analysis
+
+import (
+	"fmt"
+
+	"shiftedmirror/internal/erasure"
+)
+
+// Situation is one row of Table I.
+type Situation struct {
+	// ID is the paper's label: 1, 2 or 3.
+	ID int
+	// Description restates the failure situation.
+	Description string
+	// NumCases is the number of double-failure combinations in the
+	// situation (Num_Case).
+	NumCases int
+	// NumReads is the read accesses the shifted mirror method with
+	// parity needs per stripe (Num_Read).
+	NumReads int
+}
+
+// TableI returns the paper's Table I for n data disks.
+func TableI(n int) []Situation {
+	mustN(n)
+	return []Situation{
+		{ID: 1, Description: "the two failed disks include the parity disk", NumCases: 2 * n, NumReads: 1},
+		{ID: 2, Description: "the two failed disks are in the same disk array", NumCases: n * (n - 1), NumReads: 2},
+		{ID: 3, Description: "each disk array contains one failed disk", NumCases: n * n, NumReads: 2},
+	}
+}
+
+// MirrorAvgReads returns the average read accesses per stripe to recover
+// a single disk failure in the plain mirror method: n under the
+// traditional arrangement, 1 under the shifted one.
+func MirrorAvgReads(n int, shifted bool) float64 {
+	mustN(n)
+	if shifted {
+		return 1
+	}
+	return float64(n)
+}
+
+// MirrorParityAvgReads returns the expected read accesses per stripe over
+// all double-disk failures of the mirror method with parity:
+// 4n/(2n+1) shifted (the paper's Avg_Read), n traditional.
+func MirrorParityAvgReads(n int, shifted bool) float64 {
+	mustN(n)
+	if !shifted {
+		return float64(n)
+	}
+	total, cases := 0, 0
+	for _, s := range TableI(n) {
+		total += s.NumCases * s.NumReads
+		cases += s.NumCases
+	}
+	return float64(total) / float64(cases)
+}
+
+// RAID6AvgReads returns the read accesses per stripe of a RAID-6
+// reconstruction with n data disks on a shortened RDP code: all p-1 rows
+// of every surviving disk are read, p the smallest prime >= n+1 (RDP
+// supports at most p-1 data columns, so shortening always leaves the
+// stripe at least n rows deep). This is the paper's "shorten method"
+// baseline, never better and usually slightly worse than the traditional
+// mirror method with parity — matching Fig 7's RAID-6 curve sitting just
+// below the traditional one.
+func RAID6AvgReads(n int) float64 {
+	mustN(n)
+	return float64(erasure.SmallestPrimeAtLeast(n+1) - 1)
+}
+
+// MirrorImprovement is the paper's headline factor for the mirror
+// method: the shifted arrangement improves data availability during
+// reconstruction by n.
+func MirrorImprovement(n int) float64 {
+	mustN(n)
+	return MirrorAvgReads(n, false) / MirrorAvgReads(n, true)
+}
+
+// MirrorParityImprovement is the headline factor for the mirror method
+// with parity: (2n+1)/4.
+func MirrorParityImprovement(n int) float64 {
+	mustN(n)
+	return MirrorParityAvgReads(n, false) / MirrorParityAvgReads(n, true)
+}
+
+// Fig7Point is one x-position of Fig 7: the ratios (in percent) of the
+// average read accesses of the shifted mirror method with parity over the
+// two baselines. Lower is better for the shifted method.
+type Fig7Point struct {
+	N              int
+	VsTraditional  float64 // percent
+	VsRAID6Shorten float64 // percent
+}
+
+// Fig7 evaluates the Fig 7 curves for n = from..to.
+func Fig7(from, to int) []Fig7Point {
+	if from < 1 || to < from {
+		panic(fmt.Sprintf("analysis: invalid Fig7 range [%d,%d]", from, to))
+	}
+	pts := make([]Fig7Point, 0, to-from+1)
+	for n := from; n <= to; n++ {
+		shifted := MirrorParityAvgReads(n, true)
+		pts = append(pts, Fig7Point{
+			N:              n,
+			VsTraditional:  100 * shifted / MirrorParityAvgReads(n, false),
+			VsRAID6Shorten: 100 * shifted / RAID6AvgReads(n),
+		})
+	}
+	return pts
+}
+
+// StorageEfficiency returns the paper's §VI-D storage-efficiency
+// figures: mirror n/2n, mirror+parity n/(2n+1), RAID-6 n/(n+2),
+// three-mirror n/3n.
+func StorageEfficiency(n int) map[string]float64 {
+	mustN(n)
+	return map[string]float64{
+		"mirror":        float64(n) / float64(2*n),
+		"mirror+parity": float64(n) / float64(2*n+1),
+		"raid6":         float64(n) / float64(n+2),
+		"three-mirror":  1.0 / 3.0,
+	}
+}
+
+func mustN(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("analysis: n must be >= 1, got %d", n))
+	}
+}

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/raid"
+)
+
+func TestTableIStructure(t *testing.T) {
+	for n := 2; n <= 10; n++ {
+		rows := TableI(n)
+		if len(rows) != 3 {
+			t.Fatalf("n=%d: %d situations", n, len(rows))
+		}
+		totalCases := 0
+		for _, s := range rows {
+			totalCases += s.NumCases
+		}
+		// All C(2n+1, 2) double failures are covered.
+		want := (2*n + 1) * 2 * n / 2
+		if totalCases != want {
+			t.Errorf("n=%d: %d cases, want %d", n, totalCases, want)
+		}
+	}
+}
+
+func TestAvgReadClosedForm(t *testing.T) {
+	// Avg_Read = 4n/(2n+1), the paper's derivation from Table I.
+	for n := 2; n <= 50; n++ {
+		got := MirrorParityAvgReads(n, true)
+		want := 4 * float64(n) / float64(2*n+1)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("n=%d: %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestFormulasMatchPlannerEnumeration(t *testing.T) {
+	// Cross-validate every closed form against exhaustive enumeration of
+	// the actual planners.
+	for n := 2; n <= 6; n++ {
+		for _, shifted := range []bool{false, true} {
+			var arr = layout.Arrangement(layout.NewTraditional(n))
+			if shifted {
+				arr = layout.NewShifted(n)
+			}
+			// Plain mirror, single failures.
+			m := raid.NewMirror(arr)
+			total, cases := 0, 0
+			for _, f := range raid.AllSingleFailures(m) {
+				plan, err := m.RecoveryPlan(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total += plan.AvailAccesses()
+				cases++
+			}
+			got := float64(total) / float64(cases)
+			if want := MirrorAvgReads(n, shifted); math.Abs(got-want) > 1e-12 {
+				t.Errorf("mirror n=%d shifted=%v: planner %v, formula %v", n, shifted, got, want)
+			}
+			// Mirror with parity, double failures.
+			mp := raid.NewMirrorWithParity(arr)
+			total, cases = 0, 0
+			for _, f := range raid.AllDoubleFailures(mp) {
+				plan, err := mp.RecoveryPlan(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total += plan.AvailAccesses()
+				cases++
+			}
+			got = float64(total) / float64(cases)
+			if want := MirrorParityAvgReads(n, shifted); math.Abs(got-want) > 1e-12 {
+				t.Errorf("mirror+parity n=%d shifted=%v: planner %v, formula %v", n, shifted, got, want)
+			}
+		}
+	}
+}
+
+func TestTableICountsMatchPlanner(t *testing.T) {
+	// The per-situation access counts in Table I match the planner for
+	// each individual situation (not just on average).
+	for n := 2; n <= 6; n++ {
+		arch := raid.NewMirrorWithParity(layout.NewShifted(n))
+		rows := TableI(n)
+		got := map[int]int{}
+		for _, f := range raid.AllDoubleFailures(arch) {
+			plan, err := arch.RecoveryPlan(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id := 3
+			if f[0].Role == raid.RoleParity || f[1].Role == raid.RoleParity {
+				id = 1
+			} else if f[0].Role == f[1].Role {
+				id = 2
+			}
+			got[id]++
+			for _, s := range rows {
+				if s.ID == id && plan.AvailAccesses() != s.NumReads {
+					t.Errorf("n=%d F%d: planner %d reads, table %d", n, id, plan.AvailAccesses(), s.NumReads)
+				}
+			}
+		}
+		for _, s := range rows {
+			if got[s.ID] != s.NumCases {
+				t.Errorf("n=%d F%d: %d cases, table %d", n, s.ID, got[s.ID], s.NumCases)
+			}
+		}
+	}
+}
+
+func TestRAID6AvgReadsMatchesPlanner(t *testing.T) {
+	for n := 3; n <= 7; n++ {
+		arch := raid.NewRAID6RDP(n)
+		want := RAID6AvgReads(n)
+		for _, f := range raid.AllDoubleFailures(arch) {
+			plan, err := arch.RecoveryPlan(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if float64(plan.AvailAccesses()) != want {
+				t.Errorf("n=%d %v: planner %d, formula %v", n, f, plan.AvailAccesses(), want)
+			}
+		}
+	}
+}
+
+func TestImprovementFactors(t *testing.T) {
+	// §VI headline: factor n for the mirror method, (2n+1)/4 with parity.
+	for n := 2; n <= 50; n++ {
+		if got := MirrorImprovement(n); got != float64(n) {
+			t.Errorf("mirror n=%d: %v", n, got)
+		}
+		want := float64(2*n+1) / 4
+		if got := MirrorParityImprovement(n); math.Abs(got-want) > 1e-12 {
+			t.Errorf("mirror+parity n=%d: %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	pts := Fig7(3, 50)
+	if len(pts) != 48 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Ratios decrease with n and reach ~5 percent at n=50 ("achieving as
+	// low as 5 percent").
+	for i := 1; i < len(pts); i++ {
+		if pts[i].VsTraditional >= pts[i-1].VsTraditional {
+			t.Errorf("vsTraditional not strictly decreasing at n=%d", pts[i].N)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.VsTraditional < 3 || last.VsTraditional > 5 {
+		t.Errorf("n=50 vsTraditional = %.2f%%, want ~4-5%%", last.VsTraditional)
+	}
+	// The RAID-6 curve sits at or below the traditional-mirror curve
+	// (the paper: RAID-6 throughput "a little lower" due to shortening).
+	for _, p := range pts {
+		if p.VsRAID6Shorten > p.VsTraditional+1e-9 {
+			t.Errorf("n=%d: vsRAID6 %.2f%% above vsTraditional %.2f%%", p.N, p.VsRAID6Shorten, p.VsTraditional)
+		}
+	}
+	// First point sanity: n=3 -> 4/(2*3+1) = 57.1%.
+	if math.Abs(pts[0].VsTraditional-400.0/7) > 1e-9 {
+		t.Errorf("n=3 vsTraditional = %v, want %v", pts[0].VsTraditional, 400.0/7)
+	}
+}
+
+func TestStorageEfficiency(t *testing.T) {
+	eff := StorageEfficiency(4)
+	if eff["mirror"] != 0.5 {
+		t.Error("mirror efficiency wrong")
+	}
+	if math.Abs(eff["mirror+parity"]-4.0/9.0) > 1e-12 {
+		t.Error("mirror+parity efficiency wrong")
+	}
+	if math.Abs(eff["raid6"]-4.0/6.0) > 1e-12 {
+		t.Error("raid6 efficiency wrong")
+	}
+	// Efficiencies match the architecture implementations.
+	if got := raid.NewMirrorWithParity(layout.NewShifted(4)).StorageEfficiency(); math.Abs(got-eff["mirror+parity"]) > 1e-12 {
+		t.Error("architecture disagrees with analysis")
+	}
+}
+
+func TestPanicsOnBadN(t *testing.T) {
+	for name, f := range map[string]func(){
+		"TableI":  func() { TableI(0) },
+		"Mirror":  func() { MirrorAvgReads(0, true) },
+		"Parity":  func() { MirrorParityAvgReads(-1, false) },
+		"RAID6":   func() { RAID6AvgReads(0) },
+		"Fig7":    func() { Fig7(5, 4) },
+		"Storage": func() { StorageEfficiency(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"shiftedmirror/internal/raid"
+)
+
+// This file adds a reliability model on top of the paper's availability
+// analysis: mean time to data loss (MTTDL) from a continuous-time Markov
+// chain whose states are concurrent-failure sets and whose loss states
+// are decided by the actual recovery planner. It quantifies a trade-off
+// the paper leaves implicit: the shifted arrangement enlarges the fatal
+// second-failure domain of the plain mirror method (any opposite-array
+// disk shares an element with a failed disk, versus exactly one in the
+// traditional arrangement) but shrinks the repair window by the same
+// factor n, leaving MTTDL essentially unchanged while availability
+// improves n-fold.
+
+// RepairRate returns the repair rate (repairs per hour, per failed disk)
+// while the given failure set is outstanding. Build one from simulated
+// reconstruction times or supply a constant.
+type RepairRate func(failed []raid.DiskID) float64
+
+// ConstantRepair returns a RepairRate with a fixed mean time to repair
+// (hours).
+func ConstantRepair(mttrHours float64) RepairRate {
+	if mttrHours <= 0 {
+		panic("analysis: MTTR must be positive")
+	}
+	return func([]raid.DiskID) float64 { return 1 / mttrHours }
+}
+
+// MTTDL computes the mean time to data loss (hours) of an architecture
+// whose disks fail independently at rate lambda (failures per hour) and
+// are repaired concurrently at the given per-disk rate.
+//
+// States are failure sets of size up to FaultTolerance()+1; a set whose
+// RecoveryPlan fails is an absorbing loss state, and any failure out of a
+// maximum-size recoverable state is conservatively treated as loss. The
+// expected absorption time from the all-healthy state is solved exactly
+// by first-step analysis (dense Gaussian elimination; state counts are
+// tiny — at most a few hundred for the paper's geometries).
+func MTTDL(arch raid.Architecture, lambda float64, repair RepairRate) (float64, error) {
+	if lambda <= 0 {
+		return 0, fmt.Errorf("analysis: failure rate must be positive, got %v", lambda)
+	}
+	disks := arch.Disks()
+	maxSize := arch.FaultTolerance() + 1
+
+	type state struct {
+		key    string
+		failed []raid.DiskID
+		lost   bool
+	}
+	states := map[string]*state{}
+	var order []*state
+	var visit func(failed []raid.DiskID) *state
+	visit = func(failed []raid.DiskID) *state {
+		key := failureKey(failed)
+		if s, ok := states[key]; ok {
+			return s
+		}
+		s := &state{key: key, failed: append([]raid.DiskID(nil), failed...)}
+		if _, err := arch.RecoveryPlan(failed); err != nil {
+			s.lost = true
+		}
+		states[key] = s
+		order = append(order, s)
+		return s
+	}
+	// BFS over recoverable states.
+	queue := []*state{visit(nil)}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if s.lost || len(s.failed) >= maxSize {
+			continue
+		}
+		for _, d := range disks {
+			if containsDisk(s.failed, d) {
+				continue
+			}
+			next := visit(append(append([]raid.DiskID(nil), s.failed...), d))
+			if !next.lost && len(next.failed) < maxSize {
+				queue = append(queue, next)
+			}
+		}
+	}
+
+	// First-step analysis: for recoverable state i,
+	//   t_i = (1 + sum_j rate_ij * t_j) / sum_j rate_ij
+	// with t = 0 for loss states and failures out of max-size states
+	// counted as loss (t = 0 contribution).
+	index := map[string]int{}
+	var live []*state
+	for _, s := range order {
+		if !s.lost {
+			index[s.key] = len(live)
+			live = append(live, s)
+		}
+	}
+	n := len(live)
+	a := make([][]float64, n) // a[i] holds the row, rhs appended
+	for i, s := range live {
+		row := make([]float64, n+1)
+		var totalRate float64
+		// Failures.
+		for _, d := range disks {
+			if containsDisk(s.failed, d) {
+				continue
+			}
+			totalRate += lambda
+			if len(s.failed) >= maxSize {
+				continue // conservative: loss, contributes t=0
+			}
+			key := failureKey(append(append([]raid.DiskID(nil), s.failed...), d))
+			if j, ok := index[key]; ok {
+				row[j] += lambda
+			}
+		}
+		// Concurrent repairs.
+		if len(s.failed) > 0 {
+			mu := repair(s.failed)
+			if mu <= 0 {
+				return 0, fmt.Errorf("analysis: repair rate must be positive for %v", s.failed)
+			}
+			for _, d := range s.failed {
+				totalRate += mu
+				key := failureKey(removeDisk(s.failed, d))
+				j, ok := index[key]
+				if !ok {
+					return 0, fmt.Errorf("analysis: repair target state missing for %v", s.failed)
+				}
+				row[j] += mu
+			}
+		}
+		// t_i * totalRate - sum rate_ij t_j = 1
+		for j := 0; j < n; j++ {
+			row[j] = -row[j]
+		}
+		row[i] += totalRate
+		row[n] = 1
+		a[i] = row
+	}
+	t, err := solveDense(a)
+	if err != nil {
+		return 0, err
+	}
+	return t[index[failureKey(nil)]], nil
+}
+
+// failureKey canonicalizes a failure set.
+func failureKey(failed []raid.DiskID) string {
+	s := append([]raid.DiskID(nil), failed...)
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Role != s[j].Role {
+			return s[i].Role < s[j].Role
+		}
+		return s[i].Index < s[j].Index
+	})
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func containsDisk(set []raid.DiskID, d raid.DiskID) bool {
+	for _, x := range set {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+func removeDisk(set []raid.DiskID, d raid.DiskID) []raid.DiskID {
+	out := make([]raid.DiskID, 0, len(set)-1)
+	for _, x := range set {
+		if x != d {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// solveDense solves the linear system rows*x = rhs where each row holds
+// its rhs in the final column. Partial pivoting; the matrices here are
+// diagonally dominant generators, but pivot anyway.
+func solveDense(rows [][]float64) ([]float64, error) {
+	n := len(rows)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if abs(rows[r][col]) > abs(rows[pivot][col]) {
+				pivot = r
+			}
+		}
+		if abs(rows[pivot][col]) < 1e-300 {
+			return nil, fmt.Errorf("analysis: singular transition system at column %d", col)
+		}
+		rows[col], rows[pivot] = rows[pivot], rows[col]
+		p := rows[col][col]
+		for c := col; c <= n; c++ {
+			rows[col][c] /= p
+		}
+		for r := 0; r < n; r++ {
+			if r == col || rows[r][col] == 0 {
+				continue
+			}
+			f := rows[r][col]
+			for c := col; c <= n; c++ {
+				rows[r][c] -= f * rows[col][c]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rows[i][n]
+	}
+	return out, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/raid"
+)
+
+// mirrorPairMTTDL is the textbook closed form for a single mirrored pair
+// with failure rate lambda and repair rate mu (concurrent repair,
+// partner failure fatal): MTTDL = (3*lambda + mu) / (2*lambda^2).
+func mirrorPairMTTDL(lambda, mu float64) float64 {
+	return (3*lambda + mu) / (2 * lambda * lambda)
+}
+
+func TestMTTDLMatchesClosedFormForPair(t *testing.T) {
+	// n=1: one data disk, one mirror disk — exactly the textbook pair.
+	arch := raid.NewMirror(layout.NewShifted(1))
+	lambda := 1.0 / 1_000_000 // 1M-hour MTTF
+	mttr := 10.0
+	got, err := MTTDL(arch, lambda, ConstantRepair(mttr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mirrorPairMTTDL(lambda, 1/mttr)
+	if rel := math.Abs(got-want) / want; rel > 1e-9 {
+		t.Fatalf("pair MTTDL = %.6g, closed form %.6g (rel err %.2e)", got, want, rel)
+	}
+}
+
+func TestMTTDLTradeoffTraditionalVsShifted(t *testing.T) {
+	// The plain mirror trade-off: under equal repair time, the shifted
+	// arrangement loses reliability (any opposite-array disk is fatal,
+	// not just the partner). Under the availability-derived repair time
+	// (shifted rebuilds ~n times faster), the gap closes to within ~2x.
+	n := 5
+	lambda := 1.0 / 1_000_000
+	mttr := 24.0
+	trad := raid.NewMirror(layout.NewTraditional(n))
+	shifted := raid.NewMirror(layout.NewShifted(n))
+
+	tSame, err := MTTDL(trad, lambda, ConstantRepair(mttr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sSame, err := MTTDL(shifted, lambda, ConstantRepair(mttr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sSame >= tSame {
+		t.Fatalf("equal MTTR: shifted MTTDL %.3g should be below traditional %.3g (larger fatal domain)", sSame, tSame)
+	}
+	if ratio := tSame / sSame; ratio < float64(n)*0.8 || ratio > float64(n)*1.2 {
+		t.Errorf("equal MTTR: reliability gap %.2f, want ~n=%d (fatal domain n vs 1)", ratio, n)
+	}
+
+	// Shifted repairs n times faster (the paper's availability result).
+	sFast, err := MTTDL(shifted, lambda, ConstantRepair(mttr/float64(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := tSame / sFast; ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("with n-fold faster repair, MTTDL should roughly match traditional: ratio %.2f", ratio)
+	}
+}
+
+func TestMTTDLParityBeatsPlainMirror(t *testing.T) {
+	// Fault tolerance two must dominate fault tolerance one by orders of
+	// magnitude at realistic rates.
+	n := 4
+	lambda := 1.0 / 500_000
+	repair := ConstantRepair(12.0)
+	plain, err := MTTDL(raid.NewMirror(layout.NewShifted(n)), lambda, repair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parity, err := MTTDL(raid.NewMirrorWithParity(layout.NewShifted(n)), lambda, repair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parity < 100*plain {
+		t.Fatalf("mirror+parity MTTDL %.3g not >> plain %.3g", parity, plain)
+	}
+}
+
+func TestMTTDLThreeMirror(t *testing.T) {
+	lambda := 1.0 / 500_000
+	repair := ConstantRepair(12.0)
+	three, err := MTTDL(raid.NewThreeMirror(layout.NewGeneralShifted(5, 1, 1), layout.NewGeneralShifted(5, 2, 1)), lambda, repair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := MTTDL(raid.NewMirror(layout.NewShifted(5)), lambda, repair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three < 100*two {
+		t.Fatalf("three-mirror MTTDL %.3g not >> two-copy %.3g", three, two)
+	}
+}
+
+func TestMTTDLScalesWithRepairRate(t *testing.T) {
+	// For a fault-tolerance-one system, MTTDL is ~proportional to the
+	// repair rate in the mu >> lambda regime.
+	arch := raid.NewMirror(layout.NewTraditional(3))
+	lambda := 1.0 / 1_000_000
+	a, err := MTTDL(arch, lambda, ConstantRepair(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MTTDL(arch, lambda, ConstantRepair(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := a / b; ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("halving MTTR should double MTTDL: ratio %.3f", ratio)
+	}
+}
+
+func TestMTTDLMoreDisksLessReliable(t *testing.T) {
+	lambda := 1.0 / 1_000_000
+	repair := ConstantRepair(24)
+	prev := math.Inf(1)
+	for n := 2; n <= 7; n++ {
+		v, err := MTTDL(raid.NewMirror(layout.NewTraditional(n)), lambda, repair)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v >= prev {
+			t.Fatalf("n=%d: MTTDL %.3g did not decrease from %.3g", n, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestMTTDLInputValidation(t *testing.T) {
+	arch := raid.NewMirror(layout.NewShifted(2))
+	if _, err := MTTDL(arch, 0, ConstantRepair(1)); err == nil {
+		t.Fatal("zero failure rate accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive MTTR accepted")
+		}
+	}()
+	ConstantRepair(0)
+}
+
+func TestRepairRateContextSensitive(t *testing.T) {
+	// A RepairRate may depend on the failure set: doubles repair slower.
+	arch := raid.NewMirrorWithParity(layout.NewShifted(3))
+	lambda := 1.0 / 500_000
+	slowDoubles := func(failed []raid.DiskID) float64 {
+		if len(failed) >= 2 {
+			return 1.0 / 48
+		}
+		return 1.0 / 12
+	}
+	slow, err := MTTDL(arch, lambda, slowDoubles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := MTTDL(arch, lambda, ConstantRepair(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow >= fast {
+		t.Fatalf("slower double-failure repair should reduce MTTDL: %.3g vs %.3g", slow, fast)
+	}
+}

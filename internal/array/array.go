@@ -1,0 +1,268 @@
+// Package array models a disk array at the element level: a collection of
+// simulated disks over which stripes of elements are laid out, with the
+// logical-to-physical rotation (the paper's "stack" notion) and the
+// parallel-I/O access semantics the paper's analysis is based on — in one
+// read or write access, each disk transfers at most one element, and the
+// access completes when the slowest disk finishes.
+package array
+
+import (
+	"fmt"
+
+	"shiftedmirror/internal/disk"
+)
+
+// Geometry describes how stripe elements map onto the disks of one array.
+type Geometry struct {
+	// Disks is the number of disks in the array (n for data/mirror
+	// arrays, 1 for a parity disk or a spare).
+	Disks int
+	// RowsPerStripe is the number of element rows each stripe occupies
+	// on every disk (n for the paper's n×n stripes; also n on the parity
+	// disk).
+	RowsPerStripe int
+	// Stripes is the number of stripes instantiated on the array.
+	Stripes int
+	// ElementSize is the element size in bytes (4 MB in the paper).
+	ElementSize int64
+	// Rotate enables the stack rotation: logical disk l of stripe s maps
+	// to physical disk (l+s) mod Disks, so every physical disk plays
+	// every logical role across a stack of stripes.
+	Rotate bool
+}
+
+// Validate reports an error for inconsistent geometry.
+func (g Geometry) Validate() error {
+	if g.Disks < 1 || g.RowsPerStripe < 1 || g.Stripes < 1 || g.ElementSize < 1 {
+		return fmt.Errorf("array: geometry fields must be positive: %+v", g)
+	}
+	return nil
+}
+
+// BytesPerDisk returns the bytes of elements a single disk carries.
+func (g Geometry) BytesPerDisk() int64 {
+	return int64(g.Stripes) * int64(g.RowsPerStripe) * g.ElementSize
+}
+
+// Physical maps a logical disk index of a stripe to the physical disk
+// hosting it.
+func (g Geometry) Physical(stripe, logical int) int {
+	g.checkStripe(stripe)
+	g.checkDisk(logical)
+	if !g.Rotate {
+		return logical
+	}
+	return (logical + stripe) % g.Disks
+}
+
+// Logical maps a physical disk index back to the logical disk it plays in
+// the given stripe. Inverse of Physical.
+func (g Geometry) Logical(stripe, physical int) int {
+	g.checkStripe(stripe)
+	g.checkDisk(physical)
+	if !g.Rotate {
+		return physical
+	}
+	l := (physical - stripe) % g.Disks
+	if l < 0 {
+		l += g.Disks
+	}
+	return l
+}
+
+// Offset returns the byte offset of element (stripe, row) within its
+// physical disk. Stripes are laid out consecutively, rows consecutive
+// within a stripe, so whole-disk scans are sequential.
+func (g Geometry) Offset(stripe, row int) int64 {
+	g.checkStripe(stripe)
+	if row < 0 || row >= g.RowsPerStripe {
+		panic(fmt.Sprintf("array: row %d out of range (rows per stripe %d)", row, g.RowsPerStripe))
+	}
+	return (int64(stripe)*int64(g.RowsPerStripe) + int64(row)) * g.ElementSize
+}
+
+func (g Geometry) checkStripe(stripe int) {
+	if stripe < 0 || stripe >= g.Stripes {
+		panic(fmt.Sprintf("array: stripe %d out of range (%d stripes)", stripe, g.Stripes))
+	}
+}
+
+func (g Geometry) checkDisk(d int) {
+	if d < 0 || d >= g.Disks {
+		panic(fmt.Sprintf("array: disk %d out of range (%d disks)", d, g.Disks))
+	}
+}
+
+// Array couples a geometry with its physical disks.
+type Array struct {
+	// Name labels the array in plans and reports ("data", "mirror",
+	// "parity", "spare").
+	Name string
+	// Geo is the element geometry.
+	Geo Geometry
+	// Disks are the physical drives, indexed by physical disk number.
+	Disks []*disk.Disk
+}
+
+// New builds an array of identical disks. It panics if the geometry is
+// invalid or does not fit on the drive model.
+func New(name string, geo Geometry, params disk.Params) *Array {
+	if err := geo.Validate(); err != nil {
+		panic(err)
+	}
+	if geo.BytesPerDisk() > params.Capacity {
+		panic(fmt.Sprintf("array: %s needs %d bytes/disk, model %q holds %d",
+			name, geo.BytesPerDisk(), params.Name, params.Capacity))
+	}
+	disks := make([]*disk.Disk, geo.Disks)
+	for i := range disks {
+		disks[i] = disk.New(params)
+	}
+	return &Array{Name: name, Geo: geo, Disks: disks}
+}
+
+// Reset resets every disk in the array.
+func (a *Array) Reset() {
+	for _, d := range a.Disks {
+		d.Reset()
+	}
+}
+
+// Stats sums the statistics of all disks.
+func (a *Array) Stats() disk.Stats {
+	var s disk.Stats
+	for _, d := range a.Disks {
+		ds := d.Stats()
+		s.Reads += ds.Reads
+		s.Writes += ds.Writes
+		s.BytesRead += ds.BytesRead
+		s.BytesWritten += ds.BytesWritten
+		s.Seeks += ds.Seeks
+		s.SeqHits += ds.SeqHits
+		s.BusyTime += ds.BusyTime
+	}
+	return s
+}
+
+// Request converts an element operation on a logical disk into the
+// physical disk index and byte-level request.
+func (a *Array) Request(stripe, logical, row int, kind disk.Kind) (physical int, req disk.Request) {
+	physical = a.Geo.Physical(stripe, logical)
+	req = disk.Request{Kind: kind, Offset: a.Geo.Offset(stripe, row), Size: a.Geo.ElementSize}
+	return physical, req
+}
+
+// Op is one element operation bound to an array, addressed by logical
+// disk. Ops are the currency of the reconstruction and write planners.
+type Op struct {
+	Array   *Array
+	Stripe  int
+	Logical int // logical disk within the array
+	Row     int
+	Kind    disk.Kind
+}
+
+// String renders like "read mirror[2].s3r1".
+func (o Op) String() string {
+	return fmt.Sprintf("%s %s[%d].s%dr%d", o.Kind, o.Array.Name, o.Logical, o.Stripe, o.Row)
+}
+
+// RunResult reports the outcome of executing a batch of element ops.
+type RunResult struct {
+	// Start is the time the batch was issued.
+	Start float64
+	// End is the completion time of the last element.
+	End float64
+	// Accesses is the number of parallel access rounds used, i.e. the
+	// maximum number of elements any single physical disk transferred —
+	// the paper's "number of read accesses".
+	Accesses int
+	// Bytes is the total payload moved.
+	Bytes int64
+}
+
+// Duration returns End-Start.
+func (r RunResult) Duration() float64 { return r.End - r.Start }
+
+// Run executes a batch of element ops under the paper's parallel-I/O
+// semantics. Ops are partitioned into per-physical-disk queues (in slice
+// order); round k issues element k of every queue simultaneously.
+//
+// With barrier=true (the paper's model) round k+1 starts only when every
+// disk has finished round k, so a slow seek on one disk stalls the whole
+// access. With barrier=false each disk drains its queue back-to-back
+// (pipelined controller), the ablation variant.
+func Run(now float64, ops []Op, barrier bool) RunResult {
+	res := RunResult{Start: now, End: now}
+	if len(ops) == 0 {
+		return res
+	}
+	type queue struct {
+		d    *disk.Disk
+		reqs []disk.Request
+	}
+	var queues []*queue
+	index := map[*disk.Disk]*queue{}
+	for _, op := range ops {
+		phys, req := op.Array.Request(op.Stripe, op.Logical, op.Row, op.Kind)
+		d := op.Array.Disks[phys]
+		q := index[d]
+		if q == nil {
+			q = &queue{d: d}
+			index[d] = q
+			queues = append(queues, q)
+		}
+		q.reqs = append(q.reqs, req)
+		res.Bytes += req.Size
+	}
+	for _, q := range queues {
+		if len(q.reqs) > res.Accesses {
+			res.Accesses = len(q.reqs)
+		}
+	}
+	if barrier {
+		roundStart := now
+		for round := 0; round < res.Accesses; round++ {
+			roundEnd := roundStart
+			for _, q := range queues {
+				if round >= len(q.reqs) {
+					continue
+				}
+				_, end := q.d.Serve(roundStart, q.reqs[round])
+				if end > roundEnd {
+					roundEnd = end
+				}
+			}
+			roundStart = roundEnd
+		}
+		res.End = roundStart
+		return res
+	}
+	for _, q := range queues {
+		t := now
+		for _, req := range q.reqs {
+			_, t = q.d.Serve(t, req)
+		}
+		if t > res.End {
+			res.End = t
+		}
+	}
+	return res
+}
+
+// AccessCount returns the number of parallel accesses a batch of ops
+// needs without executing it: the maximum number of ops landing on one
+// physical disk. This is the paper's analytical metric.
+func AccessCount(ops []Op) int {
+	perDisk := map[*disk.Disk]int{}
+	max := 0
+	for _, op := range ops {
+		phys := op.Array.Geo.Physical(op.Stripe, op.Logical)
+		d := op.Array.Disks[phys]
+		perDisk[d]++
+		if perDisk[d] > max {
+			max = perDisk[d]
+		}
+	}
+	return max
+}

@@ -1,0 +1,264 @@
+package array
+
+import (
+	"math"
+	"testing"
+
+	"shiftedmirror/internal/disk"
+)
+
+const mb = 1_000_000
+
+func smallGeo(n, stripes int) Geometry {
+	return Geometry{Disks: n, RowsPerStripe: n, Stripes: stripes, ElementSize: 4 * mb}
+}
+
+func newTestArray(t testing.TB, name string, geo Geometry) *Array {
+	t.Helper()
+	return New(name, geo, disk.Savvio10K3())
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := smallGeo(3, 4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Geometry{
+		{Disks: 0, RowsPerStripe: 1, Stripes: 1, ElementSize: 1},
+		{Disks: 1, RowsPerStripe: 0, Stripes: 1, ElementSize: 1},
+		{Disks: 1, RowsPerStripe: 1, Stripes: 0, ElementSize: 1},
+		{Disks: 1, RowsPerStripe: 1, Stripes: 1, ElementSize: 0},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: invalid geometry accepted", i)
+		}
+	}
+}
+
+func TestOffsetsAreContiguous(t *testing.T) {
+	g := smallGeo(3, 5)
+	var prev int64 = -int64(g.ElementSize)
+	for s := 0; s < g.Stripes; s++ {
+		for r := 0; r < g.RowsPerStripe; r++ {
+			off := g.Offset(s, r)
+			if off != prev+g.ElementSize {
+				t.Fatalf("offset(%d,%d) = %d, want %d", s, r, off, prev+g.ElementSize)
+			}
+			prev = off
+		}
+	}
+}
+
+func TestRotationRoundTrip(t *testing.T) {
+	g := smallGeo(5, 7)
+	g.Rotate = true
+	for s := 0; s < g.Stripes; s++ {
+		for l := 0; l < g.Disks; l++ {
+			p := g.Physical(s, l)
+			if got := g.Logical(s, p); got != l {
+				t.Fatalf("stripe %d: Logical(Physical(%d)) = %d", s, l, got)
+			}
+		}
+	}
+}
+
+func TestRotationCoversAllMappings(t *testing.T) {
+	// Across a stack of n stripes, logical disk 0 must visit every
+	// physical disk exactly once — the definition of a stack.
+	g := smallGeo(4, 4)
+	g.Rotate = true
+	seen := make([]bool, g.Disks)
+	for s := 0; s < g.Disks; s++ {
+		p := g.Physical(s, 0)
+		if seen[p] {
+			t.Fatalf("physical disk %d visited twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestNoRotationIsIdentity(t *testing.T) {
+	g := smallGeo(4, 3)
+	for s := 0; s < g.Stripes; s++ {
+		for l := 0; l < g.Disks; l++ {
+			if g.Physical(s, l) != l {
+				t.Fatal("rotation off but mapping not identity")
+			}
+		}
+	}
+}
+
+func TestNewRejectsOversizedGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized geometry accepted")
+		}
+	}()
+	g := Geometry{Disks: 1, RowsPerStripe: 1, Stripes: 1 << 30, ElementSize: 4 * mb}
+	New("huge", g, disk.Savvio10K3())
+}
+
+func TestRunSingleParallelAccess(t *testing.T) {
+	// One element from each of n disks in parallel: one access, and the
+	// elapsed time is one element service, not n.
+	a := newTestArray(t, "data", smallGeo(4, 2))
+	var ops []Op
+	for d := 0; d < 4; d++ {
+		ops = append(ops, Op{Array: a, Stripe: 0, Logical: d, Row: 1, Kind: disk.Read})
+	}
+	res := Run(0, ops, true)
+	if res.Accesses != 1 {
+		t.Fatalf("accesses = %d, want 1", res.Accesses)
+	}
+	single := disk.New(disk.Savvio10K3()).ServiceTime(disk.Request{Kind: disk.Read, Offset: a.Geo.Offset(0, 1), Size: 4 * mb})
+	if math.Abs(res.Duration()-single) > 1e-9 {
+		t.Fatalf("parallel access took %.4fs, want one element service %.4fs", res.Duration(), single)
+	}
+	if res.Bytes != 4*4*mb {
+		t.Fatalf("bytes = %d", res.Bytes)
+	}
+}
+
+func TestRunSequentialOnOneDisk(t *testing.T) {
+	// n elements all on one disk need n accesses (the traditional-mirror
+	// pathology).
+	a := newTestArray(t, "mirror", smallGeo(4, 2))
+	var ops []Op
+	for r := 0; r < 4; r++ {
+		ops = append(ops, Op{Array: a, Stripe: 0, Logical: 2, Row: r, Kind: disk.Read})
+	}
+	res := Run(0, ops, true)
+	if res.Accesses != 4 {
+		t.Fatalf("accesses = %d, want 4", res.Accesses)
+	}
+	// Sequential rows: later accesses are merged continuations, so the
+	// whole run is far cheaper than 4 random reads but slower than 1.
+	oneRandom := disk.New(disk.Savvio10K3()).ServiceTime(disk.Request{Kind: disk.Read, Offset: 0, Size: 4 * mb})
+	if res.Duration() <= oneRandom {
+		t.Fatal("four sequential elements cannot beat one")
+	}
+	if s := a.Disks[2].Stats(); s.SeqHits != 3 || s.Seeks != 1 {
+		t.Fatalf("expected 1 seek + 3 merges, got %+v", s)
+	}
+}
+
+func TestRunBarrierSlowerOrEqualPipelined(t *testing.T) {
+	// Barrier semantics can never finish earlier than pipelined
+	// execution of the same ops.
+	mk := func() []Op {
+		a := newTestArray(t, "data", smallGeo(3, 4))
+		var ops []Op
+		for s := 0; s < 4; s++ {
+			for d := 0; d < 3; d++ {
+				ops = append(ops, Op{Array: a, Stripe: s, Logical: d, Row: (d + s) % 3, Kind: disk.Read})
+			}
+		}
+		return ops
+	}
+	b := Run(0, mk(), true)
+	p := Run(0, mk(), false)
+	if b.End < p.End-1e-12 {
+		t.Fatalf("barrier (%.4f) finished before pipelined (%.4f)", b.End, p.End)
+	}
+	if b.Accesses != p.Accesses {
+		t.Fatalf("access counts differ: %d vs %d", b.Accesses, p.Accesses)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	res := Run(5.0, nil, true)
+	if res.End != 5.0 || res.Accesses != 0 || res.Bytes != 0 {
+		t.Fatalf("empty run: %+v", res)
+	}
+}
+
+func TestAccessCountMatchesRun(t *testing.T) {
+	a := newTestArray(t, "data", smallGeo(5, 3))
+	var ops []Op
+	// 3 elements on disk 1, 1 each on disks 2 and 3 -> 3 accesses.
+	for r := 0; r < 3; r++ {
+		ops = append(ops, Op{Array: a, Stripe: 1, Logical: 1, Row: r, Kind: disk.Read})
+	}
+	ops = append(ops,
+		Op{Array: a, Stripe: 1, Logical: 2, Row: 0, Kind: disk.Read},
+		Op{Array: a, Stripe: 1, Logical: 3, Row: 0, Kind: disk.Read},
+	)
+	if got := AccessCount(ops); got != 3 {
+		t.Fatalf("AccessCount = %d, want 3", got)
+	}
+	if res := Run(0, ops, true); res.Accesses != 3 {
+		t.Fatalf("Run accesses = %d, want 3", res.Accesses)
+	}
+}
+
+func TestAccessCountSpansArrays(t *testing.T) {
+	// Ops on different arrays use different physical disks, so they
+	// parallelize even with equal indices.
+	a1 := newTestArray(t, "data", smallGeo(3, 2))
+	a2 := newTestArray(t, "mirror", smallGeo(3, 2))
+	ops := []Op{
+		{Array: a1, Stripe: 0, Logical: 0, Row: 0, Kind: disk.Read},
+		{Array: a2, Stripe: 0, Logical: 0, Row: 0, Kind: disk.Read},
+	}
+	if got := AccessCount(ops); got != 1 {
+		t.Fatalf("cross-array AccessCount = %d, want 1", got)
+	}
+}
+
+func TestRotationAffectsPhysicalPlacement(t *testing.T) {
+	g := smallGeo(3, 3)
+	g.Rotate = true
+	a := newTestArray(t, "data", g)
+	// Logical disk 0 of stripes 0,1,2 lands on physical 0,1,2: reading
+	// "logical disk 0" across the stack touches every physical disk.
+	ops := []Op{
+		{Array: a, Stripe: 0, Logical: 0, Row: 0, Kind: disk.Read},
+		{Array: a, Stripe: 1, Logical: 0, Row: 0, Kind: disk.Read},
+		{Array: a, Stripe: 2, Logical: 0, Row: 0, Kind: disk.Read},
+	}
+	if got := AccessCount(ops); got != 1 {
+		t.Fatalf("rotated stack AccessCount = %d, want 1", got)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	a := newTestArray(t, "data", smallGeo(2, 2))
+	Run(0, []Op{
+		{Array: a, Stripe: 0, Logical: 0, Row: 0, Kind: disk.Read},
+		{Array: a, Stripe: 0, Logical: 1, Row: 0, Kind: disk.Write},
+	}, true)
+	s := a.Stats()
+	if s.Reads != 1 || s.Writes != 1 || s.BytesRead != 4*mb || s.BytesWritten != 4*mb {
+		t.Fatalf("aggregated stats wrong: %+v", s)
+	}
+}
+
+func TestResetClearsAllDisks(t *testing.T) {
+	a := newTestArray(t, "data", smallGeo(2, 2))
+	Run(0, []Op{{Array: a, Stripe: 0, Logical: 0, Row: 0, Kind: disk.Read}}, true)
+	a.Reset()
+	if s := a.Stats(); s != (disk.Stats{}) {
+		t.Fatalf("stats after reset: %+v", s)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	a := newTestArray(t, "mirror", smallGeo(3, 2))
+	op := Op{Array: a, Stripe: 1, Logical: 2, Row: 0, Kind: disk.Read}
+	if got := op.String(); got != "read mirror[2].s1r0" {
+		t.Fatalf("Op.String = %q", got)
+	}
+}
+
+func BenchmarkRunStripeAccess(b *testing.B) {
+	a := New("data", smallGeo(7, 64), disk.Savvio10K3())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := i % 64
+		var ops []Op
+		for d := 0; d < 7; d++ {
+			ops = append(ops, Op{Array: a, Stripe: s, Logical: d, Row: 0, Kind: disk.Read})
+		}
+		Run(0, ops, true)
+	}
+}

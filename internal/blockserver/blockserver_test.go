@@ -1,0 +1,241 @@
+package blockserver
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"shiftedmirror/internal/dev"
+	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/raid"
+)
+
+// startServer spins up a served device and a connected client, both torn
+// down with the test.
+func startServer(t *testing.T, arch *raid.Mirror, stripes int) (*dev.Device, *Client) {
+	t.Helper()
+	device := dev.New(arch, 64, stripes)
+	srv := NewServer(device)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	client, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return device, client
+}
+
+func TestRemoteReadWrite(t *testing.T) {
+	device, client := startServer(t, raid.NewMirrorWithParity(layout.NewShifted(3)), 2)
+	size, err := client.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != device.Size() {
+		t.Fatalf("remote size %d, local %d", size, device.Size())
+	}
+	payload := make([]byte, size)
+	rand.New(rand.NewSource(1)).Read(payload)
+	if _, err := client.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, size)
+	if _, err := client.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("remote round trip mismatch")
+	}
+	// Unaligned remote I/O.
+	if _, err := client.WriteAt([]byte("over the wire"), 100); err != nil {
+		t.Fatal(err)
+	}
+	small := make([]byte, 13)
+	if _, err := client.ReadAt(small, 100); err != nil {
+		t.Fatal(err)
+	}
+	if string(small) != "over the wire" {
+		t.Fatalf("unaligned remote read: %q", small)
+	}
+	if err := client.Scrub(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteFailureManagement(t *testing.T) {
+	device, client := startServer(t, raid.NewMirrorWithParity(layout.NewShifted(3)), 2)
+	payload := make([]byte, device.Size())
+	rand.New(rand.NewSource(2)).Read(payload)
+	if _, err := client.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	id := raid.DiskID{Role: raid.RoleData, Index: 1}
+	if err := client.FailDisk(id); err != nil {
+		t.Fatal(err)
+	}
+	// Degraded reads over the wire.
+	got := make([]byte, device.Size())
+	if _, err := client.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("remote degraded read mismatch")
+	}
+	h, failed, err := client.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.DegradedReads == 0 {
+		t.Fatal("health did not report degraded reads")
+	}
+	if len(failed) != 1 || failed[0] != id {
+		t.Fatalf("failed list %v", failed)
+	}
+	if err := client.Rebuild(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Scrub(); err != nil {
+		t.Fatal(err)
+	}
+	if _, failed, _ := client.Health(); len(failed) != 0 {
+		t.Fatalf("still failed after rebuild: %v", failed)
+	}
+}
+
+func TestRemoteErrorsPropagate(t *testing.T) {
+	_, client := startServer(t, raid.NewMirror(layout.NewShifted(3)), 1)
+	// Unknown disk.
+	err := client.FailDisk(raid.DiskID{Role: raid.RoleData, Index: 42})
+	if err == nil || !strings.Contains(err.Error(), "remote") {
+		t.Fatalf("want remote error, got %v", err)
+	}
+	// Out-of-range read.
+	size, err := client.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.ReadAt(make([]byte, 1), size+10); err == nil {
+		t.Fatal("out-of-range remote read accepted")
+	}
+	// The connection survives device-level errors.
+	if err := client.Scrub(); err != nil {
+		t.Fatalf("connection broken after remote error: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	device, _ := startServer(t, raid.NewMirrorWithParity(layout.NewShifted(4)), 4)
+	srv := NewServer(device)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			c, err := Dial(addr.String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(seed))
+			buf := make([]byte, 64)
+			for i := 0; i < 40; i++ {
+				off := rng.Int63n(device.Size() - 64)
+				if seed%2 == 0 {
+					rng.Read(buf)
+					if _, err := c.WriteAt(buf, off); err != nil {
+						errs <- err
+						return
+					}
+				} else if _, err := c.ReadAt(buf, off); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := device.Scrub(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	device := dev.New(raid.NewMirror(layout.NewShifted(2)), 64, 1)
+	srv := NewServer(device)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Size(); err == nil {
+		t.Fatal("request succeeded after server close")
+	}
+	// Closing twice is safe.
+	srv.Close()
+}
+
+func TestMalformedRequestsDropConnection(t *testing.T) {
+	device := dev.New(raid.NewMirror(layout.NewShifted(2)), 64, 1)
+	srv := NewServer(device)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Unknown opcode: the server must hang up rather than guess.
+	if _, err := conn.Write([]byte{0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server responded to an unknown opcode")
+	}
+	// A fresh connection still works.
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Size(); err != nil {
+		t.Fatalf("server wedged after malformed request: %v", err)
+	}
+}
+
+func TestOversizedReadRejected(t *testing.T) {
+	_, client := startServer(t, raid.NewMirror(layout.NewShifted(2)), 1)
+	if _, err := client.ReadAt(make([]byte, MaxIOSize+1), 0); err == nil {
+		t.Fatal("oversized read accepted client-side")
+	}
+}

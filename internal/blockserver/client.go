@@ -1,0 +1,152 @@
+package blockserver
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"shiftedmirror/internal/dev"
+	"shiftedmirror/internal/raid"
+)
+
+// Client is a remote handle to a served device. It implements
+// io.ReaderAt and io.WriterAt; requests on one client are serialized
+// over its single connection (open several clients for parallelism).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a Server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends a request frame and processes the status header.
+func (c *Client) roundTrip(req []byte) error {
+	if _, err := c.conn.Write(req); err != nil {
+		return err
+	}
+	return readStatus(c.conn)
+}
+
+// ReadAt implements io.ReaderAt against the remote device.
+func (c *Client) ReadAt(p []byte, off int64) (int, error) {
+	if len(p) > MaxIOSize {
+		return 0, fmt.Errorf("%w: read of %d bytes exceeds limit", ErrProtocol, len(p))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	req := []byte{OpRead}
+	req = binary.BigEndian.AppendUint64(req, uint64(off))
+	req = binary.BigEndian.AppendUint32(req, uint32(len(p)))
+	if err := c.roundTrip(req); err != nil {
+		return 0, err
+	}
+	n, err := readUint32(c.conn)
+	if err != nil {
+		return 0, err
+	}
+	if int(n) != len(p) {
+		return 0, fmt.Errorf("%w: server returned %d bytes for a %d-byte read", ErrProtocol, n, len(p))
+	}
+	return io.ReadFull(c.conn, p)
+}
+
+// WriteAt implements io.WriterAt against the remote device.
+func (c *Client) WriteAt(p []byte, off int64) (int, error) {
+	if len(p) > MaxIOSize {
+		return 0, fmt.Errorf("%w: write of %d bytes exceeds limit", ErrProtocol, len(p))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	req := []byte{OpWrite}
+	req = binary.BigEndian.AppendUint64(req, uint64(off))
+	req = binary.BigEndian.AppendUint32(req, uint32(len(p)))
+	req = append(req, p...)
+	if err := c.roundTrip(req); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Size returns the remote device's logical capacity.
+func (c *Client) Size() (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.roundTrip([]byte{OpSize}); err != nil {
+		return 0, err
+	}
+	v, err := readUint64(c.conn)
+	return int64(v), err
+}
+
+// FailDisk marks a remote disk failed.
+func (c *Client) FailDisk(id raid.DiskID) error { return c.diskOp(OpFail, id) }
+
+// Rebuild reconstructs a remote failed disk.
+func (c *Client) Rebuild(id raid.DiskID) error { return c.diskOp(OpRebuild, id) }
+
+func (c *Client) diskOp(op byte, id raid.DiskID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	req := []byte{op, byte(id.Role)}
+	req = binary.BigEndian.AppendUint32(req, uint32(id.Index))
+	return c.roundTrip(req)
+}
+
+// Scrub runs a remote consistency scrub.
+func (c *Client) Scrub() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.roundTrip([]byte{OpScrub})
+}
+
+// Health fetches the remote service counters and failed-disk list.
+func (c *Client) Health() (dev.Health, []raid.DiskID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.roundTrip([]byte{OpHealth}); err != nil {
+		return dev.Health{}, nil, err
+	}
+	var vals [5]int64
+	for i := range vals {
+		v, err := readUint64(c.conn)
+		if err != nil {
+			return dev.Health{}, nil, err
+		}
+		vals[i] = int64(v)
+	}
+	nFailed, err := readUint32(c.conn)
+	if err != nil {
+		return dev.Health{}, nil, err
+	}
+	if nFailed > 1<<16 {
+		return dev.Health{}, nil, fmt.Errorf("%w: implausible failed-disk count %d", ErrProtocol, nFailed)
+	}
+	failed := make([]raid.DiskID, 0, nFailed)
+	for i := uint32(0); i < nFailed; i++ {
+		id, err := readDiskID(c.conn)
+		if err != nil {
+			return dev.Health{}, nil, err
+		}
+		failed = append(failed, id)
+	}
+	h := dev.Health{
+		ElementsRead:    vals[0],
+		ElementsWritten: vals[1],
+		DegradedReads:   vals[2],
+		ParityFallbacks: vals[3],
+		StripesRebuilt:  vals[4],
+	}
+	return h, failed, nil
+}

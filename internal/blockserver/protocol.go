@@ -1,0 +1,113 @@
+// Package blockserver exports a dev.Device over TCP with a small
+// length-prefixed binary protocol (an NBD-style remote block device), so
+// the shifted-mirror data path can back clients on other machines. The
+// client side implements io.ReaderAt/io.WriterAt plus the management
+// operations (fail, rebuild, scrub, health).
+//
+// Protocol, all integers big-endian:
+//
+//	request  = op(1) | payload
+//	response = status(1) | payload        status 0 = ok, 1 = error
+//	error payload = len(4) | message
+//
+//	OpRead    req: off(8) len(4)          ok: len(4) data
+//	OpWrite   req: off(8) len(4) data     ok: -
+//	OpSize    req: -                      ok: size(8)
+//	OpFail    req: role(1) index(4)       ok: -
+//	OpRebuild req: role(1) index(4)       ok: -
+//	OpScrub   req: -                      ok: -
+//	OpHealth  req: -                      ok: 5 counters(8 each) |
+//	                                          nfailed(4) | nfailed*(role(1) index(4))
+package blockserver
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Opcodes.
+const (
+	OpRead byte = iota + 1
+	OpWrite
+	OpSize
+	OpFail
+	OpRebuild
+	OpScrub
+	OpHealth
+)
+
+// Status codes.
+const (
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// MaxIOSize bounds a single read or write payload (a protocol sanity
+// limit, not a device limit).
+const MaxIOSize = 64 << 20
+
+// ErrProtocol reports a malformed frame.
+var ErrProtocol = errors.New("blockserver: protocol violation")
+
+// writeErr sends an error response.
+func writeErr(w io.Writer, err error) error {
+	msg := []byte(err.Error())
+	buf := make([]byte, 0, 5+len(msg))
+	buf = append(buf, statusErr)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(msg)))
+	buf = append(buf, msg...)
+	_, werr := w.Write(buf)
+	return werr
+}
+
+// writeOK sends a success response with an optional payload.
+func writeOK(w io.Writer, payload []byte) error {
+	buf := make([]byte, 0, 1+len(payload))
+	buf = append(buf, statusOK)
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readStatus consumes a response header, returning the remote error if
+// the status byte signals one.
+func readStatus(r io.Reader) error {
+	var status [1]byte
+	if _, err := io.ReadFull(r, status[:]); err != nil {
+		return err
+	}
+	if status[0] == statusOK {
+		return nil
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > 1<<16 {
+		return fmt.Errorf("%w: oversized error message (%d bytes)", ErrProtocol, n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return err
+	}
+	return fmt.Errorf("blockserver: remote: %s", msg)
+}
+
+func readUint32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b[:]), nil
+}
+
+func readUint64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b[:]), nil
+}

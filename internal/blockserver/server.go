@@ -1,0 +1,205 @@
+package blockserver
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"shiftedmirror/internal/dev"
+	"shiftedmirror/internal/raid"
+)
+
+// Server exports one device over a listener. Connections are handled
+// concurrently; the device's own locking provides consistency.
+type Server struct {
+	device *dev.Device
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps a device for serving.
+func NewServer(device *dev.Device) *Server {
+	return &Server{device: device, conns: map[net.Conn]struct{}{}}
+}
+
+// Listen starts accepting connections on addr ("127.0.0.1:0" for an
+// ephemeral test port) and returns the bound address. Serving happens on
+// background goroutines until Close.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("blockserver: server already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener and tears down every connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// serveConn processes requests until the peer disconnects or sends a
+// malformed frame.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		var op [1]byte
+		if _, err := io.ReadFull(conn, op[:]); err != nil {
+			return
+		}
+		if err := s.dispatch(conn, op[0]); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch handles one request; a returned error tears the connection
+// down (I/O or protocol trouble), while device-level errors travel back
+// to the client as error responses.
+func (s *Server) dispatch(conn net.Conn, op byte) error {
+	switch op {
+	case OpRead:
+		off, err := readUint64(conn)
+		if err != nil {
+			return err
+		}
+		n, err := readUint32(conn)
+		if err != nil {
+			return err
+		}
+		if n > MaxIOSize {
+			return writeErr(conn, fmt.Errorf("%w: read of %d bytes exceeds limit", ErrProtocol, n))
+		}
+		buf := make([]byte, n)
+		if _, err := s.device.ReadAt(buf, int64(off)); err != nil {
+			return writeErr(conn, err)
+		}
+		payload := binary.BigEndian.AppendUint32(nil, n)
+		payload = append(payload, buf...)
+		return writeOK(conn, payload)
+	case OpWrite:
+		off, err := readUint64(conn)
+		if err != nil {
+			return err
+		}
+		n, err := readUint32(conn)
+		if err != nil {
+			return err
+		}
+		if n > MaxIOSize {
+			return fmt.Errorf("%w: write of %d bytes exceeds limit", ErrProtocol, n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return err
+		}
+		if _, err := s.device.WriteAt(buf, int64(off)); err != nil {
+			return writeErr(conn, err)
+		}
+		return writeOK(conn, nil)
+	case OpSize:
+		return writeOK(conn, binary.BigEndian.AppendUint64(nil, uint64(s.device.Size())))
+	case OpFail, OpRebuild:
+		id, err := readDiskID(conn)
+		if err != nil {
+			return err
+		}
+		var derr error
+		if op == OpFail {
+			derr = s.device.FailDisk(id)
+		} else {
+			derr = s.device.Rebuild(id)
+		}
+		if derr != nil {
+			return writeErr(conn, derr)
+		}
+		return writeOK(conn, nil)
+	case OpScrub:
+		if err := s.device.Scrub(); err != nil {
+			return writeErr(conn, err)
+		}
+		return writeOK(conn, nil)
+	case OpHealth:
+		h := s.device.Health()
+		failed := s.device.FailedDisks()
+		payload := make([]byte, 0, 5*8+4+len(failed)*5)
+		for _, v := range []int64{h.ElementsRead, h.ElementsWritten, h.DegradedReads, h.ParityFallbacks, h.StripesRebuilt} {
+			payload = binary.BigEndian.AppendUint64(payload, uint64(v))
+		}
+		payload = binary.BigEndian.AppendUint32(payload, uint32(len(failed)))
+		for _, f := range failed {
+			payload = append(payload, byte(f.Role))
+			payload = binary.BigEndian.AppendUint32(payload, uint32(f.Index))
+		}
+		return writeOK(conn, payload)
+	default:
+		return fmt.Errorf("%w: unknown opcode %d", ErrProtocol, op)
+	}
+}
+
+func readDiskID(r io.Reader) (raid.DiskID, error) {
+	var role [1]byte
+	if _, err := io.ReadFull(r, role[:]); err != nil {
+		return raid.DiskID{}, err
+	}
+	idx, err := readUint32(r)
+	if err != nil {
+		return raid.DiskID{}, err
+	}
+	return raid.DiskID{Role: raid.Role(role[0]), Index: int(idx)}, nil
+}

@@ -1,0 +1,151 @@
+package dev
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/raid"
+)
+
+// TestChaos drives the device with a long random operation sequence —
+// reads, writes, failures, rebuilds, scrubs — against a shadow model,
+// checking after every step that served data matches the model and that
+// the device never claims success past its redundancy. Deterministic per
+// seed; failures print the seed for replay.
+func TestChaos(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		t.Run("", func(t *testing.T) { chaosRun(t, seed) })
+	}
+}
+
+func chaosRun(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	var arch *raid.Mirror
+	n := 3 + rng.Intn(3)
+	switch rng.Intn(3) {
+	case 0:
+		arch = raid.NewMirror(layout.NewShifted(n))
+	case 1:
+		arch = raid.NewMirrorWithParity(layout.NewShifted(n))
+	default:
+		arch = raid.NewMirrorWithParity(layout.NewTraditional(n))
+	}
+	stripes := 2 + rng.Intn(3)
+	d := New(arch, elem, stripes)
+	shadow := make([]byte, d.Size())
+	failed := map[raid.DiskID]bool{}
+	disks := arch.Disks()
+
+	// recoverable mirrors the device's redundancy rule through the
+	// planner: the current failure set must have a recovery plan.
+	recoverable := func() bool {
+		_, err := arch.RecoveryPlan(failedList(failed))
+		return err == nil
+	}
+
+	for step := 0; step < 400; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // read
+			off := rng.Int63n(d.Size() - 1)
+			length := 1 + rng.Intn(3*elem)
+			if off+int64(length) > d.Size() {
+				length = int(d.Size() - off)
+			}
+			buf := make([]byte, length)
+			_, err := d.ReadAt(buf, off)
+			if err != nil {
+				if errors.Is(err, ErrDataLoss) && !recoverable() {
+					continue // legitimate loss
+				}
+				t.Fatalf("seed %d step %d: read: %v", seed, step, err)
+			}
+			if !bytes.Equal(buf, shadow[off:off+int64(length)]) {
+				t.Fatalf("seed %d step %d: read mismatch at %d (+%d)", seed, step, off, length)
+			}
+		case op < 7: // write
+			off := rng.Int63n(d.Size() - 1)
+			length := 1 + rng.Intn(3*elem)
+			if off+int64(length) > d.Size() {
+				length = int(d.Size() - off)
+			}
+			buf := make([]byte, length)
+			rng.Read(buf)
+			written, err := d.WriteAt(buf, off)
+			// Keep the shadow in sync with the completed prefix even on
+			// error (sub-element RMW can fail mid-write past redundancy).
+			copy(shadow[off:off+int64(written)], buf[:written])
+			if err != nil {
+				if errors.Is(err, ErrDataLoss) && !recoverable() {
+					continue
+				}
+				t.Fatalf("seed %d step %d: write: %v", seed, step, err)
+			}
+		case op < 8: // fail a random healthy disk
+			id := disks[rng.Intn(len(disks))]
+			if failed[id] {
+				continue
+			}
+			if err := d.FailDisk(id); err != nil {
+				t.Fatalf("seed %d step %d: fail %v: %v", seed, step, id, err)
+			}
+			failed[id] = true
+		case op < 9: // rebuild a random failed disk
+			list := failedList(failed)
+			if len(list) == 0 {
+				continue
+			}
+			id := list[rng.Intn(len(list))]
+			err := d.Rebuild(id)
+			if err != nil {
+				if !recoverable() {
+					continue // beyond redundancy: rebuild may fail
+				}
+				t.Fatalf("seed %d step %d: rebuild %v: %v", seed, step, id, err)
+			}
+			delete(failed, id)
+		default: // scrub (only meaningful when consistent)
+			if !recoverable() {
+				continue
+			}
+			if err := d.Scrub(); err != nil {
+				t.Fatalf("seed %d step %d: scrub: %v", seed, step, err)
+			}
+		}
+	}
+	// Drain: rebuild everything still failed if possible, then final
+	// verification.
+	if recoverable() {
+		for _, id := range failedList(failed) {
+			if err := d.Rebuild(id); err != nil {
+				t.Fatalf("seed %d: final rebuild %v: %v", seed, id, err)
+			}
+		}
+		got := make([]byte, d.Size())
+		if _, err := d.ReadAt(got, 0); err != nil {
+			t.Fatalf("seed %d: final read: %v", seed, err)
+		}
+		if !bytes.Equal(got, shadow) {
+			t.Fatalf("seed %d: final contents diverged", seed)
+		}
+		if err := d.Scrub(); err != nil {
+			t.Fatalf("seed %d: final scrub: %v", seed, err)
+		}
+	}
+}
+
+func failedList(m map[raid.DiskID]bool) []raid.DiskID {
+	var out []raid.DiskID
+	for id, f := range m {
+		if f {
+			out = append(out, id)
+		}
+	}
+	return out
+}

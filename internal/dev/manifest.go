@@ -1,0 +1,160 @@
+package dev
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/raid"
+)
+
+// manifestName is the metadata file written next to the disk files.
+const manifestName = "device.json"
+
+// Manifest records the geometry and architecture of a file-backed device
+// so it can be reopened later.
+type Manifest struct {
+	// N is the number of data disks.
+	N int `json:"n"`
+	// Arrangement is the layout spec ("shifted", "traditional",
+	// "iterated:K", "general:A,B") of the first mirror array.
+	Arrangement string `json:"arrangement"`
+	// Arrangement2 is the second mirror array's spec (three-mirror), or
+	// empty.
+	Arrangement2 string `json:"arrangement2,omitempty"`
+	// Parity records whether a parity disk is present.
+	Parity bool `json:"parity"`
+	// ElementSize and Stripes fix the byte geometry.
+	ElementSize int64 `json:"element_size"`
+	Stripes     int   `json:"stripes"`
+}
+
+// arrangementSpec derives the textual spec of an arrangement for the
+// manifest. Only spec-expressible arrangements round-trip; custom Table
+// arrangements are rejected.
+func arrangementSpec(a layout.Arrangement) (string, error) {
+	switch arr := a.(type) {
+	case *layout.Traditional:
+		return "traditional", nil
+	case *layout.Shifted:
+		return "shifted", nil
+	case *layout.Iterated:
+		return fmt.Sprintf("iterated:%d", arr.Iterations()), nil
+	case *layout.GeneralShifted:
+		ca, cb := arr.Coeffs()
+		return fmt.Sprintf("general:%d,%d", ca, cb), nil
+	default:
+		return "", fmt.Errorf("dev: arrangement %s cannot be serialized", a.Name())
+	}
+}
+
+// manifestFor captures an architecture into a manifest.
+func manifestFor(arch *raid.Mirror, elementSize int64, stripes int) (Manifest, error) {
+	mirrors := arch.Mirrors()
+	spec1, err := arrangementSpec(mirrors[0])
+	if err != nil {
+		return Manifest{}, err
+	}
+	m := Manifest{
+		N:           arch.N(),
+		Arrangement: spec1,
+		Parity:      arch.Parity(),
+		ElementSize: elementSize,
+		Stripes:     stripes,
+	}
+	if len(mirrors) == 2 {
+		spec2, err := arrangementSpec(mirrors[1])
+		if err != nil {
+			return Manifest{}, err
+		}
+		m.Arrangement2 = spec2
+	}
+	return m, nil
+}
+
+// architecture rebuilds the raid.Mirror the manifest describes.
+func (m Manifest) architecture() (*raid.Mirror, error) {
+	arr1, err := layout.ParseSpec(m.Arrangement, m.N)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case m.Arrangement2 != "":
+		if m.Parity {
+			return nil, fmt.Errorf("dev: manifest combines three-mirror with parity (unsupported)")
+		}
+		arr2, err := layout.ParseSpec(m.Arrangement2, m.N)
+		if err != nil {
+			return nil, err
+		}
+		return raid.NewThreeMirror(arr1, arr2), nil
+	case m.Parity:
+		return raid.NewMirrorWithParity(arr1), nil
+	default:
+		return raid.NewMirror(arr1), nil
+	}
+}
+
+// CreateOnFiles builds a fresh file-backed device under dir (truncating
+// any existing disk files) and writes a manifest so OpenOnFiles can
+// reopen it later.
+func CreateOnFiles(arch *raid.Mirror, elementSize int64, stripes int, dir string) (*Device, error) {
+	m, err := manifestFor(arch, elementSize, stripes)
+	if err != nil {
+		return nil, err
+	}
+	d, err := NewOnFiles(arch, elementSize, stripes, dir)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		d.CloseStores()
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), blob, 0o644); err != nil {
+		d.CloseStores()
+		return nil, fmt.Errorf("dev: write manifest: %w", err)
+	}
+	return d, nil
+}
+
+// OpenOnFiles reopens a device previously created by CreateOnFiles,
+// preserving the disk contents.
+func OpenOnFiles(dir string) (*Device, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("dev: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("dev: parse manifest: %w", err)
+	}
+	if m.ElementSize < 1 || m.Stripes < 1 || m.N < 1 {
+		return nil, fmt.Errorf("dev: manifest has invalid geometry: %+v", m)
+	}
+	arch, err := m.architecture()
+	if err != nil {
+		return nil, err
+	}
+	d := New(arch, m.ElementSize, m.Stripes)
+	perDisk := int64(m.Stripes) * int64(m.N) * m.ElementSize
+	for _, id := range arch.Disks() {
+		path := filepath.Join(dir, fmt.Sprintf("%s-%d.disk", id.Role, id.Index))
+		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			d.CloseStores()
+			return nil, fmt.Errorf("dev: open %s: %w", path, err)
+		}
+		info, err := f.Stat()
+		if err != nil || info.Size() != perDisk {
+			f.Close()
+			d.CloseStores()
+			return nil, fmt.Errorf("dev: disk file %s has size %d, manifest wants %d", path, info.Size(), perDisk)
+		}
+		d.stores[id] = &FileStore{f: f, size: perDisk}
+	}
+	return d, nil
+}

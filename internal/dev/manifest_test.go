@@ -1,0 +1,118 @@
+package dev
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/raid"
+)
+
+func TestCreateAndReopenDevice(t *testing.T) {
+	dir := t.TempDir()
+	arch := raid.NewMirrorWithParity(layout.NewShifted(3))
+	d, err := CreateOnFiles(arch, 128, 2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, d.Size())
+	rand.New(rand.NewSource(40)).Read(data)
+	if _, err := d.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CloseStores(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: contents and redundancy must survive.
+	re, err := OpenOnFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.CloseStores()
+	if re.Size() != d.Size() {
+		t.Fatalf("size changed: %d vs %d", re.Size(), d.Size())
+	}
+	if re.Arch().Name() != arch.Name() {
+		t.Fatalf("architecture changed: %s", re.Arch().Name())
+	}
+	got := make([]byte, re.Size())
+	if _, err := re.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("contents lost across reopen")
+	}
+	if err := re.Scrub(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReopenRoundTripsArrangements(t *testing.T) {
+	for _, arch := range []*raid.Mirror{
+		raid.NewMirror(layout.NewTraditional(3)),
+		raid.NewMirror(layout.NewIterated(3, 3)),
+		raid.NewThreeMirror(layout.NewGeneralShifted(5, 1, 1), layout.NewGeneralShifted(5, 2, 1)),
+	} {
+		dir := t.TempDir()
+		d, err := CreateOnFiles(arch, 64, 1, dir)
+		if err != nil {
+			t.Fatalf("%s: %v", arch.Name(), err)
+		}
+		d.CloseStores()
+		re, err := OpenOnFiles(dir)
+		if err != nil {
+			t.Fatalf("%s: reopen: %v", arch.Name(), err)
+		}
+		if re.Arch().Name() != arch.Name() {
+			t.Errorf("round trip changed %s to %s", arch.Name(), re.Arch().Name())
+		}
+		re.CloseStores()
+	}
+}
+
+func TestOpenRejectsCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenOnFiles(dir); err == nil {
+		t.Fatal("missing manifest accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenOnFiles(dir); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(`{"n":0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenOnFiles(dir); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+}
+
+func TestOpenRejectsResizedDiskFile(t *testing.T) {
+	dir := t.TempDir()
+	arch := raid.NewMirror(layout.NewShifted(2))
+	d, err := CreateOnFiles(arch, 64, 1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.CloseStores()
+	if err := os.Truncate(filepath.Join(dir, "data-0.disk"), 32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenOnFiles(dir); err == nil {
+		t.Fatal("resized disk file accepted")
+	}
+}
+
+func TestManifestRejectsCustomArrangement(t *testing.T) {
+	tables := layout.SearchValid(3, 1)
+	arch := raid.NewMirror(tables[0])
+	if _, err := CreateOnFiles(arch, 64, 1, t.TempDir()); err == nil {
+		t.Fatal("table-backed arrangement serialized")
+	}
+}

@@ -1,0 +1,47 @@
+package erasure
+
+import (
+	"fmt"
+
+	"shiftedmirror/internal/gf"
+	"shiftedmirror/internal/matrix"
+)
+
+// NewCauchyRS constructs a Cauchy Reed-Solomon code as a pure-XOR code —
+// Jerasure's "cauchy" path: each GF(2^8) coefficient of the m×k Cauchy
+// matrix is expanded into its 8×8 bit-matrix (multiplication by a field
+// constant is GF(2)-linear), turning the whole code into XOR operations
+// over 8 bit-sliced rows per shard. The result tolerates any m shard
+// erasures and decodes through the generic GF(2) solver.
+//
+// Shards are divided into 8 rows ("packets"); bit j of the i-th logical
+// GF(2^8) symbol of a shard lives at byte position i of row j.
+func NewCauchyRS(k, m int) *XorCode {
+	if k < 1 || m < 1 {
+		panic("erasure: CauchyRS needs k >= 1 and m >= 1")
+	}
+	if k+m > gf.Order {
+		panic("erasure: CauchyRS needs k+m <= 256")
+	}
+	const w = 8
+	cauchy := matrix.Cauchy(m, k)
+	defs := make([][]Cell, m*w)
+	for p := 0; p < m; p++ {
+		for r := 0; r < w; r++ {
+			var def []Cell
+			for d := 0; d < k; d++ {
+				c := cauchy.At(p, d)
+				// Column j of the bit-matrix of "multiply by c" is
+				// c*x^j; its bit r says whether input bit j feeds
+				// output bit r.
+				for j := 0; j < w; j++ {
+					if gf.Mul(c, 1<<j)&(1<<r) != 0 {
+						def = append(def, Cell{Shard: d, Row: j})
+					}
+				}
+			}
+			defs[p*w+r] = def
+		}
+	}
+	return NewXorCode(fmt.Sprintf("cauchy-rs(k=%d,m=%d,w=%d)", k, m, w), k, m, w, defs)
+}

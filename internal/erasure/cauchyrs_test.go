@@ -1,0 +1,127 @@
+package erasure
+
+import (
+	"math/rand"
+	"testing"
+
+	"shiftedmirror/internal/gf"
+)
+
+func TestCauchyRSRoundTrip(t *testing.T) {
+	for _, km := range [][2]int{{2, 1}, {3, 2}, {4, 2}, {5, 3}} {
+		c := NewCauchyRS(km[0], km[1])
+		exerciseAllErasures(t, c, 8*4, 2)
+	}
+}
+
+func TestCauchyRSTripleErasures(t *testing.T) {
+	c := NewCauchyRS(4, 3)
+	rng := rand.New(rand.NewSource(21))
+	shards := fill(rng, 4, 3, 8*2)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	total := 7
+	for a := 0; a < total; a++ {
+		for b := a + 1; b < total; b++ {
+			for d := b + 1; d < total; d++ {
+				work := cloneShards(shards)
+				work[a], work[b], work[d] = nil, nil, nil
+				if err := c.Reconstruct(work); err != nil {
+					t.Fatalf("triple (%d,%d,%d): %v", a, b, d, err)
+				}
+				for i := range shards {
+					if string(work[i]) != string(shards[i]) {
+						t.Fatalf("triple (%d,%d,%d): shard %d wrong", a, b, d, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// symbolAt extracts the i-th bit-sliced GF(2^8) symbol of a shard: bit j
+// comes from row j.
+func symbolAt(shard []byte, rows, rowSize, i int) byte {
+	var s byte
+	for j := 0; j < rows; j++ {
+		if shard[j*rowSize+i]&1 != 0 { // examine bit 0 of each row byte
+			s |= 1 << j
+		}
+	}
+	return s
+}
+
+func TestCauchyRSMatchesFieldArithmetic(t *testing.T) {
+	// Cross-check the bit-matrix expansion against direct GF(2^8)
+	// arithmetic: with rowSize=1 and only bit 0 populated, each shard
+	// carries exactly one bit-sliced symbol, and each parity symbol must
+	// equal the Cauchy-weighted field sum of the data symbols.
+	k, m := 3, 2
+	c := NewCauchyRS(k, m)
+	rng := rand.New(rand.NewSource(5))
+	// Build shards whose row bytes are 0 or 1 (one bit-slice in use).
+	shards := make([][]byte, k+m)
+	symbols := make([]byte, k)
+	for d := 0; d < k; d++ {
+		symbols[d] = byte(rng.Intn(256))
+		shard := make([]byte, 8)
+		for j := 0; j < 8; j++ {
+			shard[j] = (symbols[d] >> j) & 1
+		}
+		shards[d] = shard
+	}
+	for p := 0; p < m; p++ {
+		shards[k+p] = make([]byte, 8)
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	// Expected parity symbols from the same Cauchy coefficients the code
+	// was built with: coeff(p, d) = Inv((p+k) ^ d).
+	for p := 0; p < m; p++ {
+		var want byte
+		for d := 0; d < k; d++ {
+			coeff := gf.Inv(byte(p+k) ^ byte(d))
+			want ^= gf.Mul(coeff, symbols[d])
+		}
+		got := symbolAt(shards[k+p], 8, 1, 0)
+		if got != want {
+			t.Fatalf("parity %d symbol = %#x, want %#x", p, got, want)
+		}
+	}
+}
+
+func TestCauchyRSSchedules(t *testing.T) {
+	c := NewCauchyRS(5, 2)
+	naive, smart := c.Schedule(), c.SmartSchedule()
+	if len(smart) > len(naive) {
+		t.Fatalf("smart schedule %d ops > naive %d", len(smart), len(naive))
+	}
+	size := 8 * 16
+	want := fill(rand.New(rand.NewSource(6)), 5, 2, size)
+	if err := c.Encode(want); err != nil {
+		t.Fatal(err)
+	}
+	got := fill(rand.New(rand.NewSource(6)), 5, 2, size)
+	if err := smart.Apply(got, c.Rows()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Fatalf("shard %d differs under smart schedule", i)
+		}
+	}
+}
+
+func BenchmarkCauchyRSEncode(b *testing.B) {
+	c := NewCauchyRS(7, 2)
+	shards := fill(rand.New(rand.NewSource(7)), 7, 2, 8*512)
+	b.SetBytes(int64(7 * 8 * 512))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

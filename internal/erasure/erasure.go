@@ -1,0 +1,155 @@
+// Package erasure implements the systematic erasure codes that the paper's
+// evaluation rests on, replacing Jerasure-1.2: single XOR parity (RAID-5
+// and the parity disk of the mirror method with parity), Reed–Solomon over
+// GF(2^8), and the horizontal RAID-6 codes EVENODD and RDP expressed as
+// pure-XOR codes with a generic GF(2) decoder.
+//
+// A code operates on "shards": equal-length byte slices, one per disk in a
+// stripe. The first DataShards slices hold data, the rest parity. A nil
+// shard marks an erasure for Reconstruct.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+
+	"shiftedmirror/internal/gf"
+)
+
+// Common errors.
+var (
+	ErrShardCount      = errors.New("erasure: wrong number of shards")
+	ErrShardSize       = errors.New("erasure: shards have unequal or zero length")
+	ErrTooManyErasures = errors.New("erasure: too many erasures to reconstruct")
+)
+
+// Code is a systematic erasure code over byte shards.
+type Code interface {
+	// Name identifies the code, e.g. "xor-parity", "evenodd(p=5)".
+	Name() string
+	// DataShards is the number of data shards k.
+	DataShards() int
+	// ParityShards is the number of parity shards m.
+	ParityShards() int
+	// Encode computes the parity shards from the data shards in place.
+	// shards must contain k+m equal-length non-nil slices.
+	Encode(shards [][]byte) error
+	// Reconstruct fills in nil shards. At most m shards may be nil.
+	// Non-nil shards are assumed intact. Missing shards are allocated.
+	Reconstruct(shards [][]byte) error
+	// Verify reports whether the parity shards are consistent with the
+	// data shards.
+	Verify(shards [][]byte) (bool, error)
+}
+
+// checkShards validates shard count and sizes. If allowNil, nil entries
+// are permitted (for Reconstruct) and the common size is derived from the
+// non-nil ones.
+func checkShards(shards [][]byte, want int, allowNil bool) (size int, err error) {
+	if len(shards) != want {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), want)
+	}
+	size = -1
+	for _, s := range shards {
+		if s == nil {
+			if !allowNil {
+				return 0, fmt.Errorf("%w: nil shard", ErrShardSize)
+			}
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, ErrShardSize
+		}
+	}
+	if size <= 0 {
+		return 0, ErrShardSize
+	}
+	return size, nil
+}
+
+// XORParity is the k+1 single-parity code used by RAID-5 and by the parity
+// disk of the mirror method with parity: parity = XOR of all data shards.
+type XORParity struct {
+	k int
+}
+
+// NewXORParity returns a XOR parity code over k >= 1 data shards.
+func NewXORParity(k int) *XORParity {
+	if k < 1 {
+		panic("erasure: XORParity needs k >= 1")
+	}
+	return &XORParity{k: k}
+}
+
+// Name implements Code.
+func (x *XORParity) Name() string { return fmt.Sprintf("xor-parity(k=%d)", x.k) }
+
+// DataShards implements Code.
+func (x *XORParity) DataShards() int { return x.k }
+
+// ParityShards implements Code.
+func (x *XORParity) ParityShards() int { return 1 }
+
+// Encode implements Code.
+func (x *XORParity) Encode(shards [][]byte) error {
+	size, err := checkShards(shards, x.k+1, false)
+	if err != nil {
+		return err
+	}
+	p := shards[x.k]
+	copy(p, shards[0])
+	_ = size
+	for i := 1; i < x.k; i++ {
+		gf.XorSlice(shards[i], p)
+	}
+	return nil
+}
+
+// Reconstruct implements Code. A single nil shard (data or parity) is
+// rebuilt as the XOR of all the others.
+func (x *XORParity) Reconstruct(shards [][]byte) error {
+	size, err := checkShards(shards, x.k+1, true)
+	if err != nil {
+		return err
+	}
+	missing := -1
+	for i, s := range shards {
+		if s == nil {
+			if missing != -1 {
+				return ErrTooManyErasures
+			}
+			missing = i
+		}
+	}
+	if missing == -1 {
+		return nil
+	}
+	out := make([]byte, size)
+	for i, s := range shards {
+		if i != missing {
+			gf.XorSlice(s, out)
+		}
+	}
+	shards[missing] = out
+	return nil
+}
+
+// Verify implements Code.
+func (x *XORParity) Verify(shards [][]byte) (bool, error) {
+	size, err := checkShards(shards, x.k+1, false)
+	if err != nil {
+		return false, err
+	}
+	acc := make([]byte, size)
+	for _, s := range shards {
+		gf.XorSlice(s, acc)
+	}
+	for _, b := range acc {
+		if b != 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}

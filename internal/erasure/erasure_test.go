@@ -1,0 +1,328 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// fill returns n shards of the given size with deterministic pseudo-random
+// data in the first k and zeroed parity after.
+func fill(rng *rand.Rand, k, m, size int) [][]byte {
+	shards := make([][]byte, k+m)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		if i < k {
+			rng.Read(shards[i])
+		}
+	}
+	return shards
+}
+
+func cloneShards(s [][]byte) [][]byte {
+	out := make([][]byte, len(s))
+	for i, sh := range s {
+		out[i] = append([]byte(nil), sh...)
+	}
+	return out
+}
+
+// exerciseAllErasures encodes, then for every erasure pattern of up to
+// maxErase shards verifies Reconstruct restores the exact bytes.
+func exerciseAllErasures(t *testing.T, c Code, size, maxErase int) {
+	t.Helper()
+	if maxErase > c.ParityShards() {
+		maxErase = c.ParityShards()
+	}
+	rng := rand.New(rand.NewSource(42))
+	shards := fill(rng, c.DataShards(), c.ParityShards(), size)
+	if err := c.Encode(shards); err != nil {
+		t.Fatalf("%s: encode: %v", c.Name(), err)
+	}
+	if ok, err := c.Verify(shards); err != nil || !ok {
+		t.Fatalf("%s: verify after encode: ok=%v err=%v", c.Name(), ok, err)
+	}
+	total := c.DataShards() + c.ParityShards()
+	var patterns [][]int
+	for i := 0; i < total; i++ {
+		patterns = append(patterns, []int{i})
+		if maxErase >= 2 {
+			for j := i + 1; j < total; j++ {
+				patterns = append(patterns, []int{i, j})
+			}
+		}
+	}
+	for _, pat := range patterns {
+		work := cloneShards(shards)
+		for _, e := range pat {
+			work[e] = nil
+		}
+		if err := c.Reconstruct(work); err != nil {
+			t.Fatalf("%s: reconstruct %v: %v", c.Name(), pat, err)
+		}
+		for i := range shards {
+			if !bytes.Equal(work[i], shards[i]) {
+				t.Fatalf("%s: shard %d wrong after erasing %v", c.Name(), i, pat)
+			}
+		}
+	}
+}
+
+func TestXORParityRoundTrip(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 7} {
+		exerciseAllErasures(t, NewXORParity(k), 64, 1)
+	}
+}
+
+func TestXORParityRejectsDoubleErasure(t *testing.T) {
+	c := NewXORParity(4)
+	shards := fill(rand.New(rand.NewSource(1)), 4, 1, 16)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[0], shards[2] = nil, nil
+	if err := c.Reconstruct(shards); !errors.Is(err, ErrTooManyErasures) {
+		t.Fatalf("want ErrTooManyErasures, got %v", err)
+	}
+}
+
+func TestXORParityDetectsCorruption(t *testing.T) {
+	c := NewXORParity(3)
+	shards := fill(rand.New(rand.NewSource(2)), 3, 1, 32)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[1][5] ^= 0xFF
+	ok, err := c.Verify(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestXORParityShardErrors(t *testing.T) {
+	c := NewXORParity(2)
+	if err := c.Encode([][]byte{{1}, {2}}); !errors.Is(err, ErrShardCount) {
+		t.Fatalf("want ErrShardCount, got %v", err)
+	}
+	if err := c.Encode([][]byte{{1}, {2, 3}, {4}}); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("want ErrShardSize, got %v", err)
+	}
+}
+
+func TestReedSolomonRoundTrip(t *testing.T) {
+	for _, km := range [][2]int{{1, 1}, {3, 2}, {4, 2}, {5, 3}, {7, 2}} {
+		exerciseAllErasures(t, NewReedSolomon(km[0], km[1]), 48, 2)
+	}
+}
+
+func TestReedSolomonAllTripleErasures(t *testing.T) {
+	c := NewReedSolomon(4, 3)
+	rng := rand.New(rand.NewSource(3))
+	shards := fill(rng, 4, 3, 24)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 7; a++ {
+		for b := a + 1; b < 7; b++ {
+			for d := b + 1; d < 7; d++ {
+				work := cloneShards(shards)
+				work[a], work[b], work[d] = nil, nil, nil
+				if err := c.Reconstruct(work); err != nil {
+					t.Fatalf("triple (%d,%d,%d): %v", a, b, d, err)
+				}
+				for i := range shards {
+					if !bytes.Equal(work[i], shards[i]) {
+						t.Fatalf("triple (%d,%d,%d): shard %d wrong", a, b, d, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReedSolomonTooManyErasures(t *testing.T) {
+	c := NewReedSolomon(3, 2)
+	shards := fill(rand.New(rand.NewSource(4)), 3, 2, 8)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[0], shards[1], shards[2] = nil, nil, nil
+	if err := c.Reconstruct(shards); !errors.Is(err, ErrTooManyErasures) {
+		t.Fatalf("want ErrTooManyErasures, got %v", err)
+	}
+}
+
+func TestReedSolomonVerify(t *testing.T) {
+	c := NewReedSolomon(4, 2)
+	shards := fill(rand.New(rand.NewSource(5)), 4, 2, 40)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Verify(shards)
+	if err != nil || !ok {
+		t.Fatalf("verify clean: ok=%v err=%v", ok, err)
+	}
+	shards[5][0] ^= 1
+	if ok, _ := c.Verify(shards); ok {
+		t.Fatal("parity corruption not detected")
+	}
+}
+
+func TestEvenOddFullWidth(t *testing.T) {
+	for _, p := range []int{3, 5, 7} {
+		c := NewEvenOdd(p, p)
+		exerciseAllErasures(t, c, (p-1)*8, 2)
+	}
+}
+
+func TestEvenOddShortened(t *testing.T) {
+	// The paper's RAID-6 comparison uses shortened codes: k data disks on
+	// the smallest prime >= k.
+	for k := 3; k <= 7; k++ {
+		p := SmallestPrimeAtLeast(k)
+		exerciseAllErasures(t, NewEvenOdd(p, k), (p-1)*4, 2)
+	}
+}
+
+func TestRDPFullWidth(t *testing.T) {
+	for _, p := range []int{3, 5, 7} {
+		exerciseAllErasures(t, NewRDP(p, p-1), (p-1)*8, 2)
+	}
+}
+
+func TestRDPShortened(t *testing.T) {
+	for k := 3; k <= 7; k++ {
+		p := SmallestPrimeAtLeast(k + 1)
+		exerciseAllErasures(t, NewRDP(p, k), (p-1)*4, 2)
+	}
+}
+
+func TestXorCodeRowDivisibility(t *testing.T) {
+	c := NewEvenOdd(5, 5)                                 // 4 rows per shard
+	shards := fill(rand.New(rand.NewSource(6)), 5, 2, 10) // 10 % 4 != 0
+	if err := c.Encode(shards); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("want ErrShardSize for indivisible shard, got %v", err)
+	}
+}
+
+func TestXorCodeCancellation(t *testing.T) {
+	// A definition listing the same cell twice must cancel to nothing.
+	defs := [][]Cell{{{0, 0}, {0, 0}}}
+	c := NewXorCode("cancel", 1, 1, 1, defs)
+	if got := c.ParityDef(0, 0); len(got) != 0 {
+		t.Fatalf("duplicate cells did not cancel: %v", got)
+	}
+}
+
+func TestXorCodeOutOfRangeCellPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range cell did not panic")
+		}
+	}()
+	NewXorCode("bad", 1, 1, 1, [][]Cell{{{5, 0}}})
+}
+
+func TestEvenOddMatchesManualSmallCase(t *testing.T) {
+	// p=3, k=3, rows=2, rowSize=1: verify parity bytes against a direct
+	// hand computation of the EVENODD definition.
+	c := NewEvenOdd(3, 3)
+	// data[j][r]: column j, row r
+	data := [3][2]byte{{0x11, 0x22}, {0x33, 0x44}, {0x55, 0x66}}
+	shards := [][]byte{
+		{data[0][0], data[0][1]},
+		{data[1][0], data[1][1]},
+		{data[2][0], data[2][1]},
+		make([]byte, 2),
+		make([]byte, 2),
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	// Row parity.
+	for r := 0; r < 2; r++ {
+		want := data[0][r] ^ data[1][r] ^ data[2][r]
+		if shards[3][r] != want {
+			t.Fatalf("row parity %d = %#x, want %#x", r, shards[3][r], want)
+		}
+	}
+	// Diagonal parity with p=3: S = XOR of cells with (r+j)%3==2:
+	// (r=0,j=2),(r=1,j=1).
+	s := data[2][0] ^ data[1][1]
+	// diag 0: cells (0,0),(1? (r+j)%3==0 with r<=1,j<=2): (r=0,j=0),(r=1,j=2)
+	d0 := s ^ data[0][0] ^ data[2][1]
+	// diag 1: (r=0,j=1),(r=1,j=0)
+	d1 := s ^ data[1][0] ^ data[0][1]
+	if shards[4][0] != d0 || shards[4][1] != d1 {
+		t.Fatalf("diag parity = %#x %#x, want %#x %#x", shards[4][0], shards[4][1], d0, d1)
+	}
+}
+
+func TestSmallestPrimeAtLeast(t *testing.T) {
+	cases := map[int]int{0: 2, 1: 2, 2: 2, 3: 3, 4: 5, 5: 5, 6: 7, 7: 7, 8: 11, 14: 17}
+	for n, want := range cases {
+		if got := SmallestPrimeAtLeast(n); got != want {
+			t.Errorf("SmallestPrimeAtLeast(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := map[int]bool{2: true, 3: true, 4: false, 5: true, 9: false, 17: true, 21: false, 1: false, 0: false}
+	for n, want := range primes {
+		if got := isPrime(n); got != want {
+			t.Errorf("isPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestCodesImplementInterface(t *testing.T) {
+	var _ Code = NewXORParity(3)
+	var _ Code = NewReedSolomon(3, 2)
+	var _ Code = NewEvenOdd(5, 5)
+	var _ Code = NewRDP(5, 4)
+}
+
+func BenchmarkEvenOddEncode(b *testing.B) {
+	c := NewEvenOdd(7, 7)
+	shards := fill(rand.New(rand.NewSource(7)), 7, 2, 6*1024)
+	b.SetBytes(int64(7 * 6 * 1024))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReedSolomonEncode(b *testing.B) {
+	c := NewReedSolomon(7, 2)
+	shards := fill(rand.New(rand.NewSource(8)), 7, 2, 4096)
+	b.SetBytes(int64(7 * 4096))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvenOddReconstructDouble(b *testing.B) {
+	c := NewEvenOdd(7, 7)
+	shards := fill(rand.New(rand.NewSource(9)), 7, 2, 6*1024)
+	if err := c.Encode(shards); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := cloneShards(shards)
+		work[1], work[4] = nil, nil
+		if err := c.Reconstruct(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

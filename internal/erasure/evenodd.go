@@ -1,0 +1,127 @@
+package erasure
+
+import "fmt"
+
+// NewEvenOdd constructs the EVENODD RAID-6 code (Blaum, Brady, Bruck,
+// Menon 1995) for a prime p, shortened to k <= p data shards (the unused
+// columns are imaginary all-zero disks, the standard "shorten" method the
+// paper cites from P-code's evaluation). Each shard is divided into p-1
+// rows.
+//
+// Layout per stripe: k data columns, then a row-parity column and a
+// diagonal-parity column. Writing a_{r,j} for row r of data column j and
+// treating the imaginary row p-1 as zero:
+//
+//	rowparity[r]  = XOR_j a_{r,j}
+//	S             = XOR over cells with (r+j) mod p = p-1
+//	diagparity[d] = S XOR (XOR over cells with (r+j) mod p = d)
+//
+// The S term is folded into each diagonal definition, which makes the
+// whole code a pure-XOR code handled by the generic solver.
+func NewEvenOdd(p, k int) *XorCode {
+	if !isPrime(p) || p < 3 {
+		panic(fmt.Sprintf("erasure: EVENODD needs prime p >= 3, got %d", p))
+	}
+	if k < 1 || k > p {
+		panic(fmt.Sprintf("erasure: EVENODD shortening needs 1 <= k <= p, got k=%d p=%d", k, p))
+	}
+	rows := p - 1
+	defs := make([][]Cell, 2*rows)
+	// Parity shard 0: row parity.
+	for r := 0; r < rows; r++ {
+		def := make([]Cell, 0, k)
+		for j := 0; j < k; j++ {
+			def = append(def, Cell{Shard: j, Row: r})
+		}
+		defs[r] = def
+	}
+	// Parity shard 1: diagonal parity with the S diagonal folded in.
+	for d := 0; d < rows; d++ {
+		var def []Cell
+		for j := 0; j < k; j++ {
+			for r := 0; r < rows; r++ {
+				m := (r + j) % p
+				if m == d || m == p-1 {
+					def = append(def, Cell{Shard: j, Row: r})
+				}
+			}
+		}
+		defs[rows+d] = def
+	}
+	return NewXorCode(fmt.Sprintf("evenodd(p=%d,k=%d)", p, k), k, 2, rows, defs)
+}
+
+// NewRDP constructs the Row-Diagonal Parity RAID-6 code (Corbett et al.,
+// FAST'04) for a prime p, shortened to k <= p-1 data shards. Each shard is
+// divided into p-1 rows.
+//
+// RDP's diagonal parity covers the row-parity column as well: diagonal d
+// spans cells with (r+j) mod p = d over the p-1 data columns and the
+// row-parity column at position p-1. Substituting the row-parity
+// definition turns every diagonal into a pure XOR of data cells, again
+// handled by the generic solver.
+func NewRDP(p, k int) *XorCode {
+	if !isPrime(p) || p < 3 {
+		panic(fmt.Sprintf("erasure: RDP needs prime p >= 3, got %d", p))
+	}
+	if k < 1 || k > p-1 {
+		panic(fmt.Sprintf("erasure: RDP shortening needs 1 <= k <= p-1, got k=%d p=%d", k, p))
+	}
+	rows := p - 1
+	defs := make([][]Cell, 2*rows)
+	for r := 0; r < rows; r++ {
+		def := make([]Cell, 0, k)
+		for j := 0; j < k; j++ {
+			def = append(def, Cell{Shard: j, Row: r})
+		}
+		defs[r] = def
+	}
+	for d := 0; d < rows; d++ {
+		var def []Cell
+		// Data columns on diagonal d.
+		for j := 0; j < k; j++ {
+			for r := 0; r < rows; r++ {
+				if (r+j)%p == d {
+					def = append(def, Cell{Shard: j, Row: r})
+				}
+			}
+		}
+		// Row-parity column (logical column p-1) on diagonal d: its row r'
+		// satisfies (r' + p-1) mod p = d, i.e. r' = (d+1) mod p. Expand
+		// rowparity[r'] into data cells when r' is a real row.
+		if rp := (d + 1) % p; rp < rows {
+			for j := 0; j < k; j++ {
+				def = append(def, Cell{Shard: j, Row: rp})
+			}
+		}
+		defs[rows+d] = def
+	}
+	return NewXorCode(fmt.Sprintf("rdp(p=%d,k=%d)", p, k), k, 2, rows, defs)
+}
+
+// isPrime reports whether n is prime (trial division; n is tiny here).
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SmallestPrimeAtLeast returns the smallest prime >= n. Used when
+// shortening EVENODD/RDP to an arbitrary disk count, as in the paper's
+// RAID-6 comparison.
+func SmallestPrimeAtLeast(n int) int {
+	if n < 2 {
+		return 2
+	}
+	for p := n; ; p++ {
+		if isPrime(p) {
+			return p
+		}
+	}
+}

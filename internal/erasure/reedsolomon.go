@@ -1,0 +1,142 @@
+package erasure
+
+import (
+	"fmt"
+
+	"shiftedmirror/internal/gf"
+	"shiftedmirror/internal/matrix"
+)
+
+// ReedSolomon is a systematic MDS code over GF(2^8) built from a Cauchy
+// generator matrix, tolerating any m shard erasures. It stands in for
+// Jerasure's matrix-based codes and backs the generic RAID-6 comparisons.
+type ReedSolomon struct {
+	k, m int
+	// gen is the (k+m)×k generator: identity on top, Cauchy parity below.
+	gen *matrix.Matrix
+}
+
+// NewReedSolomon returns a systematic RS code with k data and m parity
+// shards. k+m must be at most 256.
+func NewReedSolomon(k, m int) *ReedSolomon {
+	if k < 1 || m < 1 {
+		panic("erasure: ReedSolomon needs k >= 1 and m >= 1")
+	}
+	if k+m > gf.Order {
+		panic("erasure: ReedSolomon needs k+m <= 256")
+	}
+	gen := matrix.New(k+m, k)
+	for i := 0; i < k; i++ {
+		gen.Set(i, i, 1)
+	}
+	cauchy := matrix.Cauchy(m, k)
+	for r := 0; r < m; r++ {
+		copy(gen.Row(k+r), cauchy.Row(r))
+	}
+	return &ReedSolomon{k: k, m: m, gen: gen}
+}
+
+// Name implements Code.
+func (rs *ReedSolomon) Name() string { return fmt.Sprintf("reed-solomon(k=%d,m=%d)", rs.k, rs.m) }
+
+// DataShards implements Code.
+func (rs *ReedSolomon) DataShards() int { return rs.k }
+
+// ParityShards implements Code.
+func (rs *ReedSolomon) ParityShards() int { return rs.m }
+
+// Encode implements Code.
+func (rs *ReedSolomon) Encode(shards [][]byte) error {
+	if _, err := checkShards(shards, rs.k+rs.m, false); err != nil {
+		return err
+	}
+	parityRows := rs.gen.SelectRows(seqInts(rs.k, rs.k+rs.m))
+	parityRows.MulRegions(shards[:rs.k], shards[rs.k:])
+	return nil
+}
+
+// Reconstruct implements Code.
+func (rs *ReedSolomon) Reconstruct(shards [][]byte) error {
+	size, err := checkShards(shards, rs.k+rs.m, true)
+	if err != nil {
+		return err
+	}
+	var missing []int
+	var surviving []int
+	for i, s := range shards {
+		if s == nil {
+			missing = append(missing, i)
+		} else {
+			surviving = append(surviving, i)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if len(missing) > rs.m {
+		return ErrTooManyErasures
+	}
+	// Choose k surviving rows of the generator, preferring data rows (the
+	// identity rows make the decode matrix cheaper to invert).
+	if len(surviving) < rs.k {
+		return ErrTooManyErasures
+	}
+	rows := surviving[:rs.k]
+	sub := rs.gen.SelectRows(rows)
+	inv, err := sub.Invert()
+	if err != nil {
+		// Cannot happen for a Cauchy-based MDS generator, but surface it
+		// rather than panicking in case of future generator changes.
+		return fmt.Errorf("erasure: decode matrix singular: %w", err)
+	}
+	in := make([][]byte, rs.k)
+	for i, r := range rows {
+		in[i] = shards[r]
+	}
+	// Recover only the missing data shards, then re-encode parity.
+	dataOut := make([][]byte, 0, len(missing))
+	var decodeRows []int
+	for _, mi := range missing {
+		if mi < rs.k {
+			shards[mi] = make([]byte, size)
+			dataOut = append(dataOut, shards[mi])
+			decodeRows = append(decodeRows, mi)
+		}
+	}
+	if len(decodeRows) > 0 {
+		inv.SelectRows(decodeRows).MulRegions(in, dataOut)
+	}
+	for _, mi := range missing {
+		if mi >= rs.k {
+			shards[mi] = make([]byte, size)
+			gf.DotProduct(rs.gen.Row(mi), shards[:rs.k], shards[mi])
+		}
+	}
+	return nil
+}
+
+// Verify implements Code.
+func (rs *ReedSolomon) Verify(shards [][]byte) (bool, error) {
+	size, err := checkShards(shards, rs.k+rs.m, false)
+	if err != nil {
+		return false, err
+	}
+	tmp := make([]byte, size)
+	for r := rs.k; r < rs.k+rs.m; r++ {
+		gf.DotProduct(rs.gen.Row(r), shards[:rs.k], tmp)
+		for i := range tmp {
+			if tmp[i] != shards[r][i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func seqInts(from, to int) []int {
+	s := make([]int, 0, to-from)
+	for i := from; i < to; i++ {
+		s = append(s, i)
+	}
+	return s
+}

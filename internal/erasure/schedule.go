@@ -1,0 +1,184 @@
+package erasure
+
+import "fmt"
+
+// This file implements XOR schedules in the spirit of Jerasure's
+// bit-matrix scheduling: a pure-XOR code's encoding is compiled into an
+// explicit operation list, and a "smart" variant derives each parity cell
+// from a previously computed one when their defining sets overlap,
+// trading a copy for fewer XORs (Jerasure-1.2's jerasure_smart_bitmatrix
+// heuristic applied at element granularity).
+
+// SchedOp is one step of a schedule: read row SrcRow of shard SrcShard
+// and either copy it into, or XOR it onto, row DstRow of shard DstShard.
+// Shards are indexed with data shards first, then parity shards (index k
+// and up).
+type SchedOp struct {
+	SrcShard, SrcRow int
+	DstShard, DstRow int
+	Copy             bool
+}
+
+// String renders like "p0r1 ^= d2r0" / "p0r1 = d2r0".
+func (o SchedOp) String() string {
+	op := "^="
+	if o.Copy {
+		op = "="
+	}
+	return fmt.Sprintf("s%dr%d %s s%dr%d", o.DstShard, o.DstRow, op, o.SrcShard, o.SrcRow)
+}
+
+// Schedule is a compiled encoding: applying the ops in order computes
+// every parity cell of a stripe.
+type Schedule []SchedOp
+
+// XorCount returns the number of XOR (non-copy) operations.
+func (s Schedule) XorCount() int {
+	n := 0
+	for _, op := range s {
+		if !op.Copy {
+			n++
+		}
+	}
+	return n
+}
+
+// Apply executes the schedule over a stripe's shards. All shards must be
+// non-nil, equal length, and divisible by the row count the schedule was
+// compiled for.
+func (s Schedule) Apply(shards [][]byte, rows int) error {
+	if rows < 1 {
+		return fmt.Errorf("%w: %d rows", ErrShardSize, rows)
+	}
+	size, err := checkShards(shards, len(shards), false)
+	if err != nil {
+		return err
+	}
+	if size%rows != 0 {
+		return fmt.Errorf("%w: shard size %d not divisible by %d rows", ErrShardSize, size, rows)
+	}
+	rowSize := size / rows
+	region := func(shard, row int) []byte {
+		return shards[shard][row*rowSize : (row+1)*rowSize]
+	}
+	for _, op := range s {
+		src := region(op.SrcShard, op.SrcRow)
+		dst := region(op.DstShard, op.DstRow)
+		if op.Copy {
+			copy(dst, src)
+		} else {
+			for i := range dst {
+				dst[i] ^= src[i]
+			}
+		}
+	}
+	return nil
+}
+
+// Schedule compiles the straightforward encoding: each parity cell is a
+// copy of its first source followed by XORs of the rest (empty
+// definitions compile to a self-copy of nothing and are represented by a
+// zeroing copy from themselves being unnecessary — such cells simply get
+// no ops and must be pre-zeroed; none of the shipped codes produce them).
+func (x *XorCode) Schedule() Schedule {
+	var s Schedule
+	for p := 0; p < x.m; p++ {
+		for r := 0; r < x.rows; r++ {
+			for i, c := range x.ParityDef(p, r) {
+				s = append(s, SchedOp{
+					SrcShard: c.Shard, SrcRow: c.Row,
+					DstShard: x.k + p, DstRow: r,
+					Copy: i == 0,
+				})
+			}
+		}
+	}
+	return s
+}
+
+// SmartSchedule compiles an encoding that may derive a parity cell from
+// an already-computed parity cell: if defs(q) and defs(target) share
+// most cells, computing target as q XOR (symmetric difference) costs
+// fewer operations. Parity cells are processed in definition order and
+// every previously computed cell is a candidate base.
+func (x *XorCode) SmartSchedule() Schedule {
+	type pcell struct {
+		shard, row int
+		def        map[Cell]bool
+	}
+	var done []pcell
+	var s Schedule
+	for p := 0; p < x.m; p++ {
+		for r := 0; r < x.rows; r++ {
+			def := x.ParityDef(p, r)
+			defSet := make(map[Cell]bool, len(def))
+			for _, c := range def {
+				defSet[c] = true
+			}
+			// From scratch: len(def) ops (1 copy + len-1 xors).
+			bestCost := len(def)
+			bestBase := -1
+			var bestDiff []Cell
+			for bi, base := range done {
+				diff := symmetricDiff(defSet, base.def)
+				cost := 1 + len(diff) // copy base + xor the difference
+				if cost < bestCost {
+					bestCost = cost
+					bestBase = bi
+					bestDiff = diff
+				}
+			}
+			dst := pcell{shard: x.k + p, row: r, def: defSet}
+			if bestBase == -1 {
+				for i, c := range def {
+					s = append(s, SchedOp{SrcShard: c.Shard, SrcRow: c.Row, DstShard: dst.shard, DstRow: dst.row, Copy: i == 0})
+				}
+			} else {
+				base := done[bestBase]
+				s = append(s, SchedOp{SrcShard: base.shard, SrcRow: base.row, DstShard: dst.shard, DstRow: dst.row, Copy: true})
+				for _, c := range bestDiff {
+					s = append(s, SchedOp{SrcShard: c.Shard, SrcRow: c.Row, DstShard: dst.shard, DstRow: dst.row})
+				}
+			}
+			done = append(done, dst)
+		}
+	}
+	return s
+}
+
+// symmetricDiff returns the cells in exactly one of a and b, in
+// deterministic order (a's canonical order first, then b's extras sorted
+// by the map iteration being replaced with a scan over a's complement —
+// determinism matters for reproducible schedules).
+func symmetricDiff(a, b map[Cell]bool) []Cell {
+	var out []Cell
+	// Cells in a but not b.
+	for c := range a {
+		if !b[c] {
+			out = append(out, c)
+		}
+	}
+	// Cells in b but not a.
+	for c := range b {
+		if !a[c] {
+			out = append(out, c)
+		}
+	}
+	sortCells(out)
+	return out
+}
+
+func sortCells(cells []Cell) {
+	for i := 1; i < len(cells); i++ {
+		for j := i; j > 0 && cellLess(cells[j], cells[j-1]); j-- {
+			cells[j], cells[j-1] = cells[j-1], cells[j]
+		}
+	}
+}
+
+func cellLess(a, b Cell) bool {
+	if a.Shard != b.Shard {
+		return a.Shard < b.Shard
+	}
+	return a.Row < b.Row
+}

@@ -1,0 +1,138 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// applySchedule encodes a fresh copy of the data shards via a schedule
+// and returns all shards.
+func applySchedule(t *testing.T, c *XorCode, s Schedule, size int, seed int64) [][]byte {
+	t.Helper()
+	shards := fill(rand.New(rand.NewSource(seed)), c.DataShards(), c.ParityShards(), size)
+	if err := s.Apply(shards, c.Rows()); err != nil {
+		t.Fatal(err)
+	}
+	return shards
+}
+
+func TestScheduleMatchesEncode(t *testing.T) {
+	for _, c := range []*XorCode{
+		NewEvenOdd(5, 5),
+		NewEvenOdd(7, 4),
+		NewRDP(5, 4),
+		NewRDP(7, 6),
+	} {
+		size := c.Rows() * 8
+		want := fill(rand.New(rand.NewSource(1)), c.DataShards(), c.ParityShards(), size)
+		if err := c.Encode(want); err != nil {
+			t.Fatal(err)
+		}
+		for name, s := range map[string]Schedule{"naive": c.Schedule(), "smart": c.SmartSchedule()} {
+			got := applySchedule(t, c, s, size, 1)
+			for i := range want {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Errorf("%s %s: shard %d differs from Encode", c.Name(), name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSmartScheduleNeverWorse(t *testing.T) {
+	for _, c := range []*XorCode{
+		NewEvenOdd(5, 5),
+		NewEvenOdd(11, 7),
+		NewRDP(7, 6),
+		NewRDP(11, 10),
+	} {
+		naive := len(c.Schedule())
+		smart := len(c.SmartSchedule())
+		if smart > naive {
+			t.Errorf("%s: smart schedule %d ops > naive %d", c.Name(), smart, naive)
+		}
+	}
+}
+
+func TestSmartScheduleImprovesRDP(t *testing.T) {
+	// RDP's diagonal definitions embed whole data rows (the expanded
+	// row-parity column), so consecutive diagonals share most of their
+	// cells: the smart schedule must find real savings.
+	c := NewRDP(11, 10)
+	naive := len(c.Schedule())
+	smart := len(c.SmartSchedule())
+	if smart >= naive {
+		t.Fatalf("smart %d ops, naive %d: expected savings on RDP", smart, naive)
+	}
+	t.Logf("RDP(11,10): naive %d ops, smart %d ops (%.0f%% saved)",
+		naive, smart, 100*float64(naive-smart)/float64(naive))
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	c := NewEvenOdd(7, 7)
+	a, b := c.SmartSchedule(), c.SmartSchedule()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestScheduleApplyValidation(t *testing.T) {
+	c := NewEvenOdd(5, 5)
+	s := c.Schedule()
+	shards := fill(rand.New(rand.NewSource(2)), 5, 2, 10) // 10 % 4 != 0
+	if err := s.Apply(shards, c.Rows()); err == nil {
+		t.Fatal("indivisible shard size accepted")
+	}
+	if err := s.Apply(shards, 0); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+}
+
+func TestXorCount(t *testing.T) {
+	s := Schedule{{Copy: true}, {}, {}, {Copy: true}}
+	if got := s.XorCount(); got != 2 {
+		t.Fatalf("XorCount = %d", got)
+	}
+}
+
+func TestSchedOpString(t *testing.T) {
+	op := SchedOp{SrcShard: 2, SrcRow: 0, DstShard: 5, DstRow: 1}
+	if op.String() != "s5r1 ^= s2r0" {
+		t.Fatalf("String = %q", op.String())
+	}
+	op.Copy = true
+	if op.String() != "s5r1 = s2r0" {
+		t.Fatalf("String = %q", op.String())
+	}
+}
+
+func BenchmarkEncodeViaSchedule(b *testing.B) {
+	c := NewRDP(11, 10)
+	s := c.SmartSchedule()
+	shards := fill(rand.New(rand.NewSource(3)), c.DataShards(), c.ParityShards(), c.Rows()*1024)
+	b.SetBytes(int64(c.DataShards() * c.Rows() * 1024))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Apply(shards, c.Rows()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeDirect(b *testing.B) {
+	c := NewRDP(11, 10)
+	shards := fill(rand.New(rand.NewSource(3)), c.DataShards(), c.ParityShards(), c.Rows()*1024)
+	b.SetBytes(int64(c.DataShards() * c.Rows() * 1024))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

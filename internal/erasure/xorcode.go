@@ -1,0 +1,277 @@
+package erasure
+
+import (
+	"fmt"
+	"sort"
+
+	"shiftedmirror/internal/gf"
+)
+
+// Cell addresses one element of a data shard: the shard index and the row
+// within the shard (XOR codes such as EVENODD and RDP subdivide each shard
+// into rows).
+type Cell struct {
+	Shard, Row int
+}
+
+// XorCode is a generic systematic pure-XOR erasure code: every parity cell
+// is defined as the XOR of a fixed set of data cells. EVENODD and RDP are
+// instances. Decoding solves the surviving parity equations over GF(2)
+// with Gaussian elimination, so any erasure pattern the code can
+// information-theoretically recover is recovered.
+type XorCode struct {
+	name string
+	k, m int
+	rows int
+	// defs[p*rows+r] lists the data cells whose XOR forms parity shard p,
+	// row r. Cell lists are deduplicated (pairs cancel over GF(2)).
+	defs [][]Cell
+}
+
+// NewXorCode builds a pure-XOR code. defs must have m*rows entries, the
+// definition of parity shard p row r at index p*rows+r. Duplicate cells in
+// a definition cancel and are removed.
+func NewXorCode(name string, k, m, rows int, defs [][]Cell) *XorCode {
+	if k < 1 || m < 1 || rows < 1 {
+		panic("erasure: XorCode needs k, m, rows >= 1")
+	}
+	if len(defs) != m*rows {
+		panic(fmt.Sprintf("erasure: XorCode wants %d parity definitions, got %d", m*rows, len(defs)))
+	}
+	canon := make([][]Cell, len(defs))
+	for i, def := range defs {
+		canon[i] = canonicalize(def, k, rows)
+	}
+	return &XorCode{name: name, k: k, m: m, rows: rows, defs: canon}
+}
+
+// canonicalize removes cancelling duplicate cells and validates ranges.
+func canonicalize(def []Cell, k, rows int) []Cell {
+	count := make(map[Cell]int)
+	for _, c := range def {
+		if c.Shard < 0 || c.Shard >= k || c.Row < 0 || c.Row >= rows {
+			panic(fmt.Sprintf("erasure: cell %+v out of range (k=%d rows=%d)", c, k, rows))
+		}
+		count[c]++
+	}
+	out := make([]Cell, 0, len(count))
+	for c, n := range count {
+		if n%2 == 1 {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Shard != out[j].Shard {
+			return out[i].Shard < out[j].Shard
+		}
+		return out[i].Row < out[j].Row
+	})
+	return out
+}
+
+// Name implements Code.
+func (x *XorCode) Name() string { return x.name }
+
+// DataShards implements Code.
+func (x *XorCode) DataShards() int { return x.k }
+
+// ParityShards implements Code.
+func (x *XorCode) ParityShards() int { return x.m }
+
+// Rows returns the number of rows each shard is subdivided into.
+func (x *XorCode) Rows() int { return x.rows }
+
+// ParityDef returns the (canonicalized) data-cell set defining parity
+// shard p, row r. The returned slice must not be modified.
+func (x *XorCode) ParityDef(p, r int) []Cell { return x.defs[p*x.rows+r] }
+
+// region returns row r of a shard.
+func (x *XorCode) region(shard []byte, r int) []byte {
+	rowSize := len(shard) / x.rows
+	return shard[r*rowSize : (r+1)*rowSize]
+}
+
+func (x *XorCode) checkRowDivisible(size int) error {
+	if size%x.rows != 0 {
+		return fmt.Errorf("%w: shard size %d not divisible by %d rows", ErrShardSize, size, x.rows)
+	}
+	return nil
+}
+
+// Encode implements Code.
+func (x *XorCode) Encode(shards [][]byte) error {
+	size, err := checkShards(shards, x.k+x.m, false)
+	if err != nil {
+		return err
+	}
+	if err := x.checkRowDivisible(size); err != nil {
+		return err
+	}
+	for p := 0; p < x.m; p++ {
+		for r := 0; r < x.rows; r++ {
+			dst := x.region(shards[x.k+p], r)
+			for i := range dst {
+				dst[i] = 0
+			}
+			for _, c := range x.ParityDef(p, r) {
+				gf.XorSlice(x.region(shards[c.Shard], c.Row), dst)
+			}
+		}
+	}
+	return nil
+}
+
+// Verify implements Code.
+func (x *XorCode) Verify(shards [][]byte) (bool, error) {
+	size, err := checkShards(shards, x.k+x.m, false)
+	if err != nil {
+		return false, err
+	}
+	if err := x.checkRowDivisible(size); err != nil {
+		return false, err
+	}
+	rowSize := size / x.rows
+	acc := make([]byte, rowSize)
+	for p := 0; p < x.m; p++ {
+		for r := 0; r < x.rows; r++ {
+			copy(acc, x.region(shards[x.k+p], r))
+			for _, c := range x.ParityDef(p, r) {
+				gf.XorSlice(x.region(shards[c.Shard], c.Row), acc)
+			}
+			for _, b := range acc {
+				if b != 0 {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// Reconstruct implements Code. It gathers one GF(2) equation per surviving
+// parity row, eliminates, and back-substitutes the erased data cells; any
+// erasure pattern with full-rank surviving equations is recovered, which
+// for EVENODD/RDP includes every pattern of at most two shard failures.
+func (x *XorCode) Reconstruct(shards [][]byte) error {
+	size, err := checkShards(shards, x.k+x.m, true)
+	if err != nil {
+		return err
+	}
+	if err := x.checkRowDivisible(size); err != nil {
+		return err
+	}
+	rowSize := size / x.rows
+
+	// Index unknown cells: every row of every erased data shard.
+	unknownIndex := make(map[Cell]int)
+	var unknownCells []Cell
+	erasedParity := make([]int, 0, x.m)
+	for i, s := range shards {
+		if s != nil {
+			continue
+		}
+		if i < x.k {
+			for r := 0; r < x.rows; r++ {
+				c := Cell{Shard: i, Row: r}
+				unknownIndex[c] = len(unknownCells)
+				unknownCells = append(unknownCells, c)
+			}
+		} else {
+			erasedParity = append(erasedParity, i-x.k)
+		}
+	}
+	if len(unknownCells) > 0 {
+		if err := x.solveData(shards, unknownIndex, unknownCells, rowSize); err != nil {
+			return err
+		}
+	}
+	// Re-encode any erased parity shards now that all data is present.
+	for _, p := range erasedParity {
+		shards[x.k+p] = make([]byte, size)
+		for r := 0; r < x.rows; r++ {
+			dst := x.region(shards[x.k+p], r)
+			for _, c := range x.ParityDef(p, r) {
+				gf.XorSlice(x.region(shards[c.Shard], c.Row), dst)
+			}
+		}
+	}
+	return nil
+}
+
+// eqn is one GF(2) equation over the unknown cells with a byte-region
+// right-hand side.
+type eqn struct {
+	coeff []byte // one 0/1 coefficient per unknown
+	rhs   []byte
+}
+
+func (x *XorCode) solveData(shards [][]byte, unknownIndex map[Cell]int, unknownCells []Cell, rowSize int) error {
+	u := len(unknownCells)
+	var eqns []eqn
+	for p := 0; p < x.m; p++ {
+		if shards[x.k+p] == nil {
+			continue
+		}
+		for r := 0; r < x.rows; r++ {
+			e := eqn{coeff: make([]byte, u), rhs: make([]byte, rowSize)}
+			copy(e.rhs, x.region(shards[x.k+p], r))
+			touched := false
+			for _, c := range x.ParityDef(p, r) {
+				if idx, ok := unknownIndex[c]; ok {
+					e.coeff[idx] ^= 1
+					touched = true
+				} else {
+					gf.XorSlice(x.region(shards[c.Shard], c.Row), e.rhs)
+				}
+			}
+			if touched {
+				eqns = append(eqns, e)
+			}
+		}
+	}
+	// Gaussian elimination over GF(2), regions ride along as RHS.
+	pivotOf := make([]int, u) // equation index holding the pivot for unknown i
+	for i := range pivotOf {
+		pivotOf[i] = -1
+	}
+	row := 0
+	for col := 0; col < u && row < len(eqns); col++ {
+		pivot := -1
+		for r := row; r < len(eqns); r++ {
+			if eqns[r].coeff[col] == 1 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			continue
+		}
+		eqns[row], eqns[pivot] = eqns[pivot], eqns[row]
+		for r := 0; r < len(eqns); r++ {
+			if r != row && eqns[r].coeff[col] == 1 {
+				for i := range eqns[r].coeff {
+					eqns[r].coeff[i] ^= eqns[row].coeff[i]
+				}
+				gf.XorSlice(eqns[row].rhs, eqns[r].rhs)
+			}
+		}
+		pivotOf[col] = row
+		row++
+	}
+	for col := 0; col < u; col++ {
+		if pivotOf[col] == -1 {
+			return ErrTooManyErasures
+		}
+	}
+	// Materialize the erased data shards from the solved rows.
+	size := rowSize * x.rows
+	for _, c := range unknownCells {
+		if shards[c.Shard] == nil {
+			shards[c.Shard] = make([]byte, size)
+		}
+	}
+	for col, c := range unknownCells {
+		copy(x.region(shards[c.Shard], c.Row), eqns[pivotOf[col]].rhs)
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package experiments
+
+import "testing"
+
+func TestDegradedExperiment(t *testing.T) {
+	tab, err := Degraded(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[2] < row[1] {
+			t.Errorf("n=%v: shifted retention %.2f below traditional %.2f", row[0], row[2], row[1])
+		}
+		if row[4] > row[3] {
+			t.Errorf("n=%v: shifted hotspot %.2f above traditional %.2f", row[0], row[4], row[3])
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastOptions keeps simulation-backed tests quick.
+func fastOptions() Options {
+	o := Defaults()
+	o.Stripes = 4
+	o.WriteOps = 40
+	return o
+}
+
+func TestTable1Format(t *testing.T) {
+	tab := Table1(7)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// n=7: 14 + 42 + 49 = 105 cases, the paper's count.
+	total := tab.Rows[0][1] + tab.Rows[1][1] + tab.Rows[2][1]
+	if total != 105 {
+		t.Fatalf("total cases = %v, want 105", total)
+	}
+	out := tab.Format()
+	if !strings.Contains(out, "num_cases") || !strings.Contains(out, "Avg_Read") {
+		t.Fatalf("format missing pieces:\n%s", out)
+	}
+}
+
+func TestFig7Table(t *testing.T) {
+	tab := Fig7(50)
+	if len(tab.Rows) != 48 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[1] > 5.0 {
+		t.Fatalf("n=50 ratio %.2f%%, want <= 5%%", last[1])
+	}
+}
+
+func TestFig8Table(t *testing.T) {
+	tab := Fig8()
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Row for iteration 3 must show P3 unsatisfied; 1 and 5 satisfied.
+	check := func(row []float64, p1, p2, p3 float64) {
+		if row[1] != p1 || row[2] != p2 || row[3] != p3 {
+			t.Errorf("iteration %v: got %v", row[0], row[1:])
+		}
+	}
+	// The paper's claims cover the odd iterations: all satisfy P1 and
+	// P2; the third fails P3 while the first and fifth satisfy it.
+	check(tab.Rows[0], 1, 1, 1)
+	check(tab.Rows[2], 1, 1, 0)
+	check(tab.Rows[4], 1, 1, 1)
+}
+
+func TestFig9aRuns(t *testing.T) {
+	tab, err := Fig9a(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[3] <= 1.0 {
+			t.Errorf("n=%v: improvement %.2f <= 1", row[0], row[3])
+		}
+	}
+	// Improvement grows with n.
+	for i := 1; i < len(tab.Rows); i++ {
+		if tab.Rows[i][3] <= tab.Rows[i-1][3] {
+			t.Errorf("improvement not increasing at n=%v", tab.Rows[i][0])
+		}
+	}
+}
+
+func TestFig9bRuns(t *testing.T) {
+	tab, err := Fig9b(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[3] <= 1.0 {
+			t.Errorf("n=%v: improvement %.2f <= 1", row[0], row[3])
+		}
+	}
+}
+
+func TestFig10Runs(t *testing.T) {
+	a, err := Fig10a(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig10b(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		// Parity variant writes slower for both arrangements.
+		if b.Rows[i][1] >= a.Rows[i][1] || b.Rows[i][2] >= a.Rows[i][2] {
+			t.Errorf("n=%v: parity writes not slower (%v vs %v)", a.Rows[i][0], b.Rows[i], a.Rows[i])
+		}
+		// Traditional and shifted within 20%.
+		gap := a.Rows[i][1] / a.Rows[i][2]
+		if gap < 0.8 || gap > 1.25 {
+			t.Errorf("n=%v: mirror write gap %.2f", a.Rows[i][0], gap)
+		}
+	}
+}
+
+func TestSummaryBracketsPaperRange(t *testing.T) {
+	tab, err := Summary(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 1e9, 0.0
+	for _, row := range tab.Rows {
+		for _, v := range []float64{row[2], row[4]} {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		// Simulation never exceeds theory.
+		if row[2] > row[1]+1e-9 {
+			t.Errorf("n=%v: mirror sim %.2f above theory %.2f", row[0], row[2], row[1])
+		}
+		if row[4] > row[3]+1e-9 {
+			t.Errorf("n=%v: parity sim %.2f above theory %.2f", row[0], row[4], row[3])
+		}
+	}
+	// The simulated band overlaps the paper's 1.54-4.55 range.
+	if hi < 1.54 || lo > 4.55 {
+		t.Errorf("simulated range [%.2f, %.2f] does not overlap the paper's [1.54, 4.55]", lo, hi)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	tab, err := Ablations(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	base := tab.Rows[0]
+	noMerge := tab.Rows[1]
+	// Without sequential merge the traditional baseline collapses toward
+	// the shifted per-disk rate.
+	if noMerge[1] >= base[1] {
+		t.Errorf("no-merge traditional %.1f not below baseline %.1f", noMerge[1], base[1])
+	}
+	// Iterated(3) matches shifted reconstruction throughput (P1/P2 hold).
+	iterated := tab.Rows[3]
+	diff := iterated[2]/base[2] - 1
+	if diff < -0.05 || diff > 0.05 {
+		t.Errorf("iterated(3) throughput %.1f deviates from shifted %.1f", iterated[2], base[2])
+	}
+	// Distributed sparing: rebuild-time ratio < 1 for shifted at n=7
+	// (spare write bandwidth was the bottleneck), ~1 for traditional.
+	spare := tab.Rows[4]
+	if spare[2] >= 1.0 {
+		t.Errorf("distributed sparing did not shorten the shifted rebuild: ratio %.2f", spare[2])
+	}
+	if spare[1] < 0.9 || spare[1] > 1.2 {
+		t.Errorf("traditional rebuild should be roughly unaffected: ratio %.2f", spare[1])
+	}
+}
+
+func TestFormatAlignment(t *testing.T) {
+	tab := &Table{
+		Title:   "x",
+		Columns: []string{"a", "long_column"},
+		Rows:    [][]float64{{1, 2.5}, {100, 3}},
+	}
+	out := tab.Format()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, two rows
+		t.Fatalf("lines: %q", out)
+	}
+	if len(lines[2]) != len(lines[3]) {
+		t.Fatalf("rows not aligned:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := &Table{
+		Columns: []string{"n", "x"},
+		Rows:    [][]float64{{3, 1.5}, {4, 2}},
+	}
+	want := "n,x\n3,1.50\n4,2\n"
+	if got := tab.CSV(); got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

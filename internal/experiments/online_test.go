@@ -1,0 +1,21 @@
+package experiments
+
+import "testing"
+
+func TestOnlineExperiment(t *testing.T) {
+	tab, err := Online(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[2] >= row[1] {
+			t.Errorf("n=%v: shifted rebuild %.2fs not below traditional %.2fs", row[0], row[2], row[1])
+		}
+		if row[4] >= row[3] {
+			t.Errorf("n=%v: shifted latency %.2fms not below traditional %.2fms", row[0], row[4], row[3])
+		}
+	}
+}

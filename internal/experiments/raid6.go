@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/raid"
+)
+
+// RAID6 is an extension experiment completing a comparison the paper only
+// sketches: §VII-A implements the traditional mirror method with parity
+// and argues "the comparison between our method and RAID 6 is similar."
+// Here the RAID-6 reconstruction (shortened EVENODD, all double failures)
+// is actually simulated next to both mirror+parity variants. RAID-6 reads
+// every intact element of the stripe, so its availability throughput per
+// recovered byte sits below even the traditional mirror method, exactly
+// as Fig 7's theory predicts.
+func RAID6(o Options) (*Table, error) {
+	t := &Table{
+		Title:   "RAID-6 comparison (extension): avg availability throughput over all double failures (MB/s)",
+		Columns: []string{"n", "raid6_evenodd", "trad_mirror_parity", "shifted_mirror_parity"},
+		Notes:   []string{"RAID-6 reads all intact elements; recovered/unit-time is the paper's availability metric"},
+	}
+	for n := 3; n <= 7; n++ {
+		r6, err := avgRecon(raid.NewRAID6EvenOdd(n), o, true)
+		if err != nil {
+			return nil, err
+		}
+		trad, err := avgRecon(raid.NewMirrorWithParity(layout.NewTraditional(n)), o, true)
+		if err != nil {
+			return nil, err
+		}
+		shifted, err := avgRecon(raid.NewMirrorWithParity(layout.NewShifted(n)), o, true)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []float64{float64(n), r6, trad, shifted})
+	}
+	return t, nil
+}

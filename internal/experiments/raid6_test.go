@@ -1,0 +1,21 @@
+package experiments
+
+import "testing"
+
+func TestRAID6Experiment(t *testing.T) {
+	tab, err := RAID6(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		// The ordering the paper's theory predicts:
+		// RAID-6 < traditional mirror+parity < shifted mirror+parity.
+		if !(row[1] < row[2] && row[2] < row[3]) {
+			t.Errorf("n=%v: ordering violated: raid6 %.1f, trad %.1f, shifted %.1f",
+				row[0], row[1], row[2], row[3])
+		}
+	}
+}

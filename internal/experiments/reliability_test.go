@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+func TestReliabilityRuns(t *testing.T) {
+	o := fastOptions()
+	tab, err := Reliability(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		// Parity variants beat plain by orders of magnitude.
+		if row[3] < 50*row[1] || row[4] < 50*row[2] {
+			t.Errorf("n=%v: parity MTTDL not >> plain: %v", row[0], row)
+		}
+		// Plain mirror: traditional vs shifted within ~3x either way
+		// (fatal-domain widening offset by faster rebuild).
+		ratio := row[1] / row[2]
+		if ratio > 3 || ratio < 1.0/3 {
+			t.Errorf("n=%v: plain-mirror MTTDL ratio %.2f outside [1/3,3]", row[0], ratio)
+		}
+		// Mirror+parity: traditional survives more *triple* failures
+		// (shifting couples every data/mirror disk pair), so its MTTDL
+		// sits above shifted's — but within a small factor, since the
+		// shifted rebuild window is shorter. This is the
+		// availability-for-reliability trade the extension documents.
+		if ratio := row[3] / row[4]; ratio < 0.8 || ratio > 5 {
+			t.Errorf("n=%v: parity MTTDL ratio trad/shifted %.2f outside [0.8,5]", row[0], ratio)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+func TestSensitivityRuns(t *testing.T) {
+	tab, err := Sensitivity(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	savvio, nearline, ssd := tab.Rows[0], tab.Rows[1], tab.Rows[2]
+	// Every medium: shifted wins.
+	for _, row := range tab.Rows {
+		if row[3] <= 1 {
+			t.Errorf("model %v: improvement %.2f <= 1", row[0], row[3])
+		}
+	}
+	// The SSD realizes nearly the full theoretical n=5.
+	if ssd[3] < 4.7 || ssd[3] > 5.0 {
+		t.Errorf("ssd improvement %.2f, want ~5 (no positioning penalty)", ssd[3])
+	}
+	// Rotating disks realize less, and the slower-seeking SATA drive
+	// less than the paper's SAS drive.
+	if savvio[3] >= ssd[3] {
+		t.Errorf("savvio %.2f should trail ssd %.2f", savvio[3], ssd[3])
+	}
+	if nearline[3] >= savvio[3] {
+		t.Errorf("nearline %.2f should trail savvio %.2f (worse positioning)", nearline[3], savvio[3])
+	}
+}

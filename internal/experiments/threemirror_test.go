@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+func TestThreeMirrorExperiment(t *testing.T) {
+	tab, err := ThreeMirror(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		n := row[0]
+		// Shifted: at most 2 accesses on average; traditional: ~n.
+		if row[2] > 2 {
+			t.Errorf("n=%v: shifted three-mirror %.2f reads, want <= 2", n, row[2])
+		}
+		if row[1] < n-0.5 {
+			t.Errorf("n=%v: traditional three-mirror %.2f reads, want ~n", n, row[1])
+		}
+		if row[5] <= 1 {
+			t.Errorf("n=%v: improvement %.2f <= 1", n, row[5])
+		}
+	}
+}

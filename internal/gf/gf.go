@@ -1,0 +1,210 @@
+// Package gf implements arithmetic over the Galois field GF(2^8).
+//
+// The field is constructed with the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the same polynomial used by
+// Jerasure-1.2 and by most storage erasure-coding libraries, so encoded
+// parity is bit-compatible with those systems.
+//
+// All operations are table-driven: multiplication and division go through
+// discrete exp/log tables built at package initialization, and the bulk
+// (slice) operations additionally use a per-coefficient 256-entry product
+// table so the inner loop is a single lookup per byte.
+package gf
+
+import "fmt"
+
+// PrimitivePoly is the reduction polynomial for the field, expressed with
+// the x^8 term included (bit 8 set).
+const PrimitivePoly = 0x11D
+
+// Order is the number of elements in the field.
+const Order = 256
+
+// tables built by init.
+var (
+	expTable [510]byte // expTable[i] = alpha^i, doubled to avoid a mod in Mul
+	logTable [256]int  // logTable[x] = discrete log of x; logTable[0] unused
+	invTable [256]byte // invTable[x] = multiplicative inverse; invTable[0] unused
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		expTable[i+255] = byte(x)
+		logTable[x] = i
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= PrimitivePoly
+		}
+	}
+	if x != 1 {
+		panic("gf: 0x11D is not primitive (generator cycle != 255)")
+	}
+	for i := 1; i < 256; i++ {
+		invTable[i] = expTable[255-logTable[i]]
+	}
+}
+
+// Add returns a+b in GF(2^8). Addition is XOR; it is its own inverse, so
+// Sub is identical to Add.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a-b in GF(2^8), which equals a+b.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[logTable[a]+logTable[b]]
+}
+
+// Div returns a/b in GF(2^8). It panics if b is zero.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[logTable[a]-logTable[b]+255]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a is zero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf: zero has no inverse")
+	}
+	return invTable[a]
+}
+
+// Exp returns alpha^n where alpha is the field generator (2) and n may be
+// any non-negative integer.
+func Exp(n int) byte {
+	if n < 0 {
+		panic(fmt.Sprintf("gf: negative exponent %d", n))
+	}
+	return expTable[n%255]
+}
+
+// Log returns the discrete logarithm of a to base alpha. It panics if a is
+// zero, which has no logarithm.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf: zero has no logarithm")
+	}
+	return logTable[a]
+}
+
+// Pow returns a^n in GF(2^8). a^0 is 1 for any a, including 0 (the usual
+// convention for polynomial evaluation). 0^n is 0 for n > 0.
+func Pow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("gf: negative power %d", n))
+	}
+	return expTable[(logTable[a]*n)%255]
+}
+
+// MulTable returns the 256-entry product table for coefficient c:
+// table[x] = c*x. Bulk operations share one table per coefficient.
+func MulTable(c byte) *[256]byte {
+	var t [256]byte
+	if c == 0 {
+		return &t
+	}
+	lc := logTable[c]
+	for x := 1; x < 256; x++ {
+		t[x] = expTable[lc+logTable[x]]
+	}
+	return &t
+}
+
+// MulSlice sets dst[i] = c*src[i] for every i. dst and src must have the
+// same length; they may alias.
+func MulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf: MulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case 1:
+		copy(dst, src)
+	default:
+		t := MulTable(c)
+		for i, x := range src {
+			dst[i] = t[x]
+		}
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c*src[i] for every i (a fused
+// multiply-accumulate, the inner step of matrix-vector products over the
+// field). dst and src must have the same length.
+func MulAddSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf: MulAddSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		XorSlice(src, dst)
+	default:
+		t := MulTable(c)
+		for i, x := range src {
+			dst[i] ^= t[x]
+		}
+	}
+}
+
+// XorSlice sets dst[i] ^= src[i] for every i. dst and src must have the
+// same length. The word-at-a-time fast path handles the aligned bulk and a
+// byte loop finishes the tail.
+func XorSlice(src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf: XorSlice length mismatch")
+	}
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		d := dst[i : i+8 : i+8]
+		s := src[i : i+8 : i+8]
+		d[0] ^= s[0]
+		d[1] ^= s[1]
+		d[2] ^= s[2]
+		d[3] ^= s[3]
+		d[4] ^= s[4]
+		d[5] ^= s[5]
+		d[6] ^= s[6]
+		d[7] ^= s[7]
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// DotProduct computes the field dot product of coefficient vector coeffs
+// with the rows of srcs, writing the result into dst:
+// dst = sum_i coeffs[i]*srcs[i]. Every source row and dst must have the
+// same length. len(coeffs) must equal len(srcs).
+func DotProduct(coeffs []byte, srcs [][]byte, dst []byte) {
+	if len(coeffs) != len(srcs) {
+		panic("gf: DotProduct arity mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, c := range coeffs {
+		MulAddSlice(c, srcs[i], dst)
+	}
+}

@@ -1,0 +1,306 @@
+package gf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if Add(0x57, 0x83) != 0x57^0x83 {
+		t.Fatalf("Add(0x57,0x83) = %#x, want %#x", Add(0x57, 0x83), 0x57^0x83)
+	}
+	if Sub(0x57, 0x83) != Add(0x57, 0x83) {
+		t.Fatal("Sub must equal Add in characteristic 2")
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	// Hand-checked products under polynomial 0x11D.
+	cases := []struct{ a, b, want byte }{
+		{0, 0, 0},
+		{0, 7, 0},
+		{1, 7, 7},
+		{2, 2, 4},
+		{2, 128, 29}, // 2*x^7 = x^8 = 0x11D mod x^8 = 0x1D
+		{16, 16, 29}, // x^4*x^4 = x^8 = 0x1D
+		{4, 8, 32},   // x^2*x^3 = x^5, no reduction
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%#x,%#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// mulSlow is an independent bitwise (carry-less multiply + reduce)
+// implementation used as an oracle for the table-driven Mul.
+func mulSlow(a, b byte) byte {
+	var prod uint16
+	for i := 0; i < 8; i++ {
+		if b&(1<<i) != 0 {
+			prod ^= uint16(a) << i
+		}
+	}
+	for i := 15; i >= 8; i-- {
+		if prod&(1<<i) != 0 {
+			prod ^= PrimitivePoly << (i - 8)
+		}
+	}
+	return byte(prod)
+}
+
+func TestMulMatchesBitwiseOracle(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := Mul(byte(a), byte(b)), mulSlow(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%#x,%#x) = %#x, oracle %#x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	f := func(a, b, c byte) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributive(t *testing.T) {
+	f := func(a, b, c byte) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := Mul(byte(a), Inv(byte(a))); got != 1 {
+			t.Fatalf("a*Inv(a) = %#x for a=%#x, want 1", got, a)
+		}
+	}
+}
+
+func TestDivInvertsMul(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Div(Mul(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := Exp(Log(byte(a))); got != byte(a) {
+			t.Fatalf("Exp(Log(%#x)) = %#x", a, got)
+		}
+	}
+}
+
+func TestExpPeriod255(t *testing.T) {
+	for n := 0; n < 255; n++ {
+		if Exp(n) != Exp(n+255) {
+			t.Fatalf("Exp period violated at n=%d", n)
+		}
+	}
+}
+
+func TestGeneratorCoversField(t *testing.T) {
+	seen := make(map[byte]bool)
+	for n := 0; n < 255; n++ {
+		seen[Exp(n)] = true
+	}
+	if len(seen) != 255 {
+		t.Fatalf("generator produced %d distinct elements, want 255", len(seen))
+	}
+	if seen[0] {
+		t.Fatal("generator produced zero")
+	}
+}
+
+func TestPow(t *testing.T) {
+	if Pow(0, 0) != 1 {
+		t.Error("Pow(0,0) should be 1")
+	}
+	if Pow(0, 5) != 0 {
+		t.Error("Pow(0,5) should be 0")
+	}
+	f := func(a byte) bool {
+		p := byte(1)
+		for n := 0; n < 10; n++ {
+			if Pow(a, n) != p {
+				return false
+			}
+			p = Mul(p, a)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulTable(t *testing.T) {
+	for _, c := range []byte{0, 1, 2, 0x1D, 0xFF} {
+		tab := MulTable(c)
+		for x := 0; x < 256; x++ {
+			if tab[x] != Mul(c, byte(x)) {
+				t.Fatalf("MulTable(%#x)[%#x] = %#x, want %#x", c, x, tab[x], Mul(c, byte(x)))
+			}
+		}
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 257)
+	rng.Read(src)
+	for _, c := range []byte{0, 1, 3, 0xA7} {
+		dst := make([]byte, len(src))
+		MulSlice(c, src, dst)
+		for i := range src {
+			if dst[i] != Mul(c, src[i]) {
+				t.Fatalf("MulSlice(c=%#x)[%d] wrong", c, i)
+			}
+		}
+	}
+}
+
+func TestMulSliceAliasing(t *testing.T) {
+	src := []byte{1, 2, 3, 4, 5}
+	want := make([]byte, len(src))
+	MulSlice(7, src, want)
+	MulSlice(7, src, src) // in place
+	if !bytes.Equal(src, want) {
+		t.Fatalf("in-place MulSlice = %v, want %v", src, want)
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := make([]byte, 100)
+	base := make([]byte, 100)
+	rng.Read(src)
+	rng.Read(base)
+	for _, c := range []byte{0, 1, 9} {
+		dst := append([]byte(nil), base...)
+		MulAddSlice(c, src, dst)
+		for i := range src {
+			want := base[i] ^ Mul(c, src[i])
+			if dst[i] != want {
+				t.Fatalf("MulAddSlice(c=%#x)[%d] = %#x, want %#x", c, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestXorSliceOddLengths(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65} {
+		a := make([]byte, n)
+		b := make([]byte, n)
+		for i := range a {
+			a[i] = byte(i * 3)
+			b[i] = byte(i * 5)
+		}
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = a[i] ^ b[i]
+		}
+		XorSlice(a, b)
+		if !bytes.Equal(b, want) {
+			t.Fatalf("XorSlice length %d wrong", n)
+		}
+	}
+}
+
+func TestXorSliceSelfZeroes(t *testing.T) {
+	a := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	XorSlice(a, a)
+	for i, v := range a {
+		if v != 0 {
+			t.Fatalf("a^a != 0 at %d", i)
+		}
+	}
+}
+
+func TestDotProduct(t *testing.T) {
+	// 3*[1 2] + 1*[4 8] + 0*[junk] computed by hand.
+	srcs := [][]byte{{1, 2}, {4, 8}, {0xFF, 0xFF}}
+	coeffs := []byte{3, 1, 0}
+	dst := make([]byte, 2)
+	DotProduct(coeffs, srcs, dst)
+	want := []byte{Mul(3, 1) ^ 4, Mul(3, 2) ^ 8}
+	if !bytes.Equal(dst, want) {
+		t.Fatalf("DotProduct = %v, want %v", dst, want)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"MulSlice":    func() { MulSlice(1, make([]byte, 2), make([]byte, 3)) },
+		"MulAddSlice": func() { MulAddSlice(1, make([]byte, 2), make([]byte, 3)) },
+		"XorSlice":    func() { XorSlice(make([]byte, 2), make([]byte, 3)) },
+		"DotProduct":  func() { DotProduct([]byte{1}, [][]byte{{1}, {2}}, []byte{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched lengths did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkMulAddSlice4K(b *testing.B) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	rand.New(rand.NewSource(3)).Read(src)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0xA7, src, dst)
+	}
+}
+
+func BenchmarkXorSlice4K(b *testing.B) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XorSlice(src, dst)
+	}
+}

@@ -1,0 +1,301 @@
+// Package layout implements the paper's primary contribution: element
+// arrangements for mirror disk arrays.
+//
+// A stripe holds n×n elements per disk array: n disks (columns), each with
+// n elements (rows). An Arrangement is a bijection from data-array element
+// addresses to mirror-array addresses. The traditional mirror method uses
+// the identity; the paper's shifted arrangement transposes the stripe and
+// loop-shifts each row:
+//
+//	a[i][j]  ->  b[(i+j) mod n][i]
+//
+// (disk i, row j in the data array is replicated at disk (i+j) mod n,
+// row i in the mirror array).
+//
+// The package also provides the three properties from §IV/VI of the paper
+// as checkable predicates, the iterated transformation family of Fig 8,
+// a generalized shifted family used for the three-mirror extension, and a
+// brute-force search for other valid arrangements at small n.
+package layout
+
+import "fmt"
+
+// Addr identifies one element within a stripe: the disk (column) index and
+// the row index, both in [0, n).
+type Addr struct {
+	Disk, Row int
+}
+
+// Arrangement maps data-array element addresses to mirror-array addresses
+// for an n×n stripe. Implementations must be bijections; DataOf must be
+// the exact inverse of MirrorOf.
+type Arrangement interface {
+	// Name identifies the arrangement, e.g. "traditional", "shifted".
+	Name() string
+	// N is the number of disks (and rows) per array in the stripe.
+	N() int
+	// MirrorOf returns the mirror-array address holding the replica of
+	// the data element at a.
+	MirrorOf(a Addr) Addr
+	// DataOf returns the data-array address whose replica is stored at
+	// mirror-array address b.
+	DataOf(b Addr) Addr
+}
+
+// Traditional is the classic mirror arrangement: the mirror array is a
+// verbatim copy of the data array (RAID-1).
+type Traditional struct {
+	n int
+}
+
+// NewTraditional returns the identity arrangement over n disks.
+func NewTraditional(n int) *Traditional {
+	mustValidN(n)
+	return &Traditional{n: n}
+}
+
+// Name implements Arrangement.
+func (t *Traditional) Name() string { return "traditional" }
+
+// N implements Arrangement.
+func (t *Traditional) N() int { return t.n }
+
+// MirrorOf implements Arrangement.
+func (t *Traditional) MirrorOf(a Addr) Addr { t.check(a); return a }
+
+// DataOf implements Arrangement.
+func (t *Traditional) DataOf(b Addr) Addr { t.check(b); return b }
+
+func (t *Traditional) check(a Addr) { mustValidAddr(a, t.n) }
+
+// Shifted is the paper's arrangement: a[i][j] -> b[(i+j) mod n][i].
+type Shifted struct {
+	n int
+}
+
+// NewShifted returns the shifted arrangement over n disks.
+func NewShifted(n int) *Shifted {
+	mustValidN(n)
+	return &Shifted{n: n}
+}
+
+// Name implements Arrangement.
+func (s *Shifted) Name() string { return "shifted" }
+
+// N implements Arrangement.
+func (s *Shifted) N() int { return s.n }
+
+// MirrorOf implements Arrangement.
+func (s *Shifted) MirrorOf(a Addr) Addr {
+	mustValidAddr(a, s.n)
+	return Addr{Disk: (a.Disk + a.Row) % s.n, Row: a.Disk}
+}
+
+// DataOf implements Arrangement. b[i][j] = a[j][(i-j) mod n].
+func (s *Shifted) DataOf(b Addr) Addr {
+	mustValidAddr(b, s.n)
+	return Addr{Disk: b.Row, Row: mod(b.Disk-b.Row, s.n)}
+}
+
+// Iterated applies the shift transformation k >= 1 times (Fig 8 of the
+// paper). Iterated(n, 1) coincides with Shifted(n). The paper shows that
+// odd iteration counts preserve Properties 1 and 2, but not all preserve
+// Property 3 (e.g. k=3 does not at n=3, while k=5 does).
+type Iterated struct {
+	n, k int
+}
+
+// NewIterated returns the k-times iterated transformation arrangement.
+func NewIterated(n, k int) *Iterated {
+	mustValidN(n)
+	if k < 1 {
+		panic(fmt.Sprintf("layout: iteration count must be >= 1, got %d", k))
+	}
+	return &Iterated{n: n, k: k}
+}
+
+// Name implements Arrangement.
+func (it *Iterated) Name() string { return fmt.Sprintf("iterated(%d)", it.k) }
+
+// N implements Arrangement.
+func (it *Iterated) N() int { return it.n }
+
+// Iterations returns k.
+func (it *Iterated) Iterations() int { return it.k }
+
+// MirrorOf implements Arrangement.
+func (it *Iterated) MirrorOf(a Addr) Addr {
+	mustValidAddr(a, it.n)
+	for i := 0; i < it.k; i++ {
+		a = Addr{Disk: (a.Disk + a.Row) % it.n, Row: a.Disk}
+	}
+	return a
+}
+
+// DataOf implements Arrangement.
+func (it *Iterated) DataOf(b Addr) Addr {
+	mustValidAddr(b, it.n)
+	for i := 0; i < it.k; i++ {
+		b = Addr{Disk: b.Row, Row: mod(b.Disk-b.Row, it.n)}
+	}
+	return b
+}
+
+// GeneralShifted is the two-coefficient generalization
+// a[i][j] -> b[(a*i + b*j) mod n][i] used to place additional mirror
+// arrays (three-mirror extension). It is a valid arrangement whenever
+// CoeffB is a unit mod n; it satisfies Property 1/2 whenever CoeffB is a
+// unit and Property 3 whenever CoeffA is a unit mod n. Two GeneralShifted
+// mirrors with coefficient pairs (a1,b1) and (a2,b2) are pairwise
+// parallel (a failed disk of one mirror array has its elements spread
+// over all disks of the other) iff a1*b2 - a2*b1 is a unit mod n. The
+// pair (1,1)/(2,1) has determinant -1, a unit for every n, so the
+// three-mirror extension is pairwise parallel at any n; what even n costs
+// is Property 3 of the (2,1) array (2 is not a unit), i.e. a row write
+// may need two accesses on the second mirror.
+type GeneralShifted struct {
+	n, a, b int
+}
+
+// NewGeneralShifted returns the generalized arrangement with disk index
+// (a*i + b*j) mod n. b must be a unit mod n (bijection); a must be nonzero
+// mod n.
+func NewGeneralShifted(n, a, b int) *GeneralShifted {
+	mustValidN(n)
+	a, b = mod(a, n), mod(b, n)
+	if gcd(b, n) != 1 {
+		panic(fmt.Sprintf("layout: coefficient b=%d must be a unit mod %d", b, n))
+	}
+	if a == 0 {
+		panic("layout: coefficient a must be nonzero")
+	}
+	return &GeneralShifted{n: n, a: a, b: b}
+}
+
+// Name implements Arrangement.
+func (g *GeneralShifted) Name() string { return fmt.Sprintf("general-shifted(a=%d,b=%d)", g.a, g.b) }
+
+// N implements Arrangement.
+func (g *GeneralShifted) N() int { return g.n }
+
+// Coeffs returns the (a, b) coefficient pair.
+func (g *GeneralShifted) Coeffs() (int, int) { return g.a, g.b }
+
+// MirrorOf implements Arrangement.
+func (g *GeneralShifted) MirrorOf(a Addr) Addr {
+	mustValidAddr(a, g.n)
+	return Addr{Disk: mod(g.a*a.Disk+g.b*a.Row, g.n), Row: a.Disk}
+}
+
+// DataOf implements Arrangement. Given b[d][r], the source data disk is r
+// and the source row solves a*r + b*j = d (mod n).
+func (g *GeneralShifted) DataOf(b Addr) Addr {
+	mustValidAddr(b, g.n)
+	j := mod((b.Disk-g.a*b.Row)*modInverse(g.b, g.n), g.n)
+	return Addr{Disk: b.Row, Row: j}
+}
+
+// Table is an arrangement backed by an explicit bijection table, used by
+// the arrangement search and for testing hand-built layouts.
+type Table struct {
+	name string
+	n    int
+	fwd  map[Addr]Addr
+	rev  map[Addr]Addr
+}
+
+// NewTable builds an arrangement from an explicit mapping, validating that
+// it is a bijection over the full n×n grid.
+func NewTable(name string, n int, fwd map[Addr]Addr) (*Table, error) {
+	mustValidN(n)
+	if len(fwd) != n*n {
+		return nil, fmt.Errorf("layout: table has %d entries, want %d", len(fwd), n*n)
+	}
+	rev := make(map[Addr]Addr, n*n)
+	for from, to := range fwd {
+		if !validAddr(from, n) || !validAddr(to, n) {
+			return nil, fmt.Errorf("layout: table entry %v -> %v out of range", from, to)
+		}
+		if prev, dup := rev[to]; dup {
+			return nil, fmt.Errorf("layout: table not injective: %v and %v both map to %v", prev, from, to)
+		}
+		rev[to] = from
+	}
+	return &Table{name: name, n: n, fwd: copyMap(fwd), rev: rev}, nil
+}
+
+// Name implements Arrangement.
+func (t *Table) Name() string { return t.name }
+
+// N implements Arrangement.
+func (t *Table) N() int { return t.n }
+
+// MirrorOf implements Arrangement.
+func (t *Table) MirrorOf(a Addr) Addr {
+	mustValidAddr(a, t.n)
+	return t.fwd[a]
+}
+
+// DataOf implements Arrangement.
+func (t *Table) DataOf(b Addr) Addr {
+	mustValidAddr(b, t.n)
+	return t.rev[b]
+}
+
+// helpers
+
+func mustValidN(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("layout: n must be >= 1, got %d", n))
+	}
+}
+
+func validAddr(a Addr, n int) bool {
+	return a.Disk >= 0 && a.Disk < n && a.Row >= 0 && a.Row < n
+}
+
+func mustValidAddr(a Addr, n int) {
+	if !validAddr(a, n) {
+		panic(fmt.Sprintf("layout: address %+v out of range for n=%d", a, n))
+	}
+}
+
+// mod returns the non-negative remainder of x mod n (the paper's <x>_n).
+func mod(x, n int) int {
+	m := x % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// modInverse returns the multiplicative inverse of a mod n (gcd(a,n)=1).
+func modInverse(a, n int) int {
+	// Extended Euclid.
+	t, newT := 0, 1
+	r, newR := n, mod(a, n)
+	for newR != 0 {
+		q := r / newR
+		t, newT = newT, t-q*newT
+		r, newR = newR, r-q*newR
+	}
+	if r != 1 {
+		panic(fmt.Sprintf("layout: %d has no inverse mod %d", a, n))
+	}
+	return mod(t, n)
+}
+
+func copyMap(m map[Addr]Addr) map[Addr]Addr {
+	c := make(map[Addr]Addr, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}

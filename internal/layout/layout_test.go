@@ -1,0 +1,414 @@
+package layout
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestShiftedMatchesPaperFormula(t *testing.T) {
+	// a_{i,j} = b_{<i+j>_n, i} for all i, j (Section IV-A).
+	for n := 1; n <= 9; n++ {
+		s := NewShifted(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				got := s.MirrorOf(Addr{Disk: i, Row: j})
+				want := Addr{Disk: (i + j) % n, Row: i}
+				if got != want {
+					t.Fatalf("n=%d MirrorOf(%d,%d) = %v, want %v", n, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestShiftedInverseFormula(t *testing.T) {
+	// b_{i,j} = a_{j, <i-j>_n}.
+	for n := 1; n <= 9; n++ {
+		s := NewShifted(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				got := s.DataOf(Addr{Disk: i, Row: j})
+				want := Addr{Disk: j, Row: mod(i-j, n)}
+				if got != want {
+					t.Fatalf("n=%d DataOf(%d,%d) = %v, want %v", n, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPaperFig3Example(t *testing.T) {
+	// Fig 3 (n=3): data disk 0 holds elements 1,4,7; their replicas must
+	// land on mirror disks 0,1,2 respectively, all on mirror row 0.
+	s := NewShifted(3)
+	wants := map[Addr]Addr{
+		{0, 0}: {0, 0},
+		{0, 1}: {1, 0},
+		{0, 2}: {2, 0},
+		{1, 0}: {1, 1},
+		{2, 2}: {1, 2},
+	}
+	for a, want := range wants {
+		if got := s.MirrorOf(a); got != want {
+			t.Errorf("MirrorOf(%v) = %v, want %v", a, got, want)
+		}
+	}
+}
+
+func TestDiagonalPlacement(t *testing.T) {
+	// Fig 5: the first element of each data disk (row 0) lands on the main
+	// diagonal of the mirror array: data (i,0) -> mirror (i,i).
+	for n := 2; n <= 7; n++ {
+		s := NewShifted(n)
+		for i := 0; i < n; i++ {
+			got := s.MirrorOf(Addr{Disk: i, Row: 0})
+			if got != (Addr{Disk: i, Row: i}) {
+				t.Fatalf("n=%d: first element of disk %d at %v, want diagonal", n, i, got)
+			}
+		}
+	}
+}
+
+func TestAllArrangementsAreBijections(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		arrs := []Arrangement{NewTraditional(n), NewShifted(n), NewIterated(n, 3), NewIterated(n, 5)}
+		if n%2 == 1 && n > 1 {
+			arrs = append(arrs, NewGeneralShifted(n, 2, 1), NewGeneralShifted(n, 1, 2))
+		}
+		for _, a := range arrs {
+			if err := CheckBijection(a); err != nil {
+				t.Errorf("n=%d %s: %v", n, a.Name(), err)
+			}
+		}
+	}
+}
+
+func TestShiftedSatisfiesAllProperties(t *testing.T) {
+	// Theorems of Sections IV-B and VI-C: the shifted arrangement has
+	// P1, P2 and P3 for every n.
+	for n := 1; n <= 16; n++ {
+		p := Check(NewShifted(n))
+		if !p.All() {
+			t.Errorf("n=%d: shifted satisfies only %v", n, p)
+		}
+	}
+}
+
+func TestTraditionalViolatesP1(t *testing.T) {
+	// The traditional mirror concentrates each data disk's replicas on a
+	// single mirror disk; for n >= 2 it must fail P1 and P2 but satisfy P3.
+	for n := 2; n <= 8; n++ {
+		p := Check(NewTraditional(n))
+		if p.P1 || p.P2 {
+			t.Errorf("n=%d: traditional unexpectedly satisfies P1/P2: %v", n, p)
+		}
+		if !p.P3 {
+			t.Errorf("n=%d: traditional should satisfy P3 (row elements on distinct disks)", n)
+		}
+	}
+}
+
+func TestTraditionalN1(t *testing.T) {
+	// Degenerate single-disk array: everything holds trivially.
+	if p := Check(NewTraditional(1)); !p.All() {
+		t.Errorf("n=1 traditional: %v", p)
+	}
+}
+
+func TestIteratedFig8Properties(t *testing.T) {
+	// Fig 8 at n=3: odd iterations satisfy P1 and P2; the 3rd does not
+	// satisfy P3, the 1st and 5th do.
+	cases := []struct {
+		k          int
+		p1, p2, p3 bool
+	}{
+		{1, true, true, true},
+		{3, true, true, false},
+		{5, true, true, true},
+	}
+	for _, c := range cases {
+		p := Check(NewIterated(3, c.k))
+		if p.P1 != c.p1 || p.P2 != c.p2 || p.P3 != c.p3 {
+			t.Errorf("iterated(%d) at n=3: got %+v, want P1=%v P2=%v P3=%v", c.k, p, c.p1, c.p2, c.p3)
+		}
+	}
+}
+
+func TestIterated1EqualsShifted(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		it, s := NewIterated(n, 1), NewShifted(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a := Addr{Disk: i, Row: j}
+				if it.MirrorOf(a) != s.MirrorOf(a) {
+					t.Fatalf("n=%d: iterated(1) != shifted at %v", n, a)
+				}
+			}
+		}
+	}
+}
+
+func TestIteratedEvenRestoresKind(t *testing.T) {
+	// The transformation permutes the n^2 addresses, so some iterate
+	// returns to the identity; verify iterated(k) cycles (order divides
+	// the permutation order) by finding the order for n=3 and checking.
+	n := 3
+	order := 0
+	for k := 1; k <= 64; k++ {
+		it := NewIterated(n, k)
+		identity := true
+		for i := 0; i < n && identity; i++ {
+			for j := 0; j < n; j++ {
+				a := Addr{Disk: i, Row: j}
+				if it.MirrorOf(a) != a {
+					identity = false
+					break
+				}
+			}
+		}
+		if identity {
+			order = k
+			break
+		}
+	}
+	if order == 0 {
+		t.Fatal("transformation permutation has order > 64 at n=3?")
+	}
+	// iterated(order+1) must equal shifted.
+	it, s := NewIterated(n, order+1), NewShifted(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a := Addr{Disk: i, Row: j}
+			if it.MirrorOf(a) != s.MirrorOf(a) {
+				t.Fatalf("iterated(order+1) != shifted at %v (order=%d)", a, order)
+			}
+		}
+	}
+}
+
+func TestGeneralShiftedProperties(t *testing.T) {
+	// For odd n, coefficients (1,1) and (2,1): both satisfy P1-P3, and the
+	// pair is pairwise-parallel (determinant 1*1-2*1 = -1, a unit).
+	for _, n := range []int{3, 5, 7, 9} {
+		g1 := NewGeneralShifted(n, 1, 1)
+		g2 := NewGeneralShifted(n, 2, 1)
+		if p := Check(g1); !p.All() {
+			t.Errorf("n=%d general(1,1): %v", n, p)
+		}
+		if p := Check(g2); !p.All() {
+			t.Errorf("n=%d general(2,1): %v", n, p)
+		}
+		if !PairwiseParallel(g1, g2) {
+			t.Errorf("n=%d: (1,1) and (2,1) should be pairwise parallel", n)
+		}
+		if !PairwiseParallel(g2, g1) {
+			t.Errorf("n=%d: pairwise parallelism should be symmetric here", n)
+		}
+	}
+}
+
+func TestGeneralShiftedEquivalentToShifted(t *testing.T) {
+	for n := 2; n <= 7; n++ {
+		g := NewGeneralShifted(n, 1, 1)
+		s := NewShifted(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a := Addr{Disk: i, Row: j}
+				if g.MirrorOf(a) != s.MirrorOf(a) {
+					t.Fatalf("n=%d general(1,1) != shifted at %v", n, a)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneralShiftedRejectsNonUnit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("b=2 with n=4 (non-unit) did not panic")
+		}
+	}()
+	NewGeneralShifted(4, 1, 2)
+}
+
+func TestSameShiftIsNotPairwiseParallel(t *testing.T) {
+	// Two identical mirror arrangements are perfectly correlated.
+	for _, n := range []int{3, 5} {
+		s1, s2 := NewShifted(n), NewShifted(n)
+		if PairwiseParallel(s1, s2) {
+			t.Errorf("n=%d: identical arrangements cannot be pairwise parallel", n)
+		}
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	// Non-injective table must be rejected.
+	bad := map[Addr]Addr{
+		{0, 0}: {0, 0},
+		{0, 1}: {0, 0},
+		{1, 0}: {1, 0},
+		{1, 1}: {1, 1},
+	}
+	if _, err := NewTable("bad", 2, bad); err == nil {
+		t.Fatal("non-injective table accepted")
+	}
+	short := map[Addr]Addr{{0, 0}: {0, 0}}
+	if _, err := NewTable("short", 2, short); err == nil {
+		t.Fatal("undersized table accepted")
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	s := NewShifted(4)
+	fwd := make(map[Addr]Addr)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			a := Addr{Disk: i, Row: j}
+			fwd[a] = s.MirrorOf(a)
+		}
+	}
+	tab, err := NewTable("shifted-as-table", 4, fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBijection(tab); err != nil {
+		t.Fatal(err)
+	}
+	if !Check(tab).All() {
+		t.Fatal("table copy of shifted lost properties")
+	}
+}
+
+func TestSearchValidN3(t *testing.T) {
+	// There are exactly 12 Latin squares of order 3, hence 12 canonical
+	// valid arrangements.
+	found := SearchValid(3, 0)
+	if len(found) != 12 {
+		t.Fatalf("SearchValid(3) found %d arrangements, want 12", len(found))
+	}
+	for _, a := range found {
+		if err := CheckBijection(a); err != nil {
+			t.Errorf("%s: %v", a.Name(), err)
+		}
+		if p := Check(a); !p.All() {
+			t.Errorf("%s: properties %v", a.Name(), p)
+		}
+	}
+}
+
+func TestSearchValidLimit(t *testing.T) {
+	if got := SearchValid(4, 5); len(got) != 5 {
+		t.Fatalf("limit ignored: got %d", len(got))
+	}
+}
+
+func TestSearchContainsShifted(t *testing.T) {
+	// The shifted arrangement's disk assignment is one of the searched
+	// Latin squares (rows may differ; compare disk assignments only).
+	n := 3
+	s := NewShifted(n)
+	want := diskAssignment(s)
+	for _, a := range SearchValid(n, 0) {
+		if diskAssignment(a) == want {
+			return
+		}
+	}
+	t.Fatal("search did not produce the shifted disk assignment")
+}
+
+func diskAssignment(a Arrangement) [9]int {
+	var out [9]int
+	n := a.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out[i*n+j] = a.MirrorOf(Addr{Disk: i, Row: j}).Disk
+		}
+	}
+	return out
+}
+
+func TestQuickBijectionProperty(t *testing.T) {
+	// Property-based: for random n and k, iterated arrangements are
+	// bijections with exact inverses.
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		k := int(kRaw%6) + 1
+		return CheckBijection(NewIterated(n, k)) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModHelper(t *testing.T) {
+	// The paper's <x>_y notation: <5>_3 = 2 and <-1>_5 = 4.
+	if mod(5, 3) != 2 {
+		t.Error("mod(5,3) != 2")
+	}
+	if mod(-1, 5) != 4 {
+		t.Error("mod(-1,5) != 4")
+	}
+}
+
+func TestModInverse(t *testing.T) {
+	for n := 2; n <= 11; n++ {
+		for a := 1; a < n; a++ {
+			if gcd(a, n) != 1 {
+				continue
+			}
+			inv := modInverse(a, n)
+			if mod(a*inv, n) != 1 {
+				t.Fatalf("modInverse(%d,%d) = %d wrong", a, n, inv)
+			}
+		}
+	}
+}
+
+func TestRenderPair(t *testing.T) {
+	out := RenderPair(NewShifted(3))
+	if !strings.Contains(out, "shifted") {
+		t.Fatalf("missing header: %q", out)
+	}
+	// Mirror row 0 of shifted n=3 holds elements 1, 4, 7 (Fig 3).
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("short render: %q", out)
+	}
+	if !strings.Contains(lines[1], "1   4   7") {
+		t.Errorf("mirror row 0 should be '1 4 7': %q", lines[1])
+	}
+}
+
+func TestRenderTraditionalIsCopy(t *testing.T) {
+	n := 4
+	if RenderMirrorArray(NewTraditional(n)) != RenderDataArray(n) {
+		t.Fatal("traditional mirror render differs from data array")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := NewShifted(3)
+	for _, a := range []Addr{{-1, 0}, {0, -1}, {3, 0}, {0, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MirrorOf(%v) did not panic", a)
+				}
+			}()
+			s.MirrorOf(a)
+		}()
+	}
+}
+
+func TestSearchValidN4Count(t *testing.T) {
+	// The number of Latin squares of order 4 is 576 — the full space of
+	// P1+P2+P3 disk assignments at n=4.
+	if testing.Short() {
+		t.Skip("n=4 enumeration skipped in -short")
+	}
+	found := SearchValid(4, 0)
+	if len(found) != 576 {
+		t.Fatalf("SearchValid(4) found %d arrangements, want 576", len(found))
+	}
+}

@@ -1,0 +1,152 @@
+package layout
+
+import "fmt"
+
+// Properties reports which of the paper's three arrangement properties an
+// arrangement satisfies (§IV-B and §VI-C).
+type Properties struct {
+	// P1: the replicas of the elements on one data disk land on all n
+	// mirror disks, one per disk (enables one-access reads of a failed
+	// data disk's replicas).
+	P1 bool
+	// P2: the elements on one mirror disk are replicated from all n data
+	// disks, one per disk (enables one-access reads of a failed mirror
+	// disk's sources).
+	P2 bool
+	// P3: the replicas of one data row land on all n mirror disks, one
+	// per disk (preserves one-access large writes).
+	P3 bool
+}
+
+// All reports whether all three properties hold.
+func (p Properties) All() bool { return p.P1 && p.P2 && p.P3 }
+
+// String renders like "P1+P2+P3" or "P1+P2".
+func (p Properties) String() string {
+	s := ""
+	add := func(ok bool, name string) {
+		if !ok {
+			return
+		}
+		if s != "" {
+			s += "+"
+		}
+		s += name
+	}
+	add(p.P1, "P1")
+	add(p.P2, "P2")
+	add(p.P3, "P3")
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// Check evaluates all three properties of an arrangement by direct
+// enumeration of the n×n stripe.
+func Check(arr Arrangement) Properties {
+	return Properties{
+		P1: CheckP1(arr),
+		P2: CheckP2(arr),
+		P3: CheckP3(arr),
+	}
+}
+
+// CheckP1 reports whether the replicas of each data disk's elements land
+// on pairwise distinct mirror disks.
+func CheckP1(arr Arrangement) bool {
+	n := arr.N()
+	for disk := 0; disk < n; disk++ {
+		seen := make([]bool, n)
+		for row := 0; row < n; row++ {
+			d := arr.MirrorOf(Addr{Disk: disk, Row: row}).Disk
+			if seen[d] {
+				return false
+			}
+			seen[d] = true
+		}
+	}
+	return true
+}
+
+// CheckP2 reports whether each mirror disk's elements are replicated from
+// pairwise distinct data disks.
+func CheckP2(arr Arrangement) bool {
+	n := arr.N()
+	for disk := 0; disk < n; disk++ {
+		seen := make([]bool, n)
+		for row := 0; row < n; row++ {
+			d := arr.DataOf(Addr{Disk: disk, Row: row}).Disk
+			if seen[d] {
+				return false
+			}
+			seen[d] = true
+		}
+	}
+	return true
+}
+
+// CheckP3 reports whether the replicas of each data row's elements land on
+// pairwise distinct mirror disks.
+func CheckP3(arr Arrangement) bool {
+	n := arr.N()
+	for row := 0; row < n; row++ {
+		seen := make([]bool, n)
+		for disk := 0; disk < n; disk++ {
+			d := arr.MirrorOf(Addr{Disk: disk, Row: row}).Disk
+			if seen[d] {
+				return false
+			}
+			seen[d] = true
+		}
+	}
+	return true
+}
+
+// CheckBijection verifies that MirrorOf is a bijection over the n×n grid
+// and that DataOf is its exact inverse. Every valid Arrangement must pass;
+// it is exposed for property-based tests and the arrangement search.
+func CheckBijection(arr Arrangement) error {
+	n := arr.N()
+	seen := make(map[Addr]Addr, n*n)
+	for disk := 0; disk < n; disk++ {
+		for row := 0; row < n; row++ {
+			a := Addr{Disk: disk, Row: row}
+			b := arr.MirrorOf(a)
+			if !validAddr(b, n) {
+				return fmt.Errorf("layout: MirrorOf(%v) = %v out of range", a, b)
+			}
+			if prev, dup := seen[b]; dup {
+				return fmt.Errorf("layout: MirrorOf not injective: %v and %v -> %v", prev, a, b)
+			}
+			seen[b] = a
+			if back := arr.DataOf(b); back != a {
+				return fmt.Errorf("layout: DataOf(MirrorOf(%v)) = %v", a, back)
+			}
+		}
+	}
+	return nil
+}
+
+// PairwiseParallel reports whether two arrangements over the same n place
+// the elements of any single disk of arr1's mirror array onto pairwise
+// distinct disks of arr2's mirror array. This is the condition for full
+// parallel reads between two mirror arrays in the three-mirror extension.
+func PairwiseParallel(arr1, arr2 Arrangement) bool {
+	if arr1.N() != arr2.N() {
+		panic("layout: PairwiseParallel needs equal n")
+	}
+	n := arr1.N()
+	for disk := 0; disk < n; disk++ {
+		seen := make([]bool, n)
+		for row := 0; row < n; row++ {
+			data := arr1.DataOf(Addr{Disk: disk, Row: row})
+			d2 := arr2.MirrorOf(data).Disk
+			if seen[d2] {
+				return false
+			}
+			seen[d2] = true
+		}
+	}
+	return true
+}

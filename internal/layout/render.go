@@ -1,0 +1,58 @@
+package layout
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderDataArray renders the data-array stripe in the paper's numbering
+// (Fig 1): element k = row*n + disk + 1, printed row by row with disks as
+// columns.
+func RenderDataArray(n int) string {
+	var b strings.Builder
+	for row := 0; row < n; row++ {
+		for disk := 0; disk < n; disk++ {
+			if disk > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%3d", row*n+disk+1)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderMirrorArray renders the mirror-array stripe of an arrangement
+// using the same element numbering as RenderDataArray, so the two grids
+// can be compared side by side exactly like Fig 1 vs Fig 3 of the paper.
+func RenderMirrorArray(arr Arrangement) string {
+	n := arr.N()
+	var b strings.Builder
+	for row := 0; row < n; row++ {
+		for disk := 0; disk < n; disk++ {
+			if disk > 0 {
+				b.WriteByte(' ')
+			}
+			src := arr.DataOf(Addr{Disk: disk, Row: row})
+			fmt.Fprintf(&b, "%3d", src.Row*n+src.Disk+1)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderPair renders the data array and the arrangement's mirror array
+// side by side with headers, the textual equivalent of the paper's layout
+// figures.
+func RenderPair(arr Arrangement) string {
+	n := arr.N()
+	data := strings.Split(strings.TrimRight(RenderDataArray(n), "\n"), "\n")
+	mirr := strings.Split(strings.TrimRight(RenderMirrorArray(arr), "\n"), "\n")
+	width := len(data[0])
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s   %s\n", width, "data array", "mirror array ("+arr.Name()+")")
+	for i := range data {
+		fmt.Fprintf(&b, "%s   %s\n", data[i], mirr[i])
+	}
+	return b.String()
+}

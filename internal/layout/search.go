@@ -1,0 +1,103 @@
+package layout
+
+// This file implements the brute-force arrangement search promised by
+// §VI-E of the paper: arrangements other than the shifted one satisfy the
+// three properties too, and any of them provides the same availability and
+// write guarantees.
+//
+// An arrangement satisfying P1–P3 is determined by a disk-assignment
+// function d(i,j) that is a Latin square (rows indexed by data disk i,
+// columns by data row j, values = mirror disk), together with any
+// row-assignment making the map a bijection. The search therefore
+// enumerates Latin squares of order n and, for counting purposes, treats
+// the row assignment canonically (replica row within a mirror disk chosen
+// in data-disk order), which is how the shifted arrangement itself places
+// rows.
+
+// SearchValid enumerates arrangements of order n that satisfy P1, P2 and
+// P3, up to the canonical row placement described above, and returns up to
+// limit of them (limit <= 0 means no limit). For n=3 there are 12 (the
+// Latin squares of order 3); growth is super-exponential, so callers
+// should keep n <= 5.
+func SearchValid(n, limit int) []*Table {
+	var out []*Table
+	square := make([][]int, n)
+	for i := range square {
+		square[i] = make([]int, n)
+		for j := range square[i] {
+			square[i][j] = -1
+		}
+	}
+	colUsed := make([][]bool, n) // colUsed[j][v]: value v used in column j
+	rowUsed := make([][]bool, n) // rowUsed[i][v]: value v used in row i
+	for i := 0; i < n; i++ {
+		colUsed[i] = make([]bool, n)
+		rowUsed[i] = make([]bool, n)
+	}
+	var rec func(cell int) bool // returns false to stop (limit reached)
+	rec = func(cell int) bool {
+		if cell == n*n {
+			out = append(out, tableFromSquare(n, square, len(out)))
+			return limit <= 0 || len(out) < limit
+		}
+		i, j := cell/n, cell%n
+		for v := 0; v < n; v++ {
+			if rowUsed[i][v] || colUsed[j][v] {
+				continue
+			}
+			square[i][j] = v
+			rowUsed[i][v], colUsed[j][v] = true, true
+			ok := rec(cell + 1)
+			rowUsed[i][v], colUsed[j][v] = false, false
+			square[i][j] = -1
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return out
+}
+
+// tableFromSquare converts a Latin square of disk assignments into a Table
+// arrangement, assigning replica rows within each mirror disk canonically
+// (in increasing data-disk order). P2 holds because each mirror disk
+// receives exactly one element from each data disk (column-Latin ⇒ each
+// value v appears once per row i... and once per column j), so the row
+// assignment below touches each (disk,row) slot exactly once.
+func tableFromSquare(n int, square [][]int, idx int) *Table {
+	fwd := make(map[Addr]Addr, n*n)
+	nextRow := make([]int, n)
+	for i := 0; i < n; i++ { // data disk order fixes the canonical rows
+		for j := 0; j < n; j++ {
+			d := square[i][j]
+			fwd[Addr{Disk: i, Row: j}] = Addr{Disk: d, Row: nextRow[d]}
+			nextRow[d]++
+		}
+	}
+	t, err := NewTable(searchName(idx), n, fwd)
+	if err != nil {
+		// A Latin square always yields a bijection; reaching here is a bug.
+		panic("layout: search produced invalid table: " + err.Error())
+	}
+	return t
+}
+
+func searchName(idx int) string {
+	return "searched-" + itoa(idx)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for v > 0 {
+		pos--
+		buf[pos] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[pos:])
+}

@@ -1,0 +1,46 @@
+package layout
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec builds an arrangement from a textual specification:
+//
+//	"traditional"      the identity arrangement
+//	"shifted"          the paper's arrangement
+//	"iterated:K"       the K-times iterated transformation (Fig 8)
+//	"general:A,B"      the generalized shift (A*i + B*j) mod n
+//
+// n is the number of disks per array.
+func ParseSpec(spec string, n int) (Arrangement, error) {
+	switch {
+	case spec == "traditional":
+		return NewTraditional(n), nil
+	case spec == "shifted":
+		return NewShifted(n), nil
+	case strings.HasPrefix(spec, "iterated:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(spec, "iterated:"))
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("layout: bad iteration count in %q", spec)
+		}
+		return NewIterated(n, k), nil
+	case strings.HasPrefix(spec, "general:"):
+		parts := strings.Split(strings.TrimPrefix(spec, "general:"), ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("layout: want general:A,B, got %q", spec)
+		}
+		a, errA := strconv.Atoi(strings.TrimSpace(parts[0]))
+		b, errB := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if errA != nil || errB != nil {
+			return nil, fmt.Errorf("layout: bad coefficients in %q", spec)
+		}
+		if mod(b, n) == 0 || gcd(mod(b, n), n) != 1 || mod(a, n) == 0 {
+			return nil, fmt.Errorf("layout: coefficients (%d,%d) invalid mod %d (b must be a unit, a nonzero)", a, b, n)
+		}
+		return NewGeneralShifted(n, a, b), nil
+	default:
+		return nil, fmt.Errorf("layout: unknown arrangement %q (want traditional, shifted, iterated:K or general:A,B)", spec)
+	}
+}

@@ -1,0 +1,53 @@
+package layout
+
+import "testing"
+
+func TestParseSpec(t *testing.T) {
+	n := 5
+	cases := map[string]string{
+		"traditional": "traditional",
+		"shifted":     "shifted",
+		"iterated:3":  "iterated(3)",
+		"general:2,1": "general-shifted(a=2,b=1)",
+	}
+	for spec, wantName := range cases {
+		arr, err := ParseSpec(spec, n)
+		if err != nil {
+			t.Errorf("%q: %v", spec, err)
+			continue
+		}
+		if arr.Name() != wantName {
+			t.Errorf("%q: name %q, want %q", spec, arr.Name(), wantName)
+		}
+		if err := CheckBijection(arr); err != nil {
+			t.Errorf("%q: %v", spec, err)
+		}
+	}
+	bad := []string{"", "bogus", "iterated:", "iterated:0", "iterated:x", "general:", "general:1", "general:a,b", "general:0,1"}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec, n); err == nil {
+			t.Errorf("%q accepted", spec)
+		}
+	}
+	// b must be a unit mod n: general:1,2 invalid at n=4.
+	if _, err := ParseSpec("general:1,2", 4); err == nil {
+		t.Error("general:1,2 at n=4 accepted (2 is not a unit mod 4)")
+	}
+}
+
+func TestParseSpecMatchesConstructors(t *testing.T) {
+	n := 4
+	s1, err := ParseSpec("shifted", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewShifted(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a := Addr{Disk: i, Row: j}
+			if s1.MirrorOf(a) != s2.MirrorOf(a) {
+				t.Fatalf("parsed shifted differs at %v", a)
+			}
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package layout
+
+import "testing"
+
+func TestThreeMirrorPairEveryN(t *testing.T) {
+	// The (1,1)/(2,1) pair used by the three-mirror extension: pairwise
+	// parallel at every n >= 3 (determinant -1 is always a unit; n=2 is
+	// degenerate since 2 = 0 mod 2). At even n the second array keeps
+	// P1/P2 but gives up P3 (2 is not a unit).
+	for n := 3; n <= 9; n++ {
+		g1 := NewGeneralShifted(n, 1, 1)
+		g2 := NewGeneralShifted(n, 2, 1)
+		if !PairwiseParallel(g1, g2) || !PairwiseParallel(g2, g1) {
+			t.Errorf("n=%d: pair not pairwise parallel", n)
+		}
+		p := Check(g2)
+		if !p.P1 || !p.P2 {
+			t.Errorf("n=%d: (2,1) lost P1/P2: %v", n, p)
+		}
+		if wantP3 := n%2 == 1; p.P3 != wantP3 {
+			t.Errorf("n=%d: (2,1) P3 = %v, want %v", n, p.P3, wantP3)
+		}
+	}
+}

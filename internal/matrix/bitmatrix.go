@@ -1,0 +1,157 @@
+package matrix
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BitMatrix is a dense matrix over GF(2), stored one byte per bit for
+// simplicity (these matrices are tiny — at most a few hundred bits per
+// side in any RAID geometry). It backs the pure-XOR code descriptions
+// (EVENODD, RDP) in the same spirit as Jerasure's bitmatrix schedules.
+type BitMatrix struct {
+	Rows, Cols int
+	Bits       []byte // 0 or 1, row-major
+}
+
+// NewBit returns a zero rows×cols bit-matrix.
+func NewBit(rows, cols int) *BitMatrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid bitmatrix dimensions %dx%d", rows, cols))
+	}
+	return &BitMatrix{Rows: rows, Cols: cols, Bits: make([]byte, rows*cols)}
+}
+
+// IdentityBit returns the n×n identity bit-matrix.
+func IdentityBit(n int) *BitMatrix {
+	m := NewBit(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns bit (r,c).
+func (m *BitMatrix) At(r, c int) byte { return m.Bits[r*m.Cols+c] }
+
+// Set assigns bit (r,c); any nonzero v stores 1.
+func (m *BitMatrix) Set(r, c int, v byte) {
+	if v != 0 {
+		v = 1
+	}
+	m.Bits[r*m.Cols+c] = v
+}
+
+// Row returns row r aliasing the matrix storage.
+func (m *BitMatrix) Row(r int) []byte { return m.Bits[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *BitMatrix) Clone() *BitMatrix {
+	c := NewBit(m.Rows, m.Cols)
+	copy(c.Bits, m.Bits)
+	return c
+}
+
+// String renders the bit-matrix as 0/1 rows.
+func (m *BitMatrix) String() string {
+	var b strings.Builder
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			b.WriteByte('0' + m.At(r, c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Mul returns the GF(2) product m*o.
+func (m *BitMatrix) Mul(o *BitMatrix) *BitMatrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("matrix: cannot multiply %dx%d by %dx%d bitmatrices", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	p := NewBit(m.Rows, o.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for k := 0; k < m.Cols; k++ {
+			if m.At(r, k) == 0 {
+				continue
+			}
+			for c := 0; c < o.Cols; c++ {
+				p.Bits[r*o.Cols+c] ^= o.At(k, c)
+			}
+		}
+	}
+	return p
+}
+
+// InvertBit returns the inverse over GF(2), or ErrSingular.
+func (m *BitMatrix) InvertBit() (*BitMatrix, error) {
+	if m.Rows != m.Cols {
+		panic("matrix: InvertBit on non-square bitmatrix")
+	}
+	n := m.Rows
+	a := m.Clone()
+	inv := IdentityBit(n)
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapBitRows(a, pivot, col)
+			swapBitRows(inv, pivot, col)
+		}
+		for r := 0; r < n; r++ {
+			if r == col || a.At(r, col) == 0 {
+				continue
+			}
+			xorBitRows(a.Row(col), a.Row(r))
+			xorBitRows(inv.Row(col), inv.Row(r))
+		}
+	}
+	return inv, nil
+}
+
+// Rank returns the rank of the bit-matrix over GF(2).
+func (m *BitMatrix) Rank() int {
+	a := m.Clone()
+	rank := 0
+	for col := 0; col < a.Cols && rank < a.Rows; col++ {
+		pivot := -1
+		for r := rank; r < a.Rows; r++ {
+			if a.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			continue
+		}
+		swapBitRows(a, pivot, rank)
+		for r := 0; r < a.Rows; r++ {
+			if r != rank && a.At(r, col) != 0 {
+				xorBitRows(a.Row(rank), a.Row(r))
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+func swapBitRows(m *BitMatrix, a, b int) {
+	ra, rb := m.Row(a), m.Row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+func xorBitRows(src, dst []byte) {
+	for i := range src {
+		dst[i] ^= src[i]
+	}
+}

@@ -1,0 +1,255 @@
+// Package matrix provides dense matrices over GF(2^8) and over GF(2)
+// (bit-matrices), the linear-algebra substrate for the erasure codes in
+// internal/erasure. It mirrors the matrix facilities of Jerasure-1.2:
+// generator-matrix construction (Vandermonde, Cauchy), Gaussian
+// inversion, row selection, and matrix-vector products over data regions.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"shiftedmirror/internal/gf"
+)
+
+// ErrSingular is returned when a matrix that must be inverted has no
+// inverse (its rows are linearly dependent over the field).
+var ErrSingular = errors.New("matrix: singular")
+
+// Matrix is a dense rows×cols matrix over GF(2^8) in row-major order.
+type Matrix struct {
+	Rows, Cols int
+	Data       []byte // len Rows*Cols, Data[r*Cols+c]
+}
+
+// New returns a zero rows×cols matrix. It panics if either dimension is
+// not positive.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]byte, rows*cols)}
+}
+
+// FromRows builds a matrix from explicit row slices, which must all have
+// equal nonzero length.
+func FromRows(rows [][]byte) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("matrix: FromRows needs at least one nonempty row")
+	}
+	m := New(len(rows), len(rows[0]))
+	for r, row := range rows {
+		if len(row) != m.Cols {
+			panic("matrix: ragged rows")
+		}
+		copy(m.Data[r*m.Cols:], row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Vandermonde returns the rows×cols Vandermonde matrix V[r][c] = r^c
+// evaluated in GF(2^8) — the classic Reed–Solomon generator used by
+// Jerasure's matrix-based codes (rows indexed from 1 so every row is
+// nonzero). Distinct evaluation points keep any cols×cols submatrix of a
+// systematic construction invertible only after the standard systematic
+// transformation; use Systematic for that.
+func Vandermonde(rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, gf.Pow(byte(r+1), c))
+		}
+	}
+	return m
+}
+
+// Cauchy returns the rows×cols Cauchy matrix M[r][c] = 1/(x_r + y_c) with
+// x_r = r + cols and y_c = c. Every square submatrix of a Cauchy matrix is
+// invertible, so the systematic code built from it is MDS for
+// rows+cols <= 256.
+func Cauchy(rows, cols int) *Matrix {
+	if rows+cols > gf.Order {
+		panic("matrix: Cauchy needs rows+cols <= 256")
+	}
+	m := New(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, gf.Inv(byte(r+cols)^byte(c)))
+		}
+	}
+	return m
+}
+
+// At returns element (r,c).
+func (m *Matrix) At(r, c int) byte { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r,c).
+func (m *Matrix) Set(r, c int, v byte) { m.Data[r*m.Cols+c] = v }
+
+// Row returns row r as a slice aliasing the matrix storage.
+func (m *Matrix) Row(r int) []byte { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Equal reports whether two matrices have identical shape and contents.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if m.Data[i] != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix in a compact hex grid, one row per line.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if c > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%02x", m.At(r, c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Mul returns the matrix product m*o. It panics on shape mismatch.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("matrix: cannot multiply %dx%d by %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	p := New(m.Rows, o.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(r, k)
+			if a == 0 {
+				continue
+			}
+			for c := 0; c < o.Cols; c++ {
+				p.Data[r*o.Cols+c] ^= gf.Mul(a, o.At(k, c))
+			}
+		}
+	}
+	return p
+}
+
+// SelectRows returns a new matrix whose rows are the given rows of m, in
+// order.
+func (m *Matrix) SelectRows(rows []int) *Matrix {
+	s := New(len(rows), m.Cols)
+	for i, r := range rows {
+		copy(s.Row(i), m.Row(r))
+	}
+	return s
+}
+
+// Invert returns the inverse of a square matrix via Gauss–Jordan
+// elimination, or ErrSingular.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		panic("matrix: Invert on non-square matrix")
+	}
+	n := m.Rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Find a pivot row at or below col.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(a, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Scale pivot row to 1.
+		if p := a.At(col, col); p != 1 {
+			ip := gf.Inv(p)
+			gf.MulSlice(ip, a.Row(col), a.Row(col))
+			gf.MulSlice(ip, inv.Row(col), inv.Row(col))
+		}
+		// Eliminate the column from every other row.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			gf.MulAddSlice(f, a.Row(col), a.Row(r))
+			gf.MulAddSlice(f, inv.Row(col), inv.Row(r))
+		}
+	}
+	return inv, nil
+}
+
+// Systematic converts a (k+m)×k generator candidate whose top k×k block is
+// invertible into systematic form: the top k rows become the identity and
+// the bottom m rows become the parity coefficients. This is how Jerasure
+// derives its distribution matrix from a Vandermonde matrix.
+func Systematic(g *Matrix, k int) (*Matrix, error) {
+	if g.Rows <= k || g.Cols != k {
+		panic(fmt.Sprintf("matrix: Systematic wants (k+m)x%d with rows>k, got %dx%d", k, g.Rows, g.Cols))
+	}
+	top := g.SelectRows(seq(0, k))
+	inv, err := top.Invert()
+	if err != nil {
+		return nil, err
+	}
+	return g.Mul(inv), nil
+}
+
+// MulRegions applies the matrix to data regions: out[r] = sum_c
+// m[r][c]*in[c], where each in[c] and out[r] is a byte region of equal
+// length. len(in) must be m.Cols and len(out) m.Rows.
+func (m *Matrix) MulRegions(in, out [][]byte) {
+	if len(in) != m.Cols || len(out) != m.Rows {
+		panic("matrix: MulRegions arity mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		gf.DotProduct(m.Row(r), in, out[r])
+	}
+}
+
+func swapRows(m *Matrix, a, b int) {
+	ra, rb := m.Row(a), m.Row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+func seq(from, to int) []int {
+	s := make([]int, 0, to-from)
+	for i := from; i < to; i++ {
+		s = append(s, i)
+	}
+	return s
+}

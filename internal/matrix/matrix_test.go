@@ -1,0 +1,320 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"shiftedmirror/internal/gf"
+)
+
+func TestIdentityMul(t *testing.T) {
+	m := FromRows([][]byte{{1, 2, 3}, {4, 5, 6}})
+	if got := Identity(2).Mul(m); !got.Equal(m) {
+		t.Fatalf("I*m != m:\n%v", got)
+	}
+	if got := m.Mul(Identity(3)); !got.Equal(m) {
+		t.Fatalf("m*I != m:\n%v", got)
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	New(2, 3).Mul(New(2, 3))
+}
+
+func TestInvertIdentity(t *testing.T) {
+	inv, err := Identity(5).Invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.Equal(Identity(5)) {
+		t.Fatal("inverse of identity is not identity")
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		m := New(n, n)
+		rng.Read(m.Data)
+		inv, err := m.Invert()
+		if err != nil {
+			continue // singular random matrix; fine
+		}
+		if p := m.Mul(inv); !p.Equal(Identity(n)) {
+			t.Fatalf("m*inv != I for n=%d:\n%v", n, p)
+		}
+		if p := inv.Mul(m); !p.Equal(Identity(n)) {
+			t.Fatalf("inv*m != I for n=%d", n)
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m := FromRows([][]byte{{1, 2}, {2, 4}}) // row2 = 2*row1 over GF(2^8)
+	if _, err := m.Invert(); err != ErrSingular {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+	z := New(3, 3)
+	if _, err := z.Invert(); err != ErrSingular {
+		t.Fatalf("zero matrix: expected ErrSingular, got %v", err)
+	}
+}
+
+func TestCauchyAllSquareSubmatricesInvertible(t *testing.T) {
+	// The defining property of Cauchy matrices: every square submatrix is
+	// invertible. Check all 1x1 and 2x2 submatrices of a 4x5 instance.
+	m := Cauchy(4, 5)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if m.At(r, c) == 0 {
+				t.Fatalf("Cauchy has zero at (%d,%d)", r, c)
+			}
+		}
+	}
+	for r1 := 0; r1 < m.Rows; r1++ {
+		for r2 := r1 + 1; r2 < m.Rows; r2++ {
+			for c1 := 0; c1 < m.Cols; c1++ {
+				for c2 := c1 + 1; c2 < m.Cols; c2++ {
+					det := gf.Mul(m.At(r1, c1), m.At(r2, c2)) ^ gf.Mul(m.At(r1, c2), m.At(r2, c1))
+					if det == 0 {
+						t.Fatalf("singular 2x2 Cauchy submatrix rows(%d,%d) cols(%d,%d)", r1, r2, c1, c2)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSystematicForm(t *testing.T) {
+	k, m := 4, 2
+	g, err := Systematic(Vandermonde(k+m, k), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < k; r++ {
+		for c := 0; c < k; c++ {
+			want := byte(0)
+			if r == c {
+				want = 1
+			}
+			if g.At(r, c) != want {
+				t.Fatalf("systematic top block not identity at (%d,%d): %#x", r, c, g.At(r, c))
+			}
+		}
+	}
+	// Any k rows of the systematic Vandermonde-derived matrix over GF(2^8)
+	// with these parameters must be invertible (MDS for this small case).
+	rowSets := [][]int{{0, 1, 2, 3}, {0, 1, 2, 4}, {0, 1, 4, 5}, {2, 3, 4, 5}, {0, 3, 4, 5}}
+	for _, rs := range rowSets {
+		if _, err := g.SelectRows(rs).Invert(); err != nil {
+			t.Fatalf("rows %v not invertible: %v", rs, err)
+		}
+	}
+}
+
+func TestMulRegions(t *testing.T) {
+	// out0 = in0 ^ in1, out1 = 2*in0 ^ 3*in1 verified element-wise.
+	m := FromRows([][]byte{{1, 1}, {2, 3}})
+	in := [][]byte{{10, 20}, {30, 40}}
+	out := [][]byte{make([]byte, 2), make([]byte, 2)}
+	m.MulRegions(in, out)
+	for i := 0; i < 2; i++ {
+		if out[0][i] != in[0][i]^in[1][i] {
+			t.Fatalf("row0 wrong at %d", i)
+		}
+		want := gf.Mul(2, in[0][i]) ^ gf.Mul(3, in[1][i])
+		if out[1][i] != want {
+			t.Fatalf("row1 wrong at %d: got %#x want %#x", i, out[1][i], want)
+		}
+	}
+}
+
+func TestSelectRows(t *testing.T) {
+	m := FromRows([][]byte{{1}, {2}, {3}})
+	s := m.SelectRows([]int{2, 0})
+	if s.Rows != 2 || s.At(0, 0) != 3 || s.At(1, 0) != 1 {
+		t.Fatalf("SelectRows wrong: %v", s)
+	}
+}
+
+func TestVandermondeFirstColumnOnes(t *testing.T) {
+	v := Vandermonde(6, 4)
+	for r := 0; r < 6; r++ {
+		if v.At(r, 0) != 1 {
+			t.Fatalf("V[%d][0] = %#x, want 1", r, v.At(r, 0))
+		}
+	}
+}
+
+func TestBitIdentityInvert(t *testing.T) {
+	inv, err := IdentityBit(6).InvertBit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 6; c++ {
+			want := byte(0)
+			if r == c {
+				want = 1
+			}
+			if inv.At(r, c) != want {
+				t.Fatal("bit identity inverse wrong")
+			}
+		}
+	}
+}
+
+func TestBitInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(10)
+		m := NewBit(n, n)
+		for i := range m.Bits {
+			m.Bits[i] = byte(rng.Intn(2))
+		}
+		inv, err := m.InvertBit()
+		if err != nil {
+			if m.Rank() == n {
+				t.Fatalf("full-rank matrix reported singular (n=%d)", n)
+			}
+			continue
+		}
+		p := m.Mul(inv)
+		if !bitEqual(p, IdentityBit(n)) {
+			t.Fatalf("m*inv != I over GF(2), n=%d:\n%v", n, p)
+		}
+	}
+}
+
+func TestBitRank(t *testing.T) {
+	m := NewBit(3, 3)
+	if m.Rank() != 0 {
+		t.Fatal("zero matrix rank != 0")
+	}
+	if IdentityBit(4).Rank() != 4 {
+		t.Fatal("identity rank wrong")
+	}
+	// Two equal rows -> rank 1.
+	d := NewBit(2, 3)
+	d.Set(0, 0, 1)
+	d.Set(0, 2, 1)
+	d.Set(1, 0, 1)
+	d.Set(1, 2, 1)
+	if d.Rank() != 1 {
+		t.Fatalf("duplicate-row rank = %d, want 1", d.Rank())
+	}
+}
+
+func TestBitMulAssociativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randBit(rng, 4, 5), randBit(rng, 5, 3), randBit(rng, 3, 6)
+		return bitEqual(a.Mul(b).Mul(c), a.Mul(b.Mul(c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitSetNormalizes(t *testing.T) {
+	m := NewBit(1, 1)
+	m.Set(0, 0, 7)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Set should normalize nonzero to 1")
+	}
+}
+
+func randBit(rng *rand.Rand, r, c int) *BitMatrix {
+	m := NewBit(r, c)
+	for i := range m.Bits {
+		m.Bits[i] = byte(rng.Intn(2))
+	}
+	return m
+}
+
+func bitEqual(a, b *BitMatrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Bits {
+		if a.Bits[i] != b.Bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkInvert8x8(b *testing.B) {
+	m := Cauchy(8, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Invert(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := map[string]func(){
+		"New":         func() { New(0, 3) },
+		"FromRowsNil": func() { FromRows(nil) },
+		"FromRowsRagged": func() {
+			FromRows([][]byte{{1, 2}, {3}})
+		},
+		"CauchyTooBig": func() { Cauchy(200, 100) },
+		"InvertShape":  func() { New(2, 3).Invert() },
+		"Systematic":   func() { Systematic(New(3, 3), 3) },
+		"NewBit":       func() { NewBit(0, 1) },
+		"BitMulShape":  func() { NewBit(2, 3).Mul(NewBit(2, 3)) },
+		"BitInvShape":  func() { NewBit(2, 3).InvertBit() },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSystematicSingularTop(t *testing.T) {
+	// A generator whose top k×k block is singular must be reported, not
+	// silently mangled.
+	g := New(3, 2) // zero top block
+	g.Set(2, 0, 1)
+	g.Set(2, 1, 1)
+	if _, err := Systematic(g, 2); err == nil {
+		t.Fatal("singular top block accepted")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m := FromRows([][]byte{{0x0A, 0xFF}})
+	if got := m.String(); got != "0a ff\n" {
+		t.Fatalf("String = %q", got)
+	}
+	b := NewBit(1, 3)
+	b.Set(0, 1, 1)
+	if got := b.String(); got != "010\n" {
+		t.Fatalf("bit String = %q", got)
+	}
+}
+
+func TestMulRegionsArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch accepted")
+		}
+	}()
+	FromRows([][]byte{{1, 1}}).MulRegions([][]byte{{1}}, [][]byte{{0}, {0}})
+}

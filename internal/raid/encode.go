@@ -1,0 +1,155 @@
+package raid
+
+import (
+	"fmt"
+
+	"shiftedmirror/internal/gf"
+	"shiftedmirror/internal/layout"
+)
+
+// This file gives each architecture byte-level semantics on top of its
+// planning role: how the redundant elements of a stripe are computed from
+// the data elements. The reconstruction engine uses these to materialize
+// stores and to verify that executing a recovery plan reproduces the
+// original bytes, the same check the paper performed after each
+// reconstruction run ("compared the original data ... and the recovered
+// data").
+
+// Getter reads the current content of an element of one stripe.
+type Getter func(ElementRef) []byte
+
+// Setter replaces the content of an element of one stripe.
+type Setter func(ElementRef, []byte)
+
+// Encoder is implemented by architectures that can materialize their
+// redundant elements from data elements.
+type Encoder interface {
+	// EncodeStripe computes every non-data element of a stripe from the
+	// data elements, reading through get and writing through set.
+	EncodeStripe(get Getter, set Setter)
+}
+
+// EncodeStripe implements Encoder for the mirror family: replicas are
+// byte copies placed by each arrangement; the optional parity disk holds
+// the XOR of each data row.
+func (m *Mirror) EncodeStripe(get Getter, set Setter) {
+	for mi, arr := range m.mirrors {
+		role := mirrorRoles[mi]
+		for i := 0; i < m.n; i++ {
+			for j := 0; j < m.n; j++ {
+				loc := arr.MirrorOf(layout.Addr{Disk: i, Row: j})
+				src := get(ElementRef{Role: RoleData, Disk: i, Row: j})
+				set(ElementRef{Role: role, Disk: loc.Disk, Row: loc.Row}, append([]byte(nil), src...))
+			}
+		}
+	}
+	if m.parity {
+		for j := 0; j < m.n; j++ {
+			set(ElementRef{Role: RoleParity, Disk: 0, Row: j}, m.parityRow(get, j))
+		}
+	}
+}
+
+// parityRow computes c_j = XOR_i a_{i,j}.
+func (m *Mirror) parityRow(get Getter, j int) []byte {
+	first := get(ElementRef{Role: RoleData, Disk: 0, Row: j})
+	out := append([]byte(nil), first...)
+	for i := 1; i < m.n; i++ {
+		gf.XorSlice(get(ElementRef{Role: RoleData, Disk: i, Row: j}), out)
+	}
+	return out
+}
+
+// EncodeStripe implements Encoder for RAID-5.
+func (r *RAID5) EncodeStripe(get Getter, set Setter) {
+	first := get(ElementRef{Role: RoleData, Disk: 0, Row: 0})
+	out := append([]byte(nil), first...)
+	for i := 1; i < r.n; i++ {
+		gf.XorSlice(get(ElementRef{Role: RoleData, Disk: i, Row: 0}), out)
+	}
+	set(ElementRef{Role: RoleParity, Disk: 0, Row: 0}, out)
+}
+
+// EncodeStripe implements Encoder for RAID-6 via the underlying EVENODD
+// or RDP code.
+func (r *RAID6) EncodeStripe(get Getter, set Setter) {
+	// Gather only the data shards; the parity shards are outputs.
+	shards := r.gatherShards(get, []DiskID{{RoleParity, 0}, {RoleParity2, 0}})
+	size := len(shards[0])
+	shards[r.n] = make([]byte, size)
+	shards[r.n+1] = make([]byte, size)
+	if err := r.code.Encode(shards); err != nil {
+		panic(fmt.Sprintf("raid: RAID6 encode: %v", err)) // sizes are internally consistent
+	}
+	r.scatterParity(set, shards)
+}
+
+// DecodeStripe rebuilds the elements of the failed disks of one stripe
+// from the surviving elements, writing the recovered bytes through set.
+// It implements the Decode recovery method of RAID-6 plans.
+func (r *RAID6) DecodeStripe(get Getter, set Setter, failed []DiskID) error {
+	shards := r.gatherShards(get, failed)
+	if err := r.code.Reconstruct(shards); err != nil {
+		return err
+	}
+	rows := r.code.Rows()
+	for _, f := range failed {
+		idx := r.shardIndex(f)
+		elemSize := len(shards[idx]) / rows
+		for row := 0; row < rows; row++ {
+			out := append([]byte(nil), shards[idx][row*elemSize:(row+1)*elemSize]...)
+			set(ElementRef{Role: f.Role, Disk: f.Index, Row: row}, out)
+		}
+	}
+	return nil
+}
+
+// shardIndex maps a disk to its shard position: data disks first, then
+// the two parity disks.
+func (r *RAID6) shardIndex(d DiskID) int {
+	switch d.Role {
+	case RoleData:
+		return d.Index
+	case RoleParity:
+		return r.n
+	case RoleParity2:
+		return r.n + 1
+	default:
+		panic(fmt.Sprintf("raid: no shard for %v", d))
+	}
+}
+
+// gatherShards concatenates each disk's rows into one shard, leaving nil
+// shards for the disks listed in failed.
+func (r *RAID6) gatherShards(get Getter, failed []DiskID) [][]byte {
+	isFailed := map[DiskID]bool{}
+	for _, f := range failed {
+		isFailed[f] = true
+	}
+	rows := r.code.Rows()
+	shards := make([][]byte, r.n+2)
+	for _, d := range r.Disks() {
+		if isFailed[d] {
+			continue
+		}
+		var shard []byte
+		for row := 0; row < rows; row++ {
+			shard = append(shard, get(ElementRef{Role: d.Role, Disk: d.Index, Row: row})...)
+		}
+		shards[r.shardIndex(d)] = shard
+	}
+	return shards
+}
+
+// scatterParity writes the parity shards back as elements.
+func (r *RAID6) scatterParity(set Setter, shards [][]byte) {
+	rows := r.code.Rows()
+	for _, d := range []DiskID{{RoleParity, 0}, {RoleParity2, 0}} {
+		shard := shards[r.shardIndex(d)]
+		elemSize := len(shard) / rows
+		for row := 0; row < rows; row++ {
+			out := append([]byte(nil), shard[row*elemSize:(row+1)*elemSize]...)
+			set(ElementRef{Role: d.Role, Disk: d.Index, Row: row}, out)
+		}
+	}
+}

@@ -1,0 +1,441 @@
+package raid
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"shiftedmirror/internal/layout"
+)
+
+// checkPlanWellFormed validates structural plan invariants: every lost
+// element is recovered exactly once, every recovery source is either an
+// intact read or the target of an earlier recovery, and reads never touch
+// failed disks.
+func checkPlanWellFormed(t *testing.T, arch Architecture, plan *Plan) {
+	t.Helper()
+	failed := map[DiskID]bool{}
+	for _, f := range plan.Failed {
+		failed[f] = true
+	}
+	for _, r := range plan.Reads {
+		if failed[DiskID{Role: r.Role, Index: r.Disk}] {
+			t.Fatalf("plan reads failed disk element %v", r)
+		}
+	}
+	// AvailReads must be a subset of Reads.
+	reads := map[ElementRef]bool{}
+	for _, r := range plan.Reads {
+		reads[r] = true
+	}
+	for _, r := range plan.AvailReads {
+		if !reads[r] {
+			t.Fatalf("avail read %v not in full read set", r)
+		}
+	}
+	// Lost elements = all rows of failed disks.
+	shape := arch.Shape()
+	want := map[ElementRef]bool{}
+	for _, f := range plan.Failed {
+		for row := 0; row < shape[f.Role].Rows; row++ {
+			want[ElementRef{Role: f.Role, Disk: f.Index, Row: row}] = true
+		}
+	}
+	recovered := map[ElementRef]bool{}
+	for _, rec := range plan.Recoveries {
+		if !want[rec.Target] {
+			t.Fatalf("recovery of non-lost element %v", rec.Target)
+		}
+		if recovered[rec.Target] {
+			t.Fatalf("element %v recovered twice", rec.Target)
+		}
+		for _, src := range rec.From {
+			onFailed := failed[DiskID{Role: src.Role, Index: src.Disk}]
+			if onFailed && !recovered[src] {
+				t.Fatalf("recovery of %v uses %v before it is recovered", rec.Target, src)
+			}
+			if !onFailed && !reads[src] && rec.Method != Decode {
+				t.Fatalf("recovery of %v uses unread source %v", rec.Target, src)
+			}
+		}
+		recovered[rec.Target] = true
+	}
+	if len(recovered) != len(want) {
+		t.Fatalf("recovered %d of %d lost elements", len(recovered), len(want))
+	}
+}
+
+func TestMirrorSingleFailureAccessCounts(t *testing.T) {
+	// §IV-B / §VI-A: one access under the shifted arrangement, n under
+	// the traditional one, for every possible single-disk failure.
+	for n := 2; n <= 7; n++ {
+		shifted := NewMirror(layout.NewShifted(n))
+		trad := NewMirror(layout.NewTraditional(n))
+		for _, failure := range AllSingleFailures(shifted) {
+			plan, err := shifted.RecoveryPlan(failure)
+			if err != nil {
+				t.Fatalf("n=%d shifted %v: %v", n, failure, err)
+			}
+			checkPlanWellFormed(t, shifted, plan)
+			if got := plan.AvailAccesses(); got != 1 {
+				t.Errorf("n=%d shifted %v: %d accesses, want 1", n, failure, got)
+			}
+		}
+		for _, failure := range AllSingleFailures(trad) {
+			plan, err := trad.RecoveryPlan(failure)
+			if err != nil {
+				t.Fatalf("n=%d traditional %v: %v", n, failure, err)
+			}
+			checkPlanWellFormed(t, trad, plan)
+			if got := plan.AvailAccesses(); got != n {
+				t.Errorf("n=%d traditional %v: %d accesses, want %d", n, failure, got, n)
+			}
+		}
+	}
+}
+
+// classify returns the paper's failure situation for a double failure of
+// the mirror method with parity: 1, 2 or 3 per Table I.
+func classify(failed []DiskID) int {
+	if failed[0].Role == RoleParity || failed[1].Role == RoleParity {
+		return 1
+	}
+	if failed[0].Role == failed[1].Role {
+		return 2
+	}
+	return 3
+}
+
+func TestShiftedMirrorParityTableI(t *testing.T) {
+	// Table I: F1 -> 1 read access, F2 -> 2, F3 -> 2, with case counts
+	// 2n, n(n-1), n^2.
+	for n := 2; n <= 7; n++ {
+		arch := NewMirrorWithParity(layout.NewShifted(n))
+		counts := map[int]int{}
+		for _, failure := range AllDoubleFailures(arch) {
+			plan, err := arch.RecoveryPlan(failure)
+			if err != nil {
+				t.Fatalf("n=%d %v: %v", n, failure, err)
+			}
+			checkPlanWellFormed(t, arch, plan)
+			situation := classify(failure)
+			counts[situation]++
+			want := map[int]int{1: 1, 2: 2, 3: 2}[situation]
+			if got := plan.AvailAccesses(); got != want {
+				t.Errorf("n=%d F%d %v: %d accesses, want %d", n, situation, failure, got, want)
+			}
+		}
+		if counts[1] != 2*n || counts[2] != n*(n-1) || counts[3] != n*n {
+			t.Errorf("n=%d case counts %v, want F1=%d F2=%d F3=%d", n, counts, 2*n, n*(n-1), n*n)
+		}
+	}
+}
+
+func TestTraditionalMirrorParityAlwaysN(t *testing.T) {
+	// Under the traditional arrangement every double-failure situation
+	// needs n read accesses (§VI-A's implied baseline).
+	for n := 2; n <= 6; n++ {
+		arch := NewMirrorWithParity(layout.NewTraditional(n))
+		for _, failure := range AllDoubleFailures(arch) {
+			plan, err := arch.RecoveryPlan(failure)
+			if err != nil {
+				t.Fatalf("n=%d %v: %v", n, failure, err)
+			}
+			checkPlanWellFormed(t, arch, plan)
+			if got := plan.AvailAccesses(); got != n {
+				t.Errorf("n=%d %v: %d accesses, want %d", n, failure, got, n)
+			}
+		}
+	}
+}
+
+func TestShiftedMirrorParityAverageMatchesPaper(t *testing.T) {
+	// Avg_Read = 4n/(2n+1) (§VI-A).
+	for n := 2; n <= 7; n++ {
+		arch := NewMirrorWithParity(layout.NewShifted(n))
+		total, cases := 0, 0
+		for _, failure := range AllDoubleFailures(arch) {
+			plan, err := arch.RecoveryPlan(failure)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += plan.AvailAccesses()
+			cases++
+		}
+		got := float64(total) / float64(cases)
+		want := 4 * float64(n) / float64(2*n+1)
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("n=%d: avg accesses %.6f, want %.6f", n, got, want)
+		}
+	}
+}
+
+func TestMirrorParityF3RecoversSharedElementViaParity(t *testing.T) {
+	// §V-B case 4: with data disk x and mirror disk y failed, element
+	// a_{x, <y-x>_n} is doubly lost and must be XOR-recovered from its
+	// row and the parity element; its mirror copy is then rebuilt from
+	// the recovered value.
+	n := 5
+	arch := NewMirrorWithParity(layout.NewShifted(n))
+	x, y := 1, 3
+	plan, err := arch.RecoveryPlan([]DiskID{{RoleData, x}, {RoleMirror, y}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedRow := ((y-x)%n + n) % n
+	var xorRecovery *Recovery
+	for i := range plan.Recoveries {
+		r := &plan.Recoveries[i]
+		if r.Method == Xor {
+			if xorRecovery != nil {
+				t.Fatalf("more than one XOR recovery in F3: %v and %v", xorRecovery.Target, r.Target)
+			}
+			xorRecovery = r
+		}
+	}
+	if xorRecovery == nil {
+		t.Fatal("no XOR recovery in F3 plan")
+	}
+	want := ElementRef{Role: RoleData, Disk: x, Row: sharedRow}
+	if xorRecovery.Target != want {
+		t.Fatalf("XOR recovery target %v, want %v", xorRecovery.Target, want)
+	}
+	// Its sources: the n-1 other row elements plus the parity element.
+	if len(xorRecovery.From) != n {
+		t.Fatalf("XOR sources = %d, want %d", len(xorRecovery.From), n)
+	}
+	foundParity := false
+	for _, src := range xorRecovery.From {
+		if src.Role == RoleParity {
+			foundParity = true
+			if src.Row != sharedRow {
+				t.Fatalf("parity source row %d, want %d", src.Row, sharedRow)
+			}
+		}
+	}
+	if !foundParity {
+		t.Fatal("XOR recovery does not use the parity element")
+	}
+}
+
+func TestMirrorParityParityOnlyFailure(t *testing.T) {
+	// A failed parity disk alone loses no data: zero availability reads,
+	// but the rebuild reads every data element.
+	n := 4
+	arch := NewMirrorWithParity(layout.NewShifted(n))
+	plan, err := arch.RecoveryPlan([]DiskID{{RoleParity, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlanWellFormed(t, arch, plan)
+	if len(plan.AvailReads) != 0 {
+		t.Fatalf("parity failure availability reads = %d, want 0", len(plan.AvailReads))
+	}
+	if got := plan.FullAccesses(); got != n {
+		t.Fatalf("parity rebuild accesses = %d, want %d", got, n)
+	}
+	if len(plan.Recoveries) != n {
+		t.Fatalf("parity recoveries = %d, want %d", len(plan.Recoveries), n)
+	}
+}
+
+func TestPlainMirrorCrossArrayDoubleFailure(t *testing.T) {
+	// Without parity: under the shifted arrangement any (data, mirror)
+	// disk pair shares exactly one element (P1/P2), so the pair is
+	// unrecoverable. Under the traditional arrangement the pair is
+	// recoverable iff the indices differ.
+	n := 4
+	shifted := NewMirror(layout.NewShifted(n))
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			_, err := shifted.RecoveryPlan([]DiskID{{RoleData, x}, {RoleMirror, y}})
+			if !errors.Is(err, ErrUnrecoverable) {
+				t.Errorf("shifted data[%d]+mirror[%d]: want ErrUnrecoverable, got %v", x, y, err)
+			}
+		}
+	}
+	trad := NewMirror(layout.NewTraditional(n))
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			_, err := trad.RecoveryPlan([]DiskID{{RoleData, x}, {RoleMirror, y}})
+			if x == y && !errors.Is(err, ErrUnrecoverable) {
+				t.Errorf("traditional mirrored pair %d: want ErrUnrecoverable, got %v", x, err)
+			}
+			if x != y && err != nil {
+				t.Errorf("traditional data[%d]+mirror[%d]: %v", x, y, err)
+			}
+		}
+	}
+}
+
+func TestPlainMirrorSameArrayDoubleFailureRecoverable(t *testing.T) {
+	// Two failures inside one array never lose both copies.
+	arch := NewMirror(layout.NewShifted(5))
+	plan, err := arch.RecoveryPlan([]DiskID{{RoleData, 0}, {RoleData, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlanWellFormed(t, arch, plan)
+	if got := plan.AvailAccesses(); got != 2 {
+		t.Fatalf("two data disks: %d accesses, want 2", got)
+	}
+}
+
+func TestThreeMirrorPlans(t *testing.T) {
+	// The future-work extension with pairwise-parallel arrangements:
+	// every single failure is one access; every double failure is
+	// recoverable with at most two accesses.
+	n := 5
+	arch := NewThreeMirror(layout.NewGeneralShifted(n, 1, 1), layout.NewGeneralShifted(n, 2, 1))
+	if arch.FaultTolerance() != 2 {
+		t.Fatal("three-mirror fault tolerance should be 2")
+	}
+	for _, failure := range AllSingleFailures(arch) {
+		plan, err := arch.RecoveryPlan(failure)
+		if err != nil {
+			t.Fatalf("%v: %v", failure, err)
+		}
+		checkPlanWellFormed(t, arch, plan)
+		if got := plan.AvailAccesses(); got != 1 {
+			t.Errorf("%v: %d accesses, want 1", failure, got)
+		}
+	}
+	for _, failure := range AllDoubleFailures(arch) {
+		plan, err := arch.RecoveryPlan(failure)
+		if err != nil {
+			t.Fatalf("%v: %v", failure, err)
+		}
+		checkPlanWellFormed(t, arch, plan)
+		if got := plan.AvailAccesses(); got > 2 {
+			t.Errorf("%v: %d accesses, want <= 2", failure, got)
+		}
+	}
+}
+
+func TestTraditionalThreeMirrorStillSequential(t *testing.T) {
+	// Three traditional mirrors: single data-disk failure still reads n
+	// elements from one disk.
+	n := 4
+	arch := NewThreeMirror(layout.NewTraditional(n), layout.NewTraditional(n))
+	plan, err := arch.RecoveryPlan([]DiskID{{RoleData, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.AvailAccesses(); got != n {
+		t.Fatalf("accesses = %d, want %d", got, n)
+	}
+}
+
+func TestMirrorMetadata(t *testing.T) {
+	n := 6
+	cases := []struct {
+		arch      *Mirror
+		wantName  string
+		wantFT    int
+		wantDisks int
+		wantEff   float64
+	}{
+		{NewMirror(layout.NewShifted(n)), "shifted-mirror", 1, 2 * n, 0.5},
+		{NewMirrorWithParity(layout.NewShifted(n)), "shifted-mirror+parity", 2, 2*n + 1, float64(n) / float64(2*n+1)},
+		{NewMirror(layout.NewTraditional(n)), "traditional-mirror", 1, 2 * n, 0.5},
+		{NewThreeMirror(layout.NewShifted(n), layout.NewIterated(n, 5)), "three-mirror(shifted,iterated(5))", 2, 3 * n, 1.0 / 3.0},
+	}
+	for _, c := range cases {
+		if got := c.arch.Name(); got != c.wantName {
+			t.Errorf("Name = %q, want %q", got, c.wantName)
+		}
+		if got := c.arch.FaultTolerance(); got != c.wantFT {
+			t.Errorf("%s: FT = %d, want %d", c.wantName, got, c.wantFT)
+		}
+		if got := len(c.arch.Disks()); got != c.wantDisks {
+			t.Errorf("%s: disks = %d, want %d", c.wantName, got, c.wantDisks)
+		}
+		if got := c.arch.StorageEfficiency(); got != c.wantEff {
+			t.Errorf("%s: efficiency = %v, want %v", c.wantName, got, c.wantEff)
+		}
+	}
+}
+
+func TestRecoveryPlanRejectsBadFailureSets(t *testing.T) {
+	arch := NewMirrorWithParity(layout.NewShifted(3))
+	if _, err := arch.RecoveryPlan([]DiskID{{RoleData, 9}}); err == nil {
+		t.Error("unknown disk accepted")
+	}
+	if _, err := arch.RecoveryPlan([]DiskID{{RoleData, 1}, {RoleData, 1}}); err == nil {
+		t.Error("duplicate disk accepted")
+	}
+	if _, err := arch.RecoveryPlan([]DiskID{{RoleMirror2, 0}}); err == nil {
+		t.Error("mirror2 disk accepted on two-array architecture")
+	}
+}
+
+func TestTripleFailureBeyondTolerance(t *testing.T) {
+	arch := NewMirrorWithParity(layout.NewShifted(4))
+	// Three failures hitting a data disk, the mirror disk holding one of
+	// its replicas, and the parity disk: unrecoverable.
+	_, err := arch.RecoveryPlan([]DiskID{{RoleData, 0}, {RoleMirror, 1}, {RoleParity, 0}})
+	if !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("want ErrUnrecoverable, got %v", err)
+	}
+	// But three failures all in the mirror array are fine.
+	plan, err := arch.RecoveryPlan([]DiskID{{RoleMirror, 0}, {RoleMirror, 1}, {RoleMirror, 2}})
+	if err != nil {
+		t.Fatalf("three mirror disks should be recoverable: %v", err)
+	}
+	checkPlanWellFormed(t, arch, plan)
+}
+
+func TestEmptyFailureSet(t *testing.T) {
+	arch := NewMirror(layout.NewShifted(3))
+	plan, err := arch.RecoveryPlan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Reads) != 0 || len(plan.Recoveries) != 0 {
+		t.Fatal("empty failure set should produce an empty plan")
+	}
+}
+
+func TestShapeConsistency(t *testing.T) {
+	arch := NewMirrorWithParity(layout.NewShifted(4))
+	shape := arch.Shape()
+	if shape[RoleData] != (ArrayShape{Disks: 4, Rows: 4}) {
+		t.Errorf("data shape %+v", shape[RoleData])
+	}
+	if shape[RoleParity] != (ArrayShape{Disks: 1, Rows: 4}) {
+		t.Errorf("parity shape %+v", shape[RoleParity])
+	}
+	if _, ok := shape[RoleMirror2]; ok {
+		t.Error("unexpected mirror2 in two-array architecture")
+	}
+}
+
+func TestIteratedArrangementPlansStillOneAccess(t *testing.T) {
+	// §VI-E: any arrangement satisfying P1+P2 gives one-access single
+	// failure recovery; iterated(3) lacks only P3 (a write property).
+	n := 3
+	arch := NewMirror(layout.NewIterated(n, 3))
+	for _, failure := range AllSingleFailures(arch) {
+		plan, err := arch.RecoveryPlan(failure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := plan.AvailAccesses(); got != 1 {
+			t.Errorf("%v: %d accesses, want 1", failure, got)
+		}
+	}
+}
+
+func ExampleMirror_RecoveryPlan() {
+	arch := NewMirror(layout.NewShifted(3))
+	plan, _ := arch.RecoveryPlan([]DiskID{{Role: RoleData, Index: 0}})
+	fmt.Println("read accesses:", plan.AvailAccesses())
+	for _, r := range plan.Recoveries {
+		fmt.Printf("%v <- %v (%v)\n", r.Target, r.From[0], r.Method)
+	}
+	// Output:
+	// read accesses: 1
+	// data[0]r0 <- mirror[0]r0 (copy)
+	// data[0]r1 <- mirror[1]r0 (copy)
+	// data[0]r2 <- mirror[2]r0 (copy)
+}

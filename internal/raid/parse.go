@@ -1,0 +1,50 @@
+package raid
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseDiskID parses a disk identifier of the form "role:index", e.g.
+// "data:0" or "mirror:3". Accepted roles: data, mirror, mirror2, parity,
+// parity2.
+func ParseDiskID(s string) (DiskID, error) {
+	bits := strings.SplitN(s, ":", 2)
+	if len(bits) != 2 {
+		return DiskID{}, fmt.Errorf("raid: bad disk %q (want role:index)", s)
+	}
+	role, ok := map[string]Role{
+		"data":    RoleData,
+		"mirror":  RoleMirror,
+		"mirror2": RoleMirror2,
+		"parity":  RoleParity,
+		"parity2": RoleParity2,
+	}[bits[0]]
+	if !ok {
+		return DiskID{}, fmt.Errorf("raid: unknown role %q in %q", bits[0], s)
+	}
+	idx, err := strconv.Atoi(bits[1])
+	if err != nil || idx < 0 {
+		return DiskID{}, fmt.Errorf("raid: bad index in %q", s)
+	}
+	return DiskID{Role: role, Index: idx}, nil
+}
+
+// ParseDiskList parses a comma-separated list of disk identifiers, e.g.
+// "data:0,mirror:3".
+func ParseDiskList(s string) ([]DiskID, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("raid: empty disk list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]DiskID, 0, len(parts))
+	for _, p := range parts {
+		id, err := ParseDiskID(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}

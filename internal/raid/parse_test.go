@@ -1,0 +1,54 @@
+package raid
+
+import "testing"
+
+func TestParseDiskID(t *testing.T) {
+	cases := map[string]DiskID{
+		"data:0":    {RoleData, 0},
+		"mirror:3":  {RoleMirror, 3},
+		"mirror2:1": {RoleMirror2, 1},
+		"parity:0":  {RoleParity, 0},
+		"parity2:0": {RoleParity2, 0},
+	}
+	for s, want := range cases {
+		got, err := ParseDiskID(s)
+		if err != nil {
+			t.Errorf("%q: %v", s, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%q = %v, want %v", s, got, want)
+		}
+	}
+	for _, bad := range []string{"", "data", "data:", "data:x", "data:-1", "disk:0", "data:0:1"} {
+		if _, err := ParseDiskID(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseDiskList(t *testing.T) {
+	got, err := ParseDiskList("data:1, mirror:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != (DiskID{RoleData, 1}) || got[1] != (DiskID{RoleMirror, 2}) {
+		t.Fatalf("got %v", got)
+	}
+	for _, bad := range []string{"", "  ", "data:1,", "data:1,bogus"} {
+		if _, err := ParseDiskList(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseRoundTripsRoleNames(t *testing.T) {
+	// Every role's textual name parses back to the same role.
+	for _, role := range []Role{RoleData, RoleMirror, RoleMirror2, RoleParity, RoleParity2} {
+		id := DiskID{Role: role, Index: 5}
+		parsed, err := ParseDiskID(role.String() + ":5")
+		if err != nil || parsed != id {
+			t.Errorf("%v: parsed %v, err %v", role, parsed, err)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package raid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"shiftedmirror/internal/layout"
+)
+
+// planInvariants checks structural soundness of a plan without assuming
+// anything about the architecture: reads avoid failed disks, sources are
+// readable or previously recovered, every lost element is rebuilt exactly
+// once.
+func planInvariants(arch Architecture, plan *Plan) bool {
+	failed := map[DiskID]bool{}
+	for _, f := range plan.Failed {
+		failed[f] = true
+	}
+	reads := map[ElementRef]bool{}
+	for _, r := range plan.Reads {
+		if failed[DiskID{Role: r.Role, Index: r.Disk}] {
+			return false
+		}
+		reads[r] = true
+	}
+	shape := arch.Shape()
+	want := 0
+	for _, f := range plan.Failed {
+		want += shape[f.Role].Rows
+	}
+	recovered := map[ElementRef]bool{}
+	for _, rec := range plan.Recoveries {
+		if recovered[rec.Target] {
+			return false
+		}
+		for _, src := range rec.From {
+			onFailed := failed[DiskID{Role: src.Role, Index: src.Disk}]
+			if onFailed && !recovered[src] {
+				return false
+			}
+			if !onFailed && !reads[src] && rec.Method != Decode {
+				return false
+			}
+		}
+		recovered[rec.Target] = true
+	}
+	return len(recovered) == want
+}
+
+// TestQuickRandomFailureSets fuzzes the mirror-family planner with random
+// architectures and random failure sets of up to 3 disks: every produced
+// plan satisfies the invariants, and ErrUnrecoverable is the only
+// accepted failure mode.
+func TestQuickRandomFailureSets(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		var arch *Mirror
+		switch rng.Intn(4) {
+		case 0:
+			arch = NewMirror(layout.NewTraditional(n))
+		case 1:
+			arch = NewMirror(layout.NewShifted(n))
+		case 2:
+			arch = NewMirrorWithParity(layout.NewShifted(n))
+		default:
+			arch = NewMirrorWithParity(layout.NewIterated(n, 1+rng.Intn(5)))
+		}
+		disks := arch.Disks()
+		size := 1 + rng.Intn(3)
+		perm := rng.Perm(len(disks))
+		var failed []DiskID
+		for _, idx := range perm[:min(size, len(disks))] {
+			failed = append(failed, disks[idx])
+		}
+		plan, err := arch.RecoveryPlan(failed)
+		if err != nil {
+			return true // unrecoverable sets are allowed to error
+		}
+		return planInvariants(arch, plan)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAvailabilityNeverWorseThanTraditional fuzzes the central
+// claim: for every failure set both arrangements can recover, the shifted
+// plan never needs more availability read accesses than the traditional
+// one.
+func TestQuickAvailabilityNeverWorseThanTraditional(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		parity := rng.Intn(2) == 1
+		mk := func(arr layout.Arrangement) *Mirror {
+			if parity {
+				return NewMirrorWithParity(arr)
+			}
+			return NewMirror(arr)
+		}
+		shifted := mk(layout.NewShifted(n))
+		trad := mk(layout.NewTraditional(n))
+		disks := shifted.Disks()
+		size := 1 + rng.Intn(2)
+		perm := rng.Perm(len(disks))
+		var failed []DiskID
+		for _, idx := range perm[:size] {
+			failed = append(failed, disks[idx])
+		}
+		ps, errS := shifted.RecoveryPlan(failed)
+		pt, errT := trad.RecoveryPlan(failed)
+		if errS != nil || errT != nil {
+			return true // only comparable when both recover
+		}
+		return ps.AvailAccesses() <= pt.AvailAccesses()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWritePlanConservation fuzzes write planning: user elements
+// covered, write rounds, and pre-reads stay structurally consistent for
+// arbitrary extents.
+func TestQuickWritePlanConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		arch := NewMirrorWithParity(layout.NewShifted(n))
+		start := rng.Intn(n * n)
+		count := 1 + rng.Intn(n*n-start)
+		plan, err := arch.WritePlan(start, count, WriteStrategy(rng.Intn(3)))
+		if err != nil {
+			return false
+		}
+		if plan.DataElements != count {
+			return false
+		}
+		// Rows touched = rows spanned by [start, start+count).
+		firstRow, lastRow := start/n, (start+count-1)/n
+		if len(plan.WriteRounds) != lastRow-firstRow+1 {
+			return false
+		}
+		// Each round writes its data elements + replicas + parity.
+		totalWrites := 0
+		for _, round := range plan.WriteRounds {
+			totalWrites += len(round)
+		}
+		return totalWrites == 2*count+len(plan.WriteRounds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

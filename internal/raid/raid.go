@@ -1,0 +1,229 @@
+// Package raid implements the RAID architectures of the paper as pure
+// planners: given a set of failed disks, they produce the per-stripe read
+// and recovery plan the architecture prescribes, and given a user write,
+// the element writes and parity-update reads it costs.
+//
+// Plans are logical (role + logical disk + row within one stripe) and
+// independent of any particular simulated hardware; internal/recon binds
+// them to simulated arrays and internal/analysis cross-checks their access
+// counts against the paper's closed forms.
+package raid
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Role identifies an array (or standalone disk) within an architecture.
+type Role int
+
+// Roles.
+const (
+	RoleData Role = iota
+	RoleMirror
+	RoleMirror2
+	RoleParity
+	RoleParity2
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleData:
+		return "data"
+	case RoleMirror:
+		return "mirror"
+	case RoleMirror2:
+		return "mirror2"
+	case RoleParity:
+		return "parity"
+	case RoleParity2:
+		return "parity2"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// DiskID names one disk of an architecture: the array it belongs to and
+// its logical index within that array.
+type DiskID struct {
+	Role  Role
+	Index int
+}
+
+// String renders like "mirror[2]".
+func (d DiskID) String() string { return fmt.Sprintf("%s[%d]", d.Role, d.Index) }
+
+// ElementRef addresses one element within a stripe.
+type ElementRef struct {
+	Role Role
+	Disk int
+	Row  int
+}
+
+// String renders like "data[1]r2".
+func (e ElementRef) String() string { return fmt.Sprintf("%s[%d]r%d", e.Role, e.Disk, e.Row) }
+
+// OnDisk reports whether the element lies on the given disk.
+func (e ElementRef) OnDisk(d DiskID) bool { return e.Role == d.Role && e.Disk == d.Index }
+
+// Method is how a lost element is recomputed.
+type Method int
+
+// Recovery methods.
+const (
+	// Copy reads the single source replica.
+	Copy Method = iota
+	// Xor recomputes the element as the XOR of all sources (parity
+	// equation).
+	Xor
+	// Decode runs the architecture's erasure decoder over the whole
+	// stripe (used by RAID-6, whose recovery is not a per-element XOR of
+	// a fixed source list).
+	Decode
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Copy:
+		return "copy"
+	case Xor:
+		return "xor"
+	default:
+		return "decode"
+	}
+}
+
+// Recovery describes how one lost element is rebuilt. Recoveries within a
+// Plan are ordered: a source may reference the target of an earlier
+// recovery in the same plan (e.g. a mirror element copied from a data
+// element that was itself just rebuilt from parity).
+type Recovery struct {
+	Target ElementRef
+	Method Method
+	From   []ElementRef
+}
+
+// Plan is the per-stripe reconstruction prescription for a failure set.
+type Plan struct {
+	// Failed is the failure set the plan answers.
+	Failed []DiskID
+	// Reads are the intact elements the full reconstruction reads,
+	// deduplicated.
+	Reads []ElementRef
+	// AvailReads is the subset of Reads needed to recover the lost data
+	// and mirror elements — the paper's data-availability metric
+	// (Table I). Parity-rebuild reads are excluded, exactly as in the
+	// paper's Num_Read accounting.
+	AvailReads []ElementRef
+	// Recoveries rebuild every lost element, in dependency order.
+	Recoveries []Recovery
+}
+
+// ErrUnrecoverable is returned when the failure set exceeds what the
+// architecture can rebuild.
+var ErrUnrecoverable = errors.New("raid: failure set is unrecoverable")
+
+// accessCount returns the paper's access metric for a set of element
+// reads: the maximum number of elements read from any single disk.
+func accessCount(reads []ElementRef) int {
+	per := map[DiskID]int{}
+	max := 0
+	for _, r := range reads {
+		id := DiskID{Role: r.Role, Index: r.Disk}
+		per[id]++
+		if per[id] > max {
+			max = per[id]
+		}
+	}
+	return max
+}
+
+// AvailAccesses returns the number of read accesses needed for the
+// data-availability reads (the Table I metric).
+func (p *Plan) AvailAccesses() int { return accessCount(p.AvailReads) }
+
+// FullAccesses returns the number of read accesses for the complete
+// reconstruction, including parity-rebuild reads.
+func (p *Plan) FullAccesses() int { return accessCount(p.Reads) }
+
+// LostElements returns the targets of all recoveries.
+func (p *Plan) LostElements() []ElementRef {
+	out := make([]ElementRef, len(p.Recoveries))
+	for i, r := range p.Recoveries {
+		out[i] = r.Target
+	}
+	return out
+}
+
+// ArrayShape describes one array of an architecture so a simulator can
+// instantiate it: how many disks and how many element rows per stripe.
+type ArrayShape struct {
+	Disks int
+	Rows  int
+}
+
+// Architecture is the planning interface shared by all RAID variants in
+// this package.
+type Architecture interface {
+	// Name identifies the architecture and its arrangement, e.g.
+	// "shifted-mirror+parity".
+	Name() string
+	// N is the number of data disks.
+	N() int
+	// FaultTolerance is the number of arbitrary disk failures survived.
+	FaultTolerance() int
+	// Shape lists the arrays making up the architecture.
+	Shape() map[Role]ArrayShape
+	// Disks enumerates every disk.
+	Disks() []DiskID
+	// StorageEfficiency is data capacity over raw capacity.
+	StorageEfficiency() float64
+	// RecoveryPlan builds the per-stripe plan for a failure set, or
+	// ErrUnrecoverable.
+	RecoveryPlan(failed []DiskID) (*Plan, error)
+}
+
+// validateFailed checks a failure set against an architecture's disks:
+// IDs must exist and be pairwise distinct.
+func validateFailed(a Architecture, failed []DiskID) error {
+	valid := map[DiskID]bool{}
+	for _, d := range a.Disks() {
+		valid[d] = true
+	}
+	seen := map[DiskID]bool{}
+	for _, f := range failed {
+		if !valid[f] {
+			return fmt.Errorf("raid: unknown disk %v", f)
+		}
+		if seen[f] {
+			return fmt.Errorf("raid: duplicate failed disk %v", f)
+		}
+		seen[f] = true
+	}
+	return nil
+}
+
+// AllSingleFailures enumerates every 1-disk failure set.
+func AllSingleFailures(a Architecture) [][]DiskID {
+	var out [][]DiskID
+	for _, d := range a.Disks() {
+		out = append(out, []DiskID{d})
+	}
+	return out
+}
+
+// AllDoubleFailures enumerates every unordered 2-disk failure set (the
+// paper's "as many as 105 cases for 7 data disks, 7 mirror disks, and 1
+// parity disk").
+func AllDoubleFailures(a Architecture) [][]DiskID {
+	disks := a.Disks()
+	var out [][]DiskID
+	for i := 0; i < len(disks); i++ {
+		for j := i + 1; j < len(disks); j++ {
+			out = append(out, []DiskID{disks[i], disks[j]})
+		}
+	}
+	return out
+}

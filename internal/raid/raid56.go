@@ -1,0 +1,188 @@
+package raid
+
+import (
+	"fmt"
+
+	"shiftedmirror/internal/erasure"
+)
+
+// RAID5 is the single-parity baseline: n data disks plus one rotating
+// parity disk (rotation is a physical-placement concern handled by the
+// array layer; the planner works on logical disks). Every reconstruction
+// reads all intact elements, the behaviour the paper contrasts with the
+// mirror methods.
+type RAID5 struct {
+	n int
+}
+
+// NewRAID5 returns a RAID-5 planner over n data disks.
+func NewRAID5(n int) *RAID5 {
+	if n < 1 {
+		panic("raid: RAID5 needs n >= 1")
+	}
+	return &RAID5{n: n}
+}
+
+// Name implements Architecture.
+func (r *RAID5) Name() string { return "raid5" }
+
+// N implements Architecture.
+func (r *RAID5) N() int { return r.n }
+
+// FaultTolerance implements Architecture.
+func (r *RAID5) FaultTolerance() int { return 1 }
+
+// Shape implements Architecture. RAID-5 stripes here are one row deep per
+// disk; the array layer stacks stripes for depth.
+func (r *RAID5) Shape() map[Role]ArrayShape {
+	return map[Role]ArrayShape{
+		RoleData:   {Disks: r.n, Rows: 1},
+		RoleParity: {Disks: 1, Rows: 1},
+	}
+}
+
+// Disks implements Architecture.
+func (r *RAID5) Disks() []DiskID {
+	var out []DiskID
+	for i := 0; i < r.n; i++ {
+		out = append(out, DiskID{Role: RoleData, Index: i})
+	}
+	return append(out, DiskID{Role: RoleParity, Index: 0})
+}
+
+// StorageEfficiency implements Architecture.
+func (r *RAID5) StorageEfficiency() float64 { return float64(r.n) / float64(r.n+1) }
+
+// RecoveryPlan implements Architecture: any single failure is rebuilt as
+// the XOR of the whole surviving row.
+func (r *RAID5) RecoveryPlan(failed []DiskID) (*Plan, error) {
+	if err := validateFailed(r, failed); err != nil {
+		return nil, err
+	}
+	if len(failed) > 1 {
+		return nil, fmt.Errorf("%w: RAID5 tolerates one failure, got %d", ErrUnrecoverable, len(failed))
+	}
+	p := newPlanner(failed)
+	if len(failed) == 0 {
+		return p.plan, nil
+	}
+	f := failed[0]
+	var target ElementRef
+	if f.Role == RoleParity {
+		target = ElementRef{Role: RoleParity, Disk: 0, Row: 0}
+	} else {
+		target = ElementRef{Role: RoleData, Disk: f.Index, Row: 0}
+	}
+	from := make([]ElementRef, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		if f.Role == RoleData && i == f.Index {
+			continue
+		}
+		from = append(from, ElementRef{Role: RoleData, Disk: i, Row: 0})
+	}
+	if f.Role != RoleParity {
+		from = append(from, ElementRef{Role: RoleParity, Disk: 0, Row: 0})
+	}
+	p.emit(target, Xor, from, true)
+	return p.plan, nil
+}
+
+// RAID6 is the two-parity baseline built on a shortened horizontal code
+// (EVENODD or RDP). The planner's access counts back the Fig 7
+// comparison; the Decode recovery method hands byte-level rebuilds to the
+// erasure decoder.
+type RAID6 struct {
+	n    int
+	code *erasure.XorCode
+}
+
+// NewRAID6EvenOdd returns a RAID-6 planner over n data disks using the
+// EVENODD code shortened from the smallest prime p >= n (the paper's
+// "shorten" method citation); stripes are p-1 rows deep.
+func NewRAID6EvenOdd(n int) *RAID6 {
+	if n < 1 {
+		panic("raid: RAID6 needs n >= 1")
+	}
+	p := erasure.SmallestPrimeAtLeast(n)
+	return &RAID6{n: n, code: erasure.NewEvenOdd(p, n)}
+}
+
+// NewRAID6RDP returns a RAID-6 planner using RDP shortened from the
+// smallest prime p >= n+1.
+func NewRAID6RDP(n int) *RAID6 {
+	if n < 1 {
+		panic("raid: RAID6 needs n >= 1")
+	}
+	p := erasure.SmallestPrimeAtLeast(n + 1)
+	return &RAID6{n: n, code: erasure.NewRDP(p, n)}
+}
+
+// Name implements Architecture.
+func (r *RAID6) Name() string { return "raid6-" + r.code.Name() }
+
+// N implements Architecture.
+func (r *RAID6) N() int { return r.n }
+
+// Code exposes the underlying erasure code (for byte-level execution).
+func (r *RAID6) Code() *erasure.XorCode { return r.code }
+
+// Rows returns the stripe depth (p-1).
+func (r *RAID6) Rows() int { return r.code.Rows() }
+
+// FaultTolerance implements Architecture.
+func (r *RAID6) FaultTolerance() int { return 2 }
+
+// Shape implements Architecture.
+func (r *RAID6) Shape() map[Role]ArrayShape {
+	rows := r.code.Rows()
+	return map[Role]ArrayShape{
+		RoleData:    {Disks: r.n, Rows: rows},
+		RoleParity:  {Disks: 1, Rows: rows},
+		RoleParity2: {Disks: 1, Rows: rows},
+	}
+}
+
+// Disks implements Architecture.
+func (r *RAID6) Disks() []DiskID {
+	var out []DiskID
+	for i := 0; i < r.n; i++ {
+		out = append(out, DiskID{Role: RoleData, Index: i})
+	}
+	return append(out,
+		DiskID{Role: RoleParity, Index: 0},
+		DiskID{Role: RoleParity2, Index: 0})
+}
+
+// StorageEfficiency implements Architecture.
+func (r *RAID6) StorageEfficiency() float64 { return float64(r.n) / float64(r.n+2) }
+
+// RecoveryPlan implements Architecture. RAID-6 reconstruction reads every
+// intact element of the stripe (the paper's stated reason for its low
+// availability) and decodes.
+func (r *RAID6) RecoveryPlan(failed []DiskID) (*Plan, error) {
+	if err := validateFailed(r, failed); err != nil {
+		return nil, err
+	}
+	if len(failed) > 2 {
+		return nil, fmt.Errorf("%w: RAID6 tolerates two failures, got %d", ErrUnrecoverable, len(failed))
+	}
+	p := newPlanner(failed)
+	rows := r.code.Rows()
+	// Read all intact elements.
+	var reads []ElementRef
+	for _, d := range r.Disks() {
+		if p.failed[d] {
+			continue
+		}
+		for row := 0; row < rows; row++ {
+			reads = append(reads, ElementRef{Role: d.Role, Disk: d.Index, Row: row})
+		}
+	}
+	for _, f := range failed {
+		for row := 0; row < rows; row++ {
+			target := ElementRef{Role: f.Role, Disk: f.Index, Row: row}
+			p.emit(target, Decode, reads, true)
+		}
+	}
+	return p.plan, nil
+}

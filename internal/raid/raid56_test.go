@@ -1,0 +1,121 @@
+package raid
+
+import (
+	"errors"
+	"testing"
+
+	"shiftedmirror/internal/erasure"
+)
+
+func TestRAID5SingleFailurePlans(t *testing.T) {
+	n := 5
+	arch := NewRAID5(n)
+	for _, failure := range AllSingleFailures(arch) {
+		plan, err := arch.RecoveryPlan(failure)
+		if err != nil {
+			t.Fatalf("%v: %v", failure, err)
+		}
+		// All intact row elements are read: one access (one row deep).
+		if got := plan.AvailAccesses(); got != 1 {
+			t.Errorf("%v: %d accesses, want 1", failure, got)
+		}
+		if got := len(plan.Reads); got != n {
+			t.Errorf("%v: %d reads, want %d (all intact elements)", failure, got, n)
+		}
+		if len(plan.Recoveries) != 1 || plan.Recoveries[0].Method != Xor {
+			t.Errorf("%v: recovery %+v", failure, plan.Recoveries)
+		}
+	}
+}
+
+func TestRAID5RejectsDoubleFailure(t *testing.T) {
+	arch := NewRAID5(4)
+	_, err := arch.RecoveryPlan([]DiskID{{RoleData, 0}, {RoleData, 1}})
+	if !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("want ErrUnrecoverable, got %v", err)
+	}
+}
+
+func TestRAID5Metadata(t *testing.T) {
+	arch := NewRAID5(4)
+	if arch.Name() != "raid5" || arch.N() != 4 || arch.FaultTolerance() != 1 {
+		t.Fatal("metadata wrong")
+	}
+	if got := arch.StorageEfficiency(); got != 0.8 {
+		t.Fatalf("efficiency = %v, want 0.8", got)
+	}
+	if got := len(arch.Disks()); got != 5 {
+		t.Fatalf("disks = %d, want 5", got)
+	}
+}
+
+func TestRAID6ShortenedRows(t *testing.T) {
+	// The shorten method: n data disks ride on the smallest prime >= n,
+	// with p-1 rows per stripe.
+	cases := map[int]int{3: 2, 4: 4, 5: 4, 6: 6, 7: 6, 8: 10}
+	for n, wantRows := range cases {
+		arch := NewRAID6EvenOdd(n)
+		if got := arch.Rows(); got != wantRows {
+			t.Errorf("evenodd n=%d: rows = %d, want %d", n, got, wantRows)
+		}
+	}
+}
+
+func TestRAID6PlansReadEverything(t *testing.T) {
+	// The paper's stated weakness of RAID 6: all intact elements are
+	// read in (nearly) all failure situations, so the access count is
+	// the stripe depth.
+	for _, mk := range []func(int) *RAID6{NewRAID6EvenOdd, NewRAID6RDP} {
+		for n := 3; n <= 7; n++ {
+			arch := mk(n)
+			rows := arch.Rows()
+			for _, failure := range AllDoubleFailures(arch) {
+				plan, err := arch.RecoveryPlan(failure)
+				if err != nil {
+					t.Fatalf("%s %v: %v", arch.Name(), failure, err)
+				}
+				if got := plan.AvailAccesses(); got != rows {
+					t.Errorf("%s %v: %d accesses, want %d", arch.Name(), failure, got, rows)
+				}
+				// Reads cover all intact disks fully.
+				if got := len(plan.Reads); got != rows*n {
+					t.Errorf("%s %v: %d reads, want %d", arch.Name(), failure, got, rows*n)
+				}
+			}
+		}
+	}
+}
+
+func TestRAID6RejectsTripleFailure(t *testing.T) {
+	arch := NewRAID6EvenOdd(5)
+	_, err := arch.RecoveryPlan([]DiskID{{RoleData, 0}, {RoleData, 1}, {RoleParity, 0}})
+	if !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("want ErrUnrecoverable, got %v", err)
+	}
+}
+
+func TestRAID6Metadata(t *testing.T) {
+	arch := NewRAID6EvenOdd(4)
+	if arch.N() != 4 || arch.FaultTolerance() != 2 {
+		t.Fatal("metadata wrong")
+	}
+	if got := arch.StorageEfficiency(); got != 4.0/6.0 {
+		t.Fatalf("efficiency = %v", got)
+	}
+	shape := arch.Shape()
+	if shape[RoleParity2].Disks != 1 {
+		t.Fatal("missing second parity disk")
+	}
+	if arch.Code().DataShards() != 4 {
+		t.Fatal("code shards mismatch")
+	}
+}
+
+func TestRAID6CodeMatchesErasurePackage(t *testing.T) {
+	arch := NewRAID6EvenOdd(5)
+	p := erasure.SmallestPrimeAtLeast(5)
+	want := erasure.NewEvenOdd(p, 5)
+	if arch.Code().Name() != want.Name() {
+		t.Fatalf("code %q, want %q", arch.Code().Name(), want.Name())
+	}
+}

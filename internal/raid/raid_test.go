@@ -1,0 +1,62 @@
+package raid
+
+import (
+	"testing"
+
+	"shiftedmirror/internal/layout"
+)
+
+func TestStringers(t *testing.T) {
+	if RoleData.String() != "data" || RoleParity2.String() != "parity2" {
+		t.Error("Role.String wrong")
+	}
+	if Role(99).String() != "role(99)" {
+		t.Error("unknown role string")
+	}
+	if (DiskID{RoleMirror, 3}).String() != "mirror[3]" {
+		t.Error("DiskID.String wrong")
+	}
+	if (ElementRef{RoleData, 1, 2}).String() != "data[1]r2" {
+		t.Error("ElementRef.String wrong")
+	}
+	if Copy.String() != "copy" || Xor.String() != "xor" || Decode.String() != "decode" {
+		t.Error("Method.String wrong")
+	}
+}
+
+func TestElementRefOnDisk(t *testing.T) {
+	e := ElementRef{Role: RoleMirror, Disk: 2, Row: 1}
+	if !e.OnDisk(DiskID{RoleMirror, 2}) {
+		t.Error("OnDisk false negative")
+	}
+	if e.OnDisk(DiskID{RoleData, 2}) || e.OnDisk(DiskID{RoleMirror, 1}) {
+		t.Error("OnDisk false positive")
+	}
+}
+
+func TestPlanLostElements(t *testing.T) {
+	arch := NewMirror(layout.NewShifted(3))
+	plan, err := arch.RecoveryPlan([]DiskID{{RoleData, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := plan.LostElements()
+	if len(lost) != 3 {
+		t.Fatalf("lost = %v", lost)
+	}
+	for _, e := range lost {
+		if !e.OnDisk(DiskID{RoleData, 1}) {
+			t.Fatalf("lost element %v not on failed disk", e)
+		}
+	}
+}
+
+func TestAllFailureEnumerations(t *testing.T) {
+	arch := NewMirrorWithParity(layout.NewShifted(3))
+	if got := len(AllSingleFailures(arch)); got != 7 {
+		t.Fatalf("singles = %d, want 7", got)
+	}
+	if got := len(AllDoubleFailures(arch)); got != 21 {
+		t.Fatalf("doubles = %d, want C(7,2)=21", got)
+	}
+}

@@ -1,0 +1,110 @@
+package raid
+
+import (
+	"fmt"
+
+	"shiftedmirror/internal/layout"
+)
+
+// This file quantifies the small-write (single-element update) cost of
+// each architecture — the §II/§VI-C argument: the mirror methods achieve
+// the theoretical optimum (1 + fault tolerance element writes), while
+// horizontal RAID-6 codes cannot (updating one data element can touch
+// more than two parity elements, Blaum & Roth 1999).
+
+// UpdateCost describes the element-level cost of modifying one data
+// element.
+type UpdateCost struct {
+	// Target is the data element updated.
+	Target ElementRef
+	// Writes lists every element that must be rewritten: the target
+	// itself, replicas, and parity elements.
+	Writes []ElementRef
+}
+
+// Redundant returns the number of redundant (non-target) element writes.
+func (u UpdateCost) Redundant() int { return len(u.Writes) - 1 }
+
+// Updater is implemented by architectures that can report small-write
+// costs.
+type Updater interface {
+	// UpdateCost returns the write set for modifying the data element at
+	// (disk, row).
+	UpdateCost(disk, row int) (UpdateCost, error)
+}
+
+// UpdateCost implements Updater for the mirror family: the element, one
+// replica per mirror array, and the row's parity element if present —
+// always exactly 1 + FaultTolerance writes, the theoretical optimum.
+func (m *Mirror) UpdateCost(disk, row int) (UpdateCost, error) {
+	if disk < 0 || disk >= m.n || row < 0 || row >= m.n {
+		return UpdateCost{}, fmt.Errorf("raid: element (%d,%d) outside %dx%d stripe", disk, row, m.n, m.n)
+	}
+	target := ElementRef{Role: RoleData, Disk: disk, Row: row}
+	writes := []ElementRef{target}
+	for mi, arr := range m.mirrors {
+		loc := arr.MirrorOf(layout.Addr{Disk: disk, Row: row})
+		writes = append(writes, ElementRef{Role: mirrorRoles[mi], Disk: loc.Disk, Row: loc.Row})
+	}
+	if m.parity {
+		writes = append(writes, ElementRef{Role: RoleParity, Disk: 0, Row: row})
+	}
+	return UpdateCost{Target: target, Writes: writes}, nil
+}
+
+// UpdateCost implements Updater for RAID-5: the element plus its row
+// parity, the optimum for single fault tolerance.
+func (r *RAID5) UpdateCost(disk, row int) (UpdateCost, error) {
+	if disk < 0 || disk >= r.n || row != 0 {
+		return UpdateCost{}, fmt.Errorf("raid: element (%d,%d) outside RAID5 stripe", disk, row)
+	}
+	target := ElementRef{Role: RoleData, Disk: disk, Row: row}
+	return UpdateCost{
+		Target: target,
+		Writes: []ElementRef{target, {Role: RoleParity, Disk: 0, Row: 0}},
+	}, nil
+}
+
+// UpdateCost implements Updater for RAID-6: the element, its row parity,
+// and every diagonal-parity element whose defining set contains the
+// element. For elements on the EVENODD S-diagonal this is all p-1
+// diagonal elements — the code's well-known update pathology and the
+// paper's §II point that horizontal RAID-6 cannot reach the 3-write
+// optimum for all elements.
+func (r *RAID6) UpdateCost(disk, row int) (UpdateCost, error) {
+	rows := r.code.Rows()
+	if disk < 0 || disk >= r.n || row < 0 || row >= rows {
+		return UpdateCost{}, fmt.Errorf("raid: element (%d,%d) outside RAID6 stripe", disk, row)
+	}
+	target := ElementRef{Role: RoleData, Disk: disk, Row: row}
+	writes := []ElementRef{target}
+	roles := []Role{RoleParity, RoleParity2}
+	for p := 0; p < 2; p++ {
+		for pr := 0; pr < rows; pr++ {
+			for _, c := range r.code.ParityDef(p, pr) {
+				if c.Shard == disk && c.Row == row {
+					writes = append(writes, ElementRef{Role: roles[p], Disk: 0, Row: pr})
+					break
+				}
+			}
+		}
+	}
+	return UpdateCost{Target: target, Writes: writes}, nil
+}
+
+// AverageUpdateCost averages the redundant-write count over every data
+// element of one stripe.
+func AverageUpdateCost(u Updater, disks, rows int) (float64, error) {
+	total, count := 0, 0
+	for d := 0; d < disks; d++ {
+		for r := 0; r < rows; r++ {
+			c, err := u.UpdateCost(d, r)
+			if err != nil {
+				return 0, err
+			}
+			total += c.Redundant()
+			count++
+		}
+	}
+	return float64(total) / float64(count), nil
+}

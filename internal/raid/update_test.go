@@ -1,0 +1,139 @@
+package raid
+
+import (
+	"testing"
+
+	"shiftedmirror/internal/layout"
+)
+
+func TestMirrorUpdateCostOptimal(t *testing.T) {
+	// §VI-C: every single-element update writes exactly
+	// 1 + FaultTolerance elements in the mirror family, under any
+	// arrangement.
+	for n := 2; n <= 6; n++ {
+		archs := []*Mirror{
+			NewMirror(layout.NewTraditional(n)),
+			NewMirror(layout.NewShifted(n)),
+			NewMirrorWithParity(layout.NewShifted(n)),
+		}
+		if n%2 == 1 {
+			archs = append(archs, NewThreeMirror(layout.NewGeneralShifted(n, 1, 1), layout.NewGeneralShifted(n, 2, 1)))
+		}
+		for _, arch := range archs {
+			want := 1 + arch.FaultTolerance()
+			for d := 0; d < n; d++ {
+				for r := 0; r < n; r++ {
+					c, err := arch.UpdateCost(d, r)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(c.Writes) != want {
+						t.Errorf("%s (%d,%d): %d writes, want %d", arch.Name(), d, r, len(c.Writes), want)
+					}
+					if c.Writes[0] != c.Target {
+						t.Errorf("%s: first write is not the target", arch.Name())
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRAID5UpdateCost(t *testing.T) {
+	arch := NewRAID5(5)
+	c, err := arch.UpdateCost(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Writes) != 2 || c.Redundant() != 1 {
+		t.Fatalf("RAID5 update: %v", c.Writes)
+	}
+	if _, err := arch.UpdateCost(3, 1); err == nil {
+		t.Fatal("row 1 accepted on one-row stripe")
+	}
+}
+
+func TestRAID6UpdateCostExceedsOptimum(t *testing.T) {
+	// The §II claim: horizontal RAID-6 cannot keep every update at the
+	// 3-write optimum. EVENODD's S-diagonal elements touch every
+	// diagonal-parity element.
+	for n := 4; n <= 7; n++ {
+		arch := NewRAID6EvenOdd(n)
+		rows := arch.Rows()
+		optimalEverywhere := true
+		maxWrites := 0
+		for d := 0; d < n; d++ {
+			for r := 0; r < rows; r++ {
+				c, err := arch.UpdateCost(d, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(c.Writes) < 3 {
+					t.Errorf("n=%d (%d,%d): only %d writes — element not covered by both parities",
+						n, d, r, len(c.Writes))
+				}
+				if len(c.Writes) > 3 {
+					optimalEverywhere = false
+				}
+				if len(c.Writes) > maxWrites {
+					maxWrites = len(c.Writes)
+				}
+			}
+		}
+		if optimalEverywhere {
+			t.Errorf("n=%d: EVENODD updates all optimal — S-diagonal pathology missing", n)
+		}
+		// S-diagonal elements rewrite row parity + all p-1 diagonal
+		// elements: 1 + 1 + (p-1) writes.
+		if want := 2 + rows; maxWrites != want {
+			t.Errorf("n=%d: worst update %d writes, want %d", n, maxWrites, want)
+		}
+	}
+}
+
+func TestAverageUpdateCostOrdering(t *testing.T) {
+	// Average redundant writes: mirror (1) < mirror+parity (2) <=
+	// RAID-6 EVENODD (> 2, its suboptimality).
+	n := 5
+	mirror, err := AverageUpdateCost(NewMirror(layout.NewShifted(n)), n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parity, err := AverageUpdateCost(NewMirrorWithParity(layout.NewShifted(n)), n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r6 := NewRAID6EvenOdd(n)
+	raid6, err := AverageUpdateCost(r6, n, r6.Rows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mirror != 1 || parity != 2 {
+		t.Fatalf("mirror %.2f (want 1), parity %.2f (want 2)", mirror, parity)
+	}
+	if raid6 <= 2 {
+		t.Fatalf("RAID6 average redundant writes %.2f, want > 2 (suboptimal updates)", raid6)
+	}
+}
+
+func TestRDPUpdateCostAlsoSuboptimal(t *testing.T) {
+	// RDP's diagonal parity folds the row-parity column into its
+	// diagonals, so updating one element dirties multiple diagonals.
+	arch := NewRAID6RDP(4)
+	avg, err := AverageUpdateCost(arch, 4, arch.Rows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg <= 2 {
+		t.Fatalf("RDP average redundant writes %.2f, want > 2", avg)
+	}
+}
+
+func TestUpdateCostBounds(t *testing.T) {
+	arch := NewMirror(layout.NewShifted(3))
+	for _, c := range [][2]int{{-1, 0}, {0, -1}, {3, 0}, {0, 3}} {
+		if _, err := arch.UpdateCost(c[0], c[1]); err == nil {
+			t.Errorf("element (%d,%d) accepted", c[0], c[1])
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package raid
+
+import (
+	"fmt"
+
+	"shiftedmirror/internal/layout"
+)
+
+// WriteStrategy selects how parity is updated on a partial-row write
+// (§VII-B: the paper uses "read-modify-write" or "reconstruct-write").
+type WriteStrategy int
+
+// Strategies.
+const (
+	// WriteAuto picks whichever of the two strategies reads fewer
+	// elements for each row.
+	WriteAuto WriteStrategy = iota
+	// WriteRMW always reads the old covered data elements and the old
+	// parity element.
+	WriteRMW
+	// WriteReconstruct always reads the row's uncovered data elements
+	// and recomputes parity from scratch.
+	WriteReconstruct
+)
+
+// String implements fmt.Stringer.
+func (s WriteStrategy) String() string {
+	switch s {
+	case WriteRMW:
+		return "read-modify-write"
+	case WriteReconstruct:
+		return "reconstruct-write"
+	default:
+		return "auto"
+	}
+}
+
+// WritePlan is the per-stripe prescription for one user write: the
+// element reads required to update parity, then the element writes (data,
+// replicas, parity) grouped into one parallel round per covered row —
+// the paper's large-write strategy ("writing data elements row by row
+// ... a row of data elements can be written down in one write access").
+// Property 3 guarantees each round touches every disk at most once under
+// both the traditional and the shifted arrangement.
+type WritePlan struct {
+	// PreReads must complete before parity can be computed.
+	PreReads []ElementRef
+	// WriteRounds holds the writes of each covered row, issued as one
+	// parallel access per round.
+	WriteRounds [][]ElementRef
+	// DataElements is the number of user data elements covered.
+	DataElements int
+}
+
+// Writes flattens the write rounds.
+func (w *WritePlan) Writes() []ElementRef {
+	var out []ElementRef
+	for _, round := range w.WriteRounds {
+		out = append(out, round...)
+	}
+	return out
+}
+
+// ReadAccesses returns the access count of the pre-read phase.
+func (w *WritePlan) ReadAccesses() int { return accessCount(w.PreReads) }
+
+// WriteAccesses returns the total access count of the write phase: the
+// sum over rounds of each round's per-disk maximum.
+func (w *WritePlan) WriteAccesses() int {
+	total := 0
+	for _, round := range w.WriteRounds {
+		total += accessCount(round)
+	}
+	return total
+}
+
+// WritePlan builds the plan for a large write covering `count` elements
+// of one stripe starting at row-major element index `start` (element
+// index = row*n + disk, matching the paper's "writing data elements row
+// by row"). 0 <= start and start+count <= n*n.
+func (m *Mirror) WritePlan(start, count int, strategy WriteStrategy) (*WritePlan, error) {
+	n := m.n
+	if start < 0 || count < 1 || start+count > n*n {
+		return nil, fmt.Errorf("raid: write [%d,%d) outside stripe of %d elements", start, start+count, n*n)
+	}
+	plan := &WritePlan{DataElements: count}
+	for row := start / n; row*n < start+count; row++ {
+		lo, hi := row*n, (row+1)*n
+		if lo < start {
+			lo = start
+		}
+		if hi > start+count {
+			hi = start + count
+		}
+		covered := hi - lo
+		// New data elements and their replicas: one write round per row.
+		var round []ElementRef
+		for e := lo; e < hi; e++ {
+			disk := e % n
+			round = append(round, ElementRef{Role: RoleData, Disk: disk, Row: row})
+			for mi, arr := range m.mirrors {
+				loc := arr.MirrorOf(layout.Addr{Disk: disk, Row: row})
+				round = append(round, ElementRef{Role: mirrorRoles[mi], Disk: loc.Disk, Row: loc.Row})
+			}
+		}
+		if !m.parity {
+			plan.WriteRounds = append(plan.WriteRounds, round)
+			continue
+		}
+		round = append(round, ElementRef{Role: RoleParity, Disk: 0, Row: row})
+		plan.WriteRounds = append(plan.WriteRounds, round)
+		if covered == n {
+			continue // full row: parity from new data, nothing to read
+		}
+		rmwReads := covered + 1   // old covered elements + old parity
+		reconReads := n - covered // the untouched row elements
+		useRMW := strategy == WriteRMW || (strategy == WriteAuto && rmwReads <= reconReads)
+		if useRMW {
+			for e := lo; e < hi; e++ {
+				plan.PreReads = append(plan.PreReads, ElementRef{Role: RoleData, Disk: e % n, Row: row})
+			}
+			plan.PreReads = append(plan.PreReads, ElementRef{Role: RoleParity, Disk: 0, Row: row})
+		} else {
+			for disk := 0; disk < n; disk++ {
+				e := row*n + disk
+				if e >= lo && e < hi {
+					continue
+				}
+				plan.PreReads = append(plan.PreReads, ElementRef{Role: RoleData, Disk: disk, Row: row})
+			}
+		}
+	}
+	return plan, nil
+}

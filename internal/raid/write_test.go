@@ -1,0 +1,224 @@
+package raid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shiftedmirror/internal/layout"
+)
+
+func TestWritePlanFullRow(t *testing.T) {
+	// A full-row write needs no pre-reads under any strategy, and one
+	// write access for data + mirror (Property 3), plus the parity
+	// element.
+	n := 5
+	for _, arch := range []*Mirror{
+		NewMirrorWithParity(layout.NewShifted(n)),
+		NewMirrorWithParity(layout.NewTraditional(n)),
+	} {
+		plan, err := arch.WritePlan(2*n, n, WriteAuto) // exactly row 2
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.PreReads) != 0 {
+			t.Errorf("%s: full-row write has %d pre-reads", arch.Name(), len(plan.PreReads))
+		}
+		// n data + n mirror + 1 parity elements.
+		if len(plan.Writes()) != 2*n+1 {
+			t.Errorf("%s: %d writes, want %d", arch.Name(), len(plan.Writes()), 2*n+1)
+		}
+		// One element per disk: a single write access (§VI-C optimality).
+		if got := plan.WriteAccesses(); got != 1 {
+			t.Errorf("%s: %d write accesses, want 1", arch.Name(), got)
+		}
+	}
+}
+
+func TestWritePlanFullStripe(t *testing.T) {
+	n := 4
+	arch := NewMirrorWithParity(layout.NewShifted(n))
+	plan, err := arch.WritePlan(0, n*n, WriteAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.PreReads) != 0 {
+		t.Fatal("full-stripe write should not read")
+	}
+	// Every data disk written n times -> n write accesses.
+	if got := plan.WriteAccesses(); got != n {
+		t.Fatalf("full stripe: %d write accesses, want %d", got, n)
+	}
+	if plan.DataElements != n*n {
+		t.Fatalf("DataElements = %d", plan.DataElements)
+	}
+}
+
+func TestWritePlanSmallWriteOptimality(t *testing.T) {
+	// §VI-C: a single-element write updates exactly the element, its
+	// replica(s), and one parity element — the theoretical optimum for
+	// the architecture's fault tolerance.
+	n := 5
+	plain := NewMirror(layout.NewShifted(n))
+	plan, err := plain.WritePlan(7, 1, WriteAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Writes()) != 2 {
+		t.Fatalf("plain mirror small write touches %d elements, want 2", len(plan.Writes()))
+	}
+	withParity := NewMirrorWithParity(layout.NewShifted(n))
+	plan, err = withParity.WritePlan(7, 1, WriteAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Writes()) != 3 {
+		t.Fatalf("mirror+parity small write touches %d elements, want 3", len(plan.Writes()))
+	}
+	three := NewThreeMirror(layout.NewShifted(n), layout.NewIterated(n, 5))
+	plan, err = three.WritePlan(7, 1, WriteAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Writes()) != 3 {
+		t.Fatalf("three-mirror small write touches %d elements, want 3", len(plan.Writes()))
+	}
+}
+
+func TestWritePlanRMWvsReconstruct(t *testing.T) {
+	n := 6
+	arch := NewMirrorWithParity(layout.NewShifted(n))
+	// Covering 2 of 6 elements in a row: RMW reads 3 (2 old + parity),
+	// reconstruct reads 4 (untouched). Auto picks RMW.
+	rmw, err := arch.WritePlan(0, 2, WriteRMW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := arch.WritePlan(0, 2, WriteReconstruct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := arch.WritePlan(0, 2, WriteAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rmw.PreReads) != 3 {
+		t.Errorf("RMW pre-reads = %d, want 3", len(rmw.PreReads))
+	}
+	if len(recon.PreReads) != 4 {
+		t.Errorf("reconstruct pre-reads = %d, want 4", len(recon.PreReads))
+	}
+	if len(auto.PreReads) != 3 {
+		t.Errorf("auto should pick RMW here: %d pre-reads", len(auto.PreReads))
+	}
+	// Covering 5 of 6: RMW reads 6, reconstruct reads 1. Auto picks
+	// reconstruct.
+	auto5, err := arch.WritePlan(0, 5, WriteAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(auto5.PreReads) != 1 {
+		t.Errorf("auto with 5/6 coverage: %d pre-reads, want 1", len(auto5.PreReads))
+	}
+}
+
+func TestWritePlanShiftedAndTraditionalSameAccessCounts(t *testing.T) {
+	// The paper's write-efficiency claim: the shifted arrangement never
+	// costs more accesses than the traditional one, for any write extent.
+	for n := 2; n <= 6; n++ {
+		shifted := NewMirrorWithParity(layout.NewShifted(n))
+		trad := NewMirrorWithParity(layout.NewTraditional(n))
+		for start := 0; start < n*n; start++ {
+			for count := 1; start+count <= n*n; count++ {
+				ps, err := shifted.WritePlan(start, count, WriteAuto)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pt, err := trad.WritePlan(start, count, WriteAuto)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ps.WriteAccesses() != pt.WriteAccesses() {
+					t.Fatalf("n=%d write [%d,%d): shifted %d vs traditional %d accesses",
+						n, start, start+count, ps.WriteAccesses(), pt.WriteAccesses())
+				}
+				if ps.ReadAccesses() != pt.ReadAccesses() {
+					t.Fatalf("n=%d write [%d,%d): read accesses differ", n, start, start+count)
+				}
+			}
+		}
+	}
+}
+
+func TestWritePlanMirrorTargetsFollowArrangement(t *testing.T) {
+	n := 4
+	arr := layout.NewShifted(n)
+	arch := NewMirror(arr)
+	plan, err := arch.WritePlan(n+2, 1, WriteAuto) // element (disk 2, row 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := arr.MirrorOf(layout.Addr{Disk: 2, Row: 1})
+	found := false
+	for _, w := range plan.Writes() {
+		if w.Role == RoleMirror && w.Disk == want.Disk && w.Row == want.Row {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("replica write for (2,1) missing; writes: %v", plan.Writes())
+	}
+}
+
+func TestWritePlanBounds(t *testing.T) {
+	arch := NewMirror(layout.NewShifted(3))
+	for _, c := range [][2]int{{-1, 1}, {0, 0}, {0, 10}, {8, 2}} {
+		if _, err := arch.WritePlan(c[0], c[1], WriteAuto); err == nil {
+			t.Errorf("write [%d,+%d) accepted", c[0], c[1])
+		}
+	}
+}
+
+func TestWritePlanElementCountsProperty(t *testing.T) {
+	// Property: for the plain mirror, a write of w elements writes
+	// exactly 2w elements and reads none.
+	arch := NewMirror(layout.NewShifted(5))
+	f := func(startRaw, countRaw uint8) bool {
+		start := int(startRaw) % 25
+		count := int(countRaw)%(25-start) + 1
+		plan, err := arch.WritePlan(start, count, WriteAuto)
+		if err != nil {
+			return false
+		}
+		return len(plan.Writes()) == 2*count && len(plan.PreReads) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteStrategyString(t *testing.T) {
+	if WriteAuto.String() != "auto" || WriteRMW.String() != "read-modify-write" || WriteReconstruct.String() != "reconstruct-write" {
+		t.Fatal("WriteStrategy.String wrong")
+	}
+}
+
+func TestThreeMirrorWriteCostParity(t *testing.T) {
+	// The three-mirror pair (1,1)/(2,1): at odd n a full-row write is one
+	// access (both arrays keep P3); at even n the second array loses P3,
+	// so the same write needs two accesses — the documented trade for
+	// keeping reconstruction parallelism at every n.
+	for n := 3; n <= 6; n++ {
+		arch := NewThreeMirror(layout.NewGeneralShifted(n, 1, 1), layout.NewGeneralShifted(n, 2, 1))
+		plan, err := arch.WritePlan(0, n, WriteAuto) // exactly row 0
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1
+		if n%2 == 0 {
+			want = 2
+		}
+		if got := plan.WriteAccesses(); got != want {
+			t.Errorf("n=%d: full-row write accesses = %d, want %d", n, got, want)
+		}
+	}
+}

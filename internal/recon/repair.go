@@ -1,0 +1,50 @@
+package recon
+
+import (
+	"fmt"
+	"sort"
+
+	"shiftedmirror/internal/raid"
+)
+
+// RepairRate builds a repair-rate function for the reliability model
+// (internal/analysis.MTTDL) from simulated reconstruction times: the
+// repair rate of a failure set is 1 / (simulated rebuild time scaled to
+// the given per-disk capacity in bytes). Results are memoized; failure
+// sets the architecture cannot rebuild report an error at build time of
+// the rate (they are loss states and the reliability model never asks
+// for them, but a zero rate would silently poison the chain, so this
+// panics instead — a modelling bug, not a runtime condition).
+func (s *Simulator) RepairRate(bytesPerDisk int64) func(failed []raid.DiskID) float64 {
+	if bytesPerDisk <= 0 {
+		panic(fmt.Sprintf("recon: bytesPerDisk must be positive, got %d", bytesPerDisk))
+	}
+	simBytes := s.arrays[raid.RoleData].Geo.BytesPerDisk()
+	scale := float64(bytesPerDisk) / float64(simBytes)
+	cache := map[string]float64{}
+	return func(failed []raid.DiskID) float64 {
+		key := repairKey(failed)
+		if rate, ok := cache[key]; ok {
+			return rate
+		}
+		st, err := s.Reconstruct(failed)
+		if err != nil {
+			panic(fmt.Sprintf("recon: repair rate requested for unrecoverable set %v: %v", failed, err))
+		}
+		hours := st.TotalTime * scale / 3600
+		rate := 1 / hours
+		cache[key] = rate
+		return rate
+	}
+}
+
+func repairKey(failed []raid.DiskID) string {
+	s := append([]raid.DiskID(nil), failed...)
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Role != s[j].Role {
+			return s[i].Role < s[j].Role
+		}
+		return s[i].Index < s[j].Index
+	})
+	return fmt.Sprint(s)
+}

@@ -1,0 +1,119 @@
+package recon
+
+import (
+	"fmt"
+
+	"shiftedmirror/internal/disk"
+	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/raid"
+	"shiftedmirror/internal/sim"
+	"shiftedmirror/internal/workload"
+)
+
+// ServeStats reports a batch of load-balanced user reads (degraded-mode
+// service, no rebuild running).
+type ServeStats struct {
+	// Reads and Bytes count the served requests.
+	Reads int
+	Bytes int64
+	// Makespan is the completion time of the last request.
+	Makespan float64
+	// ThroughputMBs is Bytes/Makespan.
+	ThroughputMBs float64
+	// MeanLatency averages (completion - arrival).
+	MeanLatency float64
+	// HotspotFactor is the busiest disk's service time over the mean
+	// across all data and mirror disks: 1.0 is perfectly balanced.
+	HotspotFactor float64
+}
+
+// ServeReads serves single-element user reads in degraded mode: each
+// read is routed to the least-loaded intact copy of its element (the
+// standard mirror read balancing), with the listed disks failed and no
+// rebuild running. Under the traditional arrangement a failed disk's
+// whole load lands on its twin; under the shifted arrangement it spreads
+// across the mirror array — the serving-side face of Property 1.
+//
+// Reads whose every copy is failed are rejected with an error (this path
+// models copy service, not parity reconstruction).
+func (s *Simulator) ServeReads(reads []workload.ReadOp, failed []raid.DiskID) (ServeStats, error) {
+	m, ok := s.arch.(*raid.Mirror)
+	if !ok {
+		return ServeStats{}, fmt.Errorf("recon: ServeReads needs a mirror-family architecture, have %s", s.arch.Name())
+	}
+	s.Reset()
+	isFailed := map[raid.DiskID]bool{}
+	for _, f := range failed {
+		isFailed[f] = true
+	}
+	mirrorRoles := []raid.Role{raid.RoleMirror, raid.RoleMirror2}
+
+	var stats ServeStats
+	var latencySum float64
+	for _, op := range reads {
+		// Candidate copies: the data element and each mirror replica;
+		// route to the one whose disk frees up first.
+		var best *disk.Disk
+		var bestReq disk.Request
+		consider := func(role raid.Role, logical, row int) {
+			id := raid.DiskID{Role: role, Index: logical}
+			if isFailed[id] {
+				return
+			}
+			arr := s.arrays[role]
+			phys, req := arr.Request(op.Stripe, logical, row, disk.Read)
+			d := arr.Disks[phys]
+			if best == nil || d.FreeAt() < best.FreeAt() {
+				best = d
+				bestReq = req
+			}
+		}
+		consider(raid.RoleData, op.Disk, op.Row)
+		for mi, arr := range m.Mirrors() {
+			loc := arr.MirrorOf(layout.Addr{Disk: op.Disk, Row: op.Row})
+			consider(mirrorRoles[mi], loc.Disk, loc.Row)
+		}
+		if best == nil {
+			return ServeStats{}, fmt.Errorf("recon: no intact copy of data[%d] stripe %d row %d", op.Disk, op.Stripe, op.Row)
+		}
+		_, end := best.Serve(op.Arrival, bestReq)
+		latencySum += end - op.Arrival
+		if end > stats.Makespan {
+			stats.Makespan = end
+		}
+		stats.Reads++
+		stats.Bytes += s.cfg.ElementSize
+	}
+	if stats.Reads > 0 {
+		stats.MeanLatency = latencySum / float64(stats.Reads)
+	}
+	stats.ThroughputMBs = sim.MBPerSec(stats.Bytes, stats.Makespan)
+	stats.HotspotFactor = s.hotspotFactor(mirrorRoles)
+	return stats, nil
+}
+
+// hotspotFactor computes max/mean busy time over the data and mirror
+// disks.
+func (s *Simulator) hotspotFactor(mirrorRoles []raid.Role) float64 {
+	var busy []float64
+	for _, role := range append([]raid.Role{raid.RoleData}, mirrorRoles...) {
+		arr := s.arrays[role]
+		if arr == nil {
+			continue
+		}
+		for _, d := range arr.Disks {
+			busy = append(busy, d.Stats().BusyTime)
+		}
+	}
+	max, sum := 0.0, 0.0
+	for _, b := range busy {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return max / (sum / float64(len(busy)))
+}

@@ -1,0 +1,109 @@
+package recon
+
+import (
+	"testing"
+
+	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/raid"
+	"shiftedmirror/internal/workload"
+)
+
+func serveConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Stripes = 16
+	return cfg
+}
+
+func TestServeReadsHealthyBalanced(t *testing.T) {
+	// With no failures, copy balancing spreads load nearly evenly over
+	// all 2n disks under either arrangement.
+	n := 4
+	reads := workload.UserReads(31, 400, n, 16, 0.001) // saturating
+	for _, arr := range []layout.Arrangement{layout.NewTraditional(n), layout.NewShifted(n)} {
+		s := NewSimulator(raid.NewMirror(arr), serveConfig())
+		st, err := s.ServeReads(reads, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Reads != 400 {
+			t.Fatalf("served %d", st.Reads)
+		}
+		if st.HotspotFactor > 1.3 {
+			t.Errorf("%s healthy hotspot factor %.2f, want near 1", arr.Name(), st.HotspotFactor)
+		}
+	}
+}
+
+func TestServeReadsDegradedHotspot(t *testing.T) {
+	// One failed data disk: the traditional arrangement funnels its load
+	// onto the twin mirror disk (hotspot ~2x), while the shifted
+	// arrangement keeps the array balanced. Throughput degrades less
+	// under the shifted arrangement.
+	n := 4
+	reads := workload.UserReads(33, 600, n, 16, 0.001)
+	failure := []raid.DiskID{{Role: raid.RoleData, Index: 1}}
+	run := func(arr layout.Arrangement, failed []raid.DiskID) ServeStats {
+		s := NewSimulator(raid.NewMirror(arr), serveConfig())
+		st, err := s.ServeReads(reads, failed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	tradHealthy := run(layout.NewTraditional(n), nil)
+	tradDegraded := run(layout.NewTraditional(n), failure)
+	shiftHealthy := run(layout.NewShifted(n), nil)
+	shiftDegraded := run(layout.NewShifted(n), failure)
+
+	if tradDegraded.HotspotFactor < 1.5 {
+		t.Errorf("traditional degraded hotspot %.2f, want >= 1.5 (twin takes double load)", tradDegraded.HotspotFactor)
+	}
+	if shiftDegraded.HotspotFactor > tradDegraded.HotspotFactor {
+		t.Errorf("shifted degraded hotspot %.2f above traditional %.2f", shiftDegraded.HotspotFactor, tradDegraded.HotspotFactor)
+	}
+	tradLoss := tradDegraded.ThroughputMBs / tradHealthy.ThroughputMBs
+	shiftLoss := shiftDegraded.ThroughputMBs / shiftHealthy.ThroughputMBs
+	if shiftLoss <= tradLoss {
+		t.Errorf("degraded throughput retention: shifted %.2f should beat traditional %.2f", shiftLoss, tradLoss)
+	}
+}
+
+func TestServeReadsNoCopyLeft(t *testing.T) {
+	n := 3
+	s := NewSimulator(raid.NewMirror(layout.NewTraditional(n)), serveConfig())
+	reads := []workload.ReadOp{{Stripe: 0, Disk: 0, Row: 0, Arrival: 0}}
+	_, err := s.ServeReads(reads, []raid.DiskID{
+		{Role: raid.RoleData, Index: 0},
+		{Role: raid.RoleMirror, Index: 0},
+	})
+	if err == nil {
+		t.Fatal("read with no intact copy accepted")
+	}
+}
+
+func TestServeReadsRejectsNonMirror(t *testing.T) {
+	s := NewSimulator(raid.NewRAID6EvenOdd(4), serveConfig())
+	if _, err := s.ServeReads(nil, nil); err == nil {
+		t.Fatal("RAID6 accepted by copy-serving path")
+	}
+}
+
+func TestServeReadsThreeMirrorSpreadsFurther(t *testing.T) {
+	// Three copies balance a failed disk's load even better.
+	n := 5
+	reads := workload.UserReads(35, 600, n, 16, 0.001)
+	failure := []raid.DiskID{{Role: raid.RoleData, Index: 0}}
+	two := NewSimulator(raid.NewMirror(layout.NewShifted(n)), serveConfig())
+	three := NewSimulator(raid.NewThreeMirror(layout.NewGeneralShifted(n, 1, 1), layout.NewGeneralShifted(n, 2, 1)), serveConfig())
+	st2, err := two.ServeReads(reads, failure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st3, err := three.ServeReads(reads, failure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.ThroughputMBs <= st2.ThroughputMBs {
+		t.Errorf("three-mirror degraded throughput %.1f not above two-copy %.1f", st3.ThroughputMBs, st2.ThroughputMBs)
+	}
+}

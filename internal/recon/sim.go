@@ -1,0 +1,399 @@
+package recon
+
+import (
+	"fmt"
+	"sort"
+
+	"shiftedmirror/internal/array"
+	"shiftedmirror/internal/disk"
+	"shiftedmirror/internal/raid"
+	"shiftedmirror/internal/sim"
+	"shiftedmirror/internal/workload"
+)
+
+// Config parametrizes the timing simulation.
+type Config struct {
+	// Stripes is the number of stripes instantiated per array.
+	Stripes int
+	// ElementSize is the element size in bytes (4 MB in the paper).
+	ElementSize int64
+	// Disk is the drive model for every disk, spares included.
+	Disk disk.Params
+	// Barrier selects the paper's lockstep access semantics (an access
+	// completes when its slowest disk finishes); false pipelines each
+	// disk's queue, the ablation variant.
+	Barrier bool
+	// Rotate enables the per-stripe logical-to-physical rotation
+	// (stacks). Failed disks passed to Reconstruct are physical.
+	Rotate bool
+	// DistributedSpare spreads the recovered elements round-robin over
+	// reserved space on the failed disk's surviving array-mates instead
+	// of streaming them to one dedicated spare disk (Holland's
+	// distributed-sparing idea, the paper's citation [10]). With the
+	// shifted arrangement, availability reads can outrun a single
+	// spare's write bandwidth at larger n; distributed sparing removes
+	// that rebuild bottleneck.
+	DistributedSpare bool
+}
+
+// DefaultConfig mirrors the paper's setup at a simulation-friendly scale:
+// 4 MB elements on the Savvio 10K.3 model with barrier semantics.
+func DefaultConfig() Config {
+	return Config{
+		Stripes:     64,
+		ElementSize: 4_000_000,
+		Disk:        disk.Savvio10K3(),
+		Barrier:     true,
+	}
+}
+
+// Simulator binds an architecture's arrays to simulated disks and runs
+// reconstructions and write workloads against them.
+type Simulator struct {
+	arch   raid.Architecture
+	cfg    Config
+	arrays map[raid.Role]*array.Array
+	spares map[raid.DiskID]*disk.Disk
+	// Distributed-sparing state: bytes of spare space consumed per
+	// surviving disk and the round-robin cursor.
+	spareUsed map[*disk.Disk]int64
+	spareRR   int
+}
+
+// NewSimulator instantiates the architecture's arrays on the configured
+// drive model.
+func NewSimulator(arch raid.Architecture, cfg Config) *Simulator {
+	s := &Simulator{arch: arch, cfg: cfg, arrays: map[raid.Role]*array.Array{}, spares: map[raid.DiskID]*disk.Disk{}}
+	for role, shape := range arch.Shape() {
+		geo := array.Geometry{
+			Disks:         shape.Disks,
+			RowsPerStripe: shape.Rows,
+			Stripes:       cfg.Stripes,
+			ElementSize:   cfg.ElementSize,
+			Rotate:        cfg.Rotate && shape.Disks > 1,
+		}
+		s.arrays[role] = array.New(role.String(), geo, cfg.Disk)
+	}
+	return s
+}
+
+// Arch returns the simulated architecture.
+func (s *Simulator) Arch() raid.Architecture { return s.arch }
+
+// Array returns the array serving a role (nil if the architecture has
+// none).
+func (s *Simulator) Array(role raid.Role) *array.Array { return s.arrays[role] }
+
+// Reset re-parks every disk and clears statistics.
+func (s *Simulator) Reset() {
+	for _, a := range s.arrays {
+		a.Reset()
+	}
+	s.spares = map[raid.DiskID]*disk.Disk{}
+	s.spareUsed = map[*disk.Disk]int64{}
+	s.spareRR = 0
+}
+
+// bind converts plan element references of one stripe into array ops.
+func (s *Simulator) bind(stripe int, refs []raid.ElementRef, kind disk.Kind) []array.Op {
+	ops := make([]array.Op, len(refs))
+	for i, ref := range refs {
+		ops[i] = array.Op{
+			Array:   s.arrays[ref.Role],
+			Stripe:  stripe,
+			Logical: ref.Disk,
+			Row:     ref.Row,
+			Kind:    kind,
+		}
+	}
+	return ops
+}
+
+// ReconStats reports one simulated reconstruction.
+type ReconStats struct {
+	// Failed is the simulated failure set (physical disks).
+	Failed []raid.DiskID
+	// RecoveredBytes is the payload of lost data and mirror elements
+	// rebuilt during the availability phase (parity elements are
+	// redundancy, not user data, and are excluded — the same accounting
+	// as the paper's Table I).
+	RecoveredBytes int64
+	// AvailTime is the duration of the availability read phases: the
+	// reads that recover lost elements, which run with priority before
+	// any parity-rebuild reads.
+	AvailTime float64
+	// AvailThroughputMBs is RecoveredBytes/AvailTime — the paper's
+	// "data availability during reconstruction" and the Fig 9 y-axis.
+	AvailThroughputMBs float64
+	// BytesRead is the total payload read from surviving disks,
+	// parity-rebuild scans included.
+	BytesRead int64
+	// ReadTime is the duration of all read phases.
+	ReadTime float64
+	// TotalTime additionally covers draining the spare-disk writes.
+	TotalTime float64
+	// ReadAccesses is the total number of parallel read access rounds.
+	ReadAccesses int
+	// AvailAccessesPerStripe is the analytical Table I metric of the
+	// executed plans, averaged over stripes.
+	AvailAccessesPerStripe float64
+	// ReadThroughputMBs is BytesRead/ReadTime in MB/s (the raw rate of
+	// the whole rebuild, a secondary metric).
+	ReadThroughputMBs float64
+}
+
+// Reconstruct simulates the full off-line reconstruction of the failed
+// disks. Per stripe, the availability reads (those recovering lost
+// elements) execute first — the paper's priority rule — followed by any
+// parity-rebuild reads; recovered elements stream to one spare disk per
+// failed disk, overlapping the next stripe's reads as a real rebuild
+// would.
+func (s *Simulator) Reconstruct(failed []raid.DiskID) (ReconStats, error) {
+	s.Reset()
+	stats := ReconStats{Failed: append([]raid.DiskID(nil), failed...)}
+	if !s.cfg.DistributedSpare {
+		for _, f := range failed {
+			s.spares[f] = disk.New(s.cfg.Disk)
+		}
+	}
+	planCache := map[string]*raid.Plan{}
+	now := 0.0
+	availTotal := 0
+	for stripe := 0; stripe < s.cfg.Stripes; stripe++ {
+		logical := s.logicalFailure(stripe, failed)
+		plan, err := s.planFor(planCache, logical)
+		if err != nil {
+			return ReconStats{}, err
+		}
+		availTotal += plan.AvailAccesses()
+
+		avail := array.Run(now, s.bind(stripe, plan.AvailReads, disk.Read), s.cfg.Barrier)
+		stats.AvailTime += avail.Duration()
+		stats.BytesRead += avail.Bytes
+		stats.ReadAccesses += avail.Accesses
+		now = avail.End
+		stats.RecoveredBytes += s.recoveredBytes(plan)
+
+		rest := array.Run(now, s.bind(stripe, remainingReads(plan), disk.Read), s.cfg.Barrier)
+		stats.BytesRead += rest.Bytes
+		stats.ReadAccesses += rest.Accesses
+		now = rest.End
+
+		// Stream the recovered elements of this stripe to the spares.
+		s.streamToSpares(now, stripe, failed, logical, plan)
+	}
+	stats.ReadTime = now
+	stats.TotalTime = now
+	for _, spare := range s.spares {
+		if spare.FreeAt() > stats.TotalTime {
+			stats.TotalTime = spare.FreeAt()
+		}
+	}
+	// Distributed-spare writes land on the array disks themselves.
+	for _, a := range s.arrays {
+		for _, d := range a.Disks {
+			if d.FreeAt() > stats.TotalTime {
+				stats.TotalTime = d.FreeAt()
+			}
+		}
+	}
+	stats.AvailAccessesPerStripe = float64(availTotal) / float64(s.cfg.Stripes)
+	stats.AvailThroughputMBs = sim.MBPerSec(stats.RecoveredBytes, stats.AvailTime)
+	stats.ReadThroughputMBs = sim.MBPerSec(stats.BytesRead, stats.ReadTime)
+	return stats, nil
+}
+
+// recoveredBytes sums the payload of one stripe's recovered non-parity
+// elements.
+func (s *Simulator) recoveredBytes(plan *raid.Plan) int64 {
+	var total int64
+	for _, rec := range plan.Recoveries {
+		if rec.Target.Role == raid.RoleParity || rec.Target.Role == raid.RoleParity2 {
+			continue
+		}
+		total += s.cfg.ElementSize
+	}
+	return total
+}
+
+// remainingReads returns the reads outside the availability set (the
+// parity-rebuild scans).
+func remainingReads(plan *raid.Plan) []raid.ElementRef {
+	if len(plan.AvailReads) == len(plan.Reads) {
+		return nil
+	}
+	inAvail := make(map[raid.ElementRef]bool, len(plan.AvailReads))
+	for _, r := range plan.AvailReads {
+		inAvail[r] = true
+	}
+	var out []raid.ElementRef
+	for _, r := range plan.Reads {
+		if !inAvail[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// streamToSpares writes one stripe's recovered elements out: to one
+// dedicated spare per failed disk, or round-robin into reserved spare
+// space on the surviving disks when distributed sparing is configured.
+func (s *Simulator) streamToSpares(now float64, stripe int, failed, logical []raid.DiskID, plan *raid.Plan) {
+	if s.cfg.DistributedSpare {
+		s.streamDistributed(now, failed, logical, plan)
+		return
+	}
+	for i, f := range failed {
+		spare := s.spares[f]
+		rows := s.arch.Shape()[f.Role].Rows
+		for _, rec := range plan.Recoveries {
+			if !rec.Target.OnDisk(logical[i]) {
+				continue
+			}
+			off := (int64(stripe)*int64(rows) + int64(rec.Target.Row)) * s.cfg.ElementSize
+			spare.Serve(now, disk.Request{Kind: disk.Write, Offset: off, Size: s.cfg.ElementSize})
+		}
+	}
+}
+
+// spareTarget is one surviving disk together with the start of its
+// reserved spare region (right after its data area).
+type spareTarget struct {
+	d    *disk.Disk
+	base int64
+	role raid.Role
+	phys int
+}
+
+// streamDistributed spreads the recovered elements over the surviving
+// disks' spare regions. Writes contend with subsequent reconstruction
+// reads on the same spindles, which the per-disk queues model naturally.
+func (s *Simulator) streamDistributed(now float64, failed, logical []raid.DiskID, plan *raid.Plan) {
+	survivors := s.survivingDisks(failed)
+	if len(survivors) == 0 {
+		return
+	}
+	for i := range failed {
+		for _, rec := range plan.Recoveries {
+			if !rec.Target.OnDisk(logical[i]) {
+				continue
+			}
+			t := survivors[s.spareRR%len(survivors)]
+			s.spareRR++
+			off := t.base + s.spareUsed[t.d]
+			s.spareUsed[t.d] += s.cfg.ElementSize
+			t.d.Serve(now, disk.Request{Kind: disk.Write, Offset: off, Size: s.cfg.ElementSize})
+		}
+	}
+}
+
+// survivingDisks lists every intact disk with its spare-region base.
+func (s *Simulator) survivingDisks(failed []raid.DiskID) []spareTarget {
+	isFailed := map[raid.DiskID]bool{}
+	for _, f := range failed {
+		isFailed[f] = true
+	}
+	var out []spareTarget
+	for role, a := range s.arrays {
+		for phys, d := range a.Disks {
+			// Identify by physical index; with rotation a physical disk
+			// is failed regardless of its per-stripe logical role.
+			if isFailed[raid.DiskID{Role: role, Index: phys}] {
+				continue
+			}
+			out = append(out, spareTarget{d: d, base: a.Geo.BytesPerDisk(), role: role, phys: phys})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].role != out[j].role {
+			return out[i].role < out[j].role
+		}
+		return out[i].phys < out[j].phys
+	})
+	return out
+}
+
+// logicalFailure maps physical failed disks to their logical identity in
+// one stripe (they coincide unless rotation is on).
+func (s *Simulator) logicalFailure(stripe int, failed []raid.DiskID) []raid.DiskID {
+	out := make([]raid.DiskID, len(failed))
+	for i, f := range failed {
+		out[i] = raid.DiskID{Role: f.Role, Index: s.arrays[f.Role].Geo.Logical(stripe, f.Index)}
+	}
+	return out
+}
+
+// planFor caches plans by canonical failure set.
+func (s *Simulator) planFor(cache map[string]*raid.Plan, failed []raid.DiskID) (*raid.Plan, error) {
+	sorted := append([]raid.DiskID(nil), failed...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Role != sorted[j].Role {
+			return sorted[i].Role < sorted[j].Role
+		}
+		return sorted[i].Index < sorted[j].Index
+	})
+	key := fmt.Sprint(sorted)
+	if p, ok := cache[key]; ok {
+		return p, nil
+	}
+	p, err := s.arch.RecoveryPlan(sorted)
+	if err != nil {
+		return nil, err
+	}
+	cache[key] = p
+	return p, nil
+}
+
+// WriteStats reports one simulated write workload.
+type WriteStats struct {
+	// UserBytes is the payload of data elements written (the Fig 10
+	// throughput numerator; replica and parity bytes are overhead).
+	UserBytes int64
+	// Time is the makespan of the closed-loop workload.
+	Time float64
+	// PreReadAccesses and WriteAccesses total the access rounds.
+	PreReadAccesses, WriteAccesses int
+	// ThroughputMBs is UserBytes/Time in MB/s, the Fig 10 y-axis.
+	ThroughputMBs float64
+}
+
+// Writer is the planning interface write workloads need; *raid.Mirror
+// implements it.
+type Writer interface {
+	WritePlan(start, count int, strategy raid.WriteStrategy) (*raid.WritePlan, error)
+}
+
+// RunWrites executes the write workload closed-loop (each operation
+// issues when the previous completes, like the paper's benchmark): parity
+// pre-reads first, then all element writes in parallel accesses.
+func (s *Simulator) RunWrites(ops []workload.WriteOp, strategy raid.WriteStrategy) (WriteStats, error) {
+	w, ok := s.arch.(Writer)
+	if !ok {
+		return WriteStats{}, fmt.Errorf("recon: architecture %s has no write planner", s.arch.Name())
+	}
+	s.Reset()
+	var stats WriteStats
+	now := 0.0
+	for _, op := range ops {
+		plan, err := w.WritePlan(op.Start, op.Count, strategy)
+		if err != nil {
+			return WriteStats{}, err
+		}
+		if len(plan.PreReads) > 0 {
+			res := array.Run(now, s.bind(op.Stripe, plan.PreReads, disk.Read), s.cfg.Barrier)
+			now = res.End
+			stats.PreReadAccesses += res.Accesses
+		}
+		// One parallel write access per covered row, the paper's
+		// row-by-row large-write strategy.
+		for _, round := range plan.WriteRounds {
+			res := array.Run(now, s.bind(op.Stripe, round, disk.Write), s.cfg.Barrier)
+			now = res.End
+			stats.WriteAccesses += res.Accesses
+		}
+		stats.UserBytes += int64(plan.DataElements) * s.cfg.ElementSize
+	}
+	stats.Time = now
+	stats.ThroughputMBs = sim.MBPerSec(stats.UserBytes, stats.Time)
+	return stats, nil
+}

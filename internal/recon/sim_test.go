@@ -1,0 +1,373 @@
+package recon
+
+import (
+	"math"
+	"testing"
+
+	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/raid"
+	"shiftedmirror/internal/workload"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Stripes = 16
+	return cfg
+}
+
+// avgAvailThroughput averages the Fig 9 metric over a set of failures.
+func avgAvailThroughput(t *testing.T, arch raid.Architecture, cfg Config, failures [][]raid.DiskID) float64 {
+	t.Helper()
+	s := NewSimulator(arch, cfg)
+	total := 0.0
+	for _, f := range failures {
+		st, err := s.Reconstruct(f)
+		if err != nil {
+			t.Fatalf("%s %v: %v", arch.Name(), f, err)
+		}
+		total += st.AvailThroughputMBs
+	}
+	return total / float64(len(failures))
+}
+
+func TestFig9aShape(t *testing.T) {
+	// Fig 9(a): traditional mirror read throughput is flat near the
+	// drive's streaming rate; shifted grows with n; the ratio lands in
+	// the paper's measured band and grows monotonically.
+	cfg := testConfig()
+	prevRatio := 0.0
+	for n := 3; n <= 7; n++ {
+		trad := avgAvailThroughput(t, raid.NewMirror(layout.NewTraditional(n)), cfg,
+			raid.AllSingleFailures(raid.NewMirror(layout.NewTraditional(n))))
+		shifted := avgAvailThroughput(t, raid.NewMirror(layout.NewShifted(n)), cfg,
+			raid.AllSingleFailures(raid.NewMirror(layout.NewShifted(n))))
+		if trad < 50 || trad > 55 {
+			t.Errorf("n=%d: traditional %.1f MB/s, want ~54.8 (flat sequential)", n, trad)
+		}
+		ratio := shifted / trad
+		if ratio < 1.5 || ratio > 5.0 {
+			t.Errorf("n=%d: improvement %.2fx outside the paper's band", n, ratio)
+		}
+		if ratio <= prevRatio {
+			t.Errorf("n=%d: improvement %.2fx did not grow from %.2fx", n, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+}
+
+func TestFig9bShape(t *testing.T) {
+	// Fig 9(b): same comparison for the mirror method with parity over
+	// all double failures; traditional stays flat, shifted wins
+	// everywhere with a growing factor bounded by (2n+1)/4.
+	cfg := testConfig()
+	cfg.Stripes = 8 // 105 failure cases at n=7: keep runtime modest
+	prevRatio := 0.0
+	for n := 3; n <= 7; n++ {
+		tArch := raid.NewMirrorWithParity(layout.NewTraditional(n))
+		sArch := raid.NewMirrorWithParity(layout.NewShifted(n))
+		trad := avgAvailThroughput(t, tArch, cfg, raid.AllDoubleFailures(tArch))
+		shifted := avgAvailThroughput(t, sArch, cfg, raid.AllDoubleFailures(sArch))
+		if trad < 80 || trad > 115 {
+			t.Errorf("n=%d: traditional %.1f MB/s, want flat ~95-105", n, trad)
+		}
+		ratio := shifted / trad
+		if ratio <= 1.0 {
+			t.Errorf("n=%d: shifted (%.1f) does not beat traditional (%.1f)", n, shifted, trad)
+		}
+		theory := float64(2*n+1) / 4
+		if ratio > theory {
+			t.Errorf("n=%d: measured %.2fx exceeds theoretical bound %.2fx", n, ratio, theory)
+		}
+		if ratio <= prevRatio {
+			t.Errorf("n=%d: improvement %.2fx did not grow from %.2fx", n, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+}
+
+func TestReconstructAccessCountsMatchAnalysis(t *testing.T) {
+	// The simulator's per-stripe availability access count must equal
+	// the planner's analytical value for every double failure.
+	n := 4
+	arch := raid.NewMirrorWithParity(layout.NewShifted(n))
+	cfg := testConfig()
+	cfg.Stripes = 4
+	s := NewSimulator(arch, cfg)
+	for _, failure := range raid.AllDoubleFailures(arch) {
+		st, err := s.Reconstruct(failure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := arch.RecoveryPlan(failure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := st.AvailAccessesPerStripe, float64(plan.AvailAccesses()); got != want {
+			t.Errorf("%v: sim %.1f accesses/stripe, plan %v", failure, got, want)
+		}
+	}
+}
+
+func TestReconstructBytesAccounting(t *testing.T) {
+	n := 3
+	arch := raid.NewMirror(layout.NewShifted(n))
+	cfg := testConfig()
+	s := NewSimulator(arch, cfg)
+	st, err := s.Reconstruct([]raid.DiskID{{Role: raid.RoleData, Index: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n elements per stripe read and recovered.
+	want := int64(cfg.Stripes) * int64(n) * cfg.ElementSize
+	if st.BytesRead != want || st.RecoveredBytes != want {
+		t.Fatalf("bytes read %d, recovered %d, want %d", st.BytesRead, st.RecoveredBytes, want)
+	}
+	if st.TotalTime < st.ReadTime {
+		t.Fatal("total time below read time")
+	}
+	if st.AvailTime <= 0 || st.AvailThroughputMBs <= 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+}
+
+func TestReconstructSparesReceiveAllElements(t *testing.T) {
+	n := 3
+	arch := raid.NewMirror(layout.NewShifted(n))
+	cfg := testConfig()
+	s := NewSimulator(arch, cfg)
+	failed := raid.DiskID{Role: raid.RoleData, Index: 0}
+	if _, err := s.Reconstruct([]raid.DiskID{failed}); err != nil {
+		t.Fatal(err)
+	}
+	spare := s.spares[failed]
+	if spare == nil {
+		t.Fatal("no spare allocated")
+	}
+	stats := spare.Stats()
+	if stats.Writes != int64(cfg.Stripes*n) {
+		t.Fatalf("spare writes = %d, want %d", stats.Writes, cfg.Stripes*n)
+	}
+	if stats.BytesWritten != int64(cfg.Stripes*n)*cfg.ElementSize {
+		t.Fatalf("spare bytes = %d", stats.BytesWritten)
+	}
+}
+
+func TestRotationPreservesAccessCounts(t *testing.T) {
+	// With stack rotation on, a physical failure maps to different
+	// logical disks per stripe, but the availability access count per
+	// stripe is unchanged (the paper's stack argument).
+	n := 4
+	for _, rotate := range []bool{false, true} {
+		cfg := testConfig()
+		cfg.Rotate = rotate
+		arch := raid.NewMirror(layout.NewShifted(n))
+		s := NewSimulator(arch, cfg)
+		st, err := s.Reconstruct([]raid.DiskID{{Role: raid.RoleData, Index: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.AvailAccessesPerStripe != 1 {
+			t.Errorf("rotate=%v: %.1f accesses/stripe, want 1", rotate, st.AvailAccessesPerStripe)
+		}
+	}
+}
+
+func TestBarrierAblation(t *testing.T) {
+	// Pipelined execution can only be faster or equal.
+	n := 5
+	arch := raid.NewMirrorWithParity(layout.NewShifted(n))
+	failure := []raid.DiskID{{Role: raid.RoleData, Index: 0}, {Role: raid.RoleMirror, Index: 2}}
+	barrier := testConfig()
+	pipelined := testConfig()
+	pipelined.Barrier = false
+	b, err := NewSimulator(arch, barrier).Reconstruct(failure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewSimulator(arch, pipelined).Reconstruct(failure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ReadTime > b.ReadTime+1e-9 {
+		t.Fatalf("pipelined (%.4fs) slower than barrier (%.4fs)", p.ReadTime, b.ReadTime)
+	}
+}
+
+func TestSeqMergeAblationChangesTraditionalOnly(t *testing.T) {
+	// Disabling sequential merge hurts the traditional method (whose
+	// advantage is sequential replica reads) far more than the shifted
+	// one (already paying positioning per element).
+	n := 5
+	failure := []raid.DiskID{{Role: raid.RoleData, Index: 0}}
+	run := func(arch raid.Architecture, merge bool) float64 {
+		cfg := testConfig()
+		cfg.Disk.SeqMerge = merge
+		st, err := NewSimulator(arch, cfg).Reconstruct(failure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.AvailThroughputMBs
+	}
+	tradOn := run(raid.NewMirror(layout.NewTraditional(n)), true)
+	tradOff := run(raid.NewMirror(layout.NewTraditional(n)), false)
+	shiftOn := run(raid.NewMirror(layout.NewShifted(n)), true)
+	shiftOff := run(raid.NewMirror(layout.NewShifted(n)), false)
+	tradLoss := tradOn / tradOff
+	shiftLoss := shiftOn / shiftOff
+	if tradLoss < 1.2 {
+		t.Errorf("traditional barely affected by merge ablation: %.2fx", tradLoss)
+	}
+	if shiftLoss > 1.05 {
+		t.Errorf("shifted should be insensitive to merge: %.2fx", shiftLoss)
+	}
+}
+
+func TestRunWritesFig10Shape(t *testing.T) {
+	// Fig 10: traditional and shifted write throughput within a few
+	// percent of each other; parity variant clearly below plain mirror;
+	// throughput grows with n.
+	cfg := testConfig()
+	prevMirror := 0.0
+	for n := 3; n <= 7; n++ {
+		ops := workload.LargeWrites(77, 200, n, cfg.Stripes)
+		run := func(arch *raid.Mirror) float64 {
+			st, err := NewSimulator(arch, cfg).RunWrites(ops, raid.WriteAuto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st.ThroughputMBs
+		}
+		tm := run(raid.NewMirror(layout.NewTraditional(n)))
+		sm := run(raid.NewMirror(layout.NewShifted(n)))
+		tp := run(raid.NewMirrorWithParity(layout.NewTraditional(n)))
+		sp := run(raid.NewMirrorWithParity(layout.NewShifted(n)))
+		if gap := tm / sm; gap < 0.85 || gap > 1.18 {
+			t.Errorf("n=%d: mirror write gap %.2f, want 'compatible' (within ~15%%)", n, gap)
+		}
+		if gap := tp / sp; gap < 0.85 || gap > 1.18 {
+			t.Errorf("n=%d: mirror+parity write gap %.2f", n, gap)
+		}
+		if tp >= tm || sp >= sm {
+			t.Errorf("n=%d: parity variant should write slower (mirror %.1f/%.1f, parity %.1f/%.1f)", n, tm, sm, tp, sp)
+		}
+		if sm <= prevMirror {
+			t.Errorf("n=%d: shifted mirror write throughput did not grow (%.1f <= %.1f)", n, sm, prevMirror)
+		}
+		prevMirror = sm
+	}
+}
+
+func TestRunWritesStrategies(t *testing.T) {
+	n := 5
+	cfg := testConfig()
+	ops := workload.LargeWrites(5, 100, n, cfg.Stripes)
+	arch := raid.NewMirrorWithParity(layout.NewShifted(n))
+	auto, err := NewSimulator(arch, cfg).RunWrites(ops, raid.WriteAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmw, err := NewSimulator(arch, cfg).RunWrites(ops, raid.WriteRMW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := NewSimulator(arch, cfg).RunWrites(ops, raid.WriteReconstruct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.ThroughputMBs < rmw.ThroughputMBs-1e-9 && auto.ThroughputMBs < recon.ThroughputMBs-1e-9 {
+		t.Errorf("auto (%.1f) worse than both rmw (%.1f) and reconstruct (%.1f)",
+			auto.ThroughputMBs, rmw.ThroughputMBs, recon.ThroughputMBs)
+	}
+	if auto.UserBytes != rmw.UserBytes || auto.UserBytes != recon.UserBytes {
+		t.Error("user bytes depend on parity strategy")
+	}
+}
+
+func TestRunWritesPlainMirrorNoReads(t *testing.T) {
+	n := 4
+	cfg := testConfig()
+	ops := workload.LargeWrites(3, 50, n, cfg.Stripes)
+	st, err := NewSimulator(raid.NewMirror(layout.NewShifted(n)), cfg).RunWrites(ops, raid.WriteAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PreReadAccesses != 0 {
+		t.Fatalf("plain mirror issued %d pre-read accesses", st.PreReadAccesses)
+	}
+	if st.ThroughputMBs <= 0 || math.IsNaN(st.ThroughputMBs) {
+		t.Fatalf("bad throughput %v", st.ThroughputMBs)
+	}
+}
+
+func TestRunWritesNoWriterArch(t *testing.T) {
+	cfg := testConfig()
+	cfg.Stripes = 2
+	s := NewSimulator(raid.NewRAID6EvenOdd(4), cfg)
+	if _, err := s.RunWrites(workload.LargeWrites(1, 5, 4, 2), raid.WriteAuto); err == nil {
+		t.Fatal("RAID6 write workload should be rejected (no write planner)")
+	}
+}
+
+func TestReconstructUnrecoverable(t *testing.T) {
+	arch := raid.NewMirror(layout.NewShifted(3))
+	s := NewSimulator(arch, testConfig())
+	_, err := s.Reconstruct([]raid.DiskID{{Role: raid.RoleData, Index: 0}, {Role: raid.RoleMirror, Index: 0}})
+	if err == nil {
+		t.Fatal("unrecoverable failure set accepted")
+	}
+}
+
+func TestDistributedSpareRemovesRebuildBottleneck(t *testing.T) {
+	// At n=7, the shifted mirror's availability reads (~248 MB/s) exceed
+	// a dedicated spare's 130 MB/s write bandwidth, so total rebuild time
+	// is spare-bound; distributing the recovered elements over surviving
+	// disks removes the bottleneck.
+	n := 7
+	arch := raid.NewMirror(layout.NewShifted(n))
+	failure := []raid.DiskID{{Role: raid.RoleData, Index: 0}}
+	dedicated := testConfig()
+	distributed := testConfig()
+	distributed.DistributedSpare = true
+	d, err := NewSimulator(arch, dedicated).Reconstruct(failure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := NewSimulator(arch, distributed).Reconstruct(failure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TotalTime <= d.ReadTime {
+		t.Fatalf("dedicated spare should bound total time: total %.3f read %.3f", d.TotalTime, d.ReadTime)
+	}
+	if x.TotalTime >= d.TotalTime {
+		t.Fatalf("distributed sparing total %.3fs not below dedicated %.3fs", x.TotalTime, d.TotalTime)
+	}
+	// All recovered bytes still written somewhere.
+	var spareBytes int64
+	s2 := NewSimulator(arch, distributed)
+	st, err := s2.Reconstruct(failure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range s2.arrays {
+		spareBytes += a.Stats().BytesWritten
+	}
+	if spareBytes != st.RecoveredBytes {
+		t.Fatalf("distributed spare wrote %d bytes, recovered %d", spareBytes, st.RecoveredBytes)
+	}
+}
+
+func TestDistributedSpareLowNStillCorrect(t *testing.T) {
+	// At n=3 the spare is not the bottleneck; distributed sparing must
+	// still account every byte and not slow reads catastrophically.
+	arch := raid.NewMirror(layout.NewShifted(3))
+	cfg := testConfig()
+	cfg.DistributedSpare = true
+	st, err := NewSimulator(arch, cfg).Reconstruct([]raid.DiskID{{Role: raid.RoleMirror, Index: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AvailThroughputMBs <= 0 {
+		t.Fatalf("bad stats %+v", st)
+	}
+}

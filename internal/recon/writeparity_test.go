@@ -1,0 +1,49 @@
+package recon
+
+import (
+	"testing"
+
+	"shiftedmirror/internal/array"
+	"shiftedmirror/internal/disk"
+	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/raid"
+)
+
+// TestWriteRoundAccessParity verifies, end to end against the simulator,
+// the paper's write-efficiency claim: under the row-by-row large-write
+// strategy, the shifted arrangement costs exactly as many write accesses
+// as the traditional one for every write extent (Property 3), and every
+// executed round is a single parallel access.
+func TestWriteRoundAccessParity(t *testing.T) {
+	n := 3
+	cfg := testConfig()
+	for start := 0; start < n*n; start++ {
+		for count := 1; start+count <= n*n; count++ {
+			var got [2]int
+			for i, arr := range []layout.Arrangement{layout.NewTraditional(n), layout.NewShifted(n)} {
+				arch := raid.NewMirror(arr)
+				s := NewSimulator(arch, cfg)
+				plan, err := arch.WritePlan(start, count, raid.WriteAuto)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total := 0
+				for _, round := range plan.WriteRounds {
+					res := array.Run(0, s.bind(0, round, disk.Write), true)
+					if res.Accesses != 1 {
+						t.Errorf("arr=%d start=%d count=%d: round needed %d accesses, want 1 (Property 3)",
+							i, start, count, res.Accesses)
+					}
+					total += res.Accesses
+				}
+				if total != plan.WriteAccesses() {
+					t.Errorf("arr=%d start=%d count=%d: run %d vs plan %d", i, start, count, total, plan.WriteAccesses())
+				}
+				got[i] = total
+			}
+			if got[0] != got[1] {
+				t.Errorf("start=%d count=%d: traditional %d vs shifted %d accesses", start, count, got[0], got[1])
+			}
+		}
+	}
+}

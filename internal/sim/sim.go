@@ -1,0 +1,106 @@
+// Package sim provides the small discrete-event toolkit used by the disk
+// and reconstruction simulators: a monotonic event heap keyed by time and
+// a deterministic insertion-order tiebreak, plus duration/throughput
+// helpers shared by the experiment harness.
+//
+// All simulated times are in seconds (float64) and all sizes in bytes.
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback.
+type Event struct {
+	At  float64
+	Fn  func()
+	seq int64
+}
+
+// Queue is a time-ordered event queue. The zero value is ready to use.
+// Events at equal times fire in insertion order, which keeps simulations
+// deterministic.
+type Queue struct {
+	h   eventHeap
+	seq int64
+	now float64
+}
+
+// Now returns the current simulation time: the timestamp of the most
+// recently dispatched event.
+func (q *Queue) Now() float64 { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Schedule enqueues fn to run at absolute time at. Scheduling in the past
+// (before Now) is clamped to Now, which keeps accidental zero-delay loops
+// ordered rather than time-travelling.
+func (q *Queue) Schedule(at float64, fn func()) {
+	if at < q.now {
+		at = q.now
+	}
+	q.seq++
+	heap.Push(&q.h, &Event{At: at, Fn: fn, seq: q.seq})
+}
+
+// After enqueues fn to run delay seconds after Now.
+func (q *Queue) After(delay float64, fn func()) {
+	q.Schedule(q.now+delay, fn)
+}
+
+// Step dispatches the earliest event and reports whether one existed.
+func (q *Queue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.h).(*Event)
+	q.now = e.At
+	e.Fn()
+	return true
+}
+
+// Run dispatches events until the queue is empty and returns the final
+// simulation time.
+func (q *Queue) Run() float64 {
+	for q.Step() {
+	}
+	return q.now
+}
+
+// RunUntil dispatches events with At <= t, then advances Now to t.
+func (q *Queue) RunUntil(t float64) {
+	for len(q.h) > 0 && q.h[0].At <= t {
+		q.Step()
+	}
+	if q.now < t {
+		q.now = t
+	}
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// MBPerSec converts (bytes, seconds) into MB/s using decimal megabytes,
+// matching the disk-vendor units the paper quotes (54.8 MB/s, 130 MB/s).
+func MBPerSec(bytes int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / seconds
+}

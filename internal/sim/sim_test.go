@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestQueueOrdersByTime(t *testing.T) {
+	var q Queue
+	var got []int
+	q.Schedule(3.0, func() { got = append(got, 3) })
+	q.Schedule(1.0, func() { got = append(got, 1) })
+	q.Schedule(2.0, func() { got = append(got, 2) })
+	end := q.Run()
+	if end != 3.0 {
+		t.Fatalf("final time = %v, want 3.0", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("dispatch order %v", got)
+	}
+}
+
+func TestQueueFIFOAtEqualTimes(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(1.0, func() { got = append(got, i) })
+	}
+	q.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("equal-time events out of insertion order: %v", got)
+	}
+}
+
+func TestScheduleInPastClamps(t *testing.T) {
+	var q Queue
+	q.Schedule(5.0, func() {
+		q.Schedule(1.0, func() {
+			if q.Now() != 5.0 {
+				t.Errorf("past event ran at %v, want clamped to 5.0", q.Now())
+			}
+		})
+	})
+	q.Run()
+}
+
+func TestAfter(t *testing.T) {
+	var q Queue
+	var at float64
+	q.Schedule(2.0, func() {
+		q.After(3.0, func() { at = q.Now() })
+	})
+	q.Run()
+	if at != 5.0 {
+		t.Fatalf("After fired at %v, want 5.0", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var q Queue
+	fired := 0
+	q.Schedule(1.0, func() { fired++ })
+	q.Schedule(2.0, func() { fired++ })
+	q.Schedule(3.0, func() { fired++ })
+	q.RunUntil(2.0)
+	if fired != 2 {
+		t.Fatalf("fired %d events by t=2, want 2", fired)
+	}
+	if q.Now() != 2.0 {
+		t.Fatalf("Now = %v, want 2.0", q.Now())
+	}
+	if q.Len() != 1 {
+		t.Fatalf("pending = %d, want 1", q.Len())
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	var q Queue
+	q.RunUntil(7.5)
+	if q.Now() != 7.5 {
+		t.Fatalf("idle RunUntil: Now = %v", q.Now())
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// An event chain scheduling its successor must run to completion.
+	var q Queue
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 100 {
+			q.After(0.5, step)
+		}
+	}
+	q.Schedule(0, step)
+	end := q.Run()
+	if count != 100 {
+		t.Fatalf("chain ran %d times", count)
+	}
+	if math.Abs(end-49.5) > 1e-9 {
+		t.Fatalf("end time %v, want 49.5", end)
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	var q Queue
+	if q.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestRandomizedOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var q Queue
+	var times []float64
+	var fired []float64
+	for i := 0; i < 500; i++ {
+		at := rng.Float64() * 100
+		times = append(times, at)
+		q.Schedule(at, func() { fired = append(fired, q.Now()) })
+	}
+	q.Run()
+	sort.Float64s(times)
+	if len(fired) != len(times) {
+		t.Fatalf("fired %d of %d", len(fired), len(times))
+	}
+	for i := range fired {
+		if fired[i] != times[i] {
+			t.Fatalf("event %d fired at %v, want %v", i, fired[i], times[i])
+		}
+	}
+}
+
+func TestMBPerSec(t *testing.T) {
+	if got := MBPerSec(54_800_000, 1.0); math.Abs(got-54.8) > 1e-9 {
+		t.Fatalf("MBPerSec = %v, want 54.8", got)
+	}
+	if MBPerSec(100, 0) != 0 {
+		t.Fatal("zero duration should yield 0")
+	}
+	if MBPerSec(100, -1) != 0 {
+		t.Fatal("negative duration should yield 0")
+	}
+}

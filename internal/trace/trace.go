@@ -1,0 +1,171 @@
+// Package trace collects per-disk I/O traces from the simulator and
+// renders them as ASCII timelines — the visual form of the paper's
+// argument: under the traditional arrangement one replica disk is
+// saturated with a sequential scan while every other disk idles; under
+// the shifted arrangement all disks serve one short random read per
+// stripe.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"shiftedmirror/internal/disk"
+)
+
+// Collector gathers trace entries from any number of disks. Safe for
+// concurrent use (the simulator itself is single-threaded, but tests may
+// not be).
+type Collector struct {
+	mu      sync.Mutex
+	labels  []string
+	entries map[string][]disk.TraceEntry
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{entries: map[string][]disk.TraceEntry{}}
+}
+
+// Attach installs a tracer on the disk recording under the given label.
+// Labels render in attachment order.
+func (c *Collector) Attach(d *disk.Disk, label string) {
+	c.mu.Lock()
+	if _, ok := c.entries[label]; !ok {
+		c.labels = append(c.labels, label)
+		c.entries[label] = nil
+	}
+	c.mu.Unlock()
+	d.SetTracer(func(e disk.TraceEntry) {
+		c.mu.Lock()
+		c.entries[label] = append(c.entries[label], e)
+		c.mu.Unlock()
+	})
+}
+
+// Entries returns the recorded entries for a label.
+func (c *Collector) Entries(label string) []disk.TraceEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]disk.TraceEntry(nil), c.entries[label]...)
+}
+
+// Labels returns all labels in attachment order.
+func (c *Collector) Labels() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.labels...)
+}
+
+// Span returns the earliest start and latest end across all entries.
+func (c *Collector) Span() (start, end float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	first := true
+	for _, es := range c.entries {
+		for _, e := range es {
+			if first || e.Start < start {
+				start = e.Start
+			}
+			if first || e.End > end {
+				end = e.End
+			}
+			first = false
+		}
+	}
+	return start, end
+}
+
+// BusyTime returns the total service time recorded under a label.
+func (c *Collector) BusyTime(label string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0.0
+	for _, e := range c.entries[label] {
+		total += e.End - e.Start
+	}
+	return total
+}
+
+// Render draws one row per label over width time buckets:
+//
+//	'S' sequential read   'r' random read
+//	'W' sequential write  'w' random write
+//	'.' idle              '#' mixed kinds in one bucket
+func (c *Collector) Render(width int) string {
+	if width < 1 {
+		panic(fmt.Sprintf("trace: width must be positive, got %d", width))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start, end := c.spanLocked()
+	if end <= start {
+		return "(no I/O recorded)\n"
+	}
+	bucket := (end - start) / float64(width)
+	labelWidth := 0
+	for _, l := range c.labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  |%s| %.3fs per column\n", labelWidth, "", strings.Repeat("-", width), bucket)
+	for _, label := range c.labels {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		es := append([]disk.TraceEntry(nil), c.entries[label]...)
+		sort.Slice(es, func(i, j int) bool { return es[i].Start < es[j].Start })
+		for _, e := range es {
+			lo := int((e.Start - start) / bucket)
+			hi := int((e.End - start) / bucket)
+			if hi >= width {
+				hi = width - 1
+			}
+			ch := glyph(e)
+			for i := lo; i <= hi; i++ {
+				switch {
+				case row[i] == '.':
+					row[i] = ch
+				case row[i] != ch:
+					row[i] = '#'
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%*s  |%s|\n", labelWidth, label, row)
+	}
+	return b.String()
+}
+
+func (c *Collector) spanLocked() (start, end float64) {
+	first := true
+	for _, es := range c.entries {
+		for _, e := range es {
+			if first || e.Start < start {
+				start = e.Start
+			}
+			if first || e.End > end {
+				end = e.End
+			}
+			first = false
+		}
+	}
+	return start, end
+}
+
+func glyph(e disk.TraceEntry) byte {
+	switch {
+	case e.Req.Kind == disk.Read && e.Sequential:
+		return 'S'
+	case e.Req.Kind == disk.Read:
+		return 'r'
+	case e.Sequential:
+		return 'W'
+	default:
+		return 'w'
+	}
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"shiftedmirror/internal/disk"
+	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/raid"
+	"shiftedmirror/internal/recon"
+)
+
+const mb = 1_000_000
+
+func TestCollectorRecordsEntries(t *testing.T) {
+	c := NewCollector()
+	d := disk.New(disk.Savvio10K3())
+	c.Attach(d, "d0")
+	d.Serve(0, disk.Request{Kind: disk.Read, Offset: 0, Size: 4 * mb})
+	d.Serve(0, disk.Request{Kind: disk.Read, Offset: 4 * mb, Size: 4 * mb})
+	es := c.Entries("d0")
+	if len(es) != 2 {
+		t.Fatalf("entries = %d", len(es))
+	}
+	if es[0].Sequential {
+		t.Error("first request cannot be sequential")
+	}
+	if !es[1].Sequential {
+		t.Error("contiguous second request should be sequential")
+	}
+	if got := c.BusyTime("d0"); got <= 0 {
+		t.Errorf("busy time %v", got)
+	}
+	start, end := c.Span()
+	if start != es[0].Start || end != es[1].End {
+		t.Errorf("span [%v,%v]", start, end)
+	}
+}
+
+func TestRenderGlyphs(t *testing.T) {
+	c := NewCollector()
+	d := disk.New(disk.Savvio10K3())
+	c.Attach(d, "disk")
+	d.Serve(0, disk.Request{Kind: disk.Read, Offset: 100 * mb, Size: 40 * mb})  // random read
+	d.Serve(0, disk.Request{Kind: disk.Read, Offset: 140 * mb, Size: 40 * mb})  // sequential read
+	d.Serve(0, disk.Request{Kind: disk.Write, Offset: 500 * mb, Size: 40 * mb}) // random write
+	out := c.Render(40)
+	for _, ch := range []string{"r", "S", "w"} {
+		if !strings.Contains(out, ch) {
+			t.Errorf("render missing %q:\n%s", ch, out)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := NewCollector()
+	if got := c.Render(10); !strings.Contains(got, "no I/O") {
+		t.Fatalf("empty render: %q", got)
+	}
+}
+
+func TestRenderWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero width accepted")
+		}
+	}()
+	NewCollector().Render(0)
+}
+
+// TestReconstructionTraceShapes attaches the collector to a simulated
+// reconstruction and checks the paper's qualitative picture: under the
+// traditional arrangement exactly one mirror disk does all the reading;
+// under the shifted arrangement the load is spread evenly.
+func TestReconstructionTraceShapes(t *testing.T) {
+	run := func(arr layout.Arrangement) *Collector {
+		arch := raid.NewMirror(arr)
+		cfg := recon.DefaultConfig()
+		cfg.Stripes = 8
+		sim := recon.NewSimulator(arch, cfg)
+		col := NewCollector()
+		mirror := sim.Array(raid.RoleMirror)
+		for i, d := range mirror.Disks {
+			col.Attach(d, "mirror"+string(rune('0'+i)))
+		}
+		if _, err := sim.Reconstruct([]raid.DiskID{{Role: raid.RoleData, Index: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		return col
+	}
+	n := 4
+	trad := run(layout.NewTraditional(n))
+	busyDisks := 0
+	for _, l := range trad.Labels() {
+		if trad.BusyTime(l) > 0 {
+			busyDisks++
+		}
+	}
+	if busyDisks != 1 {
+		t.Errorf("traditional: %d mirror disks busy, want 1", busyDisks)
+	}
+	shifted := run(layout.NewShifted(n))
+	var busy []float64
+	for _, l := range shifted.Labels() {
+		busy = append(busy, shifted.BusyTime(l))
+	}
+	for i, b := range busy {
+		if b <= 0 {
+			t.Fatalf("shifted: mirror disk %d idle", i)
+		}
+	}
+	// Even spread: min within 25% of max.
+	min, max := busy[0], busy[0]
+	for _, b := range busy {
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	if min < 0.75*max {
+		t.Errorf("shifted load uneven: busy times %v", busy)
+	}
+	// The traditional replica disk reads sequentially; the shifted disks
+	// seek per element.
+	var tradBusyLabel string
+	for _, l := range trad.Labels() {
+		if trad.BusyTime(l) > 0 {
+			tradBusyLabel = l
+		}
+	}
+	seqCount := 0
+	for _, e := range trad.Entries(tradBusyLabel) {
+		if e.Sequential {
+			seqCount++
+		}
+	}
+	if seqCount == 0 {
+		t.Error("traditional replica reads recorded no sequential hits")
+	}
+	for _, l := range shifted.Labels() {
+		for _, e := range shifted.Entries(l) {
+			if e.Sequential {
+				t.Fatalf("shifted read on %s unexpectedly sequential", l)
+			}
+		}
+	}
+}

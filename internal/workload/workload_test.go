@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLargeWritesDeterministic(t *testing.T) {
+	a := LargeWrites(42, 100, 5, 16)
+	b := LargeWrites(42, 100, 5, 16)
+	if len(a) != 100 {
+		t.Fatalf("count = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := LargeWrites(43, 100, 5, 16)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestLargeWritesBounds(t *testing.T) {
+	n, stripes := 4, 8
+	for _, op := range LargeWrites(7, 1000, n, stripes) {
+		if op.Stripe < 0 || op.Stripe >= stripes {
+			t.Fatalf("stripe out of range: %+v", op)
+		}
+		if op.Count < 1 || op.Count > n*n {
+			t.Fatalf("count out of range: %+v", op)
+		}
+		if op.Start < 0 || op.Start+op.Count > n*n {
+			t.Fatalf("extent out of range: %+v", op)
+		}
+	}
+}
+
+func TestLargeWritesCoverFullSizeRange(t *testing.T) {
+	// Across 1000 ops the paper's size range (1 element .. whole stripe)
+	// should actually be exercised at both ends.
+	n := 3
+	sawMin, sawMax := false, false
+	for _, op := range LargeWrites(1, 1000, n, 4) {
+		if op.Count == 1 {
+			sawMin = true
+		}
+		if op.Count == n*n {
+			sawMax = true
+		}
+	}
+	if !sawMin || !sawMax {
+		t.Fatalf("size range not covered: min=%v max=%v", sawMin, sawMax)
+	}
+}
+
+func TestUserReadsMonotoneArrivals(t *testing.T) {
+	ops := UserReads(11, 500, 5, 16, 0.01)
+	prev := 0.0
+	for i, op := range ops {
+		if op.Arrival <= prev {
+			t.Fatalf("op %d: arrival %v not after %v", i, op.Arrival, prev)
+		}
+		prev = op.Arrival
+		if op.Disk < 0 || op.Disk >= 5 || op.Row < 0 || op.Row >= 5 || op.Stripe < 0 || op.Stripe >= 16 {
+			t.Fatalf("op %d out of range: %+v", i, op)
+		}
+	}
+}
+
+func TestUserReadsMeanInterarrival(t *testing.T) {
+	ops := UserReads(13, 20000, 3, 4, 0.05)
+	mean := ops[len(ops)-1].Arrival / float64(len(ops))
+	if mean < 0.045 || mean > 0.055 {
+		t.Fatalf("mean interarrival = %v, want ~0.05", mean)
+	}
+}
+
+func TestPanicsOnInvalidArgs(t *testing.T) {
+	cases := map[string]func(){
+		"writes-n":    func() { LargeWrites(1, 10, 0, 4) },
+		"writes-str":  func() { LargeWrites(1, 10, 3, 0) },
+		"reads-mean":  func() { UserReads(1, 10, 3, 4, 0) },
+		"reads-count": func() { UserReads(1, -1, 3, 4, 1) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPayloadDeterministicAndDistinct(t *testing.T) {
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	Payload(a, 1, 0, 2, 3, 4)
+	Payload(b, 1, 0, 2, 3, 4)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same coordinates produced different payloads")
+	}
+	Payload(b, 1, 0, 2, 3, 5) // different row
+	if bytes.Equal(a, b) {
+		t.Fatal("different rows produced identical payloads")
+	}
+	Payload(b, 2, 0, 2, 3, 4) // different seed
+	if bytes.Equal(a, b) {
+		t.Fatal("different seeds produced identical payloads")
+	}
+}
+
+func TestPayloadNotAllZero(t *testing.T) {
+	buf := make([]byte, 32)
+	Payload(buf, 0, 0, 0, 0, 0)
+	zero := true
+	for _, v := range buf {
+		if v != 0 {
+			zero = false
+		}
+	}
+	if zero {
+		t.Fatal("payload is all zeros")
+	}
+}
+
+func TestPayloadShortBuffer(t *testing.T) {
+	buf := make([]byte, 3)
+	Payload(buf, 9, 1, 1, 1, 1) // must not panic
+	long := make([]byte, 16)
+	Payload(long, 9, 1, 1, 1, 1)
+	if !bytes.Equal(buf, long[:3]) {
+		t.Fatal("short payload is not a prefix of the long one")
+	}
+}

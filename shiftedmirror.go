@@ -1,0 +1,286 @@
+// Package shiftedmirror is a reproduction of "Shifted Element Arrangement
+// in Mirror Disk Arrays for High Data Availability during Reconstruction"
+// (Luo, Shu, Zhao — ICPP 2012).
+//
+// The shifted arrangement stores the replica of data element a[i][j] at
+// mirror disk (i+j) mod n, row i, spreading each disk's replicas across
+// the whole mirror array. A failed disk is then rebuilt with parallel
+// single-element reads from every surviving disk instead of a sequential
+// scan of one replica disk, improving data availability during
+// reconstruction by a factor of n (mirror method) or (2n+1)/4 (mirror
+// method with parity) while keeping writes at the theoretical optimum.
+//
+// This package is the public facade over the implementation:
+//
+//   - arrangements and their three properties (internal/layout)
+//   - RAID architectures and recovery/write planners (internal/raid)
+//   - byte-level reconstruction with verification (internal/recon)
+//   - a calibrated disk/array simulator (internal/disk, internal/array)
+//   - the paper's closed-form analysis (internal/analysis)
+//   - regeneration of every table and figure (internal/experiments)
+//
+// Quick start:
+//
+//	arch := shiftedmirror.NewShiftedMirror(5)
+//	plan, _ := arch.RecoveryPlan([]shiftedmirror.DiskID{{Role: shiftedmirror.RoleData, Index: 2}})
+//	fmt.Println(plan.AvailAccesses()) // 1 — versus 5 for the traditional mirror
+package shiftedmirror
+
+import (
+	"shiftedmirror/internal/analysis"
+	"shiftedmirror/internal/blockserver"
+	"shiftedmirror/internal/dev"
+	"shiftedmirror/internal/disk"
+	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/raid"
+	"shiftedmirror/internal/recon"
+	"shiftedmirror/internal/workload"
+)
+
+// Re-exported core types. The aliases keep the full documented API of the
+// internal packages available through the public import path.
+type (
+	// Arrangement maps data-array element addresses to mirror-array
+	// addresses within an n×n stripe.
+	Arrangement = layout.Arrangement
+	// Addr is a (disk, row) element address within a stripe.
+	Addr = layout.Addr
+	// Properties reports which of the paper's properties P1-P3 an
+	// arrangement satisfies.
+	Properties = layout.Properties
+
+	// Architecture is a RAID architecture planner.
+	Architecture = raid.Architecture
+	// Mirror is the mirror-method family (plain, with parity,
+	// three-mirror).
+	Mirror = raid.Mirror
+	// DiskID names a disk: role (data/mirror/parity) and index.
+	DiskID = raid.DiskID
+	// Role distinguishes the arrays of an architecture.
+	Role = raid.Role
+	// ElementRef addresses one element within a stripe.
+	ElementRef = raid.ElementRef
+	// Plan is a per-stripe reconstruction prescription.
+	Plan = raid.Plan
+	// WritePlan is a per-stripe write prescription.
+	WritePlan = raid.WritePlan
+	// WriteStrategy selects the parity update path for partial rows.
+	WriteStrategy = raid.WriteStrategy
+
+	// DiskParams is the simulated drive model.
+	DiskParams = disk.Params
+	// SimConfig parametrizes the timing simulation.
+	SimConfig = recon.Config
+	// Simulator runs reconstructions and write workloads on simulated
+	// arrays.
+	Simulator = recon.Simulator
+	// ReconStats reports a simulated reconstruction.
+	ReconStats = recon.ReconStats
+	// WriteStats reports a simulated write workload.
+	WriteStats = recon.WriteStats
+	// OnlineStats reports an on-line reconstruction serving user reads.
+	OnlineStats = recon.OnlineStats
+	// Store holds byte-level stripe contents for verification.
+	Store = recon.Store
+
+	// WriteOp is one user write of the Fig 10 workload.
+	WriteOp = workload.WriteOp
+	// ReadOp is one user read served during on-line reconstruction.
+	ReadOp = workload.ReadOp
+
+	// Device is a working fault-tolerant block device over a mirror
+	// architecture: io.ReaderAt/io.WriterAt with replica and parity
+	// maintenance, degraded reads, failure injection, rebuild and
+	// scrubbing.
+	Device = dev.Device
+)
+
+// Device errors.
+var (
+	// ErrDataLoss is returned by Device reads that exceed the surviving
+	// redundancy.
+	ErrDataLoss = dev.ErrDataLoss
+	// ErrScrubMismatch is returned by Device.Scrub on inconsistency.
+	ErrScrubMismatch = dev.ErrScrubMismatch
+)
+
+// NewDevice builds an in-memory fault-tolerant block device over a
+// mirror-family architecture with the given element size and stripe
+// count (logical capacity = stripes*n*n*elementSize bytes).
+func NewDevice(arch *Mirror, elementSize int64, stripes int) *Device {
+	return dev.New(arch, elementSize, stripes)
+}
+
+// CreateDeviceOnFiles builds a file-backed device under dir (one file
+// per disk plus a manifest) so it can be reopened with OpenDeviceOnFiles.
+func CreateDeviceOnFiles(arch *Mirror, elementSize int64, stripes int, dir string) (*Device, error) {
+	return dev.CreateOnFiles(arch, elementSize, stripes, dir)
+}
+
+// OpenDeviceOnFiles reopens a device created by CreateDeviceOnFiles,
+// preserving its contents.
+func OpenDeviceOnFiles(dir string) (*Device, error) { return dev.OpenOnFiles(dir) }
+
+// Disk roles.
+const (
+	RoleData    = raid.RoleData
+	RoleMirror  = raid.RoleMirror
+	RoleMirror2 = raid.RoleMirror2
+	RoleParity  = raid.RoleParity
+	RoleParity2 = raid.RoleParity2
+)
+
+// Write strategies.
+const (
+	WriteAuto        = raid.WriteAuto
+	WriteRMW         = raid.WriteRMW
+	WriteReconstruct = raid.WriteReconstruct
+)
+
+// NewTraditionalArrangement returns the classic RAID-1 identity
+// arrangement over n disks.
+func NewTraditionalArrangement(n int) Arrangement { return layout.NewTraditional(n) }
+
+// NewShiftedArrangement returns the paper's arrangement:
+// a[i][j] -> b[(i+j) mod n][i].
+func NewShiftedArrangement(n int) Arrangement { return layout.NewShifted(n) }
+
+// NewIteratedArrangement applies the Fig 8 transformation k times.
+func NewIteratedArrangement(n, k int) Arrangement { return layout.NewIterated(n, k) }
+
+// CheckProperties evaluates P1, P2 and P3 for an arrangement.
+func CheckProperties(a Arrangement) Properties { return layout.Check(a) }
+
+// NewTraditionalMirror returns the traditional mirror method over n data
+// disks (fault tolerance one).
+func NewTraditionalMirror(n int) *Mirror { return raid.NewMirror(layout.NewTraditional(n)) }
+
+// NewShiftedMirror returns the shifted mirror method over n data disks
+// (fault tolerance one, §IV).
+func NewShiftedMirror(n int) *Mirror { return raid.NewMirror(layout.NewShifted(n)) }
+
+// NewTraditionalMirrorWithParity returns the traditional mirror method
+// with parity (fault tolerance two).
+func NewTraditionalMirrorWithParity(n int) *Mirror {
+	return raid.NewMirrorWithParity(layout.NewTraditional(n))
+}
+
+// NewShiftedMirrorWithParity returns the shifted mirror method with
+// parity (fault tolerance two, §V).
+func NewShiftedMirrorWithParity(n int) *Mirror {
+	return raid.NewMirrorWithParity(layout.NewShifted(n))
+}
+
+// NewShiftedThreeMirror returns the three-mirror extension (§VIII future
+// work) with pairwise-parallel shifted arrangements (coefficient pairs
+// (1,1) and (2,1), whose determinant -1 is a unit for every n, so
+// reconstruction parallelism holds at any n). For even n the second
+// mirror array gives up Property 3: a row write to it may need two
+// accesses. n must be at least 3 (at n=2 the coefficient 2 vanishes).
+// See layout.GeneralShifted for the number theory.
+func NewShiftedThreeMirror(n int) *Mirror {
+	return raid.NewThreeMirror(layout.NewGeneralShifted(n, 1, 1), layout.NewGeneralShifted(n, 2, 1))
+}
+
+// NewMirrorWithArrangement builds a plain mirror method over a custom
+// arrangement (e.g. one found by layout.SearchValid).
+func NewMirrorWithArrangement(a Arrangement) *Mirror { return raid.NewMirror(a) }
+
+// NewRAID6 returns the RAID-6 baseline over n data disks (shortened
+// EVENODD, as in the paper's comparison).
+func NewRAID6(n int) Architecture { return raid.NewRAID6EvenOdd(n) }
+
+// SavvioDisk returns the paper's drive model (Seagate Savvio 10K.3).
+func SavvioDisk() DiskParams { return disk.Savvio10K3() }
+
+// DefaultSimConfig returns the standard simulation configuration: 4 MB
+// elements on the Savvio model with the paper's lockstep parallel-access
+// semantics.
+func DefaultSimConfig() SimConfig { return recon.DefaultConfig() }
+
+// NewSimulator binds an architecture to simulated disk arrays.
+func NewSimulator(arch Architecture, cfg SimConfig) *Simulator {
+	return recon.NewSimulator(arch, cfg)
+}
+
+// VerifyRecovery performs the paper's end-to-end correctness check:
+// materialize stripes, fail the given disks, reconstruct, and compare
+// bytes against the originals.
+func VerifyRecovery(arch Architecture, stripes, payload int, seed int64, failed []DiskID) error {
+	return recon.VerifyRecovery(arch, stripes, payload, seed, failed)
+}
+
+// AllSingleFailures enumerates every single-disk failure of an
+// architecture.
+func AllSingleFailures(arch Architecture) [][]DiskID { return raid.AllSingleFailures(arch) }
+
+// AllDoubleFailures enumerates every double-disk failure of an
+// architecture.
+func AllDoubleFailures(arch Architecture) [][]DiskID { return raid.AllDoubleFailures(arch) }
+
+// LargeWrites generates the paper's random large-write workload.
+func LargeWrites(seed int64, count, n, stripes int) []WriteOp {
+	return workload.LargeWrites(seed, count, n, stripes)
+}
+
+// UserReads generates a stream of user reads for on-line reconstruction.
+func UserReads(seed int64, count, n, stripes int, meanInterarrival float64) []ReadOp {
+	return workload.UserReads(seed, count, n, stripes, meanInterarrival)
+}
+
+// MirrorImprovement is the theoretical availability gain of the shifted
+// mirror method: n.
+func MirrorImprovement(n int) float64 { return analysis.MirrorImprovement(n) }
+
+// MirrorParityImprovement is the theoretical availability gain of the
+// shifted mirror method with parity: (2n+1)/4.
+func MirrorParityImprovement(n int) float64 { return analysis.MirrorParityImprovement(n) }
+
+// RenderLayout renders the data and mirror arrays of an arrangement side
+// by side, as in the paper's layout figures.
+func RenderLayout(a Arrangement) string { return layout.RenderPair(a) }
+
+// ParseArrangement builds an arrangement from a textual spec:
+// "traditional", "shifted", "iterated:K" or "general:A,B".
+func ParseArrangement(spec string, n int) (Arrangement, error) { return layout.ParseSpec(spec, n) }
+
+// DiskModels lists the built-in drive models by name ("savvio" — the
+// paper's testbed drive — plus "nearline" and "ssd" for sensitivity
+// studies).
+func DiskModels() map[string]DiskParams { return disk.Models() }
+
+// RepairRate maps an outstanding failure set to a repair rate (repairs
+// per hour) for the reliability model.
+type RepairRate = analysis.RepairRate
+
+// ConstantRepair returns a RepairRate with a fixed mean time to repair.
+func ConstantRepair(mttrHours float64) RepairRate { return analysis.ConstantRepair(mttrHours) }
+
+// MTTDL computes the mean time to data loss (hours) of an architecture
+// under independent disk failures at the given rate (failures per hour)
+// and the given repair model. Use Simulator.RepairRate to derive the
+// repair model from simulated reconstruction times.
+func MTTDL(arch Architecture, failuresPerHour float64, repair RepairRate) (float64, error) {
+	return analysis.MTTDL(arch, failuresPerHour, repair)
+}
+
+// ServeDevice exports a device over TCP; the returned server's Close
+// tears it down. Connect with DialDevice.
+func ServeDevice(d *Device, addr string) (*BlockServer, string, error) {
+	srv := blockserver.NewServer(d)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, bound.String(), nil
+}
+
+// DialDevice connects to a served device; the client implements
+// io.ReaderAt/io.WriterAt plus fail/rebuild/scrub/health management.
+func DialDevice(addr string) (*BlockClient, error) { return blockserver.Dial(addr) }
+
+// BlockServer serves a Device over TCP.
+type BlockServer = blockserver.Server
+
+// BlockClient is a remote handle to a served Device.
+type BlockClient = blockserver.Client

@@ -1,0 +1,251 @@
+package shiftedmirror_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"shiftedmirror"
+)
+
+func TestFacadeQuickstartPath(t *testing.T) {
+	arch := shiftedmirror.NewShiftedMirror(5)
+	plan, err := arch.RecoveryPlan([]shiftedmirror.DiskID{{Role: shiftedmirror.RoleData, Index: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.AvailAccesses() != 1 {
+		t.Fatalf("shifted mirror single failure: %d accesses", plan.AvailAccesses())
+	}
+	trad := shiftedmirror.NewTraditionalMirror(5)
+	tplan, err := trad.RecoveryPlan([]shiftedmirror.DiskID{{Role: shiftedmirror.RoleData, Index: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tplan.AvailAccesses() != 5 {
+		t.Fatalf("traditional mirror single failure: %d accesses", tplan.AvailAccesses())
+	}
+}
+
+func TestFacadeProperties(t *testing.T) {
+	p := shiftedmirror.CheckProperties(shiftedmirror.NewShiftedArrangement(6))
+	if !p.All() {
+		t.Fatalf("shifted arrangement properties: %v", p)
+	}
+	p = shiftedmirror.CheckProperties(shiftedmirror.NewTraditionalArrangement(6))
+	if p.P1 {
+		t.Fatal("traditional arrangement should not satisfy P1")
+	}
+	p = shiftedmirror.CheckProperties(shiftedmirror.NewIteratedArrangement(3, 3))
+	if !p.P1 || !p.P2 || p.P3 {
+		t.Fatalf("iterated(3) at n=3: %v", p)
+	}
+}
+
+func TestFacadeVerifyRecovery(t *testing.T) {
+	arch := shiftedmirror.NewShiftedMirrorWithParity(4)
+	failed := []shiftedmirror.DiskID{
+		{Role: shiftedmirror.RoleData, Index: 0},
+		{Role: shiftedmirror.RoleMirror, Index: 2},
+	}
+	if err := shiftedmirror.VerifyRecovery(arch, 3, 32, 1, failed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	cfg := shiftedmirror.DefaultSimConfig()
+	cfg.Stripes = 8
+	s := shiftedmirror.NewSimulator(shiftedmirror.NewShiftedMirror(4), cfg)
+	st, err := s.Reconstruct([]shiftedmirror.DiskID{{Role: shiftedmirror.RoleData, Index: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AvailThroughputMBs <= 60 {
+		t.Fatalf("shifted throughput %.1f MB/s, expected parallel speedup", st.AvailThroughputMBs)
+	}
+}
+
+func TestFacadeImprovements(t *testing.T) {
+	if shiftedmirror.MirrorImprovement(7) != 7 {
+		t.Fatal("mirror improvement should be n")
+	}
+	if shiftedmirror.MirrorParityImprovement(7) != 15.0/4 {
+		t.Fatal("parity improvement should be (2n+1)/4")
+	}
+}
+
+func TestFacadeThreeMirror(t *testing.T) {
+	arch := shiftedmirror.NewShiftedThreeMirror(5)
+	if arch.FaultTolerance() != 2 {
+		t.Fatal("three-mirror fault tolerance")
+	}
+	for _, failure := range shiftedmirror.AllDoubleFailures(arch) {
+		if err := shiftedmirror.VerifyRecovery(arch, 1, 8, 2, failure); err != nil {
+			t.Fatalf("%v: %v", failure, err)
+		}
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	writes := shiftedmirror.LargeWrites(1, 10, 3, 4)
+	if len(writes) != 10 {
+		t.Fatal("write workload size")
+	}
+	reads := shiftedmirror.UserReads(1, 10, 3, 4, 0.01)
+	if len(reads) != 10 {
+		t.Fatal("read workload size")
+	}
+}
+
+func TestFacadeRender(t *testing.T) {
+	out := shiftedmirror.RenderLayout(shiftedmirror.NewShiftedArrangement(3))
+	if !strings.Contains(out, "mirror array") {
+		t.Fatalf("render: %q", out)
+	}
+}
+
+func ExampleNewShiftedMirror() {
+	arch := shiftedmirror.NewShiftedMirror(3)
+	plan, _ := arch.RecoveryPlan([]shiftedmirror.DiskID{{Role: shiftedmirror.RoleData, Index: 0}})
+	fmt.Println("accesses to recover a failed disk:", plan.AvailAccesses())
+	// Output: accesses to recover a failed disk: 1
+}
+
+func ExampleRenderLayout() {
+	fmt.Print(shiftedmirror.RenderLayout(shiftedmirror.NewShiftedArrangement(3)))
+	// Output:
+	// data array    mirror array (shifted)
+	//   1   2   3     1   4   7
+	//   4   5   6     8   2   5
+	//   7   8   9     6   9   3
+}
+
+func TestFacadeParseArrangement(t *testing.T) {
+	arr, err := shiftedmirror.ParseArrangement("iterated:5", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shiftedmirror.CheckProperties(arr).All() {
+		t.Fatal("iterated:5 at n=3 should satisfy all properties")
+	}
+	if _, err := shiftedmirror.ParseArrangement("nope", 3); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestFacadeDiskModels(t *testing.T) {
+	models := shiftedmirror.DiskModels()
+	for _, name := range []string{"savvio", "nearline", "ssd"} {
+		p, ok := models[name]
+		if !ok {
+			t.Fatalf("model %q missing", name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFacadeMTTDL(t *testing.T) {
+	arch := shiftedmirror.NewShiftedMirrorWithParity(3)
+	v, err := shiftedmirror.MTTDL(arch, 1.0/1e6, shiftedmirror.ConstantRepair(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 {
+		t.Fatalf("MTTDL = %v", v)
+	}
+	// Repair rates from the simulator plug in directly.
+	cfg := shiftedmirror.DefaultSimConfig()
+	cfg.Stripes = 4
+	sim := shiftedmirror.NewSimulator(arch, cfg)
+	v2, err := shiftedmirror.MTTDL(arch, 1.0/1e6, sim.RepairRate(17_000_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 <= 0 {
+		t.Fatalf("simulated-repair MTTDL = %v", v2)
+	}
+}
+
+func TestFacadeDevice(t *testing.T) {
+	d := shiftedmirror.NewDevice(shiftedmirror.NewShiftedMirror(3), 64, 2)
+	payload := []byte("hello shifted world")
+	if _, err := d.WriteAt(payload, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FailDisk(shiftedmirror.DiskID{Role: shiftedmirror.RoleData, Index: 0}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := d.ReadAt(got, 100); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("degraded read = %q", got)
+	}
+}
+
+func TestFacadeFileDevice(t *testing.T) {
+	dir := t.TempDir()
+	arch := shiftedmirror.NewShiftedMirrorWithParity(3)
+	d, err := shiftedmirror.CreateDeviceOnFiles(arch, 64, 2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteAt([]byte("persist me"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CloseStores(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := shiftedmirror.OpenDeviceOnFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.CloseStores()
+	got := make([]byte, 10)
+	if _, err := re.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "persist me" {
+		t.Fatalf("reopened device returned %q", got)
+	}
+	if h := re.Health(); h.ElementsRead == 0 {
+		t.Fatal("health counters not exposed")
+	}
+}
+
+func TestFacadeServeDevice(t *testing.T) {
+	d := shiftedmirror.NewDevice(shiftedmirror.NewShiftedMirrorWithParity(3), 64, 2)
+	srv, addr, err := shiftedmirror.ServeDevice(d, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := shiftedmirror.DialDevice(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.WriteAt([]byte("network block device"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailDisk(shiftedmirror.DiskID{Role: shiftedmirror.RoleData, Index: 0}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 20)
+	if _, err := c.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "network block device" {
+		t.Fatalf("remote degraded read: %q", got)
+	}
+	if err := c.Rebuild(shiftedmirror.DiskID{Role: shiftedmirror.RoleData, Index: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Scrub(); err != nil {
+		t.Fatal(err)
+	}
+}
