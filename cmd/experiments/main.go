@@ -35,6 +35,7 @@ func main() {
 		three    = flag.Bool("threemirror", false, "extension: three-mirror method (paper future work)")
 		degraded = flag.Bool("degraded", false, "extension: degraded-mode read service")
 		raid6    = flag.Bool("raid6", false, "extension: simulated RAID-6 comparison")
+		encbench = flag.Bool("encodebench", false, "byte-level encode throughput, wall clock (machine-dependent; not part of -all)")
 		n        = flag.Int("n", 7, "data disks for -table1")
 		maxN     = flag.Int("maxn", 50, "largest n for -fig7")
 		stripes  = flag.Int("stripes", 32, "stripes per array in simulations")
@@ -70,9 +71,30 @@ func main() {
 		{*degraded, func() (*experiments.Table, error) { return experiments.Degraded(opts) }},
 		{*raid6, func() (*experiments.Table, error) { return experiments.RAID6(opts) }},
 	}
+	// Wall-clock numbers vary by machine, so -encodebench never rides
+	// along with -all (whose output is reference-checked).
+	wallClockJobs := []job{
+		{*encbench, func() (*experiments.Table, error) { return experiments.EncodeThroughput(opts) }},
+	}
 	ran := false
 	for _, j := range jobs {
 		if !j.enabled && !*all {
+			continue
+		}
+		t, err := j.run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Format())
+		}
+		ran = true
+	}
+	for _, j := range wallClockJobs {
+		if !j.enabled {
 			continue
 		}
 		t, err := j.run()

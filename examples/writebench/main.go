@@ -9,8 +9,12 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"shiftedmirror"
+	"shiftedmirror/internal/erasure"
+	"shiftedmirror/internal/gf"
+	"shiftedmirror/internal/sim"
 )
 
 func main() {
@@ -50,5 +54,33 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-20v %8.1f MB/s\n", strat, stats.ThroughputMBs)
+	}
+
+	// Wall-clock byte-level encode throughput: what the parity disk of
+	// the mirror method with parity actually costs in CPU on this
+	// machine, through the gf kernel layer (active kernel shown).
+	fmt.Printf("\nbyte-level parity encode, wall clock (gf kernel %q):\n", gf.ActiveKernel())
+	const shard = 1 << 20
+	for n := 3; n <= 7; n++ {
+		code := erasure.NewXORParity(n)
+		shards := make([][]byte, n+1)
+		for i := range shards {
+			shards[i] = make([]byte, shard)
+			for j := 0; j < shard; j += 251 {
+				shards[i][j] = byte(i + j)
+			}
+		}
+		if err := code.Encode(shards); err != nil {
+			log.Fatal(err)
+		}
+		var bytes int64
+		start := time.Now()
+		for time.Since(start) < 200*time.Millisecond {
+			if err := code.Encode(shards); err != nil {
+				log.Fatal(err)
+			}
+			bytes += int64(shard) * int64(n)
+		}
+		fmt.Printf("  n=%d %10.0f MB/s\n", n, sim.MBPerSec(bytes, time.Since(start).Seconds()))
 	}
 }

@@ -17,6 +17,10 @@ import (
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
+	// hdr is request-header scratch (op + off + len = 13 bytes max),
+	// guarded by mu, so steady-state I/O builds frames without
+	// allocating.
+	hdr [13]byte
 }
 
 // Dial connects to a Server.
@@ -46,10 +50,10 @@ func (c *Client) ReadAt(p []byte, off int64) (int, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	req := []byte{OpRead}
-	req = binary.BigEndian.AppendUint64(req, uint64(off))
-	req = binary.BigEndian.AppendUint32(req, uint32(len(p)))
-	if err := c.roundTrip(req); err != nil {
+	c.hdr[0] = OpRead
+	binary.BigEndian.PutUint64(c.hdr[1:9], uint64(off))
+	binary.BigEndian.PutUint32(c.hdr[9:13], uint32(len(p)))
+	if err := c.roundTrip(c.hdr[:13]); err != nil {
 		return 0, err
 	}
 	n, err := readUint32(c.conn)
@@ -69,11 +73,16 @@ func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	req := []byte{OpWrite}
-	req = binary.BigEndian.AppendUint64(req, uint64(off))
-	req = binary.BigEndian.AppendUint32(req, uint32(len(p)))
-	req = append(req, p...)
-	if err := c.roundTrip(req); err != nil {
+	c.hdr[0] = OpWrite
+	binary.BigEndian.PutUint64(c.hdr[1:9], uint64(off))
+	binary.BigEndian.PutUint32(c.hdr[9:13], uint32(len(p)))
+	// Vectored write (writev on TCP) sends header + payload in one frame
+	// without copying the payload into a request buffer.
+	bufs := net.Buffers{c.hdr[:13], p}
+	if _, err := bufs.WriteTo(c.conn); err != nil {
+		return 0, err
+	}
+	if err := readStatus(c.conn); err != nil {
 		return 0, err
 	}
 	return len(p), nil
@@ -83,7 +92,8 @@ func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 func (c *Client) Size() (int64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.roundTrip([]byte{OpSize}); err != nil {
+	c.hdr[0] = OpSize
+	if err := c.roundTrip(c.hdr[:1]); err != nil {
 		return 0, err
 	}
 	v, err := readUint64(c.conn)
@@ -99,23 +109,26 @@ func (c *Client) Rebuild(id raid.DiskID) error { return c.diskOp(OpRebuild, id) 
 func (c *Client) diskOp(op byte, id raid.DiskID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	req := []byte{op, byte(id.Role)}
-	req = binary.BigEndian.AppendUint32(req, uint32(id.Index))
-	return c.roundTrip(req)
+	c.hdr[0] = op
+	c.hdr[1] = byte(id.Role)
+	binary.BigEndian.PutUint32(c.hdr[2:6], uint32(id.Index))
+	return c.roundTrip(c.hdr[:6])
 }
 
 // Scrub runs a remote consistency scrub.
 func (c *Client) Scrub() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.roundTrip([]byte{OpScrub})
+	c.hdr[0] = OpScrub
+	return c.roundTrip(c.hdr[:1])
 }
 
 // Health fetches the remote service counters and failed-disk list.
 func (c *Client) Health() (dev.Health, []raid.DiskID, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.roundTrip([]byte{OpHealth}); err != nil {
+	c.hdr[0] = OpHealth
+	if err := c.roundTrip(c.hdr[:1]); err != nil {
 		return dev.Health{}, nil, err
 	}
 	var vals [5]int64

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Opcodes.
@@ -51,6 +52,25 @@ const MaxIOSize = 64 << 20
 // ErrProtocol reports a malformed frame.
 var ErrProtocol = errors.New("blockserver: protocol violation")
 
+// framePool recycles request/response frame buffers so the read/write
+// hot path allocates nothing per request at steady state.
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getFrame(n int) *[]byte {
+	p := framePool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putFrame(p *[]byte) { framePool.Put(p) }
+
+// okFrame is the payload-free success response; shared because writes
+// never mutate it.
+var okFrame = [...]byte{statusOK}
+
 // writeErr sends an error response.
 func writeErr(w io.Writer, err error) error {
 	msg := []byte(err.Error())
@@ -64,10 +84,15 @@ func writeErr(w io.Writer, err error) error {
 
 // writeOK sends a success response with an optional payload.
 func writeOK(w io.Writer, payload []byte) error {
-	buf := make([]byte, 0, 1+len(payload))
-	buf = append(buf, statusOK)
-	buf = append(buf, payload...)
-	_, err := w.Write(buf)
+	if len(payload) == 0 {
+		_, err := w.Write(okFrame[:])
+		return err
+	}
+	buf := getFrame(1 + len(payload))
+	defer putFrame(buf)
+	(*buf)[0] = statusOK
+	copy((*buf)[1:], payload)
+	_, err := w.Write(*buf)
 	return err
 }
 

@@ -125,13 +125,17 @@ func (s *Server) dispatch(conn net.Conn, op byte) error {
 		if n > MaxIOSize {
 			return writeErr(conn, fmt.Errorf("%w: read of %d bytes exceeds limit", ErrProtocol, n))
 		}
-		buf := make([]byte, n)
-		if _, err := s.device.ReadAt(buf, int64(off)); err != nil {
+		// Assemble status|len|data in one pooled frame and reply with a
+		// single write: no per-request allocation, no payload copy.
+		frame := getFrame(5 + int(n))
+		defer putFrame(frame)
+		if _, err := s.device.ReadAt((*frame)[5:], int64(off)); err != nil {
 			return writeErr(conn, err)
 		}
-		payload := binary.BigEndian.AppendUint32(nil, n)
-		payload = append(payload, buf...)
-		return writeOK(conn, payload)
+		(*frame)[0] = statusOK
+		binary.BigEndian.PutUint32((*frame)[1:5], n)
+		_, werr := conn.Write(*frame)
+		return werr
 	case OpWrite:
 		off, err := readUint64(conn)
 		if err != nil {
@@ -144,11 +148,12 @@ func (s *Server) dispatch(conn net.Conn, op byte) error {
 		if n > MaxIOSize {
 			return fmt.Errorf("%w: write of %d bytes exceeds limit", ErrProtocol, n)
 		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(conn, buf); err != nil {
+		buf := getFrame(int(n))
+		defer putFrame(buf)
+		if _, err := io.ReadFull(conn, *buf); err != nil {
 			return err
 		}
-		if _, err := s.device.WriteAt(buf, int64(off)); err != nil {
+		if _, err := s.device.WriteAt(*buf, int64(off)); err != nil {
 			return writeErr(conn, err)
 		}
 		return writeOK(conn, nil)

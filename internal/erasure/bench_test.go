@@ -1,0 +1,126 @@
+package erasure
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Stripe-level benchmarks at k=7 data shards across shard sizes from
+// 4 KiB to 1 MiB, serial vs parallel, for every code family the paper's
+// evaluation uses. SetBytes counts the data bytes consumed per
+// operation, so ns/op converts to encode MB/s.
+
+type benchCode struct {
+	name string
+	rows int
+	mk   func(opts ...Option) Code
+}
+
+func benchCodes() []benchCode {
+	return []benchCode{
+		{"rs", 1, func(opts ...Option) Code { return NewReedSolomon(7, 3, opts...) }},
+		{"cauchy", 8, func(opts ...Option) Code { return NewCauchyRS(7, 2, opts...) }},
+		{"evenodd", 6, func(opts ...Option) Code { return NewEvenOdd(7, 7, opts...) }},
+		{"rdp", 10, func(opts ...Option) Code { return NewRDP(11, 7, opts...) }},
+	}
+}
+
+var benchShardSizes = []int{4 << 10, 64 << 10, 1 << 20}
+
+// benchSize rounds size up so it divides into the code's rows.
+func benchSize(size, rows int) int {
+	if r := size % rows; r != 0 {
+		size += rows - r
+	}
+	return size
+}
+
+func benchName(mode string, size int) string {
+	if size >= 1<<20 {
+		return fmt.Sprintf("%s/%dM", mode, size>>20)
+	}
+	return fmt.Sprintf("%s/%dK", mode, size>>10)
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for _, bc := range benchCodes() {
+		for _, mode := range []string{"serial", "parallel"} {
+			var code Code
+			if mode == "serial" {
+				code = bc.mk(WithParallelism(1))
+			} else {
+				code = bc.mk()
+			}
+			for _, base := range benchShardSizes {
+				size := benchSize(base, bc.rows)
+				rng := rand.New(rand.NewSource(1))
+				shards := fill(rng, code.DataShards(), code.ParityShards(), size)
+				b.Run(bc.name+"/"+benchName(mode, base), func(b *testing.B) {
+					b.SetBytes(int64(size) * int64(code.DataShards()))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := code.Encode(shards); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	for _, bc := range benchCodes() {
+		for _, mode := range []string{"serial", "parallel"} {
+			var code Code
+			if mode == "serial" {
+				code = bc.mk(WithParallelism(1))
+			} else {
+				code = bc.mk()
+			}
+			for _, base := range benchShardSizes {
+				size := benchSize(base, bc.rows)
+				rng := rand.New(rand.NewSource(1))
+				shards := fill(rng, code.DataShards(), code.ParityShards(), size)
+				if err := code.Encode(shards); err != nil {
+					b.Fatal(err)
+				}
+				// Worst 2-erasure case: two data shards gone.
+				work := cloneShards(shards)
+				b.Run(bc.name+"/"+benchName(mode, base), func(b *testing.B) {
+					b.SetBytes(int64(size) * int64(code.DataShards()))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						work[0] = nil
+						work[1] = nil
+						if err := code.Reconstruct(work); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	for _, bc := range benchCodes() {
+		code := bc.mk()
+		size := benchSize(64<<10, bc.rows)
+		rng := rand.New(rand.NewSource(1))
+		shards := fill(rng, code.DataShards(), code.ParityShards(), size)
+		if err := code.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bc.name, func(b *testing.B) {
+			b.SetBytes(int64(size) * int64(code.DataShards()))
+			for i := 0; i < b.N; i++ {
+				ok, err := code.Verify(shards)
+				if err != nil || !ok {
+					b.Fatal(ok, err)
+				}
+			}
+		})
+	}
+}

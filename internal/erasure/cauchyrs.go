@@ -16,7 +16,7 @@ import (
 //
 // Shards are divided into 8 rows ("packets"); bit j of the i-th logical
 // GF(2^8) symbol of a shard lives at byte position i of row j.
-func NewCauchyRS(k, m int) *XorCode {
+func NewCauchyRS(k, m int, opts ...Option) *XorCode {
 	if k < 1 || m < 1 {
 		panic("erasure: CauchyRS needs k >= 1 and m >= 1")
 	}
@@ -43,5 +43,5 @@ func NewCauchyRS(k, m int) *XorCode {
 			defs[p*w+r] = def
 		}
 	}
-	return NewXorCode(fmt.Sprintf("cauchy-rs(k=%d,m=%d,w=%d)", k, m, w), k, m, w, defs)
+	return NewXorCode(fmt.Sprintf("cauchy-rs(k=%d,m=%d,w=%d)", k, m, w), k, m, w, defs, opts...)
 }

@@ -10,8 +10,10 @@
 package erasure
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"shiftedmirror/internal/gf"
 )
@@ -72,15 +74,16 @@ func checkShards(shards [][]byte, want int, allowNil bool) (size int, err error)
 // XORParity is the k+1 single-parity code used by RAID-5 and by the parity
 // disk of the mirror method with parity: parity = XOR of all data shards.
 type XORParity struct {
-	k int
+	k  int
+	ex execOpts
 }
 
 // NewXORParity returns a XOR parity code over k >= 1 data shards.
-func NewXORParity(k int) *XORParity {
+func NewXORParity(k int, opts ...Option) *XORParity {
 	if k < 1 {
 		panic("erasure: XORParity needs k >= 1")
 	}
-	return &XORParity{k: k}
+	return &XORParity{k: k, ex: applyOptions(opts)}
 }
 
 // Name implements Code.
@@ -98,12 +101,9 @@ func (x *XORParity) Encode(shards [][]byte) error {
 	if err != nil {
 		return err
 	}
-	p := shards[x.k]
-	copy(p, shards[0])
-	_ = size
-	for i := 1; i < x.k; i++ {
-		gf.XorSlice(shards[i], p)
-	}
+	x.ex.forEachChunk(size, func(lo, hi int) {
+		xorOthersRange(shards, x.k, lo, hi, shards[x.k][lo:hi])
+	})
 	return nil
 }
 
@@ -127,13 +127,34 @@ func (x *XORParity) Reconstruct(shards [][]byte) error {
 		return nil
 	}
 	out := make([]byte, size)
-	for i, s := range shards {
-		if i != missing {
-			gf.XorSlice(s, out)
-		}
-	}
+	x.ex.forEachChunk(size, func(lo, hi int) {
+		xorOthersRange(shards, missing, lo, hi, out[lo:hi])
+	})
 	shards[missing] = out
 	return nil
+}
+
+// xorOthersRange sets dst (length hi-lo) to the XOR of every shard
+// except shards[skip] over [lo, hi), fusing the sources through
+// gf.XorSlices.
+func xorOthersRange(shards [][]byte, skip, lo, hi int, dst []byte) {
+	views := getViews(len(shards) - 2)
+	defer putViews(views)
+	n := 0
+	first := true
+	for i, s := range shards {
+		if i == skip {
+			continue
+		}
+		if first {
+			copy(dst, s[lo:hi])
+			first = false
+			continue
+		}
+		(*views)[n] = s[lo:hi]
+		n++
+	}
+	gf.XorSlices((*views)[:n], dst)
 }
 
 // Verify implements Code.
@@ -142,14 +163,17 @@ func (x *XORParity) Verify(shards [][]byte) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	acc := make([]byte, size)
-	for _, s := range shards {
-		gf.XorSlice(s, acc)
-	}
-	for _, b := range acc {
-		if b != 0 {
-			return false, nil
+	var bad atomic.Bool
+	x.ex.forEachChunk(size, func(lo, hi int) {
+		if bad.Load() {
+			return
 		}
-	}
-	return true, nil
+		acc := getBuf(hi - lo)
+		defer putBuf(acc)
+		xorOthersRange(shards, x.k, lo, hi, *acc)
+		if !bytes.Equal(*acc, shards[x.k][lo:hi]) {
+			bad.Store(true)
+		}
+	})
+	return !bad.Load(), nil
 }

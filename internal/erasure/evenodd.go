@@ -18,7 +18,7 @@ import "fmt"
 //
 // The S term is folded into each diagonal definition, which makes the
 // whole code a pure-XOR code handled by the generic solver.
-func NewEvenOdd(p, k int) *XorCode {
+func NewEvenOdd(p, k int, opts ...Option) *XorCode {
 	if !isPrime(p) || p < 3 {
 		panic(fmt.Sprintf("erasure: EVENODD needs prime p >= 3, got %d", p))
 	}
@@ -48,7 +48,7 @@ func NewEvenOdd(p, k int) *XorCode {
 		}
 		defs[rows+d] = def
 	}
-	return NewXorCode(fmt.Sprintf("evenodd(p=%d,k=%d)", p, k), k, 2, rows, defs)
+	return NewXorCode(fmt.Sprintf("evenodd(p=%d,k=%d)", p, k), k, 2, rows, defs, opts...)
 }
 
 // NewRDP constructs the Row-Diagonal Parity RAID-6 code (Corbett et al.,
@@ -60,7 +60,7 @@ func NewEvenOdd(p, k int) *XorCode {
 // row-parity column at position p-1. Substituting the row-parity
 // definition turns every diagonal into a pure XOR of data cells, again
 // handled by the generic solver.
-func NewRDP(p, k int) *XorCode {
+func NewRDP(p, k int, opts ...Option) *XorCode {
 	if !isPrime(p) || p < 3 {
 		panic(fmt.Sprintf("erasure: RDP needs prime p >= 3, got %d", p))
 	}
@@ -96,7 +96,7 @@ func NewRDP(p, k int) *XorCode {
 		}
 		defs[rows+d] = def
 	}
-	return NewXorCode(fmt.Sprintf("rdp(p=%d,k=%d)", p, k), k, 2, rows, defs)
+	return NewXorCode(fmt.Sprintf("rdp(p=%d,k=%d)", p, k), k, 2, rows, defs, opts...)
 }
 
 // isPrime reports whether n is prime (trial division; n is tiny here).

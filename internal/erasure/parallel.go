@@ -1,0 +1,164 @@
+package erasure
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel execution layer under every code's bulk
+// operations: shard byte-ranges are split into chunks and fanned out
+// over a small worker pool, mirroring how the paper's shifted
+// arrangement converts a serial reconstruction into one parallel access
+// across disks — here the "disks" are cores. Chunking is exact, so
+// parallel output is byte-identical to serial output for every code.
+
+// MinChunkSize is the smallest chunk the splitter will produce; smaller
+// requests are rounded up so goroutine overhead can never dominate the
+// per-chunk work.
+const MinChunkSize = 4 << 10
+
+// defaultChunkSize balances scheduling granularity against per-chunk
+// setup (scratch views, matrix row walks).
+const defaultChunkSize = 64 << 10
+
+// execOpts configures the execution of bulk shard operations. The zero
+// value is not useful; use defaultExecOpts.
+type execOpts struct {
+	workers int // max goroutines per operation
+	chunk   int // bytes per chunk
+	cutoff  int // run serial when the split range is smaller than this
+}
+
+func defaultExecOpts() execOpts {
+	return execOpts{
+		workers: runtime.GOMAXPROCS(0),
+		chunk:   defaultChunkSize,
+		cutoff:  2 * MinChunkSize,
+	}
+}
+
+// Option configures a code's execution (parallelism, chunking). Every
+// constructor accepts options variadically, so existing call sites are
+// unchanged.
+type Option func(*execOpts)
+
+// WithParallelism caps the worker goroutines used per bulk operation.
+// n = 1 forces serial execution; n < 1 panics.
+func WithParallelism(n int) Option {
+	if n < 1 {
+		panic("erasure: WithParallelism needs n >= 1")
+	}
+	return func(o *execOpts) { o.workers = n }
+}
+
+// WithChunkSize sets the byte-range chunk each worker claims at a time.
+// Values below MinChunkSize are rounded up to it.
+func WithChunkSize(b int) Option {
+	if b < MinChunkSize {
+		b = MinChunkSize
+	}
+	return func(o *execOpts) { o.chunk = b }
+}
+
+func applyOptions(opts []Option) execOpts {
+	o := defaultExecOpts()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// forEachChunk splits [0, size) into chunks and invokes fn(lo, hi) for
+// each, concurrently when the range is large enough and more than one
+// worker is configured. fn must only touch bytes in its own range;
+// chunk boundaries are identical whether the run is serial or parallel,
+// and XOR/GF arithmetic is elementwise, so results are byte-identical
+// either way. A panic in any chunk is re-raised in the caller.
+func (o execOpts) forEachChunk(size int, fn func(lo, hi int)) {
+	if o.workers <= 1 || size < o.cutoff || size <= o.chunk {
+		fn(0, size)
+		return
+	}
+	nchunks := (size + o.chunk - 1) / o.chunk
+	workers := o.workers
+	if workers > nchunks {
+		workers = nchunks
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	body := func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicVal == nil {
+					panicVal = r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= nchunks {
+				return
+			}
+			lo := c * o.chunk
+			hi := lo + o.chunk
+			if hi > size {
+				hi = size
+			}
+			fn(lo, hi)
+		}
+	}
+	wg.Add(workers)
+	for i := 1; i < workers; i++ {
+		go body()
+	}
+	body() // the caller's goroutine is worker zero
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
+// --- scratch pools ----------------------------------------------------
+
+// bufPool recycles byte scratch (verify accumulators, solver RHS
+// regions) so steady-state encode/verify/reconstruct allocates nothing
+// per operation. Buffers come back with arbitrary contents.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getBuf(n int) *[]byte {
+	p := bufPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putBuf(p *[]byte) { bufPool.Put(p) }
+
+// viewPool recycles [][]byte headers used to sub-slice shards per chunk.
+var viewPool = sync.Pool{New: func() any { return new([][]byte) }}
+
+func getViews(n int) *[][]byte {
+	p := viewPool.Get().(*[][]byte)
+	if cap(*p) < n {
+		*p = make([][]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putViews(p *[][]byte) {
+	for i := range *p {
+		(*p)[i] = nil
+	}
+	viewPool.Put(p)
+}

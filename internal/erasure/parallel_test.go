@@ -1,0 +1,226 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// parallelCase builds one code family at a serial and a parallel
+// configuration; rows is the shard subdivision (1 for plain RS), so
+// tests can pick awkward odd shard sizes that still divide evenly.
+type parallelCase struct {
+	name string
+	rows int
+	mk   func(opts ...Option) Code
+}
+
+func parallelCases() []parallelCase {
+	return []parallelCase{
+		{"reed-solomon", 1, func(opts ...Option) Code { return NewReedSolomon(7, 3, opts...) }},
+		{"cauchy-rs", 8, func(opts ...Option) Code { return NewCauchyRS(7, 2, opts...) }},
+		{"evenodd", 6, func(opts ...Option) Code { return NewEvenOdd(7, 7, opts...) }},
+		{"rdp", 10, func(opts ...Option) Code { return NewRDP(11, 7, opts...) }},
+		{"xor-parity", 1, func(opts ...Option) Code { return NewXORParity(7, opts...) }},
+	}
+}
+
+// TestParallelMatchesSerial is the core determinism guarantee: chunked
+// parallel execution must be byte-identical to serial execution for
+// Encode, Reconstruct, and Verify, across odd shard sizes that exercise
+// chunk-boundary tails.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, tc := range parallelCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := tc.mk(WithParallelism(1))
+			par := tc.mk(WithParallelism(4), WithChunkSize(MinChunkSize))
+			k, m := serial.DataShards(), serial.ParityShards()
+			// Odd row sizes: tiny, word-straddling, and large enough that
+			// the parallel config splits into several chunks.
+			for _, rowSize := range []int{1, 33, 4099, 16411} {
+				size := rowSize * tc.rows
+				rng := rand.New(rand.NewSource(int64(size)))
+				data := fill(rng, k, m, size)
+
+				sEnc := cloneShards(data)
+				pEnc := cloneShards(data)
+				if err := serial.Encode(sEnc); err != nil {
+					t.Fatalf("serial encode size=%d: %v", size, err)
+				}
+				if err := par.Encode(pEnc); err != nil {
+					t.Fatalf("parallel encode size=%d: %v", size, err)
+				}
+				for i := range sEnc {
+					if !bytes.Equal(sEnc[i], pEnc[i]) {
+						t.Fatalf("size=%d: parallel encode differs from serial at shard %d", size, i)
+					}
+				}
+
+				for _, erase := range erasurePatterns(k, m) {
+					sRec := cloneShards(sEnc)
+					pRec := cloneShards(sEnc)
+					for _, e := range erase {
+						sRec[e], pRec[e] = nil, nil
+					}
+					if err := serial.Reconstruct(sRec); err != nil {
+						t.Fatalf("serial reconstruct size=%d erase=%v: %v", size, erase, err)
+					}
+					if err := par.Reconstruct(pRec); err != nil {
+						t.Fatalf("parallel reconstruct size=%d erase=%v: %v", size, erase, err)
+					}
+					for i := range sRec {
+						if !bytes.Equal(sRec[i], sEnc[i]) {
+							t.Fatalf("size=%d erase=%v: serial reconstruct wrong at shard %d", size, erase, i)
+						}
+						if !bytes.Equal(pRec[i], sRec[i]) {
+							t.Fatalf("size=%d erase=%v: parallel reconstruct differs at shard %d", size, erase, i)
+						}
+					}
+				}
+
+				for _, c := range []Code{serial, par} {
+					ok, err := c.Verify(sEnc)
+					if err != nil || !ok {
+						t.Fatalf("size=%d: verify = %v, %v; want true", size, ok, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// erasurePatterns picks a few representative patterns up to m erasures,
+// mixing data-only, parity-only, and straddling failures.
+func erasurePatterns(k, m int) [][]int {
+	patterns := [][]int{{0}, {k}}
+	if m >= 2 {
+		patterns = append(patterns, []int{0, k - 1}, []int{k, k + 1}, []int{k - 1, k + m - 1})
+	}
+	if m >= 3 {
+		patterns = append(patterns, []int{0, 1, k})
+	}
+	return patterns
+}
+
+// TestConcurrentEncoders hammers one shared code value from many
+// goroutines; run under -race it proves the kernels, pools, and chunk
+// scheduler are data-race free.
+func TestConcurrentEncoders(t *testing.T) {
+	for _, tc := range parallelCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			code := tc.mk(WithParallelism(4), WithChunkSize(MinChunkSize))
+			k, m := code.DataShards(), code.ParityShards()
+			size := 16411 * tc.rows
+			rng := rand.New(rand.NewSource(99))
+			data := fill(rng, k, m, size)
+			want := cloneShards(data)
+			if err := code.Encode(want); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			errc := make(chan error, 8)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					shards := cloneShards(data)
+					if err := code.Encode(shards); err != nil {
+						errc <- err
+						return
+					}
+					for i := range shards {
+						if !bytes.Equal(shards[i], want[i]) {
+							errc <- errShardSizeMismatch(i)
+							return
+						}
+					}
+					rec := cloneShards(want)
+					rec[0] = nil
+					if err := code.Reconstruct(rec); err != nil {
+						errc <- err
+						return
+					}
+					if !bytes.Equal(rec[0], want[0]) {
+						errc <- errShardSizeMismatch(0)
+					}
+				}()
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+type errShardSizeMismatch int
+
+func (e errShardSizeMismatch) Error() string { return "concurrent encode produced wrong bytes" }
+
+// TestForEachChunkCoversRange checks the splitter visits every byte of
+// [0, size) exactly once with in-range, ordered chunk bounds.
+func TestForEachChunkCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 5} {
+		for _, size := range []int{0, 1, MinChunkSize, 2*MinChunkSize + 1, 10*MinChunkSize + 7} {
+			o := defaultExecOpts()
+			o.workers = workers
+			o.chunk = MinChunkSize
+			var mu sync.Mutex
+			var ranges [][2]int
+			o.forEachChunk(size, func(lo, hi int) {
+				mu.Lock()
+				ranges = append(ranges, [2]int{lo, hi})
+				mu.Unlock()
+			})
+			sort.Slice(ranges, func(i, j int) bool { return ranges[i][0] < ranges[j][0] })
+			at := 0
+			for _, r := range ranges {
+				if r[0] != at {
+					t.Fatalf("workers=%d size=%d: gap or overlap at %d (got lo=%d)", workers, size, at, r[0])
+				}
+				if r[1] <= r[0] && size > 0 {
+					t.Fatalf("workers=%d size=%d: empty chunk %v", workers, size, r)
+				}
+				at = r[1]
+			}
+			if at != size {
+				t.Fatalf("workers=%d size=%d: covered up to %d", workers, size, at)
+			}
+		}
+	}
+}
+
+func TestForEachChunkPropagatesPanic(t *testing.T) {
+	o := defaultExecOpts()
+	o.workers = 4
+	o.chunk = MinChunkSize
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic to propagate")
+		}
+	}()
+	o.forEachChunk(10*MinChunkSize, func(lo, hi int) {
+		if lo > 0 {
+			panic("boom")
+		}
+	})
+}
+
+func TestOptionValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("WithParallelism(0) should panic")
+			}
+		}()
+		WithParallelism(0)
+	}()
+	o := defaultExecOpts()
+	WithChunkSize(1)(&o)
+	if o.chunk != MinChunkSize {
+		t.Errorf("WithChunkSize(1) set chunk=%d, want rounded up to %d", o.chunk, MinChunkSize)
+	}
+}

@@ -1,7 +1,9 @@
 package erasure
 
 import (
+	"bytes"
 	"fmt"
+	"sync/atomic"
 
 	"shiftedmirror/internal/gf"
 	"shiftedmirror/internal/matrix"
@@ -14,11 +16,15 @@ type ReedSolomon struct {
 	k, m int
 	// gen is the (k+m)×k generator: identity on top, Cauchy parity below.
 	gen *matrix.Matrix
+	// parity caches the bottom m rows of gen so Encode does not reslice
+	// the generator on every call.
+	parity *matrix.Matrix
+	ex     execOpts
 }
 
 // NewReedSolomon returns a systematic RS code with k data and m parity
 // shards. k+m must be at most 256.
-func NewReedSolomon(k, m int) *ReedSolomon {
+func NewReedSolomon(k, m int, opts ...Option) *ReedSolomon {
 	if k < 1 || m < 1 {
 		panic("erasure: ReedSolomon needs k >= 1 and m >= 1")
 	}
@@ -33,7 +39,11 @@ func NewReedSolomon(k, m int) *ReedSolomon {
 	for r := 0; r < m; r++ {
 		copy(gen.Row(k+r), cauchy.Row(r))
 	}
-	return &ReedSolomon{k: k, m: m, gen: gen}
+	return &ReedSolomon{
+		k: k, m: m, gen: gen,
+		parity: gen.SelectRows(seqInts(k, k+m)),
+		ex:     applyOptions(opts),
+	}
 }
 
 // Name implements Code.
@@ -45,13 +55,32 @@ func (rs *ReedSolomon) DataShards() int { return rs.k }
 // ParityShards implements Code.
 func (rs *ReedSolomon) ParityShards() int { return rs.m }
 
+// mulRegionsRange applies mat to the [lo, hi) byte range of the in
+// shards, writing into the same range of the out shards, using pooled
+// view headers so the hot path allocates nothing.
+func mulRegionsRange(mat *matrix.Matrix, in, out [][]byte, lo, hi int) {
+	iv := getViews(len(in))
+	ov := getViews(len(out))
+	defer putViews(iv)
+	defer putViews(ov)
+	for i, s := range in {
+		(*iv)[i] = s[lo:hi]
+	}
+	for i, s := range out {
+		(*ov)[i] = s[lo:hi]
+	}
+	mat.MulRegions(*iv, *ov)
+}
+
 // Encode implements Code.
 func (rs *ReedSolomon) Encode(shards [][]byte) error {
-	if _, err := checkShards(shards, rs.k+rs.m, false); err != nil {
+	size, err := checkShards(shards, rs.k+rs.m, false)
+	if err != nil {
 		return err
 	}
-	parityRows := rs.gen.SelectRows(seqInts(rs.k, rs.k+rs.m))
-	parityRows.MulRegions(shards[:rs.k], shards[rs.k:])
+	rs.ex.forEachChunk(size, func(lo, hi int) {
+		mulRegionsRange(rs.parity, shards[:rs.k], shards[rs.k:], lo, hi)
+	})
 	return nil
 }
 
@@ -96,22 +125,38 @@ func (rs *ReedSolomon) Reconstruct(shards [][]byte) error {
 	// Recover only the missing data shards, then re-encode parity.
 	dataOut := make([][]byte, 0, len(missing))
 	var decodeRows []int
+	var missingParity []int
 	for _, mi := range missing {
 		if mi < rs.k {
 			shards[mi] = make([]byte, size)
 			dataOut = append(dataOut, shards[mi])
 			decodeRows = append(decodeRows, mi)
-		}
-	}
-	if len(decodeRows) > 0 {
-		inv.SelectRows(decodeRows).MulRegions(in, dataOut)
-	}
-	for _, mi := range missing {
-		if mi >= rs.k {
+		} else {
 			shards[mi] = make([]byte, size)
-			gf.DotProduct(rs.gen.Row(mi), shards[:rs.k], shards[mi])
+			missingParity = append(missingParity, mi)
 		}
 	}
+	var decode *matrix.Matrix
+	if len(decodeRows) > 0 {
+		decode = inv.SelectRows(decodeRows)
+	}
+	var parityRows *matrix.Matrix
+	var parityOut [][]byte
+	if len(missingParity) > 0 {
+		parityRows = rs.gen.SelectRows(missingParity)
+		parityOut = make([][]byte, len(missingParity))
+		for i, mi := range missingParity {
+			parityOut[i] = shards[mi]
+		}
+	}
+	rs.ex.forEachChunk(size, func(lo, hi int) {
+		if decode != nil {
+			mulRegionsRange(decode, in, dataOut, lo, hi)
+		}
+		if parityRows != nil {
+			mulRegionsRange(parityRows, shards[:rs.k], parityOut, lo, hi)
+		}
+	})
 	return nil
 }
 
@@ -121,16 +166,27 @@ func (rs *ReedSolomon) Verify(shards [][]byte) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	tmp := make([]byte, size)
-	for r := rs.k; r < rs.k+rs.m; r++ {
-		gf.DotProduct(rs.gen.Row(r), shards[:rs.k], tmp)
-		for i := range tmp {
-			if tmp[i] != shards[r][i] {
-				return false, nil
+	var bad atomic.Bool
+	rs.ex.forEachChunk(size, func(lo, hi int) {
+		if bad.Load() {
+			return
+		}
+		tmp := getBuf(hi - lo)
+		defer putBuf(tmp)
+		iv := getViews(rs.k)
+		defer putViews(iv)
+		for i, s := range shards[:rs.k] {
+			(*iv)[i] = s[lo:hi]
+		}
+		for r := rs.k; r < rs.k+rs.m; r++ {
+			gf.DotProduct(rs.gen.Row(r), *iv, *tmp)
+			if !bytes.Equal(*tmp, shards[r][lo:hi]) {
+				bad.Store(true)
+				return
 			}
 		}
-	}
-	return true, nil
+	})
+	return !bad.Load(), nil
 }
 
 func seqInts(from, to int) []int {

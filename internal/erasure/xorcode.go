@@ -1,8 +1,10 @@
 package erasure
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"shiftedmirror/internal/gf"
 )
@@ -26,12 +28,13 @@ type XorCode struct {
 	// defs[p*rows+r] lists the data cells whose XOR forms parity shard p,
 	// row r. Cell lists are deduplicated (pairs cancel over GF(2)).
 	defs [][]Cell
+	ex   execOpts
 }
 
 // NewXorCode builds a pure-XOR code. defs must have m*rows entries, the
 // definition of parity shard p row r at index p*rows+r. Duplicate cells in
 // a definition cancel and are removed.
-func NewXorCode(name string, k, m, rows int, defs [][]Cell) *XorCode {
+func NewXorCode(name string, k, m, rows int, defs [][]Cell, opts ...Option) *XorCode {
 	if k < 1 || m < 1 || rows < 1 {
 		panic("erasure: XorCode needs k, m, rows >= 1")
 	}
@@ -42,7 +45,7 @@ func NewXorCode(name string, k, m, rows int, defs [][]Cell) *XorCode {
 	for i, def := range defs {
 		canon[i] = canonicalize(def, k, rows)
 	}
-	return &XorCode{name: name, k: k, m: m, rows: rows, defs: canon}
+	return &XorCode{name: name, k: k, m: m, rows: rows, defs: canon, ex: applyOptions(opts)}
 }
 
 // canonicalize removes cancelling duplicate cells and validates ranges.
@@ -98,6 +101,25 @@ func (x *XorCode) checkRowDivisible(size int) error {
 	return nil
 }
 
+// xorDefRange computes the XOR of the [lo, hi) byte range of every cell
+// region in def into dst (length hi-lo), overwriting it. An empty def
+// zeroes dst.
+func (x *XorCode) xorDefRange(shards [][]byte, def []Cell, lo, hi int, dst []byte) {
+	if len(def) == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	copy(dst, x.region(shards[def[0].Shard], def[0].Row)[lo:hi])
+	views := getViews(len(def) - 1)
+	defer putViews(views)
+	for i, c := range def[1:] {
+		(*views)[i] = x.region(shards[c.Shard], c.Row)[lo:hi]
+	}
+	gf.XorSlices(*views, dst)
+}
+
 // Encode implements Code.
 func (x *XorCode) Encode(shards [][]byte) error {
 	size, err := checkShards(shards, x.k+x.m, false)
@@ -107,17 +129,14 @@ func (x *XorCode) Encode(shards [][]byte) error {
 	if err := x.checkRowDivisible(size); err != nil {
 		return err
 	}
-	for p := 0; p < x.m; p++ {
-		for r := 0; r < x.rows; r++ {
-			dst := x.region(shards[x.k+p], r)
-			for i := range dst {
-				dst[i] = 0
-			}
-			for _, c := range x.ParityDef(p, r) {
-				gf.XorSlice(x.region(shards[c.Shard], c.Row), dst)
+	x.ex.forEachChunk(size/x.rows, func(lo, hi int) {
+		for p := 0; p < x.m; p++ {
+			for r := 0; r < x.rows; r++ {
+				dst := x.region(shards[x.k+p], r)[lo:hi]
+				x.xorDefRange(shards, x.ParityDef(p, r), lo, hi, dst)
 			}
 		}
-	}
+	})
 	return nil
 }
 
@@ -130,28 +149,35 @@ func (x *XorCode) Verify(shards [][]byte) (bool, error) {
 	if err := x.checkRowDivisible(size); err != nil {
 		return false, err
 	}
-	rowSize := size / x.rows
-	acc := make([]byte, rowSize)
-	for p := 0; p < x.m; p++ {
-		for r := 0; r < x.rows; r++ {
-			copy(acc, x.region(shards[x.k+p], r))
-			for _, c := range x.ParityDef(p, r) {
-				gf.XorSlice(x.region(shards[c.Shard], c.Row), acc)
-			}
-			for _, b := range acc {
-				if b != 0 {
-					return false, nil
+	var bad atomic.Bool
+	x.ex.forEachChunk(size/x.rows, func(lo, hi int) {
+		acc := getBuf(hi - lo)
+		defer putBuf(acc)
+		for p := 0; p < x.m; p++ {
+			for r := 0; r < x.rows; r++ {
+				if bad.Load() {
+					return
+				}
+				x.xorDefRange(shards, x.ParityDef(p, r), lo, hi, *acc)
+				if !bytes.Equal(*acc, x.region(shards[x.k+p], r)[lo:hi]) {
+					bad.Store(true)
+					return
 				}
 			}
 		}
-	}
-	return true, nil
+	})
+	return !bad.Load(), nil
 }
 
 // Reconstruct implements Code. It gathers one GF(2) equation per surviving
 // parity row, eliminates, and back-substitutes the erased data cells; any
 // erasure pattern with full-rank surviving equations is recovered, which
 // for EVENODD/RDP includes every pattern of at most two shard failures.
+//
+// The elimination runs once, symbolically, over the small 0/1
+// coefficient matrix; the byte regions then replay its operation log
+// chunk by chunk, so the heavy XOR work parallelizes while the solved
+// bytes stay identical to a serial run.
 func (x *XorCode) Reconstruct(shards [][]byte) error {
 	size, err := checkShards(shards, x.k+x.m, true)
 	if err != nil {
@@ -181,97 +207,155 @@ func (x *XorCode) Reconstruct(shards [][]byte) error {
 		}
 	}
 	if len(unknownCells) > 0 {
-		if err := x.solveData(shards, unknownIndex, unknownCells, rowSize); err != nil {
+		plan, err := x.planSolve(shards, unknownIndex, unknownCells)
+		if err != nil {
 			return err
 		}
-	}
-	// Re-encode any erased parity shards now that all data is present.
-	for _, p := range erasedParity {
-		shards[x.k+p] = make([]byte, size)
-		for r := 0; r < x.rows; r++ {
-			dst := x.region(shards[x.k+p], r)
-			for _, c := range x.ParityDef(p, r) {
-				gf.XorSlice(x.region(shards[c.Shard], c.Row), dst)
+		for _, c := range unknownCells {
+			if shards[c.Shard] == nil {
+				shards[c.Shard] = make([]byte, size)
 			}
 		}
+		x.ex.forEachChunk(rowSize, func(lo, hi int) {
+			x.applySolve(plan, shards, unknownCells, lo, hi)
+		})
+	}
+	// Re-encode any erased parity shards now that all data is present.
+	if len(erasedParity) > 0 {
+		for _, p := range erasedParity {
+			shards[x.k+p] = make([]byte, size)
+		}
+		x.ex.forEachChunk(rowSize, func(lo, hi int) {
+			for _, p := range erasedParity {
+				for r := 0; r < x.rows; r++ {
+					dst := x.region(shards[x.k+p], r)[lo:hi]
+					x.xorDefRange(shards, x.ParityDef(p, r), lo, hi, dst)
+				}
+			}
+		})
 	}
 	return nil
 }
 
-// eqn is one GF(2) equation over the unknown cells with a byte-region
-// right-hand side.
-type eqn struct {
-	coeff []byte // one 0/1 coefficient per unknown
-	rhs   []byte
+// solveEq is the symbolic form of one surviving parity equation: the
+// parity cell it came from, the known data cells folded into its RHS,
+// and its 0/1 coefficients over the unknowns.
+type solveEq struct {
+	parity Cell   // parity cell (Shard counts from 0 within parity, Row within shard)
+	known  []Cell // surviving data cells XORed into the RHS
+	coeff  []byte // one 0/1 coefficient per unknown
 }
 
-func (x *XorCode) solveData(shards [][]byte, unknownIndex map[Cell]int, unknownCells []Cell, rowSize int) error {
+// solvePlan is a compiled reconstruction: initialize one RHS region per
+// equation, replay the recorded elimination XORs, and read each unknown
+// from its pivot equation.
+type solvePlan struct {
+	eqs     []solveEq
+	ops     [][2]int // rhs[op[1]] ^= rhs[op[0]], in order
+	pivotOf []int    // equation index holding the pivot for unknown i
+}
+
+// planSolve builds the symbolic elimination for the current erasure
+// pattern, or ErrTooManyErasures if the surviving equations do not
+// determine every unknown.
+func (x *XorCode) planSolve(shards [][]byte, unknownIndex map[Cell]int, unknownCells []Cell) (*solvePlan, error) {
 	u := len(unknownCells)
-	var eqns []eqn
+	plan := &solvePlan{}
 	for p := 0; p < x.m; p++ {
 		if shards[x.k+p] == nil {
 			continue
 		}
 		for r := 0; r < x.rows; r++ {
-			e := eqn{coeff: make([]byte, u), rhs: make([]byte, rowSize)}
-			copy(e.rhs, x.region(shards[x.k+p], r))
+			e := solveEq{parity: Cell{Shard: p, Row: r}, coeff: make([]byte, u)}
 			touched := false
 			for _, c := range x.ParityDef(p, r) {
 				if idx, ok := unknownIndex[c]; ok {
 					e.coeff[idx] ^= 1
 					touched = true
 				} else {
-					gf.XorSlice(x.region(shards[c.Shard], c.Row), e.rhs)
+					e.known = append(e.known, c)
 				}
 			}
 			if touched {
-				eqns = append(eqns, e)
+				plan.eqs = append(plan.eqs, e)
 			}
 		}
 	}
-	// Gaussian elimination over GF(2), regions ride along as RHS.
-	pivotOf := make([]int, u) // equation index holding the pivot for unknown i
-	for i := range pivotOf {
-		pivotOf[i] = -1
+	eqs := plan.eqs
+	plan.pivotOf = make([]int, u)
+	for i := range plan.pivotOf {
+		plan.pivotOf[i] = -1
 	}
-	row := 0
-	for col := 0; col < u && row < len(eqns); col++ {
+	// Gauss–Jordan over GF(2) on the coefficients, logging every RHS
+	// combination for later replay over byte regions. Row swaps are
+	// avoided by tracking pivot equations directly.
+	used := make([]bool, len(eqs))
+	for col := 0; col < u; col++ {
 		pivot := -1
-		for r := row; r < len(eqns); r++ {
-			if eqns[r].coeff[col] == 1 {
+		for r := range eqs {
+			if !used[r] && eqs[r].coeff[col] == 1 {
 				pivot = r
 				break
 			}
 		}
 		if pivot == -1 {
-			continue
+			return nil, ErrTooManyErasures
 		}
-		eqns[row], eqns[pivot] = eqns[pivot], eqns[row]
-		for r := 0; r < len(eqns); r++ {
-			if r != row && eqns[r].coeff[col] == 1 {
-				for i := range eqns[r].coeff {
-					eqns[r].coeff[i] ^= eqns[row].coeff[i]
+		used[pivot] = true
+		plan.pivotOf[col] = pivot
+		for r := range eqs {
+			if r != pivot && eqs[r].coeff[col] == 1 {
+				for i := range eqs[r].coeff {
+					eqs[r].coeff[i] ^= eqs[pivot].coeff[i]
 				}
-				gf.XorSlice(eqns[row].rhs, eqns[r].rhs)
+				plan.ops = append(plan.ops, [2]int{pivot, r})
 			}
 		}
-		pivotOf[col] = row
-		row++
 	}
-	for col := 0; col < u; col++ {
-		if pivotOf[col] == -1 {
-			return ErrTooManyErasures
-		}
+	return plan, nil
+}
+
+// applySolve replays a solve plan over the byte range [lo, hi) of every
+// row region, writing the recovered bytes into the (pre-allocated)
+// erased data shards. RHS scratch comes from the pool, so steady-state
+// reconstruction allocates nothing per chunk.
+func (x *XorCode) applySolve(plan *solvePlan, shards [][]byte, unknownCells []Cell, lo, hi int) {
+	n := hi - lo
+	rhsBufs := getViews(len(plan.eqs))
+	defer putViews(rhsBufs)
+	holds := make([]*[]byte, len(plan.eqs))
+	for i := range plan.eqs {
+		holds[i] = getBuf(n)
+		(*rhsBufs)[i] = *holds[i]
 	}
-	// Materialize the erased data shards from the solved rows.
-	size := rowSize * x.rows
-	for _, c := range unknownCells {
-		if shards[c.Shard] == nil {
-			shards[c.Shard] = make([]byte, size)
+	defer func() {
+		for _, h := range holds {
+			putBuf(h)
 		}
+	}()
+	rhs := *rhsBufs
+	for i, e := range plan.eqs {
+		copy(rhs[i], x.region(shards[x.k+e.parity.Shard], e.parity.Row)[lo:hi])
+		x.xorCellsRange(shards, e.known, lo, hi, rhs[i])
+	}
+	for _, op := range plan.ops {
+		gf.XorSlice(rhs[op[0]], rhs[op[1]])
 	}
 	for col, c := range unknownCells {
-		copy(x.region(shards[c.Shard], c.Row), eqns[pivotOf[col]].rhs)
+		copy(x.region(shards[c.Shard], c.Row)[lo:hi], rhs[plan.pivotOf[col]])
 	}
-	return nil
+}
+
+// xorCellsRange XORs the [lo, hi) range of every cell region into dst
+// (length hi-lo) without overwriting it first.
+func (x *XorCode) xorCellsRange(shards [][]byte, cells []Cell, lo, hi int, dst []byte) {
+	if len(cells) == 0 {
+		return
+	}
+	views := getViews(len(cells))
+	defer putViews(views)
+	for i, c := range cells {
+		(*views)[i] = x.region(shards[c.Shard], c.Row)[lo:hi]
+	}
+	gf.XorSlices(*views, dst)
 }

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"time"
+
+	"shiftedmirror/internal/erasure"
+	"shiftedmirror/internal/sim"
+)
+
+// EncodeThroughput measures real wall-clock byte-level encode throughput
+// of every erasure code in the repository, serial vs parallel, at the
+// paper's k=7 stripe width. Unlike the simulated tables, these numbers
+// depend on the machine running them, so the experiment is opt-in
+// (cmd/experiments -encodebench) and excluded from -all.
+func EncodeThroughput(opts Options) (*Table, error) {
+	type entry struct {
+		name string
+		rows int
+		mk   func(o ...erasure.Option) erasure.Code
+	}
+	entries := []entry{
+		{"xor-parity k=7", 1, func(o ...erasure.Option) erasure.Code { return erasure.NewXORParity(7, o...) }},
+		{"reed-solomon k=7 m=3", 1, func(o ...erasure.Option) erasure.Code { return erasure.NewReedSolomon(7, 3, o...) }},
+		{"cauchy-rs k=7 m=2", 8, func(o ...erasure.Option) erasure.Code { return erasure.NewCauchyRS(7, 2, o...) }},
+		{"evenodd p=7 k=7", 6, func(o ...erasure.Option) erasure.Code { return erasure.NewEvenOdd(7, 7, o...) }},
+		{"rdp p=11 k=7", 10, func(o ...erasure.Option) erasure.Code { return erasure.NewRDP(11, 7, o...) }},
+	}
+	t := &Table{
+		Title:   "byte-level encode throughput (wall clock)",
+		Columns: []string{"code", "shard_MB", "serial_MBps", "parallel_MBps"},
+		Notes:   []string{"codes: 1=xor-parity(k=7) 2=rs(k=7,m=3) 3=cauchy-rs(k=7,m=2) 4=evenodd(p=7,k=7) 5=rdp(p=11,k=7)", "throughput counts data bytes (shard size x k); machine-dependent, excluded from -all"},
+	}
+	for i, e := range entries {
+		// Shard around 1 MiB, rounded up to divide into the code's rows.
+		size := 1 << 20
+		if r := size % e.rows; r != 0 {
+			size += e.rows - r
+		}
+		serial := encodeMBps(e.mk(erasure.WithParallelism(1)), size)
+		parallel := encodeMBps(e.mk(), size)
+		t.Rows = append(t.Rows, []float64{float64(i + 1), float64(size) / 1e6, serial, parallel})
+	}
+	return t, nil
+}
+
+// encodeMBps times repeated encodes of one stripe until enough wall
+// clock has elapsed for a stable estimate.
+func encodeMBps(code erasure.Code, size int) float64 {
+	k, m := code.DataShards(), code.ParityShards()
+	shards := make([][]byte, k+m)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		if i < k {
+			for j := range shards[i] {
+				shards[i][j] = byte(i*31 + j)
+			}
+		}
+	}
+	// Warm up pools and page in the shards.
+	if err := code.Encode(shards); err != nil {
+		return 0
+	}
+	const minDuration = 200 * time.Millisecond
+	var bytes int64
+	start := time.Now()
+	for time.Since(start) < minDuration {
+		if err := code.Encode(shards); err != nil {
+			return 0
+		}
+		bytes += int64(size) * int64(k)
+	}
+	return sim.MBPerSec(bytes, time.Since(start).Seconds())
+}

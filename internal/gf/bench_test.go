@@ -1,0 +1,119 @@
+package gf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Throughput benchmarks for the bulk kernels at the sizes the ISSUE
+// tracks: 1 KiB (element-sized), 64 KiB (chunk-sized), 1 MiB
+// (shard-sized). b.SetBytes makes `go test -bench` report MB/s.
+
+var benchSizes = []int{1 << 10, 64 << 10, 1 << 20}
+
+func benchPair(n int) (src, dst []byte) {
+	rng := rand.New(rand.NewSource(int64(n)))
+	src = make([]byte, n)
+	dst = make([]byte, n)
+	rng.Read(src)
+	rng.Read(dst)
+	return
+}
+
+func BenchmarkMulAddSlice(b *testing.B) {
+	for _, n := range benchSizes {
+		src, dst := benchPair(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				MulAddSlice(0x57, src, dst)
+			}
+		})
+	}
+}
+
+// BenchmarkMulAddSliceKernels compares every available kernel head to
+// head at 64 KiB.
+func BenchmarkMulAddSliceKernels(b *testing.B) {
+	const n = 64 << 10
+	src, dst := benchPair(n)
+	prev := ActiveKernel()
+	defer SetKernel(prev)
+	for _, k := range Kernels() {
+		SetKernel(k)
+		b.Run(k.String(), func(b *testing.B) {
+			b.SetBytes(n)
+			for i := 0; i < b.N; i++ {
+				MulAddSlice(0x57, src, dst)
+			}
+		})
+	}
+}
+
+func BenchmarkMulSlice(b *testing.B) {
+	for _, n := range benchSizes {
+		src, dst := benchPair(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				MulSlice(0x57, src, dst)
+			}
+		})
+	}
+}
+
+func BenchmarkXorSlice(b *testing.B) {
+	for _, n := range benchSizes {
+		src, dst := benchPair(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				XorSlice(src, dst)
+			}
+		})
+	}
+}
+
+func BenchmarkXorSlices(b *testing.B) {
+	for _, n := range benchSizes {
+		srcs := make([][]byte, 6)
+		for i := range srcs {
+			srcs[i], _ = benchPair(n)
+		}
+		_, dst := benchPair(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(n) * int64(len(srcs)))
+			for i := 0; i < b.N; i++ {
+				XorSlices(srcs, dst)
+			}
+		})
+	}
+}
+
+func BenchmarkDotProduct(b *testing.B) {
+	coeffs := []byte{0x02, 0x8e, 0x01, 0x53, 0xb7, 0x1d, 0x39}
+	for _, n := range benchSizes {
+		srcs := make([][]byte, len(coeffs))
+		for i := range srcs {
+			srcs[i], _ = benchPair(n)
+		}
+		dst := make([]byte, n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(n) * int64(len(coeffs)))
+			for i := 0; i < b.N; i++ {
+				DotProduct(coeffs, srcs, dst)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -5,10 +5,13 @@
 // Jerasure-1.2 and by most storage erasure-coding libraries, so encoded
 // parity is bit-compatible with those systems.
 //
-// All operations are table-driven: multiplication and division go through
-// discrete exp/log tables built at package initialization, and the bulk
-// (slice) operations additionally use a per-coefficient 256-entry product
-// table so the inner loop is a single lookup per byte.
+// Scalar operations are table-driven: multiplication and division go
+// through discrete exp/log tables built at package initialization. The
+// bulk (slice) operations additionally use per-coefficient product tables
+// — all 256 of them memoized in one 64 KiB array at init — and dispatch
+// to the fastest kernel the machine supports; see Kernel for the
+// selectable implementations, which include nibble-split SIMD fast paths
+// on amd64.
 package gf
 
 import "fmt"
@@ -25,6 +28,17 @@ var (
 	expTable [510]byte // expTable[i] = alpha^i, doubled to avoid a mod in Mul
 	logTable [256]int  // logTable[x] = discrete log of x; logTable[0] unused
 	invTable [256]byte // invTable[x] = multiplicative inverse; invTable[0] unused
+
+	// mulTables[c][x] = c*x for every coefficient, 64 KiB total. Bulk
+	// operations index it instead of rebuilding a product table per call.
+	mulTables [256][256]byte
+
+	// Nibble-split product tables: c*x = mulTableLo[c][x&15] ^
+	// mulTableHi[c][x>>4], because multiplication by a constant is linear
+	// over GF(2). Two 16-entry tables per coefficient is the layout SIMD
+	// byte-shuffle kernels consume directly.
+	mulTableLo [256][16]byte
+	mulTableHi [256][16]byte
 )
 
 func init() {
@@ -44,6 +58,18 @@ func init() {
 	for i := 1; i < 256; i++ {
 		invTable[i] = expTable[255-logTable[i]]
 	}
+	for c := 1; c < 256; c++ {
+		lc := logTable[c]
+		t := &mulTables[c]
+		for v := 1; v < 256; v++ {
+			t[v] = expTable[lc+logTable[v]]
+		}
+		for n := 0; n < 16; n++ {
+			mulTableLo[c][n] = t[n]
+			mulTableHi[c][n] = t[n<<4]
+		}
+	}
+	initKernels()
 }
 
 // Add returns a+b in GF(2^8). Addition is XOR; it is its own inverse, so
@@ -114,17 +140,10 @@ func Pow(a byte, n int) byte {
 }
 
 // MulTable returns the 256-entry product table for coefficient c:
-// table[x] = c*x. Bulk operations share one table per coefficient.
+// table[x] = c*x. The pointer aliases the package's memoized table array,
+// so the call costs nothing and the result must not be modified.
 func MulTable(c byte) *[256]byte {
-	var t [256]byte
-	if c == 0 {
-		return &t
-	}
-	lc := logTable[c]
-	for x := 1; x < 256; x++ {
-		t[x] = expTable[lc+logTable[x]]
-	}
-	return &t
+	return &mulTables[c]
 }
 
 // MulSlice sets dst[i] = c*src[i] for every i. dst and src must have the
@@ -141,10 +160,7 @@ func MulSlice(c byte, src, dst []byte) {
 	case 1:
 		copy(dst, src)
 	default:
-		t := MulTable(c)
-		for i, x := range src {
-			dst[i] = t[x]
-		}
+		mulKernel(c, src, dst)
 	}
 }
 
@@ -161,35 +177,37 @@ func MulAddSlice(c byte, src, dst []byte) {
 	case 1:
 		XorSlice(src, dst)
 	default:
-		t := MulTable(c)
-		for i, x := range src {
-			dst[i] ^= t[x]
-		}
+		mulAddKernel(c, src, dst)
 	}
 }
 
 // XorSlice sets dst[i] ^= src[i] for every i. dst and src must have the
-// same length. The word-at-a-time fast path handles the aligned bulk and a
-// byte loop finishes the tail.
+// same length. The bulk runs through the active kernel's word- or
+// vector-wide path; a byte loop finishes the tail.
 func XorSlice(src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf: XorSlice length mismatch")
 	}
-	n := len(src) &^ 7
-	for i := 0; i < n; i += 8 {
-		d := dst[i : i+8 : i+8]
-		s := src[i : i+8 : i+8]
-		d[0] ^= s[0]
-		d[1] ^= s[1]
-		d[2] ^= s[2]
-		d[3] ^= s[3]
-		d[4] ^= s[4]
-		d[5] ^= s[5]
-		d[6] ^= s[6]
-		d[7] ^= s[7]
+	xorKernel(src, dst)
+}
+
+// XorSlices folds every source slice into dst with XOR:
+// dst[i] ^= srcs[0][i] ^ srcs[1][i] ^ ... — the fused multi-source form
+// of XorSlice used for parity row sums, where reading dst once per group
+// of sources instead of once per source saves memory traffic. Every
+// source must have the same length as dst.
+func XorSlices(srcs [][]byte, dst []byte) {
+	for _, s := range srcs {
+		if len(s) != len(dst) {
+			panic("gf: XorSlices length mismatch")
+		}
 	}
-	for i := n; i < len(src); i++ {
-		dst[i] ^= src[i]
+	i := 0
+	for ; i+3 <= len(srcs); i += 3 {
+		xor3Kernel(srcs[i], srcs[i+1], srcs[i+2], dst)
+	}
+	for ; i < len(srcs); i++ {
+		xorKernel(srcs[i], dst)
 	}
 }
 
@@ -201,10 +219,14 @@ func DotProduct(coeffs []byte, srcs [][]byte, dst []byte) {
 	if len(coeffs) != len(srcs) {
 		panic("gf: DotProduct arity mismatch")
 	}
-	for i := range dst {
-		dst[i] = 0
+	if len(coeffs) == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
 	}
-	for i, c := range coeffs {
-		MulAddSlice(c, srcs[i], dst)
+	MulSlice(coeffs[0], srcs[0], dst)
+	for i := 1; i < len(coeffs); i++ {
+		MulAddSlice(coeffs[i], srcs[i], dst)
 	}
 }

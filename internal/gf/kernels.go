@@ -1,0 +1,289 @@
+package gf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// Kernel identifies one implementation of the bulk field operations
+// (MulSlice, MulAddSlice, XorSlice, XorSlices). All kernels compute
+// bit-identical results; they differ only in speed and portability.
+type Kernel int32
+
+const (
+	// KernelAuto selects the fastest kernel available on this machine.
+	KernelAuto Kernel = iota
+	// KernelRef is the reference byte-at-a-time loop: one product-table
+	// lookup per byte, no unrolling. Tests force it to cross-check the
+	// fast paths.
+	KernelRef
+	// KernelNibble is the portable nibble-split kernel: two 16-entry
+	// tables per coefficient, t_lo[x&15] ^ t_hi[x>>4], 8-way unrolled.
+	// It is the scalar model of the SIMD byte-shuffle kernels.
+	KernelNibble
+	// KernelTable uses the memoized 256-entry product table with an
+	// 8-way unrolled inner loop that accumulates into dst one 64-bit
+	// word at a time.
+	KernelTable
+	// KernelSSSE3 is the amd64 PSHUFB nibble kernel, 16 bytes per step.
+	KernelSSSE3
+	// KernelAVX2 is the amd64 VPSHUFB nibble kernel, 32 bytes per step.
+	KernelAVX2
+)
+
+var kernelNames = map[Kernel]string{
+	KernelAuto:   "auto",
+	KernelRef:    "ref",
+	KernelNibble: "nibble",
+	KernelTable:  "table",
+	KernelSSSE3:  "ssse3",
+	KernelAVX2:   "avx2",
+}
+
+// String returns the kernel's short name.
+func (k Kernel) String() string {
+	if n, ok := kernelNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kernel(%d)", int32(k))
+}
+
+// Available reports whether kernel k can run on this machine.
+func (k Kernel) Available() bool {
+	switch k {
+	case KernelAuto, KernelRef, KernelNibble, KernelTable:
+		return true
+	case KernelSSSE3:
+		return cpuHasSSSE3
+	case KernelAVX2:
+		return cpuHasAVX2
+	}
+	return false
+}
+
+// Kernels returns every kernel usable on this machine, fastest first.
+func Kernels() []Kernel {
+	all := []Kernel{KernelAVX2, KernelSSSE3, KernelTable, KernelNibble, KernelRef}
+	out := make([]Kernel, 0, len(all))
+	for _, k := range all {
+		if k.Available() {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// activeKernel holds the Kernel in effect; it is never KernelAuto.
+// Atomic so tests and benchmarks can switch kernels while other
+// goroutines stream data through the package.
+var activeKernel atomic.Int32
+
+// CPU features, set once by the per-arch detectCPU during init.
+var (
+	cpuHasSSSE3 bool
+	cpuHasAVX2  bool
+)
+
+// initKernels picks the default kernel. Called from the package init
+// after the product tables are built.
+func initKernels() {
+	detectCPU()
+	activeKernel.Store(int32(Kernels()[0]))
+}
+
+// SetKernel selects the kernel used by the bulk operations and returns
+// the kernel actually put in effect (KernelAuto resolves to the fastest
+// available). It panics if k is not available on this machine.
+func SetKernel(k Kernel) Kernel {
+	if k == KernelAuto {
+		k = Kernels()[0]
+	}
+	if !k.Available() {
+		panic(fmt.Sprintf("gf: kernel %v not available on this machine", k))
+	}
+	activeKernel.Store(int32(k))
+	return k
+}
+
+// ActiveKernel returns the kernel currently in effect.
+func ActiveKernel() Kernel {
+	return Kernel(activeKernel.Load())
+}
+
+// mulAddKernel dispatches dst[i] ^= c*src[i] for c >= 2.
+func mulAddKernel(c byte, src, dst []byte) {
+	switch ActiveKernel() {
+	case KernelRef:
+		mulAddRef(c, src, dst)
+	case KernelNibble:
+		mulAddNibble(c, src, dst)
+	case KernelTable:
+		mulAddTable(c, src, dst)
+	default:
+		mulAddSIMD(c, src, dst)
+	}
+}
+
+// mulKernel dispatches dst[i] = c*src[i] for c >= 2.
+func mulKernel(c byte, src, dst []byte) {
+	switch ActiveKernel() {
+	case KernelRef:
+		mulRef(c, src, dst)
+	case KernelNibble:
+		mulNibble(c, src, dst)
+	case KernelTable:
+		mulTable64(c, src, dst)
+	default:
+		mulSIMD(c, src, dst)
+	}
+}
+
+// xorKernel dispatches dst[i] ^= src[i].
+func xorKernel(src, dst []byte) {
+	if ActiveKernel() == KernelRef {
+		for i, x := range src {
+			dst[i] ^= x
+		}
+		return
+	}
+	xorFast(src, dst)
+}
+
+// xor3Kernel dispatches dst[i] ^= a[i]^b[i]^c[i].
+func xor3Kernel(a, b, c, dst []byte) {
+	if ActiveKernel() == KernelRef {
+		for i := range dst {
+			dst[i] ^= a[i] ^ b[i] ^ c[i]
+		}
+		return
+	}
+	xor3Fast(a, b, c, dst)
+}
+
+// --- reference kernel -------------------------------------------------
+
+func mulAddRef(c byte, src, dst []byte) {
+	t := &mulTables[c]
+	for i, x := range src {
+		dst[i] ^= t[x]
+	}
+}
+
+func mulRef(c byte, src, dst []byte) {
+	t := &mulTables[c]
+	for i, x := range src {
+		dst[i] = t[x]
+	}
+}
+
+// --- nibble-split scalar kernel ---------------------------------------
+
+func mulAddNibble(c byte, src, dst []byte) {
+	lo, hi := &mulTableLo[c], &mulTableHi[c]
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s := src[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		d[0] ^= lo[s[0]&15] ^ hi[s[0]>>4]
+		d[1] ^= lo[s[1]&15] ^ hi[s[1]>>4]
+		d[2] ^= lo[s[2]&15] ^ hi[s[2]>>4]
+		d[3] ^= lo[s[3]&15] ^ hi[s[3]>>4]
+		d[4] ^= lo[s[4]&15] ^ hi[s[4]>>4]
+		d[5] ^= lo[s[5]&15] ^ hi[s[5]>>4]
+		d[6] ^= lo[s[6]&15] ^ hi[s[6]>>4]
+		d[7] ^= lo[s[7]&15] ^ hi[s[7]>>4]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= lo[src[i]&15] ^ hi[src[i]>>4]
+	}
+}
+
+func mulNibble(c byte, src, dst []byte) {
+	lo, hi := &mulTableLo[c], &mulTableHi[c]
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s := src[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		d[0] = lo[s[0]&15] ^ hi[s[0]>>4]
+		d[1] = lo[s[1]&15] ^ hi[s[1]>>4]
+		d[2] = lo[s[2]&15] ^ hi[s[2]>>4]
+		d[3] = lo[s[3]&15] ^ hi[s[3]>>4]
+		d[4] = lo[s[4]&15] ^ hi[s[4]>>4]
+		d[5] = lo[s[5]&15] ^ hi[s[5]>>4]
+		d[6] = lo[s[6]&15] ^ hi[s[6]>>4]
+		d[7] = lo[s[7]&15] ^ hi[s[7]>>4]
+	}
+	for ; i < n; i++ {
+		dst[i] = lo[src[i]&15] ^ hi[src[i]>>4]
+	}
+}
+
+// --- memoized-table word kernel ---------------------------------------
+
+// mulAddTable gathers 8 product-table lookups into one 64-bit word and
+// read-modify-writes dst word-wise, eliminating 7 of every 8 dst byte
+// accesses relative to the reference loop.
+func mulAddTable(c byte, src, dst []byte) {
+	t := &mulTables[c]
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s := src[i : i+8 : i+8]
+		v := uint64(t[s[0]]) | uint64(t[s[1]])<<8 | uint64(t[s[2]])<<16 | uint64(t[s[3]])<<24 |
+			uint64(t[s[4]])<<32 | uint64(t[s[5]])<<40 | uint64(t[s[6]])<<48 | uint64(t[s[7]])<<56
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^v)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= t[src[i]]
+	}
+}
+
+func mulTable64(c byte, src, dst []byte) {
+	t := &mulTables[c]
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s := src[i : i+8 : i+8]
+		v := uint64(t[s[0]]) | uint64(t[s[1]])<<8 | uint64(t[s[2]])<<16 | uint64(t[s[3]])<<24 |
+			uint64(t[s[4]])<<32 | uint64(t[s[5]])<<40 | uint64(t[s[6]])<<48 | uint64(t[s[7]])<<56
+		binary.LittleEndian.PutUint64(dst[i:], v)
+	}
+	for ; i < n; i++ {
+		dst[i] = t[src[i]]
+	}
+}
+
+// --- word-wise XOR ----------------------------------------------------
+
+// xorWords is the portable word-at-a-time XOR used when no vector path
+// applies.
+func xorWords(src, dst []byte) {
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// xor3Words folds three sources into dst word-wise, touching dst once
+// per word instead of three times.
+func xor3Words(a, b, c, dst []byte) {
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		v := binary.LittleEndian.Uint64(a[i:]) ^
+			binary.LittleEndian.Uint64(b[i:]) ^
+			binary.LittleEndian.Uint64(c[i:])
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^v)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= a[i] ^ b[i] ^ c[i]
+	}
+}

@@ -1,0 +1,98 @@
+//go:build amd64 && !purego
+
+package gf
+
+// CPUID feature probes, implemented in kernels_amd64.s.
+//
+//go:noescape
+func cpuidSSSE3() bool
+
+//go:noescape
+func cpuidAVX2() bool
+
+// Vector kernels, implemented in kernels_amd64.s. n must be a positive
+// multiple of the vector width (16 for the SSSE3 forms, 32 for AVX2);
+// callers handle the tail.
+//
+//go:noescape
+func mulAddNibble16(lo, hi *[16]byte, src, dst *byte, n int)
+
+//go:noescape
+func mulNibble16(lo, hi *[16]byte, src, dst *byte, n int)
+
+//go:noescape
+func mulAddNibble32(lo, hi *[16]byte, src, dst *byte, n int)
+
+//go:noescape
+func mulNibble32(lo, hi *[16]byte, src, dst *byte, n int)
+
+//go:noescape
+func xorBytes16(src, dst *byte, n int)
+
+//go:noescape
+func xor3Bytes16(a, b, c, dst *byte, n int)
+
+func detectCPU() {
+	cpuHasSSSE3 = cpuidSSSE3()
+	cpuHasAVX2 = cpuidAVX2()
+}
+
+// simdWidth returns the vector width of the active SIMD kernel.
+func simdWidth() int {
+	if ActiveKernel() == KernelAVX2 {
+		return 32
+	}
+	return 16
+}
+
+func mulAddSIMD(c byte, src, dst []byte) {
+	w := simdWidth()
+	n := len(src) &^ (w - 1)
+	if n > 0 {
+		if w == 32 {
+			mulAddNibble32(&mulTableLo[c], &mulTableHi[c], &src[0], &dst[0], n)
+		} else {
+			mulAddNibble16(&mulTableLo[c], &mulTableHi[c], &src[0], &dst[0], n)
+		}
+	}
+	if n < len(src) {
+		mulAddTable(c, src[n:], dst[n:])
+	}
+}
+
+func mulSIMD(c byte, src, dst []byte) {
+	w := simdWidth()
+	n := len(src) &^ (w - 1)
+	if n > 0 {
+		if w == 32 {
+			mulNibble32(&mulTableLo[c], &mulTableHi[c], &src[0], &dst[0], n)
+		} else {
+			mulNibble16(&mulTableLo[c], &mulTableHi[c], &src[0], &dst[0], n)
+		}
+	}
+	if n < len(src) {
+		mulTable64(c, src[n:], dst[n:])
+	}
+}
+
+// xorFast XORs src into dst using the SSE2 path (baseline on amd64) for
+// the 16-byte bulk and words for the tail.
+func xorFast(src, dst []byte) {
+	n := len(src) &^ 15
+	if n > 0 {
+		xorBytes16(&src[0], &dst[0], n)
+	}
+	if n < len(src) {
+		xorWords(src[n:], dst[n:])
+	}
+}
+
+func xor3Fast(a, b, c, dst []byte) {
+	n := len(dst) &^ 15
+	if n > 0 {
+		xor3Bytes16(&a[0], &b[0], &c[0], &dst[0], n)
+	}
+	if n < len(dst) {
+		xor3Words(a[n:], b[n:], c[n:], dst[n:])
+	}
+}

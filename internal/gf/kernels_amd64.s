@@ -1,0 +1,235 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func cpuidSSSE3() bool
+TEXT ·cpuidSSSE3(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	SHRL $9, CX   // ECX bit 9 = SSSE3
+	ANDL $1, CX
+	MOVB CX, ret+0(FP)
+	RET
+
+// func cpuidAVX2() bool
+TEXT ·cpuidAVX2(SB), NOSPLIT, $0-1
+	MOVB $0, ret+0(FP)
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	ANDL $0x18000000, CX      // OSXSAVE | AVX
+	CMPL CX, $0x18000000
+	JNE  done
+	XORL CX, CX
+	XGETBV                    // XCR0 -> EDX:EAX
+	ANDL $6, AX
+	CMPL AX, $6               // XMM and YMM state saved by the OS
+	JNE  done
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	SHRL $5, BX               // EBX bit 5 = AVX2
+	ANDL $1, BX
+	MOVB BX, ret+0(FP)
+done:
+	RET
+
+// func mulAddNibble16(lo, hi *[16]byte, src, dst *byte, n int)
+// dst[i] ^= lo[src[i]&15] ^ hi[src[i]>>4], 16 bytes per iteration.
+TEXT ·mulAddNibble16(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), SI
+	MOVQ hi+8(FP), DI
+	MOVQ src+16(FP), AX
+	MOVQ dst+24(FP), BX
+	MOVQ n+32(FP), CX
+	MOVOU (SI), X6            // low-nibble table
+	MOVOU (DI), X7            // high-nibble table
+	MOVQ $0x0f0f0f0f0f0f0f0f, DX
+	MOVQ DX, X8
+	PUNPCKLQDQ X8, X8         // 0x0f in every byte
+
+loop16:
+	MOVOU (AX), X0
+	MOVOU X0, X1
+	PSRLQ $4, X1
+	PAND  X8, X0              // low nibbles
+	PAND  X8, X1              // high nibbles
+	MOVOU X6, X2
+	MOVOU X7, X3
+	PSHUFB X0, X2             // table lookup, 16 lanes
+	PSHUFB X1, X3
+	PXOR  X3, X2
+	MOVOU (BX), X4
+	PXOR  X4, X2
+	MOVOU X2, (BX)
+	ADDQ $16, AX
+	ADDQ $16, BX
+	SUBQ $16, CX
+	JNZ  loop16
+	RET
+
+// func mulNibble16(lo, hi *[16]byte, src, dst *byte, n int)
+// dst[i] = lo[src[i]&15] ^ hi[src[i]>>4], 16 bytes per iteration.
+TEXT ·mulNibble16(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), SI
+	MOVQ hi+8(FP), DI
+	MOVQ src+16(FP), AX
+	MOVQ dst+24(FP), BX
+	MOVQ n+32(FP), CX
+	MOVOU (SI), X6
+	MOVOU (DI), X7
+	MOVQ $0x0f0f0f0f0f0f0f0f, DX
+	MOVQ DX, X8
+	PUNPCKLQDQ X8, X8
+
+mloop16:
+	MOVOU (AX), X0
+	MOVOU X0, X1
+	PSRLQ $4, X1
+	PAND  X8, X0
+	PAND  X8, X1
+	MOVOU X6, X2
+	MOVOU X7, X3
+	PSHUFB X0, X2
+	PSHUFB X1, X3
+	PXOR  X3, X2
+	MOVOU X2, (BX)
+	ADDQ $16, AX
+	ADDQ $16, BX
+	SUBQ $16, CX
+	JNZ  mloop16
+	RET
+
+// func mulAddNibble32(lo, hi *[16]byte, src, dst *byte, n int)
+// AVX2 form of mulAddNibble16, 32 bytes per iteration.
+TEXT ·mulAddNibble32(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), SI
+	MOVQ hi+8(FP), DI
+	MOVQ src+16(FP), AX
+	MOVQ dst+24(FP), BX
+	MOVQ n+32(FP), CX
+	VBROADCASTI128 (SI), Y6
+	VBROADCASTI128 (DI), Y7
+	MOVQ $0x0f0f0f0f0f0f0f0f, DX
+	MOVQ DX, X8
+	VPBROADCASTQ X8, Y8
+
+loop32:
+	VMOVDQU (AX), Y0
+	VPSRLQ $4, Y0, Y1
+	VPAND  Y8, Y0, Y0
+	VPAND  Y8, Y1, Y1
+	VPSHUFB Y0, Y6, Y2
+	VPSHUFB Y1, Y7, Y3
+	VPXOR  Y3, Y2, Y2
+	VPXOR  (BX), Y2, Y2
+	VMOVDQU Y2, (BX)
+	ADDQ $32, AX
+	ADDQ $32, BX
+	SUBQ $32, CX
+	JNZ  loop32
+	VZEROUPPER
+	RET
+
+// func mulNibble32(lo, hi *[16]byte, src, dst *byte, n int)
+TEXT ·mulNibble32(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), SI
+	MOVQ hi+8(FP), DI
+	MOVQ src+16(FP), AX
+	MOVQ dst+24(FP), BX
+	MOVQ n+32(FP), CX
+	VBROADCASTI128 (SI), Y6
+	VBROADCASTI128 (DI), Y7
+	MOVQ $0x0f0f0f0f0f0f0f0f, DX
+	MOVQ DX, X8
+	VPBROADCASTQ X8, Y8
+
+mloop32:
+	VMOVDQU (AX), Y0
+	VPSRLQ $4, Y0, Y1
+	VPAND  Y8, Y0, Y0
+	VPAND  Y8, Y1, Y1
+	VPSHUFB Y0, Y6, Y2
+	VPSHUFB Y1, Y7, Y3
+	VPXOR  Y3, Y2, Y2
+	VMOVDQU Y2, (BX)
+	ADDQ $32, AX
+	ADDQ $32, BX
+	SUBQ $32, CX
+	JNZ  mloop32
+	VZEROUPPER
+	RET
+
+// func xorBytes16(src, dst *byte, n int)
+// dst[i] ^= src[i]; SSE2, 64 bytes per unrolled iteration with a 16-byte
+// cleanup loop.
+TEXT ·xorBytes16(SB), NOSPLIT, $0-24
+	MOVQ src+0(FP), AX
+	MOVQ dst+8(FP), BX
+	MOVQ n+16(FP), CX
+
+xloop64:
+	CMPQ CX, $64
+	JL   xloop16
+	MOVOU (AX), X0
+	MOVOU 16(AX), X1
+	MOVOU 32(AX), X2
+	MOVOU 48(AX), X3
+	MOVOU (BX), X4
+	MOVOU 16(BX), X5
+	MOVOU 32(BX), X6
+	MOVOU 48(BX), X7
+	PXOR  X0, X4
+	PXOR  X1, X5
+	PXOR  X2, X6
+	PXOR  X3, X7
+	MOVOU X4, (BX)
+	MOVOU X5, 16(BX)
+	MOVOU X6, 32(BX)
+	MOVOU X7, 48(BX)
+	ADDQ $64, AX
+	ADDQ $64, BX
+	SUBQ $64, CX
+	JMP  xloop64
+
+xloop16:
+	TESTQ CX, CX
+	JZ    xdone
+	MOVOU (AX), X0
+	MOVOU (BX), X1
+	PXOR  X0, X1
+	MOVOU X1, (BX)
+	ADDQ $16, AX
+	ADDQ $16, BX
+	SUBQ $16, CX
+	JMP  xloop16
+
+xdone:
+	RET
+
+// func xor3Bytes16(a, b, c, dst *byte, n int)
+// dst[i] ^= a[i] ^ b[i] ^ c[i]; SSE2, 16 bytes per iteration.
+TEXT ·xor3Bytes16(SB), NOSPLIT, $0-40
+	MOVQ a+0(FP), AX
+	MOVQ b+8(FP), BX
+	MOVQ c+16(FP), DX
+	MOVQ dst+24(FP), DI
+	MOVQ n+32(FP), CX
+
+x3loop:
+	MOVOU (AX), X0
+	MOVOU (BX), X1
+	MOVOU (DX), X2
+	MOVOU (DI), X3
+	PXOR  X1, X0
+	PXOR  X2, X0
+	PXOR  X3, X0
+	MOVOU X0, (DI)
+	ADDQ $16, AX
+	ADDQ $16, BX
+	ADDQ $16, DX
+	ADDQ $16, DI
+	SUBQ $16, CX
+	JNZ  x3loop
+	RET

@@ -1,0 +1,17 @@
+//go:build !amd64 || purego
+
+package gf
+
+// No vector unit available (or purego requested): the SIMD kernels are
+// never offered by Kernels(), and the dispatch defaults below keep the
+// package correct if one is somehow selected.
+
+func detectCPU() {}
+
+func mulAddSIMD(c byte, src, dst []byte) { mulAddTable(c, src, dst) }
+
+func mulSIMD(c byte, src, dst []byte) { mulTable64(c, src, dst) }
+
+func xorFast(src, dst []byte) { xorWords(src, dst) }
+
+func xor3Fast(a, b, c, dst []byte) { xor3Words(a, b, c, dst) }

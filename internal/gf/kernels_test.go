@@ -1,0 +1,175 @@
+package gf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// withKernel runs fn under kernel k and restores the previous kernel.
+func withKernel(t *testing.T, k Kernel, fn func()) {
+	t.Helper()
+	prev := ActiveKernel()
+	SetKernel(k)
+	defer SetKernel(prev)
+	fn()
+}
+
+// testLengths exercises the SIMD bulk path, the word-wise tail, and the
+// byte tail, including zero and odd lengths straddling every unroll
+// boundary.
+var testLengths = []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100, 255, 256, 257, 1000, 4096, 4097}
+
+func TestKernelsListedAndAvailable(t *testing.T) {
+	ks := Kernels()
+	if len(ks) == 0 {
+		t.Fatal("no kernels available")
+	}
+	seen := map[Kernel]bool{}
+	for _, k := range ks {
+		if !k.Available() {
+			t.Errorf("Kernels() returned unavailable kernel %v", k)
+		}
+		if seen[k] {
+			t.Errorf("Kernels() returned %v twice", k)
+		}
+		seen[k] = true
+		if k.String() == "" || k == KernelAuto {
+			t.Errorf("bad kernel in list: %v", k)
+		}
+	}
+	for _, k := range []Kernel{KernelRef, KernelNibble, KernelTable} {
+		if !seen[k] {
+			t.Errorf("portable kernel %v missing from Kernels()", k)
+		}
+	}
+}
+
+func TestSetKernelAutoPicksFastest(t *testing.T) {
+	prev := ActiveKernel()
+	defer SetKernel(prev)
+	if got := SetKernel(KernelAuto); got != Kernels()[0] {
+		t.Fatalf("SetKernel(KernelAuto) = %v, want %v", got, Kernels()[0])
+	}
+	if ActiveKernel() != Kernels()[0] {
+		t.Fatalf("ActiveKernel() = %v after auto", ActiveKernel())
+	}
+}
+
+// TestKernelsBitIdentical is the cross-check the kernel selector exists
+// for: every fast path must reproduce the reference byte loop exactly,
+// for every coefficient class and length.
+func TestKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	coeffs := []byte{0, 1, 2, 3, 0x1d, 0x53, 0x8e, 0xff}
+	for _, n := range testLengths {
+		src := make([]byte, n)
+		base := make([]byte, n)
+		rng.Read(src)
+		rng.Read(base)
+		for _, c := range coeffs {
+			// Reference results under the forced byte-loop kernel.
+			wantMul := make([]byte, n)
+			wantMulAdd := append([]byte(nil), base...)
+			wantXor := append([]byte(nil), base...)
+			withKernel(t, KernelRef, func() {
+				MulSlice(c, src, wantMul)
+				MulAddSlice(c, src, wantMulAdd)
+				XorSlice(src, wantXor)
+			})
+			for _, k := range Kernels() {
+				if k == KernelRef {
+					continue
+				}
+				gotMul := make([]byte, n)
+				gotMulAdd := append([]byte(nil), base...)
+				gotXor := append([]byte(nil), base...)
+				withKernel(t, k, func() {
+					MulSlice(c, src, gotMul)
+					MulAddSlice(c, src, gotMulAdd)
+					XorSlice(src, gotXor)
+				})
+				if !bytes.Equal(gotMul, wantMul) {
+					t.Fatalf("kernel %v MulSlice(c=%#x, n=%d) differs from ref", k, c, n)
+				}
+				if !bytes.Equal(gotMulAdd, wantMulAdd) {
+					t.Fatalf("kernel %v MulAddSlice(c=%#x, n=%d) differs from ref", k, c, n)
+				}
+				if !bytes.Equal(gotXor, wantXor) {
+					t.Fatalf("kernel %v XorSlice(n=%d) differs from ref", k, n)
+				}
+			}
+		}
+	}
+}
+
+func TestXorSlicesMatchesSequentialXor(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range testLengths {
+		for nsrc := 0; nsrc <= 7; nsrc++ {
+			srcs := make([][]byte, nsrc)
+			for i := range srcs {
+				srcs[i] = make([]byte, n)
+				rng.Read(srcs[i])
+			}
+			base := make([]byte, n)
+			rng.Read(base)
+			want := append([]byte(nil), base...)
+			for _, s := range srcs {
+				for i, x := range s {
+					want[i] ^= x
+				}
+			}
+			for _, k := range Kernels() {
+				got := append([]byte(nil), base...)
+				withKernel(t, k, func() { XorSlices(srcs, got) })
+				if !bytes.Equal(got, want) {
+					t.Fatalf("kernel %v XorSlices(nsrc=%d, n=%d) wrong", k, nsrc, n)
+				}
+			}
+		}
+	}
+}
+
+func TestXorSlicesLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	XorSlices([][]byte{make([]byte, 4), make([]byte, 5)}, make([]byte, 4))
+}
+
+func TestDotProductAcrossKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 1025
+	srcs := make([][]byte, 5)
+	for i := range srcs {
+		srcs[i] = make([]byte, n)
+		rng.Read(srcs[i])
+	}
+	coeffs := []byte{3, 0, 1, 0xb7, 2}
+	want := make([]byte, n)
+	withKernel(t, KernelRef, func() { DotProduct(coeffs, srcs, want) })
+	for _, k := range Kernels() {
+		got := make([]byte, n)
+		withKernel(t, k, func() { DotProduct(coeffs, srcs, got) })
+		if !bytes.Equal(got, want) {
+			t.Fatalf("kernel %v DotProduct differs from ref", k)
+		}
+	}
+}
+
+// TestMulTableIsMemoized pins the satellite fix: MulTable must return a
+// pointer into the package tables, not a freshly built copy.
+func TestMulTableIsMemoized(t *testing.T) {
+	a, b := MulTable(0x57), MulTable(0x57)
+	if a != b {
+		t.Fatal("MulTable allocates per call; want memoized pointer")
+	}
+	for x := 0; x < 256; x++ {
+		if a[x] != Mul(0x57, byte(x)) {
+			t.Fatalf("MulTable(0x57)[%#x] = %#x, want %#x", x, a[x], Mul(0x57, byte(x)))
+		}
+	}
+}

@@ -2,6 +2,7 @@ package raid
 
 import (
 	"fmt"
+	"sync"
 
 	"shiftedmirror/internal/gf"
 	"shiftedmirror/internal/layout"
@@ -73,11 +74,13 @@ func (r *RAID5) EncodeStripe(get Getter, set Setter) {
 // EncodeStripe implements Encoder for RAID-6 via the underlying EVENODD
 // or RDP code.
 func (r *RAID6) EncodeStripe(get Getter, set Setter) {
-	// Gather only the data shards; the parity shards are outputs.
-	shards := r.gatherShards(get, []DiskID{{RoleParity, 0}, {RoleParity2, 0}})
+	// Gather only the data shards; the parity shards are outputs carved
+	// from the same pooled backing.
+	shards, backing, release := r.gatherShards(get, []DiskID{{RoleParity, 0}, {RoleParity2, 0}})
+	defer release()
 	size := len(shards[0])
-	shards[r.n] = make([]byte, size)
-	shards[r.n+1] = make([]byte, size)
+	shards[r.n] = backing[r.n*size : (r.n+1)*size]
+	shards[r.n+1] = backing[(r.n+1)*size : (r.n+2)*size]
 	if err := r.code.Encode(shards); err != nil {
 		panic(fmt.Sprintf("raid: RAID6 encode: %v", err)) // sizes are internally consistent
 	}
@@ -88,7 +91,8 @@ func (r *RAID6) EncodeStripe(get Getter, set Setter) {
 // from the surviving elements, writing the recovered bytes through set.
 // It implements the Decode recovery method of RAID-6 plans.
 func (r *RAID6) DecodeStripe(get Getter, set Setter, failed []DiskID) error {
-	shards := r.gatherShards(get, failed)
+	shards, _, release := r.gatherShards(get, failed)
+	defer release()
 	if err := r.code.Reconstruct(shards); err != nil {
 		return err
 	}
@@ -119,26 +123,73 @@ func (r *RAID6) shardIndex(d DiskID) int {
 	}
 }
 
-// gatherShards concatenates each disk's rows into one shard, leaving nil
-// shards for the disks listed in failed.
-func (r *RAID6) gatherShards(get Getter, failed []DiskID) [][]byte {
-	isFailed := map[DiskID]bool{}
-	for _, f := range failed {
-		isFailed[f] = true
+// shardBufPool and shardSetPool recycle the per-stripe shard assembly
+// (one contiguous backing buffer plus the shard-header slice), so
+// steady-state encode/rebuild over thousands of stripes allocates only
+// what the underlying code must (shards it recovers into).
+var (
+	shardBufPool = sync.Pool{New: func() any { return new([]byte) }}
+	shardSetPool = sync.Pool{New: func() any { return new([][]byte) }}
+)
+
+func diskInList(list []DiskID, d DiskID) bool {
+	for _, f := range list {
+		if f == d {
+			return true
+		}
 	}
+	return false
+}
+
+// gatherShards concatenates each disk's rows into one shard, leaving nil
+// shards for the disks listed in failed. All surviving shards share one
+// pooled backing buffer, sized for every shard slot so callers may carve
+// output shards from it too; release returns the scratch to the pools.
+func (r *RAID6) gatherShards(get Getter, failed []DiskID) (shards [][]byte, backing []byte, release func()) {
 	rows := r.code.Rows()
-	shards := make([][]byte, r.n+2)
+	elemSize := -1
 	for _, d := range r.Disks() {
-		if isFailed[d] {
+		if !diskInList(failed, d) {
+			elemSize = len(get(ElementRef{Role: d.Role, Disk: d.Index, Row: 0}))
+			break
+		}
+	}
+	if elemSize < 0 {
+		panic("raid: RAID6 stripe with no surviving disks")
+	}
+	shardSize := rows * elemSize
+	bp := shardBufPool.Get().(*[]byte)
+	if cap(*bp) < (r.n+2)*shardSize {
+		*bp = make([]byte, (r.n+2)*shardSize)
+	}
+	backing = (*bp)[:(r.n+2)*shardSize]
+	hp := shardSetPool.Get().(*[][]byte)
+	if cap(*hp) < r.n+2 {
+		*hp = make([][]byte, r.n+2)
+	}
+	shards = (*hp)[:r.n+2]
+	for i := range shards {
+		shards[i] = nil
+	}
+	for _, d := range r.Disks() {
+		if diskInList(failed, d) {
 			continue
 		}
-		var shard []byte
+		idx := r.shardIndex(d)
+		shard := backing[idx*shardSize : (idx+1)*shardSize]
 		for row := 0; row < rows; row++ {
-			shard = append(shard, get(ElementRef{Role: d.Role, Disk: d.Index, Row: row})...)
+			copy(shard[row*elemSize:], get(ElementRef{Role: d.Role, Disk: d.Index, Row: row}))
 		}
-		shards[r.shardIndex(d)] = shard
+		shards[idx] = shard
 	}
-	return shards
+	release = func() {
+		for i := range shards {
+			shards[i] = nil
+		}
+		shardSetPool.Put(hp)
+		shardBufPool.Put(bp)
+	}
+	return shards, backing, release
 }
 
 // scatterParity writes the parity shards back as elements.
