@@ -6,8 +6,10 @@
 //	plan    -n 5 -parity -fail data:1,mirror:3 print the reconstruction plan for a failure
 //	recon   -n 5 -fail data:0                  simulate reconstruction and report throughput
 //	verify  -n 5 -parity -fail data:0,parity:0 byte-level recovery verification
-//	write   -n 5 -parity -ops 1000             simulate the random large-write workload
-//	search  -n 3 -limit 4                      enumerate alternative valid arrangements
+//	write     -n 5 -parity -ops 1000           simulate the random large-write workload
+//	search    -n 3 -limit 4                    enumerate alternative valid arrangements
+//	servedisk -addr :9800 -size 1048576        serve one raw disk store over TCP
+//	cluster   -n 4 -fail data:0                run a networked volume end to end
 package main
 
 import (
@@ -16,9 +18,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
+	"time"
 
 	"shiftedmirror/internal/analysis"
 	"shiftedmirror/internal/blockserver"
+	"shiftedmirror/internal/cluster"
 	"shiftedmirror/internal/dev"
 	"shiftedmirror/internal/layout"
 	"shiftedmirror/internal/raid"
@@ -54,6 +59,10 @@ func main() {
 		err = cmdDevice(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "servedisk":
+		err = cmdServeDisk(os.Args[2:])
+	case "cluster":
+		err = cmdCluster(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -68,7 +77,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: smtool <layout|plan|recon|verify|write|search|trace|mttdl|device|serve> [flags]
+	fmt.Fprintln(os.Stderr, `usage: smtool <layout|plan|recon|verify|write|search|trace|mttdl|device|serve|servedisk|cluster> [flags]
 run "smtool <subcommand> -h" for subcommand flags`)
 }
 
@@ -405,6 +414,186 @@ func cmdSearch(args []string) error {
 	for _, a := range found {
 		fmt.Print(layout.RenderPair(a))
 		fmt.Println()
+	}
+	return nil
+}
+
+func cmdServeDisk(args []string) error {
+	fs := flag.NewFlagSet("servedisk", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9800", "listen address")
+	size := fs.Int64("size", 1<<20, "disk capacity in bytes (ignored with -path on an existing file)")
+	path := fs.String("path", "", "back the disk with this file (default: in-memory)")
+	rate := fs.Float64("rate", 0, "read bandwidth cap in MB/s (0 = unthrottled)")
+	fs.Parse(args)
+	var store blockserver.Store
+	if *path == "" {
+		store = dev.NewMemStore(*size)
+	} else {
+		f, err := dev.OpenFileStore(*path, *size)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		store = f
+	}
+	var opts []blockserver.ServerOption
+	if *rate > 0 {
+		opts = append(opts, blockserver.WithReadRate(*rate*1e6))
+	}
+	srv := blockserver.NewStoreServer(store, opts...)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving raw disk (%d KiB) on %s — ctrl-c to stop\n", store.Size()/1024, bound)
+	select {} // serve until killed
+}
+
+// selfHostBackends starts one in-process store server per disk and
+// returns the address map plus a spawner for replacement backends.
+func selfHostBackends(arch *raid.Mirror, diskSize int64, rate float64) (map[raid.DiskID]string, func() (string, error), error) {
+	var opts []blockserver.ServerOption
+	if rate > 0 {
+		opts = append(opts, blockserver.WithReadRate(rate*1e6))
+	}
+	spawn := func() (string, error) {
+		srv := blockserver.NewStoreServer(dev.NewMemStore(diskSize), opts...)
+		bound, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		return bound.String(), nil
+	}
+	backends := map[raid.DiskID]string{}
+	for _, id := range arch.Disks() {
+		addr, err := spawn()
+		if err != nil {
+			return nil, nil, err
+		}
+		backends[id] = addr
+	}
+	return backends, spawn, nil
+}
+
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	n := fs.Int("n", 4, "data disks")
+	arrName := fs.String("arrangement", "shifted", "shifted, traditional or iterated:K")
+	elementSize := fs.Int64("element", 4096, "element size in bytes")
+	stripes := fs.Int("stripes", 16, "stripes per array")
+	rate := fs.Float64("rate", 0, "per-backend read bandwidth cap in MB/s (self-hosted backends only)")
+	backendList := fs.String("backends", "", "comma-separated backend addresses in arch.Disks() order (default: self-host in-process servers)")
+	failSpec := fs.String("fail", "", "disks to fail and rebuild, e.g. data:0")
+	replace := fs.String("replace", "", "replacement backend address for the failed disk (external backends only)")
+	fs.Parse(args)
+
+	arch, err := buildArch(*arrName, *n, false)
+	if err != nil {
+		return err
+	}
+	cfg := cluster.Config{ElementSize: *elementSize, Stripes: *stripes}
+	diskSize := int64(*stripes) * int64(*n) * *elementSize
+
+	var backends map[raid.DiskID]string
+	var spawn func() (string, error)
+	if *backendList == "" {
+		backends, spawn, err = selfHostBackends(arch, diskSize, *rate)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("self-hosted %d store servers (%d KiB each)\n", len(backends), diskSize/1024)
+	} else {
+		addrs := strings.Split(*backendList, ",")
+		disks := arch.Disks()
+		if len(addrs) != len(disks) {
+			return fmt.Errorf("%d backend addresses for %d disks (order: %v)", len(addrs), len(disks), disks)
+		}
+		backends = map[raid.DiskID]string{}
+		for i, id := range disks {
+			backends[id] = strings.TrimSpace(addrs[i])
+		}
+	}
+
+	v, err := cluster.New(arch, backends, cfg)
+	if err != nil {
+		return err
+	}
+	defer v.Close()
+	if err := v.Verify(); err != nil {
+		return err
+	}
+	fmt.Printf("volume: %s over %d backends, %d KiB logical\n", arch.Name(), len(backends), v.Size()/1024)
+
+	payload := make([]byte, v.Size())
+	rand.New(rand.NewSource(1)).Read(payload)
+	if _, err := v.WriteAt(payload, 0); err != nil {
+		return err
+	}
+	if err := v.Scrub(); err != nil {
+		return err
+	}
+	fmt.Println("filled; scrub clean")
+
+	if *failSpec != "" {
+		failed, err := parseFailures(*failSpec)
+		if err != nil {
+			return err
+		}
+		for _, id := range failed {
+			if err := v.Fail(id); err != nil {
+				return err
+			}
+			fmt.Printf("failed %v\n", id)
+		}
+		check := make([]byte, v.Size())
+		if _, err := v.ReadAt(check, 0); err != nil {
+			return fmt.Errorf("degraded read: %w", err)
+		}
+		if !bytes.Equal(check, payload) {
+			return fmt.Errorf("degraded read returned wrong data")
+		}
+		fmt.Println("degraded reads intact")
+		for _, id := range failed {
+			addr := *replace
+			if spawn != nil {
+				if addr, err = spawn(); err != nil {
+					return err
+				}
+			}
+			if addr == "" {
+				return fmt.Errorf("rebuilding %v onto its old backend needs -replace with external backends", id)
+			}
+			if err := v.ReplaceBackend(id, addr); err != nil {
+				return err
+			}
+			start := time.Now()
+			if err := v.RebuildDisk(id); err != nil {
+				return err
+			}
+			fmt.Printf("rebuilt %v onto %s in %v\n", id, addr, time.Since(start).Round(time.Millisecond))
+		}
+		if _, err := v.ReadAt(check, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(check, payload) {
+			return fmt.Errorf("post-rebuild read returned wrong data")
+		}
+		if err := v.Scrub(); err != nil {
+			return err
+		}
+		fmt.Println("post-rebuild scrub clean")
+	}
+
+	h := v.Health()
+	fmt.Printf("\nhealth: %d elements read, %d written, %d degraded reads, %d failovers\n",
+		h.ElementsRead, h.ElementsWritten, h.DegradedReads, h.Failovers)
+	if h.Rebuilds > 0 {
+		fmt.Printf("rebuilds: %d (%.1f MB at %.1f MB/s)\n", h.Rebuilds, float64(h.RebuildBytes)/1e6, h.RebuildMBps)
+	}
+	fmt.Printf("%-12s %-21s %5s %5s %8s %7s %5s %6s\n", "disk", "backend", "dead", "fail", "requests", "retries", "dials", "errors")
+	for _, b := range h.Backends {
+		fmt.Printf("%-12v %-21s %5v %5v %8d %7d %5d %6d\n",
+			b.ID, b.Addr, b.Dead, b.Failed, b.Requests, b.Retries, b.Dials, b.Errors)
 	}
 	return nil
 }

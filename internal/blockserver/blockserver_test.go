@@ -2,6 +2,7 @@ package blockserver
 
 import (
 	"bytes"
+	"io"
 	"math/rand"
 	"net"
 	"strings"
@@ -237,5 +238,236 @@ func TestOversizedReadRejected(t *testing.T) {
 	_, client := startServer(t, raid.NewMirror(layout.NewShifted(2)), 1)
 	if _, err := client.ReadAt(make([]byte, MaxIOSize+1), 0); err == nil {
 		t.Fatal("oversized read accepted client-side")
+	}
+}
+
+// startStoreServer serves a bare MemStore (no device management).
+func startStoreServer(t *testing.T, size int64) (string, *dev.MemStore) {
+	t.Helper()
+	store := dev.NewMemStore(size)
+	srv := NewStoreServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr.String(), store
+}
+
+func TestReadV(t *testing.T) {
+	addr, store := startStoreServer(t, 4096)
+	content := make([]byte, 4096)
+	rand.New(rand.NewSource(7)).Read(content)
+	if _, err := store.WriteAt(content, 0); err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Out-of-order, overlapping, mixed-size gather in one round trip.
+	vecs := []Vec{{Off: 1024, Len: 512}, {Off: 0, Len: 64}, {Off: 1000, Len: 100}, {Off: 4095, Len: 1}}
+	dst := make([][]byte, len(vecs))
+	for i, v := range vecs {
+		dst[i] = make([]byte, v.Len)
+	}
+	if err := client.ReadV(vecs, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vecs {
+		if !bytes.Equal(dst[i], content[v.Off:v.Off+int64(v.Len)]) {
+			t.Fatalf("range %d mismatch", i)
+		}
+	}
+	// Empty gather is a no-op.
+	if err := client.ReadV(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Mis-sized destination buffer is rejected client-side.
+	if err := client.ReadV([]Vec{{Off: 0, Len: 8}}, [][]byte{make([]byte, 4)}); err == nil {
+		t.Fatal("mis-sized gather buffer accepted")
+	}
+	// Out-of-range gather comes back as a remote error; the connection
+	// stays synchronized and usable.
+	err = client.ReadV([]Vec{{Off: 1 << 20, Len: 16}}, [][]byte{make([]byte, 16)})
+	if !IsRemote(err) {
+		t.Fatalf("want remote error, got %v", err)
+	}
+	if err := client.ReadV(vecs[:1], dst[:1]); err != nil {
+		t.Fatalf("connection unusable after remote gather error: %v", err)
+	}
+	// Too many ranges rejected client-side.
+	big := make([]Vec, MaxVecCount+1)
+	bufs := make([][]byte, len(big))
+	for i := range bufs {
+		bufs[i] = []byte{}
+	}
+	if err := client.ReadV(big, bufs); err == nil {
+		t.Fatal("oversized gather accepted")
+	}
+}
+
+func TestReadVAgainstDevice(t *testing.T) {
+	device, client := startServer(t, raid.NewMirror(layout.NewShifted(3)), 2)
+	payload := make([]byte, device.Size())
+	rand.New(rand.NewSource(8)).Read(payload)
+	if _, err := client.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	vecs := []Vec{{Off: 64, Len: 64}, {Off: 0, Len: 32}}
+	dst := [][]byte{make([]byte, 64), make([]byte, 32)}
+	if err := client.ReadV(vecs, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst[0], payload[64:128]) || !bytes.Equal(dst[1], payload[:32]) {
+		t.Fatal("device gather mismatch")
+	}
+}
+
+func TestClientOpTimeout(t *testing.T) {
+	// A server that accepts and then never answers.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			io.Copy(io.Discard, conn) // swallow requests, reply with nothing
+		}
+	}()
+	client, err := DialConfig(ln.Addr().String(), Config{DialTimeout: time.Second, OpTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	start := time.Now()
+	if _, err := client.Size(); err == nil {
+		t.Fatal("hung server answered?")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline did not fire: blocked %v", elapsed)
+	}
+	// The timed-out exchange desynchronized the stream: poisoned.
+	if client.Broken() == nil {
+		t.Fatal("timed-out connection not poisoned")
+	}
+	if _, err := client.Size(); err == nil || !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("want poisoned-connection error, got %v", err)
+	}
+}
+
+func TestClientPoisonedAfterMidFrameError(t *testing.T) {
+	// A server that sends a truncated response: ok status + length, then
+	// hangs up mid-payload.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 13)
+		io.ReadFull(conn, buf)
+		conn.Write([]byte{0, 0, 0, 0, 64}) // promises 64 bytes
+		conn.Write(make([]byte, 10))       // delivers 10
+		conn.Close()
+	}()
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.ReadAt(make([]byte, 64), 0); err == nil {
+		t.Fatal("truncated response accepted")
+	}
+	if client.Broken() == nil {
+		t.Fatal("mid-frame failure did not poison the connection")
+	}
+	if _, err := client.Size(); err == nil || !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("want poisoned-connection error, got %v", err)
+	}
+}
+
+func TestRemoteErrorDoesNotPoison(t *testing.T) {
+	_, client := startServer(t, raid.NewMirror(layout.NewShifted(3)), 1)
+	err := client.FailDisk(raid.DiskID{Role: raid.RoleData, Index: 42})
+	if !IsRemote(err) {
+		t.Fatalf("want remote error, got %v", err)
+	}
+	if client.Broken() != nil {
+		t.Fatal("remote error poisoned the connection")
+	}
+	if _, err := client.Size(); err != nil {
+		t.Fatalf("connection unusable after remote error: %v", err)
+	}
+}
+
+func TestStoreServerRejectsManagement(t *testing.T) {
+	addr, _ := startStoreServer(t, 1024)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	size, err := client.Size()
+	if err != nil || size != 1024 {
+		t.Fatalf("store size: %d, %v", size, err)
+	}
+	if err := client.Scrub(); !IsRemote(err) {
+		t.Fatalf("store server answered Scrub: %v", err)
+	}
+	if err := client.FailDisk(raid.DiskID{}); !IsRemote(err) {
+		t.Fatalf("store server answered FailDisk: %v", err)
+	}
+	// Raw I/O works and the connection survived the rejections.
+	if _, err := client.WriteAt([]byte("raw disk"), 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if _, err := client.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "raw disk" {
+		t.Fatalf("store round trip: %q", got)
+	}
+}
+
+func TestReadRateThrottle(t *testing.T) {
+	store := dev.NewMemStore(1 << 20)
+	srv := NewStoreServer(store, WithReadRate(1e6)) // 1 MB/s
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	start := time.Now()
+	if _, err := client.ReadAt(make([]byte, 200_000), 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("200 KB at 1 MB/s finished in %v; throttle inert", elapsed)
+	}
+	// Writes are not throttled (the limit models read bandwidth).
+	start = time.Now()
+	if _, err := client.WriteAt(make([]byte, 200_000), 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("write throttled: %v", elapsed)
 	}
 }

@@ -6,34 +6,88 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"shiftedmirror/internal/dev"
 	"shiftedmirror/internal/raid"
 )
 
-// Client is a remote handle to a served device. It implements
+// Config tunes a client's network behaviour. The zero value means no
+// timeouts (the pre-existing behaviour).
+type Config struct {
+	// DialTimeout bounds the TCP connect. 0 means no limit.
+	DialTimeout time.Duration
+	// OpTimeout bounds each request/response exchange end to end
+	// (including payload transfer). 0 means no limit. A deadline that
+	// fires mid-exchange leaves the stream desynchronized, so the
+	// connection is poisoned and must be replaced.
+	OpTimeout time.Duration
+}
+
+// Client is a remote handle to a served device or store. It implements
 // io.ReaderAt and io.WriterAt; requests on one client are serialized
-// over its single connection (open several clients for parallelism).
+// over its single connection (open several clients for parallelism —
+// internal/cluster pools them).
 type Client struct {
+	cfg  Config
 	mu   sync.Mutex
 	conn net.Conn
+	// broken is set once a transport or framing error leaves the stream
+	// desynchronized; every later op fails fast with it.
+	broken error
 	// hdr is request-header scratch (op + off + len = 13 bytes max),
 	// guarded by mu, so steady-state I/O builds frames without
 	// allocating.
 	hdr [13]byte
 }
 
-// Dial connects to a Server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a Server with no timeouts.
+func Dial(addr string) (*Client, error) { return DialConfig(addr, Config{}) }
+
+// DialConfig connects to a Server with the given timeouts.
+func DialConfig(addr string, cfg Config) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	return &Client{cfg: cfg, conn: conn}, nil
 }
 
 // Close releases the connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// Broken returns the error that poisoned the connection, or nil while it
+// is still usable.
+func (c *Client) Broken() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
+// do runs one request/response exchange under the client lock: it fails
+// fast on a poisoned connection, arms the per-op deadline, and poisons
+// the connection when the exchange dies mid-frame (anything but a clean
+// remote error leaves request and response streams out of step).
+func (c *Client) do(fn func() error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken != nil {
+		return fmt.Errorf("blockserver: connection poisoned by earlier error: %w", c.broken)
+	}
+	if c.cfg.OpTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.cfg.OpTimeout))
+	}
+	err := fn()
+	if err != nil && !IsRemote(err) {
+		c.broken = err
+		c.conn.Close() // the stream is desynchronized; stop the server side too
+		return err
+	}
+	if c.cfg.OpTimeout > 0 {
+		c.conn.SetDeadline(time.Time{})
+	}
+	return err
+}
 
 // roundTrip sends a request frame and processes the status header.
 func (c *Client) roundTrip(req []byte) error {
@@ -48,22 +102,78 @@ func (c *Client) ReadAt(p []byte, off int64) (int, error) {
 	if len(p) > MaxIOSize {
 		return 0, fmt.Errorf("%w: read of %d bytes exceeds limit", ErrProtocol, len(p))
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.hdr[0] = OpRead
-	binary.BigEndian.PutUint64(c.hdr[1:9], uint64(off))
-	binary.BigEndian.PutUint32(c.hdr[9:13], uint32(len(p)))
-	if err := c.roundTrip(c.hdr[:13]); err != nil {
-		return 0, err
+	var n int
+	err := c.do(func() error {
+		c.hdr[0] = OpRead
+		binary.BigEndian.PutUint64(c.hdr[1:9], uint64(off))
+		binary.BigEndian.PutUint32(c.hdr[9:13], uint32(len(p)))
+		if err := c.roundTrip(c.hdr[:13]); err != nil {
+			return err
+		}
+		m, err := readUint32(c.conn)
+		if err != nil {
+			return err
+		}
+		if int(m) != len(p) {
+			return fmt.Errorf("%w: server returned %d bytes for a %d-byte read", ErrProtocol, m, len(p))
+		}
+		n, err = io.ReadFull(c.conn, p)
+		return err
+	})
+	return n, err
+}
+
+// ReadV gathers len(vecs) ranges in one round trip (OpReadV), filling
+// dst[i] (which must have length vecs[i].Len) with range i. The total
+// length is bounded by MaxIOSize and the range count by MaxVecCount;
+// split larger gathers into batches.
+func (c *Client) ReadV(vecs []Vec, dst [][]byte) error {
+	if len(vecs) != len(dst) {
+		return fmt.Errorf("blockserver: ReadV has %d ranges but %d buffers", len(vecs), len(dst))
 	}
-	n, err := readUint32(c.conn)
-	if err != nil {
-		return 0, err
+	if len(vecs) == 0 {
+		return nil
 	}
-	if int(n) != len(p) {
-		return 0, fmt.Errorf("%w: server returned %d bytes for a %d-byte read", ErrProtocol, n, len(p))
+	if len(vecs) > MaxVecCount {
+		return fmt.Errorf("%w: %d ranges exceeds limit %d", ErrProtocol, len(vecs), MaxVecCount)
 	}
-	return io.ReadFull(c.conn, p)
+	total := 0
+	for i, v := range vecs {
+		if v.Len < 0 || len(dst[i]) != v.Len {
+			return fmt.Errorf("blockserver: ReadV buffer %d has %d bytes for a %d-byte range", i, len(dst[i]), v.Len)
+		}
+		total += v.Len
+	}
+	if total > MaxIOSize {
+		return fmt.Errorf("%w: gather of %d bytes exceeds limit", ErrProtocol, total)
+	}
+	return c.do(func() error {
+		req := getFrame(5 + 12*len(vecs))
+		(*req)[0] = OpReadV
+		binary.BigEndian.PutUint32((*req)[1:5], uint32(len(vecs)))
+		for i, v := range vecs {
+			binary.BigEndian.PutUint64((*req)[5+12*i:], uint64(v.Off))
+			binary.BigEndian.PutUint32((*req)[13+12*i:], uint32(v.Len))
+		}
+		err := c.roundTrip(*req)
+		putFrame(req)
+		if err != nil {
+			return err
+		}
+		m, err := readUint32(c.conn)
+		if err != nil {
+			return err
+		}
+		if int(m) != total {
+			return fmt.Errorf("%w: server returned %d bytes for a %d-byte gather", ErrProtocol, m, total)
+		}
+		for _, d := range dst {
+			if _, err := io.ReadFull(c.conn, d); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // WriteAt implements io.WriterAt against the remote device.
@@ -71,18 +181,19 @@ func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 	if len(p) > MaxIOSize {
 		return 0, fmt.Errorf("%w: write of %d bytes exceeds limit", ErrProtocol, len(p))
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.hdr[0] = OpWrite
-	binary.BigEndian.PutUint64(c.hdr[1:9], uint64(off))
-	binary.BigEndian.PutUint32(c.hdr[9:13], uint32(len(p)))
-	// Vectored write (writev on TCP) sends header + payload in one frame
-	// without copying the payload into a request buffer.
-	bufs := net.Buffers{c.hdr[:13], p}
-	if _, err := bufs.WriteTo(c.conn); err != nil {
-		return 0, err
-	}
-	if err := readStatus(c.conn); err != nil {
+	err := c.do(func() error {
+		c.hdr[0] = OpWrite
+		binary.BigEndian.PutUint64(c.hdr[1:9], uint64(off))
+		binary.BigEndian.PutUint32(c.hdr[9:13], uint32(len(p)))
+		// Vectored write (writev on TCP) sends header + payload in one frame
+		// without copying the payload into a request buffer.
+		bufs := net.Buffers{c.hdr[:13], p}
+		if _, err := bufs.WriteTo(c.conn); err != nil {
+			return err
+		}
+		return readStatus(c.conn)
+	})
+	if err != nil {
 		return 0, err
 	}
 	return len(p), nil
@@ -90,13 +201,16 @@ func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 
 // Size returns the remote device's logical capacity.
 func (c *Client) Size() (int64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.hdr[0] = OpSize
-	if err := c.roundTrip(c.hdr[:1]); err != nil {
-		return 0, err
-	}
-	v, err := readUint64(c.conn)
+	var v uint64
+	err := c.do(func() error {
+		c.hdr[0] = OpSize
+		if err := c.roundTrip(c.hdr[:1]); err != nil {
+			return err
+		}
+		var err error
+		v, err = readUint64(c.conn)
+		return err
+	})
 	return int64(v), err
 }
 
@@ -107,59 +221,65 @@ func (c *Client) FailDisk(id raid.DiskID) error { return c.diskOp(OpFail, id) }
 func (c *Client) Rebuild(id raid.DiskID) error { return c.diskOp(OpRebuild, id) }
 
 func (c *Client) diskOp(op byte, id raid.DiskID) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.hdr[0] = op
-	c.hdr[1] = byte(id.Role)
-	binary.BigEndian.PutUint32(c.hdr[2:6], uint32(id.Index))
-	return c.roundTrip(c.hdr[:6])
+	return c.do(func() error {
+		c.hdr[0] = op
+		c.hdr[1] = byte(id.Role)
+		binary.BigEndian.PutUint32(c.hdr[2:6], uint32(id.Index))
+		return c.roundTrip(c.hdr[:6])
+	})
 }
 
 // Scrub runs a remote consistency scrub.
 func (c *Client) Scrub() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.hdr[0] = OpScrub
-	return c.roundTrip(c.hdr[:1])
+	return c.do(func() error {
+		c.hdr[0] = OpScrub
+		return c.roundTrip(c.hdr[:1])
+	})
 }
 
 // Health fetches the remote service counters and failed-disk list.
 func (c *Client) Health() (dev.Health, []raid.DiskID, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.hdr[0] = OpHealth
-	if err := c.roundTrip(c.hdr[:1]); err != nil {
-		return dev.Health{}, nil, err
-	}
-	var vals [5]int64
-	for i := range vals {
-		v, err := readUint64(c.conn)
-		if err != nil {
-			return dev.Health{}, nil, err
+	var h dev.Health
+	var failed []raid.DiskID
+	err := c.do(func() error {
+		c.hdr[0] = OpHealth
+		if err := c.roundTrip(c.hdr[:1]); err != nil {
+			return err
 		}
-		vals[i] = int64(v)
-	}
-	nFailed, err := readUint32(c.conn)
+		var vals [5]int64
+		for i := range vals {
+			v, err := readUint64(c.conn)
+			if err != nil {
+				return err
+			}
+			vals[i] = int64(v)
+		}
+		nFailed, err := readUint32(c.conn)
+		if err != nil {
+			return err
+		}
+		if nFailed > 1<<16 {
+			return fmt.Errorf("%w: implausible failed-disk count %d", ErrProtocol, nFailed)
+		}
+		failed = make([]raid.DiskID, 0, nFailed)
+		for i := uint32(0); i < nFailed; i++ {
+			id, err := readDiskID(c.conn)
+			if err != nil {
+				return err
+			}
+			failed = append(failed, id)
+		}
+		h = dev.Health{
+			ElementsRead:    vals[0],
+			ElementsWritten: vals[1],
+			DegradedReads:   vals[2],
+			ParityFallbacks: vals[3],
+			StripesRebuilt:  vals[4],
+		}
+		return nil
+	})
 	if err != nil {
 		return dev.Health{}, nil, err
-	}
-	if nFailed > 1<<16 {
-		return dev.Health{}, nil, fmt.Errorf("%w: implausible failed-disk count %d", ErrProtocol, nFailed)
-	}
-	failed := make([]raid.DiskID, 0, nFailed)
-	for i := uint32(0); i < nFailed; i++ {
-		id, err := readDiskID(c.conn)
-		if err != nil {
-			return dev.Health{}, nil, err
-		}
-		failed = append(failed, id)
-	}
-	h := dev.Health{
-		ElementsRead:    vals[0],
-		ElementsWritten: vals[1],
-		DegradedReads:   vals[2],
-		ParityFallbacks: vals[3],
-		StripesRebuilt:  vals[4],
 	}
 	return h, failed, nil
 }

@@ -18,6 +18,12 @@
 //	OpScrub   req: -                      ok: -
 //	OpHealth  req: -                      ok: 5 counters(8 each) |
 //	                                          nfailed(4) | nfailed*(role(1) index(4))
+//	OpReadV   req: count(4) | count*(off(8) len(4))
+//	                                      ok: total(4) | concatenated data
+//
+// OpReadV gathers up to MaxVecCount element-granular ranges in one round
+// trip, so a cluster-level stripe read does not pay one network round
+// trip per element.
 package blockserver
 
 import (
@@ -37,6 +43,7 @@ const (
 	OpRebuild
 	OpScrub
 	OpHealth
+	OpReadV
 )
 
 // Status codes.
@@ -46,11 +53,40 @@ const (
 )
 
 // MaxIOSize bounds a single read or write payload (a protocol sanity
-// limit, not a device limit).
+// limit, not a device limit). An OpReadV response counts the sum of its
+// ranges against the same limit.
 const MaxIOSize = 64 << 20
+
+// MaxVecCount bounds the number of ranges in one OpReadV request.
+const MaxVecCount = 4096
 
 // ErrProtocol reports a malformed frame.
 var ErrProtocol = errors.New("blockserver: protocol violation")
+
+// Vec is one range of an OpReadV gather request.
+type Vec struct {
+	Off int64
+	Len int
+}
+
+// RemoteError is an application-level error reported by the server (the
+// device or store rejected the operation). The connection remains
+// synchronized after one: the full response frame was consumed, so the
+// client keeps using it. Transport and framing errors are NOT
+// RemoteErrors and poison the client connection.
+type RemoteError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "blockserver: remote: " + e.Msg }
+
+// IsRemote reports whether err is (or wraps) a server-side RemoteError,
+// as opposed to a transport, timeout, or framing failure.
+func IsRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}
 
 // framePool recycles request/response frame buffers so the read/write
 // hot path allocates nothing per request at steady state.
@@ -118,7 +154,7 @@ func readStatus(r io.Reader) error {
 	if _, err := io.ReadFull(r, msg); err != nil {
 		return err
 	}
-	return fmt.Errorf("blockserver: remote: %s", msg)
+	return &RemoteError{Msg: string(msg)}
 }
 
 func readUint32(r io.Reader) (uint32, error) {

@@ -7,15 +7,75 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"shiftedmirror/internal/dev"
 	"shiftedmirror/internal/raid"
 )
 
-// Server exports one device over a listener. Connections are handled
-// concurrently; the device's own locking provides consistency.
+// Store is the minimal served surface: raw positioned I/O over one byte
+// space. dev.Device implements it, and so does any single-disk backing
+// store — internal/cluster serves one bare disk per backend this way.
+type Store interface {
+	io.ReaderAt
+	io.WriterAt
+	Size() int64
+}
+
+// manager is the optional management surface behind OpFail/OpRebuild/
+// OpScrub/OpHealth. Full devices implement it; bare stores do not, and
+// their servers answer those opcodes with a remote error.
+type manager interface {
+	FailDisk(raid.DiskID) error
+	Rebuild(raid.DiskID) error
+	Scrub() error
+	Health() dev.Health
+	FailedDisks() []raid.DiskID
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithReadRate caps the server's aggregate read bandwidth at
+// bytesPerSec, serializing transfers the way a single spindle does. It
+// models the bounded read bandwidth of one disk when many in-memory
+// backends share a machine (examples/clusterrecon); 0 means unlimited.
+func WithReadRate(bytesPerSec float64) ServerOption {
+	return func(s *Server) {
+		if bytesPerSec > 0 {
+			s.readRate = &rateLimiter{perByte: time.Duration(float64(time.Second) / bytesPerSec)}
+		}
+	}
+}
+
+// rateLimiter spaces transfers so that aggregate throughput stays at the
+// configured rate: each transfer reserves a completion slot after all
+// earlier ones, exactly like requests queueing at one disk.
+type rateLimiter struct {
+	perByte time.Duration
+	mu      sync.Mutex
+	next    time.Time
+}
+
+func (l *rateLimiter) wait(n int) {
+	l.mu.Lock()
+	now := time.Now()
+	if l.next.Before(now) {
+		l.next = now
+	}
+	due := l.next.Add(time.Duration(n) * l.perByte)
+	l.next = due
+	l.mu.Unlock()
+	time.Sleep(time.Until(due))
+}
+
+// Server exports one store (optionally with device management) over a
+// listener. Connections are handled concurrently; the store's own
+// locking provides consistency.
 type Server struct {
-	device *dev.Device
+	store    Store
+	mgmt     manager // nil for bare stores
+	readRate *rateLimiter
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -24,9 +84,23 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// NewServer wraps a device for serving.
-func NewServer(device *dev.Device) *Server {
-	return &Server{device: device, conns: map[net.Conn]struct{}{}}
+// NewServer wraps a full device for serving, management included.
+func NewServer(device *dev.Device, opts ...ServerOption) *Server {
+	s := &Server{store: device, mgmt: device, conns: map[net.Conn]struct{}{}}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// NewStoreServer wraps a bare store (one disk) for serving. Management
+// opcodes return remote errors; the cluster layer owns failure handling.
+func NewStoreServer(store Store, opts ...ServerOption) *Server {
+	s := &Server{store: store, conns: map[net.Conn]struct{}{}}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Listen starts accepting connections on addr ("127.0.0.1:0" for an
@@ -129,11 +203,55 @@ func (s *Server) dispatch(conn net.Conn, op byte) error {
 		// single write: no per-request allocation, no payload copy.
 		frame := getFrame(5 + int(n))
 		defer putFrame(frame)
-		if _, err := s.device.ReadAt((*frame)[5:], int64(off)); err != nil {
+		if _, err := s.store.ReadAt((*frame)[5:], int64(off)); err != nil {
 			return writeErr(conn, err)
+		}
+		if s.readRate != nil {
+			s.readRate.wait(int(n))
 		}
 		(*frame)[0] = statusOK
 		binary.BigEndian.PutUint32((*frame)[1:5], n)
+		_, werr := conn.Write(*frame)
+		return werr
+	case OpReadV:
+		count, err := readUint32(conn)
+		if err != nil {
+			return err
+		}
+		if count == 0 || count > MaxVecCount {
+			return fmt.Errorf("%w: gather of %d ranges outside [1,%d]", ErrProtocol, count, MaxVecCount)
+		}
+		vecBuf := getFrame(12 * int(count))
+		if _, err := io.ReadFull(conn, *vecBuf); err != nil {
+			putFrame(vecBuf)
+			return err
+		}
+		vecs := make([]Vec, count)
+		total := 0
+		for i := range vecs {
+			vecs[i].Off = int64(binary.BigEndian.Uint64((*vecBuf)[12*i:]))
+			vecs[i].Len = int(binary.BigEndian.Uint32((*vecBuf)[12*i+8:]))
+			total += vecs[i].Len
+		}
+		putFrame(vecBuf)
+		if total > MaxIOSize {
+			return writeErr(conn, fmt.Errorf("%w: gather of %d bytes exceeds limit", ErrProtocol, total))
+		}
+		// One frame: status | total | range 0 | range 1 | ...
+		frame := getFrame(5 + total)
+		defer putFrame(frame)
+		at := 5
+		for _, v := range vecs {
+			if _, err := s.store.ReadAt((*frame)[at:at+v.Len], v.Off); err != nil {
+				return writeErr(conn, err)
+			}
+			at += v.Len
+		}
+		if s.readRate != nil {
+			s.readRate.wait(total)
+		}
+		(*frame)[0] = statusOK
+		binary.BigEndian.PutUint32((*frame)[1:5], uint32(total))
 		_, werr := conn.Write(*frame)
 		return werr
 	case OpWrite:
@@ -153,35 +271,44 @@ func (s *Server) dispatch(conn net.Conn, op byte) error {
 		if _, err := io.ReadFull(conn, *buf); err != nil {
 			return err
 		}
-		if _, err := s.device.WriteAt(*buf, int64(off)); err != nil {
+		if _, err := s.store.WriteAt(*buf, int64(off)); err != nil {
 			return writeErr(conn, err)
 		}
 		return writeOK(conn, nil)
 	case OpSize:
-		return writeOK(conn, binary.BigEndian.AppendUint64(nil, uint64(s.device.Size())))
+		return writeOK(conn, binary.BigEndian.AppendUint64(nil, uint64(s.store.Size())))
 	case OpFail, OpRebuild:
 		id, err := readDiskID(conn)
 		if err != nil {
 			return err
 		}
+		if s.mgmt == nil {
+			return writeErr(conn, errUnmanaged)
+		}
 		var derr error
 		if op == OpFail {
-			derr = s.device.FailDisk(id)
+			derr = s.mgmt.FailDisk(id)
 		} else {
-			derr = s.device.Rebuild(id)
+			derr = s.mgmt.Rebuild(id)
 		}
 		if derr != nil {
 			return writeErr(conn, derr)
 		}
 		return writeOK(conn, nil)
 	case OpScrub:
-		if err := s.device.Scrub(); err != nil {
+		if s.mgmt == nil {
+			return writeErr(conn, errUnmanaged)
+		}
+		if err := s.mgmt.Scrub(); err != nil {
 			return writeErr(conn, err)
 		}
 		return writeOK(conn, nil)
 	case OpHealth:
-		h := s.device.Health()
-		failed := s.device.FailedDisks()
+		if s.mgmt == nil {
+			return writeErr(conn, errUnmanaged)
+		}
+		h := s.mgmt.Health()
+		failed := s.mgmt.FailedDisks()
 		payload := make([]byte, 0, 5*8+4+len(failed)*5)
 		for _, v := range []int64{h.ElementsRead, h.ElementsWritten, h.DegradedReads, h.ParityFallbacks, h.StripesRebuilt} {
 			payload = binary.BigEndian.AppendUint64(payload, uint64(v))
@@ -196,6 +323,9 @@ func (s *Server) dispatch(conn net.Conn, op byte) error {
 		return fmt.Errorf("%w: unknown opcode %d", ErrProtocol, op)
 	}
 }
+
+// errUnmanaged answers management opcodes on a bare-store server.
+var errUnmanaged = errors.New("store server has no device management")
 
 func readDiskID(r io.Reader) (raid.DiskID, error) {
 	var role [1]byte

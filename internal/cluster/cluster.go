@@ -1,0 +1,130 @@
+// Package cluster realizes the paper's availability claim at system
+// scale: a Volume stripes the mirror-family element layout
+// (internal/layout) over n remote backends — one blockserver per disk —
+// and turns a failed disk's rebuild into the paper's single parallel
+// access, now across machines.
+//
+// The data path is io.ReaderAt/io.WriterAt over the same logical
+// geometry as internal/dev (stripes × n × n × elementSize, row-major
+// elements). Reads scatter/gather element ranges into per-backend
+// OpReadV batches over pooled connections; writes fan each element out
+// to its data disk and every mirror replica concurrently. When a data
+// disk's backend is failed or dead, reads fail over to the replica's
+// backend — under the shifted arrangement that is always a *different*
+// server (Property 1), so one lost backend never funnels its load onto
+// a single twin the way the traditional arrangement does.
+//
+// RebuildDisk is the paper's one-access reconstruction over TCP: the
+// lost disk's n replica elements per stripe live on n distinct backends
+// (shifted), so the fetch fans out across all of them in one pass,
+// writing recovered elements to the replacement backend as each batch
+// lands. Under the traditional arrangement the same rebuild drains one
+// mirror backend sequentially — examples/clusterrecon measures the
+// wall-clock difference over real sockets.
+//
+// Failure handling is two-layered: Fail/RebuildDisk manage *disk* state
+// (content lost, must be reconstructed), while each backend's
+// connection pool runs a marked-dead/probe-recovery state machine for
+// *network* trouble (timeouts, refused connections) with bounded
+// retry/backoff, surfaced through Health.
+package cluster
+
+import (
+	"errors"
+	"time"
+)
+
+// Errors.
+var (
+	// ErrBackendDead is returned (wrapped) when a backend is marked dead
+	// and its probe window has not yet reopened.
+	ErrBackendDead = errors.New("cluster: backend marked dead")
+	// ErrDataLoss is returned when an element cannot be served from any
+	// surviving location.
+	ErrDataLoss = errors.New("cluster: data loss — element unrecoverable")
+	// ErrDiskFailed is returned for operations that address a disk
+	// currently marked failed.
+	ErrDiskFailed = errors.New("cluster: disk is failed")
+	// ErrScrubMismatch is returned by Scrub when a replica disagrees
+	// with its data element.
+	ErrScrubMismatch = errors.New("cluster: scrub found inconsistent replica")
+)
+
+// Config tunes a Volume. Zero fields take the defaults below.
+type Config struct {
+	// ElementSize is the element (striping unit) size in bytes.
+	// Default 4096.
+	ElementSize int64
+	// Stripes is the stripe count per array. Default 8.
+	Stripes int
+	// PoolSize is the number of pooled connections per backend; one
+	// blockserver client serializes, so this bounds per-backend
+	// parallelism. Default 4.
+	PoolSize int
+	// DialTimeout and OpTimeout are passed to every blockserver client.
+	// Defaults 2s and 15s. Note a rate-limited backend needs OpTimeout
+	// above its worst-case transfer time.
+	DialTimeout time.Duration
+	OpTimeout   time.Duration
+	// Retries is how many times a pool retries one operation on a fresh
+	// connection after a transport failure. Default 2.
+	Retries int
+	// RetryBackoff is the base sleep between retries (doubled per
+	// attempt). Default 50ms.
+	RetryBackoff time.Duration
+	// DeadAfter marks a backend dead after this many consecutive
+	// transport failures. Default 3.
+	DeadAfter int
+	// ProbeEvery is the base interval before a dead backend is probed
+	// again, doubling up to MaxProbe. Defaults 250ms and 5s.
+	ProbeEvery time.Duration
+	MaxProbe   time.Duration
+	// MaxBatch bounds the ranges per OpReadV request. Default 512,
+	// capped at blockserver.MaxVecCount.
+	MaxBatch int
+	// RebuildBatch is how many stripes RebuildDisk recovers per
+	// exclusive-lock slice; user I/O flows between slices. Default 16.
+	RebuildBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ElementSize <= 0 {
+		c.ElementSize = 4096
+	}
+	if c.Stripes <= 0 {
+		c.Stripes = 8
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 4
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = 15 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 3
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 250 * time.Millisecond
+	}
+	if c.MaxProbe <= 0 {
+		c.MaxProbe = 5 * time.Second
+	}
+	if c.MaxBatch <= 0 || c.MaxBatch > maxVecCount {
+		c.MaxBatch = 512
+	}
+	if c.RebuildBatch <= 0 {
+		c.RebuildBatch = 16
+	}
+	return c
+}

@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shiftedmirror/internal/blockserver"
+)
+
+const maxVecCount = blockserver.MaxVecCount
+
+// poolStats are one backend's service counters, all monotonic.
+type poolStats struct {
+	requests atomic.Int64 // operations submitted
+	retries  atomic.Int64 // extra attempts after transport failures
+	dials    atomic.Int64 // connections opened
+	errors   atomic.Int64 // operations that ultimately failed
+}
+
+// pool is a fixed-size connection pool to one backend with a
+// marked-dead/probe-recovery state machine. Transport failures close the
+// offending connection and are retried on a fresh one with exponential
+// backoff; after DeadAfter consecutive failures the backend is marked
+// dead and callers fail fast until a probe window reopens, at which
+// point one caller's dial doubles as the recovery probe.
+type pool struct {
+	addr string
+	cfg  Config
+
+	slots chan struct{} // semaphore: cap = cfg.PoolSize
+
+	mu         sync.Mutex
+	idle       []*blockserver.Client
+	closed     bool
+	dead       bool
+	failures   int // consecutive transport failures
+	probeLevel int // consecutive failed probes while dead
+	nextProbe  time.Time
+
+	stats poolStats
+}
+
+func newPool(addr string, cfg Config) *pool {
+	p := &pool{addr: addr, cfg: cfg, slots: make(chan struct{}, cfg.PoolSize)}
+	for i := 0; i < cfg.PoolSize; i++ {
+		p.slots <- struct{}{}
+	}
+	return p
+}
+
+// close tears down idle connections; in-flight operations finish on
+// their own connections.
+func (p *pool) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for _, c := range p.idle {
+		c.Close()
+	}
+	p.idle = nil
+}
+
+// isDead reports the fail-fast state: dead with the probe window still
+// closed.
+func (p *pool) isDead() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dead && time.Now().Before(p.nextProbe)
+}
+
+// do runs fn with a pooled connection, retrying transport failures on
+// fresh connections. Remote (application) errors are returned as-is and
+// keep the connection pooled; transport errors poison and close it.
+func (p *pool) do(fn func(*blockserver.Client) error) error {
+	p.stats.requests.Add(1)
+	if p.isDead() {
+		p.stats.errors.Add(1)
+		return fmt.Errorf("%w: %s", ErrBackendDead, p.addr)
+	}
+	<-p.slots
+	defer func() { p.slots <- struct{}{} }()
+	var lastErr error
+	for attempt := 0; attempt <= p.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			p.stats.retries.Add(1)
+			time.Sleep(p.cfg.RetryBackoff << (attempt - 1))
+			if p.isDead() {
+				break
+			}
+		}
+		c, err := p.acquire()
+		if err != nil {
+			lastErr = err
+			p.noteFailure()
+			continue
+		}
+		err = fn(c)
+		if err == nil || blockserver.IsRemote(err) {
+			p.release(c)
+			p.noteSuccess()
+			if err != nil {
+				p.stats.errors.Add(1)
+			}
+			return err
+		}
+		// Transport trouble: the client poisoned itself; drop it.
+		c.Close()
+		lastErr = err
+		p.noteFailure()
+	}
+	p.stats.errors.Add(1)
+	if p.isDead() {
+		return fmt.Errorf("%w: %s (last error: %v)", ErrBackendDead, p.addr, lastErr)
+	}
+	return fmt.Errorf("cluster: backend %s: %w", p.addr, lastErr)
+}
+
+// acquire pops an idle connection or dials a new one.
+func (p *pool) acquire() (*blockserver.Client, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("cluster: pool for %s is closed", p.addr)
+	}
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	// If the backend is dead, push the probe window forward *before*
+	// dialing so a herd of callers doesn't probe simultaneously.
+	if p.dead {
+		backoff := p.cfg.ProbeEvery << p.probeLevel
+		if backoff > p.cfg.MaxProbe {
+			backoff = p.cfg.MaxProbe
+		}
+		p.nextProbe = time.Now().Add(backoff)
+		if p.probeLevel < 30 {
+			p.probeLevel++
+		}
+	}
+	p.mu.Unlock()
+	p.stats.dials.Add(1)
+	return blockserver.DialConfig(p.addr, blockserver.Config{
+		DialTimeout: p.cfg.DialTimeout,
+		OpTimeout:   p.cfg.OpTimeout,
+	})
+}
+
+// release returns a healthy connection to the idle set.
+func (p *pool) release(c *blockserver.Client) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || c.Broken() != nil {
+		c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+}
+
+func (p *pool) noteSuccess() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failures = 0
+	p.probeLevel = 0
+	p.dead = false
+}
+
+func (p *pool) noteFailure() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failures++
+	if p.failures >= p.cfg.DeadAfter && !p.dead {
+		p.dead = true
+		p.probeLevel = 0
+		p.nextProbe = time.Now().Add(p.cfg.ProbeEvery)
+	}
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"shiftedmirror/internal/blockserver"
+	"shiftedmirror/internal/dev"
+)
+
+func startStoreServer(t *testing.T, size int64) (*blockserver.Server, string, *dev.MemStore) {
+	t.Helper()
+	store := dev.NewMemStore(size)
+	srv := blockserver.NewStoreServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr.String(), store
+}
+
+func TestPoolReusesConnections(t *testing.T) {
+	_, addr, _ := startStoreServer(t, 1024)
+	p := newPool(addr, fastConfig(64, 2))
+	defer p.close()
+	buf := make([]byte, 16)
+	for i := 0; i < 10; i++ {
+		if err := p.do(func(c *blockserver.Client) error {
+			_, err := c.ReadAt(buf, 0)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dials := p.stats.dials.Load(); dials != 1 {
+		t.Fatalf("10 sequential ops used %d dials, want 1", dials)
+	}
+	if reqs := p.stats.requests.Load(); reqs != 10 {
+		t.Fatalf("requests counter %d, want 10", reqs)
+	}
+}
+
+func TestPoolRemoteErrorKeepsConnection(t *testing.T) {
+	_, addr, _ := startStoreServer(t, 64)
+	p := newPool(addr, fastConfig(64, 2))
+	defer p.close()
+	buf := make([]byte, 16)
+	// Out-of-range read: a remote error, not a transport failure.
+	err := p.do(func(c *blockserver.Client) error {
+		_, err := c.ReadAt(buf, 1<<20)
+		return err
+	})
+	if !blockserver.IsRemote(err) {
+		t.Fatalf("want remote error, got %v", err)
+	}
+	if p.isDead() {
+		t.Fatal("remote error marked the backend dead")
+	}
+	// Connection still pooled and healthy.
+	if err := p.do(func(c *blockserver.Client) error {
+		_, err := c.ReadAt(buf, 0)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if dials := p.stats.dials.Load(); dials != 1 {
+		t.Fatalf("remote error forced a redial (%d dials)", dials)
+	}
+}
+
+func TestPoolMarksDeadThenFailsFast(t *testing.T) {
+	srv, addr, _ := startStoreServer(t, 1024)
+	cfg := fastConfig(64, 2)
+	cfg.ProbeEvery = time.Minute // keep the probe window shut
+	p := newPool(addr, cfg)
+	defer p.close()
+	buf := make([]byte, 16)
+	read := func() error {
+		return p.do(func(c *blockserver.Client) error {
+			_, err := c.ReadAt(buf, 0)
+			return err
+		})
+	}
+	if err := read(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	for i := 0; i < 4 && !p.isDead(); i++ {
+		read() // expected to fail; drives the failure counter
+	}
+	if !p.isDead() {
+		t.Fatal("backend not marked dead after repeated failures")
+	}
+	start := time.Now()
+	err := read()
+	if !errors.Is(err, ErrBackendDead) {
+		t.Fatalf("want ErrBackendDead, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("dead backend not failing fast: %v", elapsed)
+	}
+}
+
+// TestPoolConcurrentKillRestart hammers one pool from many goroutines
+// while the backend dies and comes back — the -race exercise for the
+// slot semaphore, idle stack, and state machine.
+func TestPoolConcurrentKillRestart(t *testing.T) {
+	srv, addr, store := startStoreServer(t, 4096)
+	p := newPool(addr, fastConfig(64, 2))
+	defer p.close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 32)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p.do(func(c *blockserver.Client) error {
+					if g%2 == 0 {
+						_, err := c.WriteAt(buf, int64(g)*32)
+						return err
+					}
+					_, err := c.ReadAt(buf, int64(g)*32)
+					return err
+				}) // errors expected during the outage
+			}
+		}(g)
+	}
+	time.Sleep(20 * time.Millisecond)
+	srv.Close()
+	time.Sleep(50 * time.Millisecond)
+	srv2, err := restartServer(store, addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	// The pool must recover: one op must eventually succeed again.
+	deadline := time.Now().Add(5 * time.Second)
+	buf := make([]byte, 32)
+	for {
+		err := p.do(func(c *blockserver.Client) error {
+			_, err := c.ReadAt(buf, 0)
+			return err
+		})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("pool never recovered: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if p.isDead() {
+		t.Fatal("pool still marked dead after recovery")
+	}
+}

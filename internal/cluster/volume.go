@@ -1,0 +1,628 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"shiftedmirror/internal/blockserver"
+	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/raid"
+)
+
+// mirrorRoles[i] is the role of mirror array i (matches internal/raid).
+var mirrorRoles = []raid.Role{raid.RoleMirror, raid.RoleMirror2}
+
+// location is one physical home of a data element: a disk and the row it
+// occupies there.
+type location struct {
+	id  raid.DiskID
+	row int
+}
+
+// span is one contiguous byte range within one data element, routed to
+// its src-th surviving location. The fetch engine advances src on
+// failover until the range is served or every location is exhausted.
+type span struct {
+	stripe, disk, row int   // data-array element address
+	inner             int64 // byte offset within the element
+	buf               []byte
+	src               int      // index into the element's location list
+	loc               location // chosen location for the current round
+}
+
+// Volume is a networked mirror-family block device: the element layout
+// of a *raid.Mirror architecture striped over one blockserver backend
+// per disk. All methods are safe for concurrent use.
+type Volume struct {
+	arch        *raid.Mirror
+	n           int
+	elementSize int64
+	stripes     int
+	cfg         Config
+
+	// mu orders the data path like internal/dev: reads share it, writes
+	// and rebuild slices exclude each other, so replica sets never tear.
+	mu    sync.RWMutex
+	pools map[raid.DiskID]*pool
+	addrs map[raid.DiskID]string
+	// failed marks disks whose content is declared lost; progress is the
+	// rebuild watermark (stripes already recovered onto the replacement
+	// backend, served and written there even before RebuildDisk ends).
+	failed   map[raid.DiskID]bool
+	progress map[raid.DiskID]int
+
+	stats volumeStats
+}
+
+type volumeStats struct {
+	elementsRead, elementsWritten atomic.Int64
+	degradedReads                 atomic.Int64
+	failovers                     atomic.Int64
+	autoFailed                    atomic.Int64
+	rebuilds                      atomic.Int64
+	rebuildBytes                  atomic.Int64
+	rebuildNanos                  atomic.Int64
+}
+
+// BackendHealth is one backend's view in a Health snapshot.
+type BackendHealth struct {
+	ID   raid.DiskID
+	Addr string
+	// Dead is the pool state machine's verdict (network unreachable);
+	// Failed is the cluster-level disk state (content lost).
+	Dead   bool
+	Failed bool
+	// Requests counts operations submitted to the backend, Retries the
+	// extra attempts after transport failures, Dials the connections
+	// opened, and Errors the operations that ultimately failed.
+	Requests, Retries, Dials, Errors int64
+}
+
+// Health is a snapshot of cluster-wide service counters.
+type Health struct {
+	// ElementsRead/ElementsWritten count logical element operations.
+	ElementsRead, ElementsWritten int64
+	// DegradedReads counts element reads served from a replica because
+	// the data disk was failed or unreachable.
+	DegradedReads int64
+	// Failovers counts element fetches re-routed to another backend
+	// after an I/O failure (as opposed to planned degraded routing).
+	Failovers int64
+	// AutoFailed counts disks marked failed by the write path after
+	// their backend stopped accepting writes.
+	AutoFailed int64
+	// Rebuilds counts completed RebuildDisk runs; RebuildBytes and
+	// RebuildSeconds accumulate across them, and RebuildMBps is their
+	// ratio (0 before the first rebuild).
+	Rebuilds       int64
+	RebuildBytes   int64
+	RebuildSeconds float64
+	RebuildMBps    float64
+	// Backends holds per-backend states and counters, sorted by role
+	// then index.
+	Backends []BackendHealth
+}
+
+// New builds a Volume over the given architecture with one backend
+// address per disk. Every disk in arch.Disks() must have an address;
+// parity architectures are not supported (the cluster data path is
+// replica-based — use a second mirror array for fault tolerance two).
+func New(arch *raid.Mirror, backends map[raid.DiskID]string, cfg Config) (*Volume, error) {
+	if arch.Parity() {
+		return nil, fmt.Errorf("cluster: parity architectures are not supported; use a mirror or three-mirror arrangement")
+	}
+	cfg = cfg.withDefaults()
+	v := &Volume{
+		arch:        arch,
+		n:           arch.N(),
+		elementSize: cfg.ElementSize,
+		stripes:     cfg.Stripes,
+		cfg:         cfg,
+		pools:       map[raid.DiskID]*pool{},
+		addrs:       map[raid.DiskID]string{},
+		failed:      map[raid.DiskID]bool{},
+		progress:    map[raid.DiskID]int{},
+	}
+	for _, id := range arch.Disks() {
+		addr, ok := backends[id]
+		if !ok {
+			return nil, fmt.Errorf("cluster: no backend address for disk %v", id)
+		}
+		v.pools[id] = newPool(addr, cfg)
+		v.addrs[id] = addr
+	}
+	if len(backends) != len(v.pools) {
+		return nil, fmt.Errorf("cluster: %d backend addresses for %d disks", len(backends), len(v.pools))
+	}
+	return v, nil
+}
+
+// Close releases every pooled connection.
+func (v *Volume) Close() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, p := range v.pools {
+		p.close()
+	}
+}
+
+// Size returns the logical capacity in bytes.
+func (v *Volume) Size() int64 {
+	return int64(v.stripes) * int64(v.n) * int64(v.n) * v.elementSize
+}
+
+// DiskSize returns the per-disk capacity each backend must serve.
+func (v *Volume) DiskSize() int64 {
+	return int64(v.stripes) * int64(v.n) * v.elementSize
+}
+
+// Arch returns the underlying architecture.
+func (v *Volume) Arch() *raid.Mirror { return v.arch }
+
+// Verify dials every backend and checks it serves exactly one disk's
+// worth of bytes, catching mis-wired address maps before data flows.
+func (v *Volume) Verify() error {
+	want := v.DiskSize()
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	for id, p := range v.pools {
+		var size int64
+		err := p.do(func(c *blockserver.Client) error {
+			var err error
+			size, err = c.Size()
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: backend %v (%s): %w", id, p.addr, err)
+		}
+		if size != want {
+			return fmt.Errorf("cluster: backend %v (%s) serves %d bytes, want %d", id, p.addr, size, want)
+		}
+	}
+	return nil
+}
+
+// elemAddr locates logical byte offset off (row-major elements within
+// each stripe, matching internal/dev and the paper's numbering).
+func (v *Volume) elemAddr(off int64) (stripe, disk, row int, inner int64) {
+	elem := off / v.elementSize
+	inner = off % v.elementSize
+	perStripe := int64(v.n) * int64(v.n)
+	stripe = int(elem / perStripe)
+	idx := elem % perStripe
+	row = int(idx / int64(v.n))
+	disk = int(idx % int64(v.n))
+	return stripe, disk, row, inner
+}
+
+// storeOffset is the byte offset of element (stripe, row) within a disk.
+func (v *Volume) storeOffset(stripe, row int) int64 {
+	return (int64(stripe)*int64(v.n) + int64(row)) * v.elementSize
+}
+
+// locations returns every physical home of data element (disk, row):
+// the data disk first, then each mirror array's replica. Under the
+// shifted arrangement the replica is always on a different backend than
+// any other copy, which is what makes failover and one-pass rebuild fan
+// out (Properties 1 and 2).
+func (v *Volume) locations(disk, row int) []location {
+	locs := make([]location, 0, 1+len(v.arch.Mirrors()))
+	locs = append(locs, location{raid.DiskID{Role: raid.RoleData, Index: disk}, row})
+	for mi, arr := range v.arch.Mirrors() {
+		m := arr.MirrorOf(layout.Addr{Disk: disk, Row: row})
+		locs = append(locs, location{raid.DiskID{Role: mirrorRoles[mi], Index: m.Disk}, m.Row})
+	}
+	return locs
+}
+
+// available reports whether a disk can serve the given stripe: it is
+// healthy, or the rebuild watermark has passed the stripe.
+func (v *Volume) available(id raid.DiskID, stripe int) bool {
+	return !v.failed[id] || stripe < v.progress[id]
+}
+
+// fetchSpans serves every span from its first surviving location,
+// failing over to later locations (replica backends) as groups fail.
+// Call with v.mu held (read or write). countDegraded attributes
+// non-primary serving to the DegradedReads counter (user reads only; a
+// rebuild reads replicas by design).
+func (v *Volume) fetchSpans(spans []*span, countDegraded bool) error {
+	pending := spans
+	for len(pending) > 0 {
+		groups := map[raid.DiskID][]*span{}
+		for _, s := range pending {
+			locs := v.locations(s.disk, s.row)
+			for s.src < len(locs) && !v.available(locs[s.src].id, s.stripe) {
+				s.src++
+			}
+			if s.src >= len(locs) {
+				return fmt.Errorf("%w: data[%d] stripe %d row %d", ErrDataLoss, s.disk, s.stripe, s.row)
+			}
+			s.loc = locs[s.src]
+			groups[s.loc.id] = append(groups[s.loc.id], s)
+		}
+		type result struct {
+			spans  []*span // spans that must fail over
+			served int     // degraded spans that were served
+		}
+		results := make(chan result, len(groups))
+		for id, g := range groups {
+			go func(id raid.DiskID, g []*span) {
+				failed := v.fetchGroup(id, g)
+				degraded := 0
+				if countDegraded && id.Role != raid.RoleData {
+					degraded = len(g) - len(failed)
+				}
+				results <- result{failed, degraded}
+			}(id, g)
+		}
+		pending = nil
+		for range groups {
+			r := <-results
+			v.stats.degradedReads.Add(int64(r.served))
+			for _, s := range r.spans {
+				s.src++
+				pending = append(pending, s)
+			}
+			v.stats.failovers.Add(int64(len(r.spans)))
+		}
+	}
+	return nil
+}
+
+// fetchGroup gathers one backend's spans in MaxBatch-sized OpReadV
+// round trips and returns the spans it could not serve.
+func (v *Volume) fetchGroup(id raid.DiskID, spans []*span) []*span {
+	p := v.pools[id]
+	for start := 0; start < len(spans); start += v.cfg.MaxBatch {
+		end := start + v.cfg.MaxBatch
+		if end > len(spans) {
+			end = len(spans)
+		}
+		batch := spans[start:end]
+		vecs := make([]blockserver.Vec, len(batch))
+		dst := make([][]byte, len(batch))
+		for i, s := range batch {
+			vecs[i] = blockserver.Vec{Off: v.storeOffset(s.stripe, s.loc.row) + s.inner, Len: len(s.buf)}
+			dst[i] = s.buf
+		}
+		err := p.do(func(c *blockserver.Client) error { return c.ReadV(vecs, dst) })
+		if err != nil {
+			// This batch and everything after it fails over together; the
+			// pool has already retried and possibly marked the backend dead.
+			return spans[start:]
+		}
+	}
+	return nil
+}
+
+// ReadAt implements io.ReaderAt over the logical space, gathering
+// element ranges per backend and failing over to replica backends for
+// disks that are failed or unreachable.
+func (v *Volume) ReadAt(p []byte, off int64) (int, error) {
+	size := v.Size()
+	if off < 0 || off >= size {
+		return 0, fmt.Errorf("cluster: read offset %d outside volume of %d bytes", off, size)
+	}
+	n := len(p)
+	if off+int64(n) > size {
+		n = int(size - off)
+	}
+	v.mu.RLock()
+	spans := make([]*span, 0, int64(n)/v.elementSize+2)
+	for total := 0; total < n; {
+		stripe, disk, row, inner := v.elemAddr(off + int64(total))
+		chunk := v.elementSize - inner
+		if rem := int64(n - total); chunk > rem {
+			chunk = rem
+		}
+		spans = append(spans, &span{
+			stripe: stripe, disk: disk, row: row,
+			inner: inner, buf: p[total : total+int(chunk)],
+		})
+		total += int(chunk)
+	}
+	v.stats.elementsRead.Add(int64(len(spans)))
+	err := v.fetchSpans(spans, true)
+	v.mu.RUnlock()
+	if err != nil {
+		return 0, err
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// writeOp is one element-granular store write bound for a backend.
+type writeOp struct {
+	id   raid.DiskID
+	off  int64
+	data []byte
+	elem int // index of the logical element this op replicates
+}
+
+// WriteAt implements io.WriterAt over the logical space, fanning each
+// element out to its data disk and every replica backend concurrently
+// (a row write lands on all 2n backends in one parallel access —
+// Property 3 over the network). A backend that stops accepting writes
+// is auto-failed: its disk drops out and redundancy carries the data,
+// matching how internal/dev skips failed disks.
+func (v *Volume) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > v.Size() {
+		return 0, fmt.Errorf("cluster: write [%d,%d) outside volume of %d bytes", off, off+int64(len(p)), v.Size())
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var ops []writeOp
+	elems := 0
+	for total := 0; total < len(p); {
+		stripe, disk, row, inner := v.elemAddr(off + int64(total))
+		chunk := v.elementSize - inner
+		if rem := int64(len(p) - total); chunk > rem {
+			chunk = rem
+		}
+		var content []byte
+		if inner == 0 && chunk == v.elementSize {
+			content = p[total : total+int(chunk)]
+		} else {
+			// Sub-element write: read-modify-write the element.
+			content = make([]byte, v.elementSize)
+			s := &span{stripe: stripe, disk: disk, row: row, buf: content}
+			if err := v.fetchSpans([]*span{s}, false); err != nil {
+				return total, err
+			}
+			copy(content[inner:], p[total:total+int(chunk)])
+		}
+		v.stats.elementsWritten.Add(1)
+		for _, loc := range v.locations(disk, row) {
+			if !v.available(loc.id, stripe) {
+				continue // redundancy carries it until rebuild catches up
+			}
+			ops = append(ops, writeOp{
+				id: loc.id, off: v.storeOffset(stripe, loc.row), data: content, elem: elems,
+			})
+		}
+		elems++
+		total += int(chunk)
+	}
+	succeeded := make([]atomic.Int64, elems)
+	broken, err := v.runWrites(ops, succeeded)
+	for _, id := range broken {
+		if !v.failed[id] {
+			v.failed[id] = true
+			v.progress[id] = 0
+			v.stats.autoFailed.Add(1)
+		}
+	}
+	if err != nil {
+		return 0, err
+	}
+	for i := range succeeded {
+		if succeeded[i].Load() == 0 {
+			return 0, fmt.Errorf("%w: element %d of write at %d reached no backend", ErrDataLoss, i, off)
+		}
+	}
+	return len(p), nil
+}
+
+// runWrites issues ops grouped per backend, each group drained by up to
+// PoolSize workers. It returns the backends whose transport failed
+// (candidates for auto-fail) and the first remote (store-level) error,
+// which indicates a logic problem rather than a dead machine.
+func (v *Volume) runWrites(ops []writeOp, succeeded []atomic.Int64) ([]raid.DiskID, error) {
+	groups := map[raid.DiskID][]writeOp{}
+	for _, op := range ops {
+		groups[op.id] = append(groups[op.id], op)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var broken []raid.DiskID
+	var firstRemote error
+	for id, g := range groups {
+		p := v.pools[id]
+		workers := v.cfg.PoolSize
+		if workers > len(g) {
+			workers = len(g)
+		}
+		var next atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id raid.DiskID, g []writeOp, next *atomic.Int64) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(g) {
+						return
+					}
+					op := g[i]
+					err := p.do(func(c *blockserver.Client) error {
+						_, err := c.WriteAt(op.data, op.off)
+						return err
+					})
+					if err == nil {
+						succeeded[op.elem].Add(1)
+						continue
+					}
+					mu.Lock()
+					if blockserver.IsRemote(err) {
+						if firstRemote == nil {
+							firstRemote = fmt.Errorf("cluster: backend %v: %w", id, err)
+						}
+					} else {
+						broken = append(broken, id)
+					}
+					mu.Unlock()
+				}
+			}(id, g, &next)
+		}
+	}
+	wg.Wait()
+	return broken, firstRemote
+}
+
+// Fail declares a disk's content lost (its backend crashed, was wiped,
+// or is being decommissioned). Service continues from replicas; the
+// bytes are restored by RebuildDisk, optionally after ReplaceBackend
+// points the disk at a fresh server.
+func (v *Volume) Fail(id raid.DiskID) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.pools[id]; !ok {
+		return fmt.Errorf("cluster: unknown disk %v", id)
+	}
+	if v.failed[id] {
+		return fmt.Errorf("%w: %v already failed", ErrDiskFailed, id)
+	}
+	v.failed[id] = true
+	v.progress[id] = 0
+	return nil
+}
+
+// ReplaceBackend points a disk at a new (typically fresh) backend,
+// closing the old pool. The usual sequence for a lost machine is
+// Fail → ReplaceBackend → RebuildDisk.
+func (v *Volume) ReplaceBackend(id raid.DiskID, addr string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	old, ok := v.pools[id]
+	if !ok {
+		return fmt.Errorf("cluster: unknown disk %v", id)
+	}
+	old.close()
+	v.pools[id] = newPool(addr, v.cfg)
+	v.addrs[id] = addr
+	return nil
+}
+
+// FailedDisks returns the disks currently marked failed.
+func (v *Volume) FailedDisks() []raid.DiskID {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var out []raid.DiskID
+	for id := range v.failed {
+		out = append(out, id)
+	}
+	sortDisks(out)
+	return out
+}
+
+// Health returns a snapshot of cluster-wide and per-backend counters.
+func (v *Volume) Health() Health {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	h := Health{
+		ElementsRead:    v.stats.elementsRead.Load(),
+		ElementsWritten: v.stats.elementsWritten.Load(),
+		DegradedReads:   v.stats.degradedReads.Load(),
+		Failovers:       v.stats.failovers.Load(),
+		AutoFailed:      v.stats.autoFailed.Load(),
+		Rebuilds:        v.stats.rebuilds.Load(),
+		RebuildBytes:    v.stats.rebuildBytes.Load(),
+		RebuildSeconds:  float64(v.stats.rebuildNanos.Load()) / 1e9,
+	}
+	if h.RebuildSeconds > 0 {
+		h.RebuildMBps = float64(h.RebuildBytes) / 1e6 / h.RebuildSeconds
+	}
+	for id, p := range v.pools {
+		h.Backends = append(h.Backends, BackendHealth{
+			ID:       id,
+			Addr:     p.addr,
+			Dead:     p.isDead(),
+			Failed:   v.failed[id],
+			Requests: p.stats.requests.Load(),
+			Retries:  p.stats.retries.Load(),
+			Dials:    p.stats.dials.Load(),
+			Errors:   p.stats.errors.Load(),
+		})
+	}
+	sort.Slice(h.Backends, func(i, j int) bool {
+		a, b := h.Backends[i].ID, h.Backends[j].ID
+		if a.Role != b.Role {
+			return a.Role < b.Role
+		}
+		return a.Index < b.Index
+	})
+	return h
+}
+
+func sortDisks(ids []raid.DiskID) {
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Role != ids[j].Role {
+			return ids[i].Role < ids[j].Role
+		}
+		return ids[i].Index < ids[j].Index
+	})
+}
+
+// Scrub streams every healthy disk's content stripe-batch by
+// stripe-batch and verifies each replica against its data element,
+// returning ErrScrubMismatch (wrapped with the first divergence) on
+// inconsistency. Disks that are failed or unreachable are skipped.
+func (v *Volume) Scrub() error {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	batch := v.cfg.RebuildBatch
+	disks := v.arch.Disks()
+	rowBytes := int64(v.n) * v.elementSize
+	for s0 := 0; s0 < v.stripes; s0 += batch {
+		s1 := s0 + batch
+		if s1 > v.stripes {
+			s1 = v.stripes
+		}
+		// One contiguous read per disk for the whole stripe batch.
+		content := map[raid.DiskID][]byte{}
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for _, id := range disks {
+			if !v.available(id, s1-1) && !v.available(id, s0) {
+				continue
+			}
+			wg.Add(1)
+			go func(id raid.DiskID) {
+				defer wg.Done()
+				buf := make([]byte, int64(s1-s0)*rowBytes)
+				err := v.pools[id].do(func(c *blockserver.Client) error {
+					_, err := c.ReadAt(buf, int64(s0)*rowBytes)
+					return err
+				})
+				if err != nil {
+					return // unreachable: skip, like a failed disk
+				}
+				mu.Lock()
+				content[id] = buf
+				mu.Unlock()
+			}(id)
+		}
+		wg.Wait()
+		for stripe := s0; stripe < s1; stripe++ {
+			base := int64(stripe-s0) * rowBytes
+			for disk := 0; disk < v.n; disk++ {
+				for row := 0; row < v.n; row++ {
+					locs := v.locations(disk, row)
+					data, ok := content[locs[0].id]
+					if !ok || !v.available(locs[0].id, stripe) {
+						continue
+					}
+					want := data[base+int64(row)*v.elementSize : base+int64(row+1)*v.elementSize]
+					for _, loc := range locs[1:] {
+						repl, ok := content[loc.id]
+						if !ok || !v.available(loc.id, stripe) {
+							continue
+						}
+						got := repl[base+int64(loc.row)*v.elementSize : base+int64(loc.row+1)*v.elementSize]
+						if !bytes.Equal(want, got) {
+							return fmt.Errorf("%w: %v of data[%d] stripe %d row %d",
+								ErrScrubMismatch, loc.id, disk, stripe, row)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

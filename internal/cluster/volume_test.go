@@ -1,0 +1,448 @@
+package cluster
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"shiftedmirror/internal/blockserver"
+	"shiftedmirror/internal/dev"
+	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/raid"
+)
+
+// testBackends is a set of in-process store servers, one per disk.
+type testBackends struct {
+	t       *testing.T
+	addrs   map[raid.DiskID]string
+	servers map[raid.DiskID]*blockserver.Server
+	stores  map[raid.DiskID]*dev.MemStore
+}
+
+// startBackends serves one MemStore per disk of the architecture.
+func startBackends(t *testing.T, arch *raid.Mirror, elementSize int64, stripes int) *testBackends {
+	t.Helper()
+	b := &testBackends{
+		t:       t,
+		addrs:   map[raid.DiskID]string{},
+		servers: map[raid.DiskID]*blockserver.Server{},
+		stores:  map[raid.DiskID]*dev.MemStore{},
+	}
+	perDisk := int64(stripes) * int64(arch.N()) * elementSize
+	for _, id := range arch.Disks() {
+		store := dev.NewMemStore(perDisk)
+		srv := blockserver.NewStoreServer(store)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.addrs[id] = addr.String()
+		b.servers[id] = srv
+		b.stores[id] = store
+	}
+	t.Cleanup(b.closeAll)
+	return b
+}
+
+func (b *testBackends) closeAll() {
+	for _, srv := range b.servers {
+		srv.Close()
+	}
+}
+
+// kill closes one backend's server so its port stops answering.
+func (b *testBackends) kill(id raid.DiskID) {
+	b.t.Helper()
+	b.servers[id].Close()
+}
+
+// replace tears down a disk's server and serves a fresh zeroed store,
+// returning its address.
+func (b *testBackends) replace(id raid.DiskID) string {
+	b.t.Helper()
+	b.servers[id].Close()
+	store := dev.NewMemStore(b.stores[id].Size())
+	srv := blockserver.NewStoreServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	b.stores[id] = store
+	b.servers[id] = srv // closeAll picks up the replacement
+	return addr.String()
+}
+
+// restartServer rebinds a store on a fixed address (a rebooted backend
+// whose disk content survived).
+func restartServer(store blockserver.Store, addr string) (*blockserver.Server, error) {
+	srv := blockserver.NewStoreServer(store)
+	if _, err := srv.Listen(addr); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// fastConfig keeps failover timings test-sized.
+func fastConfig(elementSize int64, stripes int) Config {
+	return Config{
+		ElementSize:  elementSize,
+		Stripes:      stripes,
+		PoolSize:     3,
+		DialTimeout:  time.Second,
+		OpTimeout:    2 * time.Second,
+		Retries:      1,
+		RetryBackoff: 5 * time.Millisecond,
+		DeadAfter:    2,
+		ProbeEvery:   50 * time.Millisecond,
+		MaxProbe:     200 * time.Millisecond,
+		MaxBatch:     64,
+		RebuildBatch: 2,
+	}
+}
+
+func newTestVolume(t *testing.T, arch *raid.Mirror, elementSize int64, stripes int) (*Volume, *testBackends) {
+	t.Helper()
+	backends := startBackends(t, arch, elementSize, stripes)
+	v, err := New(arch, backends.addrs, fastConfig(elementSize, stripes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(v.Close)
+	if err := v.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return v, backends
+}
+
+func randomPayload(t *testing.T, v *Volume, seed int64) []byte {
+	t.Helper()
+	payload := make([]byte, v.Size())
+	rand.New(rand.NewSource(seed)).Read(payload)
+	if _, err := v.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+func TestVolumeRoundTrip(t *testing.T) {
+	arch := raid.NewMirror(layout.NewShifted(4))
+	v, _ := newTestVolume(t, arch, 64, 3)
+	payload := randomPayload(t, v, 1)
+	got := make([]byte, v.Size())
+	if _, err := v.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("full read mismatch")
+	}
+	// Sub-element read-modify-write and unaligned read.
+	if _, err := v.WriteAt([]byte("over n sockets"), 100); err != nil {
+		t.Fatal(err)
+	}
+	small := make([]byte, 14)
+	if _, err := v.ReadAt(small, 100); err != nil {
+		t.Fatal(err)
+	}
+	if string(small) != "over n sockets" {
+		t.Fatalf("unaligned read: %q", small)
+	}
+	if err := v.Scrub(); err != nil {
+		t.Fatal(err)
+	}
+	h := v.Health()
+	if h.ElementsRead == 0 || h.ElementsWritten == 0 {
+		t.Fatalf("health counters flat: %+v", h)
+	}
+	if h.DegradedReads != 0 || h.Failovers != 0 {
+		t.Fatalf("healthy volume reported degraded service: %+v", h)
+	}
+	if len(h.Backends) != len(arch.Disks()) {
+		t.Fatalf("health lists %d backends, want %d", len(h.Backends), len(arch.Disks()))
+	}
+}
+
+func TestVolumeScrubDetectsCorruption(t *testing.T) {
+	arch := raid.NewMirror(layout.NewShifted(3))
+	v, backends := newTestVolume(t, arch, 64, 2)
+	randomPayload(t, v, 2)
+	// Flip a byte on one mirror store behind the volume's back.
+	store := backends.stores[raid.DiskID{Role: raid.RoleMirror, Index: 1}]
+	var b [1]byte
+	if _, err := store.ReadAt(b[:], 5); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := store.WriteAt(b[:], 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Scrub(); err == nil {
+		t.Fatal("scrub missed a corrupted replica")
+	}
+}
+
+func TestVolumeDegradedReadAfterFail(t *testing.T) {
+	for _, arrName := range []string{"shifted", "traditional"} {
+		t.Run(arrName, func(t *testing.T) {
+			var arr layout.Arrangement
+			if arrName == "shifted" {
+				arr = layout.NewShifted(4)
+			} else {
+				arr = layout.NewTraditional(4)
+			}
+			v, _ := newTestVolume(t, raid.NewMirror(arr), 64, 2)
+			payload := randomPayload(t, v, 3)
+			if err := v.Fail(raid.DiskID{Role: raid.RoleData, Index: 1}); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, v.Size())
+			if _, err := v.ReadAt(got, 0); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatal("degraded read mismatch")
+			}
+			if h := v.Health(); h.DegradedReads == 0 {
+				t.Fatalf("no degraded reads recorded: %+v", h)
+			}
+			// Writes while degraded skip the failed disk but stay readable.
+			patch := []byte("written while degraded")
+			if _, err := v.WriteAt(patch, 64); err != nil {
+				t.Fatal(err)
+			}
+			check := make([]byte, len(patch))
+			if _, err := v.ReadAt(check, 64); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(check, patch) {
+				t.Fatal("degraded write lost")
+			}
+		})
+	}
+}
+
+func TestVolumeFailoverToReplicaBackendOnDeadServer(t *testing.T) {
+	arch := raid.NewMirror(layout.NewShifted(4))
+	v, backends := newTestVolume(t, arch, 64, 2)
+	payload := randomPayload(t, v, 4)
+	// Kill a data backend outright — no Fail call. Reads must route to
+	// the replicas on other servers via the pool's dead-marking.
+	backends.kill(raid.DiskID{Role: raid.RoleData, Index: 2})
+	got := make([]byte, v.Size())
+	if _, err := v.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("failover read mismatch")
+	}
+	h := v.Health()
+	if h.Failovers == 0 {
+		t.Fatalf("no failovers recorded: %+v", h)
+	}
+	var deadSeen bool
+	for _, b := range h.Backends {
+		if b.ID == (raid.DiskID{Role: raid.RoleData, Index: 2}) && b.Dead {
+			deadSeen = true
+		}
+	}
+	if !deadSeen {
+		t.Fatalf("dead backend not marked in health: %+v", h.Backends)
+	}
+	// A second full read fails over again, now fast-failing on the dead
+	// pool instead of re-timing-out.
+	if _, err := v.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// expectedDiskImage computes what a disk's store must contain given the
+// logical payload — the cluster equivalent of a local rebuild.
+func expectedDiskImage(arch *raid.Mirror, id raid.DiskID, payload []byte, elementSize int64, stripes int) []byte {
+	n := arch.N()
+	img := make([]byte, int64(stripes)*int64(n)*elementSize)
+	elem := func(stripe, disk, row int) []byte {
+		off := (int64(stripe)*int64(n)*int64(n) + int64(row)*int64(n) + int64(disk)) * elementSize
+		return payload[off : off+elementSize]
+	}
+	for stripe := 0; stripe < stripes; stripe++ {
+		for r := 0; r < n; r++ {
+			var src []byte
+			if id.Role == raid.RoleData {
+				src = elem(stripe, id.Index, r)
+			} else {
+				var arr layout.Arrangement
+				for mi, a := range arch.Mirrors() {
+					if mirrorRoles[mi] == id.Role {
+						arr = a
+					}
+				}
+				d := arr.DataOf(layout.Addr{Disk: id.Index, Row: r})
+				src = elem(stripe, d.Disk, d.Row)
+			}
+			off := (int64(stripe)*int64(n) + int64(r)) * elementSize
+			copy(img[off:], src)
+		}
+	}
+	return img
+}
+
+func TestRebuildDiskMatchesLocalRebuild(t *testing.T) {
+	const n, stripes = 4, 6
+	const elementSize = 128
+	for _, arrName := range []string{"shifted", "traditional"} {
+		t.Run(arrName, func(t *testing.T) {
+			var arr layout.Arrangement
+			if arrName == "shifted" {
+				arr = layout.NewShifted(n)
+			} else {
+				arr = layout.NewTraditional(n)
+			}
+			arch := raid.NewMirror(arr)
+			v, backends := newTestVolume(t, arch, elementSize, stripes)
+			payload := randomPayload(t, v, 5)
+			lost := raid.DiskID{Role: raid.RoleData, Index: 0}
+			if err := v.Fail(lost); err != nil {
+				t.Fatal(err)
+			}
+			if err := v.ReplaceBackend(lost, backends.replace(lost)); err != nil {
+				t.Fatal(err)
+			}
+			if err := v.RebuildDisk(lost); err != nil {
+				t.Fatal(err)
+			}
+			// The replacement store must hold exactly what a local rebuild
+			// produces for this disk.
+			want := expectedDiskImage(arch, lost, payload, elementSize, stripes)
+			got := make([]byte, len(want))
+			if _, err := backends.stores[lost].ReadAt(got, 0); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("network rebuild diverges from local rebuild image")
+			}
+			// Cross-check against internal/dev doing the same rebuild.
+			local := dev.New(arch, elementSize, stripes)
+			if _, err := local.WriteAt(payload, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := local.FailDisk(lost); err != nil {
+				t.Fatal(err)
+			}
+			if err := local.Rebuild(lost); err != nil {
+				t.Fatal(err)
+			}
+			localRead := make([]byte, local.Size())
+			if _, err := local.ReadAt(localRead, 0); err != nil {
+				t.Fatal(err)
+			}
+			clusterRead := make([]byte, v.Size())
+			if _, err := v.ReadAt(clusterRead, 0); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(clusterRead, localRead) {
+				t.Fatal("cluster and local post-rebuild reads diverge")
+			}
+			if err := v.Scrub(); err != nil {
+				t.Fatal(err)
+			}
+			if len(v.FailedDisks()) != 0 {
+				t.Fatalf("still failed after rebuild: %v", v.FailedDisks())
+			}
+			if h := v.Health(); h.Rebuilds != 1 || h.RebuildBytes == 0 || h.RebuildMBps <= 0 {
+				t.Fatalf("rebuild counters wrong: %+v", h)
+			}
+		})
+	}
+}
+
+func TestRebuildMirrorDisk(t *testing.T) {
+	arch := raid.NewMirror(layout.NewShifted(4))
+	v, backends := newTestVolume(t, arch, 64, 4)
+	payload := randomPayload(t, v, 6)
+	lost := raid.DiskID{Role: raid.RoleMirror, Index: 2}
+	if err := v.Fail(lost); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.ReplaceBackend(lost, backends.replace(lost)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.RebuildDisk(lost); err != nil {
+		t.Fatal(err)
+	}
+	want := expectedDiskImage(arch, lost, payload, 64, 4)
+	got := make([]byte, len(want))
+	if _, err := backends.stores[lost].ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("mirror rebuild image mismatch")
+	}
+	if err := v.Scrub(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVolumeWritesDuringRebuildStayConsistent(t *testing.T) {
+	arch := raid.NewMirror(layout.NewShifted(4))
+	v, backends := newTestVolume(t, arch, 256, 8)
+	payload := randomPayload(t, v, 7)
+	lost := raid.DiskID{Role: raid.RoleData, Index: 1}
+	if err := v.Fail(lost); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.ReplaceBackend(lost, backends.replace(lost)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- v.RebuildDisk(lost) }()
+	// Concurrent writes while the rebuild walks its stripe slices.
+	rng := rand.New(rand.NewSource(8))
+	buf := make([]byte, 256)
+	for i := 0; i < 30; i++ {
+		off := rng.Int63n(v.Size() - int64(len(buf)))
+		rng.Read(buf)
+		if _, err := v.WriteAt(buf, off); err != nil {
+			t.Fatal(err)
+		}
+		copy(payload[off:], buf)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, v.Size())
+	if _, err := v.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("post-rebuild content lost concurrent writes")
+	}
+	if err := v.Scrub(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVolumeErrors(t *testing.T) {
+	arch := raid.NewMirror(layout.NewShifted(3))
+	v, _ := newTestVolume(t, arch, 64, 2)
+	bogus := raid.DiskID{Role: raid.RoleData, Index: 9}
+	if err := v.Fail(bogus); err == nil {
+		t.Fatal("failed an unknown disk")
+	}
+	if err := v.RebuildDisk(raid.DiskID{Role: raid.RoleData, Index: 0}); err == nil {
+		t.Fatal("rebuilt a healthy disk")
+	}
+	if _, err := v.ReadAt(make([]byte, 1), v.Size()+1); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if _, err := v.WriteAt(make([]byte, 2), v.Size()-1); err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+	// Missing backend address at construction.
+	if _, err := New(arch, map[raid.DiskID]string{}, Config{}); err == nil {
+		t.Fatal("volume built without backends")
+	}
+	// Parity architectures are rejected.
+	if _, err := New(raid.NewMirrorWithParity(layout.NewShifted(3)), map[raid.DiskID]string{}, Config{}); err == nil {
+		t.Fatal("parity architecture accepted")
+	}
+}
