@@ -529,10 +529,14 @@ func cmdCluster(args []string) error {
 	if _, err := v.WriteAt(payload, 0); err != nil {
 		return err
 	}
-	if err := v.Scrub(); err != nil {
+	rep, err := v.Scrub()
+	if err != nil {
 		return err
 	}
-	fmt.Println("filled; scrub clean")
+	if len(rep.Skipped) > 0 {
+		return fmt.Errorf("scrub skipped backends %v", rep.Skipped)
+	}
+	fmt.Printf("filled; scrub clean (%d elements compared)\n", rep.ElementsCompared)
 
 	if *failSpec != "" {
 		failed, err := parseFailures(*failSpec)
@@ -578,10 +582,14 @@ func cmdCluster(args []string) error {
 		if !bytes.Equal(check, payload) {
 			return fmt.Errorf("post-rebuild read returned wrong data")
 		}
-		if err := v.Scrub(); err != nil {
+		rep, err := v.Scrub()
+		if err != nil {
 			return err
 		}
-		fmt.Println("post-rebuild scrub clean")
+		if len(rep.Skipped) > 0 {
+			return fmt.Errorf("post-rebuild scrub skipped backends %v", rep.Skipped)
+		}
+		fmt.Printf("post-rebuild scrub clean (%d elements compared)\n", rep.ElementsCompared)
 	}
 
 	h := v.Health()

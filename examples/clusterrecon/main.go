@@ -153,8 +153,12 @@ func measure(r *run, element int64, stripes int, rate float64) error {
 	if !bytes.Equal(check, payload) {
 		return fmt.Errorf("post-rebuild read diverges from written payload")
 	}
-	if err := v.Scrub(); err != nil {
+	rep, err := v.Scrub()
+	if err != nil {
 		return err
+	}
+	if rep.ElementsCompared == 0 || len(rep.Skipped) > 0 {
+		return fmt.Errorf("scrub verified nothing: %d elements compared, skipped %v", rep.ElementsCompared, rep.Skipped)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package blockserver
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"math/rand"
 	"net"
@@ -439,6 +440,44 @@ func TestStoreServerRejectsManagement(t *testing.T) {
 	}
 	if string(got) != "raw disk" {
 		t.Fatalf("store round trip: %q", got)
+	}
+}
+
+// TestServerReadVRejectsOversizedRanges speaks the wire format directly:
+// a gather whose single range claims 4 GiB-1 bytes, then one whose
+// ranges individually fit but sum past MaxIOSize, must both come back as
+// remote errors — never a huge allocation, and never the negative-total
+// getFrame panic that int(uint32) arithmetic allowed on 32-bit hosts.
+func TestServerReadVRejectsOversizedRanges(t *testing.T) {
+	addr, _ := startStoreServer(t, 1024)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := []byte{OpReadV}
+	req = binary.BigEndian.AppendUint32(req, 1)
+	req = binary.BigEndian.AppendUint64(req, 0)
+	req = binary.BigEndian.AppendUint32(req, 0xFFFFFFFF)
+	if _, err := conn.Write(req); err != nil {
+		t.Fatal(err)
+	}
+	if err := readStatus(conn); !IsRemote(err) {
+		t.Fatalf("oversized gather range answered %v, want remote error", err)
+	}
+	// The rejection left the stream in sync: send three 30 MiB ranges
+	// whose sum exceeds the 64 MiB limit on the same connection.
+	req = []byte{OpReadV}
+	req = binary.BigEndian.AppendUint32(req, 3)
+	for i := 0; i < 3; i++ {
+		req = binary.BigEndian.AppendUint64(req, 0)
+		req = binary.BigEndian.AppendUint32(req, 30<<20)
+	}
+	if _, err := conn.Write(req); err != nil {
+		t.Fatal(err)
+	}
+	if err := readStatus(conn); !IsRemote(err) {
+		t.Fatalf("oversized gather total answered %v, want remote error", err)
 	}
 }
 

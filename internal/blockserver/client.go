@@ -137,12 +137,12 @@ func (c *Client) ReadV(vecs []Vec, dst [][]byte) error {
 	if len(vecs) > MaxVecCount {
 		return fmt.Errorf("%w: %d ranges exceeds limit %d", ErrProtocol, len(vecs), MaxVecCount)
 	}
-	total := 0
+	var total int64
 	for i, v := range vecs {
 		if v.Len < 0 || len(dst[i]) != v.Len {
 			return fmt.Errorf("blockserver: ReadV buffer %d has %d bytes for a %d-byte range", i, len(dst[i]), v.Len)
 		}
-		total += v.Len
+		total += int64(v.Len)
 	}
 	if total > MaxIOSize {
 		return fmt.Errorf("%w: gather of %d bytes exceeds limit", ErrProtocol, total)
@@ -164,7 +164,7 @@ func (c *Client) ReadV(vecs []Vec, dst [][]byte) error {
 		if err != nil {
 			return err
 		}
-		if int(m) != total {
+		if int64(m) != total {
 			return fmt.Errorf("%w: server returned %d bytes for a %d-byte gather", ErrProtocol, m, total)
 		}
 		for _, d := range dst {

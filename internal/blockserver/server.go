@@ -227,18 +227,25 @@ func (s *Server) dispatch(conn net.Conn, op byte) error {
 			return err
 		}
 		vecs := make([]Vec, count)
-		total := 0
+		// Sum as int64: on 32-bit platforms int(uint32) can go negative,
+		// which would slip past the limit check and crash getFrame.
+		var total int64
 		for i := range vecs {
 			vecs[i].Off = int64(binary.BigEndian.Uint64((*vecBuf)[12*i:]))
-			vecs[i].Len = int(binary.BigEndian.Uint32((*vecBuf)[12*i+8:]))
-			total += vecs[i].Len
+			l := binary.BigEndian.Uint32((*vecBuf)[12*i+8:])
+			if l > MaxIOSize {
+				putFrame(vecBuf)
+				return writeErr(conn, fmt.Errorf("%w: gather range of %d bytes exceeds limit", ErrProtocol, l))
+			}
+			vecs[i].Len = int(l)
+			total += int64(l)
 		}
 		putFrame(vecBuf)
 		if total > MaxIOSize {
 			return writeErr(conn, fmt.Errorf("%w: gather of %d bytes exceeds limit", ErrProtocol, total))
 		}
 		// One frame: status | total | range 0 | range 1 | ...
-		frame := getFrame(5 + total)
+		frame := getFrame(5 + int(total))
 		defer putFrame(frame)
 		at := 5
 		for _, v := range vecs {
@@ -248,7 +255,7 @@ func (s *Server) dispatch(conn net.Conn, op byte) error {
 			at += v.Len
 		}
 		if s.readRate != nil {
-			s.readRate.wait(total)
+			s.readRate.wait(int(total))
 		}
 		(*frame)[0] = statusOK
 		binary.BigEndian.PutUint32((*frame)[1:5], uint32(total))

@@ -21,51 +21,68 @@ import (
 // backend and the same loop drains it sequentially at one disk's
 // bandwidth. The rebuild is incremental: the device lock is released
 // between stripe slices so reads and writes keep flowing, and rebuilt
-// stripes are served from the replacement backend immediately.
+// stripes are served from the replacement backend immediately. Each
+// slice starts at the current watermark, so when a write that missed the
+// replacement backend rolls the watermark back (see WriteAt), the
+// affected stripes are recovered again before the rebuild can finish.
+// Only one rebuild may run per disk; a second concurrent call errors.
 func (v *Volume) RebuildDisk(id raid.DiskID) error {
-	v.mu.RLock()
-	known := v.pools[id] != nil
-	isFailed := v.failed[id]
-	v.mu.RUnlock()
-	if !known {
+	v.mu.Lock()
+	if v.pools[id] == nil {
+		v.mu.Unlock()
 		return fmt.Errorf("cluster: unknown disk %v", id)
 	}
-	if !isFailed {
+	if !v.failed[id] {
+		v.mu.Unlock()
 		return fmt.Errorf("cluster: disk %v is not failed", id)
 	}
+	if v.rebuilding[id] {
+		v.mu.Unlock()
+		return fmt.Errorf("cluster: disk %v is already rebuilding", id)
+	}
+	v.rebuilding[id] = true
+	v.mu.Unlock()
+	defer func() {
+		v.mu.Lock()
+		delete(v.rebuilding, id)
+		v.mu.Unlock()
+	}()
 	start := time.Now()
 	var rebuilt int64
-	for s0 := 0; s0 < v.stripes; s0 += v.cfg.RebuildBatch {
-		s1 := s0 + v.cfg.RebuildBatch
-		if s1 > v.stripes {
-			s1 = v.stripes
-		}
-		n, err := v.rebuildSlice(id, s0, s1)
+	for {
+		done, n, err := v.rebuildSlice(id)
 		rebuilt += n
 		if err != nil {
 			return err
 		}
+		if done {
+			break
+		}
 	}
-	v.mu.Lock()
-	delete(v.failed, id)
-	delete(v.progress, id)
-	v.mu.Unlock()
 	v.stats.rebuilds.Add(1)
 	v.stats.rebuildBytes.Add(rebuilt)
 	v.stats.rebuildNanos.Add(time.Since(start).Nanoseconds())
 	return nil
 }
 
-// rebuildSlice recovers stripes [s0, s1) of a failed disk under the
-// exclusive lock: fetch every lost element from surviving replicas
-// (fanning out per backend, with failover), then write the recovered
-// bytes to the replacement backend. The watermark only advances once
-// the writes are durable on the backend.
-func (v *Volume) rebuildSlice(id raid.DiskID, s0, s1 int) (int64, error) {
+// rebuildSlice recovers the next RebuildBatch stripes past the watermark
+// under the exclusive lock: fetch every lost element from surviving
+// replicas (fanning out per backend, with failover), then write the
+// recovered bytes to the replacement backend. The watermark only
+// advances once the writes are durable there, and the final slice
+// returns the disk to service under the same lock hold — so a failed
+// user write can never slip between "last stripe recovered" and "disk
+// marked clean".
+func (v *Volume) rebuildSlice(id raid.DiskID) (done bool, written int64, err error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if !v.failed[id] {
-		return 0, fmt.Errorf("cluster: disk %v is not failed", id)
+		return false, 0, fmt.Errorf("cluster: disk %v is not failed", id)
+	}
+	s0 := v.progress[id]
+	s1 := s0 + v.cfg.RebuildBatch
+	if s1 > v.stripes {
+		s1 = v.stripes
 	}
 	perStripe := v.n // lost elements per stripe on one disk
 	count := (s1 - s0) * perStripe
@@ -87,23 +104,28 @@ func (v *Volume) rebuildSlice(id raid.DiskID, s0, s1 int) (int64, error) {
 			spans = append(spans, &span{
 				stripe: stripe, disk: dataAddr.Disk, row: dataAddr.Row, buf: b,
 			})
-			ops = append(ops, writeOp{id: id, off: v.storeOffset(stripe, r), data: b, elem: i})
+			ops = append(ops, writeOp{id: id, off: v.storeOffset(stripe, r), data: b, elem: i, stripe: stripe})
 			i++
 		}
 	}
 	if err := v.fetchSpans(spans, false); err != nil {
-		return 0, err
+		return false, 0, err
 	}
 	counts := make([]atomic.Int64, count)
 	broken, err := v.runWrites(ops, counts)
 	if err != nil {
-		return 0, err
+		return false, 0, err
 	}
 	if len(broken) > 0 {
-		return 0, fmt.Errorf("cluster: replacement backend %s for %v not accepting writes", v.addrs[id], id)
+		return false, 0, fmt.Errorf("cluster: replacement backend %s for %v not accepting writes", v.addrs[id], id)
 	}
 	v.progress[id] = s1
-	return int64(len(buf)), nil
+	if s1 >= v.stripes {
+		delete(v.failed, id)
+		delete(v.progress, id)
+		return true, int64(len(buf)), nil
+	}
+	return false, int64(len(buf)), nil
 }
 
 // mirrorArrangement returns the arrangement of the mirror array with

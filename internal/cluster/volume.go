@@ -52,8 +52,12 @@ type Volume struct {
 	// failed marks disks whose content is declared lost; progress is the
 	// rebuild watermark (stripes already recovered onto the replacement
 	// backend, served and written there even before RebuildDisk ends).
-	failed   map[raid.DiskID]bool
-	progress map[raid.DiskID]int
+	// rebuilding marks disks with a RebuildDisk in flight, so a second
+	// concurrent rebuild of the same disk is rejected instead of racing
+	// on the watermark.
+	failed     map[raid.DiskID]bool
+	progress   map[raid.DiskID]int
+	rebuilding map[raid.DiskID]bool
 
 	stats volumeStats
 }
@@ -126,6 +130,7 @@ func New(arch *raid.Mirror, backends map[raid.DiskID]string, cfg Config) (*Volum
 		addrs:       map[raid.DiskID]string{},
 		failed:      map[raid.DiskID]bool{},
 		progress:    map[raid.DiskID]int{},
+		rebuilding:  map[raid.DiskID]bool{},
 	}
 	for _, id := range arch.Disks() {
 		addr, ok := backends[id]
@@ -305,8 +310,11 @@ func (v *Volume) fetchGroup(id raid.DiskID, spans []*span) []*span {
 // disks that are failed or unreachable.
 func (v *Volume) ReadAt(p []byte, off int64) (int, error) {
 	size := v.Size()
-	if off < 0 || off >= size {
-		return 0, fmt.Errorf("cluster: read offset %d outside volume of %d bytes", off, size)
+	if off < 0 {
+		return 0, fmt.Errorf("cluster: negative read offset %d", off)
+	}
+	if off >= size {
+		return 0, io.EOF
 	}
 	n := len(p)
 	if off+int64(n) > size {
@@ -340,10 +348,11 @@ func (v *Volume) ReadAt(p []byte, off int64) (int, error) {
 
 // writeOp is one element-granular store write bound for a backend.
 type writeOp struct {
-	id   raid.DiskID
-	off  int64
-	data []byte
-	elem int // index of the logical element this op replicates
+	id     raid.DiskID
+	off    int64
+	data   []byte
+	elem   int // index of the logical element this op replicates
+	stripe int // stripe the element belongs to, for watermark rollback
 }
 
 // WriteAt implements io.WriterAt over the logical space, fanning each
@@ -384,7 +393,7 @@ func (v *Volume) WriteAt(p []byte, off int64) (int, error) {
 				continue // redundancy carries it until rebuild catches up
 			}
 			ops = append(ops, writeOp{
-				id: loc.id, off: v.storeOffset(stripe, loc.row), data: content, elem: elems,
+				id: loc.id, off: v.storeOffset(stripe, loc.row), data: content, elem: elems, stripe: stripe,
 			})
 		}
 		elems++
@@ -392,11 +401,17 @@ func (v *Volume) WriteAt(p []byte, off int64) (int, error) {
 	}
 	succeeded := make([]atomic.Int64, elems)
 	broken, err := v.runWrites(ops, succeeded)
-	for _, id := range broken {
+	for id, minStripe := range broken {
 		if !v.failed[id] {
 			v.failed[id] = true
 			v.progress[id] = 0
 			v.stats.autoFailed.Add(1)
+		} else if v.progress[id] > minStripe {
+			// A disk mid-rebuild missed a write below its watermark: the
+			// rebuilt copy of that stripe is now stale. Pull the watermark
+			// back so reads fail over to the replicas that did take the
+			// write and the rebuild re-recovers everything from there.
+			v.progress[id] = minStripe
 		}
 	}
 	if err != nil {
@@ -412,16 +427,18 @@ func (v *Volume) WriteAt(p []byte, off int64) (int, error) {
 
 // runWrites issues ops grouped per backend, each group drained by up to
 // PoolSize workers. It returns the backends whose transport failed
-// (candidates for auto-fail) and the first remote (store-level) error,
-// which indicates a logic problem rather than a dead machine.
-func (v *Volume) runWrites(ops []writeOp, succeeded []atomic.Int64) ([]raid.DiskID, error) {
+// (candidates for auto-fail), each mapped to the lowest stripe among its
+// failed ops (so callers can roll a rebuild watermark back past every
+// missed write), and the first remote (store-level) error, which
+// indicates a logic problem rather than a dead machine.
+func (v *Volume) runWrites(ops []writeOp, succeeded []atomic.Int64) (map[raid.DiskID]int, error) {
 	groups := map[raid.DiskID][]writeOp{}
 	for _, op := range ops {
 		groups[op.id] = append(groups[op.id], op)
 	}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
-	var broken []raid.DiskID
+	broken := map[raid.DiskID]int{}
 	var firstRemote error
 	for id, g := range groups {
 		p := v.pools[id]
@@ -453,8 +470,8 @@ func (v *Volume) runWrites(ops []writeOp, succeeded []atomic.Int64) ([]raid.Disk
 						if firstRemote == nil {
 							firstRemote = fmt.Errorf("cluster: backend %v: %w", id, err)
 						}
-					} else {
-						broken = append(broken, id)
+					} else if cur, ok := broken[id]; !ok || op.stripe < cur {
+						broken[id] = op.stripe
 					}
 					mu.Unlock()
 				}
@@ -559,46 +576,93 @@ func sortDisks(ids []raid.DiskID) {
 	})
 }
 
+// ScrubReport summarizes a Scrub pass's coverage, so "clean" can be told
+// apart from "compared nothing".
+type ScrubReport struct {
+	// ElementsCompared counts replica elements checked against their
+	// data element.
+	ElementsCompared int64
+	// Skipped lists disks whose content went (at least partly)
+	// unverified: failed disks awaiting rebuild, and backends that were
+	// unreachable for at least one stripe batch.
+	Skipped []raid.DiskID
+}
+
+// readStore reads one backend's bytes through its pool in
+// MaxIOSize-bounded pieces, so a large buffer never trips the protocol's
+// per-request limit.
+func (v *Volume) readStore(id raid.DiskID, buf []byte, off int64) error {
+	for at := 0; at < len(buf); {
+		n := len(buf) - at
+		if n > blockserver.MaxIOSize {
+			n = blockserver.MaxIOSize
+		}
+		chunk := buf[at : at+n]
+		err := v.pools[id].do(func(c *blockserver.Client) error {
+			_, err := c.ReadAt(chunk, off+int64(at))
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		at += n
+	}
+	return nil
+}
+
 // Scrub streams every healthy disk's content stripe-batch by
 // stripe-batch and verifies each replica against its data element,
 // returning ErrScrubMismatch (wrapped with the first divergence) on
-// inconsistency. Disks that are failed or unreachable are skipped.
-func (v *Volume) Scrub() error {
+// inconsistency. Store-level (remote) read errors are returned — they
+// mean a misconfigured backend, not a dead one. Disks that are failed or
+// whose backend is unreachable are skipped and listed in the report, so
+// callers can tell a clean pass from an empty one.
+func (v *Volume) Scrub() (ScrubReport, error) {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
+	var report ScrubReport
 	batch := v.cfg.RebuildBatch
 	disks := v.arch.Disks()
 	rowBytes := int64(v.n) * v.elementSize
+	skipped := map[raid.DiskID]bool{}
 	for s0 := 0; s0 < v.stripes; s0 += batch {
 		s1 := s0 + batch
 		if s1 > v.stripes {
 			s1 = v.stripes
 		}
-		// One contiguous read per disk for the whole stripe batch.
+		// One gather per disk for the whole stripe batch.
 		content := map[raid.DiskID][]byte{}
 		var mu sync.Mutex
 		var wg sync.WaitGroup
+		var remoteErr error
 		for _, id := range disks {
 			if !v.available(id, s1-1) && !v.available(id, s0) {
+				skipped[id] = true
 				continue
 			}
 			wg.Add(1)
 			go func(id raid.DiskID) {
 				defer wg.Done()
 				buf := make([]byte, int64(s1-s0)*rowBytes)
-				err := v.pools[id].do(func(c *blockserver.Client) error {
-					_, err := c.ReadAt(buf, int64(s0)*rowBytes)
-					return err
-				})
-				if err != nil {
-					return // unreachable: skip, like a failed disk
-				}
+				err := v.readStore(id, buf, int64(s0)*rowBytes)
 				mu.Lock()
-				content[id] = buf
-				mu.Unlock()
+				defer mu.Unlock()
+				switch {
+				case err == nil:
+					content[id] = buf
+				case blockserver.IsRemote(err):
+					if remoteErr == nil {
+						remoteErr = fmt.Errorf("cluster: scrub read on %v: %w", id, err)
+					}
+				default:
+					skipped[id] = true // unreachable: skip, like a failed disk
+				}
 			}(id)
 		}
 		wg.Wait()
+		if remoteErr != nil {
+			return report, remoteErr
+		}
 		for stripe := s0; stripe < s1; stripe++ {
 			base := int64(stripe-s0) * rowBytes
 			for disk := 0; disk < v.n; disk++ {
@@ -616,13 +680,18 @@ func (v *Volume) Scrub() error {
 						}
 						got := repl[base+int64(loc.row)*v.elementSize : base+int64(loc.row+1)*v.elementSize]
 						if !bytes.Equal(want, got) {
-							return fmt.Errorf("%w: %v of data[%d] stripe %d row %d",
+							return report, fmt.Errorf("%w: %v of data[%d] stripe %d row %d",
 								ErrScrubMismatch, loc.id, disk, stripe, row)
 						}
+						report.ElementsCompared++
 					}
 				}
 			}
 		}
 	}
-	return nil
+	for id := range skipped {
+		report.Skipped = append(report.Skipped, id)
+	}
+	sortDisks(report.Skipped)
+	return report, nil
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"io"
 	"math/rand"
 	"testing"
 	"time"
@@ -147,8 +148,12 @@ func TestVolumeRoundTrip(t *testing.T) {
 	if string(small) != "over n sockets" {
 		t.Fatalf("unaligned read: %q", small)
 	}
-	if err := v.Scrub(); err != nil {
+	rep, err := v.Scrub()
+	if err != nil {
 		t.Fatal(err)
+	}
+	if rep.ElementsCompared == 0 || len(rep.Skipped) != 0 {
+		t.Fatalf("scrub of a healthy volume compared %d elements, skipped %v", rep.ElementsCompared, rep.Skipped)
 	}
 	h := v.Health()
 	if h.ElementsRead == 0 || h.ElementsWritten == 0 {
@@ -176,7 +181,7 @@ func TestVolumeScrubDetectsCorruption(t *testing.T) {
 	if _, err := store.WriteAt(b[:], 5); err != nil {
 		t.Fatal(err)
 	}
-	if err := v.Scrub(); err == nil {
+	if _, err := v.Scrub(); err == nil {
 		t.Fatal("scrub missed a corrupted replica")
 	}
 }
@@ -342,7 +347,7 @@ func TestRebuildDiskMatchesLocalRebuild(t *testing.T) {
 			if !bytes.Equal(clusterRead, localRead) {
 				t.Fatal("cluster and local post-rebuild reads diverge")
 			}
-			if err := v.Scrub(); err != nil {
+			if _, err := v.Scrub(); err != nil {
 				t.Fatal(err)
 			}
 			if len(v.FailedDisks()) != 0 {
@@ -377,7 +382,7 @@ func TestRebuildMirrorDisk(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatal("mirror rebuild image mismatch")
 	}
-	if err := v.Scrub(); err != nil {
+	if _, err := v.Scrub(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -416,8 +421,136 @@ func TestVolumeWritesDuringRebuildStayConsistent(t *testing.T) {
 	if !bytes.Equal(got, payload) {
 		t.Fatal("post-rebuild content lost concurrent writes")
 	}
-	if err := v.Scrub(); err != nil {
+	if _, err := v.Scrub(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFailedWriteBelowWatermarkRollsBack reproduces the stale-rebuild
+// hazard: a disk mid-rebuild accepts writes for stripes below its
+// watermark, so when such a write dies on the wire the watermark must
+// retreat past the missed stripe — otherwise the rebuilt-but-stale copy
+// keeps being served and the finishing rebuild marks it clean.
+func TestFailedWriteBelowWatermarkRollsBack(t *testing.T) {
+	const n, stripes, elementSize = 3, 4, 64
+	arch := raid.NewMirror(layout.NewShifted(n))
+	v, backends := newTestVolume(t, arch, elementSize, stripes)
+	payload := randomPayload(t, v, 11)
+	lost := raid.DiskID{Role: raid.RoleData, Index: 0}
+	// Stage the mid-rebuild state directly: content on the backend is
+	// correct (it took every write), the watermark covers all stripes,
+	// but the rebuild has not yet returned the disk to service.
+	v.mu.Lock()
+	v.failed[lost] = true
+	v.progress[lost] = stripes
+	v.mu.Unlock()
+	// The backend machine drops off the network, then a write lands on a
+	// stripe below the watermark: replicas take it, the rebuilt copy
+	// cannot.
+	addr := backends.addrs[lost]
+	store := backends.stores[lost]
+	backends.kill(lost)
+	patch := bytes.Repeat([]byte{0xAB}, elementSize)
+	off := int64(n) * int64(n) * elementSize // stripe 1, row 0 of data[0]
+	if _, err := v.WriteAt(patch, off); err != nil {
+		t.Fatal(err)
+	}
+	copy(payload[off:], patch)
+	v.mu.RLock()
+	progress, stillFailed := v.progress[lost], v.failed[lost]
+	v.mu.RUnlock()
+	if !stillFailed || progress > 1 {
+		t.Fatalf("watermark not rolled back past the missed write: failed=%v progress=%d", stillFailed, progress)
+	}
+	// The stale element must not be served: the read fails over to a
+	// replica that took the write.
+	check := make([]byte, elementSize)
+	if _, err := v.ReadAt(check, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(check, patch) {
+		t.Fatal("read served the stale below-watermark element")
+	}
+	// The backend reboots with its stale disk; the rebuild restarts from
+	// the rolled-back watermark and re-recovers the missed stripe.
+	srv, err := restartServer(store, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends.servers[lost] = srv
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := v.RebuildDisk(lost)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal(err)
+		}
+		time.Sleep(50 * time.Millisecond) // dead-marked pool: wait out the probe window
+	}
+	want := expectedDiskImage(arch, lost, payload, elementSize, stripes)
+	got := make([]byte, len(want))
+	if _, err := store.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("rebuild left the missed write stale on the replacement backend")
+	}
+	full := make([]byte, v.Size())
+	if _, err := v.ReadAt(full, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full, payload) {
+		t.Fatal("post-rebuild read diverges from payload")
+	}
+	rep, err := v.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Skipped) != 0 {
+		t.Fatalf("post-rebuild scrub skipped %v", rep.Skipped)
+	}
+}
+
+func TestRebuildDiskRejectsConcurrentRebuild(t *testing.T) {
+	arch := raid.NewMirror(layout.NewShifted(3))
+	v, _ := newTestVolume(t, arch, 64, 2)
+	lost := raid.DiskID{Role: raid.RoleData, Index: 0}
+	if err := v.Fail(lost); err != nil {
+		t.Fatal(err)
+	}
+	v.mu.Lock()
+	v.rebuilding[lost] = true // a RebuildDisk is in flight
+	v.mu.Unlock()
+	if err := v.RebuildDisk(lost); err == nil {
+		t.Fatal("second concurrent rebuild of the same disk accepted")
+	}
+}
+
+// TestScrubReportsSkippedBackends: an unreachable backend must surface
+// in the scrub report instead of silently shrinking coverage to nothing.
+func TestScrubReportsSkippedBackends(t *testing.T) {
+	arch := raid.NewMirror(layout.NewShifted(3))
+	v, backends := newTestVolume(t, arch, 64, 2)
+	randomPayload(t, v, 12)
+	dead := raid.DiskID{Role: raid.RoleMirror, Index: 0}
+	backends.kill(dead)
+	rep, err := v.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range rep.Skipped {
+		if id == dead {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dead backend %v missing from skipped list %v", dead, rep.Skipped)
+	}
+	if rep.ElementsCompared == 0 {
+		t.Fatal("scrub compared nothing despite surviving backends")
 	}
 }
 
@@ -431,8 +564,16 @@ func TestVolumeErrors(t *testing.T) {
 	if err := v.RebuildDisk(raid.DiskID{Role: raid.RoleData, Index: 0}); err == nil {
 		t.Fatal("rebuilt a healthy disk")
 	}
-	if _, err := v.ReadAt(make([]byte, 1), v.Size()+1); err == nil {
-		t.Fatal("out-of-range read accepted")
+	if _, err := v.ReadAt(make([]byte, 1), -1); err == nil {
+		t.Fatal("negative-offset read accepted")
+	}
+	// io.ReaderAt contract: reads at or past the end return io.EOF, so
+	// io.SectionReader-style wrappers terminate cleanly.
+	if _, err := v.ReadAt(make([]byte, 1), v.Size()); err != io.EOF {
+		t.Fatalf("read at end returned %v, want io.EOF", err)
+	}
+	if _, err := v.ReadAt(make([]byte, 1), v.Size()+1); err != io.EOF {
+		t.Fatalf("read past end returned %v, want io.EOF", err)
 	}
 	if _, err := v.WriteAt(make([]byte, 2), v.Size()-1); err == nil {
 		t.Fatal("out-of-range write accepted")
