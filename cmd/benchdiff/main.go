@@ -1,0 +1,307 @@
+// Command benchdiff gates throughput regressions in the GF(2^8) and
+// erasure kernels. It runs (or parses) `go test -bench` output, takes
+// the median MB/s of -count repetitions per benchmark, compares each
+// against the checked-in baseline in BENCH_kernels.json ("gate"
+// section), and exits non-zero when any tracked benchmark regresses by
+// more than the threshold. The full comparison is written as JSON for
+// CI artifact upload.
+//
+//	benchdiff -baseline BENCH_kernels.json ./internal/gf ./internal/erasure
+//	benchdiff -baseline BENCH_kernels.json -update ./internal/gf ./internal/erasure
+//	benchdiff -baseline BENCH_kernels.json -input bench.txt -out comparison.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// gate is the "gate" section of the baseline file: tracked benchmarks
+// and the allowed fractional regression.
+type gate struct {
+	// Threshold is the allowed fractional MB/s drop before failing,
+	// e.g. 0.25 allows down to 75% of baseline.
+	Threshold float64 `json:"threshold"`
+	// Note documents how the numbers were produced.
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps benchmark name (CPU suffix stripped) to baseline
+	// median MB/s.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// result is one benchmark's comparison outcome.
+type result struct {
+	Name         string  `json:"name"`
+	BaselineMBps float64 `json:"baseline_mbps"`
+	MeasuredMBps float64 `json:"measured_mbps"`
+	Ratio        float64 `json:"ratio"` // measured / baseline
+	Regressed    bool    `json:"regressed"`
+}
+
+// comparison is the full report benchdiff emits.
+type comparison struct {
+	Threshold float64  `json:"threshold"`
+	Results   []result `json:"results"`
+	// Missing are tracked benchmarks the run did not produce — a gate
+	// failure (the gate has rotted or the run was too narrow).
+	Missing []string `json:"missing,omitempty"`
+	// Untracked are measured benchmarks with no baseline; informational.
+	Untracked []string `json:"untracked,omitempty"`
+	Failed    bool     `json:"failed"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_kernels.json", "baseline file holding the \"gate\" section")
+	inputs := flag.String("input", "", "comma-separated files of pre-captured go test -bench output (default: run the benchmarks)")
+	benchRe := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "25ms", "go test -benchtime value (1x is too noisy to gate on)")
+	count := flag.Int("count", 5, "go test -count repetitions (median is used)")
+	threshold := flag.Float64("threshold", 0, "override the baseline's regression threshold (0 = use baseline's)")
+	out := flag.String("out", "", "write the comparison JSON here (default: stdout)")
+	update := flag.Bool("update", false, "rewrite the baseline's gate benchmarks from this run instead of comparing")
+	flag.Parse()
+
+	var text []byte
+	var err error
+	if *inputs != "" {
+		for _, f := range strings.Split(*inputs, ",") {
+			blob, err := os.ReadFile(strings.TrimSpace(f))
+			if err != nil {
+				fatal(err)
+			}
+			text = append(text, blob...)
+		}
+	} else {
+		pkgs := flag.Args()
+		if len(pkgs) == 0 {
+			pkgs = []string{"./internal/gf", "./internal/erasure"}
+		}
+		text, err = runBenchmarks(pkgs, *benchRe, *benchtime, *count)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	medians := medianMBps(parseBench(text))
+	if len(medians) == 0 {
+		fatal(fmt.Errorf("no MB/s benchmark results found in input"))
+	}
+
+	if *update {
+		if err := updateBaseline(*baselinePath, medians, *threshold); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: wrote %d gate benchmarks to %s\n", len(medians), *baselinePath)
+		return
+	}
+
+	g, err := loadGate(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	if *threshold > 0 {
+		g.Threshold = *threshold
+	}
+	cmp := compare(g, medians)
+	blob, err := json.MarshalIndent(cmp, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		os.Stdout.Write(blob)
+	}
+	for _, r := range cmp.Results {
+		status := "ok"
+		if r.Regressed {
+			status = "REGRESSED"
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: %-50s %10.0f -> %10.0f MB/s (%.2fx) %s\n",
+			r.Name, r.BaselineMBps, r.MeasuredMBps, r.Ratio, status)
+	}
+	for _, m := range cmp.Missing {
+		fmt.Fprintf(os.Stderr, "benchdiff: %-50s MISSING from run\n", m)
+	}
+	if cmp.Failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: FAILED (threshold %.0f%%)\n", g.Threshold*100)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: ok — %d benchmarks within %.0f%% of baseline\n", len(cmp.Results), g.Threshold*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}
+
+// runBenchmarks shells out to go test and returns its combined output.
+func runBenchmarks(pkgs []string, benchRe, benchtime string, count int) ([]byte, error) {
+	args := []string{"test", "-run", "^$", "-bench", benchRe,
+		"-benchtime", benchtime, "-count", strconv.Itoa(count)}
+	args = append(args, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	return out, nil
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkMulAddSlice/64K-8   1  41234 ns/op  28965.43 MB/s
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+[\d.]+ ns/op\s+([\d.]+) MB/s`)
+
+// parseBench extracts every (name, MB/s) sample from go test -bench
+// output, stripping the GOMAXPROCS suffix so names are machine-stable.
+func parseBench(text []byte) map[string][]float64 {
+	samples := map[string][]float64{}
+	sc := bufio.NewScanner(strings.NewReader(string(text)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		samples[m[1]] = append(samples[m[1]], v)
+	}
+	return samples
+}
+
+// medianMBps reduces each benchmark's samples to their median.
+func medianMBps(samples map[string][]float64) map[string]float64 {
+	medians := make(map[string]float64, len(samples))
+	for name, vals := range samples {
+		sort.Float64s(vals)
+		n := len(vals)
+		if n%2 == 1 {
+			medians[name] = vals[n/2]
+		} else {
+			medians[name] = (vals[n/2-1] + vals[n/2]) / 2
+		}
+	}
+	return medians
+}
+
+// loadGate reads the baseline file's "gate" section.
+func loadGate(path string) (gate, error) {
+	var g gate
+	doc, err := readBaseline(path)
+	if err != nil {
+		return g, err
+	}
+	raw, ok := doc["gate"]
+	if !ok {
+		return g, fmt.Errorf("%s has no \"gate\" section (run benchdiff -update to create one)", path)
+	}
+	if err := json.Unmarshal(raw, &g); err != nil {
+		return g, fmt.Errorf("%s gate section: %w", path, err)
+	}
+	if g.Threshold <= 0 {
+		g.Threshold = 0.25
+	}
+	if len(g.Benchmarks) == 0 {
+		return g, fmt.Errorf("%s gate section tracks no benchmarks", path)
+	}
+	return g, nil
+}
+
+func readBaseline(path string) (map[string]json.RawMessage, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// compare checks every tracked benchmark's measured median against its
+// baseline.
+func compare(g gate, medians map[string]float64) comparison {
+	cmp := comparison{Threshold: g.Threshold}
+	names := make([]string, 0, len(g.Benchmarks))
+	for name := range g.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := g.Benchmarks[name]
+		measured, ok := medians[name]
+		if !ok {
+			cmp.Missing = append(cmp.Missing, name)
+			cmp.Failed = true
+			continue
+		}
+		r := result{Name: name, BaselineMBps: base, MeasuredMBps: measured}
+		if base > 0 {
+			r.Ratio = measured / base
+			r.Regressed = r.Ratio < 1-g.Threshold
+		}
+		if r.Regressed {
+			cmp.Failed = true
+		}
+		cmp.Results = append(cmp.Results, r)
+	}
+	for name := range medians {
+		if _, ok := g.Benchmarks[name]; !ok {
+			cmp.Untracked = append(cmp.Untracked, name)
+		}
+	}
+	sort.Strings(cmp.Untracked)
+	return cmp
+}
+
+// updateBaseline rewrites the gate section of the baseline file in
+// place, keeping every other top-level key byte-identical.
+func updateBaseline(path string, medians map[string]float64, threshold float64) error {
+	doc, err := readBaseline(path)
+	if err != nil {
+		return err
+	}
+	g := gate{Threshold: threshold}
+	if raw, ok := doc["gate"]; ok {
+		var old gate
+		if err := json.Unmarshal(raw, &old); err == nil {
+			if g.Threshold <= 0 {
+				g.Threshold = old.Threshold
+			}
+			g.Note = old.Note
+		}
+	}
+	if g.Threshold <= 0 {
+		g.Threshold = 0.25
+	}
+	if g.Note == "" {
+		g.Note = "median MB/s of `go test -bench . -benchtime 25ms -count 5`; machine-specific — refresh on your hardware with: go run ./cmd/benchdiff -update (CI uses a wider -threshold to absorb runner hardware deltas)"
+	}
+	g.Benchmarks = medians
+	raw, err := json.Marshal(g)
+	if err != nil {
+		return err
+	}
+	doc["gate"] = raw
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

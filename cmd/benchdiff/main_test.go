@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: shiftedmirror/internal/gf
+cpu: Test CPU
+BenchmarkMulAddSlice/64K-8         	       1	     45000 ns/op	28000.00 MB/s
+BenchmarkMulAddSlice/64K-8         	       1	     44000 ns/op	30000.00 MB/s
+BenchmarkMulAddSlice/64K-8         	       1	     46000 ns/op	29000.00 MB/s
+BenchmarkXorSlice/64K-8            	       1	     12000 ns/op	90000.00 MB/s
+BenchmarkXorSlice/64K-8            	       1	     13000 ns/op	85000.12 MB/s
+BenchmarkNoThroughput-8            	       1	      1000 ns/op
+PASS
+ok  	shiftedmirror/internal/gf	0.1s
+`
+
+func TestParseAndMedian(t *testing.T) {
+	medians := medianMBps(parseBench([]byte(sampleOutput)))
+	if len(medians) != 2 {
+		t.Fatalf("got %d benchmarks, want 2: %v", len(medians), medians)
+	}
+	// Odd count: middle value. CPU suffix must be stripped.
+	if got := medians["BenchmarkMulAddSlice/64K"]; got != 29000 {
+		t.Fatalf("MulAddSlice median = %v, want 29000", got)
+	}
+	// Even count: mean of the middle two.
+	if got := medians["BenchmarkXorSlice/64K"]; got != (90000+85000.12)/2 {
+		t.Fatalf("XorSlice median = %v", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	g := gate{
+		Threshold: 0.25,
+		Benchmarks: map[string]float64{
+			"BenchmarkMulAddSlice/64K": 30000,  // measured 29000 → ratio 0.97, fine
+			"BenchmarkXorSlice/64K":    200000, // measured ~87500 → ratio 0.44, regressed
+			"BenchmarkGone":            1000,   // not in the run → missing
+		},
+	}
+	cmp := compare(g, medianMBps(parseBench([]byte(sampleOutput))))
+	if !cmp.Failed {
+		t.Fatal("expected failure")
+	}
+	if len(cmp.Missing) != 1 || cmp.Missing[0] != "BenchmarkGone" {
+		t.Fatalf("missing = %v", cmp.Missing)
+	}
+	byName := map[string]result{}
+	for _, r := range cmp.Results {
+		byName[r.Name] = r
+	}
+	if r := byName["BenchmarkMulAddSlice/64K"]; r.Regressed {
+		t.Fatalf("3%% drop flagged as regression: %+v", r)
+	}
+	if r := byName["BenchmarkXorSlice/64K"]; !r.Regressed {
+		t.Fatalf("56%% drop not flagged: %+v", r)
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	g := gate{
+		Threshold:  0.25,
+		Benchmarks: map[string]float64{"BenchmarkMulAddSlice/64K": 30000},
+	}
+	cmp := compare(g, medianMBps(parseBench([]byte(sampleOutput))))
+	if cmp.Failed {
+		t.Fatalf("should pass: %+v", cmp)
+	}
+	if len(cmp.Untracked) != 1 || cmp.Untracked[0] != "BenchmarkXorSlice/64K" {
+		t.Fatalf("untracked = %v", cmp.Untracked)
+	}
+}
+
+func TestUpdateAndLoadBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	// Unrelated top-level keys must survive the update untouched.
+	seed := `{"prose": {"kept": true}, "gate": {"threshold": 0.4, "note": "old note", "benchmarks": {"BenchmarkStale": 1}}}`
+	if err := os.WriteFile(path, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	medians := medianMBps(parseBench([]byte(sampleOutput)))
+	if err := updateBaseline(path, medians, 0); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGate(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Threshold != 0.4 {
+		t.Fatalf("threshold not preserved: %v", g.Threshold)
+	}
+	if g.Note != "old note" {
+		t.Fatalf("note not preserved: %q", g.Note)
+	}
+	if len(g.Benchmarks) != 2 || g.Benchmarks["BenchmarkMulAddSlice/64K"] != 29000 {
+		t.Fatalf("benchmarks not replaced: %v", g.Benchmarks)
+	}
+	doc, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prose map[string]bool
+	if err := json.Unmarshal(doc["prose"], &prose); err != nil || !prose["kept"] {
+		t.Fatalf("unrelated key damaged: %s err=%v", doc["prose"], err)
+	}
+}
+
+func TestLoadGateErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nogate.json")
+	if err := os.WriteFile(path, []byte(`{"other": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadGate(path); err == nil {
+		t.Fatal("expected error for missing gate section")
+	}
+}

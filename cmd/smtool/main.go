@@ -14,6 +14,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -26,6 +27,7 @@ import (
 	"shiftedmirror/internal/cluster"
 	"shiftedmirror/internal/dev"
 	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/obs"
 	"shiftedmirror/internal/raid"
 	"shiftedmirror/internal/recon"
 	"shiftedmirror/internal/trace"
@@ -424,6 +426,7 @@ func cmdServeDisk(args []string) error {
 	size := fs.Int64("size", 1<<20, "disk capacity in bytes (ignored with -path on an existing file)")
 	path := fs.String("path", "", "back the disk with this file (default: in-memory)")
 	rate := fs.Float64("rate", 0, "read bandwidth cap in MB/s (0 = unthrottled)")
+	metricsAddr := fs.String("metrics", "", "serve Prometheus metrics on this address (e.g. :9090; default: off)")
 	fs.Parse(args)
 	var store blockserver.Store
 	if *path == "" {
@@ -439,6 +442,17 @@ func cmdServeDisk(args []string) error {
 	var opts []blockserver.ServerOption
 	if *rate > 0 {
 		opts = append(opts, blockserver.WithReadRate(*rate*1e6))
+	}
+	if *metricsAddr != "" {
+		m := blockserver.NewMetrics()
+		opts = append(opts, blockserver.WithMetrics(m))
+		reg := obs.NewRegistry()
+		m.Register(reg)
+		bound, _, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("metrics on http://%s/metrics\n", bound)
 	}
 	srv := blockserver.NewStoreServer(store, opts...)
 	bound, err := srv.Listen(*addr)
@@ -485,6 +499,8 @@ func cmdCluster(args []string) error {
 	backendList := fs.String("backends", "", "comma-separated backend addresses in arch.Disks() order (default: self-host in-process servers)")
 	failSpec := fs.String("fail", "", "disks to fail and rebuild, e.g. data:0")
 	replace := fs.String("replace", "", "replacement backend address for the failed disk (external backends only)")
+	metricsAddr := fs.String("metrics", "", "serve Prometheus metrics on this address during the run (default: off)")
+	statsJSON := fs.Bool("stats", false, "print the final Volume.Stats() snapshot as JSON")
 	fs.Parse(args)
 
 	arch, err := buildArch(*arrName, *n, false)
@@ -519,6 +535,16 @@ func cmdCluster(args []string) error {
 		return err
 	}
 	defer v.Close()
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		v.RegisterMetrics(reg)
+		bound, closeMetrics, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer closeMetrics()
+		fmt.Printf("metrics on http://%s/metrics\n", bound)
+	}
 	if err := v.Verify(); err != nil {
 		return err
 	}
@@ -602,6 +628,13 @@ func cmdCluster(args []string) error {
 	for _, b := range h.Backends {
 		fmt.Printf("%-12v %-21s %5v %5v %8d %7d %5d %6d\n",
 			b.ID, b.Addr, b.Dead, b.Failed, b.Requests, b.Retries, b.Dials, b.Errors)
+	}
+	if *statsJSON {
+		blob, err := json.MarshalIndent(v.Stats(), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s\n", blob)
 	}
 	return nil
 }

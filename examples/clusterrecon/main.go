@@ -10,12 +10,21 @@
 // 1/n-th the time of the traditional arrangement, whose replicas all
 // sit on the single twin backend and drain at one disk's bandwidth.
 //
+// Besides wall-clock timing (which wobbles on loaded machines), the
+// run checks the paper's claim where it cannot wobble: the volume's
+// per-backend rebuild-read counters. A shifted rebuild must source
+// from exactly n distinct backends with per-backend element counts
+// uniform within ±1; a violation is a hard failure. -json emits the
+// whole report machine-readably so CI can assert on it.
+//
 //	go run ./examples/clusterrecon            # defaults: n=5
 //	go run ./examples/clusterrecon -quick     # small CI-sized run
+//	go run ./examples/clusterrecon -quick -json > report.json
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -29,11 +38,38 @@ import (
 	"shiftedmirror/internal/raid"
 )
 
-type run struct {
-	name    string
-	arr     layout.Arrangement
-	elapsed time.Duration
-	mbps    float64
+// backendReads is one backend's share of a rebuild's source reads.
+type backendReads struct {
+	Disk     string `json:"disk"`
+	Elements int64  `json:"elements"`
+}
+
+// runReport is one arrangement's full measurement.
+type runReport struct {
+	Arrangement    string  `json:"arrangement"`
+	RebuildSeconds float64 `json:"rebuild_seconds"`
+	RebuildMBps    float64 `json:"rebuild_mbps"`
+	// RebuildReads lists every backend that served at least one element
+	// as a rebuild source, with its element count — the wire-level
+	// measurement of Properties 1/2.
+	RebuildReads    []backendReads `json:"rebuild_reads"`
+	DistinctSources int            `json:"distinct_sources"`
+	MinElements     int64          `json:"min_elements"`
+	MaxElements     int64          `json:"max_elements"`
+	TotalElements   int64          `json:"total_elements"`
+	Stats           cluster.Stats  `json:"stats"`
+}
+
+// report is the whole run, one JSON document.
+type report struct {
+	N            int         `json:"n"`
+	Stripes      int         `json:"stripes"`
+	ElementBytes int64       `json:"element_bytes"`
+	RateMBps     float64     `json:"rate_mbps"`
+	LostDisk     string      `json:"lost_disk"`
+	Runs         []runReport `json:"runs"`
+	// Speedup is traditional rebuild time over shifted rebuild time.
+	Speedup float64 `json:"speedup"`
 }
 
 func main() {
@@ -42,44 +78,105 @@ func main() {
 	element := flag.Int64("element", 4096, "element size in bytes")
 	rate := flag.Float64("rate", 2, "per-backend read bandwidth in MB/s (models disk media rate)")
 	quick := flag.Bool("quick", false, "small run for CI smoke tests")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout")
 	flag.Parse()
 	if *quick {
 		*n, *stripes, *element = 4, 16, 2048
 	}
 
-	fmt.Printf("cluster reconstruction: n=%d, %d stripes, %d B elements, backends capped at %.1f MB/s reads\n",
-		*n, *stripes, *element, *rate)
-	fmt.Printf("lost disk: data[0] (%.2f MB to recover over TCP)\n\n",
-		float64(*stripes)*float64(*n)*float64(*element)/1e6)
+	rep := report{
+		N: *n, Stripes: *stripes, ElementBytes: *element, RateMBps: *rate,
+		LostDisk: raid.DiskID{Role: raid.RoleData, Index: 0}.String(),
+	}
+	if !*jsonOut {
+		fmt.Printf("cluster reconstruction: n=%d, %d stripes, %d B elements, backends capped at %.1f MB/s reads\n",
+			*n, *stripes, *element, *rate)
+		fmt.Printf("lost disk: %s (%.2f MB to recover over TCP)\n\n",
+			rep.LostDisk, float64(*stripes)*float64(*n)*float64(*element)/1e6)
+	}
 
-	runs := []run{
+	type arrangement struct {
+		name string
+		arr  layout.Arrangement
+	}
+	for _, a := range []arrangement{
 		{name: "traditional", arr: layout.NewTraditional(*n)},
 		{name: "shifted", arr: layout.NewShifted(*n)},
-	}
-	for i := range runs {
-		if err := measure(&runs[i], *element, *stripes, *rate); err != nil {
-			fmt.Fprintf(os.Stderr, "clusterrecon: %s: %v\n", runs[i].name, err)
+	} {
+		rr, err := measure(a.name, a.arr, *element, *stripes, *rate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clusterrecon: %s: %v\n", a.name, err)
 			os.Exit(1)
 		}
+		rep.Runs = append(rep.Runs, rr)
+	}
+	rep.Speedup = rep.Runs[0].RebuildSeconds / rep.Runs[1].RebuildSeconds
+
+	// The paper's Properties 1/2, measured on the wire. These counts are
+	// deterministic — unlike the timing, a violation is always a bug.
+	if err := assertWireProperty(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "clusterrecon: wire property violated: %v\n", err)
+		os.Exit(1)
 	}
 
-	fmt.Printf("%-14s %12s %12s\n", "arrangement", "rebuild", "MB/s")
-	for _, r := range runs {
-		fmt.Printf("%-14s %12v %12.1f\n", r.name, r.elapsed.Round(time.Millisecond), r.mbps)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "clusterrecon:", err)
+			os.Exit(1)
+		}
+		return
 	}
-	speedup := float64(runs[0].elapsed) / float64(runs[1].elapsed)
-	fmt.Printf("\nshifted network rebuild speedup over traditional: %.2fx (theoretical bound %dx)\n", speedup, *n)
-	if speedup < 1 {
+	fmt.Printf("%-14s %12s %12s %10s %12s\n", "arrangement", "rebuild", "MB/s", "sources", "max/min")
+	for _, r := range rep.Runs {
+		fmt.Printf("%-14s %12v %12.1f %10d %7d/%d\n",
+			r.Arrangement, time.Duration(r.RebuildSeconds*float64(time.Second)).Round(time.Millisecond),
+			r.RebuildMBps, r.DistinctSources, r.MaxElements, r.MinElements)
+	}
+	fmt.Printf("\nshifted network rebuild speedup over traditional: %.2fx (theoretical bound %dx)\n", rep.Speedup, *n)
+	if rep.Speedup < 1 {
 		// Timing on loaded CI machines can wobble; bytes were verified, so
 		// warn instead of failing the smoke test.
 		fmt.Println("warning: expected shifted to be faster; machine load may have skewed the timing")
 	}
 }
 
+// assertWireProperty checks the deterministic half of the paper's
+// claim: a shifted rebuild sources from exactly n distinct backends
+// with uniform (±1) per-backend load, while the traditional rebuild
+// drains a single twin.
+func assertWireProperty(rep report) error {
+	total := int64(rep.N * rep.Stripes)
+	for _, r := range rep.Runs {
+		if r.TotalElements != total {
+			return fmt.Errorf("%s: rebuild read %d elements, want %d", r.Arrangement, r.TotalElements, total)
+		}
+		switch r.Arrangement {
+		case "shifted":
+			if r.DistinctSources != rep.N {
+				return fmt.Errorf("shifted: rebuild sourced from %d backends, want %d (%v)",
+					r.DistinctSources, rep.N, r.RebuildReads)
+			}
+			if r.MaxElements-r.MinElements > 1 {
+				return fmt.Errorf("shifted: rebuild load not uniform: min %d max %d (%v)",
+					r.MinElements, r.MaxElements, r.RebuildReads)
+			}
+		case "traditional":
+			if r.DistinctSources != 1 {
+				return fmt.Errorf("traditional: rebuild sourced from %d backends, want 1 (%v)",
+					r.DistinctSources, r.RebuildReads)
+			}
+		}
+	}
+	return nil
+}
+
 // measure runs one full lose-and-rebuild cycle over real sockets and
 // byte-verifies the outcome.
-func measure(r *run, element int64, stripes int, rate float64) error {
-	arch := raid.NewMirror(r.arr)
+func measure(name string, arr layout.Arrangement, element int64, stripes int, rate float64) (runReport, error) {
+	rr := runReport{Arrangement: name}
+	arch := raid.NewMirror(arr)
 	n := arch.N()
 	diskSize := int64(stripes) * int64(n) * element
 
@@ -107,58 +204,77 @@ func measure(r *run, element int64, stripes int, rate float64) error {
 	for _, id := range arch.Disks() {
 		addr, err := spawn(true)
 		if err != nil {
-			return err
+			return rr, err
 		}
 		backends[id] = addr
 	}
 
 	v, err := cluster.New(arch, backends, cluster.Config{ElementSize: element, Stripes: stripes})
 	if err != nil {
-		return err
+		return rr, err
 	}
 	defer v.Close()
 	payload := make([]byte, v.Size())
 	rand.New(rand.NewSource(7)).Read(payload)
 	if _, err := v.WriteAt(payload, 0); err != nil {
-		return err
+		return rr, err
 	}
 
 	lost := raid.DiskID{Role: raid.RoleData, Index: 0}
 	if err := v.Fail(lost); err != nil {
-		return err
+		return rr, err
 	}
 	// The replacement backend is unthrottled: a fresh spare's writes are
 	// not the bottleneck the paper studies — surviving-disk reads are.
 	replacement, err := spawn(false)
 	if err != nil {
-		return err
+		return rr, err
 	}
 	if err := v.ReplaceBackend(lost, replacement); err != nil {
-		return err
+		return rr, err
 	}
 
+	v.ResetRebuildReads() // measure this rebuild's source spread alone
 	start := time.Now()
 	if err := v.RebuildDisk(lost); err != nil {
-		return err
+		return rr, err
 	}
-	r.elapsed = time.Since(start)
-	r.mbps = float64(diskSize) / 1e6 / r.elapsed.Seconds()
+	elapsed := time.Since(start)
+	rr.RebuildSeconds = elapsed.Seconds()
+	rr.RebuildMBps = float64(diskSize) / 1e6 / elapsed.Seconds()
 
 	// Byte-verify: the rebuilt volume must read back the exact payload
 	// and every replica pair must agree. Mismatches are a hard failure.
 	check := make([]byte, v.Size())
 	if _, err := v.ReadAt(check, 0); err != nil {
-		return err
+		return rr, err
 	}
 	if !bytes.Equal(check, payload) {
-		return fmt.Errorf("post-rebuild read diverges from written payload")
+		return rr, fmt.Errorf("post-rebuild read diverges from written payload")
 	}
-	rep, err := v.Scrub()
+	scrub, err := v.Scrub()
 	if err != nil {
-		return err
+		return rr, err
 	}
-	if rep.ElementsCompared == 0 || len(rep.Skipped) > 0 {
-		return fmt.Errorf("scrub verified nothing: %d elements compared, skipped %v", rep.ElementsCompared, rep.Skipped)
+	if scrub.ElementsCompared == 0 || len(scrub.Skipped) > 0 {
+		return rr, fmt.Errorf("scrub verified nothing: %d elements compared, skipped %v", scrub.ElementsCompared, scrub.Skipped)
 	}
-	return nil
+
+	rr.Stats = v.Stats()
+	rr.MinElements = int64(n * stripes)
+	for _, b := range rr.Stats.Backends {
+		if b.RebuildReadElements == 0 {
+			continue
+		}
+		rr.RebuildReads = append(rr.RebuildReads, backendReads{Disk: b.Disk, Elements: b.RebuildReadElements})
+		rr.DistinctSources++
+		rr.TotalElements += b.RebuildReadElements
+		if b.RebuildReadElements < rr.MinElements {
+			rr.MinElements = b.RebuildReadElements
+		}
+		if b.RebuildReadElements > rr.MaxElements {
+			rr.MaxElements = b.RebuildReadElements
+		}
+	}
+	return rr, nil
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"shiftedmirror/internal/dev"
+	"shiftedmirror/internal/obs"
 	"shiftedmirror/internal/raid"
 )
 
@@ -35,6 +36,20 @@ type manager interface {
 
 // ServerOption configures a Server.
 type ServerOption func(*Server)
+
+// WithMetrics attaches a Metrics collector: the server records
+// per-opcode counts, latencies, payload bytes, and connection
+// lifecycle into it. One collector may be shared across servers.
+func WithMetrics(m *Metrics) ServerOption {
+	return func(s *Server) { s.metrics = m }
+}
+
+// WithTracer attaches a per-operation trace hook; the server emits one
+// obs.Event per request served. The tracer runs inline on the data
+// path, so it must be fast and concurrency-safe.
+func WithTracer(t obs.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = t }
+}
 
 // WithReadRate caps the server's aggregate read bandwidth at
 // bytesPerSec, serializing transfers the way a single spindle does. It
@@ -76,6 +91,8 @@ type Server struct {
 	store    Store
 	mgmt     manager // nil for bare stores
 	readRate *rateLimiter
+	metrics  *Metrics   // nil = no metric collection
+	tracer   obs.Tracer // nil = no per-op tracing
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -139,6 +156,9 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		if s.metrics != nil {
+			s.metrics.conns.Inc()
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -184,8 +204,42 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // dispatch handles one request; a returned error tears the connection
 // down (I/O or protocol trouble), while device-level errors travel back
-// to the client as error responses.
+// to the client as error responses. With metrics or tracing enabled it
+// times the request and accounts payload bytes; otherwise it is a
+// direct call into the handler with zero overhead.
 func (s *Server) dispatch(conn net.Conn, op byte) error {
+	if s.metrics == nil && s.tracer == nil {
+		return s.handle(conn, op, nil)
+	}
+	var acct opAcct
+	start := time.Now()
+	err := s.handle(conn, op, &acct)
+	d := time.Since(start)
+	if s.metrics != nil {
+		s.metrics.record(op, &acct, d, err)
+	}
+	if s.tracer != nil {
+		ev := obs.Event{Op: opNames[opSlot(op)], Bytes: acct.in + acct.out, Dur: d, Err: err}
+		if ev.Err == nil {
+			ev.Err = acct.remoteErr
+		}
+		s.tracer.Trace(ev)
+	}
+	return err
+}
+
+// reply sends err back to the client as a remote-error response,
+// recording it in acct so metrics can tell served errors from clean
+// requests.
+func (s *Server) reply(conn net.Conn, acct *opAcct, err error) error {
+	if acct != nil {
+		acct.remoteErr = err
+	}
+	return writeErr(conn, err)
+}
+
+// handle executes one decoded request against the store.
+func (s *Server) handle(conn net.Conn, op byte, acct *opAcct) error {
 	switch op {
 	case OpRead:
 		off, err := readUint64(conn)
@@ -197,17 +251,20 @@ func (s *Server) dispatch(conn net.Conn, op byte) error {
 			return err
 		}
 		if n > MaxIOSize {
-			return writeErr(conn, fmt.Errorf("%w: read of %d bytes exceeds limit", ErrProtocol, n))
+			return s.reply(conn, acct, fmt.Errorf("%w: read of %d bytes exceeds limit", ErrProtocol, n))
 		}
 		// Assemble status|len|data in one pooled frame and reply with a
 		// single write: no per-request allocation, no payload copy.
 		frame := getFrame(5 + int(n))
 		defer putFrame(frame)
 		if _, err := s.store.ReadAt((*frame)[5:], int64(off)); err != nil {
-			return writeErr(conn, err)
+			return s.reply(conn, acct, err)
 		}
 		if s.readRate != nil {
 			s.readRate.wait(int(n))
+		}
+		if acct != nil {
+			acct.out += int64(n)
 		}
 		(*frame)[0] = statusOK
 		binary.BigEndian.PutUint32((*frame)[1:5], n)
@@ -235,14 +292,14 @@ func (s *Server) dispatch(conn net.Conn, op byte) error {
 			l := binary.BigEndian.Uint32((*vecBuf)[12*i+8:])
 			if l > MaxIOSize {
 				putFrame(vecBuf)
-				return writeErr(conn, fmt.Errorf("%w: gather range of %d bytes exceeds limit", ErrProtocol, l))
+				return s.reply(conn, acct, fmt.Errorf("%w: gather range of %d bytes exceeds limit", ErrProtocol, l))
 			}
 			vecs[i].Len = int(l)
 			total += int64(l)
 		}
 		putFrame(vecBuf)
 		if total > MaxIOSize {
-			return writeErr(conn, fmt.Errorf("%w: gather of %d bytes exceeds limit", ErrProtocol, total))
+			return s.reply(conn, acct, fmt.Errorf("%w: gather of %d bytes exceeds limit", ErrProtocol, total))
 		}
 		// One frame: status | total | range 0 | range 1 | ...
 		frame := getFrame(5 + int(total))
@@ -250,12 +307,15 @@ func (s *Server) dispatch(conn net.Conn, op byte) error {
 		at := 5
 		for _, v := range vecs {
 			if _, err := s.store.ReadAt((*frame)[at:at+v.Len], v.Off); err != nil {
-				return writeErr(conn, err)
+				return s.reply(conn, acct, err)
 			}
 			at += v.Len
 		}
 		if s.readRate != nil {
 			s.readRate.wait(int(total))
+		}
+		if acct != nil {
+			acct.out += total
 		}
 		(*frame)[0] = statusOK
 		binary.BigEndian.PutUint32((*frame)[1:5], uint32(total))
@@ -278,8 +338,11 @@ func (s *Server) dispatch(conn net.Conn, op byte) error {
 		if _, err := io.ReadFull(conn, *buf); err != nil {
 			return err
 		}
+		if acct != nil {
+			acct.in += int64(n)
+		}
 		if _, err := s.store.WriteAt(*buf, int64(off)); err != nil {
-			return writeErr(conn, err)
+			return s.reply(conn, acct, err)
 		}
 		return writeOK(conn, nil)
 	case OpSize:
@@ -290,7 +353,7 @@ func (s *Server) dispatch(conn net.Conn, op byte) error {
 			return err
 		}
 		if s.mgmt == nil {
-			return writeErr(conn, errUnmanaged)
+			return s.reply(conn, acct, errUnmanaged)
 		}
 		var derr error
 		if op == OpFail {
@@ -299,20 +362,20 @@ func (s *Server) dispatch(conn net.Conn, op byte) error {
 			derr = s.mgmt.Rebuild(id)
 		}
 		if derr != nil {
-			return writeErr(conn, derr)
+			return s.reply(conn, acct, derr)
 		}
 		return writeOK(conn, nil)
 	case OpScrub:
 		if s.mgmt == nil {
-			return writeErr(conn, errUnmanaged)
+			return s.reply(conn, acct, errUnmanaged)
 		}
 		if err := s.mgmt.Scrub(); err != nil {
-			return writeErr(conn, err)
+			return s.reply(conn, acct, err)
 		}
 		return writeOK(conn, nil)
 	case OpHealth:
 		if s.mgmt == nil {
-			return writeErr(conn, errUnmanaged)
+			return s.reply(conn, acct, errUnmanaged)
 		}
 		h := s.mgmt.Health()
 		failed := s.mgmt.FailedDisks()

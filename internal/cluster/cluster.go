@@ -32,6 +32,8 @@ package cluster
 import (
 	"errors"
 	"time"
+
+	"shiftedmirror/internal/obs"
 )
 
 // Errors.
@@ -85,6 +87,10 @@ type Config struct {
 	// RebuildBatch is how many stripes RebuildDisk recovers per
 	// exclusive-lock slice; user I/O flows between slices. Default 16.
 	RebuildBatch int
+	// Tracer, when set, receives one obs.Event per cluster lifecycle
+	// operation (fail, auto_fail, replace_backend, rebuild_slice,
+	// rebuild, scrub). It runs inline and must be concurrency-safe.
+	Tracer obs.Tracer
 }
 
 func (c Config) withDefaults() Config {

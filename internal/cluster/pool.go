@@ -3,20 +3,26 @@ package cluster
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"shiftedmirror/internal/blockserver"
+	"shiftedmirror/internal/obs"
 )
 
 const maxVecCount = blockserver.MaxVecCount
 
-// poolStats are one backend's service counters, all monotonic.
+// poolStats are one backend's service counters. The Volume owns one
+// per disk slot (see diskStats) so the numbers survive ReplaceBackend:
+// a disk's history does not reset because its machine was swapped.
 type poolStats struct {
-	requests atomic.Int64 // operations submitted
-	retries  atomic.Int64 // extra attempts after transport failures
-	dials    atomic.Int64 // connections opened
-	errors   atomic.Int64 // operations that ultimately failed
+	requests  obs.Counter // operations submitted
+	retries   obs.Counter // extra attempts after transport failures
+	dials     obs.Counter // connections opened
+	errors    obs.Counter // operations that ultimately failed
+	poisoned  obs.Counter // connections poisoned and closed by transport errors
+	deaths    obs.Counter // alive→dead state transitions
+	revivals  obs.Counter // dead→alive state transitions (successful probes)
+	deadGauge obs.Gauge   // 1 while marked dead, else 0
 }
 
 // pool is a fixed-size connection pool to one backend with a
@@ -39,11 +45,14 @@ type pool struct {
 	probeLevel int // consecutive failed probes while dead
 	nextProbe  time.Time
 
-	stats poolStats
+	stats *poolStats // owned by the Volume; survives pool replacement
 }
 
-func newPool(addr string, cfg Config) *pool {
-	p := &pool{addr: addr, cfg: cfg, slots: make(chan struct{}, cfg.PoolSize)}
+func newPool(addr string, cfg Config, stats *poolStats) *pool {
+	if stats == nil {
+		stats = &poolStats{}
+	}
+	p := &pool{addr: addr, cfg: cfg, stats: stats, slots: make(chan struct{}, cfg.PoolSize)}
 	for i := 0; i < cfg.PoolSize; i++ {
 		p.slots <- struct{}{}
 	}
@@ -74,7 +83,7 @@ func (p *pool) isDead() bool {
 // fresh connections. Remote (application) errors are returned as-is and
 // keep the connection pooled; transport errors poison and close it.
 func (p *pool) do(fn func(*blockserver.Client) error) error {
-	p.stats.requests.Add(1)
+	p.stats.requests.Inc()
 	if p.isDead() {
 		p.stats.errors.Add(1)
 		return fmt.Errorf("%w: %s", ErrBackendDead, p.addr)
@@ -84,7 +93,7 @@ func (p *pool) do(fn func(*blockserver.Client) error) error {
 	var lastErr error
 	for attempt := 0; attempt <= p.cfg.Retries; attempt++ {
 		if attempt > 0 {
-			p.stats.retries.Add(1)
+			p.stats.retries.Inc()
 			time.Sleep(p.cfg.RetryBackoff << (attempt - 1))
 			if p.isDead() {
 				break
@@ -101,16 +110,17 @@ func (p *pool) do(fn func(*blockserver.Client) error) error {
 			p.release(c)
 			p.noteSuccess()
 			if err != nil {
-				p.stats.errors.Add(1)
+				p.stats.errors.Inc()
 			}
 			return err
 		}
 		// Transport trouble: the client poisoned itself; drop it.
 		c.Close()
+		p.stats.poisoned.Inc()
 		lastErr = err
 		p.noteFailure()
 	}
-	p.stats.errors.Add(1)
+	p.stats.errors.Inc()
 	if p.isDead() {
 		return fmt.Errorf("%w: %s (last error: %v)", ErrBackendDead, p.addr, lastErr)
 	}
@@ -143,7 +153,7 @@ func (p *pool) acquire() (*blockserver.Client, error) {
 		}
 	}
 	p.mu.Unlock()
-	p.stats.dials.Add(1)
+	p.stats.dials.Inc()
 	return blockserver.DialConfig(p.addr, blockserver.Config{
 		DialTimeout: p.cfg.DialTimeout,
 		OpTimeout:   p.cfg.OpTimeout,
@@ -166,7 +176,11 @@ func (p *pool) noteSuccess() {
 	defer p.mu.Unlock()
 	p.failures = 0
 	p.probeLevel = 0
-	p.dead = false
+	if p.dead {
+		p.dead = false
+		p.stats.revivals.Inc()
+		p.stats.deadGauge.Set(0)
+	}
 }
 
 func (p *pool) noteFailure() {
@@ -177,5 +191,7 @@ func (p *pool) noteFailure() {
 		p.dead = true
 		p.probeLevel = 0
 		p.nextProbe = time.Now().Add(p.cfg.ProbeEvery)
+		p.stats.deaths.Inc()
+		p.stats.deadGauge.Set(1)
 	}
 }

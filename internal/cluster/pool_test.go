@@ -24,7 +24,7 @@ func startStoreServer(t *testing.T, size int64) (*blockserver.Server, string, *d
 
 func TestPoolReusesConnections(t *testing.T) {
 	_, addr, _ := startStoreServer(t, 1024)
-	p := newPool(addr, fastConfig(64, 2))
+	p := newPool(addr, fastConfig(64, 2), nil)
 	defer p.close()
 	buf := make([]byte, 16)
 	for i := 0; i < 10; i++ {
@@ -45,7 +45,7 @@ func TestPoolReusesConnections(t *testing.T) {
 
 func TestPoolRemoteErrorKeepsConnection(t *testing.T) {
 	_, addr, _ := startStoreServer(t, 64)
-	p := newPool(addr, fastConfig(64, 2))
+	p := newPool(addr, fastConfig(64, 2), nil)
 	defer p.close()
 	buf := make([]byte, 16)
 	// Out-of-range read: a remote error, not a transport failure.
@@ -75,7 +75,7 @@ func TestPoolMarksDeadThenFailsFast(t *testing.T) {
 	srv, addr, _ := startStoreServer(t, 1024)
 	cfg := fastConfig(64, 2)
 	cfg.ProbeEvery = time.Minute // keep the probe window shut
-	p := newPool(addr, cfg)
+	p := newPool(addr, cfg, nil)
 	defer p.close()
 	buf := make([]byte, 16)
 	read := func() error {
@@ -109,7 +109,7 @@ func TestPoolMarksDeadThenFailsFast(t *testing.T) {
 // slot semaphore, idle stack, and state machine.
 func TestPoolConcurrentKillRestart(t *testing.T) {
 	srv, addr, store := startStoreServer(t, 4096)
-	p := newPool(addr, fastConfig(64, 2))
+	p := newPool(addr, fastConfig(64, 2), nil)
 	defer p.close()
 	stop := make(chan struct{})
 	var wg sync.WaitGroup

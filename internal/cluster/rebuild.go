@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/obs"
 	"shiftedmirror/internal/raid"
 )
 
@@ -42,7 +43,9 @@ func (v *Volume) RebuildDisk(id raid.DiskID) error {
 	}
 	v.rebuilding[id] = true
 	v.mu.Unlock()
+	v.stats.rebuildActive.Add(1)
 	defer func() {
+		v.stats.rebuildActive.Add(-1)
 		v.mu.Lock()
 		delete(v.rebuilding, id)
 		v.mu.Unlock()
@@ -53,15 +56,18 @@ func (v *Volume) RebuildDisk(id raid.DiskID) error {
 		done, n, err := v.rebuildSlice(id)
 		rebuilt += n
 		if err != nil {
+			v.trace(obs.Event{Op: "rebuild", Target: id.String(), Bytes: rebuilt, Dur: time.Since(start), Err: err})
 			return err
 		}
 		if done {
 			break
 		}
 	}
-	v.stats.rebuilds.Add(1)
+	elapsed := time.Since(start)
+	v.stats.rebuilds.Inc()
 	v.stats.rebuildBytes.Add(rebuilt)
-	v.stats.rebuildNanos.Add(time.Since(start).Nanoseconds())
+	v.stats.rebuildNanos.Add(elapsed.Nanoseconds())
+	v.trace(obs.Event{Op: "rebuild", Target: id.String(), Bytes: rebuilt, Dur: elapsed})
 	return nil
 }
 
@@ -74,6 +80,8 @@ func (v *Volume) RebuildDisk(id raid.DiskID) error {
 // user write can never slip between "last stripe recovered" and "disk
 // marked clean".
 func (v *Volume) rebuildSlice(id raid.DiskID) (done bool, written int64, err error) {
+	start := time.Now()
+	defer func() { v.stats.sliceLat.Observe(time.Since(start)) }()
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if !v.failed[id] {
@@ -108,7 +116,7 @@ func (v *Volume) rebuildSlice(id raid.DiskID) (done bool, written int64, err err
 			i++
 		}
 	}
-	if err := v.fetchSpans(spans, false); err != nil {
+	if err := v.fetchSpans(spans, fetchRebuild); err != nil {
 		return false, 0, err
 	}
 	counts := make([]atomic.Int64, count)
@@ -120,6 +128,9 @@ func (v *Volume) rebuildSlice(id raid.DiskID) (done bool, written int64, err err
 		return false, 0, fmt.Errorf("cluster: replacement backend %s for %v not accepting writes", v.addrs[id], id)
 	}
 	v.progress[id] = s1
+	v.stats.rebuildStripes.Add(int64(s1 - s0))
+	v.stats.perDisk[id].watermark.Set(int64(s1))
+	v.trace(obs.Event{Op: "rebuild_slice", Target: id.String(), Bytes: int64(len(buf)), Dur: time.Since(start)})
 	if s1 >= v.stripes {
 		delete(v.failed, id)
 		delete(v.progress, id)

@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"time"
+
+	"shiftedmirror/internal/obs"
+)
+
+// BackendStats is one disk slot's corner of a Stats snapshot. The
+// counters are per *slot*, not per machine: ReplaceBackend carries them
+// over, so a disk's history spans backend swaps.
+type BackendStats struct {
+	Disk string `json:"disk"`
+	Addr string `json:"addr"`
+	// Dead is the pool state machine's verdict (network unreachable);
+	// Failed is the cluster-level disk state (content lost).
+	Dead   bool `json:"dead"`
+	Failed bool `json:"failed"`
+	// Network-level service counters (see poolStats).
+	Requests int64 `json:"requests"`
+	Retries  int64 `json:"retries"`
+	Dials    int64 `json:"dials"`
+	Errors   int64 `json:"errors"`
+	Poisoned int64 `json:"poisoned"`
+	Deaths   int64 `json:"deaths"`
+	Revivals int64 `json:"revivals"`
+	// RebuildReadElements counts data elements this backend served as a
+	// source for other disks' rebuilds — the wire-level measurement of
+	// the paper's Properties 1/2 (shifted arrangements spread a rebuild
+	// one element-column per surviving backend, ±0; traditional
+	// arrangements drain the single twin).
+	RebuildReadElements int64 `json:"rebuild_read_elements"`
+	// WatermarkStripes is the disk's availability frontier: Stripes when
+	// healthy, the rebuild watermark while failed.
+	WatermarkStripes int64 `json:"watermark_stripes"`
+}
+
+// RebuildStats summarizes reconstruction activity.
+type RebuildStats struct {
+	Active    int64   `json:"active"` // rebuilds in flight right now
+	Completed int64   `json:"completed"`
+	Stripes   int64   `json:"stripes"` // stripes recovered (including re-recovered after rollback)
+	Bytes     int64   `json:"bytes"`
+	Seconds   float64 `json:"seconds"`
+	// MBps and StripesPerSec are cumulative rates over every completed
+	// rebuild (0 before the first).
+	MBps          float64          `json:"mbps"`
+	StripesPerSec float64          `json:"stripes_per_sec"`
+	SliceLatency  obs.HistSnapshot `json:"slice_latency"`
+}
+
+// ScrubStats summarizes consistency-scrub coverage.
+type ScrubStats struct {
+	Runs             int64 `json:"runs"`
+	ElementsCompared int64 `json:"elements_compared"`
+	SkippedDisks     int64 `json:"skipped_disks"`
+}
+
+// Stats is a machine-readable snapshot of everything the volume
+// observes about itself: logical I/O, degraded serving, reconstruction
+// progress and throughput, scrub coverage, and per-backend network
+// state. It marshals to JSON for reports (examples/clusterrecon) and
+// CI assertions.
+type Stats struct {
+	ElementsRead    int64 `json:"elements_read"`
+	ElementsWritten int64 `json:"elements_written"`
+	DegradedReads   int64 `json:"degraded_reads"`
+	Failovers       int64 `json:"failovers"`
+	AutoFailed      int64 `json:"auto_failed"`
+
+	ReadLatency  obs.HistSnapshot `json:"read_latency"`
+	WriteLatency obs.HistSnapshot `json:"write_latency"`
+
+	Rebuild RebuildStats `json:"rebuild"`
+	Scrub   ScrubStats   `json:"scrub"`
+
+	// Backends is sorted by role then index, matching arch.Disks().
+	Backends []BackendStats `json:"backends"`
+}
+
+// Stats returns a point-in-time snapshot of the volume's counters and
+// histograms. It is safe to call concurrently with the data path; the
+// numbers are as consistent as independent atomic loads can be.
+func (v *Volume) Stats() Stats {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	s := Stats{
+		ElementsRead:    v.stats.elementsRead.Load(),
+		ElementsWritten: v.stats.elementsWritten.Load(),
+		DegradedReads:   v.stats.degradedReads.Load(),
+		Failovers:       v.stats.failovers.Load(),
+		AutoFailed:      v.stats.autoFailed.Load(),
+		ReadLatency:     v.stats.readLat.Snapshot(),
+		WriteLatency:    v.stats.writeLat.Snapshot(),
+		Rebuild: RebuildStats{
+			Active:       v.stats.rebuildActive.Load(),
+			Completed:    v.stats.rebuilds.Load(),
+			Stripes:      v.stats.rebuildStripes.Load(),
+			Bytes:        v.stats.rebuildBytes.Load(),
+			Seconds:      float64(v.stats.rebuildNanos.Load()) / 1e9,
+			SliceLatency: v.stats.sliceLat.Snapshot(),
+		},
+		Scrub: ScrubStats{
+			Runs:             v.stats.scrubs.Load(),
+			ElementsCompared: v.stats.scrubElements.Load(),
+			SkippedDisks:     v.stats.scrubSkipped.Load(),
+		},
+	}
+	if s.Rebuild.Seconds > 0 {
+		s.Rebuild.MBps = float64(s.Rebuild.Bytes) / 1e6 / s.Rebuild.Seconds
+		s.Rebuild.StripesPerSec = float64(s.Rebuild.Stripes) / s.Rebuild.Seconds
+	}
+	for _, id := range v.arch.Disks() {
+		ds := v.stats.perDisk[id]
+		p := v.pools[id]
+		s.Backends = append(s.Backends, BackendStats{
+			Disk:                id.String(),
+			Addr:                p.addr,
+			Dead:                p.isDead(),
+			Failed:              v.failed[id],
+			Requests:            ds.pool.requests.Load(),
+			Retries:             ds.pool.retries.Load(),
+			Dials:               ds.pool.dials.Load(),
+			Errors:              ds.pool.errors.Load(),
+			Poisoned:            ds.pool.poisoned.Load(),
+			Deaths:              ds.pool.deaths.Load(),
+			Revivals:            ds.pool.revivals.Load(),
+			RebuildReadElements: ds.rebuildReads.Load(),
+			WatermarkStripes:    ds.watermark.Load(),
+		})
+	}
+	return s
+}
+
+// ResetRebuildReads zeroes every backend's rebuild-read counter, so a
+// caller can measure one rebuild's source distribution in isolation
+// (examples/clusterrecon does this per arrangement run).
+func (v *Volume) ResetRebuildReads() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, ds := range v.stats.perDisk {
+		ds.rebuildReads.Reset()
+	}
+}
+
+// RegisterMetrics exposes the volume's live counters, gauges, and
+// histograms on reg under the sm_cluster_* namespace, per-backend
+// series labeled disk="data[0]" etc. Call once per volume per registry
+// at setup time; exposition then reads the same atomics the data path
+// updates.
+func (v *Volume) RegisterMetrics(reg *obs.Registry) {
+	st := &v.stats
+	reg.RegisterCounter("sm_cluster_elements_read_total",
+		"Logical data elements read.", &st.elementsRead)
+	reg.RegisterCounter("sm_cluster_elements_written_total",
+		"Logical data elements written.", &st.elementsWritten)
+	reg.RegisterCounter("sm_cluster_degraded_reads_total",
+		"Element reads served from a replica because the data disk was failed or unreachable.", &st.degradedReads)
+	reg.RegisterCounter("sm_cluster_failovers_total",
+		"Element fetches re-routed to another backend after an I/O failure.", &st.failovers)
+	reg.RegisterCounter("sm_cluster_auto_failed_total",
+		"Disks auto-failed by the write path after their backend stopped accepting writes.", &st.autoFailed)
+	reg.RegisterHistogram("sm_cluster_read_duration_seconds",
+		"Volume.ReadAt wall time.", st.readLat)
+	reg.RegisterHistogram("sm_cluster_write_duration_seconds",
+		"Volume.WriteAt wall time.", st.writeLat)
+	reg.RegisterGauge("sm_cluster_rebuilds_active",
+		"Rebuilds in flight.", &st.rebuildActive)
+	reg.RegisterCounter("sm_cluster_rebuilds_total",
+		"Completed RebuildDisk runs.", &st.rebuilds)
+	reg.RegisterCounter("sm_cluster_rebuild_bytes_total",
+		"Bytes written to replacement backends by rebuilds.", &st.rebuildBytes)
+	reg.RegisterCounter("sm_cluster_rebuild_stripes_total",
+		"Stripes recovered by rebuilds (including re-recovery after watermark rollback).", &st.rebuildStripes)
+	reg.RegisterCounter("sm_cluster_rebuild_nanoseconds_total",
+		"Wall time spent inside completed rebuilds, in nanoseconds.", &st.rebuildNanos)
+	reg.RegisterHistogram("sm_cluster_rebuild_slice_duration_seconds",
+		"Per-slice rebuild wall time (one exclusive-lock hold).", st.sliceLat)
+	reg.RegisterCounter("sm_cluster_scrubs_total",
+		"Completed scrub passes.", &st.scrubs)
+	reg.RegisterCounter("sm_cluster_scrub_elements_compared_total",
+		"Replica elements compared against their data element across all scrubs.", &st.scrubElements)
+	reg.RegisterCounter("sm_cluster_scrub_skipped_disks_total",
+		"Disks skipped (failed or unreachable) across all scrubs.", &st.scrubSkipped)
+	for _, id := range v.arch.Disks() {
+		ds := st.perDisk[id]
+		label := id.String()
+		reg.RegisterCounter("sm_cluster_backend_requests_total",
+			"Operations submitted to the backend.", &ds.pool.requests, "disk", label)
+		reg.RegisterCounter("sm_cluster_backend_retries_total",
+			"Extra attempts after transport failures.", &ds.pool.retries, "disk", label)
+		reg.RegisterCounter("sm_cluster_backend_dials_total",
+			"Connections opened to the backend.", &ds.pool.dials, "disk", label)
+		reg.RegisterCounter("sm_cluster_backend_errors_total",
+			"Operations that ultimately failed.", &ds.pool.errors, "disk", label)
+		reg.RegisterCounter("sm_cluster_backend_poisoned_total",
+			"Connections poisoned and closed by transport errors.", &ds.pool.poisoned, "disk", label)
+		reg.RegisterCounter("sm_cluster_backend_deaths_total",
+			"Alive-to-dead pool state transitions.", &ds.pool.deaths, "disk", label)
+		reg.RegisterCounter("sm_cluster_backend_revivals_total",
+			"Dead-to-alive pool state transitions (successful probes).", &ds.pool.revivals, "disk", label)
+		reg.RegisterGauge("sm_cluster_backend_dead",
+			"1 while the backend is marked dead.", &ds.pool.deadGauge, "disk", label)
+		reg.RegisterCounter("sm_cluster_rebuild_read_elements_total",
+			"Elements this backend served as a source for other disks' rebuilds.", &ds.rebuildReads, "disk", label)
+		reg.RegisterGauge("sm_cluster_rebuild_watermark_stripes",
+			"Disk availability frontier: Stripes when healthy, rebuild watermark while failed.", &ds.watermark, "disk", label)
+	}
+}
+
+// SliceLatencyP99 is a convenience for operators: the p99 of rebuild
+// slice wall time, the longest exclusive-lock hold user I/O waits on.
+func (s Stats) SliceLatencyP99() time.Duration {
+	return s.Rebuild.SliceLatency.Quantile(0.99)
+}

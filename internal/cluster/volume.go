@@ -7,9 +7,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"shiftedmirror/internal/blockserver"
 	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/obs"
 	"shiftedmirror/internal/raid"
 )
 
@@ -63,13 +65,55 @@ type Volume struct {
 }
 
 type volumeStats struct {
-	elementsRead, elementsWritten atomic.Int64
-	degradedReads                 atomic.Int64
-	failovers                     atomic.Int64
-	autoFailed                    atomic.Int64
-	rebuilds                      atomic.Int64
-	rebuildBytes                  atomic.Int64
-	rebuildNanos                  atomic.Int64
+	elementsRead, elementsWritten obs.Counter
+	degradedReads                 obs.Counter
+	failovers                     obs.Counter
+	autoFailed                    obs.Counter
+	rebuilds                      obs.Counter
+	rebuildBytes                  obs.Counter
+	rebuildStripes                obs.Counter
+	rebuildNanos                  obs.Counter
+	rebuildActive                 obs.Gauge // rebuilds currently in flight
+	scrubs                        obs.Counter
+	scrubElements                 obs.Counter // replica elements compared across all scrubs
+	scrubSkipped                  obs.Counter // disks skipped across all scrubs
+
+	readLat  *obs.Histogram // ReadAt wall time
+	writeLat *obs.Histogram // WriteAt wall time
+	sliceLat *obs.Histogram // rebuild slice wall time (one exclusive-lock hold)
+
+	// perDisk is fixed at New: per-slot counters survive backend
+	// replacement, so a disk's history spans machine swaps.
+	perDisk map[raid.DiskID]*diskStats
+}
+
+// diskStats are one disk slot's counters: its pool's network-level
+// state machine plus the cluster-level rebuild bookkeeping.
+type diskStats struct {
+	pool poolStats
+	// rebuildReads counts data elements this backend served as a
+	// *source* for some other disk's rebuild — the wire-level footprint
+	// of the paper's Properties 1/2 (shifted: a failed disk's rebuild
+	// load spreads one element-column per surviving backend; traditional:
+	// it all lands on the twin).
+	rebuildReads obs.Counter
+	// watermark is the disk's availability frontier in stripes: Stripes
+	// when healthy, the rebuild watermark while failed.
+	watermark obs.Gauge
+}
+
+// init populates a zero volumeStats in place (the struct embeds
+// atomics and must not be copied).
+func (s *volumeStats) init(disks []raid.DiskID, stripes int) {
+	s.readLat = obs.NewHistogram()
+	s.writeLat = obs.NewHistogram()
+	s.sliceLat = obs.NewHistogram()
+	s.perDisk = map[raid.DiskID]*diskStats{}
+	for _, id := range disks {
+		ds := &diskStats{}
+		ds.watermark.Set(int64(stripes))
+		s.perDisk[id] = ds
+	}
 }
 
 // BackendHealth is one backend's view in a Health snapshot.
@@ -132,12 +176,13 @@ func New(arch *raid.Mirror, backends map[raid.DiskID]string, cfg Config) (*Volum
 		progress:    map[raid.DiskID]int{},
 		rebuilding:  map[raid.DiskID]bool{},
 	}
+	v.stats.init(arch.Disks(), cfg.Stripes)
 	for _, id := range arch.Disks() {
 		addr, ok := backends[id]
 		if !ok {
 			return nil, fmt.Errorf("cluster: no backend address for disk %v", id)
 		}
-		v.pools[id] = newPool(addr, cfg)
+		v.pools[id] = newPool(addr, cfg, &v.stats.perDisk[id].pool)
 		v.addrs[id] = addr
 	}
 	if len(backends) != len(v.pools) {
@@ -230,12 +275,29 @@ func (v *Volume) available(id raid.DiskID, stripe int) bool {
 	return !v.failed[id] || stripe < v.progress[id]
 }
 
+// fetchKind says on whose behalf fetchSpans is running, which decides
+// how served spans are attributed in the stats.
+type fetchKind int
+
+const (
+	// fetchUser is a client read: replica-served spans count as
+	// degraded reads.
+	fetchUser fetchKind = iota
+	// fetchInternal is a read-modify-write pre-read: replica serving is
+	// routine, nothing extra is counted.
+	fetchInternal
+	// fetchRebuild is a rebuild gather: every served span is credited
+	// to the backend that sourced it, so the per-backend rebuild load
+	// distribution (Properties 1/2) is observable on the wire.
+	fetchRebuild
+)
+
 // fetchSpans serves every span from its first surviving location,
 // failing over to later locations (replica backends) as groups fail.
-// Call with v.mu held (read or write). countDegraded attributes
-// non-primary serving to the DegradedReads counter (user reads only; a
-// rebuild reads replicas by design).
-func (v *Volume) fetchSpans(spans []*span, countDegraded bool) error {
+// Call with v.mu held (read or write). kind attributes the serving:
+// degraded-read counting for user reads, per-backend source counting
+// for rebuild gathers.
+func (v *Volume) fetchSpans(spans []*span, kind fetchKind) error {
 	pending := spans
 	for len(pending) > 0 {
 		groups := map[raid.DiskID][]*span{}
@@ -251,24 +313,28 @@ func (v *Volume) fetchSpans(spans []*span, countDegraded bool) error {
 			groups[s.loc.id] = append(groups[s.loc.id], s)
 		}
 		type result struct {
+			id     raid.DiskID
 			spans  []*span // spans that must fail over
-			served int     // degraded spans that were served
+			served int     // spans this backend actually served
 		}
 		results := make(chan result, len(groups))
 		for id, g := range groups {
 			go func(id raid.DiskID, g []*span) {
 				failed := v.fetchGroup(id, g)
-				degraded := 0
-				if countDegraded && id.Role != raid.RoleData {
-					degraded = len(g) - len(failed)
-				}
-				results <- result{failed, degraded}
+				results <- result{id, failed, len(g) - len(failed)}
 			}(id, g)
 		}
 		pending = nil
 		for range groups {
 			r := <-results
-			v.stats.degradedReads.Add(int64(r.served))
+			switch kind {
+			case fetchUser:
+				if r.id.Role != raid.RoleData {
+					v.stats.degradedReads.Add(int64(r.served))
+				}
+			case fetchRebuild:
+				v.stats.perDisk[r.id].rebuildReads.Add(int64(r.served))
+			}
 			for _, s := range r.spans {
 				s.src++
 				pending = append(pending, s)
@@ -320,6 +386,8 @@ func (v *Volume) ReadAt(p []byte, off int64) (int, error) {
 	if off+int64(n) > size {
 		n = int(size - off)
 	}
+	start := time.Now()
+	defer func() { v.stats.readLat.Observe(time.Since(start)) }()
 	v.mu.RLock()
 	spans := make([]*span, 0, int64(n)/v.elementSize+2)
 	for total := 0; total < n; {
@@ -335,7 +403,7 @@ func (v *Volume) ReadAt(p []byte, off int64) (int, error) {
 		total += int(chunk)
 	}
 	v.stats.elementsRead.Add(int64(len(spans)))
-	err := v.fetchSpans(spans, true)
+	err := v.fetchSpans(spans, fetchUser)
 	v.mu.RUnlock()
 	if err != nil {
 		return 0, err
@@ -365,6 +433,8 @@ func (v *Volume) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 || off+int64(len(p)) > v.Size() {
 		return 0, fmt.Errorf("cluster: write [%d,%d) outside volume of %d bytes", off, off+int64(len(p)), v.Size())
 	}
+	start := time.Now()
+	defer func() { v.stats.writeLat.Observe(time.Since(start)) }()
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	var ops []writeOp
@@ -382,7 +452,7 @@ func (v *Volume) WriteAt(p []byte, off int64) (int, error) {
 			// Sub-element write: read-modify-write the element.
 			content = make([]byte, v.elementSize)
 			s := &span{stripe: stripe, disk: disk, row: row, buf: content}
-			if err := v.fetchSpans([]*span{s}, false); err != nil {
+			if err := v.fetchSpans([]*span{s}, fetchInternal); err != nil {
 				return total, err
 			}
 			copy(content[inner:], p[total:total+int(chunk)])
@@ -405,13 +475,16 @@ func (v *Volume) WriteAt(p []byte, off int64) (int, error) {
 		if !v.failed[id] {
 			v.failed[id] = true
 			v.progress[id] = 0
-			v.stats.autoFailed.Add(1)
+			v.stats.autoFailed.Inc()
+			v.stats.perDisk[id].watermark.Set(0)
+			v.trace(obs.Event{Op: "auto_fail", Target: id.String()})
 		} else if v.progress[id] > minStripe {
 			// A disk mid-rebuild missed a write below its watermark: the
 			// rebuilt copy of that stripe is now stale. Pull the watermark
 			// back so reads fail over to the replicas that did take the
 			// write and the rebuild re-recovers everything from there.
 			v.progress[id] = minStripe
+			v.stats.perDisk[id].watermark.Set(int64(minStripe))
 		}
 	}
 	if err != nil {
@@ -497,7 +570,16 @@ func (v *Volume) Fail(id raid.DiskID) error {
 	}
 	v.failed[id] = true
 	v.progress[id] = 0
+	v.stats.perDisk[id].watermark.Set(0)
+	v.trace(obs.Event{Op: "fail", Target: id.String()})
 	return nil
+}
+
+// trace emits ev to the configured tracer, if any.
+func (v *Volume) trace(ev obs.Event) {
+	if v.cfg.Tracer != nil {
+		v.cfg.Tracer.Trace(ev)
+	}
 }
 
 // ReplaceBackend points a disk at a new (typically fresh) backend,
@@ -511,8 +593,11 @@ func (v *Volume) ReplaceBackend(id raid.DiskID, addr string) error {
 		return fmt.Errorf("cluster: unknown disk %v", id)
 	}
 	old.close()
-	v.pools[id] = newPool(addr, v.cfg)
+	// The disk slot's counters carry over: replacing the machine does
+	// not erase the disk's service history.
+	v.pools[id] = newPool(addr, v.cfg, &v.stats.perDisk[id].pool)
 	v.addrs[id] = addr
+	v.trace(obs.Event{Op: "replace_backend", Target: id.String()})
 	return nil
 }
 
@@ -693,5 +778,9 @@ func (v *Volume) Scrub() (ScrubReport, error) {
 		report.Skipped = append(report.Skipped, id)
 	}
 	sortDisks(report.Skipped)
+	v.stats.scrubs.Inc()
+	v.stats.scrubElements.Add(report.ElementsCompared)
+	v.stats.scrubSkipped.Add(int64(len(report.Skipped)))
+	v.trace(obs.Event{Op: "scrub", Bytes: report.ElementsCompared * v.elementSize})
 	return report, nil
 }

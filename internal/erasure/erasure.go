@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"shiftedmirror/internal/gf"
 )
@@ -101,6 +102,8 @@ func (x *XORParity) Encode(shards [][]byte) error {
 	if err != nil {
 		return err
 	}
+	defer record(&metrics.encodes, &metrics.encodeBytes, &metrics.encodeNanos,
+		int64(size)*int64(len(shards)), time.Now())
 	x.ex.forEachChunk(size, func(lo, hi int) {
 		xorOthersRange(shards, x.k, lo, hi, shards[x.k][lo:hi])
 	})
@@ -126,6 +129,8 @@ func (x *XORParity) Reconstruct(shards [][]byte) error {
 	if missing == -1 {
 		return nil
 	}
+	defer record(&metrics.reconstructs, &metrics.reconstructBytes, &metrics.reconstructNanos,
+		int64(size)*int64(len(shards)), time.Now())
 	out := make([]byte, size)
 	x.ex.forEachChunk(size, func(lo, hi int) {
 		xorOthersRange(shards, missing, lo, hi, out[lo:hi])
@@ -163,6 +168,8 @@ func (x *XORParity) Verify(shards [][]byte) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	defer record(&metrics.verifies, &metrics.verifyBytes, &metrics.verifyNanos,
+		int64(size)*int64(len(shards)), time.Now())
 	var bad atomic.Bool
 	x.ex.forEachChunk(size, func(lo, hi int) {
 		if bad.Load() {

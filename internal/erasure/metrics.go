@@ -1,0 +1,86 @@
+package erasure
+
+import (
+	"time"
+
+	"shiftedmirror/internal/gf"
+	"shiftedmirror/internal/obs"
+)
+
+// Package-level throughput counters. Codes are created ad hoc all over
+// the tree (one per array, per test, per benchmark), so the counters
+// live at package scope: every XORParity/ReedSolomon/XorCode operation
+// lands here regardless of which instance ran it. Updates are single
+// atomic adds — no allocation, no lock — and the gf kernel in effect is
+// attached as a label at registration time (it is fixed per process).
+var metrics struct {
+	encodeBytes, encodeNanos           obs.Counter
+	reconstructBytes, reconstructNanos obs.Counter
+	verifyBytes, verifyNanos           obs.Counter
+	encodes, reconstructs, verifies    obs.Counter
+}
+
+// record accumulates one bulk operation: total payload bytes (shard
+// size × shard count) and wall time.
+func record(ops, bytes, nanos *obs.Counter, n int64, start time.Time) {
+	ops.Inc()
+	bytes.Add(n)
+	nanos.Add(time.Since(start).Nanoseconds())
+}
+
+// OpStats is one operation family's cumulative totals.
+type OpStats struct {
+	Ops   int64   `json:"ops"`
+	Bytes int64   `json:"bytes"`
+	Nanos int64   `json:"nanos"`
+	MBps  float64 `json:"mbps"` // cumulative rate; 0 before the first op
+}
+
+func opStats(ops, bytes, nanos *obs.Counter) OpStats {
+	s := OpStats{Ops: ops.Load(), Bytes: bytes.Load(), Nanos: nanos.Load()}
+	if s.Nanos > 0 {
+		s.MBps = float64(s.Bytes) / 1e6 / (float64(s.Nanos) / 1e9)
+	}
+	return s
+}
+
+// Stats is a snapshot of the package's cumulative throughput by
+// operation, with the gf kernel that produced it.
+type Stats struct {
+	Kernel      string  `json:"kernel"`
+	Encode      OpStats `json:"encode"`
+	Reconstruct OpStats `json:"reconstruct"`
+	Verify      OpStats `json:"verify"`
+}
+
+// GetStats snapshots the package counters.
+func GetStats() Stats {
+	return Stats{
+		Kernel:      gf.ActiveKernel().String(),
+		Encode:      opStats(&metrics.encodes, &metrics.encodeBytes, &metrics.encodeNanos),
+		Reconstruct: opStats(&metrics.reconstructs, &metrics.reconstructBytes, &metrics.reconstructNanos),
+		Verify:      opStats(&metrics.verifies, &metrics.verifyBytes, &metrics.verifyNanos),
+	}
+}
+
+// RegisterMetrics exposes the package counters on reg under
+// sm_erasure_*, labeled with the active gf kernel.
+func RegisterMetrics(reg *obs.Registry) {
+	kernel := gf.ActiveKernel().String()
+	type fam struct {
+		op                string
+		ops, bytes, nanos *obs.Counter
+	}
+	for _, f := range []fam{
+		{"encode", &metrics.encodes, &metrics.encodeBytes, &metrics.encodeNanos},
+		{"reconstruct", &metrics.reconstructs, &metrics.reconstructBytes, &metrics.reconstructNanos},
+		{"verify", &metrics.verifies, &metrics.verifyBytes, &metrics.verifyNanos},
+	} {
+		reg.RegisterCounter("sm_erasure_ops_total",
+			"Bulk erasure operations completed.", f.ops, "op", f.op, "kernel", kernel)
+		reg.RegisterCounter("sm_erasure_bytes_total",
+			"Payload bytes processed (shard size times shard count).", f.bytes, "op", f.op, "kernel", kernel)
+		reg.RegisterCounter("sm_erasure_nanoseconds_total",
+			"Wall time spent in bulk erasure operations, in nanoseconds.", f.nanos, "op", f.op, "kernel", kernel)
+	}
+}

@@ -1,0 +1,112 @@
+package erasure
+
+import (
+	"strings"
+	"testing"
+
+	"shiftedmirror/internal/obs"
+)
+
+// resetMetrics zeroes the package counters so a test can assert exact
+// deltas despite other tests having run first.
+func resetMetrics() {
+	for _, c := range []*obs.Counter{
+		&metrics.encodes, &metrics.encodeBytes, &metrics.encodeNanos,
+		&metrics.reconstructs, &metrics.reconstructBytes, &metrics.reconstructNanos,
+		&metrics.verifies, &metrics.verifyBytes, &metrics.verifyNanos,
+	} {
+		c.Reset()
+	}
+}
+
+func makeShards(k, m, size int) [][]byte {
+	shards := make([][]byte, k+m)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		for j := range shards[i] {
+			shards[i][j] = byte(i*31 + j)
+		}
+	}
+	return shards
+}
+
+func TestPackageThroughputCounters(t *testing.T) {
+	resetMetrics()
+	const k, m, size = 4, 2, 1 << 10
+	rs := NewReedSolomon(k, m)
+	shards := makeShards(k, m, size)
+	if err := rs.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := rs.Verify(shards); err != nil || !ok {
+		t.Fatalf("verify: ok=%v err=%v", ok, err)
+	}
+	shards[0], shards[k] = nil, nil
+	if err := rs.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+
+	s := GetStats()
+	if s.Kernel == "" {
+		t.Fatal("no kernel name in stats")
+	}
+	total := int64((k + m) * size)
+	if s.Encode.Ops != 1 || s.Encode.Bytes != total {
+		t.Fatalf("encode stats wrong: %+v", s.Encode)
+	}
+	if s.Verify.Ops != 1 || s.Verify.Bytes != total {
+		t.Fatalf("verify stats wrong: %+v", s.Verify)
+	}
+	if s.Reconstruct.Ops != 1 || s.Reconstruct.Bytes != total {
+		t.Fatalf("reconstruct stats wrong: %+v", s.Reconstruct)
+	}
+	if s.Encode.Nanos <= 0 || s.Encode.MBps <= 0 {
+		t.Fatalf("encode timing missing: %+v", s.Encode)
+	}
+
+	// Reconstruct with nothing missing must not count for RS (it returns
+	// before touching any bytes).
+	if err := rs.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	if got := GetStats().Reconstruct.Ops; got != 1 {
+		t.Fatalf("no-op reconstruct counted: ops=%d", got)
+	}
+
+	// XORParity and EVENODD funnel into the same counters.
+	xp := NewXORParity(3)
+	ps := makeShards(3, 1, size)
+	if err := xp.Encode(ps); err != nil {
+		t.Fatal(err)
+	}
+	eo := NewEvenOdd(5, 5)
+	es := makeShards(eo.DataShards(), eo.ParityShards(), 4*(5-1))
+	if err := eo.Encode(es); err != nil {
+		t.Fatal(err)
+	}
+	if got := GetStats().Encode.Ops; got != 3 {
+		t.Fatalf("encode ops = %d, want 3", got)
+	}
+}
+
+func TestErasureMetricsExposition(t *testing.T) {
+	resetMetrics()
+	xp := NewXORParity(2)
+	shards := makeShards(2, 1, 64)
+	if err := xp.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	RegisterMetrics(reg)
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, `sm_erasure_ops_total{op="encode",kernel=`) {
+		t.Fatalf("exposition missing encode series:\n%s", text)
+	}
+	if !strings.Contains(text, "# TYPE sm_erasure_bytes_total counter") {
+		t.Fatalf("exposition missing bytes family:\n%s", text)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"shiftedmirror/internal/gf"
 	"shiftedmirror/internal/matrix"
@@ -78,6 +79,8 @@ func (rs *ReedSolomon) Encode(shards [][]byte) error {
 	if err != nil {
 		return err
 	}
+	defer record(&metrics.encodes, &metrics.encodeBytes, &metrics.encodeNanos,
+		int64(size)*int64(len(shards)), time.Now())
 	rs.ex.forEachChunk(size, func(lo, hi int) {
 		mulRegionsRange(rs.parity, shards[:rs.k], shards[rs.k:], lo, hi)
 	})
@@ -105,6 +108,8 @@ func (rs *ReedSolomon) Reconstruct(shards [][]byte) error {
 	if len(missing) > rs.m {
 		return ErrTooManyErasures
 	}
+	defer record(&metrics.reconstructs, &metrics.reconstructBytes, &metrics.reconstructNanos,
+		int64(size)*int64(len(shards)), time.Now())
 	// Choose k surviving rows of the generator, preferring data rows (the
 	// identity rows make the decode matrix cheaper to invert).
 	if len(surviving) < rs.k {
@@ -166,6 +171,8 @@ func (rs *ReedSolomon) Verify(shards [][]byte) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	defer record(&metrics.verifies, &metrics.verifyBytes, &metrics.verifyNanos,
+		int64(size)*int64(len(shards)), time.Now())
 	var bad atomic.Bool
 	rs.ex.forEachChunk(size, func(lo, hi int) {
 		if bad.Load() {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"shiftedmirror/internal/gf"
 )
@@ -129,6 +130,8 @@ func (x *XorCode) Encode(shards [][]byte) error {
 	if err := x.checkRowDivisible(size); err != nil {
 		return err
 	}
+	defer record(&metrics.encodes, &metrics.encodeBytes, &metrics.encodeNanos,
+		int64(size)*int64(len(shards)), time.Now())
 	x.ex.forEachChunk(size/x.rows, func(lo, hi int) {
 		for p := 0; p < x.m; p++ {
 			for r := 0; r < x.rows; r++ {
@@ -149,6 +152,8 @@ func (x *XorCode) Verify(shards [][]byte) (bool, error) {
 	if err := x.checkRowDivisible(size); err != nil {
 		return false, err
 	}
+	defer record(&metrics.verifies, &metrics.verifyBytes, &metrics.verifyNanos,
+		int64(size)*int64(len(shards)), time.Now())
 	var bad atomic.Bool
 	x.ex.forEachChunk(size/x.rows, func(lo, hi int) {
 		acc := getBuf(hi - lo)
@@ -188,6 +193,8 @@ func (x *XorCode) Reconstruct(shards [][]byte) error {
 	}
 	rowSize := size / x.rows
 
+	defer record(&metrics.reconstructs, &metrics.reconstructBytes, &metrics.reconstructNanos,
+		int64(size)*int64(len(shards)), time.Now())
 	// Index unknown cells: every row of every erased data shard.
 	unknownIndex := make(map[Cell]int)
 	var unknownCells []Cell

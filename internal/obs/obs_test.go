@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the edge semantics: bounds are
+// inclusive upper edges, values above the last bound land in the
+// overflow bucket, and negatives clamp to zero.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 10*time.Millisecond, 100*time.Millisecond)
+	cases := []struct {
+		v    time.Duration
+		want int // bucket index
+	}{
+		{-5 * time.Millisecond, 0}, // clamps to 0
+		{0, 0},
+		{time.Millisecond, 0}, // exactly on a bound is inside it (le)
+		{time.Millisecond + 1, 1},
+		{10 * time.Millisecond, 1},
+		{10*time.Millisecond + 1, 2},
+		{100 * time.Millisecond, 2},
+		{100*time.Millisecond + 1, 3}, // overflow
+		{time.Hour, 3},
+	}
+	for _, c := range cases {
+		h.Reset()
+		h.Observe(c.v)
+		s := h.Snapshot()
+		for i, n := range s.Counts {
+			want := uint64(0)
+			if i == c.want {
+				want = 1
+			}
+			if n != want {
+				t.Errorf("Observe(%v): bucket %d = %d, want %d", c.v, i, n, want)
+			}
+		}
+	}
+}
+
+func TestHistogramSumCountMean(t *testing.T) {
+	h := NewHistogram(time.Millisecond, time.Second)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(4 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count)
+	}
+	if s.Sum != 6*time.Millisecond {
+		t.Fatalf("Sum = %v, want 6ms", s.Sum)
+	}
+	if got := s.Mean(); got != 3*time.Millisecond {
+		t.Fatalf("Mean = %v, want 3ms", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 10*time.Millisecond, 100*time.Millisecond)
+	for i := 0; i < 90; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != time.Millisecond {
+		t.Errorf("p50 = %v, want 1ms (bucket upper bound)", got)
+	}
+	if got := s.Quantile(0.99); got != 100*time.Millisecond {
+		t.Errorf("p99 = %v, want 100ms (bucket upper bound)", got)
+	}
+	if got := (HistSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+// TestSnapshotVersusReset pins the semantics apart: Snapshot is a pure
+// read (state unchanged, monotonic across calls), Reset zeroes.
+func TestSnapshotVersusReset(t *testing.T) {
+	h := NewHistogram(time.Millisecond)
+	h.Observe(time.Microsecond)
+	s1 := h.Snapshot()
+	s2 := h.Snapshot()
+	if s1.Count != 1 || s2.Count != 1 {
+		t.Fatalf("Snapshot mutated state: counts %d, %d", s1.Count, s2.Count)
+	}
+	h.Observe(time.Microsecond)
+	if s3 := h.Snapshot(); s3.Count != 2 {
+		t.Fatalf("after second observe Count = %d, want 2", s3.Count)
+	}
+	if s1.Count != 1 {
+		t.Fatalf("earlier snapshot changed retroactively: %d", s1.Count)
+	}
+	h.Reset()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("after Reset: Count=%d Sum=%v, want zeros", s.Count, s.Sum)
+	}
+	for i, n := range s.Counts {
+		if n != 0 {
+			t.Fatalf("after Reset: bucket %d = %d, want 0", i, n)
+		}
+	}
+
+	var c Counter
+	c.Add(5)
+	if c.Load() != 5 {
+		t.Fatalf("Counter.Load = %d, want 5", c.Load())
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Fatalf("Counter after Reset = %d, want 0", c.Load())
+	}
+}
+
+func TestHistogramAscendingBoundsEnforced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram accepted non-ascending bounds")
+		}
+	}()
+	NewHistogram(time.Second, time.Millisecond)
+}
+
+// TestHotPathAllocs is the acceptance guard: counter, gauge, and
+// histogram updates must not allocate.
+func TestHotPathAllocs(t *testing.T) {
+	var c Counter
+	var g Gauge
+	h := NewHistogram()
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n != 0 {
+		t.Errorf("Counter.Add allocates %.1f per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %.1f per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(7) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %.1f per op", n)
+	}
+	d := 3 * time.Millisecond
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(d) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f per op", n)
+	}
+}
+
+// TestMetricsUnderRace hammers counters and histograms from concurrent
+// writers while snapshots are taken, so `go test -race` covers the
+// whole surface, and checks no observation is lost once writers stop.
+func TestMetricsUnderRace(t *testing.T) {
+	const writers = 8
+	const perWriter = 2000
+	var c Counter
+	var g Gauge
+	h := NewHistogram(time.Millisecond, time.Second)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() { // concurrent snapshot/exposition reader
+		defer readers.Done()
+		reg := NewRegistry()
+		reg.RegisterCounter("race_counter_total", "t", &c)
+		reg.RegisterGauge("race_gauge", "t", &g)
+		reg.RegisterHistogram("race_latency_seconds", "t", h)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Snapshot()
+				c.Load()
+				reg.WriteText(discard{})
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Set(int64(seed*perWriter + i))
+				h.Observe(time.Duration(i%3) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := c.Load(); got != writers*perWriter {
+		t.Fatalf("lost counter updates: %d, want %d", got, writers*perWriter)
+	}
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("lost histogram updates: %d, want %d", s.Count, writers*perWriter)
+	}
+	var sum uint64
+	for _, n := range s.Counts {
+		sum += n
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d after writers stopped", sum, s.Count)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
