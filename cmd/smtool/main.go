@@ -14,7 +14,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -26,6 +28,7 @@ import (
 	"shiftedmirror/internal/blockserver"
 	"shiftedmirror/internal/cluster"
 	"shiftedmirror/internal/dev"
+	"shiftedmirror/internal/faultinject"
 	"shiftedmirror/internal/layout"
 	"shiftedmirror/internal/obs"
 	"shiftedmirror/internal/raid"
@@ -426,6 +429,7 @@ func cmdServeDisk(args []string) error {
 	size := fs.Int64("size", 1<<20, "disk capacity in bytes (ignored with -path on an existing file)")
 	path := fs.String("path", "", "back the disk with this file (default: in-memory)")
 	rate := fs.Float64("rate", 0, "read bandwidth cap in MB/s (0 = unthrottled)")
+	inject := fs.String("inject", "", "fault-injection spec, e.g. delay=5ms,jitter=2ms,stall=100ms,stallevery=8,errevery=0,seed=7 (default: none)")
 	metricsAddr := fs.String("metrics", "", "serve Prometheus metrics on this address (e.g. :9090; default: off)")
 	fs.Parse(args)
 	var store blockserver.Store
@@ -438,6 +442,14 @@ func cmdServeDisk(args []string) error {
 		}
 		defer f.Close()
 		store = f
+	}
+	if *inject != "" {
+		icfg, err := faultinject.ParseSpec(*inject)
+		if err != nil {
+			return err
+		}
+		store = faultinject.Wrap(store, icfg)
+		fmt.Printf("fault injection active: %s\n", *inject)
 	}
 	var opts []blockserver.ServerOption
 	if *rate > 0 {
@@ -501,13 +513,14 @@ func cmdCluster(args []string) error {
 	replace := fs.String("replace", "", "replacement backend address for the failed disk (external backends only)")
 	metricsAddr := fs.String("metrics", "", "serve Prometheus metrics on this address during the run (default: off)")
 	statsJSON := fs.Bool("stats", false, "print the final Volume.Stats() snapshot as JSON")
+	hedge := fs.Bool("hedge", false, "enable hedged reads (race slow backends against replica locations)")
 	fs.Parse(args)
 
 	arch, err := buildArch(*arrName, *n, false)
 	if err != nil {
 		return err
 	}
-	cfg := cluster.Config{ElementSize: *elementSize, Stripes: *stripes}
+	cfg := cluster.Config{ElementSize: *elementSize, Stripes: *stripes, HedgeEnabled: *hedge}
 	diskSize := int64(*stripes) * int64(*n) * *elementSize
 
 	var backends map[raid.DiskID]string
@@ -555,12 +568,12 @@ func cmdCluster(args []string) error {
 	if _, err := v.WriteAt(payload, 0); err != nil {
 		return err
 	}
-	rep, err := v.Scrub()
+	rep, err := v.Scrub(context.Background())
+	if errors.Is(err, cluster.ErrDegraded) {
+		return fmt.Errorf("scrub skipped backends %v: %w", rep.Skipped, err)
+	}
 	if err != nil {
 		return err
-	}
-	if len(rep.Skipped) > 0 {
-		return fmt.Errorf("scrub skipped backends %v", rep.Skipped)
 	}
 	fmt.Printf("filled; scrub clean (%d elements compared)\n", rep.ElementsCompared)
 
@@ -597,7 +610,7 @@ func cmdCluster(args []string) error {
 				return err
 			}
 			start := time.Now()
-			if err := v.RebuildDisk(id); err != nil {
+			if err := v.RebuildDisk(context.Background(), id); err != nil {
 				return err
 			}
 			fmt.Printf("rebuilt %v onto %s in %v\n", id, addr, time.Since(start).Round(time.Millisecond))
@@ -608,12 +621,12 @@ func cmdCluster(args []string) error {
 		if !bytes.Equal(check, payload) {
 			return fmt.Errorf("post-rebuild read returned wrong data")
 		}
-		rep, err := v.Scrub()
+		rep, err := v.Scrub(context.Background())
+		if errors.Is(err, cluster.ErrDegraded) {
+			return fmt.Errorf("post-rebuild scrub skipped backends %v: %w", rep.Skipped, err)
+		}
 		if err != nil {
 			return err
-		}
-		if len(rep.Skipped) > 0 {
-			return fmt.Errorf("post-rebuild scrub skipped backends %v", rep.Skipped)
 		}
 		fmt.Printf("post-rebuild scrub clean (%d elements compared)\n", rep.ElementsCompared)
 	}

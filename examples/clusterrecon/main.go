@@ -17,6 +17,14 @@
 // uniform within ±1; a violation is a hard failure. -json emits the
 // whole report machine-readably so CI can assert on it.
 //
+// The run closes with a tail-latency experiment: data[0]'s store is
+// wrapped with a deterministic 100ms stall (internal/faultinject) and
+// the same seeded element reads are timed without and with hedged
+// reads. The shifted placement makes the hedge load-neutral — every
+// backup lands on a different backend (Properties 1/2) — and the
+// report hard-asserts that hedging cuts p99 by at least 3x with at
+// least one hedge win and zero data mismatches.
+//
 //	go run ./examples/clusterrecon            # defaults: n=5
 //	go run ./examples/clusterrecon -quick     # small CI-sized run
 //	go run ./examples/clusterrecon -quick -json > report.json
@@ -24,16 +32,20 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"time"
 
 	"shiftedmirror/internal/blockserver"
 	"shiftedmirror/internal/cluster"
 	"shiftedmirror/internal/dev"
+	"shiftedmirror/internal/faultinject"
 	"shiftedmirror/internal/layout"
 	"shiftedmirror/internal/raid"
 )
@@ -60,6 +72,26 @@ type runReport struct {
 	Stats           cluster.Stats  `json:"stats"`
 }
 
+// tailReport is the hedged-read tail-latency experiment: seeded
+// single-element reads against a shifted volume whose data[0] backend
+// stalls deterministically, measured without and with hedging.
+type tailReport struct {
+	Reads         int     `json:"reads"`
+	StallMs       float64 `json:"stall_ms"`
+	Straggler     string  `json:"straggler"`
+	UnhedgedP50Ms float64 `json:"unhedged_p50_ms"`
+	UnhedgedP99Ms float64 `json:"unhedged_p99_ms"`
+	HedgedP50Ms   float64 `json:"hedged_p50_ms"`
+	HedgedP99Ms   float64 `json:"hedged_p99_ms"`
+	// P99Speedup is unhedged p99 over hedged p99.
+	P99Speedup    float64 `json:"p99_speedup"`
+	HedgeAttempts int64   `json:"hedge_attempts"`
+	HedgeWins     int64   `json:"hedge_wins"`
+	HedgeLosses   int64   `json:"hedge_losses"`
+	HedgeCancels  int64   `json:"hedge_cancels"`
+	Mismatches    int     `json:"mismatches"`
+}
+
 // report is the whole run, one JSON document.
 type report struct {
 	N            int         `json:"n"`
@@ -70,6 +102,8 @@ type report struct {
 	Runs         []runReport `json:"runs"`
 	// Speedup is traditional rebuild time over shifted rebuild time.
 	Speedup float64 `json:"speedup"`
+	// Tail is the hedged-read experiment under an injected straggler.
+	Tail *tailReport `json:"tail,omitempty"`
 }
 
 func main() {
@@ -119,6 +153,21 @@ func main() {
 		os.Exit(1)
 	}
 
+	tailReads := 200
+	if *quick {
+		tailReads = 120
+	}
+	tail, err := measureTail(*n, *element, *stripes, 100*time.Millisecond, tailReads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterrecon: tail latency: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Tail = &tail
+	if err := assertTailProperty(tail); err != nil {
+		fmt.Fprintf(os.Stderr, "clusterrecon: hedging property violated: %v\n", err)
+		os.Exit(1)
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -140,6 +189,13 @@ func main() {
 		// warn instead of failing the smoke test.
 		fmt.Println("warning: expected shifted to be faster; machine load may have skewed the timing")
 	}
+	fmt.Printf("\ntail latency under a %.0fms straggler on %s (%d seeded element reads):\n",
+		tail.StallMs, tail.Straggler, tail.Reads)
+	fmt.Printf("%-10s %10s %10s\n", "", "p50", "p99")
+	fmt.Printf("%-10s %8.2fms %8.2fms\n", "unhedged", tail.UnhedgedP50Ms, tail.UnhedgedP99Ms)
+	fmt.Printf("%-10s %8.2fms %8.2fms\n", "hedged", tail.HedgedP50Ms, tail.HedgedP99Ms)
+	fmt.Printf("hedged p99 speedup: %.1fx (attempts %d, wins %d, losses %d, cancels %d)\n",
+		tail.P99Speedup, tail.HedgeAttempts, tail.HedgeWins, tail.HedgeLosses, tail.HedgeCancels)
 }
 
 // assertWireProperty checks the deterministic half of the paper's
@@ -170,6 +226,118 @@ func assertWireProperty(rep report) error {
 		}
 	}
 	return nil
+}
+
+// assertTailProperty checks the deterministic half of the hedging
+// claim: under a stall far above the hedge delay, hedged reads must
+// win at least once, never diverge from the written payload, and cut
+// p99 by at least 3x.
+func assertTailProperty(t tailReport) error {
+	if t.Mismatches != 0 {
+		return fmt.Errorf("%d reads diverged from the written payload", t.Mismatches)
+	}
+	if t.HedgeWins == 0 {
+		return fmt.Errorf("no hedge wins under a %.0fms straggler (attempts %d)", t.StallMs, t.HedgeAttempts)
+	}
+	if t.P99Speedup < 3 {
+		return fmt.Errorf("hedged p99 speedup %.2fx, want >= 3x (unhedged %.2fms, hedged %.2fms)",
+			t.P99Speedup, t.UnhedgedP99Ms, t.HedgedP99Ms)
+	}
+	return nil
+}
+
+// measureTail times seeded single-element reads against a shifted
+// volume whose data[0] backend stalls on every read, first without and
+// then with hedging, over the same backends. Reads are byte-verified
+// against the written payload; the stall is injected below the
+// blockserver, so both volumes see the identical straggler.
+func measureTail(n int, element int64, stripes int, stall time.Duration, reads int) (tailReport, error) {
+	straggler := raid.DiskID{Role: raid.RoleData, Index: 0}
+	tr := tailReport{Reads: reads, StallMs: float64(stall) / float64(time.Millisecond), Straggler: straggler.String()}
+	arch := raid.NewMirror(layout.NewShifted(n))
+	diskSize := int64(stripes) * int64(n) * element
+
+	servers := make([]*blockserver.Server, 0, 2*n)
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	backends := map[raid.DiskID]string{}
+	for _, id := range arch.Disks() {
+		var store blockserver.Store = dev.NewMemStore(diskSize)
+		if id == straggler {
+			// Stall every read; writes (the fill below) stay fast.
+			store = faultinject.Wrap(store, faultinject.Config{
+				Seed: 7, StallEvery: 1, StallFor: stall,
+			})
+		}
+		srv := blockserver.NewStoreServer(store)
+		bound, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return tr, err
+		}
+		servers = append(servers, srv)
+		backends[id] = bound.String()
+	}
+
+	payload := make([]byte, diskSize*int64(n))
+	rand.New(rand.NewSource(7)).Read(payload)
+
+	runReads := func(v *cluster.Volume, fill bool) (p50, p99 float64, err error) {
+		if fill {
+			if _, err := v.WriteAt(payload, 0); err != nil {
+				return 0, 0, err
+			}
+		}
+		rng := rand.New(rand.NewSource(99))
+		elements := int(int64(len(payload)) / element)
+		buf := make([]byte, element)
+		lats := make([]time.Duration, 0, reads)
+		for i := 0; i < reads; i++ {
+			off := int64(rng.Intn(elements)) * element
+			start := time.Now()
+			if _, err := v.ReadAt(buf, off); err != nil {
+				return 0, 0, err
+			}
+			lats = append(lats, time.Since(start))
+			if !bytes.Equal(buf, payload[off:off+element]) {
+				tr.Mismatches++
+			}
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		return ms(lats[len(lats)/2]), ms(lats[len(lats)*99/100]), nil
+	}
+
+	unhedged, err := cluster.Open(arch, backends, cluster.WithGeometry(element, stripes))
+	if err != nil {
+		return tr, err
+	}
+	tr.UnhedgedP50Ms, tr.UnhedgedP99Ms, err = runReads(unhedged, true)
+	unhedged.Close()
+	if err != nil {
+		return tr, err
+	}
+
+	hedged, err := cluster.Open(arch, backends,
+		cluster.WithGeometry(element, stripes),
+		cluster.WithHedging(0.9, time.Millisecond, 10*time.Millisecond))
+	if err != nil {
+		return tr, err
+	}
+	defer hedged.Close()
+	tr.HedgedP50Ms, tr.HedgedP99Ms, err = runReads(hedged, false)
+	if err != nil {
+		return tr, err
+	}
+	hs := hedged.Stats().Hedge
+	tr.HedgeAttempts, tr.HedgeWins = hs.Attempts, hs.Wins
+	tr.HedgeLosses, tr.HedgeCancels = hs.Losses, hs.Cancels
+	if tr.HedgedP99Ms > 0 {
+		tr.P99Speedup = tr.UnhedgedP99Ms / tr.HedgedP99Ms
+	}
+	return tr, nil
 }
 
 // measure runs one full lose-and-rebuild cycle over real sockets and
@@ -236,7 +404,7 @@ func measure(name string, arr layout.Arrangement, element int64, stripes int, ra
 
 	v.ResetRebuildReads() // measure this rebuild's source spread alone
 	start := time.Now()
-	if err := v.RebuildDisk(lost); err != nil {
+	if err := v.RebuildDisk(context.Background(), lost); err != nil {
 		return rr, err
 	}
 	elapsed := time.Since(start)
@@ -252,12 +420,15 @@ func measure(name string, arr layout.Arrangement, element int64, stripes int, ra
 	if !bytes.Equal(check, payload) {
 		return rr, fmt.Errorf("post-rebuild read diverges from written payload")
 	}
-	scrub, err := v.Scrub()
+	scrub, err := v.Scrub(context.Background())
+	if errors.Is(err, cluster.ErrDegraded) {
+		return rr, fmt.Errorf("scrub skipped backends %v: %w", scrub.Skipped, err)
+	}
 	if err != nil {
 		return rr, err
 	}
-	if scrub.ElementsCompared == 0 || len(scrub.Skipped) > 0 {
-		return rr, fmt.Errorf("scrub verified nothing: %d elements compared, skipped %v", scrub.ElementsCompared, scrub.Skipped)
+	if scrub.ElementsCompared == 0 {
+		return rr, fmt.Errorf("scrub verified nothing: 0 elements compared")
 	}
 
 	rr.Stats = v.Stats()

@@ -1,6 +1,7 @@
 package blockserver
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -46,7 +47,14 @@ func Dial(addr string) (*Client, error) { return DialConfig(addr, Config{}) }
 
 // DialConfig connects to a Server with the given timeouts.
 func DialConfig(addr string, cfg Config) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	return DialContext(context.Background(), addr, cfg)
+}
+
+// DialContext connects to a Server, bounding the connect by both the
+// context and cfg.DialTimeout (whichever fires first).
+func DialContext(ctx context.Context, addr string, cfg Config) (*Client, error) {
+	d := net.Dialer{Timeout: cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -65,25 +73,65 @@ func (c *Client) Broken() error {
 }
 
 // do runs one request/response exchange under the client lock: it fails
-// fast on a poisoned connection, arms the per-op deadline, and poisons
-// the connection when the exchange dies mid-frame (anything but a clean
+// fast on a poisoned connection, arms the per-op deadline (the tighter
+// of cfg.OpTimeout and the context deadline), and poisons the
+// connection when the exchange dies mid-frame (anything but a clean
 // remote error leaves request and response streams out of step).
-func (c *Client) do(fn func() error) error {
+//
+// Cancellation is honored mid-frame, not just at op start: a watchdog
+// goroutine slams the connection deadline into the past the moment ctx
+// is cancelled, which fails the pending read/write immediately. The
+// interrupted stream is desynchronized, so the connection is poisoned
+// like any other mid-exchange death, and the returned error wraps
+// ctx.Err() so callers can errors.Is it.
+func (c *Client) do(ctx context.Context, fn func() error) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.broken != nil {
 		return fmt.Errorf("blockserver: connection poisoned by earlier error: %w", c.broken)
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var deadline time.Time
 	if c.cfg.OpTimeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.cfg.OpTimeout))
+		deadline = time.Now().Add(c.cfg.OpTimeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	if !deadline.IsZero() {
+		c.conn.SetDeadline(deadline)
+	}
+	var stop, watchdogDone chan struct{}
+	if ctx.Done() != nil {
+		stop = make(chan struct{})
+		watchdogDone = make(chan struct{})
+		go func(conn net.Conn) {
+			defer close(watchdogDone)
+			select {
+			case <-ctx.Done():
+				conn.SetDeadline(time.Now().Add(-time.Second))
+			case <-stop:
+			}
+		}(c.conn)
 	}
 	err := fn()
+	if stop != nil {
+		// Join the watchdog before touching the deadline again, so a
+		// late cancellation cannot clobber the reset below.
+		close(stop)
+		<-watchdogDone
+	}
 	if err != nil && !IsRemote(err) {
 		c.broken = err
 		c.conn.Close() // the stream is desynchronized; stop the server side too
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("blockserver: exchange interrupted: %w", cerr)
+		}
 		return err
 	}
-	if c.cfg.OpTimeout > 0 {
+	if !deadline.IsZero() || ctx.Done() != nil {
 		c.conn.SetDeadline(time.Time{})
 	}
 	return err
@@ -99,11 +147,17 @@ func (c *Client) roundTrip(req []byte) error {
 
 // ReadAt implements io.ReaderAt against the remote device.
 func (c *Client) ReadAt(p []byte, off int64) (int, error) {
+	return c.ReadAtCtx(context.Background(), p, off)
+}
+
+// ReadAtCtx is ReadAt with cancellation: ctx interrupts the exchange
+// even mid-frame (poisoning the connection — see do).
+func (c *Client) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
 	if len(p) > MaxIOSize {
 		return 0, fmt.Errorf("%w: read of %d bytes exceeds limit", ErrProtocol, len(p))
 	}
 	var n int
-	err := c.do(func() error {
+	err := c.do(ctx, func() error {
 		c.hdr[0] = OpRead
 		binary.BigEndian.PutUint64(c.hdr[1:9], uint64(off))
 		binary.BigEndian.PutUint32(c.hdr[9:13], uint32(len(p)))
@@ -128,6 +182,12 @@ func (c *Client) ReadAt(p []byte, off int64) (int, error) {
 // length is bounded by MaxIOSize and the range count by MaxVecCount;
 // split larger gathers into batches.
 func (c *Client) ReadV(vecs []Vec, dst [][]byte) error {
+	return c.ReadVCtx(context.Background(), vecs, dst)
+}
+
+// ReadVCtx is ReadV with cancellation: ctx interrupts the exchange even
+// mid-frame (poisoning the connection — see do).
+func (c *Client) ReadVCtx(ctx context.Context, vecs []Vec, dst [][]byte) error {
 	if len(vecs) != len(dst) {
 		return fmt.Errorf("blockserver: ReadV has %d ranges but %d buffers", len(vecs), len(dst))
 	}
@@ -147,7 +207,7 @@ func (c *Client) ReadV(vecs []Vec, dst [][]byte) error {
 	if total > MaxIOSize {
 		return fmt.Errorf("%w: gather of %d bytes exceeds limit", ErrProtocol, total)
 	}
-	return c.do(func() error {
+	return c.do(ctx, func() error {
 		req := getFrame(5 + 12*len(vecs))
 		(*req)[0] = OpReadV
 		binary.BigEndian.PutUint32((*req)[1:5], uint32(len(vecs)))
@@ -178,10 +238,16 @@ func (c *Client) ReadV(vecs []Vec, dst [][]byte) error {
 
 // WriteAt implements io.WriterAt against the remote device.
 func (c *Client) WriteAt(p []byte, off int64) (int, error) {
+	return c.WriteAtCtx(context.Background(), p, off)
+}
+
+// WriteAtCtx is WriteAt with cancellation: ctx interrupts the exchange
+// even mid-frame (poisoning the connection — see do).
+func (c *Client) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
 	if len(p) > MaxIOSize {
 		return 0, fmt.Errorf("%w: write of %d bytes exceeds limit", ErrProtocol, len(p))
 	}
-	err := c.do(func() error {
+	err := c.do(ctx, func() error {
 		c.hdr[0] = OpWrite
 		binary.BigEndian.PutUint64(c.hdr[1:9], uint64(off))
 		binary.BigEndian.PutUint32(c.hdr[9:13], uint32(len(p)))
@@ -202,7 +268,7 @@ func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 // Size returns the remote device's logical capacity.
 func (c *Client) Size() (int64, error) {
 	var v uint64
-	err := c.do(func() error {
+	err := c.do(context.Background(), func() error {
 		c.hdr[0] = OpSize
 		if err := c.roundTrip(c.hdr[:1]); err != nil {
 			return err
@@ -221,7 +287,7 @@ func (c *Client) FailDisk(id raid.DiskID) error { return c.diskOp(OpFail, id) }
 func (c *Client) Rebuild(id raid.DiskID) error { return c.diskOp(OpRebuild, id) }
 
 func (c *Client) diskOp(op byte, id raid.DiskID) error {
-	return c.do(func() error {
+	return c.do(context.Background(), func() error {
 		c.hdr[0] = op
 		c.hdr[1] = byte(id.Role)
 		binary.BigEndian.PutUint32(c.hdr[2:6], uint32(id.Index))
@@ -231,7 +297,7 @@ func (c *Client) diskOp(op byte, id raid.DiskID) error {
 
 // Scrub runs a remote consistency scrub.
 func (c *Client) Scrub() error {
-	return c.do(func() error {
+	return c.do(context.Background(), func() error {
 		c.hdr[0] = OpScrub
 		return c.roundTrip(c.hdr[:1])
 	})
@@ -241,7 +307,7 @@ func (c *Client) Scrub() error {
 func (c *Client) Health() (dev.Health, []raid.DiskID, error) {
 	var h dev.Health
 	var failed []raid.DiskID
-	err := c.do(func() error {
+	err := c.do(context.Background(), func() error {
 		c.hdr[0] = OpHealth
 		if err := c.roundTrip(c.hdr[:1]); err != nil {
 			return err

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -59,7 +60,7 @@ func TestChaosBackendKilledMidRebuild(t *testing.T) {
 		t.Error("rebuild never made progress; victim not killed")
 	}()
 
-	if err := v.RebuildDisk(lost); err != nil {
+	if err := v.RebuildDisk(context.Background(), lost); err != nil {
 		t.Fatalf("rebuild did not survive backend kill: %v", err)
 	}
 	<-killed

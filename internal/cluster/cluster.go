@@ -31,28 +31,45 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
+	"shiftedmirror/internal/dev"
 	"shiftedmirror/internal/obs"
 )
 
-// Errors.
+// Errors. The cluster sentinels that have an internal/dev counterpart
+// wrap it, so one errors.Is check spans the local device and the
+// networked volume — this is the error taxonomy the shiftedmirror
+// facade re-exports.
 var (
 	// ErrBackendDead is returned (wrapped) when a backend is marked dead
 	// and its probe window has not yet reopened.
 	ErrBackendDead = errors.New("cluster: backend marked dead")
 	// ErrDataLoss is returned when an element cannot be served from any
 	// surviving location.
-	ErrDataLoss = errors.New("cluster: data loss — element unrecoverable")
+	ErrDataLoss = fmt.Errorf("cluster: element unrecoverable: %w", dev.ErrDataLoss)
 	// ErrDiskFailed is returned for operations that address a disk
 	// currently marked failed.
-	ErrDiskFailed = errors.New("cluster: disk is failed")
+	ErrDiskFailed = fmt.Errorf("cluster: %w", dev.ErrDiskFailed)
 	// ErrScrubMismatch is returned by Scrub when a replica disagrees
 	// with its data element.
-	ErrScrubMismatch = errors.New("cluster: scrub found inconsistent replica")
+	ErrScrubMismatch = fmt.Errorf("cluster: inconsistent replica: %w", dev.ErrScrubMismatch)
+	// ErrDegraded is returned (wrapped, alongside a valid report) by
+	// Scrub when at least one disk's content went unverified — the
+	// volume is serving, but with reduced redundancy or coverage.
+	ErrDegraded = errors.New("cluster: volume is degraded")
+	// ErrRebuildInProgress is returned by RebuildDisk when the disk
+	// already has a rebuild in flight.
+	ErrRebuildInProgress = errors.New("cluster: rebuild already in progress")
 )
 
 // Config tunes a Volume. Zero fields take the defaults below.
+//
+// New code should prefer the functional options in options.go (or the
+// shiftedmirror facade's options) over filling struct fields ad hoc;
+// the fields remain for compatibility and for tests that need full
+// control.
 type Config struct {
 	// ElementSize is the element (striping unit) size in bytes.
 	// Default 4096.
@@ -91,6 +108,28 @@ type Config struct {
 	// operation (fail, auto_fail, replace_backend, rebuild_slice,
 	// rebuild, scrub). It runs inline and must be concurrency-safe.
 	Tracer obs.Tracer
+	// Metrics, when set, gets the volume's series registered at New
+	// (equivalent to calling RegisterMetrics yourself). One volume per
+	// registry: obs.Registry panics on duplicate series.
+	Metrics *obs.Registry
+
+	// HedgeEnabled turns on hedged user reads: when a backend's batch
+	// exceeds an adaptive delay, the same spans are raced against their
+	// replica locations and the loser is cancelled. Only user reads
+	// hedge — rebuild and RMW gathers keep their deterministic source
+	// attribution.
+	HedgeEnabled bool
+	// HedgePercentile is the fetch-latency quantile (over successful
+	// per-backend vectored reads) that arms the hedge timer. Default 0.9.
+	HedgePercentile float64
+	// HedgeMinDelay and HedgeMaxDelay clamp the adaptive delay, so a
+	// straggler polluting the histogram cannot push the trigger out of
+	// reach and an all-fast history cannot hedge pointlessly early.
+	// Defaults 1ms and 30ms. Until HedgeMinSamples successful fetches
+	// (default 32) have been observed, the delay is HedgeMaxDelay.
+	HedgeMinDelay   time.Duration
+	HedgeMaxDelay   time.Duration
+	HedgeMinSamples int
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +170,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RebuildBatch <= 0 {
 		c.RebuildBatch = 16
+	}
+	if c.HedgePercentile <= 0 || c.HedgePercentile >= 1 {
+		c.HedgePercentile = 0.9
+	}
+	if c.HedgeMinDelay <= 0 {
+		c.HedgeMinDelay = time.Millisecond
+	}
+	if c.HedgeMaxDelay <= c.HedgeMinDelay {
+		c.HedgeMaxDelay = 30 * time.Millisecond
+		if c.HedgeMaxDelay < c.HedgeMinDelay {
+			c.HedgeMaxDelay = c.HedgeMinDelay
+		}
+	}
+	if c.HedgeMinSamples <= 0 {
+		c.HedgeMinSamples = 32
 	}
 	return c
 }

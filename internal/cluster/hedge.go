@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"shiftedmirror/internal/blockserver"
+	"shiftedmirror/internal/raid"
+)
+
+// Hedged reads: the tail-at-scale defense the paper's placement makes
+// cheap. Every element has a replica (P1), and under the shifted
+// arrangement one disk's replicas spread across all n mirror backends
+// (P2) — so racing a slow backend against the replica locations fans
+// the backup load out over the whole cluster instead of doubling one
+// twin's traffic. The race fires only after an adaptive delay (a
+// quantile of recent per-backend fetch latency), so in the common case
+// the hedge costs nothing but a timer.
+
+// hedgeTarget is one span's backup location, with a private scratch
+// buffer: the primary writes straight into the span's real buffer, so
+// the backup must land elsewhere until the primary is known to have
+// stopped (cancelled and joined) — otherwise the two transfers race.
+type hedgeTarget struct {
+	s   *span
+	loc location
+	buf []byte
+}
+
+// readBatch serves one backend's batch of spans, racing it against the
+// spans' replica locations when hedging is on and every span still has
+// a live backup copy.
+func (v *Volume) readBatch(ctx context.Context, id raid.DiskID, batch []*span, hedged bool) error {
+	if hedged {
+		if backups := v.backupGroups(id, batch); backups != nil {
+			return v.hedgedRead(ctx, id, batch, backups)
+		}
+		// Degraded to a single surviving copy somewhere in the batch (or
+		// the replicas' backends are dead): nothing to race against.
+	}
+	return v.directRead(ctx, id, batch)
+}
+
+// directRead issues the batch as one pooled vectored read into the
+// spans' buffers.
+func (v *Volume) directRead(ctx context.Context, id raid.DiskID, batch []*span) error {
+	vecs := make([]blockserver.Vec, len(batch))
+	dst := make([][]byte, len(batch))
+	for i, s := range batch {
+		vecs[i] = blockserver.Vec{Off: v.storeOffset(s.stripe, s.loc.row) + s.inner, Len: len(s.buf)}
+		dst[i] = s.buf
+	}
+	return v.readVecs(ctx, id, vecs, dst)
+}
+
+// readVecs is the shared wire call: one ReadV through the backend's
+// pool. Successful round trips feed the fetch-latency histogram the
+// adaptive hedge delay quantiles; failures and cancelled losers are
+// excluded so they cannot drag the trigger around.
+func (v *Volume) readVecs(ctx context.Context, id raid.DiskID, vecs []blockserver.Vec, dst [][]byte) error {
+	start := time.Now()
+	err := v.pools[id].doCtx(ctx, func(ctx context.Context, c *blockserver.Client) error {
+		return c.ReadVCtx(ctx, vecs, dst)
+	})
+	if err == nil {
+		v.stats.fetchLat.Observe(time.Since(start))
+	}
+	return err
+}
+
+// backupGroups finds each span's next surviving replica location and
+// groups them by backend, allocating scratch buffers. It returns nil —
+// disabling the hedge — when any span has no usable backup: the volume
+// is degraded to a single copy there, and a half-hedged batch would
+// still tail on the un-hedged spans.
+func (v *Volume) backupGroups(primary raid.DiskID, batch []*span) map[raid.DiskID][]hedgeTarget {
+	groups := map[raid.DiskID][]hedgeTarget{}
+	for _, s := range batch {
+		locs := v.locations(s.disk, s.row)
+		found := false
+		for i := s.src + 1; i < len(locs); i++ {
+			loc := locs[i]
+			if loc.id == primary || !v.available(loc.id, s.stripe) {
+				continue
+			}
+			if p := v.pools[loc.id]; p == nil || p.isDead() {
+				continue
+			}
+			groups[loc.id] = append(groups[loc.id], hedgeTarget{s: s, loc: loc, buf: make([]byte, len(s.buf))})
+			found = true
+			break
+		}
+		if !found {
+			return nil
+		}
+	}
+	return groups
+}
+
+// hedgeDelay is the adaptive trigger: the configured quantile of recent
+// successful fetch latencies, clamped to [HedgeMinDelay, HedgeMaxDelay].
+// The clamp matters on both ends — a straggler polluting the histogram
+// must not push the trigger out to its own latency, and a uniformly
+// fast history must not hedge on noise. With too few samples the delay
+// is HedgeMaxDelay (hedge only as a last resort until calibrated).
+func (v *Volume) hedgeDelay() time.Duration {
+	snap := v.stats.fetchLat.Snapshot()
+	if snap.Count < uint64(v.cfg.HedgeMinSamples) {
+		return v.cfg.HedgeMaxDelay
+	}
+	d := snap.Quantile(v.cfg.HedgePercentile)
+	if d < v.cfg.HedgeMinDelay {
+		d = v.cfg.HedgeMinDelay
+	}
+	if d > v.cfg.HedgeMaxDelay {
+		d = v.cfg.HedgeMaxDelay
+	}
+	return d
+}
+
+// hedgedRead races the primary batch against its replica locations.
+// The primary reads into the spans' real buffers; the backup fires only
+// after the adaptive delay, reads into scratch, and is copied over only
+// after the primary has been cancelled *and joined* — so the span
+// buffers are never written by two goroutines at once. Both goroutines
+// are always drained before returning: they touch pools and stats that
+// are only safe while the caller holds the volume lock, and leaking
+// them would also break the no-goroutine-leak guarantee the tests pin.
+func (v *Volume) hedgedRead(ctx context.Context, id raid.DiskID, batch []*span, backups map[raid.DiskID][]hedgeTarget) error {
+	primCtx, cancelPrim := context.WithCancel(ctx)
+	defer cancelPrim()
+	primDone := make(chan error, 1)
+	go func() { primDone <- v.directRead(primCtx, id, batch) }()
+
+	timer := time.NewTimer(v.hedgeDelay())
+	select {
+	case err := <-primDone:
+		timer.Stop()
+		return err
+	case <-ctx.Done():
+		timer.Stop()
+		cancelPrim()
+		<-primDone
+		return ctx.Err()
+	case <-timer.C:
+	}
+
+	// The primary is slow: fire the backup fan-out and race the two.
+	v.stats.hedgeAttempts.Inc()
+	backupCtx, cancelBackup := context.WithCancel(ctx)
+	defer cancelBackup()
+	backupDone := make(chan error, 1)
+	go func() { backupDone <- v.readBackups(backupCtx, backups) }()
+
+	select {
+	case err := <-primDone:
+		cancelBackup()
+		berr := <-backupDone
+		if err == nil {
+			// The primary recovered before the backup landed.
+			v.stats.hedgeLosses.Inc()
+			v.stats.hedgeCancels.Inc()
+			return nil
+		}
+		if berr == nil {
+			// The primary died after the hedge fired; the backup carried it.
+			commitBackups(backups)
+			v.stats.hedgeWins.Inc()
+			return nil
+		}
+		return err
+	case berr := <-backupDone:
+		if berr != nil {
+			// The backup lost its own race with failure; fall back to
+			// whatever the primary delivers (failover handles its error).
+			return <-primDone
+		}
+		cancelPrim()
+		<-primDone // the primary must stop writing the span buffers first
+		commitBackups(backups)
+		v.stats.hedgeWins.Inc()
+		v.stats.hedgeCancels.Inc()
+		return nil
+	case <-ctx.Done():
+		cancelPrim()
+		cancelBackup()
+		<-primDone
+		<-backupDone
+		return ctx.Err()
+	}
+}
+
+// readBackups fans the backup spans out to their (distinct, by P2)
+// backends in parallel and returns the first error, if any. All-or-
+// nothing: a partially served backup set cannot win the race.
+func (v *Volume) readBackups(ctx context.Context, groups map[raid.DiskID][]hedgeTarget) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, len(groups))
+	for id, g := range groups {
+		wg.Add(1)
+		go func(id raid.DiskID, g []hedgeTarget) {
+			defer wg.Done()
+			errs <- v.readBackupGroup(ctx, id, g)
+		}(id, g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *Volume) readBackupGroup(ctx context.Context, id raid.DiskID, g []hedgeTarget) error {
+	vecs := make([]blockserver.Vec, len(g))
+	dst := make([][]byte, len(g))
+	for i, t := range g {
+		vecs[i] = blockserver.Vec{Off: v.storeOffset(t.s.stripe, t.loc.row) + t.s.inner, Len: len(t.buf)}
+		dst[i] = t.buf
+	}
+	return v.readVecs(ctx, id, vecs, dst)
+}
+
+// commitBackups copies the winning backup's scratch buffers into the
+// spans' real buffers. Only called after the primary has been joined.
+func commitBackups(groups map[raid.DiskID][]hedgeTarget) {
+	for _, g := range groups {
+		for _, t := range g {
+			copy(t.s.buf, t.buf)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"time"
+
+	"shiftedmirror/internal/obs"
+	"shiftedmirror/internal/raid"
+)
+
+// Option mutates a Config. Options are the preferred way to tune a
+// Volume (see Open); the Config struct fields remain for compatibility
+// and for tests that need full control.
+type Option func(*Config)
+
+// WithGeometry sets the element size in bytes and the stripe count.
+func WithGeometry(elementSize int64, stripes int) Option {
+	return func(c *Config) {
+		c.ElementSize = elementSize
+		c.Stripes = stripes
+	}
+}
+
+// WithTimeouts sets the per-connection dial and per-operation timeouts.
+func WithTimeouts(dial, op time.Duration) Option {
+	return func(c *Config) {
+		c.DialTimeout = dial
+		c.OpTimeout = op
+	}
+}
+
+// WithHedging enables hedged user reads: a backend that exceeds the
+// given fetch-latency percentile (clamped to [minDelay, maxDelay]) is
+// raced against the spans' replica locations and the loser is
+// cancelled. Pass zero values to take the defaults (percentile 0.9,
+// 1ms, 30ms).
+func WithHedging(percentile float64, minDelay, maxDelay time.Duration) Option {
+	return func(c *Config) {
+		c.HedgeEnabled = true
+		c.HedgePercentile = percentile
+		c.HedgeMinDelay = minDelay
+		c.HedgeMaxDelay = maxDelay
+	}
+}
+
+// WithTracer routes cluster lifecycle events (fail, auto_fail,
+// replace_backend, rebuild_slice, rebuild, scrub) to t.
+func WithTracer(t obs.Tracer) Option {
+	return func(c *Config) { c.Tracer = t }
+}
+
+// WithMetrics registers the volume's sm_cluster_* series on reg at New.
+// One volume per registry: obs.Registry panics on duplicate series.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *Config) { c.Metrics = reg }
+}
+
+// WithPool sets the pooled-connection count per backend and the
+// transport retry budget (retries on fresh connections, with backoff
+// doubling from base).
+func WithPool(size, retries int, backoff time.Duration) Option {
+	return func(c *Config) {
+		c.PoolSize = size
+		c.Retries = retries
+		c.RetryBackoff = backoff
+	}
+}
+
+// Open builds a Volume over the architecture and backend address map
+// using functional options — the option-first counterpart of New.
+func Open(arch *raid.Mirror, backends map[raid.DiskID]string, opts ...Option) (*Volume, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return New(arch, backends, cfg)
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -83,29 +84,58 @@ func (p *pool) isDead() bool {
 // fresh connections. Remote (application) errors are returned as-is and
 // keep the connection pooled; transport errors poison and close it.
 func (p *pool) do(fn func(*blockserver.Client) error) error {
+	return p.doCtx(context.Background(), func(_ context.Context, c *blockserver.Client) error {
+		return fn(c)
+	})
+}
+
+// doCtx is do with cancellation threaded through every stage: slot
+// acquisition, retry backoff, the dial, and the wire exchange itself
+// (the client interrupts in-flight frames — see blockserver.Client.do).
+// A cancelled op is the caller's doing, not the backend's: it is never
+// retried and never feeds the dead-marking state machine, so hedge
+// losers — which are cancelled constantly by design — cannot talk a
+// healthy backend into the dead state.
+func (p *pool) doCtx(ctx context.Context, fn func(context.Context, *blockserver.Client) error) error {
 	p.stats.requests.Inc()
+	if err := ctx.Err(); err != nil {
+		p.stats.errors.Inc()
+		return err
+	}
 	if p.isDead() {
 		p.stats.errors.Add(1)
 		return fmt.Errorf("%w: %s", ErrBackendDead, p.addr)
 	}
-	<-p.slots
+	select {
+	case <-p.slots:
+	case <-ctx.Done():
+		p.stats.errors.Inc()
+		return ctx.Err()
+	}
 	defer func() { p.slots <- struct{}{} }()
 	var lastErr error
 	for attempt := 0; attempt <= p.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			p.stats.retries.Inc()
-			time.Sleep(p.cfg.RetryBackoff << (attempt - 1))
+			if err := sleepCtx(ctx, p.cfg.RetryBackoff<<(attempt-1)); err != nil {
+				p.stats.errors.Inc()
+				return err
+			}
 			if p.isDead() {
 				break
 			}
 		}
-		c, err := p.acquire()
+		c, err := p.acquire(ctx)
 		if err != nil {
+			if ctx.Err() != nil {
+				p.stats.errors.Inc()
+				return err
+			}
 			lastErr = err
 			p.noteFailure()
 			continue
 		}
-		err = fn(c)
+		err = fn(ctx, c)
 		if err == nil || blockserver.IsRemote(err) {
 			p.release(c)
 			p.noteSuccess()
@@ -117,6 +147,10 @@ func (p *pool) do(fn func(*blockserver.Client) error) error {
 		// Transport trouble: the client poisoned itself; drop it.
 		c.Close()
 		p.stats.poisoned.Inc()
+		if ctx.Err() != nil {
+			p.stats.errors.Inc()
+			return err
+		}
 		lastErr = err
 		p.noteFailure()
 	}
@@ -127,8 +161,24 @@ func (p *pool) do(fn func(*blockserver.Client) error) error {
 	return fmt.Errorf("cluster: backend %s: %w", p.addr, lastErr)
 }
 
+// sleepCtx sleeps for d or until ctx is cancelled, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // acquire pops an idle connection or dials a new one.
-func (p *pool) acquire() (*blockserver.Client, error) {
+func (p *pool) acquire(ctx context.Context) (*blockserver.Client, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -154,7 +204,7 @@ func (p *pool) acquire() (*blockserver.Client, error) {
 	}
 	p.mu.Unlock()
 	p.stats.dials.Inc()
-	return blockserver.DialConfig(p.addr, blockserver.Config{
+	return blockserver.DialContext(ctx, p.addr, blockserver.Config{
 		DialTimeout: p.cfg.DialTimeout,
 		OpTimeout:   p.cfg.OpTimeout,
 	})

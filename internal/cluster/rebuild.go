@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -26,8 +27,15 @@ import (
 // slice starts at the current watermark, so when a write that missed the
 // replacement backend rolls the watermark back (see WriteAt), the
 // affected stripes are recovered again before the rebuild can finish.
-// Only one rebuild may run per disk; a second concurrent call errors.
-func (v *Volume) RebuildDisk(id raid.DiskID) error {
+// Only one rebuild may run per disk; a second concurrent call returns
+// ErrRebuildInProgress (wrapped).
+//
+// Cancelling ctx stops the rebuild promptly — between slices, and
+// mid-slice by interrupting the in-flight gathers and writes — and
+// returns ctx's error. The watermark keeps whatever slices completed:
+// a later RebuildDisk call resumes from there, and rebuilt stripes stay
+// served from the replacement backend in the meantime.
+func (v *Volume) RebuildDisk(ctx context.Context, id raid.DiskID) error {
 	v.mu.Lock()
 	if v.pools[id] == nil {
 		v.mu.Unlock()
@@ -39,7 +47,7 @@ func (v *Volume) RebuildDisk(id raid.DiskID) error {
 	}
 	if v.rebuilding[id] {
 		v.mu.Unlock()
-		return fmt.Errorf("cluster: disk %v is already rebuilding", id)
+		return fmt.Errorf("%w: disk %v", ErrRebuildInProgress, id)
 	}
 	v.rebuilding[id] = true
 	v.mu.Unlock()
@@ -53,7 +61,11 @@ func (v *Volume) RebuildDisk(id raid.DiskID) error {
 	start := time.Now()
 	var rebuilt int64
 	for {
-		done, n, err := v.rebuildSlice(id)
+		if err := ctx.Err(); err != nil {
+			v.trace(obs.Event{Op: "rebuild", Target: id.String(), Bytes: rebuilt, Dur: time.Since(start), Err: err})
+			return err
+		}
+		done, n, err := v.rebuildSlice(ctx, id)
 		rebuilt += n
 		if err != nil {
 			v.trace(obs.Event{Op: "rebuild", Target: id.String(), Bytes: rebuilt, Dur: time.Since(start), Err: err})
@@ -79,7 +91,7 @@ func (v *Volume) RebuildDisk(id raid.DiskID) error {
 // returns the disk to service under the same lock hold — so a failed
 // user write can never slip between "last stripe recovered" and "disk
 // marked clean".
-func (v *Volume) rebuildSlice(id raid.DiskID) (done bool, written int64, err error) {
+func (v *Volume) rebuildSlice(ctx context.Context, id raid.DiskID) (done bool, written int64, err error) {
 	start := time.Now()
 	defer func() { v.stats.sliceLat.Observe(time.Since(start)) }()
 	v.mu.Lock()
@@ -116,13 +128,18 @@ func (v *Volume) rebuildSlice(id raid.DiskID) (done bool, written int64, err err
 			i++
 		}
 	}
-	if err := v.fetchSpans(spans, fetchRebuild); err != nil {
+	if err := v.fetchSpans(ctx, spans, fetchRebuild); err != nil {
 		return false, 0, err
 	}
 	counts := make([]atomic.Int64, count)
-	broken, err := v.runWrites(ops, counts)
+	broken, err := v.runWrites(ctx, ops, counts)
 	if err != nil {
 		return false, 0, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		// Cancelled mid-slice: the watermark stays put, so this slice is
+		// recovered again when the rebuild resumes.
+		return false, 0, cerr
 	}
 	if len(broken) > 0 {
 		return false, 0, fmt.Errorf("cluster: replacement backend %s for %v not accepting writes", v.addrs[id], id)

@@ -49,6 +49,21 @@ type RebuildStats struct {
 	SliceLatency  obs.HistSnapshot `json:"slice_latency"`
 }
 
+// HedgeStats summarizes tail-latency hedging activity: attempts are
+// hedge timers that fired (the primary exceeded the adaptive delay),
+// wins are reads served by the backup copy, losses are primaries that
+// recovered before their backup, and cancels are loser requests
+// cancelled mid-flight.
+type HedgeStats struct {
+	Attempts int64 `json:"attempts"`
+	Wins     int64 `json:"wins"`
+	Losses   int64 `json:"losses"`
+	Cancels  int64 `json:"cancels"`
+	// FetchLatency is the per-backend vectored-read round-trip histogram
+	// whose quantile drives the adaptive hedge delay.
+	FetchLatency obs.HistSnapshot `json:"fetch_latency"`
+}
+
 // ScrubStats summarizes consistency-scrub coverage.
 type ScrubStats struct {
 	Runs             int64 `json:"runs"`
@@ -73,6 +88,7 @@ type Stats struct {
 
 	Rebuild RebuildStats `json:"rebuild"`
 	Scrub   ScrubStats   `json:"scrub"`
+	Hedge   HedgeStats   `json:"hedge"`
 
 	// Backends is sorted by role then index, matching arch.Disks().
 	Backends []BackendStats `json:"backends"`
@@ -104,6 +120,13 @@ func (v *Volume) Stats() Stats {
 			Runs:             v.stats.scrubs.Load(),
 			ElementsCompared: v.stats.scrubElements.Load(),
 			SkippedDisks:     v.stats.scrubSkipped.Load(),
+		},
+		Hedge: HedgeStats{
+			Attempts:     v.stats.hedgeAttempts.Load(),
+			Wins:         v.stats.hedgeWins.Load(),
+			Losses:       v.stats.hedgeLosses.Load(),
+			Cancels:      v.stats.hedgeCancels.Load(),
+			FetchLatency: v.stats.fetchLat.Snapshot(),
 		},
 	}
 	if s.Rebuild.Seconds > 0 {
@@ -182,6 +205,16 @@ func (v *Volume) RegisterMetrics(reg *obs.Registry) {
 		"Replica elements compared against their data element across all scrubs.", &st.scrubElements)
 	reg.RegisterCounter("sm_cluster_scrub_skipped_disks_total",
 		"Disks skipped (failed or unreachable) across all scrubs.", &st.scrubSkipped)
+	reg.RegisterCounter("sm_cluster_hedge_attempts_total",
+		"Hedge timers that fired (primary exceeded the adaptive delay).", &st.hedgeAttempts)
+	reg.RegisterCounter("sm_cluster_hedge_wins_total",
+		"Hedged reads served by the backup copy.", &st.hedgeWins)
+	reg.RegisterCounter("sm_cluster_hedge_losses_total",
+		"Hedged reads where the primary recovered before the backup.", &st.hedgeLosses)
+	reg.RegisterCounter("sm_cluster_hedge_cancels_total",
+		"Hedge loser requests cancelled mid-flight.", &st.hedgeCancels)
+	reg.RegisterHistogram("sm_cluster_fetch_duration_seconds",
+		"Per-backend vectored-read round trips (source of the adaptive hedge delay).", st.fetchLat)
 	for _, id := range v.arch.Disks() {
 		ds := st.perDisk[id]
 		label := id.String()

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"sync"
@@ -26,7 +27,7 @@ func rebuildReadCounts(t *testing.T, arr layout.Arrangement, stripes int) (map[s
 	if err := v.ReplaceBackend(lost, backends.replace(lost)); err != nil {
 		t.Fatal(err)
 	}
-	if err := v.RebuildDisk(lost); err != nil {
+	if err := v.RebuildDisk(context.Background(), lost); err != nil {
 		t.Fatal(err)
 	}
 	// A healthy user read after the rebuild: lands on data backends only,
@@ -185,10 +186,10 @@ func TestVolumeTracerEvents(t *testing.T) {
 	if err := v.ReplaceBackend(lost, backends.replace(lost)); err != nil {
 		t.Fatal(err)
 	}
-	if err := v.RebuildDisk(lost); err != nil {
+	if err := v.RebuildDisk(context.Background(), lost); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := v.Scrub(); err != nil {
+	if _, err := v.Scrub(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	mu.Lock()

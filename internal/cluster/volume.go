@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -78,9 +79,19 @@ type volumeStats struct {
 	scrubElements                 obs.Counter // replica elements compared across all scrubs
 	scrubSkipped                  obs.Counter // disks skipped across all scrubs
 
+	// Hedged-read accounting: attempts are hedge timers that fired,
+	// wins are reads served by the backup copy, losses are primaries
+	// that beat their backup after all, cancels are loser requests
+	// cancelled mid-flight.
+	hedgeAttempts obs.Counter
+	hedgeWins     obs.Counter
+	hedgeLosses   obs.Counter
+	hedgeCancels  obs.Counter
+
 	readLat  *obs.Histogram // ReadAt wall time
 	writeLat *obs.Histogram // WriteAt wall time
 	sliceLat *obs.Histogram // rebuild slice wall time (one exclusive-lock hold)
+	fetchLat *obs.Histogram // per-backend vectored-read round trips (hedge trigger source)
 
 	// perDisk is fixed at New: per-slot counters survive backend
 	// replacement, so a disk's history spans machine swaps.
@@ -108,6 +119,7 @@ func (s *volumeStats) init(disks []raid.DiskID, stripes int) {
 	s.readLat = obs.NewHistogram()
 	s.writeLat = obs.NewHistogram()
 	s.sliceLat = obs.NewHistogram()
+	s.fetchLat = obs.NewHistogram()
 	s.perDisk = map[raid.DiskID]*diskStats{}
 	for _, id := range disks {
 		ds := &diskStats{}
@@ -187,6 +199,9 @@ func New(arch *raid.Mirror, backends map[raid.DiskID]string, cfg Config) (*Volum
 	}
 	if len(backends) != len(v.pools) {
 		return nil, fmt.Errorf("cluster: %d backend addresses for %d disks", len(backends), len(v.pools))
+	}
+	if cfg.Metrics != nil {
+		v.RegisterMetrics(cfg.Metrics)
 	}
 	return v, nil
 }
@@ -296,10 +311,17 @@ const (
 // failing over to later locations (replica backends) as groups fail.
 // Call with v.mu held (read or write). kind attributes the serving:
 // degraded-read counting for user reads, per-backend source counting
-// for rebuild gathers.
-func (v *Volume) fetchSpans(spans []*span, kind fetchKind) error {
+// for rebuild gathers. Only user reads hedge (when enabled): rebuild
+// gathers must keep their deterministic per-backend source attribution
+// (the wire-measurable Properties 1/2), and RMW pre-reads are already
+// under the exclusive lock.
+func (v *Volume) fetchSpans(ctx context.Context, spans []*span, kind fetchKind) error {
+	hedged := v.cfg.HedgeEnabled && kind == fetchUser
 	pending := spans
 	for len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		groups := map[raid.DiskID][]*span{}
 		for _, s := range pending {
 			locs := v.locations(s.disk, s.row)
@@ -320,7 +342,7 @@ func (v *Volume) fetchSpans(spans []*span, kind fetchKind) error {
 		results := make(chan result, len(groups))
 		for id, g := range groups {
 			go func(id raid.DiskID, g []*span) {
-				failed := v.fetchGroup(id, g)
+				failed := v.fetchGroup(ctx, id, g, hedged)
 				results <- result{id, failed, len(g) - len(failed)}
 			}(id, g)
 		}
@@ -341,28 +363,26 @@ func (v *Volume) fetchSpans(spans []*span, kind fetchKind) error {
 			}
 			v.stats.failovers.Add(int64(len(r.spans)))
 		}
+		if err := ctx.Err(); err != nil {
+			// Cancellation fails every in-flight group at once; without
+			// this check the failover loop would burn through all replica
+			// locations and misreport the cancel as data loss.
+			return err
+		}
 	}
 	return nil
 }
 
 // fetchGroup gathers one backend's spans in MaxBatch-sized OpReadV
-// round trips and returns the spans it could not serve.
-func (v *Volume) fetchGroup(id raid.DiskID, spans []*span) []*span {
-	p := v.pools[id]
+// round trips — hedged against the spans' replica locations when
+// requested — and returns the spans it could not serve.
+func (v *Volume) fetchGroup(ctx context.Context, id raid.DiskID, spans []*span, hedged bool) []*span {
 	for start := 0; start < len(spans); start += v.cfg.MaxBatch {
 		end := start + v.cfg.MaxBatch
 		if end > len(spans) {
 			end = len(spans)
 		}
-		batch := spans[start:end]
-		vecs := make([]blockserver.Vec, len(batch))
-		dst := make([][]byte, len(batch))
-		for i, s := range batch {
-			vecs[i] = blockserver.Vec{Off: v.storeOffset(s.stripe, s.loc.row) + s.inner, Len: len(s.buf)}
-			dst[i] = s.buf
-		}
-		err := p.do(func(c *blockserver.Client) error { return c.ReadV(vecs, dst) })
-		if err != nil {
+		if err := v.readBatch(ctx, id, spans[start:end], hedged); err != nil {
 			// This batch and everything after it fails over together; the
 			// pool has already retried and possibly marked the backend dead.
 			return spans[start:]
@@ -373,8 +393,20 @@ func (v *Volume) fetchGroup(id raid.DiskID, spans []*span) []*span {
 
 // ReadAt implements io.ReaderAt over the logical space, gathering
 // element ranges per backend and failing over to replica backends for
-// disks that are failed or unreachable.
+// disks that are failed or unreachable. It is ReadAtCtx with
+// context.Background(): no deadline, no cancellation — the pre-existing
+// behaviour.
 func (v *Volume) ReadAt(p []byte, off int64) (int, error) {
+	return v.ReadAtCtx(context.Background(), p, off)
+}
+
+// ReadAtCtx is ReadAt with deadline and cancellation propagation: ctx
+// follows the request into every pooled connection operation (slot
+// waits, dials, retry backoff, and the wire exchange itself, which is
+// interrupted mid-frame on cancel). When hedging is enabled, slow
+// backends are raced against the spans' replica locations and the
+// loser is cancelled.
+func (v *Volume) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
 	size := v.Size()
 	if off < 0 {
 		return 0, fmt.Errorf("cluster: negative read offset %d", off)
@@ -403,7 +435,7 @@ func (v *Volume) ReadAt(p []byte, off int64) (int, error) {
 		total += int(chunk)
 	}
 	v.stats.elementsRead.Add(int64(len(spans)))
-	err := v.fetchSpans(spans, fetchUser)
+	err := v.fetchSpans(ctx, spans, fetchUser)
 	v.mu.RUnlock()
 	if err != nil {
 		return 0, err
@@ -428,8 +460,18 @@ type writeOp struct {
 // (a row write lands on all 2n backends in one parallel access —
 // Property 3 over the network). A backend that stops accepting writes
 // is auto-failed: its disk drops out and redundancy carries the data,
-// matching how internal/dev skips failed disks.
+// matching how internal/dev skips failed disks. It is WriteAtCtx with
+// context.Background().
 func (v *Volume) WriteAt(p []byte, off int64) (int, error) {
+	return v.WriteAtCtx(context.Background(), p, off)
+}
+
+// WriteAtCtx is WriteAt with deadline and cancellation propagation.
+// A cancelled write returns ctx's error; replicas that were reached
+// before the cancel keep the bytes (the write is not rolled back), and
+// backends whose op was cancelled are not auto-failed — cancellation
+// says nothing about their health.
+func (v *Volume) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
 	if off < 0 || off+int64(len(p)) > v.Size() {
 		return 0, fmt.Errorf("cluster: write [%d,%d) outside volume of %d bytes", off, off+int64(len(p)), v.Size())
 	}
@@ -452,7 +494,7 @@ func (v *Volume) WriteAt(p []byte, off int64) (int, error) {
 			// Sub-element write: read-modify-write the element.
 			content = make([]byte, v.elementSize)
 			s := &span{stripe: stripe, disk: disk, row: row, buf: content}
-			if err := v.fetchSpans([]*span{s}, fetchInternal); err != nil {
+			if err := v.fetchSpans(ctx, []*span{s}, fetchInternal); err != nil {
 				return total, err
 			}
 			copy(content[inner:], p[total:total+int(chunk)])
@@ -470,7 +512,7 @@ func (v *Volume) WriteAt(p []byte, off int64) (int, error) {
 		total += int(chunk)
 	}
 	succeeded := make([]atomic.Int64, elems)
-	broken, err := v.runWrites(ops, succeeded)
+	broken, err := v.runWrites(ctx, ops, succeeded)
 	for id, minStripe := range broken {
 		if !v.failed[id] {
 			v.failed[id] = true
@@ -490,6 +532,11 @@ func (v *Volume) WriteAt(p []byte, off int64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	if cerr := ctx.Err(); cerr != nil {
+		// Cancelled mid-fan-out: report the cancel, not data loss — the
+		// missing replicas were never attempted, not lost.
+		return 0, cerr
+	}
 	for i := range succeeded {
 		if succeeded[i].Load() == 0 {
 			return 0, fmt.Errorf("%w: element %d of write at %d reached no backend", ErrDataLoss, i, off)
@@ -503,8 +550,11 @@ func (v *Volume) WriteAt(p []byte, off int64) (int, error) {
 // (candidates for auto-fail), each mapped to the lowest stripe among its
 // failed ops (so callers can roll a rebuild watermark back past every
 // missed write), and the first remote (store-level) error, which
-// indicates a logic problem rather than a dead machine.
-func (v *Volume) runWrites(ops []writeOp, succeeded []atomic.Int64) (map[raid.DiskID]int, error) {
+// indicates a logic problem rather than a dead machine. Ops that fail
+// because ctx was cancelled count as neither: they do not mark the
+// backend broken (no auto-fail from a caller's cancel) and are not
+// remote errors.
+func (v *Volume) runWrites(ctx context.Context, ops []writeOp, succeeded []atomic.Int64) (map[raid.DiskID]int, error) {
 	groups := map[raid.DiskID][]writeOp{}
 	for _, op := range ops {
 		groups[op.id] = append(groups[op.id], op)
@@ -530,8 +580,8 @@ func (v *Volume) runWrites(ops []writeOp, succeeded []atomic.Int64) (map[raid.Di
 						return
 					}
 					op := g[i]
-					err := p.do(func(c *blockserver.Client) error {
-						_, err := c.WriteAt(op.data, op.off)
+					err := p.doCtx(ctx, func(ctx context.Context, c *blockserver.Client) error {
+						_, err := c.WriteAtCtx(ctx, op.data, op.off)
 						return err
 					})
 					if err == nil {
@@ -539,12 +589,17 @@ func (v *Volume) runWrites(ops []writeOp, succeeded []atomic.Int64) (map[raid.Di
 						continue
 					}
 					mu.Lock()
-					if blockserver.IsRemote(err) {
+					switch {
+					case ctx.Err() != nil:
+						// Cancelled, not broken: the caller reports ctx's error.
+					case blockserver.IsRemote(err):
 						if firstRemote == nil {
 							firstRemote = fmt.Errorf("cluster: backend %v: %w", id, err)
 						}
-					} else if cur, ok := broken[id]; !ok || op.stripe < cur {
-						broken[id] = op.stripe
+					default:
+						if cur, ok := broken[id]; !ok || op.stripe < cur {
+							broken[id] = op.stripe
+						}
 					}
 					mu.Unlock()
 				}
@@ -676,15 +731,15 @@ type ScrubReport struct {
 // readStore reads one backend's bytes through its pool in
 // MaxIOSize-bounded pieces, so a large buffer never trips the protocol's
 // per-request limit.
-func (v *Volume) readStore(id raid.DiskID, buf []byte, off int64) error {
+func (v *Volume) readStore(ctx context.Context, id raid.DiskID, buf []byte, off int64) error {
 	for at := 0; at < len(buf); {
 		n := len(buf) - at
 		if n > blockserver.MaxIOSize {
 			n = blockserver.MaxIOSize
 		}
 		chunk := buf[at : at+n]
-		err := v.pools[id].do(func(c *blockserver.Client) error {
-			_, err := c.ReadAt(chunk, off+int64(at))
+		err := v.pools[id].doCtx(ctx, func(ctx context.Context, c *blockserver.Client) error {
+			_, err := c.ReadAtCtx(ctx, chunk, off+int64(at))
 			return err
 		})
 		if err != nil {
@@ -700,9 +755,11 @@ func (v *Volume) readStore(id raid.DiskID, buf []byte, off int64) error {
 // returning ErrScrubMismatch (wrapped with the first divergence) on
 // inconsistency. Store-level (remote) read errors are returned — they
 // mean a misconfigured backend, not a dead one. Disks that are failed or
-// whose backend is unreachable are skipped and listed in the report, so
-// callers can tell a clean pass from an empty one.
-func (v *Volume) Scrub() (ScrubReport, error) {
+// whose backend is unreachable are skipped, listed in the report, and
+// surfaced as a wrapped ErrDegraded alongside the (still valid) report:
+// the pass compared what it could, but "clean" cannot be claimed for
+// the whole volume. ctx cancels the pass between reads and mid-frame.
+func (v *Volume) Scrub(ctx context.Context) (ScrubReport, error) {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
 	var report ScrubReport
@@ -711,6 +768,9 @@ func (v *Volume) Scrub() (ScrubReport, error) {
 	rowBytes := int64(v.n) * v.elementSize
 	skipped := map[raid.DiskID]bool{}
 	for s0 := 0; s0 < v.stripes; s0 += batch {
+		if err := ctx.Err(); err != nil {
+			return report, err
+		}
 		s1 := s0 + batch
 		if s1 > v.stripes {
 			s1 = v.stripes
@@ -729,7 +789,7 @@ func (v *Volume) Scrub() (ScrubReport, error) {
 			go func(id raid.DiskID) {
 				defer wg.Done()
 				buf := make([]byte, int64(s1-s0)*rowBytes)
-				err := v.readStore(id, buf, int64(s0)*rowBytes)
+				err := v.readStore(ctx, id, buf, int64(s0)*rowBytes)
 				mu.Lock()
 				defer mu.Unlock()
 				switch {
@@ -745,6 +805,9 @@ func (v *Volume) Scrub() (ScrubReport, error) {
 			}(id)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return report, err
+		}
 		if remoteErr != nil {
 			return report, remoteErr
 		}
@@ -782,5 +845,8 @@ func (v *Volume) Scrub() (ScrubReport, error) {
 	v.stats.scrubElements.Add(report.ElementsCompared)
 	v.stats.scrubSkipped.Add(int64(len(report.Skipped)))
 	v.trace(obs.Event{Op: "scrub", Bytes: report.ElementsCompared * v.elementSize})
+	if len(report.Skipped) > 0 {
+		return report, fmt.Errorf("%w: scrub skipped %d of %d disks", ErrDegraded, len(report.Skipped), len(disks))
+	}
 	return report, nil
 }

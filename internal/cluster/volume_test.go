@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"io"
 	"math/rand"
 	"testing"
@@ -148,7 +150,7 @@ func TestVolumeRoundTrip(t *testing.T) {
 	if string(small) != "over n sockets" {
 		t.Fatalf("unaligned read: %q", small)
 	}
-	rep, err := v.Scrub()
+	rep, err := v.Scrub(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +183,7 @@ func TestVolumeScrubDetectsCorruption(t *testing.T) {
 	if _, err := store.WriteAt(b[:], 5); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := v.Scrub(); err == nil {
+	if _, err := v.Scrub(context.Background()); err == nil {
 		t.Fatal("scrub missed a corrupted replica")
 	}
 }
@@ -312,7 +314,7 @@ func TestRebuildDiskMatchesLocalRebuild(t *testing.T) {
 			if err := v.ReplaceBackend(lost, backends.replace(lost)); err != nil {
 				t.Fatal(err)
 			}
-			if err := v.RebuildDisk(lost); err != nil {
+			if err := v.RebuildDisk(context.Background(), lost); err != nil {
 				t.Fatal(err)
 			}
 			// The replacement store must hold exactly what a local rebuild
@@ -347,7 +349,7 @@ func TestRebuildDiskMatchesLocalRebuild(t *testing.T) {
 			if !bytes.Equal(clusterRead, localRead) {
 				t.Fatal("cluster and local post-rebuild reads diverge")
 			}
-			if _, err := v.Scrub(); err != nil {
+			if _, err := v.Scrub(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			if len(v.FailedDisks()) != 0 {
@@ -371,7 +373,7 @@ func TestRebuildMirrorDisk(t *testing.T) {
 	if err := v.ReplaceBackend(lost, backends.replace(lost)); err != nil {
 		t.Fatal(err)
 	}
-	if err := v.RebuildDisk(lost); err != nil {
+	if err := v.RebuildDisk(context.Background(), lost); err != nil {
 		t.Fatal(err)
 	}
 	want := expectedDiskImage(arch, lost, payload, 64, 4)
@@ -382,7 +384,7 @@ func TestRebuildMirrorDisk(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatal("mirror rebuild image mismatch")
 	}
-	if _, err := v.Scrub(); err != nil {
+	if _, err := v.Scrub(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -399,7 +401,7 @@ func TestVolumeWritesDuringRebuildStayConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- v.RebuildDisk(lost) }()
+	go func() { done <- v.RebuildDisk(context.Background(), lost) }()
 	// Concurrent writes while the rebuild walks its stripe slices.
 	rng := rand.New(rand.NewSource(8))
 	buf := make([]byte, 256)
@@ -421,7 +423,7 @@ func TestVolumeWritesDuringRebuildStayConsistent(t *testing.T) {
 	if !bytes.Equal(got, payload) {
 		t.Fatal("post-rebuild content lost concurrent writes")
 	}
-	if _, err := v.Scrub(); err != nil {
+	if _, err := v.Scrub(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -480,7 +482,7 @@ func TestFailedWriteBelowWatermarkRollsBack(t *testing.T) {
 	backends.servers[lost] = srv
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		err := v.RebuildDisk(lost)
+		err := v.RebuildDisk(context.Background(), lost)
 		if err == nil {
 			break
 		}
@@ -504,7 +506,7 @@ func TestFailedWriteBelowWatermarkRollsBack(t *testing.T) {
 	if !bytes.Equal(full, payload) {
 		t.Fatal("post-rebuild read diverges from payload")
 	}
-	rep, err := v.Scrub()
+	rep, err := v.Scrub(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -523,8 +525,8 @@ func TestRebuildDiskRejectsConcurrentRebuild(t *testing.T) {
 	v.mu.Lock()
 	v.rebuilding[lost] = true // a RebuildDisk is in flight
 	v.mu.Unlock()
-	if err := v.RebuildDisk(lost); err == nil {
-		t.Fatal("second concurrent rebuild of the same disk accepted")
+	if err := v.RebuildDisk(context.Background(), lost); !errors.Is(err, ErrRebuildInProgress) {
+		t.Fatalf("second concurrent rebuild returned %v, want ErrRebuildInProgress", err)
 	}
 }
 
@@ -536,9 +538,9 @@ func TestScrubReportsSkippedBackends(t *testing.T) {
 	randomPayload(t, v, 12)
 	dead := raid.DiskID{Role: raid.RoleMirror, Index: 0}
 	backends.kill(dead)
-	rep, err := v.Scrub()
-	if err != nil {
-		t.Fatal(err)
+	rep, err := v.Scrub(context.Background())
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("scrub with an unreachable backend returned %v, want ErrDegraded", err)
 	}
 	found := false
 	for _, id := range rep.Skipped {
@@ -561,7 +563,7 @@ func TestVolumeErrors(t *testing.T) {
 	if err := v.Fail(bogus); err == nil {
 		t.Fatal("failed an unknown disk")
 	}
-	if err := v.RebuildDisk(raid.DiskID{Role: raid.RoleData, Index: 0}); err == nil {
+	if err := v.RebuildDisk(context.Background(), raid.DiskID{Role: raid.RoleData, Index: 0}); err == nil {
 		t.Fatal("rebuilt a healthy disk")
 	}
 	if _, err := v.ReadAt(make([]byte, 1), -1); err == nil {

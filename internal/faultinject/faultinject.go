@@ -1,0 +1,157 @@
+// Package faultinject wraps a blockserver.Store with deterministic
+// latency, stall, and error injection, so slow-backend and flaky-backend
+// scenarios — the ones hedged reads and deadline propagation exist for —
+// are reproducible in tests, in smtool servedisk -inject, and in
+// examples/clusterrecon's tail-latency experiment.
+//
+// Determinism: all injection is driven by a per-store operation counter
+// and a rand.Rand seeded from Config.Seed, so the same op sequence sees
+// the same faults on every run.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shiftedmirror/internal/blockserver"
+)
+
+// Config says which faults to inject. The zero value injects nothing.
+type Config struct {
+	// Seed drives the jitter RNG; the same seed reproduces the same
+	// jitter sequence.
+	Seed int64
+	// ReadDelay is added to every read; ReadJitter adds a uniformly
+	// distributed extra in [0, ReadJitter).
+	ReadDelay  time.Duration
+	ReadJitter time.Duration
+	// StallEvery makes every k-th read (1 = every read) stall for an
+	// additional StallFor. 0 disables stalls.
+	StallEvery int
+	StallFor   time.Duration
+	// WriteDelay is added to every write.
+	WriteDelay time.Duration
+	// ErrEvery makes every k-th read fail with an injected error after
+	// its delays. 0 disables error injection.
+	ErrEvery int
+}
+
+// Counts reports what a Store has injected so far.
+type Counts struct {
+	Reads, Writes  int64
+	Stalls, Errors int64
+}
+
+// Store is a blockserver.Store with faults layered on top of an inner
+// store. Safe for concurrent use (the inner store permitting).
+type Store struct {
+	inner blockserver.Store
+	cfg   Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	reads, writes  atomic.Int64
+	stalls, errors atomic.Int64
+}
+
+// Wrap layers cfg's faults over inner.
+func Wrap(inner blockserver.Store, cfg Config) *Store {
+	return &Store{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Counts returns the injection counters.
+func (s *Store) Counts() Counts {
+	return Counts{
+		Reads:  s.reads.Load(),
+		Writes: s.writes.Load(),
+		Stalls: s.stalls.Load(),
+		Errors: s.errors.Load(),
+	}
+}
+
+// ReadAt delays, stalls, or fails per the config, then reads through.
+func (s *Store) ReadAt(p []byte, off int64) (int, error) {
+	n := s.reads.Add(1)
+	d := s.cfg.ReadDelay
+	if s.cfg.ReadJitter > 0 {
+		s.mu.Lock()
+		d += time.Duration(s.rng.Int63n(int64(s.cfg.ReadJitter)))
+		s.mu.Unlock()
+	}
+	if s.cfg.StallEvery > 0 && n%int64(s.cfg.StallEvery) == 0 {
+		s.stalls.Add(1)
+		d += s.cfg.StallFor
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	if s.cfg.ErrEvery > 0 && n%int64(s.cfg.ErrEvery) == 0 {
+		s.errors.Add(1)
+		return 0, fmt.Errorf("faultinject: injected read error (op %d)", n)
+	}
+	return s.inner.ReadAt(p, off)
+}
+
+// WriteAt delays per the config, then writes through.
+func (s *Store) WriteAt(p []byte, off int64) (int, error) {
+	s.writes.Add(1)
+	if s.cfg.WriteDelay > 0 {
+		time.Sleep(s.cfg.WriteDelay)
+	}
+	return s.inner.WriteAt(p, off)
+}
+
+// Size reports the inner store's size.
+func (s *Store) Size() int64 { return s.inner.Size() }
+
+// ParseSpec parses a comma-separated k=v fault spec, the format smtool
+// servedisk -inject takes:
+//
+//	delay=5ms,jitter=2ms,stall=100ms,stallevery=8,errevery=0,seed=7,writedelay=1ms
+//
+// Unknown keys are errors; an empty spec is the zero Config.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return cfg, fmt.Errorf("faultinject: bad spec element %q (want key=value)", part)
+		}
+		var err error
+		switch strings.ToLower(k) {
+		case "delay":
+			cfg.ReadDelay, err = time.ParseDuration(v)
+		case "jitter":
+			cfg.ReadJitter, err = time.ParseDuration(v)
+		case "stall":
+			cfg.StallFor, err = time.ParseDuration(v)
+		case "stallevery":
+			cfg.StallEvery, err = strconv.Atoi(v)
+		case "errevery":
+			cfg.ErrEvery, err = strconv.Atoi(v)
+		case "writedelay":
+			cfg.WriteDelay, err = time.ParseDuration(v)
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(v, 10, 64)
+		default:
+			return cfg, fmt.Errorf("faultinject: unknown spec key %q", k)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("faultinject: bad value for %q: %v", k, err)
+		}
+	}
+	if cfg.StallEvery > 0 && cfg.StallFor <= 0 {
+		return cfg, fmt.Errorf("faultinject: stallevery=%d needs stall=<duration>", cfg.StallEvery)
+	}
+	return cfg, nil
+}

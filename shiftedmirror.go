@@ -27,11 +27,15 @@
 package shiftedmirror
 
 import (
+	"time"
+
 	"shiftedmirror/internal/analysis"
 	"shiftedmirror/internal/blockserver"
+	"shiftedmirror/internal/cluster"
 	"shiftedmirror/internal/dev"
 	"shiftedmirror/internal/disk"
 	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/obs"
 	"shiftedmirror/internal/raid"
 	"shiftedmirror/internal/recon"
 	"shiftedmirror/internal/workload"
@@ -95,14 +99,40 @@ type (
 	Device = dev.Device
 )
 
-// Device errors.
+// Error taxonomy. One set of sentinels spans the local Device and the
+// networked ClusterVolume: the cluster layer's errors wrap the device
+// layer's, so errors.Is(err, shiftedmirror.ErrX) holds for both paths.
+// Use errors.Is/errors.As on these instead of matching error strings.
 var (
-	// ErrDataLoss is returned by Device reads that exceed the surviving
-	// redundancy.
+	// ErrDataLoss is returned by reads (Device or ClusterVolume) that
+	// exceed the surviving redundancy.
 	ErrDataLoss = dev.ErrDataLoss
-	// ErrScrubMismatch is returned by Device.Scrub on inconsistency.
+	// ErrScrubMismatch is returned by Scrub on inconsistency.
 	ErrScrubMismatch = dev.ErrScrubMismatch
+	// ErrDiskFailed is returned for operations addressing a disk that is
+	// currently marked failed.
+	ErrDiskFailed = dev.ErrDiskFailed
+	// ErrDegraded is returned (wrapped, alongside a valid report) by
+	// ClusterVolume.Scrub when at least one disk's content went
+	// unverified: the volume serves, but "clean" cannot be claimed.
+	ErrDegraded = cluster.ErrDegraded
+	// ErrBackendDead is returned (wrapped) when a cluster backend is
+	// marked dead and its probe window has not reopened.
+	ErrBackendDead = cluster.ErrBackendDead
+	// ErrRebuildInProgress is returned by ClusterVolume.RebuildDisk when
+	// the disk already has a rebuild in flight.
+	ErrRebuildInProgress = cluster.ErrRebuildInProgress
 )
+
+// RemoteError is a store-level error relayed verbatim from a served
+// backend — the "application error" side of the blockserver taxonomy
+// (the connection stays usable). Anything else from a remote op is
+// transport trouble: the connection is poisoned and replaced. Use
+// errors.As with *RemoteError, or IsRemoteError.
+type RemoteError = blockserver.RemoteError
+
+// IsRemoteError reports whether err is (or wraps) a RemoteError.
+func IsRemoteError(err error) bool { return blockserver.IsRemote(err) }
 
 // NewDevice builds an in-memory fault-tolerant block device over a
 // mirror-family architecture with the given element size and stripe
@@ -265,9 +295,17 @@ func MTTDL(arch Architecture, failuresPerHour float64, repair RepairRate) (float
 }
 
 // ServeDevice exports a device over TCP; the returned server's Close
-// tears it down. Connect with DialDevice.
-func ServeDevice(d *Device, addr string) (*BlockServer, string, error) {
-	srv := blockserver.NewServer(d)
+// tears it down. Connect with DialDevice. Server-side options
+// (WithMetrics, WithTracer, WithReadRate) apply; cluster-only options
+// are no-ops here.
+func ServeDevice(d *Device, addr string, opts ...Option) (*BlockServer, string, error) {
+	var sc serverConfig
+	for _, o := range opts {
+		if o.server != nil {
+			o.server(&sc)
+		}
+	}
+	srv := blockserver.NewServer(d, sc.opts...)
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		return nil, "", err
@@ -284,3 +322,123 @@ type BlockServer = blockserver.Server
 
 // BlockClient is a remote handle to a served Device.
 type BlockClient = blockserver.Client
+
+// Networked cluster volume: the element layout striped over one
+// blockserver backend per disk, with failover, hedged reads, and
+// one-pass parallel network reconstruction. See internal/cluster for
+// the full API: the context-first data path is ReadAtCtx/WriteAtCtx/
+// RebuildDisk(ctx, …)/Scrub(ctx); the plain io.ReaderAt/io.WriterAt
+// methods are thin context.Background() wrappers.
+type (
+	// ClusterVolume is the networked volume (see NewClusterVolume).
+	ClusterVolume = cluster.Volume
+	// ClusterConfig is the struct-style volume configuration. New code
+	// should prefer Options (NewClusterVolume's variadic arguments);
+	// the struct remains for full-control callers via cluster.New.
+	ClusterConfig = cluster.Config
+	// ClusterStats is ClusterVolume.Stats()'s JSON-marshalable snapshot.
+	ClusterStats = cluster.Stats
+	// ClusterHealth is ClusterVolume.Health()'s snapshot.
+	ClusterHealth = cluster.Health
+	// ScrubReport is ClusterVolume.Scrub's coverage report.
+	ScrubReport = cluster.ScrubReport
+
+	// Registry collects metric series and renders Prometheus text
+	// (serve it with obs.Serve or embed in an existing mux).
+	Registry = obs.Registry
+	// Tracer receives one Event per traced operation.
+	Tracer = obs.Tracer
+	// TracerFunc adapts a function to the Tracer interface.
+	TracerFunc = obs.TracerFunc
+	// Event is one traced operation.
+	Event = obs.Event
+)
+
+// NewRegistry returns an empty metrics registry for WithMetrics.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// serverConfig accumulates the server-side half of Options.
+type serverConfig struct {
+	opts []blockserver.ServerOption
+}
+
+// Option configures both cluster volumes (NewClusterVolume) and served
+// devices (ServeDevice) through one functional-option set, replacing
+// ad-hoc ClusterConfig field fiddling and raw blockserver.ServerOption
+// plumbing. Each option documents which side it applies to; on the
+// other side it is a no-op.
+type Option struct {
+	cluster cluster.Option
+	server  func(*serverConfig)
+}
+
+// WithGeometry sets the cluster volume's element size in bytes and
+// stripe count (logical capacity = stripes*n*n*elementSize). Volume
+// side only.
+func WithGeometry(elementSize int64, stripes int) Option {
+	return Option{cluster: cluster.WithGeometry(elementSize, stripes)}
+}
+
+// WithTimeouts sets the cluster volume's per-connection dial timeout
+// and per-operation timeout. Volume side only.
+func WithTimeouts(dial, op time.Duration) Option {
+	return Option{cluster: cluster.WithTimeouts(dial, op)}
+}
+
+// WithHedging enables hedged reads on a cluster volume: a backend that
+// exceeds the given fetch-latency percentile (adaptive, clamped to
+// [minDelay, maxDelay]) is raced against the replica locations and the
+// loser is cancelled. Zero values take the defaults (0.9, 1ms, 30ms).
+// Volume side only.
+func WithHedging(percentile float64, minDelay, maxDelay time.Duration) Option {
+	return Option{cluster: cluster.WithHedging(percentile, minDelay, maxDelay)}
+}
+
+// WithMetrics registers the target's metric series on reg: sm_cluster_*
+// for a volume, sm_blockserver_* for a served device. Applies to both
+// sides. Use one registry per volume or server — a Registry panics on
+// duplicate series.
+func WithMetrics(reg *Registry) Option {
+	return Option{
+		cluster: cluster.WithMetrics(reg),
+		server: func(sc *serverConfig) {
+			m := blockserver.NewMetrics()
+			m.Register(reg)
+			sc.opts = append(sc.opts, blockserver.WithMetrics(m))
+		},
+	}
+}
+
+// WithTracer routes per-operation events to t: cluster lifecycle events
+// for a volume, per-request events for a served device. Applies to both
+// sides. The tracer runs inline and must be concurrency-safe.
+func WithTracer(t Tracer) Option {
+	return Option{
+		cluster: cluster.WithTracer(t),
+		server: func(sc *serverConfig) {
+			sc.opts = append(sc.opts, blockserver.WithTracer(t))
+		},
+	}
+}
+
+// WithReadRate caps a served device's aggregate read bandwidth at
+// bytesPerSec, modeling one spindle's bounded bandwidth. Server side
+// only.
+func WithReadRate(bytesPerSec float64) Option {
+	return Option{server: func(sc *serverConfig) {
+		sc.opts = append(sc.opts, blockserver.WithReadRate(bytesPerSec))
+	}}
+}
+
+// NewClusterVolume builds a networked volume over a mirror-family
+// architecture with one backend address per disk (see cluster.Open).
+// Cluster-side options apply; server-only options are no-ops here.
+func NewClusterVolume(arch *Mirror, backends map[DiskID]string, opts ...Option) (*ClusterVolume, error) {
+	var copts []cluster.Option
+	for _, o := range opts {
+		if o.cluster != nil {
+			copts = append(copts, o.cluster)
+		}
+	}
+	return cluster.Open(arch, backends, copts...)
+}

@@ -1,11 +1,16 @@
 package shiftedmirror_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"shiftedmirror"
+	"shiftedmirror/internal/blockserver"
+	"shiftedmirror/internal/dev"
 )
 
 func TestFacadeQuickstartPath(t *testing.T) {
@@ -247,5 +252,79 @@ func TestFacadeServeDevice(t *testing.T) {
 	}
 	if err := c.Scrub(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFacadeClusterVolume drives the option-first cluster surface and
+// the unified error taxonomy end to end: NewClusterVolume with
+// functional options, the context-first data path, and errors.Is
+// against the facade sentinels.
+func TestFacadeClusterVolume(t *testing.T) {
+	arch := shiftedmirror.NewShiftedMirror(3)
+	servers := map[shiftedmirror.DiskID]*blockserver.Server{}
+	defer func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}()
+	backends := map[shiftedmirror.DiskID]string{}
+	for _, id := range arch.Disks() {
+		srv := blockserver.NewStoreServer(dev.NewMemStore(2 * 3 * 64))
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[id] = srv
+		backends[id] = addr.String()
+	}
+
+	reg := shiftedmirror.NewRegistry()
+	v, err := shiftedmirror.NewClusterVolume(arch, backends,
+		shiftedmirror.WithGeometry(64, 2),
+		shiftedmirror.WithTimeouts(time.Second, 2*time.Second),
+		shiftedmirror.WithHedging(0.9, time.Millisecond, 10*time.Millisecond),
+		shiftedmirror.WithMetrics(reg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+
+	payload := []byte("context-first cluster facade")
+	ctx := context.Background()
+	if _, err := v.WriteAtCtx(ctx, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := v.ReadAtCtx(ctx, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("cluster read %q", got)
+	}
+
+	// The hedge series registered through the facade option.
+	var buf strings.Builder
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sm_cluster_hedge_wins_total") {
+		t.Fatal("hedge metrics missing from facade-registered exposition")
+	}
+
+	// Unified taxonomy: a scrub with an unreachable backend reports
+	// ErrDegraded through the facade sentinel.
+	dead := shiftedmirror.DiskID{Role: shiftedmirror.RoleMirror, Index: 0}
+	servers[dead].Close()
+	rep, err := v.Scrub(ctx)
+	if !errors.Is(err, shiftedmirror.ErrDegraded) {
+		t.Fatalf("scrub with dead backend returned %v, want ErrDegraded", err)
+	}
+	if len(rep.Skipped) == 0 {
+		t.Fatal("degraded scrub reported no skipped backends")
+	}
+	// And a rebuild of a healthy disk keeps its plain rejection.
+	if err := v.RebuildDisk(ctx, dead); err == nil {
+		t.Fatal("rebuilt a disk that was never failed")
 	}
 }
