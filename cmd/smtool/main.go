@@ -514,13 +514,17 @@ func cmdCluster(args []string) error {
 	metricsAddr := fs.String("metrics", "", "serve Prometheus metrics on this address during the run (default: off)")
 	statsJSON := fs.Bool("stats", false, "print the final Volume.Stats() snapshot as JSON")
 	hedge := fs.Bool("hedge", false, "enable hedged reads (race slow backends against replica locations)")
+	noWriteBatch := fs.Bool("nowritebatch", false, "disable coalesced scatter writes (one OpWrite round trip per element copy, for A/B measurement)")
 	fs.Parse(args)
 
 	arch, err := buildArch(*arrName, *n, false)
 	if err != nil {
 		return err
 	}
-	cfg := cluster.Config{ElementSize: *elementSize, Stripes: *stripes, HedgeEnabled: *hedge}
+	cfg := cluster.Config{
+		ElementSize: *elementSize, Stripes: *stripes,
+		HedgeEnabled: *hedge, DisableWriteBatch: *noWriteBatch,
+	}
 	diskSize := int64(*stripes) * int64(*n) * *elementSize
 
 	var backends map[raid.DiskID]string

@@ -92,6 +92,27 @@ type tailReport struct {
 	Mismatches    int     `json:"mismatches"`
 }
 
+// writeReport is the write-path experiment: wire frames per full-stripe
+// write with the batched (OpWriteV) fan-out against the pre-batching
+// one-frame-per-element-copy behaviour, plus the rebuild write-back's
+// round-trip count.
+type writeReport struct {
+	StripeWrites int `json:"stripe_writes"`
+	// Frames are server-side counts summed over every backend: a stripe
+	// has 2n² element copies, so unbatched costs 2n² frames per write
+	// while batched packs each backend's share into one OpWriteV.
+	BatchedFramesPerStripe   float64 `json:"batched_frames_per_stripe"`
+	UnbatchedFramesPerStripe float64 `json:"unbatched_frames_per_stripe"`
+	BatchedMBps              float64 `json:"batched_mbps"`
+	UnbatchedMBps            float64 `json:"unbatched_mbps"`
+	// RebuildWriteBackFrames is how many OpWriteV round trips the
+	// replacement backend saw during a full rebuild; RebuildSlices is
+	// the slice count, the expected frame count (one coalesced frame
+	// per recovered slice).
+	RebuildWriteBackFrames int64 `json:"rebuild_writeback_frames"`
+	RebuildSlices          int64 `json:"rebuild_slices"`
+}
+
 // report is the whole run, one JSON document.
 type report struct {
 	N            int         `json:"n"`
@@ -104,6 +125,8 @@ type report struct {
 	Speedup float64 `json:"speedup"`
 	// Tail is the hedged-read experiment under an injected straggler.
 	Tail *tailReport `json:"tail,omitempty"`
+	// Writes is the write-batching experiment.
+	Writes *writeReport `json:"writes,omitempty"`
 }
 
 func main() {
@@ -168,6 +191,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	wr, err := measureWrites(*n, *element, *stripes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterrecon: write batching: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Writes = &wr
+	if err := assertWriteProperty(*n, wr); err != nil {
+		fmt.Fprintf(os.Stderr, "clusterrecon: write-batching property violated: %v\n", err)
+		os.Exit(1)
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -196,6 +230,13 @@ func main() {
 	fmt.Printf("%-10s %8.2fms %8.2fms\n", "hedged", tail.HedgedP50Ms, tail.HedgedP99Ms)
 	fmt.Printf("hedged p99 speedup: %.1fx (attempts %d, wins %d, losses %d, cancels %d)\n",
 		tail.P99Speedup, tail.HedgeAttempts, tail.HedgeWins, tail.HedgeLosses, tail.HedgeCancels)
+	fmt.Printf("\nwrite path over %d full-stripe writes (2n² = %d element copies each):\n",
+		wr.StripeWrites, 2**n**n)
+	fmt.Printf("%-10s %16s %10s\n", "", "frames/stripe", "MB/s")
+	fmt.Printf("%-10s %16.1f %10.1f\n", "batched", wr.BatchedFramesPerStripe, wr.BatchedMBps)
+	fmt.Printf("%-10s %16.1f %10.1f\n", "unbatched", wr.UnbatchedFramesPerStripe, wr.UnbatchedMBps)
+	fmt.Printf("rebuild write-back: %d round trips for %d slices\n",
+		wr.RebuildWriteBackFrames, wr.RebuildSlices)
 }
 
 // assertWireProperty checks the deterministic half of the paper's
@@ -448,4 +489,136 @@ func measure(name string, arr layout.Arrangement, element int64, stripes int, ra
 		}
 	}
 	return rr, nil
+}
+
+// assertWriteProperty checks the batching claim where it cannot wobble:
+// a full-stripe write costs at most one frame per replica backend (2n)
+// batched, exactly one frame per element copy (2n²) unbatched, and the
+// rebuild write-back lands one coalesced frame per slice.
+func assertWriteProperty(n int, w writeReport) error {
+	if w.BatchedFramesPerStripe > float64(2*n) {
+		return fmt.Errorf("batched full-stripe write cost %.1f frames, want <= %d", w.BatchedFramesPerStripe, 2*n)
+	}
+	if want := float64(2 * n * n); w.UnbatchedFramesPerStripe != want {
+		return fmt.Errorf("unbatched full-stripe write cost %.1f frames, want %.0f", w.UnbatchedFramesPerStripe, want)
+	}
+	if w.RebuildWriteBackFrames != w.RebuildSlices {
+		return fmt.Errorf("rebuild write-back used %d round trips for %d slices", w.RebuildWriteBackFrames, w.RebuildSlices)
+	}
+	return nil
+}
+
+// measureWrites times full-stripe writes against identical in-process
+// backends with and without write batching, counting the wire frames on
+// the servers, then rebuilds a disk on the batched volume and counts
+// the write-back round trips landing on the replacement backend.
+func measureWrites(n int, element int64, stripes int) (writeReport, error) {
+	const rebuildBatch = 4
+	wr := writeReport{StripeWrites: stripes}
+	arch := raid.NewMirror(layout.NewShifted(n))
+	diskSize := int64(stripes) * int64(n) * element
+	stripeSize := int64(n) * int64(n) * element
+
+	var servers []*blockserver.Server
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	spawn := func() (string, *blockserver.Metrics, error) {
+		m := blockserver.NewMetrics()
+		srv := blockserver.NewStoreServer(dev.NewMemStore(diskSize), blockserver.WithMetrics(m))
+		bound, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return "", nil, err
+		}
+		servers = append(servers, srv)
+		return bound.String(), m, nil
+	}
+	payload := make([]byte, stripeSize)
+	rand.New(rand.NewSource(11)).Read(payload)
+	writeFrames := func(ms []*blockserver.Metrics) int64 {
+		var frames int64
+		for _, m := range ms {
+			s := m.Snapshot()
+			frames += s.Ops["write"].Ops + s.Ops["writev"].Ops
+		}
+		return frames
+	}
+
+	// One volume per mode over fresh backends: writing every stripe once
+	// both fills the volume and is the measurement.
+	run := func(disable bool) (v *cluster.Volume, ms []*blockserver.Metrics, framesPerStripe, mbps float64, err error) {
+		backends := map[raid.DiskID]string{}
+		for _, id := range arch.Disks() {
+			addr, m, err := spawn()
+			if err != nil {
+				return nil, nil, 0, 0, err
+			}
+			backends[id] = addr
+			ms = append(ms, m)
+		}
+		v, err = cluster.New(arch, backends, cluster.Config{
+			ElementSize: element, Stripes: stripes,
+			RebuildBatch: rebuildBatch, DisableWriteBatch: disable,
+		})
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		start := time.Now()
+		for s := 0; s < stripes; s++ {
+			if _, err := v.WriteAt(payload, int64(s)*stripeSize); err != nil {
+				v.Close()
+				return nil, nil, 0, 0, err
+			}
+		}
+		elapsed := time.Since(start)
+		framesPerStripe = float64(writeFrames(ms)) / float64(stripes)
+		mbps = float64(stripeSize) * float64(stripes) / 1e6 / elapsed.Seconds()
+		return v, ms, framesPerStripe, mbps, nil
+	}
+
+	unbatched, _, uf, umbps, err := run(true)
+	if err != nil {
+		return wr, err
+	}
+	unbatched.Close()
+	wr.UnbatchedFramesPerStripe, wr.UnbatchedMBps = uf, umbps
+
+	batched, _, bf, bmbps, err := run(false)
+	if err != nil {
+		return wr, err
+	}
+	defer batched.Close()
+	wr.BatchedFramesPerStripe, wr.BatchedMBps = bf, bmbps
+
+	// Rebuild onto a fresh metered backend: only write-back lands there,
+	// so its frame count is the round-trip measurement.
+	lost := raid.DiskID{Role: raid.RoleData, Index: 0}
+	if err := batched.Fail(lost); err != nil {
+		return wr, err
+	}
+	replacement, rm, err := spawn()
+	if err != nil {
+		return wr, err
+	}
+	if err := batched.ReplaceBackend(lost, replacement); err != nil {
+		return wr, err
+	}
+	if err := batched.RebuildDisk(context.Background(), lost); err != nil {
+		return wr, err
+	}
+	wr.RebuildSlices = int64((stripes + rebuildBatch - 1) / rebuildBatch)
+	wr.RebuildWriteBackFrames = writeFrames([]*blockserver.Metrics{rm})
+	// Byte-verify the rebuilt volume before trusting the counts.
+	check := make([]byte, batched.Size())
+	if _, err := batched.ReadAt(check, 0); err != nil {
+		return wr, err
+	}
+	for s := 0; s < stripes; s++ {
+		if !bytes.Equal(check[int64(s)*stripeSize:int64(s+1)*stripeSize], payload) {
+			return wr, fmt.Errorf("stripe %d diverges after the batched rebuild", s)
+		}
+	}
+	return wr, nil
 }

@@ -4,6 +4,11 @@
 // parity. The shifted arrangement keeps the theoretical-optimal write
 // strategy (Property 3), so throughputs should be "compatible" — within a
 // few percent.
+//
+// The run closes with the networked write path over loopback TCP: the
+// same full-stripe writes against a cluster volume with the batched
+// (OpWriteV) fan-out and with batching disabled (one OpWrite round trip
+// per element copy), an A/B of what coalescing is worth on the wire.
 package main
 
 import (
@@ -12,6 +17,8 @@ import (
 	"time"
 
 	"shiftedmirror"
+	"shiftedmirror/internal/blockserver"
+	"shiftedmirror/internal/dev"
 	"shiftedmirror/internal/erasure"
 	"shiftedmirror/internal/gf"
 	"shiftedmirror/internal/sim"
@@ -83,4 +90,62 @@ func main() {
 		}
 		fmt.Printf("  n=%d %10.0f MB/s\n", n, sim.MBPerSec(bytes, time.Since(start).Seconds()))
 	}
+
+	// The cluster write path over real sockets: batched scatter writes
+	// (one OpWriteV frame per replica backend per stripe) against the
+	// unbatched fan-out (one OpWrite per element copy, 2n² round trips).
+	fmt.Println("\ncluster full-stripe writes over loopback TCP, n=5:")
+	for _, mode := range []struct {
+		name    string
+		batched bool
+	}{{"batched (OpWriteV)", true}, {"unbatched (OpWrite)", false}} {
+		mbps, err := clusterWrites(5, 4096, 16, mode.batched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-20s %8.1f MB/s\n", mode.name, mbps)
+	}
+}
+
+// clusterWrites serves one in-memory backend per disk over loopback,
+// opens a cluster volume on them through the facade, and times one
+// full-stripe write per stripe.
+func clusterWrites(n int, element int64, stripes int, batched bool) (float64, error) {
+	arch := shiftedmirror.NewShiftedMirror(n)
+	diskSize := int64(stripes) * int64(n) * element
+	var servers []*blockserver.Server
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	backends := map[shiftedmirror.DiskID]string{}
+	for _, id := range arch.Disks() {
+		srv := blockserver.NewStoreServer(dev.NewMemStore(diskSize))
+		bound, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		servers = append(servers, srv)
+		backends[id] = bound.String()
+	}
+	v, err := shiftedmirror.NewClusterVolume(arch, backends,
+		shiftedmirror.WithGeometry(element, stripes),
+		shiftedmirror.WithWriteBatching(batched))
+	if err != nil {
+		return 0, err
+	}
+	defer v.Close()
+	stripeSize := int64(n) * int64(n) * element
+	p := make([]byte, stripeSize)
+	for i := range p {
+		p[i] = byte(i)
+	}
+	start := time.Now()
+	for s := 0; s < stripes; s++ {
+		if _, err := v.WriteAt(p, int64(s)*stripeSize); err != nil {
+			return 0, err
+		}
+	}
+	return sim.MBPerSec(stripeSize*int64(stripes), time.Since(start).Seconds()), nil
 }

@@ -265,6 +265,104 @@ func (c *Client) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, erro
 	return len(p), nil
 }
 
+// WriteV scatters len(vecs) ranges in one round trip (OpWriteV),
+// writing data[i] (which must have length vecs[i].Len) at vecs[i].Off.
+// See WriteVCtx for the partial-success contract.
+func (c *Client) WriteV(vecs []Vec, data [][]byte) (int, error) {
+	return c.WriteVCtx(context.Background(), vecs, data)
+}
+
+// WriteVCtx is WriteV with cancellation: ctx interrupts the exchange
+// even mid-frame (poisoning the connection — see do).
+//
+// It returns applied, the number of leading ranges the server durably
+// applied. On a clean exchange applied == len(vecs). On a RemoteError
+// the server rejected range `applied` — ranges [0, applied) are durable
+// — and the connection remains usable. On transport, framing, or
+// cancellation errors applied is 0: the server may have applied a
+// prefix, but the client cannot know which, so nothing from the
+// exchange may be credited.
+func (c *Client) WriteVCtx(ctx context.Context, vecs []Vec, data [][]byte) (int, error) {
+	if len(vecs) != len(data) {
+		return 0, fmt.Errorf("blockserver: WriteV has %d ranges but %d buffers", len(vecs), len(data))
+	}
+	if len(vecs) == 0 {
+		return 0, nil
+	}
+	if len(vecs) > MaxVecCount {
+		return 0, fmt.Errorf("%w: %d ranges exceeds limit %d", ErrProtocol, len(vecs), MaxVecCount)
+	}
+	var total int64
+	for i, v := range vecs {
+		if v.Len < 0 || len(data[i]) != v.Len {
+			return 0, fmt.Errorf("blockserver: WriteV buffer %d has %d bytes for a %d-byte range", i, len(data[i]), v.Len)
+		}
+		total += int64(v.Len)
+	}
+	if total > MaxIOSize {
+		return 0, fmt.Errorf("%w: scatter of %d bytes exceeds limit", ErrProtocol, total)
+	}
+	applied := 0
+	err := c.do(ctx, func() error {
+		// All range headers are packed into one pooled frame and
+		// interleaved with the payload slices in a single vectored send
+		// (writev on TCP), so the payloads are never copied client-side.
+		hdrs := getFrame(5 + 12*len(vecs))
+		defer putFrame(hdrs)
+		(*hdrs)[0] = OpWriteV
+		binary.BigEndian.PutUint32((*hdrs)[1:5], uint32(len(vecs)))
+		bufs := make(net.Buffers, 0, 2*len(vecs))
+		start, at := 0, 5
+		for i, v := range vecs {
+			binary.BigEndian.PutUint64((*hdrs)[at:], uint64(v.Off))
+			binary.BigEndian.PutUint32((*hdrs)[at+8:], uint32(v.Len))
+			at += 12
+			bufs = append(bufs, (*hdrs)[start:at], data[i])
+			start = at
+		}
+		if _, err := bufs.WriteTo(c.conn); err != nil {
+			return err
+		}
+		var status [1]byte
+		if _, err := io.ReadFull(c.conn, status[:]); err != nil {
+			return err
+		}
+		if status[0] == statusOK {
+			m, err := readUint32(c.conn)
+			if err != nil {
+				return err
+			}
+			if int(m) != len(vecs) {
+				return fmt.Errorf("%w: server applied %d of %d scatter ranges without error", ErrProtocol, m, len(vecs))
+			}
+			applied = len(vecs)
+			return nil
+		}
+		// Extended error response: failed(4) | len(4) | message.
+		f, err := readUint32(c.conn)
+		if err != nil {
+			return err
+		}
+		if int64(f) >= int64(len(vecs)) {
+			return fmt.Errorf("%w: failed-range index %d beyond %d ranges", ErrProtocol, f, len(vecs))
+		}
+		n, err := readUint32(c.conn)
+		if err != nil {
+			return err
+		}
+		if n > 1<<16 {
+			return fmt.Errorf("%w: oversized error message (%d bytes)", ErrProtocol, n)
+		}
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(c.conn, msg); err != nil {
+			return err
+		}
+		applied = int(f)
+		return &RemoteError{Msg: string(msg)}
+	})
+	return applied, err
+}
+
 // Size returns the remote device's logical capacity.
 func (c *Client) Size() (int64, error) {
 	var v uint64

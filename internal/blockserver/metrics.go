@@ -8,7 +8,7 @@ import (
 
 // opNames maps opcodes to metric label values; slot 0 catches unknown
 // opcodes, which are counted before the connection is torn down.
-var opNames = [OpReadV + 1]string{
+var opNames = [OpWriteV + 1]string{
 	0:         "unknown",
 	OpRead:    "read",
 	OpWrite:   "write",
@@ -18,6 +18,7 @@ var opNames = [OpReadV + 1]string{
 	OpScrub:   "scrub",
 	OpHealth:  "health",
 	OpReadV:   "readv",
+	OpWriteV:  "writev",
 }
 
 // opSlot folds an opcode into a metrics array index.

@@ -20,10 +20,21 @@
 //	                                          nfailed(4) | nfailed*(role(1) index(4))
 //	OpReadV   req: count(4) | count*(off(8) len(4))
 //	                                      ok: total(4) | concatenated data
+//	OpWriteV  req: count(4) | count*(off(8) len(4) data)
+//	                                      ok: applied(4)
+//	                                      err: failed(4) | len(4) | message
 //
 // OpReadV gathers up to MaxVecCount element-granular ranges in one round
 // trip, so a cluster-level stripe read does not pay one network round
-// trip per element.
+// trip per element. OpWriteV is its scatter twin: up to MaxVecCount
+// ranges (total payload bounded by MaxIOSize) applied in request order
+// in one round trip. Ranges are applied as they are decoded; on a
+// store-level error at range i the server drains the rest of the frame
+// to stay synchronized and answers with an extended error response
+// carrying failed = i, so the client can credit the leading i ranges as
+// durably applied. Framing violations (bad count, oversized ranges,
+// truncated payload) tear the connection without a response, and the
+// range being decoded when the stream died is never partially applied.
 package blockserver
 
 import (
@@ -44,6 +55,7 @@ const (
 	OpScrub
 	OpHealth
 	OpReadV
+	OpWriteV
 )
 
 // Status codes.
@@ -53,11 +65,12 @@ const (
 )
 
 // MaxIOSize bounds a single read or write payload (a protocol sanity
-// limit, not a device limit). An OpReadV response counts the sum of its
-// ranges against the same limit.
+// limit, not a device limit). An OpReadV response and an OpWriteV
+// request count the sum of their ranges against the same limit.
 const MaxIOSize = 64 << 20
 
-// MaxVecCount bounds the number of ranges in one OpReadV request.
+// MaxVecCount bounds the number of ranges in one OpReadV or OpWriteV
+// request.
 const MaxVecCount = 4096
 
 // ErrProtocol reports a malformed frame.
@@ -112,6 +125,21 @@ func writeErr(w io.Writer, err error) error {
 	msg := []byte(err.Error())
 	buf := make([]byte, 0, 5+len(msg))
 	buf = append(buf, statusErr)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(msg)))
+	buf = append(buf, msg...)
+	_, werr := w.Write(buf)
+	return werr
+}
+
+// writeWriteVErr sends OpWriteV's extended error response: the index of
+// the first range the store rejected, then the usual error payload. The
+// leading `failed` ranges were applied; the rest were drained without
+// being applied, so the stream stays synchronized.
+func writeWriteVErr(w io.Writer, failed int, err error) error {
+	msg := []byte(err.Error())
+	buf := make([]byte, 0, 9+len(msg))
+	buf = append(buf, statusErr)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(failed))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(msg)))
 	buf = append(buf, msg...)
 	_, werr := w.Write(buf)

@@ -345,6 +345,71 @@ func (s *Server) handle(conn net.Conn, op byte, acct *opAcct) error {
 			return s.reply(conn, acct, err)
 		}
 		return writeOK(conn, nil)
+	case OpWriteV:
+		count, err := readUint32(conn)
+		if err != nil {
+			return err
+		}
+		if count == 0 || count > MaxVecCount {
+			return fmt.Errorf("%w: scatter of %d ranges outside [1,%d]", ErrProtocol, count, MaxVecCount)
+		}
+		// Ranges are applied as they are decoded, so a 64 MiB batch never
+		// buffers more than one range at a time. Framing violations tear
+		// the connection: an oversized declared length means the payload
+		// boundary is untrustworthy, so resynchronizing is impossible.
+		buf := getFrame(0)
+		defer putFrame(buf)
+		var (
+			total    int64
+			storeErr error
+			failed   int
+		)
+		for i := 0; i < int(count); i++ {
+			off, err := readUint64(conn)
+			if err != nil {
+				return err
+			}
+			l, err := readUint32(conn)
+			if err != nil {
+				return err
+			}
+			if l > MaxIOSize {
+				return fmt.Errorf("%w: scatter range of %d bytes exceeds limit", ErrProtocol, l)
+			}
+			// Sum as int64: on 32-bit platforms int(uint32) can go
+			// negative, which would slip past the limit check.
+			total += int64(l)
+			if total > MaxIOSize {
+				return fmt.Errorf("%w: scatter of %d bytes exceeds limit", ErrProtocol, total)
+			}
+			if cap(*buf) < int(l) {
+				*buf = make([]byte, l)
+			}
+			*buf = (*buf)[:l]
+			if _, err := io.ReadFull(conn, *buf); err != nil {
+				return err
+			}
+			if acct != nil {
+				acct.in += int64(l)
+			}
+			if storeErr != nil {
+				continue // drain the remaining ranges; stream stays synchronized
+			}
+			if _, err := s.store.WriteAt(*buf, int64(off)); err != nil {
+				storeErr, failed = err, i
+			}
+		}
+		if storeErr != nil {
+			if acct != nil {
+				acct.remoteErr = storeErr
+			}
+			return writeWriteVErr(conn, failed, storeErr)
+		}
+		var resp [5]byte
+		resp[0] = statusOK
+		binary.BigEndian.PutUint32(resp[1:5], count)
+		_, werr := conn.Write(resp[:])
+		return werr
 	case OpSize:
 		return writeOK(conn, binary.BigEndian.AppendUint64(nil, uint64(s.store.Size())))
 	case OpFail, OpRebuild:

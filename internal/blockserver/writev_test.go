@@ -1,0 +1,300 @@
+package blockserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"shiftedmirror/internal/dev"
+	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/raid"
+)
+
+func TestWriteV(t *testing.T) {
+	addr, _ := startStoreServer(t, 4096)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Out-of-order, mixed-size scatter in one round trip.
+	vecs := []Vec{{Off: 1024, Len: 512}, {Off: 0, Len: 64}, {Off: 4095, Len: 1}}
+	rng := rand.New(rand.NewSource(9))
+	data := make([][]byte, len(vecs))
+	for i, v := range vecs {
+		data[i] = make([]byte, v.Len)
+		rng.Read(data[i])
+	}
+	applied, err := client.WriteV(vecs, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != len(vecs) {
+		t.Fatalf("applied %d of %d ranges", applied, len(vecs))
+	}
+	// Read the ranges back over the same connection, so the check is
+	// ordered after the server's writes.
+	for i, v := range vecs {
+		got := make([]byte, v.Len)
+		if _, err := client.ReadAt(got, v.Off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data[i]) {
+			t.Fatalf("range %d not applied", i)
+		}
+	}
+	// Empty scatter is a no-op.
+	if applied, err := client.WriteV(nil, nil); err != nil || applied != 0 {
+		t.Fatalf("empty scatter: %d, %v", applied, err)
+	}
+	// Mis-sized payload buffer is rejected client-side.
+	if _, err := client.WriteV([]Vec{{Off: 0, Len: 8}}, [][]byte{make([]byte, 4)}); err == nil {
+		t.Fatal("mis-sized scatter buffer accepted")
+	}
+	// Range/buffer count mismatch is rejected client-side.
+	if _, err := client.WriteV([]Vec{{Off: 0, Len: 8}}, nil); err == nil {
+		t.Fatal("scatter with missing buffers accepted")
+	}
+	// Too many ranges rejected client-side.
+	big := make([]Vec, MaxVecCount+1)
+	bufs := make([][]byte, len(big))
+	for i := range bufs {
+		bufs[i] = []byte{}
+	}
+	if _, err := client.WriteV(big, bufs); err == nil {
+		t.Fatal("oversized scatter accepted")
+	}
+	// The connection survived every client-side rejection.
+	if _, err := client.Size(); err != nil {
+		t.Fatalf("connection unusable after rejected scatters: %v", err)
+	}
+}
+
+func TestWriteVAgainstDevice(t *testing.T) {
+	device, client := startServer(t, raid.NewMirror(layout.NewShifted(3)), 2)
+	vecs := []Vec{{Off: 64, Len: 64}, {Off: 0, Len: 32}}
+	data := [][]byte{bytes.Repeat([]byte{0xA5}, 64), bytes.Repeat([]byte{0x5A}, 32)}
+	if applied, err := client.WriteV(vecs, data); err != nil || applied != 2 {
+		t.Fatalf("device scatter: %d, %v", applied, err)
+	}
+	got := make([]byte, 128)
+	if _, err := device.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[64:128], data[0]) || !bytes.Equal(got[:32], data[1]) {
+		t.Fatal("device scatter mismatch")
+	}
+}
+
+// TestWriteVMidBatchStoreError drives a scatter whose third range lands
+// outside the store: the server must apply the leading two ranges,
+// report failed index 2, drain (not apply) the trailing range, and keep
+// the connection synchronized.
+func TestWriteVMidBatchStoreError(t *testing.T) {
+	addr, _ := startStoreServer(t, 4096)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Prefill through the wire, so every later server-side access is
+	// ordered by the connection's handler goroutine.
+	sentinel := bytes.Repeat([]byte{0xEE}, 4096)
+	if _, err := client.WriteAt(sentinel, 0); err != nil {
+		t.Fatal(err)
+	}
+	vecs := []Vec{
+		{Off: 0, Len: 64},
+		{Off: 64, Len: 64},
+		{Off: 1 << 20, Len: 16}, // outside the 4 KiB store
+		{Off: 128, Len: 64},
+	}
+	data := make([][]byte, len(vecs))
+	rng := rand.New(rand.NewSource(10))
+	for i, v := range vecs {
+		data[i] = make([]byte, v.Len)
+		rng.Read(data[i])
+	}
+	applied, err := client.WriteV(vecs, data)
+	if !IsRemote(err) {
+		t.Fatalf("want remote error, got %v", err)
+	}
+	if applied != 2 {
+		t.Fatalf("applied = %d, want 2 (the ranges before the failure)", applied)
+	}
+	got := make([]byte, 192)
+	if _, err := client.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:64], data[0]) || !bytes.Equal(got[64:128], data[1]) {
+		t.Fatal("leading ranges not applied before the failure")
+	}
+	// The range after the failure was drained, never applied.
+	if !bytes.Equal(got[128:192], sentinel[128:192]) {
+		t.Fatal("range after the failed one was applied")
+	}
+	// Remote errors do not poison: the same connection keeps working.
+	if client.Broken() != nil {
+		t.Fatal("remote scatter error poisoned the connection")
+	}
+	if applied, err := client.WriteV(vecs[:1], data[:1]); err != nil || applied != 1 {
+		t.Fatalf("connection unusable after remote scatter error: %d, %v", applied, err)
+	}
+}
+
+// TestServerWriteVRejectsMalformedFrames speaks the wire format
+// directly: bad counts and oversized lengths make the payload boundary
+// untrustworthy, so the server must tear the connection down without
+// answering (unlike OpReadV, where the fixed-size header block can be
+// consumed and a remote error returned).
+func TestServerWriteVRejectsMalformedFrames(t *testing.T) {
+	addr, _ := startStoreServer(t, 4096)
+	cases := []struct {
+		name  string
+		frame func() []byte
+	}{
+		{"zero count", func() []byte {
+			req := []byte{OpWriteV}
+			return binary.BigEndian.AppendUint32(req, 0)
+		}},
+		{"oversized count", func() []byte {
+			req := []byte{OpWriteV}
+			return binary.BigEndian.AppendUint32(req, MaxVecCount+1)
+		}},
+		{"oversized range", func() []byte {
+			req := []byte{OpWriteV}
+			req = binary.BigEndian.AppendUint32(req, 1)
+			req = binary.BigEndian.AppendUint64(req, 0)
+			return binary.BigEndian.AppendUint32(req, 0xFFFFFFFF)
+		}},
+		{"total past limit as int64", func() []byte {
+			// Range 0 is tiny and fully transferred; range 1 individually
+			// fits (exactly MaxIOSize) but pushes the int64 total past the
+			// limit, so the tear happens at its header — before the client
+			// has shipped 64 MiB.
+			req := []byte{OpWriteV}
+			req = binary.BigEndian.AppendUint32(req, 2)
+			req = binary.BigEndian.AppendUint64(req, 0)
+			req = binary.BigEndian.AppendUint32(req, 16)
+			req = append(req, make([]byte, 16)...)
+			req = binary.BigEndian.AppendUint64(req, 0)
+			return binary.BigEndian.AppendUint32(req, MaxIOSize)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			if _, err := conn.Write(tc.frame()); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 1)
+			conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+			if n, err := conn.Read(buf); err == nil {
+				t.Fatalf("server answered a malformed scatter with %d bytes", n)
+			}
+		})
+	}
+	// The server survived every torn connection.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Size(); err != nil {
+		t.Fatalf("server wedged after malformed scatters: %v", err)
+	}
+}
+
+// TestServerWriteVTruncatedPayloadNeverApplied hangs up mid-payload: the
+// complete leading range must be applied, the truncated one must not be
+// applied at all (no silent partial write), and no response is sent.
+func TestServerWriteVTruncatedPayloadNeverApplied(t *testing.T) {
+	store := dev.NewMemStore(4096)
+	srv := NewStoreServer(store)
+	listenAddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := listenAddr.String()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Prefill over the same connection (one OpWrite frame), so the
+	// handler goroutine orders it before the truncated scatter.
+	sentinel := bytes.Repeat([]byte{0xEE}, 4096)
+	pre := []byte{OpWrite}
+	pre = binary.BigEndian.AppendUint64(pre, 0)
+	pre = binary.BigEndian.AppendUint32(pre, 4096)
+	pre = append(pre, sentinel...)
+	if _, err := conn.Write(pre); err != nil {
+		t.Fatal(err)
+	}
+	if err := readStatus(conn); err != nil {
+		t.Fatal(err)
+	}
+	req := []byte{OpWriteV}
+	req = binary.BigEndian.AppendUint32(req, 2)
+	req = binary.BigEndian.AppendUint64(req, 0)
+	req = binary.BigEndian.AppendUint32(req, 8)
+	req = append(req, []byte("ABCDEFGH")...)
+	req = binary.BigEndian.AppendUint64(req, 100)
+	req = binary.BigEndian.AppendUint32(req, 8)
+	req = append(req, []byte("abc")...) // 3 of the promised 8 bytes
+	if _, err := conn.Write(req); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	// The server tears the connection without a response.
+	buf := make([]byte, 1)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if n, err := conn.Read(buf); err == nil {
+		t.Fatalf("server answered a truncated scatter with %d bytes", n)
+	}
+	// Close waits for the handler goroutine, ordering the store
+	// assertions below after its writes.
+	srv.Close()
+	got := make([]byte, 108)
+	if _, err := store.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:8], []byte("ABCDEFGH")) {
+		t.Fatal("complete leading range not applied")
+	}
+	if !bytes.Equal(got[100:108], sentinel[100:108]) {
+		t.Fatalf("truncated range partially applied: %q", got[100:108])
+	}
+}
+
+func TestWriteVCancelledContext(t *testing.T) {
+	addr, _ := startStoreServer(t, 4096)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	applied, err := client.WriteVCtx(ctx, []Vec{{Off: 0, Len: 4}}, [][]byte{make([]byte, 4)})
+	if err == nil || applied != 0 {
+		t.Fatalf("cancelled scatter: %d, %v", applied, err)
+	}
+	// Cancellation before the exchange starts does not poison.
+	if client.Broken() != nil {
+		t.Fatal("pre-exchange cancellation poisoned the connection")
+	}
+	if applied, err := client.WriteV([]Vec{{Off: 0, Len: 4}}, [][]byte{make([]byte, 4)}); err != nil || applied != 1 {
+		t.Fatalf("connection unusable after cancelled scatter: %d, %v", applied, err)
+	}
+}

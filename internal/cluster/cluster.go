@@ -104,6 +104,11 @@ type Config struct {
 	// RebuildBatch is how many stripes RebuildDisk recovers per
 	// exclusive-lock slice; user I/O flows between slices. Default 16.
 	RebuildBatch int
+	// DisableWriteBatch reverts the write fan-out to one OpWrite round
+	// trip per element copy instead of coalesced OpWriteV frames. It
+	// exists for A/B measurement (examples/writebench, smtool
+	// -nowritebatch); leave it false in production.
+	DisableWriteBatch bool
 	// Tracer, when set, receives one obs.Event per cluster lifecycle
 	// operation (fail, auto_fail, replace_backend, rebuild_slice,
 	// rebuild, scrub). It runs inline and must be concurrency-safe.

@@ -83,6 +83,13 @@ type Stats struct {
 	Failovers       int64 `json:"failovers"`
 	AutoFailed      int64 `json:"auto_failed"`
 
+	// WriteBatches counts OpWriteV frames issued by the write fan-out
+	// (user writes and rebuild write-back); WriteBatchElements the
+	// element-copy ops those frames carried. Their ratio is the measured
+	// batching factor — elements per wire round trip.
+	WriteBatches       int64 `json:"write_batches"`
+	WriteBatchElements int64 `json:"write_batch_elements"`
+
 	ReadLatency  obs.HistSnapshot `json:"read_latency"`
 	WriteLatency obs.HistSnapshot `json:"write_latency"`
 
@@ -106,8 +113,12 @@ func (v *Volume) Stats() Stats {
 		DegradedReads:   v.stats.degradedReads.Load(),
 		Failovers:       v.stats.failovers.Load(),
 		AutoFailed:      v.stats.autoFailed.Load(),
-		ReadLatency:     v.stats.readLat.Snapshot(),
-		WriteLatency:    v.stats.writeLat.Snapshot(),
+
+		WriteBatches:       v.stats.writeBatches.Load(),
+		WriteBatchElements: v.stats.writeBatchElements.Load(),
+
+		ReadLatency:  v.stats.readLat.Snapshot(),
+		WriteLatency: v.stats.writeLat.Snapshot(),
 		Rebuild: RebuildStats{
 			Active:       v.stats.rebuildActive.Load(),
 			Completed:    v.stats.rebuilds.Load(),
@@ -183,6 +194,10 @@ func (v *Volume) RegisterMetrics(reg *obs.Registry) {
 		"Element fetches re-routed to another backend after an I/O failure.", &st.failovers)
 	reg.RegisterCounter("sm_cluster_auto_failed_total",
 		"Disks auto-failed by the write path after their backend stopped accepting writes.", &st.autoFailed)
+	reg.RegisterCounter("sm_cluster_write_batches_total",
+		"OpWriteV frames issued by the write fan-out (user writes and rebuild write-back).", &st.writeBatches)
+	reg.RegisterCounter("sm_cluster_write_batch_elements",
+		"Element-copy ops carried by OpWriteV frames; divided by sm_cluster_write_batches_total this is elements per wire round trip.", &st.writeBatchElements)
 	reg.RegisterHistogram("sm_cluster_read_duration_seconds",
 		"Volume.ReadAt wall time.", st.readLat)
 	reg.RegisterHistogram("sm_cluster_write_duration_seconds",

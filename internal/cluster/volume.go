@@ -79,6 +79,13 @@ type volumeStats struct {
 	scrubElements                 obs.Counter // replica elements compared across all scrubs
 	scrubSkipped                  obs.Counter // disks skipped across all scrubs
 
+	// Write-batching accounting: writeBatches counts OpWriteV frames
+	// issued by the write fan-out (user writes and rebuild write-back);
+	// writeBatchElements counts the element-copy ops those frames
+	// carried, so elements-per-frame is their ratio.
+	writeBatches       obs.Counter
+	writeBatchElements obs.Counter
+
 	// Hedged-read accounting: attempts are hedge timers that fired,
 	// wins are reads served by the backup copy, losses are primaries
 	// that beat their backup after all, cancels are loser requests
@@ -471,15 +478,36 @@ func (v *Volume) WriteAt(p []byte, off int64) (int, error) {
 // before the cancel keep the bytes (the write is not rolled back), and
 // backends whose op was cancelled are not auto-failed — cancellation
 // says nothing about their health.
+//
+// Locking: the network fan-out runs under the shared lock, so writes no
+// longer block readers or each other; only rebuild slices (which hold
+// the exclusive lock across their fetch+write to keep the replacement
+// backend coherent) still exclude writes. The exclusive lock is retaken
+// after the fan-out, solely for failed/watermark bookkeeping. Writers
+// running concurrently means overlapping WriteAt calls race exactly as
+// they do on a raw block device: each element copy lands atomically,
+// but which writer's bytes survive — per replica — is unordered, so
+// callers that overlap writes must serialize themselves (see DESIGN.md
+// §11; TestConcurrentWriters documents the semantics).
 func (v *Volume) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
 	if off < 0 || off+int64(len(p)) > v.Size() {
 		return 0, fmt.Errorf("cluster: write [%d,%d) outside volume of %d bytes", off, off+int64(len(p)), v.Size())
 	}
 	start := time.Now()
 	defer func() { v.stats.writeLat.Observe(time.Since(start)) }()
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.mu.RLock()
+	// A torn first or last element is read-modify-written: all RMW
+	// pre-reads are collected and fetched in one gather, so an unaligned
+	// write pays one round trip per involved backend, not one per torn
+	// edge.
+	type patch struct {
+		content []byte
+		inner   int64
+		frag    []byte
+	}
 	var ops []writeOp
+	var rmwSpans []*span
+	var patches []patch
 	elems := 0
 	for total := 0; total < len(p); {
 		stripe, disk, row, inner := v.elemAddr(off + int64(total))
@@ -491,15 +519,10 @@ func (v *Volume) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, erro
 		if inner == 0 && chunk == v.elementSize {
 			content = p[total : total+int(chunk)]
 		} else {
-			// Sub-element write: read-modify-write the element.
 			content = make([]byte, v.elementSize)
-			s := &span{stripe: stripe, disk: disk, row: row, buf: content}
-			if err := v.fetchSpans(ctx, []*span{s}, fetchInternal); err != nil {
-				return total, err
-			}
-			copy(content[inner:], p[total:total+int(chunk)])
+			rmwSpans = append(rmwSpans, &span{stripe: stripe, disk: disk, row: row, buf: content})
+			patches = append(patches, patch{content: content, inner: inner, frag: p[total : total+int(chunk)]})
 		}
-		v.stats.elementsWritten.Add(1)
 		for _, loc := range v.locations(disk, row) {
 			if !v.available(loc.id, stripe) {
 				continue // redundancy carries it until rebuild catches up
@@ -511,23 +534,51 @@ func (v *Volume) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, erro
 		elems++
 		total += int(chunk)
 	}
+	if len(rmwSpans) > 0 {
+		if err := v.fetchSpans(ctx, rmwSpans, fetchInternal); err != nil {
+			v.mu.RUnlock()
+			return 0, err
+		}
+		for _, pt := range patches {
+			copy(pt.content[pt.inner:], pt.frag)
+		}
+	}
 	succeeded := make([]atomic.Int64, elems)
 	broken, err := v.runWrites(ctx, ops, succeeded)
-	for id, minStripe := range broken {
-		if !v.failed[id] {
-			v.failed[id] = true
-			v.progress[id] = 0
-			v.stats.autoFailed.Inc()
-			v.stats.perDisk[id].watermark.Set(0)
-			v.trace(obs.Event{Op: "auto_fail", Target: id.String()})
-		} else if v.progress[id] > minStripe {
-			// A disk mid-rebuild missed a write below its watermark: the
-			// rebuilt copy of that stripe is now stale. Pull the watermark
-			// back so reads fail over to the replicas that did take the
-			// write and the rebuild re-recovers everything from there.
-			v.progress[id] = minStripe
-			v.stats.perDisk[id].watermark.Set(int64(minStripe))
+	// An element counts as written only once it reached at least one
+	// backend; cancelled or all-failed fan-outs do not inflate the
+	// counter.
+	var written int64
+	for i := range succeeded {
+		if succeeded[i].Load() > 0 {
+			written++
 		}
+	}
+	v.stats.elementsWritten.Add(written)
+	v.mu.RUnlock()
+	if len(broken) > 0 {
+		// Bookkeeping needs the exclusive lock. The broken verdicts stay
+		// valid across the lock gap: auto-fail re-checks v.failed, and the
+		// rollback below only ever pulls a watermark down, so a rebuild
+		// slice that advanced it meanwhile is re-run, never skipped.
+		v.mu.Lock()
+		for id, minStripe := range broken {
+			if !v.failed[id] {
+				v.failed[id] = true
+				v.progress[id] = 0
+				v.stats.autoFailed.Inc()
+				v.stats.perDisk[id].watermark.Set(0)
+				v.trace(obs.Event{Op: "auto_fail", Target: id.String()})
+			} else if v.progress[id] > minStripe {
+				// A disk mid-rebuild missed a write below its watermark: the
+				// rebuilt copy of that stripe is now stale. Pull the watermark
+				// back so reads fail over to the replicas that did take the
+				// write and the rebuild re-recovers everything from there.
+				v.progress[id] = minStripe
+				v.stats.perDisk[id].watermark.Set(int64(minStripe))
+			}
+		}
+		v.mu.Unlock()
 	}
 	if err != nil {
 		return 0, err
@@ -545,15 +596,96 @@ func (v *Volume) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, erro
 	return len(p), nil
 }
 
-// runWrites issues ops grouped per backend, each group drained by up to
-// PoolSize workers. It returns the backends whose transport failed
-// (candidates for auto-fail), each mapped to the lowest stripe among its
-// failed ops (so callers can roll a rebuild watermark back past every
-// missed write), and the first remote (store-level) error, which
-// indicates a logic problem rather than a dead machine. Ops that fail
-// because ctx was cancelled count as neither: they do not mark the
-// backend broken (no auto-fail from a caller's cancel) and are not
-// remote errors.
+// wframe is one OpWriteV round trip bound for a backend: the coalesced
+// wire ranges plus the ops they carry. opRange[i] is the index of the
+// vec carrying ops[i], so a mid-batch remote error (ranges before the
+// failed index are durable) can be credited back to exact elements.
+type wframe struct {
+	vecs    []blockserver.Vec
+	data    [][]byte
+	ops     []writeOp
+	opRange []int
+}
+
+// buffersAdjacent reports whether b starts exactly where a ends in
+// memory — i.e. extending a by len(b) within its capacity would cover
+// b. The check reslices within a's capacity and compares element
+// addresses, so no out-of-bounds pointer is ever formed.
+func buffersAdjacent(a, b []byte) bool {
+	if len(b) == 0 || cap(a)-len(a) < len(b) {
+		return false
+	}
+	ext := a[: len(a)+1 : len(a)+1]
+	return &ext[len(a)] == &b[0]
+}
+
+// packFrames sorts one backend's ops by store offset and packs them
+// into OpWriteV frames bounded by MaxBatch ranges and MaxIOSize bytes.
+// Ops adjacent in both store offset and memory — rebuild write-back's
+// normal case, where a slice's recovered elements are consecutive
+// subslices of one buffer bound for consecutive store rows — merge into
+// a single wire range.
+func (v *Volume) packFrames(group []writeOp) []wframe {
+	sort.Slice(group, func(i, j int) bool { return group[i].off < group[j].off })
+	var frames []wframe
+	var cur wframe
+	var curBytes int64
+	flush := func() {
+		if len(cur.ops) > 0 {
+			frames = append(frames, cur)
+			cur = wframe{}
+			curBytes = 0
+		}
+	}
+	for _, op := range group {
+		opLen := int64(len(op.data))
+		if len(cur.ops) > 0 {
+			last := len(cur.vecs) - 1
+			lv := cur.vecs[last]
+			if lv.Off+int64(lv.Len) == op.off && curBytes+opLen <= blockserver.MaxIOSize &&
+				buffersAdjacent(cur.data[last], op.data) {
+				cur.vecs[last].Len += len(op.data)
+				cur.data[last] = cur.data[last][:len(cur.data[last])+len(op.data)]
+				cur.ops = append(cur.ops, op)
+				cur.opRange = append(cur.opRange, last)
+				curBytes += opLen
+				continue
+			}
+			if len(cur.vecs) >= v.cfg.MaxBatch || curBytes+opLen > blockserver.MaxIOSize {
+				flush()
+			}
+		}
+		cur.vecs = append(cur.vecs, blockserver.Vec{Off: op.off, Len: len(op.data)})
+		cur.data = append(cur.data, op.data)
+		cur.ops = append(cur.ops, op)
+		cur.opRange = append(cur.opRange, len(cur.vecs)-1)
+		curBytes += opLen
+	}
+	flush()
+	return frames
+}
+
+// runWrites issues ops grouped per backend. Each group is packed into
+// coalesced OpWriteV frames (see packFrames), so a full-stripe write
+// costs one round trip per replica backend instead of one per element
+// copy; with Config.DisableWriteBatch each op is one OpWrite round trip
+// (the pre-batching wire behaviour, kept for A/B measurement). Frames
+// within a group are drained by up to PoolSize workers.
+//
+// It returns the backends whose transport failed (candidates for
+// auto-fail), each mapped to the lowest stripe among its failed ops (so
+// callers can roll a rebuild watermark back past every missed write),
+// and the first remote (store-level) error, which indicates a logic
+// problem rather than a dead machine. A transport-failed frame credits
+// none of its ops — the server may have applied a prefix, but the
+// client cannot know which, so the rollback covers the whole batch. A
+// frame answered with a mid-batch remote error credits exactly the ops
+// whose ranges precede the failed index. Ops that fail because ctx was
+// cancelled count as neither: they do not mark the backend broken (no
+// auto-fail from a caller's cancel) and are not remote errors.
+//
+// Call with v.mu held, read or write: the pools map must not be swapped
+// under the fan-out.
 func (v *Volume) runWrites(ctx context.Context, ops []writeOp, succeeded []atomic.Int64) (map[raid.DiskID]int, error) {
 	groups := map[raid.DiskID][]writeOp{}
 	for _, op := range ops {
@@ -563,47 +695,111 @@ func (v *Volume) runWrites(ctx context.Context, ops []writeOp, succeeded []atomi
 	var mu sync.Mutex
 	broken := map[raid.DiskID]int{}
 	var firstRemote error
+	noteRemote := func(id raid.DiskID, err error) {
+		mu.Lock()
+		if firstRemote == nil {
+			firstRemote = fmt.Errorf("cluster: backend %v: %w", id, err)
+		}
+		mu.Unlock()
+	}
+	noteBroken := func(id raid.DiskID, failed []writeOp) {
+		mu.Lock()
+		for _, op := range failed {
+			if cur, ok := broken[id]; !ok || op.stripe < cur {
+				broken[id] = op.stripe
+			}
+		}
+		mu.Unlock()
+	}
+	if v.cfg.DisableWriteBatch {
+		for id, g := range groups {
+			p := v.pools[id]
+			workers := v.cfg.PoolSize
+			if workers > len(g) {
+				workers = len(g)
+			}
+			var next atomic.Int64
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id raid.DiskID, g []writeOp, next *atomic.Int64) {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(g) {
+							return
+						}
+						op := g[i]
+						err := p.doCtx(ctx, func(ctx context.Context, c *blockserver.Client) error {
+							_, err := c.WriteAtCtx(ctx, op.data, op.off)
+							return err
+						})
+						switch {
+						case err == nil:
+							succeeded[op.elem].Add(1)
+						case ctx.Err() != nil:
+							// Cancelled, not broken: the caller reports ctx's error.
+						case blockserver.IsRemote(err):
+							noteRemote(id, err)
+						default:
+							noteBroken(id, g[i:i+1])
+						}
+					}
+				}(id, g, &next)
+			}
+		}
+		wg.Wait()
+		return broken, firstRemote
+	}
 	for id, g := range groups {
+		frames := v.packFrames(g)
 		p := v.pools[id]
 		workers := v.cfg.PoolSize
-		if workers > len(g) {
-			workers = len(g)
+		if workers > len(frames) {
+			workers = len(frames)
 		}
 		var next atomic.Int64
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(id raid.DiskID, g []writeOp, next *atomic.Int64) {
+			go func(id raid.DiskID, p *pool, frames []wframe, next *atomic.Int64) {
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
-					if i >= len(g) {
+					if i >= len(frames) {
 						return
 					}
-					op := g[i]
+					fr := frames[i]
+					v.stats.writeBatches.Inc()
+					v.stats.writeBatchElements.Add(int64(len(fr.ops)))
+					applied := 0
 					err := p.doCtx(ctx, func(ctx context.Context, c *blockserver.Client) error {
-						_, err := c.WriteAtCtx(ctx, op.data, op.off)
+						n, err := c.WriteVCtx(ctx, fr.vecs, fr.data)
+						applied = n
 						return err
 					})
-					if err == nil {
-						succeeded[op.elem].Add(1)
-						continue
-					}
-					mu.Lock()
 					switch {
+					case err == nil:
+						for _, op := range fr.ops {
+							succeeded[op.elem].Add(1)
+						}
+					case blockserver.IsRemote(err):
+						// Ranges before the failed index are durable: credit
+						// their ops, surface the store error.
+						for oi, op := range fr.ops {
+							if fr.opRange[oi] < applied {
+								succeeded[op.elem].Add(1)
+							}
+						}
+						noteRemote(id, err)
 					case ctx.Err() != nil:
 						// Cancelled, not broken: the caller reports ctx's error.
-					case blockserver.IsRemote(err):
-						if firstRemote == nil {
-							firstRemote = fmt.Errorf("cluster: backend %v: %w", id, err)
-						}
 					default:
-						if cur, ok := broken[id]; !ok || op.stripe < cur {
-							broken[id] = op.stripe
-						}
+						// Transport trouble: nothing from this frame may be
+						// credited, and the watermark must roll back to the
+						// lowest stripe in the batch, not the last acked frame.
+						noteBroken(id, fr.ops)
 					}
-					mu.Unlock()
 				}
-			}(id, g, &next)
+			}(id, p, frames, &next)
 		}
 	}
 	wg.Wait()
