@@ -35,6 +35,20 @@ type gate struct {
 	// Benchmarks maps benchmark name (CPU suffix stripped) to baseline
 	// median MB/s.
 	Benchmarks map[string]float64 `json:"benchmarks"`
+	// Ratios gates one benchmark against another measured in the same
+	// run. Unlike the absolute medians above, a within-run ratio is
+	// insensitive to the runner being slower or faster than the box
+	// that recorded the baseline, so it can hold a structural property
+	// (e.g. "the wire path stays near raw TCP") across machines.
+	Ratios []ratioGate `json:"ratios,omitempty"`
+}
+
+// ratioGate requires medians[Name] / medians[Baseline] >= Min.
+type ratioGate struct {
+	Name     string  `json:"name"`
+	Baseline string  `json:"baseline"`
+	Min      float64 `json:"min"`
+	Note     string  `json:"note,omitempty"`
 }
 
 // result is one benchmark's comparison outcome.
@@ -46,10 +60,20 @@ type result struct {
 	Regressed    bool    `json:"regressed"`
 }
 
+// ratioResult is one ratio gate's comparison outcome.
+type ratioResult struct {
+	Name     string  `json:"name"`
+	Baseline string  `json:"baseline"`
+	Min      float64 `json:"min"`
+	Measured float64 `json:"measured"`
+	Failed   bool    `json:"failed"`
+}
+
 // comparison is the full report benchdiff emits.
 type comparison struct {
-	Threshold float64  `json:"threshold"`
-	Results   []result `json:"results"`
+	Threshold float64       `json:"threshold"`
+	Results   []result      `json:"results"`
+	Ratios    []ratioResult `json:"ratios,omitempty"`
 	// Missing are tracked benchmarks the run did not produce — a gate
 	// failure (the gate has rotted or the run was too narrow).
 	Missing []string `json:"missing,omitempty"`
@@ -129,6 +153,14 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "benchdiff: %-50s %10.0f -> %10.0f MB/s (%.2fx) %s\n",
 			r.Name, r.BaselineMBps, r.MeasuredMBps, r.Ratio, status)
+	}
+	for _, r := range cmp.Ratios {
+		status := "ok"
+		if r.Failed {
+			status = "BELOW FLOOR"
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: %s / %s = %.2f (min %.2f) %s\n",
+			r.Name, r.Baseline, r.Measured, r.Min, status)
 	}
 	for _, m := range cmp.Missing {
 		fmt.Fprintf(os.Stderr, "benchdiff: %-50s MISSING from run\n", m)
@@ -267,6 +299,29 @@ func compare(g gate, medians map[string]float64) comparison {
 		}
 	}
 	sort.Strings(cmp.Untracked)
+	for _, rg := range g.Ratios {
+		num, okN := medians[rg.Name]
+		den, okD := medians[rg.Baseline]
+		if !okN || !okD {
+			if !okN {
+				cmp.Missing = append(cmp.Missing, rg.Name)
+			}
+			if !okD {
+				cmp.Missing = append(cmp.Missing, rg.Baseline)
+			}
+			cmp.Failed = true
+			continue
+		}
+		rr := ratioResult{Name: rg.Name, Baseline: rg.Baseline, Min: rg.Min}
+		if den > 0 {
+			rr.Measured = num / den
+			rr.Failed = rr.Measured < rg.Min
+		}
+		if rr.Failed {
+			cmp.Failed = true
+		}
+		cmp.Ratios = append(cmp.Ratios, rr)
+	}
 	return cmp
 }
 
@@ -285,6 +340,7 @@ func updateBaseline(path string, medians map[string]float64, threshold float64) 
 				g.Threshold = old.Threshold
 			}
 			g.Note = old.Note
+			g.Ratios = old.Ratios
 		}
 	}
 	if g.Threshold <= 0 {

@@ -78,11 +78,45 @@ func TestCompareWithinThresholdPasses(t *testing.T) {
 	}
 }
 
+func TestCompareRatios(t *testing.T) {
+	medians := medianMBps(parseBench([]byte(sampleOutput)))
+	// MulAddSlice median 29000, XorSlice median 87500.06:
+	// 29000/87500.06 ≈ 0.33.
+	g := gate{
+		Threshold:  0.25,
+		Benchmarks: map[string]float64{"BenchmarkMulAddSlice/64K": 30000},
+		Ratios: []ratioGate{
+			{Name: "BenchmarkMulAddSlice/64K", Baseline: "BenchmarkXorSlice/64K", Min: 0.3},
+		},
+	}
+	cmp := compare(g, medians)
+	if cmp.Failed {
+		t.Fatalf("ratio above floor should pass: %+v", cmp)
+	}
+	if len(cmp.Ratios) != 1 || cmp.Ratios[0].Measured < 0.32 || cmp.Ratios[0].Measured > 0.34 {
+		t.Fatalf("ratios = %+v", cmp.Ratios)
+	}
+
+	g.Ratios[0].Min = 0.5
+	cmp = compare(g, medians)
+	if !cmp.Failed || !cmp.Ratios[0].Failed {
+		t.Fatalf("ratio below floor not flagged: %+v", cmp.Ratios)
+	}
+
+	// A ratio whose side is missing from the run is a gate failure,
+	// same as a missing absolute benchmark.
+	g.Ratios = []ratioGate{{Name: "BenchmarkMulAddSlice/64K", Baseline: "BenchmarkGone", Min: 0.1}}
+	cmp = compare(g, medians)
+	if !cmp.Failed || len(cmp.Missing) != 1 || cmp.Missing[0] != "BenchmarkGone" {
+		t.Fatalf("missing ratio baseline not flagged: %+v", cmp)
+	}
+}
+
 func TestUpdateAndLoadBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "baseline.json")
 	// Unrelated top-level keys must survive the update untouched.
-	seed := `{"prose": {"kept": true}, "gate": {"threshold": 0.4, "note": "old note", "benchmarks": {"BenchmarkStale": 1}}}`
+	seed := `{"prose": {"kept": true}, "gate": {"threshold": 0.4, "note": "old note", "benchmarks": {"BenchmarkStale": 1}, "ratios": [{"name": "BenchmarkMulAddSlice/64K", "baseline": "BenchmarkXorSlice/64K", "min": 0.3}]}}`
 	if err := os.WriteFile(path, []byte(seed), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -102,6 +136,9 @@ func TestUpdateAndLoadBaselineRoundTrip(t *testing.T) {
 	}
 	if len(g.Benchmarks) != 2 || g.Benchmarks["BenchmarkMulAddSlice/64K"] != 29000 {
 		t.Fatalf("benchmarks not replaced: %v", g.Benchmarks)
+	}
+	if len(g.Ratios) != 1 || g.Ratios[0].Min != 0.3 {
+		t.Fatalf("ratio gates not preserved: %+v", g.Ratios)
 	}
 	doc, err := readBaseline(path)
 	if err != nil {

@@ -429,7 +429,9 @@ func cmdServeDisk(args []string) error {
 	size := fs.Int64("size", 1<<20, "disk capacity in bytes (ignored with -path on an existing file)")
 	path := fs.String("path", "", "back the disk with this file (default: in-memory)")
 	rate := fs.Float64("rate", 0, "read bandwidth cap in MB/s (0 = unthrottled)")
-	inject := fs.String("inject", "", "fault-injection spec, e.g. delay=5ms,jitter=2ms,stall=100ms,stallevery=8,errevery=0,seed=7 (default: none)")
+	crc := fs.Bool("crc", false, "keep a per-block CRC32C sidecar and serve the checksummed opcodes")
+	crcBlock := fs.Int64("crcblock", 4096, "sidecar block size in bytes with -crc (match the volume's element size)")
+	inject := fs.String("inject", "", "fault-injection spec, e.g. delay=5ms,jitter=2ms,stall=100ms,stallevery=8,corruptevery=0,errevery=0,seed=7 (default: none)")
 	metricsAddr := fs.String("metrics", "", "serve Prometheus metrics on this address (e.g. :9090; default: off)")
 	fs.Parse(args)
 	var store blockserver.Store
@@ -455,6 +457,10 @@ func cmdServeDisk(args []string) error {
 	if *rate > 0 {
 		opts = append(opts, blockserver.WithReadRate(*rate*1e6))
 	}
+	if *crc {
+		opts = append(opts, blockserver.WithCRC(*crcBlock))
+		fmt.Printf("CRC sidecar active: %d-byte blocks\n", *crcBlock)
+	}
 	if *metricsAddr != "" {
 		m := blockserver.NewMetrics()
 		opts = append(opts, blockserver.WithMetrics(m))
@@ -477,10 +483,15 @@ func cmdServeDisk(args []string) error {
 
 // selfHostBackends starts one in-process store server per disk and
 // returns the address map plus a spawner for replacement backends.
-func selfHostBackends(arch *raid.Mirror, diskSize int64, rate float64) (map[raid.DiskID]string, func() (string, error), error) {
+// crcBlock > 0 gives every backend (including replacements) a CRC
+// sidecar at that block size.
+func selfHostBackends(arch *raid.Mirror, diskSize int64, rate float64, crcBlock int64) (map[raid.DiskID]string, func() (string, error), error) {
 	var opts []blockserver.ServerOption
 	if rate > 0 {
 		opts = append(opts, blockserver.WithReadRate(rate*1e6))
+	}
+	if crcBlock > 0 {
+		opts = append(opts, blockserver.WithCRC(crcBlock))
 	}
 	spawn := func() (string, error) {
 		srv := blockserver.NewStoreServer(dev.NewMemStore(diskSize), opts...)
@@ -514,6 +525,7 @@ func cmdCluster(args []string) error {
 	metricsAddr := fs.String("metrics", "", "serve Prometheus metrics on this address during the run (default: off)")
 	statsJSON := fs.Bool("stats", false, "print the final Volume.Stats() snapshot as JSON")
 	hedge := fs.Bool("hedge", false, "enable hedged reads (race slow backends against replica locations)")
+	crc := fs.Bool("crc", false, "end-to-end checksummed wire path (self-hosted backends get a matching CRC sidecar)")
 	noWriteBatch := fs.Bool("nowritebatch", false, "disable coalesced scatter writes (one OpWrite round trip per element copy, for A/B measurement)")
 	fs.Parse(args)
 
@@ -524,13 +536,18 @@ func cmdCluster(args []string) error {
 	cfg := cluster.Config{
 		ElementSize: *elementSize, Stripes: *stripes,
 		HedgeEnabled: *hedge, DisableWriteBatch: *noWriteBatch,
+		WireCRC: *crc,
 	}
 	diskSize := int64(*stripes) * int64(*n) * *elementSize
 
 	var backends map[raid.DiskID]string
 	var spawn func() (string, error)
 	if *backendList == "" {
-		backends, spawn, err = selfHostBackends(arch, diskSize, *rate)
+		var crcBlock int64
+		if *crc {
+			crcBlock = *elementSize
+		}
+		backends, spawn, err = selfHostBackends(arch, diskSize, *rate, crcBlock)
 		if err != nil {
 			return err
 		}
@@ -579,7 +596,8 @@ func cmdCluster(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("filled; scrub clean (%d elements compared)\n", rep.ElementsCompared)
+	fmt.Printf("filled; scrub clean (%d elements compared, %d by checksum)\n",
+		rep.ElementsCompared, rep.ChecksumCompared)
 
 	if *failSpec != "" {
 		failed, err := parseFailures(*failSpec)
@@ -632,7 +650,8 @@ func cmdCluster(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("post-rebuild scrub clean (%d elements compared)\n", rep.ElementsCompared)
+		fmt.Printf("post-rebuild scrub clean (%d elements compared, %d by checksum)\n",
+			rep.ElementsCompared, rep.ChecksumCompared)
 	}
 
 	h := v.Health()

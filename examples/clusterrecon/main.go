@@ -115,12 +115,16 @@ type writeReport struct {
 
 // report is the whole run, one JSON document.
 type report struct {
-	N            int         `json:"n"`
-	Stripes      int         `json:"stripes"`
-	ElementBytes int64       `json:"element_bytes"`
-	RateMBps     float64     `json:"rate_mbps"`
-	LostDisk     string      `json:"lost_disk"`
-	Runs         []runReport `json:"runs"`
+	N            int     `json:"n"`
+	Stripes      int     `json:"stripes"`
+	ElementBytes int64   `json:"element_bytes"`
+	RateMBps     float64 `json:"rate_mbps"`
+	// WireCRC marks a run over the checksummed wire path: every backend
+	// keeps a per-element CRC32C sidecar and the volume verifies each
+	// element end to end.
+	WireCRC  bool        `json:"wire_crc"`
+	LostDisk string      `json:"lost_disk"`
+	Runs     []runReport `json:"runs"`
 	// Speedup is traditional rebuild time over shifted rebuild time.
 	Speedup float64 `json:"speedup"`
 	// Tail is the hedged-read experiment under an injected straggler.
@@ -135,6 +139,7 @@ func main() {
 	element := flag.Int64("element", 4096, "element size in bytes")
 	rate := flag.Float64("rate", 2, "per-backend read bandwidth in MB/s (models disk media rate)")
 	quick := flag.Bool("quick", false, "small run for CI smoke tests")
+	crc := flag.Bool("crc", false, "run the rebuild over the checksummed wire path (per-element CRC32C end to end)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout")
 	flag.Parse()
 	if *quick {
@@ -143,11 +148,15 @@ func main() {
 
 	rep := report{
 		N: *n, Stripes: *stripes, ElementBytes: *element, RateMBps: *rate,
+		WireCRC:  *crc,
 		LostDisk: raid.DiskID{Role: raid.RoleData, Index: 0}.String(),
 	}
 	if !*jsonOut {
 		fmt.Printf("cluster reconstruction: n=%d, %d stripes, %d B elements, backends capped at %.1f MB/s reads\n",
 			*n, *stripes, *element, *rate)
+		if *crc {
+			fmt.Println("wire CRC: on (every element checksummed end to end)")
+		}
 		fmt.Printf("lost disk: %s (%.2f MB to recover over TCP)\n\n",
 			rep.LostDisk, float64(*stripes)*float64(*n)*float64(*element)/1e6)
 	}
@@ -160,7 +169,7 @@ func main() {
 		{name: "traditional", arr: layout.NewTraditional(*n)},
 		{name: "shifted", arr: layout.NewShifted(*n)},
 	} {
-		rr, err := measure(a.name, a.arr, *element, *stripes, *rate)
+		rr, err := measure(a.name, a.arr, *element, *stripes, *rate, *crc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "clusterrecon: %s: %v\n", a.name, err)
 			os.Exit(1)
@@ -382,8 +391,10 @@ func measureTail(n int, element int64, stripes int, stall time.Duration, reads i
 }
 
 // measure runs one full lose-and-rebuild cycle over real sockets and
-// byte-verifies the outcome.
-func measure(name string, arr layout.Arrangement, element int64, stripes int, rate float64) (runReport, error) {
+// byte-verifies the outcome. With crc, every backend (including the
+// replacement) keeps a per-element sidecar and the volume checksums
+// the whole rebuild end to end.
+func measure(name string, arr layout.Arrangement, element int64, stripes int, rate float64, crc bool) (runReport, error) {
 	rr := runReport{Arrangement: name}
 	arch := raid.NewMirror(arr)
 	n := arch.N()
@@ -400,6 +411,9 @@ func measure(name string, arr layout.Arrangement, element int64, stripes int, ra
 		var opts []blockserver.ServerOption
 		if throttled && rate > 0 {
 			opts = append(opts, blockserver.WithReadRate(rate*1e6))
+		}
+		if crc {
+			opts = append(opts, blockserver.WithCRC(element))
 		}
 		srv := blockserver.NewStoreServer(dev.NewMemStore(diskSize), opts...)
 		bound, err := srv.Listen("127.0.0.1:0")
@@ -418,7 +432,7 @@ func measure(name string, arr layout.Arrangement, element int64, stripes int, ra
 		backends[id] = addr
 	}
 
-	v, err := cluster.New(arch, backends, cluster.Config{ElementSize: element, Stripes: stripes})
+	v, err := cluster.New(arch, backends, cluster.Config{ElementSize: element, Stripes: stripes, WireCRC: crc})
 	if err != nil {
 		return rr, err
 	}
@@ -470,6 +484,10 @@ func measure(name string, arr layout.Arrangement, element int64, stripes int, ra
 	}
 	if scrub.ElementsCompared == 0 {
 		return rr, fmt.Errorf("scrub verified nothing: 0 elements compared")
+	}
+	if crc && scrub.ChecksumCompared != scrub.ElementsCompared {
+		return rr, fmt.Errorf("CRC scrub fell back to byte comparison: %d of %d elements by checksum",
+			scrub.ChecksumCompared, scrub.ElementsCompared)
 	}
 
 	rr.Stats = v.Stats()

@@ -1,0 +1,158 @@
+package blockserver
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+
+	"shiftedmirror/internal/dev"
+)
+
+// Loopback saturation benchmarks for the wire path. BenchmarkRawTCP is
+// the ceiling: the same bytes over a bare socket with a one-byte
+// request/ack round trip and no framing, store, or checksum. The
+// BenchmarkWirePath variants run the real vectored protocol against a
+// zero-copy MemStore server, with and without the CRC feature. The
+// medians feed BENCH_wire.json ("gate" section) and cmd/benchdiff
+// fails CI when the wire path drifts from this machine's baseline.
+const (
+	benchRanges   = 5
+	benchRangeLen = 256 << 10
+	benchTotal    = benchRanges * benchRangeLen
+)
+
+// startRawPeer serves the baseline protocol on a loopback socket:
+// 'r' → write benchTotal bytes; 'w' → read benchTotal bytes, ack 1.
+func startRawPeer(b *testing.B) string {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, benchTotal)
+		cmd := make([]byte, 1)
+		for {
+			if _, err := io.ReadFull(conn, cmd); err != nil {
+				return
+			}
+			switch cmd[0] {
+			case 'r':
+				if _, err := conn.Write(buf); err != nil {
+					return
+				}
+			case 'w':
+				if _, err := io.ReadFull(conn, buf); err != nil {
+					return
+				}
+				if _, err := conn.Write(cmd); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func BenchmarkRawTCP(b *testing.B) {
+	addr := startRawPeer(b)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, benchTotal)
+	rand.New(rand.NewSource(1)).Read(buf)
+	cmd := make([]byte, 1)
+
+	b.Run("read", func(b *testing.B) {
+		b.SetBytes(benchTotal)
+		for i := 0; i < b.N; i++ {
+			cmd[0] = 'r'
+			if _, err := conn.Write(cmd); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.ReadFull(conn, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("write", func(b *testing.B) {
+		b.SetBytes(benchTotal)
+		for i := 0; i < b.N; i++ {
+			cmd[0] = 'w'
+			if _, err := conn.Write(cmd); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := conn.Write(buf); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.ReadFull(conn, cmd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkWirePath(b *testing.B) {
+	for _, crc := range []bool{false, true} {
+		mode := map[bool]string{false: "plain", true: "crc"}[crc]
+		mem := dev.NewMemStore(benchTotal)
+		var opts []ServerOption
+		var features byte
+		if crc {
+			opts = append(opts, WithCRC(benchRangeLen))
+			features = FeatureCRC
+		}
+		srv := NewStoreServer(mem, opts...)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		client, err := DialConfig(addr.String(), Config{Features: features})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		vecs := make([]Vec, benchRanges)
+		data := make([][]byte, benchRanges)
+		dst := make([][]byte, benchRanges)
+		rng := rand.New(rand.NewSource(2))
+		for i := range vecs {
+			vecs[i] = Vec{Off: int64(i) * benchRangeLen, Len: benchRangeLen}
+			data[i] = make([]byte, benchRangeLen)
+			dst[i] = make([]byte, benchRangeLen)
+			rng.Read(data[i])
+		}
+		if _, err := client.WriteVCtx(ctx, vecs, data); err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run("readv/"+mode, func(b *testing.B) {
+			b.SetBytes(benchTotal)
+			for i := 0; i < b.N; i++ {
+				if err := client.ReadVCtx(ctx, vecs, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("writev/"+mode, func(b *testing.B) {
+			b.SetBytes(benchTotal)
+			for i := 0; i < b.N; i++ {
+				if _, err := client.WriteVCtx(ctx, vecs, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		client.Close()
+		srv.Close()
+	}
+}

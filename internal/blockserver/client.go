@@ -9,12 +9,13 @@ import (
 	"sync"
 	"time"
 
+	"shiftedmirror/internal/crc32c"
 	"shiftedmirror/internal/dev"
 	"shiftedmirror/internal/raid"
 )
 
 // Config tunes a client's network behaviour. The zero value means no
-// timeouts (the pre-existing behaviour).
+// timeouts and no feature negotiation (the pre-existing behaviour).
 type Config struct {
 	// DialTimeout bounds the TCP connect. 0 means no limit.
 	DialTimeout time.Duration
@@ -23,6 +24,12 @@ type Config struct {
 	// fires mid-exchange leaves the stream desynchronized, so the
 	// connection is poisoned and must be replaced.
 	OpTimeout time.Duration
+	// Features is the set of optional capabilities to request at dial
+	// time (FeatureCRC). The server grants a subset; servers predating
+	// the negotiation opcode tear the probe connection, which the client
+	// handles by redialing plain — so requesting features is always safe
+	// against old peers. 0 skips negotiation entirely.
+	Features byte
 }
 
 // Client is a remote handle to a served device or store. It implements
@@ -31,15 +38,29 @@ type Config struct {
 // internal/cluster pools them).
 type Client struct {
 	cfg  Config
-	mu   sync.Mutex
 	conn net.Conn
+	// features is the negotiated subset of cfg.Features; crcBlock is the
+	// server's sidecar granularity when FeatureCRC was granted. Both are
+	// written once at dial time, before the client is shared.
+	features byte
+	crcBlock int64
+
+	mu sync.Mutex
 	// broken is set once a transport or framing error leaves the stream
 	// desynchronized; every later op fails fast with it.
 	broken error
-	// hdr is request-header scratch (op + off + len = 13 bytes max),
-	// guarded by mu, so steady-state I/O builds frames without
-	// allocating.
-	hdr [13]byte
+	// Per-connection scratch, guarded by mu, so steady-state I/O builds
+	// and parses frames without allocating: hdr for fixed-size headers,
+	// frame for variable-size ones, bufs/nb for vectored sends, crcs for
+	// carried checksums.
+	hdr   [16]byte
+	frame []byte
+	bufs  [][]byte
+	nb    net.Buffers
+	crcs  []uint32
+	// Watchdog state for the op in flight (see beginOp).
+	stop, watchdogDone chan struct{}
+	armed              bool
 }
 
 // Dial connects to a Server with no timeouts.
@@ -51,15 +72,86 @@ func DialConfig(addr string, cfg Config) (*Client, error) {
 }
 
 // DialContext connects to a Server, bounding the connect by both the
-// context and cfg.DialTimeout (whichever fires first).
+// context and cfg.DialTimeout (whichever fires first). If cfg.Features
+// is non-zero the connection negotiates capabilities before first use;
+// a server that predates negotiation tears the probe connection, and
+// the client transparently redials without features.
 func DialContext(ctx context.Context, addr string, cfg Config) (*Client, error) {
 	d := net.Dialer{Timeout: cfg.DialTimeout}
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{cfg: cfg, conn: conn}, nil
+	c := &Client{cfg: cfg, conn: conn}
+	if cfg.Features != 0 {
+		ok, err := c.negotiate(ctx)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if !ok {
+			conn.Close()
+			conn, err = d.DialContext(ctx, "tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			c = &Client{cfg: cfg, conn: conn}
+		}
+	}
+	return c, nil
 }
+
+// negotiate runs the OpFeatures exchange on a fresh connection. ok =
+// false means the peer does not speak the opcode (it tore the
+// connection) and the caller should redial plain; a non-nil error means
+// the dial itself should fail (context cancelled or deadline passed).
+func (c *Client) negotiate(ctx context.Context) (ok bool, err error) {
+	var deadline time.Time
+	if c.cfg.OpTimeout > 0 {
+		deadline = time.Now().Add(c.cfg.OpTimeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	if !deadline.IsZero() {
+		c.conn.SetDeadline(deadline)
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	req := [2]byte{OpFeatures, c.cfg.Features}
+	if _, werr := c.conn.Write(req[:]); werr != nil {
+		return false, ctx.Err()
+	}
+	serr := readStatus(c.conn)
+	switch {
+	case serr == nil:
+	case IsRemote(serr):
+		return true, nil // recognized but refused: no features
+	default:
+		// Old servers tear the connection on the unknown opcode; a
+		// cancelled or expired context is the caller's problem instead.
+		return false, ctx.Err()
+	}
+	var resp [5]byte
+	if _, rerr := io.ReadFull(c.conn, resp[:]); rerr != nil {
+		return false, ctx.Err()
+	}
+	c.features = resp[0] & c.cfg.Features
+	if c.features&FeatureCRC != 0 {
+		c.crcBlock = int64(binary.BigEndian.Uint32(resp[1:]))
+	}
+	return true, nil
+}
+
+// Features returns the feature flags granted at dial time.
+func (c *Client) Features() byte { return c.features }
+
+// HasCRC reports whether the connection negotiated FeatureCRC: reads
+// and writes travel as their CRC-carrying twins and CrcV is available.
+func (c *Client) HasCRC() bool { return c.features&FeatureCRC != 0 }
+
+// CRCBlock returns the server's CRC sidecar block size, or 0 when
+// FeatureCRC was not negotiated.
+func (c *Client) CRCBlock() int64 { return c.crcBlock }
 
 // Close releases the connection.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -72,25 +164,28 @@ func (c *Client) Broken() error {
 	return c.broken
 }
 
-// do runs one request/response exchange under the client lock: it fails
-// fast on a poisoned connection, arms the per-op deadline (the tighter
-// of cfg.OpTimeout and the context deadline), and poisons the
-// connection when the exchange dies mid-frame (anything but a clean
-// remote error leaves request and response streams out of step).
+// beginOp opens one request/response exchange: it takes the client
+// lock, fails fast on a poisoned connection or dead context, arms the
+// per-op deadline (the tighter of cfg.OpTimeout and the context
+// deadline), and starts the cancellation watchdog. Every successful
+// beginOp must be paired with endOp. The hot I/O methods call the pair
+// directly instead of passing a closure to do(), which is what keeps
+// their steady state at zero allocations.
 //
 // Cancellation is honored mid-frame, not just at op start: a watchdog
 // goroutine slams the connection deadline into the past the moment ctx
-// is cancelled, which fails the pending read/write immediately. The
-// interrupted stream is desynchronized, so the connection is poisoned
-// like any other mid-exchange death, and the returned error wraps
-// ctx.Err() so callers can errors.Is it.
-func (c *Client) do(ctx context.Context, fn func() error) error {
+// is cancelled, which fails the pending read/write immediately. (The
+// watchdog costs a goroutine and two channels per op; contexts that
+// cannot be cancelled — ctx.Done() == nil, e.g. context.Background() —
+// skip it, which is the allocation-free steady state.)
+func (c *Client) beginOp(ctx context.Context) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.broken != nil {
+		c.mu.Unlock()
 		return fmt.Errorf("blockserver: connection poisoned by earlier error: %w", c.broken)
 	}
 	if err := ctx.Err(); err != nil {
+		c.mu.Unlock()
 		return err
 	}
 	var deadline time.Time
@@ -103,38 +198,112 @@ func (c *Client) do(ctx context.Context, fn func() error) error {
 	if !deadline.IsZero() {
 		c.conn.SetDeadline(deadline)
 	}
-	var stop, watchdogDone chan struct{}
+	c.armed = !deadline.IsZero() || ctx.Done() != nil
 	if ctx.Done() != nil {
-		stop = make(chan struct{})
-		watchdogDone = make(chan struct{})
-		go func(conn net.Conn) {
-			defer close(watchdogDone)
+		c.stop = make(chan struct{})
+		c.watchdogDone = make(chan struct{})
+		go func(conn net.Conn, stop, done chan struct{}) {
+			defer close(done)
 			select {
 			case <-ctx.Done():
 				conn.SetDeadline(time.Now().Add(-time.Second))
 			case <-stop:
 			}
-		}(c.conn)
+		}(c.conn, c.stop, c.watchdogDone)
 	}
-	err := fn()
-	if stop != nil {
+	return nil
+}
+
+// endOp closes the exchange beginOp opened: joins the watchdog, poisons
+// the connection when the exchange died mid-frame (anything but a clean
+// remote error or a CRC verdict leaves request and response streams out
+// of step), resets the deadline, and releases the lock. It returns the
+// error the caller should surface — a cancellation is rewrapped around
+// ctx.Err() so callers can errors.Is it.
+func (c *Client) endOp(ctx context.Context, err error) error {
+	if c.stop != nil {
 		// Join the watchdog before touching the deadline again, so a
 		// late cancellation cannot clobber the reset below.
-		close(stop)
-		<-watchdogDone
+		close(c.stop)
+		<-c.watchdogDone
+		c.stop, c.watchdogDone = nil, nil
 	}
-	if err != nil && !IsRemote(err) {
+	if err != nil && !IsRemote(err) && !IsCRC(err) {
 		c.broken = err
 		c.conn.Close() // the stream is desynchronized; stop the server side too
+		c.mu.Unlock()
 		if cerr := ctx.Err(); cerr != nil {
 			return fmt.Errorf("blockserver: exchange interrupted: %w", cerr)
 		}
 		return err
 	}
-	if !deadline.IsZero() || ctx.Done() != nil {
+	if c.armed {
 		c.conn.SetDeadline(time.Time{})
 	}
+	c.mu.Unlock()
 	return err
+}
+
+// do runs one exchange as a closure between beginOp and endOp; the
+// management ops use it, the hot data path inlines the pair instead.
+func (c *Client) do(ctx context.Context, fn func() error) error {
+	if err := c.beginOp(ctx); err != nil {
+		return err
+	}
+	return c.endOp(ctx, fn())
+}
+
+// growFrame returns the client's reusable frame scratch resized to n
+// bytes, growing the backing array only when needed. Callers hold mu.
+func (c *Client) growFrame(n int) []byte {
+	if cap(c.frame) < n {
+		c.frame = make([]byte, n)
+	}
+	return c.frame[:n]
+}
+
+// readStatus consumes a response header using the client's scratch, so
+// the success path does not allocate (the package-level readStatus
+// reads into fresh stack buffers that escape into the Reader).
+func (c *Client) readStatus() error {
+	if _, err := io.ReadFull(c.conn, c.hdr[:1]); err != nil {
+		return err
+	}
+	switch c.hdr[0] {
+	case statusOK:
+		return nil
+	case statusCRC:
+		if _, err := io.ReadFull(c.conn, c.hdr[:12]); err != nil {
+			return err
+		}
+		return &CRCError{
+			Range: int(binary.BigEndian.Uint32(c.hdr[:])),
+			Want:  binary.BigEndian.Uint32(c.hdr[4:]),
+			Got:   binary.BigEndian.Uint32(c.hdr[8:]),
+			Write: true,
+		}
+	default:
+		if _, err := io.ReadFull(c.conn, c.hdr[:4]); err != nil {
+			return err
+		}
+		n := binary.BigEndian.Uint32(c.hdr[:4])
+		if n > 1<<16 {
+			return fmt.Errorf("%w: oversized error message (%d bytes)", ErrProtocol, n)
+		}
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(c.conn, msg); err != nil {
+			return err
+		}
+		return &RemoteError{Msg: string(msg)}
+	}
+}
+
+// readUint32 reads a big-endian uint32 using the client's scratch.
+func (c *Client) readUint32() (uint32, error) {
+	if _, err := io.ReadFull(c.conn, c.hdr[:4]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(c.hdr[:4]), nil
 }
 
 // roundTrip sends a request frame and processes the status header.
@@ -142,7 +311,7 @@ func (c *Client) roundTrip(req []byte) error {
 	if _, err := c.conn.Write(req); err != nil {
 		return err
 	}
-	return readStatus(c.conn)
+	return c.readStatus()
 }
 
 // ReadAt implements io.ReaderAt against the remote device.
@@ -151,30 +320,34 @@ func (c *Client) ReadAt(p []byte, off int64) (int, error) {
 }
 
 // ReadAtCtx is ReadAt with cancellation: ctx interrupts the exchange
-// even mid-frame (poisoning the connection — see do).
+// even mid-frame (poisoning the connection — see beginOp).
 func (c *Client) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
 	if len(p) > MaxIOSize {
 		return 0, fmt.Errorf("%w: read of %d bytes exceeds limit", ErrProtocol, len(p))
 	}
-	var n int
-	err := c.do(ctx, func() error {
-		c.hdr[0] = OpRead
-		binary.BigEndian.PutUint64(c.hdr[1:9], uint64(off))
-		binary.BigEndian.PutUint32(c.hdr[9:13], uint32(len(p)))
-		if err := c.roundTrip(c.hdr[:13]); err != nil {
-			return err
-		}
-		m, err := readUint32(c.conn)
-		if err != nil {
-			return err
-		}
-		if int(m) != len(p) {
-			return fmt.Errorf("%w: server returned %d bytes for a %d-byte read", ErrProtocol, m, len(p))
-		}
-		n, err = io.ReadFull(c.conn, p)
-		return err
-	})
-	return n, err
+	if err := c.beginOp(ctx); err != nil {
+		return 0, err
+	}
+	n, err := c.read(p, off)
+	return n, c.endOp(ctx, err)
+}
+
+// read runs the OpRead exchange; the caller holds the op via beginOp.
+func (c *Client) read(p []byte, off int64) (int, error) {
+	c.hdr[0] = OpRead
+	binary.BigEndian.PutUint64(c.hdr[1:9], uint64(off))
+	binary.BigEndian.PutUint32(c.hdr[9:13], uint32(len(p)))
+	if err := c.roundTrip(c.hdr[:13]); err != nil {
+		return 0, err
+	}
+	m, err := c.readUint32()
+	if err != nil {
+		return 0, err
+	}
+	if int(m) != len(p) {
+		return 0, fmt.Errorf("%w: server returned %d bytes for a %d-byte read", ErrProtocol, m, len(p))
+	}
+	return io.ReadFull(c.conn, p)
 }
 
 // ReadV gathers len(vecs) ranges in one round trip (OpReadV), filling
@@ -186,7 +359,11 @@ func (c *Client) ReadV(vecs []Vec, dst [][]byte) error {
 }
 
 // ReadVCtx is ReadV with cancellation: ctx interrupts the exchange even
-// mid-frame (poisoning the connection — see do).
+// mid-frame (poisoning the connection — see beginOp). With FeatureCRC
+// negotiated the gather travels as OpReadVC and every range is verified
+// against its carried CRC-32C as it lands in dst; a mismatch is
+// reported as a CRCError after the full response is consumed, so the
+// connection stays usable and the caller can fail over to a replica.
 func (c *Client) ReadVCtx(ctx context.Context, vecs []Vec, dst [][]byte) error {
 	if len(vecs) != len(dst) {
 		return fmt.Errorf("blockserver: ReadV has %d ranges but %d buffers", len(vecs), len(dst))
@@ -207,33 +384,63 @@ func (c *Client) ReadVCtx(ctx context.Context, vecs []Vec, dst [][]byte) error {
 	if total > MaxIOSize {
 		return fmt.Errorf("%w: gather of %d bytes exceeds limit", ErrProtocol, total)
 	}
-	return c.do(ctx, func() error {
-		req := getFrame(5 + 12*len(vecs))
-		(*req)[0] = OpReadV
-		binary.BigEndian.PutUint32((*req)[1:5], uint32(len(vecs)))
-		for i, v := range vecs {
-			binary.BigEndian.PutUint64((*req)[5+12*i:], uint64(v.Off))
-			binary.BigEndian.PutUint32((*req)[13+12*i:], uint32(v.Len))
-		}
-		err := c.roundTrip(*req)
-		putFrame(req)
-		if err != nil {
+	if err := c.beginOp(ctx); err != nil {
+		return err
+	}
+	return c.endOp(ctx, c.readV(vecs, dst, total))
+}
+
+// readV runs the gather exchange; the caller holds the op via beginOp.
+// Payloads land directly in the caller's dst slices — the client never
+// copies them through an intermediate buffer.
+func (c *Client) readV(vecs []Vec, dst [][]byte, total int64) error {
+	op, crcMode := OpReadV, false
+	if c.features&FeatureCRC != 0 {
+		op, crcMode = OpReadVC, true
+	}
+	req := c.growFrame(5 + vecHdrSize*len(vecs))
+	req[0] = op
+	binary.BigEndian.PutUint32(req[1:5], uint32(len(vecs)))
+	for i, v := range vecs {
+		putVecHdr(req[5+vecHdrSize*i:], v)
+	}
+	if err := c.roundTrip(req); err != nil {
+		return err
+	}
+	m, err := c.readUint32()
+	if err != nil {
+		return err
+	}
+	if int64(m) != total {
+		return fmt.Errorf("%w: server returned %d bytes for a %d-byte gather", ErrProtocol, m, total)
+	}
+	if crcMode {
+		raw := c.growFrame(4 * len(vecs))
+		if _, err := io.ReadFull(c.conn, raw); err != nil {
 			return err
 		}
-		m, err := readUint32(c.conn)
-		if err != nil {
+		if cap(c.crcs) < len(vecs) {
+			c.crcs = make([]uint32, len(vecs))
+		}
+		c.crcs = c.crcs[:len(vecs)]
+		for i := range vecs {
+			c.crcs[i] = binary.BigEndian.Uint32(raw[4*i:])
+		}
+	}
+	// On a CRC mismatch keep consuming the remaining ranges: the frame
+	// must be fully drained for the stream to stay synchronized.
+	var crcErr error
+	for i, d := range dst {
+		if _, err := io.ReadFull(c.conn, d); err != nil {
 			return err
 		}
-		if int64(m) != total {
-			return fmt.Errorf("%w: server returned %d bytes for a %d-byte gather", ErrProtocol, m, total)
-		}
-		for _, d := range dst {
-			if _, err := io.ReadFull(c.conn, d); err != nil {
-				return err
+		if crcMode && crcErr == nil {
+			if got := crc32c.Sum(d); got != c.crcs[i] {
+				crcErr = &CRCError{Range: i, Want: c.crcs[i], Got: got}
 			}
 		}
-		return nil
-	})
+	}
+	return crcErr
 }
 
 // WriteAt implements io.WriterAt against the remote device.
@@ -242,27 +449,35 @@ func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 }
 
 // WriteAtCtx is WriteAt with cancellation: ctx interrupts the exchange
-// even mid-frame (poisoning the connection — see do).
+// even mid-frame (poisoning the connection — see beginOp).
 func (c *Client) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
 	if len(p) > MaxIOSize {
 		return 0, fmt.Errorf("%w: write of %d bytes exceeds limit", ErrProtocol, len(p))
 	}
-	err := c.do(ctx, func() error {
-		c.hdr[0] = OpWrite
-		binary.BigEndian.PutUint64(c.hdr[1:9], uint64(off))
-		binary.BigEndian.PutUint32(c.hdr[9:13], uint32(len(p)))
-		// Vectored write (writev on TCP) sends header + payload in one frame
-		// without copying the payload into a request buffer.
-		bufs := net.Buffers{c.hdr[:13], p}
-		if _, err := bufs.WriteTo(c.conn); err != nil {
-			return err
-		}
-		return readStatus(c.conn)
-	})
-	if err != nil {
+	if err := c.beginOp(ctx); err != nil {
+		return 0, err
+	}
+	if err := c.endOp(ctx, c.write(p, off)); err != nil {
 		return 0, err
 	}
 	return len(p), nil
+}
+
+// write runs the OpWrite exchange; the caller holds the op via beginOp.
+func (c *Client) write(p []byte, off int64) error {
+	c.hdr[0] = OpWrite
+	binary.BigEndian.PutUint64(c.hdr[1:9], uint64(off))
+	binary.BigEndian.PutUint32(c.hdr[9:13], uint32(len(p)))
+	// Vectored write (writev on TCP) sends header + payload in one frame
+	// without copying the payload into a request buffer. c.nb is the
+	// persistent Buffers header so WriteTo's consuming reslice does not
+	// force a per-op allocation.
+	c.bufs = append(c.bufs[:0], c.hdr[:13], p)
+	c.nb = net.Buffers(c.bufs)
+	if _, err := c.nb.WriteTo(c.conn); err != nil {
+		return err
+	}
+	return c.readStatus()
 }
 
 // WriteV scatters len(vecs) ranges in one round trip (OpWriteV),
@@ -273,15 +488,19 @@ func (c *Client) WriteV(vecs []Vec, data [][]byte) (int, error) {
 }
 
 // WriteVCtx is WriteV with cancellation: ctx interrupts the exchange
-// even mid-frame (poisoning the connection — see do).
+// even mid-frame (poisoning the connection — see beginOp). With
+// FeatureCRC negotiated the scatter travels as OpWriteVC, each range
+// carrying the CRC-32C of its payload (computed during the writev
+// gather); a server-side mismatch comes back as a CRCError with the
+// connection still usable.
 //
 // It returns applied, the number of leading ranges the server durably
 // applied. On a clean exchange applied == len(vecs). On a RemoteError
-// the server rejected range `applied` — ranges [0, applied) are durable
-// — and the connection remains usable. On transport, framing, or
-// cancellation errors applied is 0: the server may have applied a
-// prefix, but the client cannot know which, so nothing from the
-// exchange may be credited.
+// or CRCError the server rejected range `applied` — ranges [0, applied)
+// are durable — and the connection remains usable. On transport,
+// framing, or cancellation errors applied is 0: the server may have
+// applied a prefix, but the client cannot know which, so nothing from
+// the exchange may be credited.
 func (c *Client) WriteVCtx(ctx context.Context, vecs []Vec, data [][]byte) (int, error) {
 	if len(vecs) != len(data) {
 		return 0, fmt.Errorf("blockserver: WriteV has %d ranges but %d buffers", len(vecs), len(data))
@@ -302,65 +521,141 @@ func (c *Client) WriteVCtx(ctx context.Context, vecs []Vec, data [][]byte) (int,
 	if total > MaxIOSize {
 		return 0, fmt.Errorf("%w: scatter of %d bytes exceeds limit", ErrProtocol, total)
 	}
-	applied := 0
-	err := c.do(ctx, func() error {
-		// All range headers are packed into one pooled frame and
-		// interleaved with the payload slices in a single vectored send
-		// (writev on TCP), so the payloads are never copied client-side.
-		hdrs := getFrame(5 + 12*len(vecs))
-		defer putFrame(hdrs)
-		(*hdrs)[0] = OpWriteV
-		binary.BigEndian.PutUint32((*hdrs)[1:5], uint32(len(vecs)))
-		bufs := make(net.Buffers, 0, 2*len(vecs))
-		start, at := 0, 5
-		for i, v := range vecs {
-			binary.BigEndian.PutUint64((*hdrs)[at:], uint64(v.Off))
-			binary.BigEndian.PutUint32((*hdrs)[at+8:], uint32(v.Len))
-			at += 12
-			bufs = append(bufs, (*hdrs)[start:at], data[i])
-			start = at
+	if err := c.beginOp(ctx); err != nil {
+		return 0, err
+	}
+	applied, err := c.writeV(vecs, data)
+	return applied, c.endOp(ctx, err)
+}
+
+// writeV runs the scatter exchange; the caller holds the op via
+// beginOp. All range headers are packed into the client's frame scratch
+// and interleaved with the payload slices in a single vectored send
+// (writev on TCP), so the payloads are never copied client-side.
+func (c *Client) writeV(vecs []Vec, data [][]byte) (int, error) {
+	op, hsz, crcMode := OpWriteV, vecHdrSize, false
+	if c.features&FeatureCRC != 0 {
+		op, hsz, crcMode = OpWriteVC, vecHdrCRCSize, true
+	}
+	hdrs := c.growFrame(5 + hsz*len(vecs))
+	hdrs[0] = op
+	binary.BigEndian.PutUint32(hdrs[1:5], uint32(len(vecs)))
+	if cap(c.bufs) < 2*len(vecs) {
+		c.bufs = make([][]byte, 0, 2*len(vecs))
+	}
+	bufs := c.bufs[:0]
+	start, at := 0, 5
+	for i, v := range vecs {
+		putVecHdr(hdrs[at:], v)
+		if crcMode {
+			binary.BigEndian.PutUint32(hdrs[at+12:], crc32c.Sum(data[i]))
 		}
-		if _, err := bufs.WriteTo(c.conn); err != nil {
-			return err
-		}
-		var status [1]byte
-		if _, err := io.ReadFull(c.conn, status[:]); err != nil {
-			return err
-		}
-		if status[0] == statusOK {
-			m, err := readUint32(c.conn)
-			if err != nil {
-				return err
-			}
-			if int(m) != len(vecs) {
-				return fmt.Errorf("%w: server applied %d of %d scatter ranges without error", ErrProtocol, m, len(vecs))
-			}
-			applied = len(vecs)
-			return nil
-		}
-		// Extended error response: failed(4) | len(4) | message.
-		f, err := readUint32(c.conn)
+		at += hsz
+		bufs = append(bufs, hdrs[start:at], data[i])
+		start = at
+	}
+	c.bufs = bufs
+	c.nb = net.Buffers(bufs)
+	if _, err := c.nb.WriteTo(c.conn); err != nil {
+		return 0, err
+	}
+	if _, err := io.ReadFull(c.conn, c.hdr[:1]); err != nil {
+		return 0, err
+	}
+	switch c.hdr[0] {
+	case statusOK:
+		m, err := c.readUint32()
 		if err != nil {
-			return err
+			return 0, err
+		}
+		if int(m) != len(vecs) {
+			return 0, fmt.Errorf("%w: server applied %d of %d scatter ranges without error", ErrProtocol, m, len(vecs))
+		}
+		return len(vecs), nil
+	case statusCRC:
+		// failed(4) | want(4) | got(4): the leading `failed` ranges are
+		// durable, range `failed` was rejected as corrupt in flight.
+		if _, err := io.ReadFull(c.conn, c.hdr[:12]); err != nil {
+			return 0, err
+		}
+		f := binary.BigEndian.Uint32(c.hdr[:])
+		if int64(f) >= int64(len(vecs)) {
+			return 0, fmt.Errorf("%w: failed-range index %d beyond %d ranges", ErrProtocol, f, len(vecs))
+		}
+		return int(f), &CRCError{
+			Range: int(f),
+			Want:  binary.BigEndian.Uint32(c.hdr[4:]),
+			Got:   binary.BigEndian.Uint32(c.hdr[8:]),
+			Write: true,
+		}
+	default:
+		// Extended error response: failed(4) | len(4) | message.
+		f, err := c.readUint32()
+		if err != nil {
+			return 0, err
 		}
 		if int64(f) >= int64(len(vecs)) {
-			return fmt.Errorf("%w: failed-range index %d beyond %d ranges", ErrProtocol, f, len(vecs))
+			return 0, fmt.Errorf("%w: failed-range index %d beyond %d ranges", ErrProtocol, f, len(vecs))
 		}
-		n, err := readUint32(c.conn)
+		n, err := c.readUint32()
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if n > 1<<16 {
-			return fmt.Errorf("%w: oversized error message (%d bytes)", ErrProtocol, n)
+			return 0, fmt.Errorf("%w: oversized error message (%d bytes)", ErrProtocol, n)
 		}
 		msg := make([]byte, n)
 		if _, err := io.ReadFull(c.conn, msg); err != nil {
-			return err
+			return 0, err
 		}
-		applied = int(f)
-		return &RemoteError{Msg: string(msg)}
-	})
-	return applied, err
+		return int(f), &RemoteError{Msg: string(msg)}
+	}
+}
+
+// CrcV fetches freshly recomputed CRC-32Cs of len(vecs) store ranges in
+// one round trip (OpCrcV), filling out[i] with range i's checksum. The
+// server reads the ranges from its store and checksums them — it never
+// serves its write-time sidecar here — so the result reflects the bytes
+// as they are now, which is what lets Volume.Scrub compare replicas
+// without shipping the data. Returns ErrNoCRC (before touching the
+// wire) when the connection did not negotiate FeatureCRC.
+func (c *Client) CrcV(ctx context.Context, vecs []Vec, out []uint32) error {
+	if c.features&FeatureCRC == 0 {
+		return ErrNoCRC
+	}
+	if len(vecs) != len(out) {
+		return fmt.Errorf("blockserver: CrcV has %d ranges but %d slots", len(vecs), len(out))
+	}
+	if len(vecs) == 0 {
+		return nil
+	}
+	if _, err := checkVecs(vecs); err != nil {
+		return err
+	}
+	if err := c.beginOp(ctx); err != nil {
+		return err
+	}
+	return c.endOp(ctx, c.crcV(vecs, out))
+}
+
+func (c *Client) crcV(vecs []Vec, out []uint32) error {
+	req := c.growFrame(5 + vecHdrSize*len(vecs))
+	req[0] = OpCrcV
+	binary.BigEndian.PutUint32(req[1:5], uint32(len(vecs)))
+	for i, v := range vecs {
+		putVecHdr(req[5+vecHdrSize*i:], v)
+	}
+	if err := c.roundTrip(req); err != nil {
+		return err
+	}
+	raw := c.growFrame(4 * len(vecs))
+	if _, err := io.ReadFull(c.conn, raw); err != nil {
+		return err
+	}
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(raw[4*i:])
+	}
+	return nil
 }
 
 // Size returns the remote device's logical capacity.

@@ -1,0 +1,284 @@
+package blockserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+
+	"shiftedmirror/internal/crc32c"
+	"shiftedmirror/internal/dev"
+)
+
+// startCRCServer serves a MemStore with a CRC sidecar at the given
+// block size, optionally hidden behind the Store interface so the
+// pooled (non-zero-copy) paths run.
+func startCRCServer(t *testing.T, size, crcBlock int64, direct bool) (string, *dev.MemStore) {
+	t.Helper()
+	mem := dev.NewMemStore(size)
+	var store Store = mem
+	if !direct {
+		store = opaqueStore{mem}
+	}
+	var opts []ServerOption
+	if crcBlock > 0 {
+		opts = append(opts, WithCRC(crcBlock))
+	}
+	srv := NewStoreServer(store, opts...)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr.String(), mem
+}
+
+func dialCRC(t *testing.T, addr string) *Client {
+	t.Helper()
+	client, err := DialConfig(addr, Config{Features: FeatureCRC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client
+}
+
+// TestFeatureNegotiationMatrix pins every pairing of old/new client and
+// server, each against both the zero-copy and the pooled store path:
+// the negotiated feature set is the intersection, and the data path
+// round-trips in all cases.
+func TestFeatureNegotiationMatrix(t *testing.T) {
+	const blk = 256
+	cases := []struct {
+		name          string
+		serverCRC     bool
+		clientFeature byte
+		wantCRC       bool
+	}{
+		{"both-new", true, FeatureCRC, true},
+		{"old-server", false, FeatureCRC, false},
+		{"old-client", true, 0, false},
+		{"both-old", false, 0, false},
+	}
+	for _, direct := range []bool{true, false} {
+		mode := map[bool]string{true: "direct", false: "pooled"}[direct]
+		for _, tc := range cases {
+			tc := tc
+			t.Run(mode+"/"+tc.name, func(t *testing.T) {
+				var crcBlock int64
+				if tc.serverCRC {
+					crcBlock = blk
+				}
+				addr, _ := startCRCServer(t, 4096, crcBlock, direct)
+				client, err := DialConfig(addr, Config{Features: tc.clientFeature})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer client.Close()
+				if client.HasCRC() != tc.wantCRC {
+					t.Fatalf("HasCRC = %v, want %v", client.HasCRC(), tc.wantCRC)
+				}
+				if tc.wantCRC && client.CRCBlock() != blk {
+					t.Fatalf("CRCBlock = %d, want %d", client.CRCBlock(), blk)
+				}
+				// The data path works whichever opcodes were negotiated.
+				ctx := context.Background()
+				payload := make([]byte, blk)
+				rand.New(rand.NewSource(3)).Read(payload)
+				vecs := []Vec{{Off: blk, Len: blk}}
+				if n, err := client.WriteVCtx(ctx, vecs, [][]byte{payload}); err != nil || n != 1 {
+					t.Fatalf("WriteVCtx: %d, %v", n, err)
+				}
+				got := make([]byte, blk)
+				if err := client.ReadVCtx(ctx, vecs, [][]byte{got}); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, payload) {
+					t.Fatal("negotiated round trip mismatch")
+				}
+				want := crc32c.Sum(payload)
+				sums := make([]uint32, 1)
+				err = client.CrcV(ctx, vecs, sums)
+				if tc.wantCRC {
+					if err != nil || sums[0] != want {
+						t.Fatalf("CrcV: %v, sum %#08x want %#08x", err, sums[0], want)
+					}
+				} else if err != ErrNoCRC {
+					t.Fatalf("CrcV without the feature: %v, want ErrNoCRC", err)
+				}
+			})
+		}
+	}
+}
+
+// TestCRCDetectsReadCorruption flips a stored byte behind the server's
+// back and checks a CRC-mode read surfaces a CRCError — with the
+// connection still synchronized and usable — while a plain connection
+// silently returns the rotten bytes. Both store paths are covered.
+func TestCRCDetectsReadCorruption(t *testing.T) {
+	for _, direct := range []bool{true, false} {
+		mode := map[bool]string{true: "direct", false: "pooled"}[direct]
+		t.Run(mode, func(t *testing.T) {
+			const blk = 512
+			addr, mem := startCRCServer(t, 4*blk, blk, direct)
+			client := dialCRC(t, addr)
+			plain, err := Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer plain.Close()
+			ctx := context.Background()
+			payload := make([]byte, 2*blk)
+			rand.New(rand.NewSource(4)).Read(payload)
+			vecs := []Vec{{Off: 0, Len: blk}, {Off: blk, Len: blk}}
+			data := [][]byte{payload[:blk], payload[blk:]}
+			if _, err := client.WriteVCtx(ctx, vecs, data); err != nil {
+				t.Fatal(err)
+			}
+			// Rot one byte of range 1 directly in the store: the write-time
+			// sidecar checksum no longer matches the bytes.
+			if _, err := mem.WriteAt([]byte{payload[blk] ^ 0xFF}, blk); err != nil {
+				t.Fatal(err)
+			}
+			dst := [][]byte{make([]byte, blk), make([]byte, blk)}
+			err = client.ReadVCtx(ctx, vecs, dst)
+			var crcErr *CRCError
+			if !errors.As(err, &crcErr) {
+				t.Fatalf("read of rotten range: %v, want CRCError", err)
+			}
+			if crcErr.Range != 1 || crcErr.Write {
+				t.Fatalf("CRCError = %+v, want read range 1", crcErr)
+			}
+			// The clean range was still delivered and the stream stayed
+			// synchronized: the next op on the same connection works.
+			if !bytes.Equal(dst[0], payload[:blk]) {
+				t.Fatal("clean range not delivered alongside the CRC failure")
+			}
+			if err := client.ReadVCtx(ctx, vecs[:1], dst[:1]); err != nil {
+				t.Fatalf("connection poisoned by a CRC verdict: %v", err)
+			}
+			// A plain connection has no way to notice: it returns rot.
+			if err := plain.ReadVCtx(ctx, vecs, dst); err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(dst[1], payload[blk:]) {
+				t.Fatal("expected the plain read to return the corrupted bytes")
+			}
+		})
+	}
+}
+
+// TestCRCRejectsCorruptWrite hand-crafts an OpWriteVC frame whose
+// checksum does not match its payload and checks the server rejects the
+// range with a CRC verdict instead of applying rot — and that a
+// well-formed write still lands afterwards on the same connection.
+func TestCRCRejectsCorruptWrite(t *testing.T) {
+	for _, direct := range []bool{true, false} {
+		mode := map[bool]string{true: "direct", false: "pooled"}[direct]
+		t.Run(mode, func(t *testing.T) {
+			const blk = 128
+			addr, mem := startCRCServer(t, 4*blk, blk, direct)
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			payload := bytes.Repeat([]byte{0xAB}, blk)
+			frame := []byte{OpWriteVC}
+			frame = binary.BigEndian.AppendUint32(frame, 1)
+			frame = binary.BigEndian.AppendUint64(frame, 0)   // off
+			frame = binary.BigEndian.AppendUint32(frame, blk) // len
+			frame = binary.BigEndian.AppendUint32(frame, crc32c.Sum(payload)^1)
+			frame = append(frame, payload...)
+			if _, err := conn.Write(frame); err != nil {
+				t.Fatal(err)
+			}
+			var status [1]byte
+			if _, err := io.ReadFull(conn, status[:]); err != nil {
+				t.Fatal(err)
+			}
+			if status[0] != statusCRC {
+				t.Fatalf("status %d, want statusCRC", status[0])
+			}
+			var verdict [12]byte
+			if _, err := io.ReadFull(conn, verdict[:]); err != nil {
+				t.Fatal(err)
+			}
+			if failed := binary.BigEndian.Uint32(verdict[0:4]); failed != 0 {
+				t.Fatalf("failed index %d, want 0", failed)
+			}
+			// The pooled path must not have applied the rejected range; the
+			// zero-copy path may have scribbled (documented tradeoff), but
+			// its sidecar entry is invalid, so a CRC read catches it.
+			if !direct {
+				got := make([]byte, blk)
+				if _, err := mem.ReadAt(got, 0); err != nil {
+					t.Fatal(err)
+				}
+				if bytes.Equal(got, payload) {
+					t.Fatal("pooled server applied a CRC-rejected range")
+				}
+			}
+			// The stream is still synchronized: a good frame works.
+			frame = frame[:0]
+			frame = append(frame, OpWriteVC)
+			frame = binary.BigEndian.AppendUint32(frame, 1)
+			frame = binary.BigEndian.AppendUint64(frame, blk)
+			frame = binary.BigEndian.AppendUint32(frame, blk)
+			frame = binary.BigEndian.AppendUint32(frame, crc32c.Sum(payload))
+			frame = append(frame, payload...)
+			if _, err := conn.Write(frame); err != nil {
+				t.Fatal(err)
+			}
+			resp := make([]byte, 5)
+			if _, err := io.ReadFull(conn, resp); err != nil {
+				t.Fatal(err)
+			}
+			if resp[0] != statusOK {
+				t.Fatalf("good frame after CRC verdict: status %d", resp[0])
+			}
+			got := make([]byte, blk)
+			if _, err := mem.ReadAt(got, blk); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatal("good frame after CRC verdict not applied")
+			}
+		})
+	}
+}
+
+// TestCrcVRecomputes pins that OpCrcV is a rot detector: it checksums
+// the store's current bytes, not the write-time sidecar.
+func TestCrcVRecomputes(t *testing.T) {
+	const blk = 256
+	addr, mem := startCRCServer(t, 4*blk, blk, true)
+	client := dialCRC(t, addr)
+	ctx := context.Background()
+	payload := make([]byte, blk)
+	rand.New(rand.NewSource(5)).Read(payload)
+	vecs := []Vec{{Off: 0, Len: blk}}
+	if _, err := client.WriteVCtx(ctx, vecs, [][]byte{payload}); err != nil {
+		t.Fatal(err)
+	}
+	sums := make([]uint32, 1)
+	if err := client.CrcV(ctx, vecs, sums); err != nil {
+		t.Fatal(err)
+	}
+	if want := crc32c.Sum(payload); sums[0] != want {
+		t.Fatalf("CrcV %#08x, want %#08x", sums[0], want)
+	}
+	if _, err := mem.WriteAt([]byte{payload[0] ^ 0xFF}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.CrcV(ctx, vecs, sums); err != nil {
+		t.Fatal(err)
+	}
+	if stale := crc32c.Sum(payload); sums[0] == stale {
+		t.Fatal("CrcV served the stale write-time checksum over rotten bytes")
+	}
+}

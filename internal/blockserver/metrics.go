@@ -8,17 +8,21 @@ import (
 
 // opNames maps opcodes to metric label values; slot 0 catches unknown
 // opcodes, which are counted before the connection is torn down.
-var opNames = [OpWriteV + 1]string{
-	0:         "unknown",
-	OpRead:    "read",
-	OpWrite:   "write",
-	OpSize:    "size",
-	OpFail:    "fail",
-	OpRebuild: "rebuild",
-	OpScrub:   "scrub",
-	OpHealth:  "health",
-	OpReadV:   "readv",
-	OpWriteV:  "writev",
+var opNames = [OpCrcV + 1]string{
+	0:          "unknown",
+	OpRead:     "read",
+	OpWrite:    "write",
+	OpSize:     "size",
+	OpFail:     "fail",
+	OpRebuild:  "rebuild",
+	OpScrub:    "scrub",
+	OpHealth:   "health",
+	OpReadV:    "readv",
+	OpWriteV:   "writev",
+	OpFeatures: "features",
+	OpReadVC:   "readvc",
+	OpWriteVC:  "writevc",
+	OpCrcV:     "crcv",
 }
 
 // opSlot folds an opcode into a metrics array index.
@@ -44,6 +48,9 @@ type Metrics struct {
 
 	conns     obs.Counter // connections accepted
 	connsTorn obs.Counter // connections torn down by transport/protocol errors mid-request
+
+	zeroCopy  obs.Counter // requests served via the zero-copy (direct-store) path
+	crcErrors obs.Counter // write ranges rejected for a CRC mismatch
 }
 
 // NewMetrics returns a Metrics with default latency buckets.
@@ -61,6 +68,7 @@ func NewMetrics() *Metrics {
 type opAcct struct {
 	in, out   int64
 	remoteErr error // store-level error answered on a healthy connection
+	zeroCopy  bool  // payload moved directly between socket and store memory
 }
 
 // record folds one completed request into the counters. err is the
@@ -74,6 +82,12 @@ func (m *Metrics) record(op byte, acct *opAcct, d time.Duration, err error) {
 	m.bytesOut.Add(acct.out)
 	if acct.remoteErr != nil {
 		m.errs[s].Inc()
+		if IsCRC(acct.remoteErr) {
+			m.crcErrors.Inc()
+		}
+	}
+	if acct.zeroCopy {
+		m.zeroCopy.Inc()
 	}
 	if err != nil {
 		m.connsTorn.Inc()
@@ -102,6 +116,10 @@ func (m *Metrics) Register(reg *obs.Registry) {
 		"Connections accepted.", &m.conns)
 	reg.RegisterCounter("sm_blockserver_connections_torn_total",
 		"Connections torn down mid-request by transport or protocol errors.", &m.connsTorn)
+	reg.RegisterCounter("sm_wire_zero_copy_total",
+		"Requests whose payload moved directly between socket and store memory.", &m.zeroCopy)
+	reg.RegisterCounter("sm_wire_crc_errors_total",
+		"Write ranges rejected by the server for a CRC-32C mismatch.", &m.crcErrors)
 }
 
 // OpStats is one opcode's corner of a MetricsSnapshot.
@@ -118,6 +136,8 @@ type MetricsSnapshot struct {
 	BytesOut  int64              `json:"bytes_out"`
 	Conns     int64              `json:"connections"`
 	ConnsTorn int64              `json:"connections_torn"`
+	ZeroCopy  int64              `json:"zero_copy"`
+	CRCErrors int64              `json:"crc_errors"`
 }
 
 // Snapshot copies the current counters. Opcodes that never ran are
@@ -129,6 +149,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		BytesOut:  m.bytesOut.Load(),
 		Conns:     m.conns.Load(),
 		ConnsTorn: m.connsTorn.Load(),
+		ZeroCopy:  m.zeroCopy.Load(),
+		CRCErrors: m.crcErrors.Load(),
 	}
 	for op, name := range opNames {
 		if name == "" || m.ops[op].Load() == 0 {

@@ -7,22 +7,32 @@
 // Protocol, all integers big-endian:
 //
 //	request  = op(1) | payload
-//	response = status(1) | payload        status 0 = ok, 1 = error
+//	response = status(1) | payload        status 0 = ok, 1 = error, 2 = crc
 //	error payload = len(4) | message
+//	crc payload   = failed(4) | want(4) | got(4)
 //
-//	OpRead    req: off(8) len(4)          ok: len(4) data
-//	OpWrite   req: off(8) len(4) data     ok: -
-//	OpSize    req: -                      ok: size(8)
-//	OpFail    req: role(1) index(4)       ok: -
-//	OpRebuild req: role(1) index(4)       ok: -
-//	OpScrub   req: -                      ok: -
-//	OpHealth  req: -                      ok: 5 counters(8 each) |
-//	                                          nfailed(4) | nfailed*(role(1) index(4))
-//	OpReadV   req: count(4) | count*(off(8) len(4))
-//	                                      ok: total(4) | concatenated data
-//	OpWriteV  req: count(4) | count*(off(8) len(4) data)
-//	                                      ok: applied(4)
-//	                                      err: failed(4) | len(4) | message
+//	OpRead     req: off(8) len(4)          ok: len(4) data
+//	OpWrite    req: off(8) len(4) data     ok: -
+//	OpSize     req: -                      ok: size(8)
+//	OpFail     req: role(1) index(4)       ok: -
+//	OpRebuild  req: role(1) index(4)       ok: -
+//	OpScrub    req: -                      ok: -
+//	OpHealth   req: -                      ok: 5 counters(8 each) |
+//	                                           nfailed(4) | nfailed*(role(1) index(4))
+//	OpReadV    req: count(4) | count*(off(8) len(4))
+//	                                       ok: total(4) | concatenated data
+//	OpWriteV   req: count(4) | count*(off(8) len(4) data)
+//	                                       ok: applied(4)
+//	                                       err: failed(4) | len(4) | message
+//	OpFeatures req: flags(1)               ok: flags(1) | crcblock(4)
+//	OpReadVC   req: count(4) | count*(off(8) len(4))
+//	                                       ok: total(4) | count*crc(4) | data
+//	OpWriteVC  req: count(4) | count*(off(8) len(4) crc(4) data)
+//	                                       ok: applied(4)
+//	                                       err: failed(4) | len(4) | message
+//	                                       crc: failed(4) | want(4) | got(4)
+//	OpCrcV     req: count(4) | count*(off(8) len(4))
+//	                                       ok: count*crc(4)
 //
 // OpReadV gathers up to MaxVecCount element-granular ranges in one round
 // trip, so a cluster-level stripe read does not pay one network round
@@ -34,7 +44,25 @@
 // carrying failed = i, so the client can credit the leading i ranges as
 // durably applied. Framing violations (bad count, oversized ranges,
 // truncated payload) tear the connection without a response, and the
-// range being decoded when the stream died is never partially applied.
+// range being decoded when the stream died is never partially applied
+// (except by a direct-store server, which trades that guarantee for the
+// zero-copy receive path; see DESIGN.md §12).
+//
+// OpFeatures negotiates optional capabilities: the client sends the
+// flags it wants, the server answers with the subset it grants plus its
+// CRC block size. Servers predating OpFeatures tear the connection on
+// the unknown opcode, which the client treats as "no features" and
+// redials plain — old and new peers always interoperate. OpReadVC /
+// OpWriteVC are the CRC-carrying twins of OpReadV / OpWriteV
+// (FeatureCRC must be granted): one CRC-32C per range, verified by the
+// receiving end, so corruption anywhere past the sender's checksum pass
+// — wire, buffers, or the store itself for ranges covered by the
+// server's CRC sidecar — is detected instead of returned as data. A
+// server-side CRC mismatch on write is answered with the statusCRC
+// response (stream synchronized, leading `failed` ranges applied, like
+// the extended write error). OpCrcV returns freshly recomputed CRCs of
+// store content without the data; Volume.Scrub uses it to compare
+// replicas without shipping every byte.
 package blockserver
 
 import (
@@ -56,12 +84,24 @@ const (
 	OpHealth
 	OpReadV
 	OpWriteV
+	OpFeatures
+	OpReadVC
+	OpWriteVC
+	OpCrcV
 )
 
 // Status codes.
 const (
 	statusOK  byte = 0
 	statusErr byte = 1
+	statusCRC byte = 2
+)
+
+// Feature flags carried in OpFeatures.
+const (
+	// FeatureCRC enables the CRC-carrying vector opcodes (OpReadVC,
+	// OpWriteVC, OpCrcV). Granted only by servers running with WithCRC.
+	FeatureCRC byte = 1 << 0
 )
 
 // MaxIOSize bounds a single read or write payload (a protocol sanity
@@ -101,6 +141,45 @@ func IsRemote(err error) bool {
 	return errors.As(err, &re)
 }
 
+// CRCError reports a per-range CRC-32C mismatch: the client caught
+// corrupted read data, or the server rejected corrupted write data. The
+// stream stays synchronized after one (both ends consumed their full
+// frames), so like a RemoteError it does not poison the connection —
+// but unlike one it means the bytes, not the operation, are bad, so
+// callers fail over to another replica rather than retry here.
+type CRCError struct {
+	// Range is the index of the first mismatching range in the request.
+	Range int
+	// Want is the expected checksum, Got the checksum of the bytes that
+	// actually arrived.
+	Want, Got uint32
+	// Write is true when the server rejected a write, false when the
+	// client caught a corrupt read.
+	Write bool
+}
+
+// Error implements error.
+func (e *CRCError) Error() string {
+	dir := "read"
+	if e.Write {
+		dir = "write"
+	}
+	return fmt.Sprintf("blockserver: crc mismatch on %s range %d: want %#08x, got %#08x",
+		dir, e.Range, e.Want, e.Got)
+}
+
+// IsCRC reports whether err is (or wraps) a CRCError.
+func IsCRC(err error) bool {
+	var ce *CRCError
+	return errors.As(err, &ce)
+}
+
+// ErrNoCRC is returned by Client.CrcV when the connection did not
+// negotiate FeatureCRC. It is returned before anything touches the
+// wire, so the connection stays healthy; the pool treats it like a
+// remote error (no retry, no dead-marking).
+var ErrNoCRC = errors.New("blockserver: crc feature not negotiated")
+
 // framePool recycles request/response frame buffers so the read/write
 // hot path allocates nothing per request at steady state.
 var framePool = sync.Pool{New: func() any { return new([]byte) }}
@@ -119,6 +198,61 @@ func putFrame(p *[]byte) { framePool.Put(p) }
 // okFrame is the payload-free success response; shared because writes
 // never mutate it.
 var okFrame = [...]byte{statusOK}
+
+// Vec header sizes on the wire: off(8) len(4), plus crc(4) in the
+// CRC-carrying write opcode.
+const (
+	vecHdrSize    = 12
+	vecHdrCRCSize = 16
+)
+
+// putVecHdr encodes v's off|len header into b[:vecHdrSize]. Every
+// encoder of a vector range — client request builders and tests alike —
+// goes through here so the wire layout is single-sourced.
+func putVecHdr(b []byte, v Vec) {
+	binary.BigEndian.PutUint64(b, uint64(v.Off))
+	binary.BigEndian.PutUint32(b[8:], uint32(v.Len))
+}
+
+// getVecHdr decodes an off|len header from b[:vecHdrSize].
+func getVecHdr(b []byte) Vec {
+	return Vec{
+		Off: int64(binary.BigEndian.Uint64(b)),
+		Len: int(binary.BigEndian.Uint32(b[8:])),
+	}
+}
+
+// checkVec validates one decoded range against the store size, shared
+// by every vector opcode handler.
+func checkVec(v Vec, size int64) error {
+	if v.Len <= 0 || v.Len > MaxIOSize {
+		return fmt.Errorf("%w: bad range length %d", ErrProtocol, v.Len)
+	}
+	if v.Off < 0 || v.Off+int64(v.Len) > size {
+		return fmt.Errorf("%w: range [%d,%d) outside store of %d bytes",
+			ErrProtocol, v.Off, v.Off+int64(v.Len), size)
+	}
+	return nil
+}
+
+// checkVecs validates a client-side vector request: count, destination
+// lengths, and the MaxIOSize total. Returns the summed payload size.
+func checkVecs(vecs []Vec) (int64, error) {
+	if len(vecs) == 0 || len(vecs) > MaxVecCount {
+		return 0, fmt.Errorf("%w: %d ranges (max %d)", ErrProtocol, len(vecs), MaxVecCount)
+	}
+	var total int64
+	for _, v := range vecs {
+		if v.Len <= 0 || v.Off < 0 {
+			return 0, fmt.Errorf("%w: bad range off=%d len=%d", ErrProtocol, v.Off, v.Len)
+		}
+		total += int64(v.Len)
+	}
+	if total > MaxIOSize {
+		return 0, fmt.Errorf("%w: %d bytes total (max %d)", ErrProtocol, total, MaxIOSize)
+	}
+	return total, nil
+}
 
 // writeErr sends an error response.
 func writeErr(w io.Writer, err error) error {
@@ -146,6 +280,20 @@ func writeWriteVErr(w io.Writer, failed int, err error) error {
 	return werr
 }
 
+// writeCRCErr sends OpWriteVC's CRC-mismatch response: the index of the
+// rejected range plus both checksums. Like the extended write error, the
+// leading `failed` ranges were applied and the rest drained, so the
+// stream stays synchronized.
+func writeCRCErr(w io.Writer, failed int, want, got uint32) error {
+	var buf [13]byte
+	buf[0] = statusCRC
+	binary.BigEndian.PutUint32(buf[1:], uint32(failed))
+	binary.BigEndian.PutUint32(buf[5:], want)
+	binary.BigEndian.PutUint32(buf[9:], got)
+	_, werr := w.Write(buf[:])
+	return werr
+}
+
 // writeOK sends a success response with an optional payload.
 func writeOK(w io.Writer, payload []byte) error {
 	if len(payload) == 0 {
@@ -169,6 +317,18 @@ func readStatus(r io.Reader) error {
 	}
 	if status[0] == statusOK {
 		return nil
+	}
+	if status[0] == statusCRC {
+		var b [12]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return err
+		}
+		return &CRCError{
+			Range: int(binary.BigEndian.Uint32(b[:])),
+			Want:  binary.BigEndian.Uint32(b[4:]),
+			Got:   binary.BigEndian.Uint32(b[8:]),
+			Write: true,
+		}
 	}
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {

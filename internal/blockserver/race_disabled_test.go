@@ -1,0 +1,5 @@
+//go:build !race
+
+package blockserver
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package blockserver
+
+// raceEnabled gates assertions that the race detector's instrumentation
+// invalidates (it adds its own allocations to instrumented code paths).
+const raceEnabled = true

@@ -23,6 +23,21 @@ type Store interface {
 	Size() int64
 }
 
+// DirectStore is a Store that can hand out its backing memory, letting
+// the server skip the intermediate copy on the wire path: OpReadV
+// gathers writev directly from store memory, and OpWriteV scatters land
+// by reading the socket straight into the store region. dev.MemStore
+// implements it; file- or rate-limited stores do not and are served
+// through the pooled-buffer path.
+type DirectStore interface {
+	Store
+	// Slice returns the store's memory for [off, off+n), or false when
+	// that span cannot be addressed directly (out of bounds, not
+	// memory-resident, ...). A returned slice must stay valid for the
+	// lifetime of the store and alias the bytes ReadAt/WriteAt see.
+	Slice(off, n int64) ([]byte, bool)
+}
+
 // manager is the optional management surface behind OpFail/OpRebuild/
 // OpScrub/OpHealth. Full devices implement it; bare stores do not, and
 // their servers answer those opcodes with a remote error.
@@ -63,6 +78,22 @@ func WithReadRate(bytesPerSec float64) ServerOption {
 	}
 }
 
+// WithCRC enables the end-to-end integrity feature: the server grants
+// FeatureCRC to negotiating clients, verifies the CRC-32C carried on
+// every OpWriteVC range, and keeps a per-block CRC sidecar (4 bytes +
+// 1 bit per block of store) so OpReadVC can hand out write-time
+// checksums — letting a client catch corruption that happened in the
+// store itself, not just on the wire. blockSize is the sidecar
+// granularity and should match the cluster element size; values <= 0
+// leave the feature off.
+func WithCRC(blockSize int64) ServerOption {
+	return func(s *Server) {
+		if blockSize > 0 {
+			s.crcBlock = blockSize
+		}
+	}
+}
+
 // rateLimiter spaces transfers so that aggregate throughput stays at the
 // configured rate: each transfer reserves a completion slot after all
 // earlier ones, exactly like requests queueing at one disk.
@@ -89,10 +120,19 @@ func (l *rateLimiter) wait(n int) {
 // locking provides consistency.
 type Server struct {
 	store    Store
-	mgmt     manager // nil for bare stores
+	direct   DirectStore // non-nil = zero-copy wire path enabled
+	mgmt     manager     // nil for bare stores
 	readRate *rateLimiter
 	metrics  *Metrics   // nil = no metric collection
 	tracer   obs.Tracer // nil = no per-op tracing
+
+	// CRC sidecar (WithCRC): one CRC-32C plus a validity bit per
+	// crcBlock-sized block of store, maintained inline by every write
+	// path and handed out by OpReadVC for exactly-one-block ranges.
+	crcBlock int64 // 0 = CRC feature off
+	crcMu    sync.Mutex
+	crcSums  []uint32
+	crcValid []uint64 // bitmap, 1 = crcSums entry matches store content
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -107,6 +147,7 @@ func NewServer(device *dev.Device, opts ...ServerOption) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	s.initWire()
 	return s
 }
 
@@ -117,7 +158,22 @@ func NewStoreServer(store Store, opts ...ServerOption) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	s.initWire()
 	return s
+}
+
+// initWire finishes wire-path setup once options are applied: direct
+// (zero-copy) serving when the store exposes memory and no rate limit
+// is modeling a spindle, and the CRC sidecar when WithCRC asked for it.
+func (s *Server) initWire() {
+	if s.readRate == nil {
+		s.direct, _ = s.store.(DirectStore)
+	}
+	if s.crcBlock > 0 {
+		blocks := (s.store.Size() + s.crcBlock - 1) / s.crcBlock
+		s.crcSums = make([]uint32, blocks)
+		s.crcValid = make([]uint64, (blocks+63)/64)
+	}
 }
 
 // Listen starts accepting connections on addr ("127.0.0.1:0" for an
@@ -187,16 +243,52 @@ func (s *Server) Close() error {
 	return err
 }
 
+// connScratch is per-connection reusable state for the vector opcodes:
+// decoded range headers, CRC arrays, and the writev gather list. One
+// connection serves one request at a time, so no locking is needed, and
+// steady-state requests allocate nothing.
+type connScratch struct {
+	vecs []Vec
+	crcs []uint32
+	bufs [][]byte
+	// nb is the persistent writev header: net.Buffers.WriteTo consumes
+	// its receiver, so it is rebuilt from bufs before every use — but
+	// keeping it a field stops the slice header escaping per call.
+	nb  net.Buffers
+	hdr [16]byte
+}
+
+// readUint64 reads a big-endian uint64 through the scratch header, so
+// the buffer does not escape per call the way the package-level
+// reader's stack array does.
+func (scr *connScratch) readUint64(r io.Reader) (uint64, error) {
+	if _, err := io.ReadFull(r, scr.hdr[:8]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(scr.hdr[:8]), nil
+}
+
+// readUint32 is readUint64's 4-byte sibling.
+func (scr *connScratch) readUint32(r io.Reader) (uint32, error) {
+	if _, err := io.ReadFull(r, scr.hdr[:4]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(scr.hdr[:4]), nil
+}
+
 // serveConn processes requests until the peer disconnects or sends a
 // malformed frame.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	scr := &connScratch{}
 	for {
-		var op [1]byte
-		if _, err := io.ReadFull(conn, op[:]); err != nil {
+		// The opcode is read through the scratch header: a local array
+		// would escape into the conn interface and cost one allocation
+		// per request.
+		if _, err := io.ReadFull(conn, scr.hdr[:1]); err != nil {
 			return
 		}
-		if err := s.dispatch(conn, op[0]); err != nil {
+		if err := s.dispatch(conn, scr.hdr[0], scr); err != nil {
 			return
 		}
 	}
@@ -207,13 +299,13 @@ func (s *Server) serveConn(conn net.Conn) {
 // to the client as error responses. With metrics or tracing enabled it
 // times the request and accounts payload bytes; otherwise it is a
 // direct call into the handler with zero overhead.
-func (s *Server) dispatch(conn net.Conn, op byte) error {
+func (s *Server) dispatch(conn net.Conn, op byte, scr *connScratch) error {
 	if s.metrics == nil && s.tracer == nil {
-		return s.handle(conn, op, nil)
+		return s.handle(conn, op, scr, nil)
 	}
 	var acct opAcct
 	start := time.Now()
-	err := s.handle(conn, op, &acct)
+	err := s.handle(conn, op, scr, &acct)
 	d := time.Since(start)
 	if s.metrics != nil {
 		s.metrics.record(op, &acct, d, err)
@@ -238,178 +330,22 @@ func (s *Server) reply(conn net.Conn, acct *opAcct, err error) error {
 	return writeErr(conn, err)
 }
 
-// handle executes one decoded request against the store.
-func (s *Server) handle(conn net.Conn, op byte, acct *opAcct) error {
+// handle executes one decoded request against the store. The data
+// opcodes live in wire.go; the management opcodes are handled here.
+func (s *Server) handle(conn net.Conn, op byte, scr *connScratch, acct *opAcct) error {
 	switch op {
 	case OpRead:
-		off, err := readUint64(conn)
-		if err != nil {
-			return err
-		}
-		n, err := readUint32(conn)
-		if err != nil {
-			return err
-		}
-		if n > MaxIOSize {
-			return s.reply(conn, acct, fmt.Errorf("%w: read of %d bytes exceeds limit", ErrProtocol, n))
-		}
-		// Assemble status|len|data in one pooled frame and reply with a
-		// single write: no per-request allocation, no payload copy.
-		frame := getFrame(5 + int(n))
-		defer putFrame(frame)
-		if _, err := s.store.ReadAt((*frame)[5:], int64(off)); err != nil {
-			return s.reply(conn, acct, err)
-		}
-		if s.readRate != nil {
-			s.readRate.wait(int(n))
-		}
-		if acct != nil {
-			acct.out += int64(n)
-		}
-		(*frame)[0] = statusOK
-		binary.BigEndian.PutUint32((*frame)[1:5], n)
-		_, werr := conn.Write(*frame)
-		return werr
-	case OpReadV:
-		count, err := readUint32(conn)
-		if err != nil {
-			return err
-		}
-		if count == 0 || count > MaxVecCount {
-			return fmt.Errorf("%w: gather of %d ranges outside [1,%d]", ErrProtocol, count, MaxVecCount)
-		}
-		vecBuf := getFrame(12 * int(count))
-		if _, err := io.ReadFull(conn, *vecBuf); err != nil {
-			putFrame(vecBuf)
-			return err
-		}
-		vecs := make([]Vec, count)
-		// Sum as int64: on 32-bit platforms int(uint32) can go negative,
-		// which would slip past the limit check and crash getFrame.
-		var total int64
-		for i := range vecs {
-			vecs[i].Off = int64(binary.BigEndian.Uint64((*vecBuf)[12*i:]))
-			l := binary.BigEndian.Uint32((*vecBuf)[12*i+8:])
-			if l > MaxIOSize {
-				putFrame(vecBuf)
-				return s.reply(conn, acct, fmt.Errorf("%w: gather range of %d bytes exceeds limit", ErrProtocol, l))
-			}
-			vecs[i].Len = int(l)
-			total += int64(l)
-		}
-		putFrame(vecBuf)
-		if total > MaxIOSize {
-			return s.reply(conn, acct, fmt.Errorf("%w: gather of %d bytes exceeds limit", ErrProtocol, total))
-		}
-		// One frame: status | total | range 0 | range 1 | ...
-		frame := getFrame(5 + int(total))
-		defer putFrame(frame)
-		at := 5
-		for _, v := range vecs {
-			if _, err := s.store.ReadAt((*frame)[at:at+v.Len], v.Off); err != nil {
-				return s.reply(conn, acct, err)
-			}
-			at += v.Len
-		}
-		if s.readRate != nil {
-			s.readRate.wait(int(total))
-		}
-		if acct != nil {
-			acct.out += total
-		}
-		(*frame)[0] = statusOK
-		binary.BigEndian.PutUint32((*frame)[1:5], uint32(total))
-		_, werr := conn.Write(*frame)
-		return werr
+		return s.handleRead(conn, scr, acct)
+	case OpReadV, OpReadVC:
+		return s.handleReadV(conn, scr, acct, op == OpReadVC)
 	case OpWrite:
-		off, err := readUint64(conn)
-		if err != nil {
-			return err
-		}
-		n, err := readUint32(conn)
-		if err != nil {
-			return err
-		}
-		if n > MaxIOSize {
-			return fmt.Errorf("%w: write of %d bytes exceeds limit", ErrProtocol, n)
-		}
-		buf := getFrame(int(n))
-		defer putFrame(buf)
-		if _, err := io.ReadFull(conn, *buf); err != nil {
-			return err
-		}
-		if acct != nil {
-			acct.in += int64(n)
-		}
-		if _, err := s.store.WriteAt(*buf, int64(off)); err != nil {
-			return s.reply(conn, acct, err)
-		}
-		return writeOK(conn, nil)
-	case OpWriteV:
-		count, err := readUint32(conn)
-		if err != nil {
-			return err
-		}
-		if count == 0 || count > MaxVecCount {
-			return fmt.Errorf("%w: scatter of %d ranges outside [1,%d]", ErrProtocol, count, MaxVecCount)
-		}
-		// Ranges are applied as they are decoded, so a 64 MiB batch never
-		// buffers more than one range at a time. Framing violations tear
-		// the connection: an oversized declared length means the payload
-		// boundary is untrustworthy, so resynchronizing is impossible.
-		buf := getFrame(0)
-		defer putFrame(buf)
-		var (
-			total    int64
-			storeErr error
-			failed   int
-		)
-		for i := 0; i < int(count); i++ {
-			off, err := readUint64(conn)
-			if err != nil {
-				return err
-			}
-			l, err := readUint32(conn)
-			if err != nil {
-				return err
-			}
-			if l > MaxIOSize {
-				return fmt.Errorf("%w: scatter range of %d bytes exceeds limit", ErrProtocol, l)
-			}
-			// Sum as int64: on 32-bit platforms int(uint32) can go
-			// negative, which would slip past the limit check.
-			total += int64(l)
-			if total > MaxIOSize {
-				return fmt.Errorf("%w: scatter of %d bytes exceeds limit", ErrProtocol, total)
-			}
-			if cap(*buf) < int(l) {
-				*buf = make([]byte, l)
-			}
-			*buf = (*buf)[:l]
-			if _, err := io.ReadFull(conn, *buf); err != nil {
-				return err
-			}
-			if acct != nil {
-				acct.in += int64(l)
-			}
-			if storeErr != nil {
-				continue // drain the remaining ranges; stream stays synchronized
-			}
-			if _, err := s.store.WriteAt(*buf, int64(off)); err != nil {
-				storeErr, failed = err, i
-			}
-		}
-		if storeErr != nil {
-			if acct != nil {
-				acct.remoteErr = storeErr
-			}
-			return writeWriteVErr(conn, failed, storeErr)
-		}
-		var resp [5]byte
-		resp[0] = statusOK
-		binary.BigEndian.PutUint32(resp[1:5], count)
-		_, werr := conn.Write(resp[:])
-		return werr
+		return s.handleWrite(conn, scr, acct)
+	case OpWriteV, OpWriteVC:
+		return s.handleWriteV(conn, scr, acct, op == OpWriteVC)
+	case OpCrcV:
+		return s.handleCrcV(conn, scr, acct)
+	case OpFeatures:
+		return s.handleFeatures(conn)
 	case OpSize:
 		return writeOK(conn, binary.BigEndian.AppendUint64(nil, uint64(s.store.Size())))
 	case OpFail, OpRebuild:

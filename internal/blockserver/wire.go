@@ -1,0 +1,474 @@
+package blockserver
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"shiftedmirror/internal/crc32c"
+)
+
+// This file is the server's data path: the read/write opcodes, their
+// vector (gather/scatter) forms, the zero-copy variants used when the
+// store exposes its memory, and the CRC sidecar behind the integrity
+// feature.
+//
+// Copy discipline: with a DirectStore, a gather read is one writev of
+// {header, store memory...} and a scatter write reads the socket
+// straight into the store region — the kernel's socket copy is the only
+// copy left, and the CRC pass (when negotiated) runs over the same
+// bytes while they are cache-hot. Pooled buffers remain the fallback
+// for stores that cannot expose memory (files, rate-limited spindle
+// models, fault-injection wrappers).
+
+// handleFeatures answers the negotiation opcode: the granted subset of
+// the client's requested flags, plus the server's CRC block size.
+func (s *Server) handleFeatures(conn net.Conn) error {
+	var req [1]byte
+	if _, err := io.ReadFull(conn, req[:]); err != nil {
+		return err
+	}
+	var grant byte
+	if s.crcBlock > 0 {
+		grant = req[0] & FeatureCRC
+	}
+	var payload [5]byte
+	payload[0] = grant
+	binary.BigEndian.PutUint32(payload[1:], uint32(s.crcBlock))
+	return writeOK(conn, payload[:])
+}
+
+// handleRead serves OpRead: status|len|data in one reply. A direct
+// store serves the payload straight from store memory via writev.
+func (s *Server) handleRead(conn net.Conn, scr *connScratch, acct *opAcct) error {
+	off, err := scr.readUint64(conn)
+	if err != nil {
+		return err
+	}
+	n, err := scr.readUint32(conn)
+	if err != nil {
+		return err
+	}
+	if n > MaxIOSize {
+		return s.reply(conn, acct, fmt.Errorf("%w: read of %d bytes exceeds limit", ErrProtocol, n))
+	}
+	if s.direct != nil {
+		if p, ok := s.direct.Slice(int64(off), int64(n)); ok {
+			scr.hdr[0] = statusOK
+			binary.BigEndian.PutUint32(scr.hdr[1:5], n)
+			if acct != nil {
+				acct.out += int64(n)
+				acct.zeroCopy = true
+			}
+			scr.bufs = append(scr.bufs[:0], scr.hdr[:5], p)
+			scr.nb = net.Buffers(scr.bufs)
+			_, werr := scr.nb.WriteTo(conn)
+			return werr
+		}
+	}
+	// Assemble status|len|data in one pooled frame and reply with a
+	// single write: no per-request allocation, one payload copy.
+	frame := getFrame(5 + int(n))
+	defer putFrame(frame)
+	if _, err := s.store.ReadAt((*frame)[5:], int64(off)); err != nil {
+		return s.reply(conn, acct, err)
+	}
+	if s.readRate != nil {
+		s.readRate.wait(int(n))
+	}
+	if acct != nil {
+		acct.out += int64(n)
+	}
+	(*frame)[0] = statusOK
+	binary.BigEndian.PutUint32((*frame)[1:5], n)
+	_, werr := conn.Write(*frame)
+	return werr
+}
+
+// readVecList decodes a vector request's count and range headers into
+// scr.vecs, returning the ranges and their payload total. A nil range
+// slice with a nil error means a remote error was already sent and the
+// stream is synchronized.
+func (s *Server) readVecList(conn net.Conn, scr *connScratch, acct *opAcct, kind string) ([]Vec, int64, error) {
+	count, err := scr.readUint32(conn)
+	if err != nil {
+		return nil, 0, err
+	}
+	if count == 0 || count > MaxVecCount {
+		return nil, 0, fmt.Errorf("%w: %s of %d ranges outside [1,%d]", ErrProtocol, kind, count, MaxVecCount)
+	}
+	hdrBuf := getFrame(vecHdrSize * int(count))
+	defer putFrame(hdrBuf)
+	if _, err := io.ReadFull(conn, *hdrBuf); err != nil {
+		return nil, 0, err
+	}
+	if cap(scr.vecs) < int(count) {
+		scr.vecs = make([]Vec, count)
+	}
+	vecs := scr.vecs[:count]
+	// Sum as int64: on 32-bit platforms int(uint32) can go negative,
+	// which would slip past the limit check and crash getFrame.
+	var total int64
+	for i := range vecs {
+		v := getVecHdr((*hdrBuf)[vecHdrSize*i:])
+		if v.Len < 0 || v.Len > MaxIOSize {
+			return nil, 0, s.reply(conn, acct, fmt.Errorf("%w: %s range of %d bytes exceeds limit", ErrProtocol, kind, uint32(v.Len)))
+		}
+		vecs[i] = v
+		total += int64(v.Len)
+	}
+	if total > MaxIOSize {
+		return nil, 0, s.reply(conn, acct, fmt.Errorf("%w: %s of %d bytes exceeds limit", ErrProtocol, kind, total))
+	}
+	return vecs, total, nil
+}
+
+// handleReadV serves OpReadV and its CRC-carrying twin OpReadVC.
+func (s *Server) handleReadV(conn net.Conn, scr *connScratch, acct *opAcct, withCRC bool) error {
+	vecs, total, err := s.readVecList(conn, scr, acct, "gather")
+	if vecs == nil {
+		return err
+	}
+	if withCRC && s.crcBlock == 0 {
+		return s.reply(conn, acct, fmt.Errorf("crc read on a server without WithCRC"))
+	}
+	hdrLen := 5
+	if withCRC {
+		hdrLen += 4 * len(vecs)
+	}
+	if s.direct != nil {
+		if done, err := s.readVDirect(conn, scr, acct, vecs, total, withCRC, hdrLen); done {
+			return err
+		}
+	}
+	// Pooled path — one frame: status | total | [crcs] | range data...
+	frame := getFrame(hdrLen + int(total))
+	defer putFrame(frame)
+	at := hdrLen
+	for i, v := range vecs {
+		data := (*frame)[at : at+v.Len]
+		if _, err := s.store.ReadAt(data, v.Off); err != nil {
+			return s.reply(conn, acct, err)
+		}
+		if withCRC {
+			binary.BigEndian.PutUint32((*frame)[5+4*i:], s.rangeCRC(v, data))
+		}
+		at += v.Len
+	}
+	if s.readRate != nil {
+		s.readRate.wait(int(total))
+	}
+	if acct != nil {
+		acct.out += total
+	}
+	(*frame)[0] = statusOK
+	binary.BigEndian.PutUint32((*frame)[1:5], uint32(total))
+	_, werr := conn.Write(*frame)
+	return werr
+}
+
+// readVDirect is the zero-copy gather: the reply is a single writev of
+// the header frame followed by the store's own memory for every range.
+// Returns done=false (nothing written) when any range cannot be
+// addressed directly, in which case the caller falls back to the pooled
+// path.
+func (s *Server) readVDirect(conn net.Conn, scr *connScratch, acct *opAcct, vecs []Vec, total int64, withCRC bool, hdrLen int) (bool, error) {
+	hdr := getFrame(hdrLen)
+	defer putFrame(hdr)
+	bufs := append(scr.bufs[:0], *hdr)
+	for _, v := range vecs {
+		p, ok := s.direct.Slice(v.Off, int64(v.Len))
+		if !ok {
+			scr.bufs = bufs
+			return false, nil
+		}
+		bufs = append(bufs, p)
+	}
+	scr.bufs = bufs
+	(*hdr)[0] = statusOK
+	binary.BigEndian.PutUint32((*hdr)[1:5], uint32(total))
+	if withCRC {
+		for i, v := range vecs {
+			binary.BigEndian.PutUint32((*hdr)[5+4*i:], s.rangeCRC(v, bufs[i+1]))
+		}
+	}
+	if acct != nil {
+		acct.out += total
+		acct.zeroCopy = true
+	}
+	scr.nb = net.Buffers(bufs)
+	_, werr := scr.nb.WriteTo(conn)
+	return true, werr
+}
+
+// handleWrite serves OpWrite. A direct store receives the payload
+// straight into store memory.
+func (s *Server) handleWrite(conn net.Conn, scr *connScratch, acct *opAcct) error {
+	off, err := scr.readUint64(conn)
+	if err != nil {
+		return err
+	}
+	n, err := scr.readUint32(conn)
+	if err != nil {
+		return err
+	}
+	if n > MaxIOSize {
+		return fmt.Errorf("%w: write of %d bytes exceeds limit", ErrProtocol, n)
+	}
+	if s.direct != nil {
+		if p, ok := s.direct.Slice(int64(off), int64(n)); ok {
+			s.invalidateCRC(int64(off), int64(n))
+			if _, err := io.ReadFull(conn, p); err != nil {
+				return err
+			}
+			if acct != nil {
+				acct.in += int64(n)
+				acct.zeroCopy = true
+			}
+			s.noteWrite(int64(off), p, 0, false)
+			return writeOK(conn, nil)
+		}
+	}
+	buf := getFrame(int(n))
+	defer putFrame(buf)
+	if _, err := io.ReadFull(conn, *buf); err != nil {
+		return err
+	}
+	if acct != nil {
+		acct.in += int64(n)
+	}
+	if _, err := s.store.WriteAt(*buf, int64(off)); err != nil {
+		return s.reply(conn, acct, err)
+	}
+	s.noteWrite(int64(off), *buf, 0, false)
+	return writeOK(conn, nil)
+}
+
+// handleWriteV serves OpWriteV and its CRC-verifying twin OpWriteVC.
+// Ranges are applied as they are decoded, so a 64 MiB batch never
+// buffers more than one range at a time. Framing violations tear the
+// connection: an oversized declared length means the payload boundary
+// is untrustworthy, so resynchronizing is impossible. On a store error
+// or CRC mismatch at range i the remaining ranges are drained (the
+// stream stays synchronized) and the extended response credits the
+// leading i ranges as applied.
+//
+// Zero-copy caveat: a direct store receives each range straight into
+// store memory, so a range that dies mid-transfer — or is rejected for
+// a CRC mismatch — has already scribbled on the store region. Its
+// sidecar entry is left invalid and the client sees the write fail, so
+// the mirror layer repairs it from the twin; the pooled path keeps the
+// stricter never-partially-applied guarantee.
+func (s *Server) handleWriteV(conn net.Conn, scr *connScratch, acct *opAcct, withCRC bool) error {
+	count, err := scr.readUint32(conn)
+	if err != nil {
+		return err
+	}
+	if count == 0 || count > MaxVecCount {
+		return fmt.Errorf("%w: scatter of %d ranges outside [1,%d]", ErrProtocol, count, MaxVecCount)
+	}
+	hdrSize := vecHdrSize
+	if withCRC {
+		hdrSize = vecHdrCRCSize
+	}
+	buf := getFrame(0)
+	defer putFrame(buf)
+	var (
+		total    int64
+		storeErr error
+		crcErr   *CRCError
+		failed   int
+	)
+	for i := 0; i < int(count); i++ {
+		if _, err := io.ReadFull(conn, scr.hdr[:hdrSize]); err != nil {
+			return err
+		}
+		v := getVecHdr(scr.hdr[:])
+		var want uint32
+		if withCRC {
+			want = binary.BigEndian.Uint32(scr.hdr[12:])
+		}
+		if v.Len < 0 || v.Len > MaxIOSize {
+			return fmt.Errorf("%w: scatter range of %d bytes exceeds limit", ErrProtocol, uint32(v.Len))
+		}
+		// Sum as int64: on 32-bit platforms int(uint32) can go
+		// negative, which would slip past the limit check.
+		total += int64(v.Len)
+		if total > MaxIOSize {
+			return fmt.Errorf("%w: scatter of %d bytes exceeds limit", ErrProtocol, total)
+		}
+		draining := storeErr != nil || crcErr != nil
+		if !draining && s.direct != nil {
+			if p, ok := s.direct.Slice(v.Off, int64(v.Len)); ok {
+				s.invalidateCRC(v.Off, int64(v.Len))
+				if _, err := io.ReadFull(conn, p); err != nil {
+					return err
+				}
+				if acct != nil {
+					acct.in += int64(v.Len)
+					acct.zeroCopy = true
+				}
+				if withCRC {
+					if got := crc32c.Sum(p); got != want {
+						crcErr = &CRCError{Range: i, Want: want, Got: got, Write: true}
+						continue
+					}
+				}
+				s.noteWrite(v.Off, p, want, withCRC)
+				continue
+			}
+		}
+		if cap(*buf) < v.Len {
+			*buf = make([]byte, v.Len)
+		}
+		*buf = (*buf)[:v.Len]
+		if _, err := io.ReadFull(conn, *buf); err != nil {
+			return err
+		}
+		if acct != nil {
+			acct.in += int64(v.Len)
+		}
+		if draining {
+			continue // drain the remaining ranges; stream stays synchronized
+		}
+		if withCRC {
+			if got := crc32c.Sum(*buf); got != want {
+				crcErr = &CRCError{Range: i, Want: want, Got: got, Write: true}
+				continue
+			}
+		}
+		if _, err := s.store.WriteAt(*buf, v.Off); err != nil {
+			storeErr, failed = err, i
+			continue
+		}
+		s.noteWrite(v.Off, *buf, want, withCRC)
+	}
+	if crcErr != nil {
+		if acct != nil {
+			acct.remoteErr = crcErr
+		}
+		return writeCRCErr(conn, crcErr.Range, crcErr.Want, crcErr.Got)
+	}
+	if storeErr != nil {
+		if acct != nil {
+			acct.remoteErr = storeErr
+		}
+		return writeWriteVErr(conn, failed, storeErr)
+	}
+	scr.hdr[0] = statusOK
+	binary.BigEndian.PutUint32(scr.hdr[1:5], count)
+	_, werr := conn.Write(scr.hdr[:5])
+	return werr
+}
+
+// handleCrcV serves OpCrcV: freshly recomputed CRC-32Cs of store
+// content for each range, no payload. The sidecar is deliberately NOT
+// consulted — recomputing from the bytes on the store is what lets
+// Volume.Scrub catch rot that happened after the write landed. The read
+// rate limit still applies (the store bytes are read), which is exactly
+// the saving's shape: scrub pays disk-read time but not wire time.
+func (s *Server) handleCrcV(conn net.Conn, scr *connScratch, acct *opAcct) error {
+	vecs, total, err := s.readVecList(conn, scr, acct, "crc")
+	if vecs == nil {
+		return err
+	}
+	frame := getFrame(1 + 4*len(vecs))
+	defer putFrame(frame)
+	buf := getFrame(0)
+	defer putFrame(buf)
+	for i, v := range vecs {
+		var crc uint32
+		if s.direct != nil {
+			if p, ok := s.direct.Slice(v.Off, int64(v.Len)); ok {
+				crc = crc32c.Sum(p)
+				binary.BigEndian.PutUint32((*frame)[1+4*i:], crc)
+				continue
+			}
+		}
+		if cap(*buf) < v.Len {
+			*buf = make([]byte, v.Len)
+		}
+		*buf = (*buf)[:v.Len]
+		if _, err := s.store.ReadAt(*buf, v.Off); err != nil {
+			return s.reply(conn, acct, err)
+		}
+		crc = crc32c.Sum(*buf)
+		binary.BigEndian.PutUint32((*frame)[1+4*i:], crc)
+	}
+	if s.readRate != nil {
+		s.readRate.wait(int(total))
+	}
+	if acct != nil {
+		acct.out += int64(4 * len(vecs))
+	}
+	(*frame)[0] = statusOK
+	_, werr := conn.Write(*frame)
+	return werr
+}
+
+// --- CRC sidecar ------------------------------------------------------
+
+// rangeCRC returns the checksum OpReadVC carries for one range: the
+// write-time sidecar entry when the range is exactly one valid block
+// (end-to-end coverage — rot in the store shows up as a client-side
+// mismatch), else a fresh CRC of data (wire-only coverage).
+func (s *Server) rangeCRC(v Vec, data []byte) uint32 {
+	if b := s.crcBlock; b > 0 && v.Off%b == 0 && int64(v.Len) == b {
+		idx := v.Off / b
+		s.crcMu.Lock()
+		if s.crcValid[idx>>6]&(1<<(idx&63)) != 0 {
+			crc := s.crcSums[idx]
+			s.crcMu.Unlock()
+			return crc
+		}
+		s.crcMu.Unlock()
+	}
+	return crc32c.Sum(data)
+}
+
+// noteWrite maintains the sidecar for a write of p at off: block-aligned
+// writes store fresh per-block CRCs (reusing the verified carried CRC
+// for the exactly-one-block case, which is what the cluster sends, so
+// the common path never checksums twice); unaligned writes invalidate
+// every block they touch. Called with the write already applied.
+func (s *Server) noteWrite(off int64, p []byte, known uint32, haveKnown bool) {
+	b := s.crcBlock
+	if b == 0 {
+		return
+	}
+	n := int64(len(p))
+	if off%b != 0 || n%b != 0 {
+		s.invalidateCRC(off, n)
+		return
+	}
+	if n == b && haveKnown {
+		s.setCRC(off/b, known)
+		return
+	}
+	for blk := int64(0); blk < n/b; blk++ {
+		s.setCRC(off/b+blk, crc32c.Sum(p[blk*b:(blk+1)*b]))
+	}
+}
+
+func (s *Server) setCRC(idx int64, crc uint32) {
+	s.crcMu.Lock()
+	s.crcSums[idx] = crc
+	s.crcValid[idx>>6] |= 1 << (idx & 63)
+	s.crcMu.Unlock()
+}
+
+// invalidateCRC clears the validity bit of every block overlapping
+// [off, off+n): the sidecar no longer describes those bytes.
+func (s *Server) invalidateCRC(off, n int64) {
+	b := s.crcBlock
+	if b == 0 || n <= 0 {
+		return
+	}
+	first, last := off/b, (off+n-1)/b
+	s.crcMu.Lock()
+	for idx := first; idx <= last; idx++ {
+		s.crcValid[idx>>6] &^= 1 << (idx & 63)
+	}
+	s.crcMu.Unlock()
+}

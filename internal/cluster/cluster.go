@@ -109,6 +109,16 @@ type Config struct {
 	// exists for A/B measurement (examples/writebench, smtool
 	// -nowritebatch); leave it false in production.
 	DisableWriteBatch bool
+	// WireCRC turns on end-to-end integrity: every backend dial
+	// negotiates blockserver.FeatureCRC, element reads and writes travel
+	// as CRC-carrying frames verified at both ends, a read whose every
+	// surviving copy fails its checksum surfaces ErrScrubMismatch
+	// instead of corrupt bytes, and Scrub compares replicas by checksum
+	// (OpCrcV) instead of shipping both copies. Backends that predate or
+	// did not enable the feature degrade gracefully to the plain opcodes
+	// per connection. Element-granular range merging is disabled so
+	// every range maps to one sidecar block on the server.
+	WireCRC bool
 	// Tracer, when set, receives one obs.Event per cluster lifecycle
 	// operation (fail, auto_fail, replace_backend, rebuild_slice,
 	// rebuild, scrub). It runs inline and must be concurrency-safe.

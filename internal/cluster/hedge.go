@@ -65,6 +65,11 @@ func (v *Volume) readVecs(ctx context.Context, id raid.DiskID, vecs []blockserve
 	})
 	if err == nil {
 		v.stats.fetchLat.Observe(time.Since(start))
+	} else if blockserver.IsCRC(err) {
+		// The backend's bytes failed their checksum at this client; the
+		// fetch engine fails the spans over to a replica like any other
+		// error, but the corruption itself is worth its own counter.
+		v.stats.crcReadErrors.Inc()
 	}
 	return err
 }

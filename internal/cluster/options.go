@@ -21,11 +21,30 @@ func WithGeometry(elementSize int64, stripes int) Option {
 }
 
 // WithTimeouts sets the per-connection dial and per-operation timeouts.
-func WithTimeouts(dial, op time.Duration) Option {
+// The optional probe durations tune the dead-backend recovery cadence,
+// which used to be reachable only through Config: probe[0] is the base
+// interval before a dead backend is probed again (Config.ProbeEvery)
+// and probe[1] caps its exponential backoff (Config.MaxProbe).
+func WithTimeouts(dial, op time.Duration, probe ...time.Duration) Option {
 	return func(c *Config) {
 		c.DialTimeout = dial
 		c.OpTimeout = op
+		if len(probe) > 0 {
+			c.ProbeEvery = probe[0]
+		}
+		if len(probe) > 1 {
+			c.MaxProbe = probe[1]
+		}
 	}
+}
+
+// WithWireCRC toggles end-to-end CRC-32C integrity on the wire path:
+// per-element checksums carried in the vector opcodes, verified at the
+// client on read and the server on write, and a Scrub fast path that
+// compares replicas by checksum instead of shipping both copies. See
+// Config.WireCRC.
+func WithWireCRC(enabled bool) Option {
+	return func(c *Config) { c.WireCRC = enabled }
 }
 
 // WithHedging enables hedged user reads: a backend that exceeds the

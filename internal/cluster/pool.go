@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -38,6 +39,13 @@ type pool struct {
 
 	slots chan struct{} // semaphore: cap = cfg.PoolSize
 
+	// closeCtx is cancelled by close() so an in-flight dial — typically
+	// a recovery probe against an unreachable backend, which would
+	// otherwise sit out its full DialTimeout — aborts immediately and no
+	// probing goroutine outlives shutdown.
+	closeCtx    context.Context
+	cancelClose context.CancelFunc
+
 	mu         sync.Mutex
 	idle       []*blockserver.Client
 	closed     bool
@@ -54,22 +62,24 @@ func newPool(addr string, cfg Config, stats *poolStats) *pool {
 		stats = &poolStats{}
 	}
 	p := &pool{addr: addr, cfg: cfg, stats: stats, slots: make(chan struct{}, cfg.PoolSize)}
+	p.closeCtx, p.cancelClose = context.WithCancel(context.Background())
 	for i := 0; i < cfg.PoolSize; i++ {
 		p.slots <- struct{}{}
 	}
 	return p
 }
 
-// close tears down idle connections; in-flight operations finish on
-// their own connections.
+// close tears down idle connections and aborts any dial in flight;
+// in-flight operations finish on their own connections.
 func (p *pool) close() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.closed = true
 	for _, c := range p.idle {
 		c.Close()
 	}
 	p.idle = nil
+	p.mu.Unlock()
+	p.cancelClose()
 }
 
 // isDead reports the fail-fast state: dead with the probe window still
@@ -136,7 +146,11 @@ func (p *pool) doCtx(ctx context.Context, fn func(context.Context, *blockserver.
 			continue
 		}
 		err = fn(ctx, c)
-		if err == nil || blockserver.IsRemote(err) {
+		// CRC verdicts and a missing CRC feature are served on a healthy,
+		// synchronized connection, exactly like remote errors: no retry
+		// (the bytes are bad, not the backend), no dead-marking.
+		if err == nil || blockserver.IsRemote(err) || blockserver.IsCRC(err) ||
+			errors.Is(err, blockserver.ErrNoCRC) {
 			p.release(c)
 			p.noteSuccess()
 			if err != nil {
@@ -204,9 +218,21 @@ func (p *pool) acquire(ctx context.Context) (*blockserver.Client, error) {
 	}
 	p.mu.Unlock()
 	p.stats.dials.Inc()
-	return blockserver.DialContext(ctx, p.addr, blockserver.Config{
+	// The dial obeys both the caller's context and pool shutdown:
+	// close() cancelling closeCtx aborts a probe dial that would
+	// otherwise hang on an unreachable backend until DialTimeout.
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := context.AfterFunc(p.closeCtx, cancel)
+	defer stop()
+	var features byte
+	if p.cfg.WireCRC {
+		features = blockserver.FeatureCRC
+	}
+	return blockserver.DialContext(dctx, p.addr, blockserver.Config{
 		DialTimeout: p.cfg.DialTimeout,
 		OpTimeout:   p.cfg.OpTimeout,
+		Features:    features,
 	})
 }
 

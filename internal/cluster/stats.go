@@ -68,6 +68,10 @@ type HedgeStats struct {
 type ScrubStats struct {
 	Runs             int64 `json:"runs"`
 	ElementsCompared int64 `json:"elements_compared"`
+	// ChecksumCompared is the subset of ElementsCompared verified via
+	// the WireCRC OpCrcV fast path (4 bytes per element on the wire)
+	// instead of byte-for-byte content transfer.
+	ChecksumCompared int64 `json:"checksum_compared"`
 	SkippedDisks     int64 `json:"skipped_disks"`
 }
 
@@ -82,6 +86,11 @@ type Stats struct {
 	DegradedReads   int64 `json:"degraded_reads"`
 	Failovers       int64 `json:"failovers"`
 	AutoFailed      int64 `json:"auto_failed"`
+
+	// CRCReadErrors counts vectored reads whose payload failed its
+	// CRC-32C at the client (WireCRC mode): end-to-end corruption
+	// detections, each of which failed over to a replica.
+	CRCReadErrors int64 `json:"crc_read_errors"`
 
 	// WriteBatches counts OpWriteV frames issued by the write fan-out
 	// (user writes and rebuild write-back); WriteBatchElements the
@@ -113,6 +122,7 @@ func (v *Volume) Stats() Stats {
 		DegradedReads:   v.stats.degradedReads.Load(),
 		Failovers:       v.stats.failovers.Load(),
 		AutoFailed:      v.stats.autoFailed.Load(),
+		CRCReadErrors:   v.stats.crcReadErrors.Load(),
 
 		WriteBatches:       v.stats.writeBatches.Load(),
 		WriteBatchElements: v.stats.writeBatchElements.Load(),
@@ -130,6 +140,7 @@ func (v *Volume) Stats() Stats {
 		Scrub: ScrubStats{
 			Runs:             v.stats.scrubs.Load(),
 			ElementsCompared: v.stats.scrubElements.Load(),
+			ChecksumCompared: v.stats.scrubCRCElements.Load(),
 			SkippedDisks:     v.stats.scrubSkipped.Load(),
 		},
 		Hedge: HedgeStats{
@@ -218,8 +229,12 @@ func (v *Volume) RegisterMetrics(reg *obs.Registry) {
 		"Completed scrub passes.", &st.scrubs)
 	reg.RegisterCounter("sm_cluster_scrub_elements_compared_total",
 		"Replica elements compared against their data element across all scrubs.", &st.scrubElements)
+	reg.RegisterCounter("sm_cluster_scrub_checksum_elements_total",
+		"Replica elements verified via the OpCrcV checksum fast path across all scrubs.", &st.scrubCRCElements)
 	reg.RegisterCounter("sm_cluster_scrub_skipped_disks_total",
 		"Disks skipped (failed or unreachable) across all scrubs.", &st.scrubSkipped)
+	reg.RegisterCounter("sm_cluster_crc_read_errors_total",
+		"Vectored reads whose payload failed its CRC-32C at the client (end-to-end corruption detections).", &st.crcReadErrors)
 	reg.RegisterCounter("sm_cluster_hedge_attempts_total",
 		"Hedge timers that fired (primary exceeded the adaptive delay).", &st.hedgeAttempts)
 	reg.RegisterCounter("sm_cluster_hedge_wins_total",

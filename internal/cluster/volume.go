@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -35,6 +36,10 @@ type span struct {
 	buf               []byte
 	src               int      // index into the element's location list
 	loc               location // chosen location for the current round
+	// lastErr is the error that failed the span's most recent location,
+	// kept so exhaustion can be diagnosed: every copy failing its CRC is
+	// corruption (ErrScrubMismatch), not data loss.
+	lastErr error
 }
 
 // Volume is a networked mirror-family block device: the element layout
@@ -77,7 +82,13 @@ type volumeStats struct {
 	rebuildActive                 obs.Gauge // rebuilds currently in flight
 	scrubs                        obs.Counter
 	scrubElements                 obs.Counter // replica elements compared across all scrubs
+	scrubCRCElements              obs.Counter // subset compared by checksum (OpCrcV fast path)
 	scrubSkipped                  obs.Counter // disks skipped across all scrubs
+
+	// crcReadErrors counts vectored reads whose payload failed its
+	// CRC-32C at this client — end-to-end corruption detections on the
+	// read path (WireCRC mode only).
+	crcReadErrors obs.Counter
 
 	// Write-batching accounting: writeBatches counts OpWriteV frames
 	// issued by the write fan-out (user writes and rebuild write-back);
@@ -336,6 +347,14 @@ func (v *Volume) fetchSpans(ctx context.Context, spans []*span, kind fetchKind) 
 				s.src++
 			}
 			if s.src >= len(locs) {
+				// Every location is exhausted. If the last copy died on a
+				// checksum verdict the bytes exist but are rotten — that is
+				// corruption, not data loss, and retrying other replicas
+				// already happened (CRC failures fail over like any other).
+				if blockserver.IsCRC(s.lastErr) {
+					return fmt.Errorf("%w: every copy of data[%d] stripe %d row %d failed its checksum",
+						ErrScrubMismatch, s.disk, s.stripe, s.row)
+				}
 				return fmt.Errorf("%w: data[%d] stripe %d row %d", ErrDataLoss, s.disk, s.stripe, s.row)
 			}
 			s.loc = locs[s.src]
@@ -392,6 +411,10 @@ func (v *Volume) fetchGroup(ctx context.Context, id raid.DiskID, spans []*span, 
 		if err := v.readBatch(ctx, id, spans[start:end], hedged); err != nil {
 			// This batch and everything after it fails over together; the
 			// pool has already retried and possibly marked the backend dead.
+			// Record why, so exhaustion can tell corruption from loss.
+			for _, s := range spans[start:] {
+				s.lastErr = err
+			}
 			return spans[start:]
 		}
 	}
@@ -624,7 +647,9 @@ func buffersAdjacent(a, b []byte) bool {
 // Ops adjacent in both store offset and memory — rebuild write-back's
 // normal case, where a slice's recovered elements are consecutive
 // subslices of one buffer bound for consecutive store rows — merge into
-// a single wire range.
+// a single wire range. Under WireCRC merging is disabled: each range
+// must stay exactly one element so its checksum maps onto one server
+// sidecar block.
 func (v *Volume) packFrames(group []writeOp) []wframe {
 	sort.Slice(group, func(i, j int) bool { return group[i].off < group[j].off })
 	var frames []wframe
@@ -642,7 +667,7 @@ func (v *Volume) packFrames(group []writeOp) []wframe {
 		if len(cur.ops) > 0 {
 			last := len(cur.vecs) - 1
 			lv := cur.vecs[last]
-			if lv.Off+int64(lv.Len) == op.off && curBytes+opLen <= blockserver.MaxIOSize &&
+			if !v.cfg.WireCRC && lv.Off+int64(lv.Len) == op.off && curBytes+opLen <= blockserver.MaxIOSize &&
 				buffersAdjacent(cur.data[last], op.data) {
 				cur.vecs[last].Len += len(op.data)
 				cur.data[last] = cur.data[last][:len(cur.data[last])+len(op.data)]
@@ -918,6 +943,12 @@ type ScrubReport struct {
 	// ElementsCompared counts replica elements checked against their
 	// data element.
 	ElementsCompared int64
+	// ChecksumCompared is the subset of ElementsCompared verified by
+	// CRC-32C comparison (the WireCRC OpCrcV fast path, which ships 4
+	// bytes per element instead of the element itself). The server
+	// recomputes each checksum from the store, so silent rot is still
+	// caught; only identical corruption of both copies can hide.
+	ChecksumCompared int64
 	// Skipped lists disks whose content went (at least partly)
 	// unverified: failed disks awaiting rebuild, and backends that were
 	// unreachable for at least one stripe batch.
@@ -946,6 +977,117 @@ func (v *Volume) readStore(ctx context.Context, id raid.DiskID, buf []byte, off 
 	return nil
 }
 
+// readStoreCRCs fetches the CRC-32C of the len(out) consecutive
+// elements starting at store offset off on one backend, in requests
+// bounded by MaxBatch ranges and MaxIOSize covered bytes (the server
+// reads every range to checksum it, so the I/O budget applies even
+// though only 4 bytes per element travel back).
+func (v *Volume) readStoreCRCs(ctx context.Context, id raid.DiskID, out []uint32, off int64) error {
+	perReq := v.cfg.MaxBatch
+	if byBytes := int(blockserver.MaxIOSize / v.elementSize); byBytes < perReq {
+		perReq = byBytes
+	}
+	if perReq < 1 {
+		perReq = 1
+	}
+	vecs := make([]blockserver.Vec, 0, perReq)
+	for at := 0; at < len(out); at += perReq {
+		end := at + perReq
+		if end > len(out) {
+			end = len(out)
+		}
+		vecs = vecs[:0]
+		for i := at; i < end; i++ {
+			vecs = append(vecs, blockserver.Vec{Off: off + int64(i)*v.elementSize, Len: int(v.elementSize)})
+		}
+		chunk := out[at:end]
+		err := v.pools[id].doCtx(ctx, func(ctx context.Context, c *blockserver.Client) error {
+			return c.CrcV(ctx, vecs, chunk)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scrubBatchCRC verifies one stripe batch by checksum: one OpCrcV
+// gather per healthy disk, then the same data-versus-replica sweep as
+// the byte path over 4-byte sums instead of elementSize buffers. It
+// reports done=false — without consuming the batch — when any backend
+// answers ErrNoCRC, so Scrub can redo the batch byte-for-byte.
+func (v *Volume) scrubBatchCRC(ctx context.Context, report *ScrubReport, disks []raid.DiskID, skipped map[raid.DiskID]bool, s0, s1 int) (done bool, err error) {
+	rowBytes := int64(v.n) * v.elementSize
+	elems := (s1 - s0) * v.n
+	sums := map[raid.DiskID][]uint32{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var remoteErr error
+	noCRC := false
+	for _, id := range disks {
+		if !v.available(id, s1-1) && !v.available(id, s0) {
+			skipped[id] = true
+			continue
+		}
+		wg.Add(1)
+		go func(id raid.DiskID) {
+			defer wg.Done()
+			out := make([]uint32, elems)
+			err := v.readStoreCRCs(ctx, id, out, int64(s0)*rowBytes)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				sums[id] = out
+			case errors.Is(err, blockserver.ErrNoCRC):
+				noCRC = true
+			case blockserver.IsRemote(err):
+				if remoteErr == nil {
+					remoteErr = fmt.Errorf("cluster: scrub crc on %v: %w", id, err)
+				}
+			default:
+				skipped[id] = true // unreachable: skip, like a failed disk
+			}
+		}(id)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if noCRC {
+		return false, nil
+	}
+	if remoteErr != nil {
+		return false, remoteErr
+	}
+	for stripe := s0; stripe < s1; stripe++ {
+		base := (stripe - s0) * v.n
+		for disk := 0; disk < v.n; disk++ {
+			for row := 0; row < v.n; row++ {
+				locs := v.locations(disk, row)
+				data, ok := sums[locs[0].id]
+				if !ok || !v.available(locs[0].id, stripe) {
+					continue
+				}
+				want := data[base+row]
+				for _, loc := range locs[1:] {
+					repl, ok := sums[loc.id]
+					if !ok || !v.available(loc.id, stripe) {
+						continue
+					}
+					if repl[base+loc.row] != want {
+						return false, fmt.Errorf("%w: %v of data[%d] stripe %d row %d (checksum)",
+							ErrScrubMismatch, loc.id, disk, stripe, row)
+					}
+					report.ElementsCompared++
+					report.ChecksumCompared++
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
 // Scrub streams every healthy disk's content stripe-batch by
 // stripe-batch and verifies each replica against its data element,
 // returning ErrScrubMismatch (wrapped with the first divergence) on
@@ -955,6 +1097,13 @@ func (v *Volume) readStore(ctx context.Context, id raid.DiskID, buf []byte, off 
 // surfaced as a wrapped ErrDegraded alongside the (still valid) report:
 // the pass compared what it could, but "clean" cannot be claimed for
 // the whole volume. ctx cancels the pass between reads and mid-frame.
+//
+// With Config.WireCRC the pass compares checksums instead of bytes:
+// each batch ships one OpCrcV per disk (4 bytes per element on the
+// wire, recomputed server-side so rot is still caught) rather than the
+// disks' full content. A backend that did not negotiate the CRC
+// feature flips the whole pass back to byte comparison — mixing modes
+// across batches would make coverage claims incoherent.
 func (v *Volume) Scrub(ctx context.Context) (ScrubReport, error) {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
@@ -963,6 +1112,7 @@ func (v *Volume) Scrub(ctx context.Context) (ScrubReport, error) {
 	disks := v.arch.Disks()
 	rowBytes := int64(v.n) * v.elementSize
 	skipped := map[raid.DiskID]bool{}
+	crcMode := v.cfg.WireCRC
 	for s0 := 0; s0 < v.stripes; s0 += batch {
 		if err := ctx.Err(); err != nil {
 			return report, err
@@ -970,6 +1120,18 @@ func (v *Volume) Scrub(ctx context.Context) (ScrubReport, error) {
 		s1 := s0 + batch
 		if s1 > v.stripes {
 			s1 = v.stripes
+		}
+		if crcMode {
+			done, err := v.scrubBatchCRC(ctx, &report, disks, skipped, s0, s1)
+			if err != nil {
+				return report, err
+			}
+			if done {
+				continue
+			}
+			// A backend predates or did not enable the CRC feature:
+			// re-verify this batch — and every later one — byte-for-byte.
+			crcMode = false
 		}
 		// One gather per disk for the whole stripe batch.
 		content := map[raid.DiskID][]byte{}
@@ -1039,6 +1201,7 @@ func (v *Volume) Scrub(ctx context.Context) (ScrubReport, error) {
 	sortDisks(report.Skipped)
 	v.stats.scrubs.Inc()
 	v.stats.scrubElements.Add(report.ElementsCompared)
+	v.stats.scrubCRCElements.Add(report.ChecksumCompared)
 	v.stats.scrubSkipped.Add(int64(len(report.Skipped)))
 	v.trace(obs.Event{Op: "scrub", Bytes: report.ElementsCompared * v.elementSize})
 	if len(report.Skipped) > 0 {

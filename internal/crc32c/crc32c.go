@@ -1,0 +1,151 @@
+// Package crc32c computes CRC-32C (Castagnoli) checksums for the wire
+// integrity path, with the same runtime kernel-selector shape as
+// internal/gf: every kernel is bit-identical, tests cross-check them,
+// and SetKernel lets benchmarks and the purego CI leg pin one.
+//
+// The "stdlib" kernel delegates to hash/crc32, which uses the SSE4.2
+// CRC32 instruction on amd64 and the ARMv8 CRC extension on arm64
+// (falling back to slicing-by-8 tables elsewhere). The "purego" kernel
+// is this package's own slicing-by-8 implementation — the portable
+// reference the hardware path is verified against.
+//
+// CRC-32C is the polynomial used by iSCSI, ext4, and btrfs for exactly
+// this job: cheap enough to fold into a memory copy, strong enough to
+// catch the bit flips block storage actually sees.
+package crc32c
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sync/atomic"
+)
+
+// Kernel identifies one implementation of Sum/Update. All kernels
+// compute bit-identical CRC-32C values.
+type Kernel int32
+
+const (
+	// KernelAuto selects the fastest kernel available on this machine.
+	KernelAuto Kernel = iota
+	// KernelPurego is the package's own slicing-by-8 table kernel: pure
+	// Go, no dependency on hash/crc32's dispatch. Tests force it to
+	// cross-check the stdlib path.
+	KernelPurego
+	// KernelStdlib delegates to hash/crc32's Castagnoli path, which is
+	// hardware-accelerated (SSE4.2 / ARMv8 CRC) where the CPU allows.
+	KernelStdlib
+)
+
+var kernelNames = map[Kernel]string{
+	KernelAuto:   "auto",
+	KernelPurego: "purego",
+	KernelStdlib: "stdlib",
+}
+
+// String returns the kernel's short name.
+func (k Kernel) String() string {
+	if n, ok := kernelNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kernel(%d)", int32(k))
+}
+
+// Available reports whether kernel k can run on this machine. Both
+// concrete kernels are portable, so this exists for interface parity
+// with the gf selector (and future asm kernels).
+func (k Kernel) Available() bool {
+	switch k {
+	case KernelAuto, KernelPurego, KernelStdlib:
+		return true
+	}
+	return false
+}
+
+// Kernels returns every kernel usable on this machine, fastest first.
+func Kernels() []Kernel { return []Kernel{KernelStdlib, KernelPurego} }
+
+// activeKernel holds the Kernel in effect; it is never KernelAuto.
+// Atomic so tests can switch kernels while servers stream data through
+// the package.
+var activeKernel atomic.Int32
+
+// castagnoli is the stdlib's (possibly hardware-backed) table.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// slicing8 is the purego kernel's table set: slicing8[0] is the classic
+// byte-at-a-time table, slicing8[k] advances a CRC by k+1 zero bytes.
+var slicing8 [8][256]uint32
+
+func init() {
+	const poly = 0x82F63B78 // Castagnoli, reflected
+	for i := range slicing8[0] {
+		crc := uint32(i)
+		for b := 0; b < 8; b++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ poly
+			} else {
+				crc >>= 1
+			}
+		}
+		slicing8[0][i] = crc
+	}
+	for t := 1; t < 8; t++ {
+		for i := range slicing8[t] {
+			crc := slicing8[t-1][i]
+			slicing8[t][i] = slicing8[0][crc&0xff] ^ crc>>8
+		}
+	}
+	activeKernel.Store(int32(Kernels()[0]))
+}
+
+// SetKernel selects the kernel used by Sum and Update and returns the
+// kernel actually put in effect (KernelAuto resolves to the fastest
+// available). It panics if k is not available on this machine.
+func SetKernel(k Kernel) Kernel {
+	if k == KernelAuto {
+		k = Kernels()[0]
+	}
+	if !k.Available() {
+		panic(fmt.Sprintf("crc32c: kernel %v not available on this machine", k))
+	}
+	activeKernel.Store(int32(k))
+	return k
+}
+
+// ActiveKernel returns the kernel currently in effect.
+func ActiveKernel() Kernel { return Kernel(activeKernel.Load()) }
+
+// Sum returns the CRC-32C of p.
+func Sum(p []byte) uint32 { return Update(0, p) }
+
+// Update extends crc with p, matching hash/crc32's Update semantics:
+// Update(0, p) == Sum(p), and checksums compose over concatenation.
+func Update(crc uint32, p []byte) uint32 {
+	if ActiveKernel() == KernelPurego {
+		return updatePurego(crc, p)
+	}
+	return crc32.Update(crc, castagnoli, p)
+}
+
+// updatePurego is the slicing-by-8 loop: eight table lookups fold eight
+// input bytes per iteration, so the carry chain is one XOR tree instead
+// of eight dependent byte steps.
+func updatePurego(crc uint32, p []byte) uint32 {
+	crc = ^crc
+	for len(p) >= 8 {
+		crc ^= uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
+		crc = slicing8[7][crc&0xff] ^
+			slicing8[6][crc>>8&0xff] ^
+			slicing8[5][crc>>16&0xff] ^
+			slicing8[4][crc>>24] ^
+			slicing8[3][p[4]] ^
+			slicing8[2][p[5]] ^
+			slicing8[1][p[6]] ^
+			slicing8[0][p[7]]
+		p = p[8:]
+	}
+	for _, b := range p {
+		crc = slicing8[0][byte(crc)^b] ^ crc>>8
+	}
+	return ^crc
+}

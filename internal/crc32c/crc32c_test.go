@@ -1,0 +1,99 @@
+package crc32c
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+// withKernel runs f once per available kernel, restoring the previous
+// selection afterwards.
+func withKernel(t *testing.T, f func(t *testing.T, k Kernel)) {
+	t.Helper()
+	prev := ActiveKernel()
+	defer SetKernel(prev)
+	for _, k := range Kernels() {
+		SetKernel(k)
+		t.Run(k.String(), func(t *testing.T) { f(t, k) })
+	}
+}
+
+// TestKnownVectors checks the classic CRC-32C test vector and a few
+// fixed strings against precomputed values.
+func TestKnownVectors(t *testing.T) {
+	vectors := []struct {
+		in   string
+		want uint32
+	}{
+		{"", 0x00000000},
+		{"a", 0xC1D04330},
+		{"123456789", 0xE3069283}, // the canonical check value
+		{"The quick brown fox jumps over the lazy dog", 0x22620404},
+	}
+	withKernel(t, func(t *testing.T, k Kernel) {
+		for _, v := range vectors {
+			if got := Sum([]byte(v.in)); got != v.want {
+				t.Errorf("Sum(%q) = %#08x, want %#08x", v.in, got, v.want)
+			}
+		}
+	})
+}
+
+// TestKernelsAgree cross-checks every kernel against hash/crc32 on
+// random inputs of awkward lengths and alignments.
+func TestKernelsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	table := crc32.MakeTable(crc32.Castagnoli)
+	buf := make([]byte, 4096)
+	rng.Read(buf)
+	withKernel(t, func(t *testing.T, k Kernel) {
+		for trial := 0; trial < 200; trial++ {
+			off := rng.Intn(32)
+			n := rng.Intn(len(buf) - off)
+			p := buf[off : off+n]
+			if got, want := Sum(p), crc32.Checksum(p, table); got != want {
+				t.Fatalf("kernel %v: Sum(len=%d off=%d) = %#08x, want %#08x", k, n, off, got, want)
+			}
+		}
+	})
+}
+
+// TestUpdateComposes checks that Update over a split input equals Sum
+// over the whole, for every split point of a fixed buffer.
+func TestUpdateComposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	buf := make([]byte, 257)
+	rng.Read(buf)
+	withKernel(t, func(t *testing.T, k Kernel) {
+		want := Sum(buf)
+		for cut := 0; cut <= len(buf); cut++ {
+			if got := Update(Sum(buf[:cut]), buf[cut:]); got != want {
+				t.Fatalf("kernel %v: Update split at %d = %#08x, want %#08x", k, cut, got, want)
+			}
+		}
+	})
+}
+
+func TestSetKernelResolvesAuto(t *testing.T) {
+	prev := ActiveKernel()
+	defer SetKernel(prev)
+	if got := SetKernel(KernelAuto); got != Kernels()[0] {
+		t.Fatalf("SetKernel(Auto) = %v, want %v", got, Kernels()[0])
+	}
+}
+
+func BenchmarkSum(b *testing.B) {
+	buf := make([]byte, 64<<10)
+	rand.New(rand.NewSource(1)).Read(buf)
+	prev := ActiveKernel()
+	defer SetKernel(prev)
+	for _, k := range Kernels() {
+		SetKernel(k)
+		b.Run(k.String(), func(b *testing.B) {
+			b.SetBytes(int64(len(buf)))
+			for i := 0; i < b.N; i++ {
+				Sum(buf)
+			}
+		})
+	}
+}

@@ -73,6 +73,18 @@ func (m *MemStore) WriteAt(p []byte, off int64) (int, error) {
 // Size implements BackingStore.
 func (m *MemStore) Size() int64 { return int64(len(m.buf)) }
 
+// Slice exposes the store's memory for [off, off+n), implementing
+// blockserver.DirectStore so a server can move payloads between the
+// socket and the store without an intermediate copy. The slice aliases
+// the same bytes ReadAt/WriteAt operate on and stays valid for the
+// store's lifetime.
+func (m *MemStore) Slice(off, n int64) ([]byte, bool) {
+	if off < 0 || n < 0 || off+n > int64(len(m.buf)) {
+		return nil, false
+	}
+	return m.buf[off : off+n : off+n], true
+}
+
 // Device is a logical block device over a mirror-family architecture.
 // All methods are safe for concurrent use.
 type Device struct {

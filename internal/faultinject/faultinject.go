@@ -39,12 +39,18 @@ type Config struct {
 	// ErrEvery makes every k-th read fail with an injected error after
 	// its delays. 0 disables error injection.
 	ErrEvery int
+	// CorruptEvery makes every k-th read succeed with silently corrupted
+	// data: the payload's first byte is flipped after the inner read.
+	// This models bit rot the store itself never notices — the scenario
+	// the wire path's CRC mode exists to catch. 0 disables corruption.
+	CorruptEvery int
 }
 
 // Counts reports what a Store has injected so far.
 type Counts struct {
 	Reads, Writes  int64
 	Stalls, Errors int64
+	Corruptions    int64
 }
 
 // Store is a blockserver.Store with faults layered on top of an inner
@@ -58,6 +64,7 @@ type Store struct {
 
 	reads, writes  atomic.Int64
 	stalls, errors atomic.Int64
+	corruptions    atomic.Int64
 }
 
 // Wrap layers cfg's faults over inner.
@@ -68,10 +75,11 @@ func Wrap(inner blockserver.Store, cfg Config) *Store {
 // Counts returns the injection counters.
 func (s *Store) Counts() Counts {
 	return Counts{
-		Reads:  s.reads.Load(),
-		Writes: s.writes.Load(),
-		Stalls: s.stalls.Load(),
-		Errors: s.errors.Load(),
+		Reads:       s.reads.Load(),
+		Writes:      s.writes.Load(),
+		Stalls:      s.stalls.Load(),
+		Errors:      s.errors.Load(),
+		Corruptions: s.corruptions.Load(),
 	}
 }
 
@@ -95,7 +103,12 @@ func (s *Store) ReadAt(p []byte, off int64) (int, error) {
 		s.errors.Add(1)
 		return 0, fmt.Errorf("faultinject: injected read error (op %d)", n)
 	}
-	return s.inner.ReadAt(p, off)
+	rn, err := s.inner.ReadAt(p, off)
+	if err == nil && rn > 0 && s.cfg.CorruptEvery > 0 && n%int64(s.cfg.CorruptEvery) == 0 {
+		s.corruptions.Add(1)
+		p[0] ^= 0xFF
+	}
+	return rn, err
 }
 
 // WriteAt delays per the config, then writes through.
@@ -113,7 +126,7 @@ func (s *Store) Size() int64 { return s.inner.Size() }
 // ParseSpec parses a comma-separated k=v fault spec, the format smtool
 // servedisk -inject takes:
 //
-//	delay=5ms,jitter=2ms,stall=100ms,stallevery=8,errevery=0,seed=7,writedelay=1ms
+//	delay=5ms,jitter=2ms,stall=100ms,stallevery=8,errevery=0,corruptevery=0,seed=7,writedelay=1ms
 //
 // Unknown keys are errors; an empty spec is the zero Config.
 func ParseSpec(spec string) (Config, error) {
@@ -139,6 +152,8 @@ func ParseSpec(spec string) (Config, error) {
 			cfg.StallEvery, err = strconv.Atoi(v)
 		case "errevery":
 			cfg.ErrEvery, err = strconv.Atoi(v)
+		case "corruptevery":
+			cfg.CorruptEvery, err = strconv.Atoi(v)
 		case "writedelay":
 			cfg.WriteDelay, err = time.ParseDuration(v)
 		case "seed":

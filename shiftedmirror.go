@@ -380,9 +380,34 @@ func WithGeometry(elementSize int64, stripes int) Option {
 }
 
 // WithTimeouts sets the cluster volume's per-connection dial timeout
-// and per-operation timeout. Volume side only.
-func WithTimeouts(dial, op time.Duration) Option {
-	return Option{cluster: cluster.WithTimeouts(dial, op)}
+// and per-operation timeout. The optional probe durations tune the
+// dead-backend recovery cadence: probe[0] is the base interval before
+// a dead backend is probed again and probe[1] caps its exponential
+// backoff. Volume side only.
+func WithTimeouts(dial, op time.Duration, probe ...time.Duration) Option {
+	return Option{cluster: cluster.WithTimeouts(dial, op, probe...)}
+}
+
+// WithWireCRC turns on end-to-end CRC-32C integrity on the wire path.
+// Pass the volume's element size as blockSize (0 disables). On a
+// served device it sizes the server's checksum sidecar — one CRC per
+// blockSize bytes, verified on CRC-carrying writes and served on
+// CRC-carrying reads. On a cluster volume it makes every backend dial
+// negotiate the CRC feature: element reads and writes travel as
+// checksummed frames verified at both ends, a read whose every
+// surviving copy fails its checksum surfaces ErrScrubMismatch instead
+// of corrupt bytes, and Scrub compares replicas by checksum instead of
+// shipping both copies. Backends without the feature degrade
+// gracefully to the plain opcodes. Applies to both sides.
+func WithWireCRC(blockSize int64) Option {
+	return Option{
+		cluster: cluster.WithWireCRC(blockSize > 0),
+		server: func(sc *serverConfig) {
+			if blockSize > 0 {
+				sc.opts = append(sc.opts, blockserver.WithCRC(blockSize))
+			}
+		},
+	}
 }
 
 // WithHedging enables hedged reads on a cluster volume: a backend that
