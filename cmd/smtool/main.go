@@ -10,6 +10,7 @@
 //	search    -n 3 -limit 4                    enumerate alternative valid arrangements
 //	servedisk -addr :9800 -size 1048576        serve one raw disk store over TCP
 //	cluster   -n 4 -fail data:0                run a networked volume end to end
+//	shard     -groups 3 -fail 1:data:0         run a sharded multi-group volume
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -33,6 +35,7 @@ import (
 	"shiftedmirror/internal/obs"
 	"shiftedmirror/internal/raid"
 	"shiftedmirror/internal/recon"
+	"shiftedmirror/internal/shard"
 	"shiftedmirror/internal/trace"
 	"shiftedmirror/internal/workload"
 )
@@ -68,6 +71,8 @@ func main() {
 		err = cmdServeDisk(os.Args[2:])
 	case "cluster":
 		err = cmdCluster(os.Args[2:])
+	case "shard":
+		err = cmdShard(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -82,7 +87,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: smtool <layout|plan|recon|verify|write|search|trace|mttdl|device|serve|servedisk|cluster> [flags]
+	fmt.Fprintln(os.Stderr, `usage: smtool <layout|plan|recon|verify|write|search|trace|mttdl|device|serve|servedisk|cluster|shard> [flags]
 run "smtool <subcommand> -h" for subcommand flags`)
 }
 
@@ -660,13 +665,201 @@ func cmdCluster(args []string) error {
 	if h.Rebuilds > 0 {
 		fmt.Printf("rebuilds: %d (%.1f MB at %.1f MB/s)\n", h.Rebuilds, float64(h.RebuildBytes)/1e6, h.RebuildMBps)
 	}
+	// The full Stats snapshot carries the sm_cluster_hedge_* totals the
+	// health struct does not; surface them alongside the pool counters so
+	// hedging effectiveness is visible without scraping metrics.
+	finalStats := v.Stats()
+	if hs := finalStats.Hedge; *hedge || hs.Attempts > 0 {
+		fmt.Printf("hedging: %d attempts, %d wins, %d losses, %d cancels\n",
+			hs.Attempts, hs.Wins, hs.Losses, hs.Cancels)
+	}
 	fmt.Printf("%-12s %-21s %5s %5s %8s %7s %5s %6s\n", "disk", "backend", "dead", "fail", "requests", "retries", "dials", "errors")
 	for _, b := range h.Backends {
 		fmt.Printf("%-12v %-21s %5v %5v %8d %7d %5d %6d\n",
 			b.ID, b.Addr, b.Dead, b.Failed, b.Requests, b.Retries, b.Dials, b.Errors)
 	}
 	if *statsJSON {
-		blob, err := json.MarshalIndent(v.Stats(), "", "  ")
+		// finalStats marshals the complete snapshot, hedge win/loss
+		// totals included (Stats.Hedge -> "hedge" in the JSON).
+		blob, err := json.MarshalIndent(finalStats, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s\n", blob)
+	}
+	return nil
+}
+
+// parseGroupFailures parses "1:data:0,2:mirror:1" into (group, disk)
+// pairs for the sharded volume.
+func parseGroupFailures(s string) ([]shard.GroupDisk, []raid.DiskID, error) {
+	var gds []shard.GroupDisk
+	var ids []raid.DiskID
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		gidStr, diskStr, ok := strings.Cut(item, ":")
+		if !ok {
+			return nil, nil, fmt.Errorf("bad failure spec %q (want group:role:index)", item)
+		}
+		gid, err := strconv.Atoi(gidStr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad group in failure spec %q: %w", item, err)
+		}
+		disks, err := raid.ParseDiskList(diskStr)
+		if err != nil || len(disks) != 1 {
+			return nil, nil, fmt.Errorf("bad disk in failure spec %q (want group:role:index)", item)
+		}
+		gds = append(gds, shard.GroupDisk{Group: gid, Disk: disks[0].String()})
+		ids = append(ids, disks[0])
+	}
+	return gds, ids, nil
+}
+
+func cmdShard(args []string) error {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	n := fs.Int("n", 3, "data disks per group")
+	arrName := fs.String("arrangement", "shifted", "shifted, traditional or iterated:K")
+	elementSize := fs.Int64("element", 4096, "element size in bytes")
+	stripes := fs.Int("stripes", 8, "stripes per group")
+	groups := fs.Int("groups", 3, "shifted-mirror groups striping the logical volume")
+	rates := fs.String("rates", "", "comma-separated per-group read caps in MB/s, e.g. 500,500,80 to mix SSD and HDD tiers (default: unthrottled)")
+	failSpec := fs.String("fail", "", "group:disk pairs to fail and rebuild via the scheduler, e.g. 1:data:0,2:data:1")
+	concurrency := fs.Int("concurrency", 2, "max groups the rebuild scheduler drives at once")
+	metricsAddr := fs.String("metrics", "", "serve Prometheus metrics on this address during the run (default: off)")
+	tableJSON := fs.Bool("table", false, "print the placement table as JSON")
+	statsJSON := fs.Bool("stats", false, "print the final ShardedVolume.Stats() snapshot as JSON")
+	fs.Parse(args)
+
+	arch, err := buildArch(*arrName, *n, false)
+	if err != nil {
+		return err
+	}
+	if *groups < 1 {
+		return fmt.Errorf("need at least one group")
+	}
+	groupRates := make([]float64, *groups)
+	if *rates != "" {
+		parts := strings.Split(*rates, ",")
+		if len(parts) != 1 && len(parts) != *groups {
+			return fmt.Errorf("%d rates for %d groups (give one per group, or one for all)", len(parts), *groups)
+		}
+		for i := range groupRates {
+			p := parts[0]
+			if len(parts) > 1 {
+				p = parts[i]
+			}
+			r, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return fmt.Errorf("bad rate %q: %w", p, err)
+			}
+			groupRates[i] = r
+		}
+	}
+
+	diskSize := int64(*stripes) * int64(*n) * *elementSize
+	backends := make([]map[raid.DiskID]string, *groups)
+	spawners := make([]func() (string, error), *groups)
+	for g := range backends {
+		backends[g], spawners[g], err = selfHostBackends(arch, diskSize, groupRates[g], 0)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("self-hosted %d groups × %d store servers (%d KiB per disk)\n",
+		*groups, len(backends[0]), diskSize/1024)
+
+	cfg := shard.Config{MaxConcurrentRebuilds: *concurrency}
+	if *metricsAddr != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	s, err := shard.Open(arch, backends, cfg, cluster.WithGeometry(*elementSize, *stripes))
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if cfg.Metrics != nil {
+		bound, closeMetrics, err := obs.Serve(*metricsAddr, cfg.Metrics)
+		if err != nil {
+			return err
+		}
+		defer closeMetrics()
+		fmt.Printf("metrics on http://%s/metrics\n", bound)
+	}
+	fmt.Printf("sharded volume: %s × %d groups, %d extents, %d KiB logical\n",
+		arch.Name(), *groups, len(s.ExtentTable()), s.Size()/1024)
+
+	payload := make([]byte, s.Size())
+	rand.New(rand.NewSource(1)).Read(payload)
+	if _, err := s.WriteAt(payload, 0); err != nil {
+		return err
+	}
+	rep, err := s.Scrub(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("filled; scrub clean (%d elements compared across %d groups)\n",
+		rep.ElementsCompared, *groups)
+
+	if *failSpec != "" {
+		gds, ids, err := parseGroupFailures(*failSpec)
+		if err != nil {
+			return err
+		}
+		for i, gd := range gds {
+			if err := s.Fail(gd.Group, ids[i]); err != nil {
+				return err
+			}
+			fmt.Printf("failed group %d %v\n", gd.Group, ids[i])
+		}
+		check := make([]byte, s.Size())
+		if _, err := s.ReadAt(check, 0); err != nil {
+			return fmt.Errorf("degraded read: %w", err)
+		}
+		if !bytes.Equal(check, payload) {
+			return fmt.Errorf("degraded read returned wrong data")
+		}
+		fmt.Println("degraded reads intact")
+		for i, gd := range gds {
+			addr, err := spawners[gd.Group]()
+			if err != nil {
+				return err
+			}
+			if err := s.ReplaceBackend(gd.Group, ids[i], addr); err != nil {
+				return err
+			}
+		}
+		// The scheduler orders groups most-incomplete-first and runs at
+		// most -concurrency of them at once.
+		start := time.Now()
+		if err := s.RebuildPending(context.Background()); err != nil {
+			return err
+		}
+		fmt.Printf("scheduler rebuilt %d disks in %v\n", len(gds), time.Since(start).Round(time.Millisecond))
+		if _, err := s.ReadAt(check, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(check, payload) {
+			return fmt.Errorf("post-rebuild read returned wrong data")
+		}
+		if _, err := s.Scrub(context.Background()); err != nil {
+			return fmt.Errorf("post-rebuild scrub: %w", err)
+		}
+		fmt.Println("post-rebuild scrub clean")
+	}
+
+	h := s.Health()
+	fmt.Printf("\nhealth: %d groups, %d KiB, devices %d online / %d dead / %d pending / %d rebuilding, max incompleteness %d stripes\n",
+		h.Groups, h.SizeBytes/1024, h.Devices.Online, h.Devices.Dead,
+		h.Devices.ReplacementPending, h.Devices.Rebuilding, h.Devices.MaxIncompleteness)
+	if *tableJSON {
+		blob, err := json.MarshalIndent(s.Placement().Snapshot(), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s\n", blob)
+	}
+	if *statsJSON {
+		blob, err := json.MarshalIndent(s.Stats(), "", "  ")
 		if err != nil {
 			return err
 		}

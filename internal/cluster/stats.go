@@ -193,80 +193,94 @@ func (v *Volume) ResetRebuildReads() {
 // series labeled disk="data[0]" etc. Call once per volume per registry
 // at setup time; exposition then reads the same atomics the data path
 // updates.
-func (v *Volume) RegisterMetrics(reg *obs.Registry) {
+//
+// The optional labels (key, value pairs) are appended to every series,
+// so several volumes can share one registry as long as the extra labels
+// tell them apart — internal/shard registers each stripe group with
+// group="0", group="1", … this way.
+func (v *Volume) RegisterMetrics(reg *obs.Registry, labels ...string) {
 	st := &v.stats
-	reg.RegisterCounter("sm_cluster_elements_read_total",
+	counter := func(name, help string, c *obs.Counter, kv ...string) {
+		reg.RegisterCounter(name, help, c, append(kv, labels...)...)
+	}
+	gauge := func(name, help string, g *obs.Gauge, kv ...string) {
+		reg.RegisterGauge(name, help, g, append(kv, labels...)...)
+	}
+	histogram := func(name, help string, h *obs.Histogram, kv ...string) {
+		reg.RegisterHistogram(name, help, h, append(kv, labels...)...)
+	}
+	counter("sm_cluster_elements_read_total",
 		"Logical data elements read.", &st.elementsRead)
-	reg.RegisterCounter("sm_cluster_elements_written_total",
+	counter("sm_cluster_elements_written_total",
 		"Logical data elements written.", &st.elementsWritten)
-	reg.RegisterCounter("sm_cluster_degraded_reads_total",
+	counter("sm_cluster_degraded_reads_total",
 		"Element reads served from a replica because the data disk was failed or unreachable.", &st.degradedReads)
-	reg.RegisterCounter("sm_cluster_failovers_total",
+	counter("sm_cluster_failovers_total",
 		"Element fetches re-routed to another backend after an I/O failure.", &st.failovers)
-	reg.RegisterCounter("sm_cluster_auto_failed_total",
+	counter("sm_cluster_auto_failed_total",
 		"Disks auto-failed by the write path after their backend stopped accepting writes.", &st.autoFailed)
-	reg.RegisterCounter("sm_cluster_write_batches_total",
+	counter("sm_cluster_write_batches_total",
 		"OpWriteV frames issued by the write fan-out (user writes and rebuild write-back).", &st.writeBatches)
-	reg.RegisterCounter("sm_cluster_write_batch_elements",
+	counter("sm_cluster_write_batch_elements",
 		"Element-copy ops carried by OpWriteV frames; divided by sm_cluster_write_batches_total this is elements per wire round trip.", &st.writeBatchElements)
-	reg.RegisterHistogram("sm_cluster_read_duration_seconds",
+	histogram("sm_cluster_read_duration_seconds",
 		"Volume.ReadAt wall time.", st.readLat)
-	reg.RegisterHistogram("sm_cluster_write_duration_seconds",
+	histogram("sm_cluster_write_duration_seconds",
 		"Volume.WriteAt wall time.", st.writeLat)
-	reg.RegisterGauge("sm_cluster_rebuilds_active",
+	gauge("sm_cluster_rebuilds_active",
 		"Rebuilds in flight.", &st.rebuildActive)
-	reg.RegisterCounter("sm_cluster_rebuilds_total",
+	counter("sm_cluster_rebuilds_total",
 		"Completed RebuildDisk runs.", &st.rebuilds)
-	reg.RegisterCounter("sm_cluster_rebuild_bytes_total",
+	counter("sm_cluster_rebuild_bytes_total",
 		"Bytes written to replacement backends by rebuilds.", &st.rebuildBytes)
-	reg.RegisterCounter("sm_cluster_rebuild_stripes_total",
+	counter("sm_cluster_rebuild_stripes_total",
 		"Stripes recovered by rebuilds (including re-recovery after watermark rollback).", &st.rebuildStripes)
-	reg.RegisterCounter("sm_cluster_rebuild_nanoseconds_total",
+	counter("sm_cluster_rebuild_nanoseconds_total",
 		"Wall time spent inside completed rebuilds, in nanoseconds.", &st.rebuildNanos)
-	reg.RegisterHistogram("sm_cluster_rebuild_slice_duration_seconds",
+	histogram("sm_cluster_rebuild_slice_duration_seconds",
 		"Per-slice rebuild wall time (one exclusive-lock hold).", st.sliceLat)
-	reg.RegisterCounter("sm_cluster_scrubs_total",
+	counter("sm_cluster_scrubs_total",
 		"Completed scrub passes.", &st.scrubs)
-	reg.RegisterCounter("sm_cluster_scrub_elements_compared_total",
+	counter("sm_cluster_scrub_elements_compared_total",
 		"Replica elements compared against their data element across all scrubs.", &st.scrubElements)
-	reg.RegisterCounter("sm_cluster_scrub_checksum_elements_total",
+	counter("sm_cluster_scrub_checksum_elements_total",
 		"Replica elements verified via the OpCrcV checksum fast path across all scrubs.", &st.scrubCRCElements)
-	reg.RegisterCounter("sm_cluster_scrub_skipped_disks_total",
+	counter("sm_cluster_scrub_skipped_disks_total",
 		"Disks skipped (failed or unreachable) across all scrubs.", &st.scrubSkipped)
-	reg.RegisterCounter("sm_cluster_crc_read_errors_total",
+	counter("sm_cluster_crc_read_errors_total",
 		"Vectored reads whose payload failed its CRC-32C at the client (end-to-end corruption detections).", &st.crcReadErrors)
-	reg.RegisterCounter("sm_cluster_hedge_attempts_total",
+	counter("sm_cluster_hedge_attempts_total",
 		"Hedge timers that fired (primary exceeded the adaptive delay).", &st.hedgeAttempts)
-	reg.RegisterCounter("sm_cluster_hedge_wins_total",
+	counter("sm_cluster_hedge_wins_total",
 		"Hedged reads served by the backup copy.", &st.hedgeWins)
-	reg.RegisterCounter("sm_cluster_hedge_losses_total",
+	counter("sm_cluster_hedge_losses_total",
 		"Hedged reads where the primary recovered before the backup.", &st.hedgeLosses)
-	reg.RegisterCounter("sm_cluster_hedge_cancels_total",
+	counter("sm_cluster_hedge_cancels_total",
 		"Hedge loser requests cancelled mid-flight.", &st.hedgeCancels)
-	reg.RegisterHistogram("sm_cluster_fetch_duration_seconds",
+	histogram("sm_cluster_fetch_duration_seconds",
 		"Per-backend vectored-read round trips (source of the adaptive hedge delay).", st.fetchLat)
 	for _, id := range v.arch.Disks() {
 		ds := st.perDisk[id]
 		label := id.String()
-		reg.RegisterCounter("sm_cluster_backend_requests_total",
+		counter("sm_cluster_backend_requests_total",
 			"Operations submitted to the backend.", &ds.pool.requests, "disk", label)
-		reg.RegisterCounter("sm_cluster_backend_retries_total",
+		counter("sm_cluster_backend_retries_total",
 			"Extra attempts after transport failures.", &ds.pool.retries, "disk", label)
-		reg.RegisterCounter("sm_cluster_backend_dials_total",
+		counter("sm_cluster_backend_dials_total",
 			"Connections opened to the backend.", &ds.pool.dials, "disk", label)
-		reg.RegisterCounter("sm_cluster_backend_errors_total",
+		counter("sm_cluster_backend_errors_total",
 			"Operations that ultimately failed.", &ds.pool.errors, "disk", label)
-		reg.RegisterCounter("sm_cluster_backend_poisoned_total",
+		counter("sm_cluster_backend_poisoned_total",
 			"Connections poisoned and closed by transport errors.", &ds.pool.poisoned, "disk", label)
-		reg.RegisterCounter("sm_cluster_backend_deaths_total",
+		counter("sm_cluster_backend_deaths_total",
 			"Alive-to-dead pool state transitions.", &ds.pool.deaths, "disk", label)
-		reg.RegisterCounter("sm_cluster_backend_revivals_total",
+		counter("sm_cluster_backend_revivals_total",
 			"Dead-to-alive pool state transitions (successful probes).", &ds.pool.revivals, "disk", label)
-		reg.RegisterGauge("sm_cluster_backend_dead",
+		gauge("sm_cluster_backend_dead",
 			"1 while the backend is marked dead.", &ds.pool.deadGauge, "disk", label)
-		reg.RegisterCounter("sm_cluster_rebuild_read_elements_total",
+		counter("sm_cluster_rebuild_read_elements_total",
 			"Elements this backend served as a source for other disks' rebuilds.", &ds.rebuildReads, "disk", label)
-		reg.RegisterGauge("sm_cluster_rebuild_watermark_stripes",
+		gauge("sm_cluster_rebuild_watermark_stripes",
 			"Disk availability frontier: Stripes when healthy, rebuild watermark while failed.", &ds.watermark, "disk", label)
 	}
 }

@@ -1,11 +1,13 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"shiftedmirror/internal/layout"
 	"shiftedmirror/internal/obs"
@@ -206,5 +208,107 @@ func TestResetRebuildReads(t *testing.T) {
 	counts, _ := rebuildReadCounts(t, layout.NewShifted(3), 4)
 	if len(counts) == 0 {
 		t.Fatal("no rebuild reads recorded")
+	}
+}
+
+// TestStatsReplaceBackendRace pins the snapshot-vs-lifecycle contract
+// under the race detector: Stats() and Health() take the volume's read
+// lock for the *full* snapshot (pool pointers, addresses, dead state,
+// and the per-disk-slot counters that survive ReplaceBackend), so
+// hammering them against concurrent ReplaceBackend calls — which close
+// and swap the pool under the exclusive lock while the slot's counters
+// carry over — and live I/O must be race-free and must never observe a
+// torn pools map.
+func TestStatsReplaceBackendRace(t *testing.T) {
+	arch := raid.NewMirror(layout.NewShifted(3))
+	v, backends := newTestVolume(t, arch, 64, 4)
+	payload := randomPayload(t, v, 99)
+
+	target := raid.DiskID{Role: raid.RoleMirror, Index: 1}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { // snapshotters
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			s := v.Stats()
+			if len(s.Backends) != len(arch.Disks()) {
+				t.Errorf("snapshot saw %d backends, want %d", len(s.Backends), len(arch.Disks()))
+				return
+			}
+			v.Health()
+		}
+	}()
+	go func() { // hook readers (the shard layer's polling surface)
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for _, id := range arch.Disks() {
+				v.Watermark(id)
+				v.BackendDead(id)
+				if _, ok := v.BackendAddr(id); !ok {
+					t.Errorf("disk %v lost its address", id)
+					return
+				}
+			}
+		}
+	}()
+	go func() { // backend swapper
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := v.ReplaceBackend(target, backends.replace(target)); err != nil {
+				t.Errorf("replace: %v", err)
+				return
+			}
+		}
+	}()
+	go func() { // live traffic on the other disks' elements
+		defer wg.Done()
+		buf := make([]byte, 256)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			v.ReadAt(buf, 0) // replaced backend may serve replicas; errors are fine here
+		}
+	}()
+	// Let the snapshotters and the swapper collide for a while.
+	time.Sleep(300 * time.Millisecond)
+	close(done)
+	wg.Wait()
+
+	// The swapped slot's replacement serves zeroes, so declare it failed
+	// and verify the volume still serves the original bytes.
+	if err := v.Fail(target); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, v.Size())
+	if _, err := v.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload diverged across concurrent snapshots and backend swaps")
+	}
+	s := v.Stats()
+	for _, b := range s.Backends {
+		if b.Disk == target.String() && b.Requests == 0 {
+			t.Fatal("per-slot counters did not survive ReplaceBackend")
+		}
 	}
 }

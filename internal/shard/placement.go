@@ -1,0 +1,287 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"shiftedmirror/internal/raid"
+)
+
+// DeviceState is one device slot's position in the placement state
+// machine, modeled on the per-device replica-table state NBS keeps for
+// mirrored disks:
+//
+//	online ──(content lost / backend unreachable)──▶ dead
+//	dead ──(fresh backend attached)──▶ replacement-pending
+//	replacement-pending ──(scheduler picks it)──▶ rebuilding
+//	rebuilding ──(rebuild completes)──▶ online
+//	rebuilding ──(rebuild fails)──▶ replacement-pending
+//
+// The states are what the rebuild scheduler keys on: only
+// replacement-pending devices are eligible (a dead device has nowhere
+// to rebuild to), and a group's priority grows with its count of
+// non-online devices and their incompleteness.
+type DeviceState int
+
+const (
+	// DeviceOnline: serving reads and writes, fully rebuilt.
+	DeviceOnline DeviceState = iota
+	// DeviceDead: content lost or backend unreachable; the group serves
+	// the slot's data from replicas. No rebuild can start until a
+	// replacement backend is attached.
+	DeviceDead
+	// DeviceReplacementPending: a fresh backend is attached and empty;
+	// the slot is waiting for the rebuild scheduler.
+	DeviceReplacementPending
+	// DeviceRebuilding: a RebuildDisk is copying data onto the
+	// replacement backend right now.
+	DeviceRebuilding
+)
+
+var deviceStateNames = [...]string{"online", "dead", "replacement-pending", "rebuilding"}
+
+func (s DeviceState) String() string {
+	if s < 0 || int(s) >= len(deviceStateNames) {
+		return fmt.Sprintf("DeviceState(%d)", int(s))
+	}
+	return deviceStateNames[s]
+}
+
+// MarshalJSON renders the state by name, so placement-table dumps read
+// as "rebuilding" rather than an enum ordinal.
+func (s DeviceState) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON parses the name form written by MarshalJSON.
+func (s *DeviceState) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for i, n := range deviceStateNames {
+		if n == name {
+			*s = DeviceState(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("shard: unknown device state %q", name)
+}
+
+// Device is one backend slot of the placement table: which group and
+// disk slot it serves, where it lives, its state, and how incomplete
+// its content is (stripes not yet recovered — 0 for a healthy disk).
+type Device struct {
+	Group int         `json:"group"`
+	Disk  string      `json:"disk"` // raid.DiskID string form, e.g. "data[0]"
+	Addr  string      `json:"addr"`
+	State DeviceState `json:"state"`
+	// Replacement mirrors NBS's IsReplacement: true from the moment a
+	// fresh backend is attached until its rebuild completes — the window
+	// in which the slot's content cannot be trusted beyond the watermark.
+	Replacement bool `json:"replacement,omitempty"`
+	// ReadRateMBps is the device's advertised read bandwidth (the
+	// WithReadRate throttle it is served under), the signal the
+	// capacity/bandwidth-aware planner keys on. 0 means unthrottled.
+	ReadRateMBps float64 `json:"read_rate_mbps,omitempty"`
+	// CapacityBytes is the device's raw capacity; 0 means unknown.
+	CapacityBytes int64 `json:"capacity_bytes,omitempty"`
+	// IncompleteStripes is stripes-not-yet-rebuilt: 0 when online,
+	// Stripes right after a failure, shrinking as the watermark advances.
+	IncompleteStripes int64 `json:"incomplete_stripes"`
+}
+
+// DeviceRollup aggregates the table the way NBS's
+// TMirroredDiskDevicesStat does: slot counts per state plus the worst
+// incompleteness, so one glance tells how exposed the volume is.
+type DeviceRollup struct {
+	Online             int   `json:"online"`
+	Dead               int   `json:"dead"`
+	ReplacementPending int   `json:"replacement_pending"`
+	Rebuilding         int   `json:"rebuilding"`
+	Replacements       int   `json:"replacements"`
+	MaxIncompleteness  int64 `json:"max_incompleteness"`
+}
+
+// devKey addresses one slot: a group and a disk slot within it.
+type devKey struct {
+	group int
+	disk  raid.DiskID
+}
+
+// PlacementTable tracks device→group assignment and per-device state
+// for a sharded volume. All methods are safe for concurrent use. It
+// serializes to JSON (see Snapshot) for smtool inspection.
+type PlacementTable struct {
+	mu      sync.RWMutex
+	devices map[devKey]*Device
+}
+
+func newPlacementTable() *PlacementTable {
+	return &PlacementTable{devices: map[devKey]*Device{}}
+}
+
+func (t *PlacementTable) add(group int, disk raid.DiskID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.devices[devKey{group, disk}] = &Device{
+		Group: group, Disk: disk.String(), Addr: addr, State: DeviceOnline,
+	}
+}
+
+func (t *PlacementTable) remove(group int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k := range t.devices {
+		if k.group == group {
+			delete(t.devices, k)
+		}
+	}
+}
+
+// mutate applies fn to one slot under the lock; missing slots are a
+// no-op (the group was removed underneath an async observer).
+func (t *PlacementTable) mutate(group int, disk raid.DiskID, fn func(*Device)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if d, ok := t.devices[devKey{group, disk}]; ok {
+		fn(d)
+	}
+}
+
+// Device returns a copy of one slot's entry.
+func (t *PlacementTable) Device(group int, disk raid.DiskID) (Device, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	d, ok := t.devices[devKey{group, disk}]
+	if !ok {
+		return Device{}, false
+	}
+	return *d, true
+}
+
+// SetDeviceInfo records a device's bandwidth and capacity signals —
+// the planner's inputs, carried in the table so smtool dumps show what
+// the placement was decided on.
+func (t *PlacementTable) SetDeviceInfo(group int, disk raid.DiskID, readRateMBps float64, capacityBytes int64) {
+	t.mutate(group, disk, func(d *Device) {
+		d.ReadRateMBps = readRateMBps
+		d.CapacityBytes = capacityBytes
+	})
+}
+
+// Devices returns every slot, sorted by group then disk role/index —
+// the stable order JSON dumps and tests rely on.
+func (t *PlacementTable) Devices() []Device {
+	t.mu.RLock()
+	out := make([]Device, 0, len(t.devices))
+	for _, d := range t.devices {
+		out = append(out, *d)
+	}
+	t.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Group != out[j].Group {
+			return out[i].Group < out[j].Group
+		}
+		return out[i].Disk < out[j].Disk
+	})
+	return out
+}
+
+// Rollup aggregates slot counts per state and the worst incompleteness.
+func (t *PlacementTable) Rollup() DeviceRollup {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var r DeviceRollup
+	for _, d := range t.devices {
+		switch d.State {
+		case DeviceOnline:
+			r.Online++
+		case DeviceDead:
+			r.Dead++
+		case DeviceReplacementPending:
+			r.ReplacementPending++
+		case DeviceRebuilding:
+			r.Rebuilding++
+		}
+		if d.Replacement {
+			r.Replacements++
+		}
+		if d.IncompleteStripes > r.MaxIncompleteness {
+			r.MaxIncompleteness = d.IncompleteStripes
+		}
+	}
+	return r
+}
+
+// groupPressure summarizes one group's rebuild urgency.
+type groupPressure struct {
+	group      int
+	incomplete int // devices not online
+	pending    []raid.DiskID
+	stripes    int64 // summed incompleteness
+}
+
+// pressure returns per-group urgency, keyed for the scheduler: how many
+// devices are not online, which of them are actionable
+// (replacement-pending), and the summed incompleteness.
+func (t *PlacementTable) pressure() []groupPressure {
+	t.mu.RLock()
+	byGroup := map[int]*groupPressure{}
+	for k, d := range t.devices {
+		gp := byGroup[k.group]
+		if gp == nil {
+			gp = &groupPressure{group: k.group}
+			byGroup[k.group] = gp
+		}
+		if d.State != DeviceOnline {
+			gp.incomplete++
+			gp.stripes += d.IncompleteStripes
+		}
+		if d.State == DeviceReplacementPending {
+			gp.pending = append(gp.pending, k.disk)
+		}
+	}
+	t.mu.RUnlock()
+	out := make([]groupPressure, 0, len(byGroup))
+	for _, gp := range byGroup {
+		sort.Slice(gp.pending, func(i, j int) bool {
+			if gp.pending[i].Role != gp.pending[j].Role {
+				return gp.pending[i].Role < gp.pending[j].Role
+			}
+			return gp.pending[i].Index < gp.pending[j].Index
+		})
+		out = append(out, *gp)
+	}
+	// Most incomplete devices first, then most missing stripes, then
+	// lowest group id so the order is fully deterministic.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].incomplete != out[j].incomplete {
+			return out[i].incomplete > out[j].incomplete
+		}
+		if out[i].stripes != out[j].stripes {
+			return out[i].stripes > out[j].stripes
+		}
+		return out[i].group < out[j].group
+	})
+	return out
+}
+
+// Snapshot is the JSON-serializable view of the table: every device
+// slot plus the rollup. smtool shard -table prints exactly this.
+type Snapshot struct {
+	Devices []Device     `json:"devices"`
+	Rollup  DeviceRollup `json:"rollup"`
+}
+
+// Snapshot captures the table for serialization.
+func (t *PlacementTable) Snapshot() Snapshot {
+	return Snapshot{Devices: t.Devices(), Rollup: t.Rollup()}
+}
+
+// MarshalJSON renders the Snapshot form.
+func (t *PlacementTable) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.Snapshot())
+}

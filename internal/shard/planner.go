@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DeviceSpec describes one candidate backend device offered to the
+// placement planner: where it is, how fast it reads (the WithReadRate
+// throttle it is served under; 0 = unthrottled, treated as fastest),
+// and how much it can hold.
+type DeviceSpec struct {
+	Addr          string  `json:"addr"`
+	ReadRateMBps  float64 `json:"read_rate_mbps"`
+	CapacityBytes int64   `json:"capacity_bytes"`
+}
+
+// PlacementPolicy selects how PlanGroups deals devices into groups.
+type PlacementPolicy int
+
+const (
+	// PlaceTier sorts devices by read rate (fastest first) and fills
+	// groups in order, so each group is as homogeneous as possible: all
+	// SSDs land together and are never gated by an HDD peer. Within a
+	// shifted-mirror group every disk participates in every rebuild, so
+	// a group runs at the speed of its slowest member — tiering keeps
+	// that floor high for the fast tier. This is the default.
+	PlaceTier PlacementPolicy = iota
+	// PlaceBalance deals devices serpentine-style (fastest-first, zig-
+	// zagging across groups) so each group ends up with near-equal
+	// aggregate bandwidth — useful when uniform group throughput matters
+	// more than a fast tier.
+	PlaceBalance
+)
+
+// String implements fmt.Stringer.
+func (p PlacementPolicy) String() string {
+	switch p {
+	case PlaceTier:
+		return "tier"
+	case PlaceBalance:
+		return "balance"
+	default:
+		return fmt.Sprintf("PlacementPolicy(%d)", int(p))
+	}
+}
+
+// PlanGroups assigns devices to groups for a heterogeneous fleet. It
+// returns `groups` slices of `groupSize` devices each. Devices whose
+// capacity is known (> 0) and below diskSize are rejected up front —
+// a shifted-mirror group needs every member to hold a full disk image.
+// Leftover devices beyond groups×groupSize are simply not placed (they
+// are the spare pool).
+func PlanGroups(devices []DeviceSpec, groups, groupSize int, diskSize int64, policy PlacementPolicy) ([][]DeviceSpec, error) {
+	if groups <= 0 || groupSize <= 0 {
+		return nil, fmt.Errorf("shard: need positive groups (%d) and group size (%d)", groups, groupSize)
+	}
+	eligible := make([]DeviceSpec, 0, len(devices))
+	for _, d := range devices {
+		if d.CapacityBytes > 0 && d.CapacityBytes < diskSize {
+			return nil, fmt.Errorf("shard: device %s capacity %d below required disk size %d", d.Addr, d.CapacityBytes, diskSize)
+		}
+		eligible = append(eligible, d)
+	}
+	need := groups * groupSize
+	if len(eligible) < need {
+		return nil, fmt.Errorf("shard: %d devices for %d groups of %d (need %d)", len(eligible), groups, groupSize, need)
+	}
+	// Fastest first; rate 0 means unthrottled, i.e. fastest of all. Ties
+	// break by address so planning is deterministic.
+	sort.Slice(eligible, func(i, j int) bool {
+		ri, rj := eligible[i].ReadRateMBps, eligible[j].ReadRateMBps
+		if (ri == 0) != (rj == 0) {
+			return ri == 0
+		}
+		if ri != rj {
+			return ri > rj
+		}
+		return eligible[i].Addr < eligible[j].Addr
+	})
+	out := make([][]DeviceSpec, groups)
+	switch policy {
+	case PlaceTier:
+		for g := 0; g < groups; g++ {
+			out[g] = append(out[g], eligible[g*groupSize:(g+1)*groupSize]...)
+		}
+	case PlaceBalance:
+		// Serpentine deal: row r goes left-to-right when even, right-to-
+		// left when odd, so each group's aggregate rate is near-equal.
+		for r := 0; r < groupSize; r++ {
+			for g := 0; g < groups; g++ {
+				idx := r*groups + g
+				if r%2 == 1 {
+					idx = r*groups + (groups - 1 - g)
+				}
+				out[g] = append(out[g], eligible[idx])
+			}
+		}
+	default:
+		return nil, fmt.Errorf("shard: unknown placement policy %v", policy)
+	}
+	return out, nil
+}

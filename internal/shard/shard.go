@@ -1,0 +1,758 @@
+// Package shard stripes one logical address space across many
+// shifted-mirror groups and routes every byte through a replica/
+// placement table.
+//
+// The paper's shifted arrangement fixes rebuild fan-out *within* one
+// n×n mirror group; this package is the layer above it: a
+// ShardedVolume owns a set of cluster.Volume children ("groups"),
+// interleaves logical stripes across them, and keeps a PlacementTable
+// of every backend device's state. A rebuild is therefore confined to
+// its group — backends in other groups serve zero rebuild-source
+// elements and their read latency is untouched — while capacity and
+// aggregate bandwidth grow with the group count instead of being
+// capped at n disks.
+//
+// Address-space math: every group shares the same n and element size,
+// so one stripe holds stripeBytes = n²·elementSize logical bytes.
+// The extent table maps logical stripe slot k to a (group, physical
+// stripe) home; New deals stripes round-robin across groups so large
+// reads naturally span group boundaries and spread across children.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"shiftedmirror/internal/cluster"
+	"shiftedmirror/internal/raid"
+
+	"shiftedmirror/internal/obs"
+)
+
+// Shard-level errors.
+var (
+	// ErrNoGroup is returned for an unknown group id.
+	ErrNoGroup = errors.New("shard: no such group")
+	// ErrLastGroup is returned when removal would leave zero groups.
+	ErrLastGroup = errors.New("shard: cannot remove the last group")
+	// ErrGroupDegraded is returned when a group with non-online devices
+	// is asked to leave the volume — rebuild it first.
+	ErrGroupDegraded = errors.New("shard: group has non-online devices")
+	// ErrMigration is returned when topology changes collide with an
+	// extent migration already in flight.
+	ErrMigration = errors.New("shard: extent migration in progress")
+)
+
+// Extent maps one logical stripe slot to its physical home: a group id
+// and a stripe index within that group's child volume.
+type Extent struct {
+	Group  int `json:"group"`
+	Stripe int `json:"stripe"`
+}
+
+// Config tunes a ShardedVolume.
+type Config struct {
+	// MaxConcurrentRebuilds bounds how many groups the rebuild scheduler
+	// drives at once (default 2). Within one group rebuilds run
+	// sequentially — the group's backends are the bottleneck anyway.
+	MaxConcurrentRebuilds int
+	// Metrics, when set, registers the sm_shard_* series plus each
+	// child's sm_cluster_* series labeled group="<id>" on the registry.
+	// Children must NOT be built with their own cluster.WithMetrics on
+	// the same registry, or the unlabeled series would collide.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrentRebuilds <= 0 {
+		c.MaxConcurrentRebuilds = 2
+	}
+	return c
+}
+
+// group binds a stable id to one child volume. Ids are never reused
+// across add/remove cycles, so metric labels and placement history stay
+// unambiguous.
+type group struct {
+	id  int
+	vol *cluster.Volume
+}
+
+// ShardedVolume is a logical volume striped across shifted-mirror
+// groups. It implements the same context-first surface as
+// cluster.Volume (ReadAtCtx/WriteAtCtx/RebuildDisk/Scrub) with disk
+// operations additionally keyed by group id.
+type ShardedVolume struct {
+	mu        sync.RWMutex
+	n         int
+	elemSize  int64
+	stripeB   int64 // n²·elementSize: logical bytes per stripe slot
+	groups    map[int]*group
+	order     []int // group ids, add order
+	extents   []Extent
+	nextID    int
+	migrating bool
+	cfg       Config
+	table     *PlacementTable
+	stats     shardStats
+}
+
+// New builds a ShardedVolume over already-open child volumes. All
+// children must share the same n and element size (stripe counts may
+// differ); their stripes are interleaved round-robin into the logical
+// address space, so a read spanning k stripe slots touches up to
+// min(k, groups) children concurrently.
+func New(children []*cluster.Volume, cfg Config) (*ShardedVolume, error) {
+	if len(children) == 0 {
+		return nil, errors.New("shard: need at least one group")
+	}
+	n, elemSize := children[0].N(), children[0].ElementSize()
+	for i, c := range children {
+		if c.N() != n || c.ElementSize() != elemSize {
+			return nil, fmt.Errorf("shard: group %d geometry %d×%d-byte differs from group 0's %d×%d-byte",
+				i, c.N(), c.ElementSize(), n, elemSize)
+		}
+	}
+	s := &ShardedVolume{
+		n:        n,
+		elemSize: elemSize,
+		stripeB:  int64(n) * int64(n) * elemSize,
+		groups:   map[int]*group{},
+		cfg:      cfg.withDefaults(),
+		table:    newPlacementTable(),
+	}
+	s.stats.init()
+	for _, c := range children {
+		s.attach(c)
+	}
+	// Round-robin deal: row r takes stripe r from every group that still
+	// has one, in group order. Deterministic, and guarantees that
+	// consecutive logical stripes live on different groups while every
+	// group keeps capacity (a shorter group simply drops out of later
+	// rows).
+	for r := 0; ; r++ {
+		progressed := false
+		for _, gid := range s.order {
+			if r < s.groups[gid].vol.Stripes() {
+				s.extents = append(s.extents, Extent{Group: gid, Stripe: r})
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	if s.cfg.Metrics != nil {
+		s.stats.register(s.cfg.Metrics)
+		for _, gid := range s.order {
+			s.groups[gid].vol.RegisterMetrics(s.cfg.Metrics, "group", strconv.Itoa(gid))
+		}
+	}
+	s.refreshRollups()
+	return s, nil
+}
+
+// Open builds the child volumes from backend address maps (one map per
+// group) and shards across them — the option-first constructor. The
+// same options apply to every group; do not pass cluster.WithMetrics
+// (set Config.Metrics instead, which labels each group's series).
+func Open(arch *raid.Mirror, backends []map[raid.DiskID]string, cfg Config, copts ...cluster.Option) (*ShardedVolume, error) {
+	children := make([]*cluster.Volume, 0, len(backends))
+	fail := func(err error) (*ShardedVolume, error) {
+		for _, c := range children {
+			c.Close()
+		}
+		return nil, err
+	}
+	for i, b := range backends {
+		c, err := cluster.Open(arch, b, copts...)
+		if err != nil {
+			return fail(fmt.Errorf("shard: group %d: %w", i, err))
+		}
+		children = append(children, c)
+	}
+	s, err := New(children, cfg)
+	if err != nil {
+		return fail(err)
+	}
+	return s, nil
+}
+
+// attach registers a child under the next stable id. Caller holds no
+// lock (construction) or the write lock (AddGroup).
+func (s *ShardedVolume) attach(c *cluster.Volume) int {
+	gid := s.nextID
+	s.nextID++
+	s.groups[gid] = &group{id: gid, vol: c}
+	s.order = append(s.order, gid)
+	for _, id := range c.Arch().Disks() {
+		addr, _ := c.BackendAddr(id)
+		s.table.add(gid, id, addr)
+	}
+	return gid
+}
+
+// Close releases every child volume's connections.
+func (s *ShardedVolume) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, g := range s.groups {
+		g.vol.Close()
+	}
+}
+
+// Size returns the logical capacity in bytes.
+func (s *ShardedVolume) Size() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int64(len(s.extents)) * s.stripeB
+}
+
+// ElementSize returns the striping unit shared by every group.
+func (s *ShardedVolume) ElementSize() int64 { return s.elemSize }
+
+// N returns the per-group data-disk count.
+func (s *ShardedVolume) N() int { return s.n }
+
+// Groups returns the live group ids in ascending order.
+func (s *ShardedVolume) Groups() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := append([]int(nil), s.order...)
+	sort.Ints(out)
+	return out
+}
+
+// GroupVolume exposes one child volume for tooling (smtool, recon
+// harnesses). Mutating it directly bypasses the placement table; prefer
+// the ShardedVolume's Fail/ReplaceBackend/RebuildDisk.
+func (s *ShardedVolume) GroupVolume(gid int) (*cluster.Volume, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, ok := s.groups[gid]
+	if !ok {
+		return nil, false
+	}
+	return g.vol, true
+}
+
+// ExtentTable returns a copy of the logical-stripe→(group, stripe) map.
+func (s *ShardedVolume) ExtentTable() []Extent {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Extent(nil), s.extents...)
+}
+
+// Placement returns the replica/placement table.
+func (s *ShardedVolume) Placement() *PlacementTable { return s.table }
+
+// segment is one contiguous piece of a request routed to one group.
+type segment struct {
+	gid      int
+	childOff int64
+	lo, hi   int // buffer range [lo, hi)
+}
+
+// segments splits buffer range [0, n) at logical offset off along
+// extent boundaries and merges runs that stay contiguous within one
+// group. Caller holds s.mu (read or write).
+func (s *ShardedVolume) segments(off int64, n int) []segment {
+	var segs []segment
+	ext := int(off / s.stripeB)
+	inner := off % s.stripeB
+	for at := 0; at < n; {
+		e := s.extents[ext]
+		chunk := s.stripeB - inner
+		if rem := int64(n - at); chunk > rem {
+			chunk = rem
+		}
+		childOff := int64(e.Stripe)*s.stripeB + inner
+		if len(segs) > 0 {
+			last := &segs[len(segs)-1]
+			if last.gid == e.Group && last.childOff+int64(last.hi-last.lo) == childOff {
+				last.hi += int(chunk)
+				at = last.hi
+				ext++
+				inner = 0
+				continue
+			}
+		}
+		segs = append(segs, segment{gid: e.Group, childOff: childOff, lo: at, hi: at + int(chunk)})
+		at += int(chunk)
+		ext++
+		inner = 0
+	}
+	return segs
+}
+
+// fanout groups segments by child and drives each child's run
+// sequentially in its own goroutine, collecting the first error.
+// Caller holds s.mu.RLock across the call, so topology cannot change
+// under in-flight I/O.
+func (s *ShardedVolume) fanout(ctx context.Context, segs []segment, do func(v *cluster.Volume, sg segment) error) error {
+	byGid := map[int][]segment{}
+	for _, sg := range segs {
+		byGid[sg.gid] = append(byGid[sg.gid], sg)
+	}
+	if len(byGid) > 1 {
+		s.stats.boundarySplits.Inc()
+	}
+	if len(byGid) == 1 {
+		for gid, list := range byGid {
+			vol := s.groups[gid].vol
+			for _, sg := range list {
+				if err := do(vol, sg); err != nil {
+					return fmt.Errorf("shard: group %d: %w", gid, err)
+				}
+			}
+		}
+		return nil
+	}
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
+	)
+	for gid, list := range byGid {
+		vol := s.groups[gid].vol
+		wg.Add(1)
+		go func(gid int, vol *cluster.Volume, list []segment) {
+			defer wg.Done()
+			for _, sg := range list {
+				if err := do(vol, sg); err != nil {
+					errMu.Lock()
+					if first == nil {
+						first = fmt.Errorf("shard: group %d: %w", gid, err)
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(gid, vol, list)
+	}
+	wg.Wait()
+	return first
+}
+
+// ReadAt implements io.ReaderAt.
+func (s *ShardedVolume) ReadAt(p []byte, off int64) (int, error) {
+	return s.ReadAtCtx(context.Background(), p, off)
+}
+
+// ReadAtCtx reads len(p) bytes at the logical offset, splitting the
+// span at group boundaries and fanning out to the owning children
+// concurrently. The io.ReaderAt EOF contract matches cluster.Volume:
+// off at or past the logical end returns (0, io.EOF); a read clamped by
+// the end returns (n, io.EOF) with n < len(p).
+func (s *ShardedVolume) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("shard: negative offset %d", off)
+	}
+	start := time.Now()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	size := int64(len(s.extents)) * s.stripeB
+	if off >= size {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if off+int64(n) > size {
+		n = int(size - off)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	segs := s.segments(off, n)
+	err := s.fanout(ctx, segs, func(v *cluster.Volume, sg segment) error {
+		m, err := v.ReadAtCtx(ctx, p[sg.lo:sg.hi], sg.childOff)
+		if err != nil && !(errors.Is(err, io.EOF) && m == sg.hi-sg.lo) {
+			return err
+		}
+		if m != sg.hi-sg.lo {
+			return fmt.Errorf("short read: %d of %d bytes at %d", m, sg.hi-sg.lo, sg.childOff)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	s.stats.reads.Inc()
+	s.stats.readBytes.Add(int64(n))
+	s.stats.readLat.Observe(time.Since(start))
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt.
+func (s *ShardedVolume) WriteAt(p []byte, off int64) (int, error) {
+	return s.WriteAtCtx(context.Background(), p, off)
+}
+
+// WriteAtCtx writes len(p) bytes at the logical offset with the same
+// split-and-fan-out routing as ReadAtCtx. Writes past the logical end
+// are an error, matching cluster.Volume.
+func (s *ShardedVolume) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("shard: negative offset %d", off)
+	}
+	start := time.Now()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	size := int64(len(s.extents)) * s.stripeB
+	if off+int64(len(p)) > size {
+		return 0, fmt.Errorf("shard: write [%d, %d) exceeds volume size %d", off, off+int64(len(p)), size)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	segs := s.segments(off, len(p))
+	err := s.fanout(ctx, segs, func(v *cluster.Volume, sg segment) error {
+		m, err := v.WriteAtCtx(ctx, p[sg.lo:sg.hi], sg.childOff)
+		if err != nil {
+			return err
+		}
+		if m != sg.hi-sg.lo {
+			return fmt.Errorf("short write: %d of %d bytes at %d", m, sg.hi-sg.lo, sg.childOff)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	s.stats.writes.Inc()
+	s.stats.writeBytes.Add(int64(len(p)))
+	s.stats.writeLat.Observe(time.Since(start))
+	return len(p), nil
+}
+
+// lookup resolves a group id under the read lock.
+func (s *ShardedVolume) lookup(gid int) (*group, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, ok := s.groups[gid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoGroup, gid)
+	}
+	return g, nil
+}
+
+// Fail declares one disk's content lost in the given group and moves
+// its placement entry to dead.
+func (s *ShardedVolume) Fail(gid int, id raid.DiskID) error {
+	g, err := s.lookup(gid)
+	if err != nil {
+		return err
+	}
+	if err := g.vol.Fail(id); err != nil {
+		return err
+	}
+	stripes := int64(g.vol.Stripes())
+	s.table.mutate(gid, id, func(d *Device) {
+		d.State = DeviceDead
+		d.IncompleteStripes = stripes
+	})
+	s.refreshRollups()
+	return nil
+}
+
+// ReplaceBackend attaches a fresh backend to a disk slot of the given
+// group; the placement entry becomes replacement-pending, eligible for
+// the rebuild scheduler.
+func (s *ShardedVolume) ReplaceBackend(gid int, id raid.DiskID, addr string) error {
+	g, err := s.lookup(gid)
+	if err != nil {
+		return err
+	}
+	if err := g.vol.ReplaceBackend(id, addr); err != nil {
+		return err
+	}
+	s.table.mutate(gid, id, func(d *Device) {
+		d.Addr = addr
+		d.Replacement = true
+		if d.State == DeviceDead {
+			d.State = DeviceReplacementPending
+		}
+	})
+	s.refreshRollups()
+	return nil
+}
+
+// RebuildDisk reconstructs one disk of the given group through its
+// child volume, tracking the placement state machine: rebuilding for
+// the duration, online on success, back to replacement-pending on
+// failure (with the incompleteness the watermark got to).
+func (s *ShardedVolume) RebuildDisk(ctx context.Context, gid int, id raid.DiskID) error {
+	g, err := s.lookup(gid)
+	if err != nil {
+		return err
+	}
+	s.table.mutate(gid, id, func(d *Device) { d.State = DeviceRebuilding })
+	s.stats.rebuildActive.Add(1)
+	err = g.vol.RebuildDisk(ctx, id)
+	s.stats.rebuildActive.Add(-1)
+	stripes := int64(g.vol.Stripes())
+	if err != nil {
+		s.stats.rebuildErrors.Inc()
+		s.table.mutate(gid, id, func(d *Device) {
+			d.State = DeviceReplacementPending
+			d.IncompleteStripes = stripes - g.vol.Watermark(id)
+		})
+		s.refreshRollups()
+		return fmt.Errorf("shard: group %d: %w", gid, err)
+	}
+	s.stats.rebuilds.Inc()
+	s.table.mutate(gid, id, func(d *Device) {
+		d.State = DeviceOnline
+		d.Replacement = false
+		d.IncompleteStripes = 0
+	})
+	s.refreshRollups()
+	return nil
+}
+
+// Scrub verifies every group's replicas and merges the reports. All
+// groups scrub concurrently. A replica-mismatch error wins over
+// degraded-skip errors; either way the merged report says what was
+// covered.
+func (s *ShardedVolume) Scrub(ctx context.Context) (ScrubReport, error) {
+	s.mu.RLock()
+	gs := make([]*group, 0, len(s.groups))
+	for _, gid := range s.order {
+		gs = append(gs, s.groups[gid])
+	}
+	s.mu.RUnlock()
+
+	type result struct {
+		gid    int
+		report cluster.ScrubReport
+		err    error
+	}
+	results := make([]result, len(gs))
+	var wg sync.WaitGroup
+	for i, g := range gs {
+		wg.Add(1)
+		go func(i int, g *group) {
+			defer wg.Done()
+			r, err := g.vol.Scrub(ctx)
+			results[i] = result{gid: g.id, report: r, err: err}
+		}(i, g)
+	}
+	wg.Wait()
+
+	var merged ScrubReport
+	var degraded, hard error
+	for _, r := range results {
+		merged.ElementsCompared += r.report.ElementsCompared
+		merged.ChecksumCompared += r.report.ChecksumCompared
+		for _, id := range r.report.Skipped {
+			merged.Skipped = append(merged.Skipped, GroupDisk{Group: r.gid, Disk: id.String()})
+		}
+		if r.err != nil {
+			if errors.Is(r.err, cluster.ErrDegraded) {
+				if degraded == nil {
+					degraded = fmt.Errorf("shard: group %d: %w", r.gid, r.err)
+				}
+			} else if hard == nil {
+				hard = fmt.Errorf("shard: group %d: %w", r.gid, r.err)
+			}
+		}
+	}
+	if hard != nil {
+		return merged, hard
+	}
+	return merged, degraded
+}
+
+// GroupDisk names one disk slot of one group.
+type GroupDisk struct {
+	Group int    `json:"group"`
+	Disk  string `json:"disk"`
+}
+
+// ScrubReport is the merged coverage of a sharded scrub pass.
+type ScrubReport struct {
+	ElementsCompared int64       `json:"elements_compared"`
+	ChecksumCompared int64       `json:"checksum_compared"`
+	Skipped          []GroupDisk `json:"skipped,omitempty"`
+}
+
+// SyncPlacement polls every child's state hooks and reconciles the
+// placement table: rebuild progress advances incompleteness, auto-
+// failed or dead backends surface as dead, recovered disks go back
+// online. Idempotent; the rebuild scheduler calls it each round, and
+// operators can call it any time.
+func (s *ShardedVolume) SyncPlacement() {
+	s.mu.RLock()
+	gs := make([]*group, 0, len(s.groups))
+	for _, gid := range s.order {
+		gs = append(gs, s.groups[gid])
+	}
+	s.mu.RUnlock()
+	for _, g := range gs {
+		stripes := int64(g.vol.Stripes())
+		for _, id := range g.vol.Arch().Disks() {
+			rebuilding := g.vol.IsRebuilding(id)
+			failed := g.vol.IsFailed(id)
+			dead := g.vol.BackendDead(id)
+			wm := g.vol.Watermark(id)
+			addr, _ := g.vol.BackendAddr(id)
+			s.table.mutate(g.id, id, func(d *Device) {
+				d.Addr = addr
+				d.IncompleteStripes = stripes - wm
+				switch {
+				case rebuilding:
+					d.State = DeviceRebuilding
+				case failed || dead:
+					// A failed slot that already has a fresh backend stays
+					// replacement-pending (the scheduler's queue); anything
+					// else is dead until an operator attaches one.
+					if d.State != DeviceReplacementPending {
+						d.State = DeviceDead
+					}
+				default:
+					d.State = DeviceOnline
+					d.Replacement = false
+				}
+			})
+		}
+	}
+	s.refreshRollups()
+}
+
+// AddGroup attaches a new group online. Its stripes extend the logical
+// address space at the tail — capacity grows immediately, no data
+// moves. Returns the new group's stable id.
+func (s *ShardedVolume) AddGroup(c *cluster.Volume) (int, error) {
+	if c.N() != s.n || c.ElementSize() != s.elemSize {
+		return 0, fmt.Errorf("shard: new group geometry %d×%d-byte differs from volume's %d×%d-byte",
+			c.N(), c.ElementSize(), s.n, s.elemSize)
+	}
+	s.mu.Lock()
+	if s.migrating {
+		s.mu.Unlock()
+		return 0, ErrMigration
+	}
+	gid := s.attach(c)
+	for r := 0; r < c.Stripes(); r++ {
+		s.extents = append(s.extents, Extent{Group: gid, Stripe: r})
+	}
+	s.mu.Unlock()
+	if s.cfg.Metrics != nil {
+		c.RegisterMetrics(s.cfg.Metrics, "group", strconv.Itoa(gid))
+	}
+	s.refreshRollups()
+	return gid, nil
+}
+
+// RemoveGroup detaches one group online, shrinking the logical address
+// space by the group's stripe count: the logical tail [newSize,
+// oldSize) is discarded (the exact inverse of AddGroup — vacate it
+// first), and every surviving logical stripe that lived on the leaving
+// group is migrated into the physical stripes the discarded tail
+// freed on other groups. Extents move one at a time under short
+// exclusive-lock holds, so reads and writes keep flowing between
+// stripe copies; ctx cancels between extents, leaving a consistent
+// half-migrated volume that a retry resumes.
+//
+// Removal is refused while the group has non-online devices (rebuild
+// first) and for the last remaining group.
+func (s *ShardedVolume) RemoveGroup(ctx context.Context, gid int) error {
+	s.mu.Lock()
+	g, ok := s.groups[gid]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrNoGroup, gid)
+	}
+	if len(s.groups) == 1 {
+		s.mu.Unlock()
+		return ErrLastGroup
+	}
+	if s.migrating {
+		s.mu.Unlock()
+		return ErrMigration
+	}
+	for _, id := range g.vol.Arch().Disks() {
+		if g.vol.IsFailed(id) || g.vol.IsRebuilding(id) {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: group %d disk %v", ErrGroupDegraded, gid, id)
+		}
+	}
+	removed := 0
+	for _, e := range s.extents {
+		if e.Group == gid {
+			removed++
+		}
+	}
+	newCount := len(s.extents) - removed
+	// Pair each surviving logical slot that lives on the leaving group
+	// (ascending) with a freed physical stripe from the discarded tail
+	// (ascending). The counts match by construction: the tail holds
+	// `removed` slots total, of which the gid-owned ones need no new
+	// home, and below the cut exactly (gid-slots − gid-tail-slots) need
+	// one — the same as the non-gid tail slots freeing up.
+	var srcs, dsts []int
+	for i := 0; i < newCount; i++ {
+		if s.extents[i].Group == gid {
+			srcs = append(srcs, i)
+		}
+	}
+	for j := newCount; j < len(s.extents); j++ {
+		if s.extents[j].Group != gid {
+			dsts = append(dsts, j)
+		}
+	}
+	s.migrating = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.migrating = false
+		s.mu.Unlock()
+	}()
+
+	buf := make([]byte, s.stripeB)
+	for k := range srcs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		src, dst := s.extents[srcs[k]], s.extents[dsts[k]]
+		srcVol := s.groups[src.Group].vol
+		dstVol := s.groups[dst.Group].vol
+		if _, err := srcVol.ReadAtCtx(ctx, buf, int64(src.Stripe)*s.stripeB); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("shard: migrate extent %d from group %d: %w", srcs[k], src.Group, err)
+		}
+		if _, err := dstVol.WriteAtCtx(ctx, buf, int64(dst.Stripe)*s.stripeB); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("shard: migrate extent %d to group %d: %w", srcs[k], dst.Group, err)
+		}
+		s.extents[srcs[k]] = dst
+		s.stats.migratedExtents.Inc()
+		s.mu.Unlock()
+	}
+
+	s.mu.Lock()
+	s.extents = s.extents[:newCount]
+	delete(s.groups, gid)
+	for i, id := range s.order {
+		if id == gid {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	s.table.remove(gid)
+	g.vol.Close()
+	// The removed group's metric series keep their last values; stable
+	// group ids guarantee a future AddGroup never collides with them.
+	s.refreshRollups()
+	return nil
+}

@@ -1,0 +1,239 @@
+package shard
+
+import (
+	"shiftedmirror/internal/cluster"
+	"shiftedmirror/internal/obs"
+)
+
+// shardStats holds the shard layer's own live instrumentation. The
+// first block is updated inline by the data path; the rollup gauges are
+// recomputed from the placement table and the children's counters on
+// every refreshRollups (Stats, SyncPlacement, and lifecycle changes),
+// so a scrape between refreshes sees slightly stale aggregates but
+// always-fresh data-path counters.
+type shardStats struct {
+	reads, writes         obs.Counter
+	readBytes, writeBytes obs.Counter
+	// boundarySplits counts requests that crossed at least one group
+	// boundary and fanned out to more than one child.
+	boundarySplits  obs.Counter
+	rebuilds        obs.Counter
+	rebuildErrors   obs.Counter
+	migratedExtents obs.Counter
+	rebuildActive   obs.Gauge
+	readLat         *obs.Histogram
+	writeLat        *obs.Histogram
+
+	// Rollups over the placement table and child volumes.
+	groups        obs.Gauge
+	extents       obs.Gauge
+	devOnline     obs.Gauge
+	devDead       obs.Gauge
+	devPending    obs.Gauge
+	devRebuilding obs.Gauge
+	maxIncomplete obs.Gauge
+	degradedReads obs.Gauge
+	crcReadErrors obs.Gauge
+	minWatermark  obs.Gauge
+}
+
+func (st *shardStats) init() {
+	st.readLat = obs.NewHistogram()
+	st.writeLat = obs.NewHistogram()
+}
+
+// register exposes the sm_shard_* namespace on reg. The children's
+// sm_cluster_* series are registered separately with group="<id>"
+// labels (see New/AddGroup).
+func (st *shardStats) register(reg *obs.Registry) {
+	reg.RegisterCounter("sm_shard_reads_total",
+		"Sharded volume reads.", &st.reads)
+	reg.RegisterCounter("sm_shard_writes_total",
+		"Sharded volume writes.", &st.writes)
+	reg.RegisterCounter("sm_shard_read_bytes_total",
+		"Bytes served by sharded reads.", &st.readBytes)
+	reg.RegisterCounter("sm_shard_write_bytes_total",
+		"Bytes accepted by sharded writes.", &st.writeBytes)
+	reg.RegisterCounter("sm_shard_boundary_splits_total",
+		"Requests that crossed a group boundary and fanned out to more than one group.", &st.boundarySplits)
+	reg.RegisterCounter("sm_shard_rebuilds_total",
+		"Completed rebuilds through the sharded surface.", &st.rebuilds)
+	reg.RegisterCounter("sm_shard_rebuild_errors_total",
+		"Rebuilds that failed and returned their device to replacement-pending.", &st.rebuildErrors)
+	reg.RegisterCounter("sm_shard_migrated_extents_total",
+		"Extents copied between groups by RemoveGroup migrations.", &st.migratedExtents)
+	reg.RegisterGauge("sm_shard_rebuilds_active",
+		"Rebuilds in flight across all groups.", &st.rebuildActive)
+	reg.RegisterHistogram("sm_shard_read_duration_seconds",
+		"ShardedVolume.ReadAt wall time.", st.readLat)
+	reg.RegisterHistogram("sm_shard_write_duration_seconds",
+		"ShardedVolume.WriteAt wall time.", st.writeLat)
+	reg.RegisterGauge("sm_shard_groups",
+		"Live stripe groups.", &st.groups)
+	reg.RegisterGauge("sm_shard_extents",
+		"Logical stripe slots in the extent table.", &st.extents)
+	reg.RegisterGauge("sm_shard_devices_online",
+		"Placement-table devices online.", &st.devOnline)
+	reg.RegisterGauge("sm_shard_devices_dead",
+		"Placement-table devices dead (content lost or backend unreachable, no replacement).", &st.devDead)
+	reg.RegisterGauge("sm_shard_devices_replacement_pending",
+		"Placement-table devices with a fresh backend awaiting rebuild.", &st.devPending)
+	reg.RegisterGauge("sm_shard_devices_rebuilding",
+		"Placement-table devices with a rebuild in flight.", &st.devRebuilding)
+	reg.RegisterGauge("sm_shard_max_incompleteness_stripes",
+		"Worst per-device incompleteness (stripes not yet recovered) across the fleet.", &st.maxIncomplete)
+	reg.RegisterGauge("sm_shard_degraded_reads",
+		"Element reads served from a replica, summed across groups.", &st.degradedReads)
+	reg.RegisterGauge("sm_shard_crc_read_errors",
+		"End-to-end CRC read failures, summed across groups.", &st.crcReadErrors)
+	reg.RegisterGauge("sm_shard_min_watermark_stripes",
+		"Lowest rebuild watermark across every device — the volume's availability frontier.", &st.minWatermark)
+}
+
+// refreshRollups recomputes the aggregate gauges from the placement
+// table and the children's own counters.
+func (s *ShardedVolume) refreshRollups() {
+	s.mu.RLock()
+	gs := make([]*group, 0, len(s.groups))
+	for _, gid := range s.order {
+		gs = append(gs, s.groups[gid])
+	}
+	extents := len(s.extents)
+	s.mu.RUnlock()
+
+	r := s.table.Rollup()
+	s.stats.groups.Set(int64(len(gs)))
+	s.stats.extents.Set(int64(extents))
+	s.stats.devOnline.Set(int64(r.Online))
+	s.stats.devDead.Set(int64(r.Dead))
+	s.stats.devPending.Set(int64(r.ReplacementPending))
+	s.stats.devRebuilding.Set(int64(r.Rebuilding))
+	s.stats.maxIncomplete.Set(r.MaxIncompleteness)
+
+	var degraded, crc int64
+	minWM := int64(-1)
+	for _, g := range gs {
+		h := g.vol.Health()
+		degraded += h.DegradedReads
+		crc += g.vol.Stats().CRCReadErrors
+		for _, id := range g.vol.Arch().Disks() {
+			if wm := g.vol.Watermark(id); minWM < 0 || wm < minWM {
+				minWM = wm
+			}
+		}
+	}
+	if minWM < 0 {
+		minWM = 0
+	}
+	s.stats.degradedReads.Set(degraded)
+	s.stats.crcReadErrors.Set(crc)
+	s.stats.minWatermark.Set(minWM)
+}
+
+// GroupStats pairs a group id with its child volume's full snapshot.
+type GroupStats struct {
+	Group   int           `json:"group"`
+	Cluster cluster.Stats `json:"cluster"`
+}
+
+// Stats is the cluster-wide machine-readable snapshot: shard-level
+// routing counters, the placement table, and every group's full
+// cluster.Stats. It marshals to JSON for smtool and shardrecon.
+type Stats struct {
+	Reads           int64 `json:"reads"`
+	Writes          int64 `json:"writes"`
+	ReadBytes       int64 `json:"read_bytes"`
+	WriteBytes      int64 `json:"write_bytes"`
+	BoundarySplits  int64 `json:"boundary_splits"`
+	Rebuilds        int64 `json:"rebuilds"`
+	RebuildErrors   int64 `json:"rebuild_errors"`
+	RebuildActive   int64 `json:"rebuild_active"`
+	MigratedExtents int64 `json:"migrated_extents"`
+
+	Groups    int   `json:"groups"`
+	Extents   int   `json:"extents"`
+	SizeBytes int64 `json:"size_bytes"`
+
+	// Aggregates over every group.
+	DegradedReads       int64 `json:"degraded_reads"`
+	CRCReadErrors       int64 `json:"crc_read_errors"`
+	MinWatermarkStripes int64 `json:"min_watermark_stripes"`
+
+	ReadLatency  obs.HistSnapshot `json:"read_latency"`
+	WriteLatency obs.HistSnapshot `json:"write_latency"`
+
+	Placement Snapshot     `json:"placement"`
+	PerGroup  []GroupStats `json:"per_group"`
+}
+
+// Health is the light-weight rollup an operator polls: group and device
+// counts plus the exposure aggregates, without histograms or per-
+// backend detail.
+type Health struct {
+	Groups              int          `json:"groups"`
+	SizeBytes           int64        `json:"size_bytes"`
+	Devices             DeviceRollup `json:"devices"`
+	DegradedReads       int64        `json:"degraded_reads"`
+	RebuildActive       int64        `json:"rebuild_active"`
+	MinWatermarkStripes int64        `json:"min_watermark_stripes"`
+}
+
+// Stats returns the full snapshot. It refreshes the rollup gauges as a
+// side effect, so a metrics scrape right after Stats sees the same
+// aggregates.
+func (s *ShardedVolume) Stats() Stats {
+	s.refreshRollups()
+	s.mu.RLock()
+	gs := make([]*group, 0, len(s.groups))
+	for _, gid := range s.order {
+		gs = append(gs, s.groups[gid])
+	}
+	extents := len(s.extents)
+	s.mu.RUnlock()
+
+	out := Stats{
+		Reads:           s.stats.reads.Load(),
+		Writes:          s.stats.writes.Load(),
+		ReadBytes:       s.stats.readBytes.Load(),
+		WriteBytes:      s.stats.writeBytes.Load(),
+		BoundarySplits:  s.stats.boundarySplits.Load(),
+		Rebuilds:        s.stats.rebuilds.Load(),
+		RebuildErrors:   s.stats.rebuildErrors.Load(),
+		RebuildActive:   s.stats.rebuildActive.Load(),
+		MigratedExtents: s.stats.migratedExtents.Load(),
+
+		Groups:    len(gs),
+		Extents:   extents,
+		SizeBytes: int64(extents) * s.stripeB,
+
+		DegradedReads:       s.stats.degradedReads.Load(),
+		CRCReadErrors:       s.stats.crcReadErrors.Load(),
+		MinWatermarkStripes: s.stats.minWatermark.Load(),
+
+		ReadLatency:  s.stats.readLat.Snapshot(),
+		WriteLatency: s.stats.writeLat.Snapshot(),
+
+		Placement: s.table.Snapshot(),
+	}
+	for _, g := range gs {
+		out.PerGroup = append(out.PerGroup, GroupStats{Group: g.id, Cluster: g.vol.Stats()})
+	}
+	return out
+}
+
+// Health returns the light rollup.
+func (s *ShardedVolume) Health() Health {
+	s.refreshRollups()
+	s.mu.RLock()
+	extents := len(s.extents)
+	groups := len(s.groups)
+	s.mu.RUnlock()
+	return Health{
+		Groups:              groups,
+		SizeBytes:           int64(extents) * s.stripeB,
+		Devices:             s.table.Rollup(),
+		DegradedReads:       s.stats.degradedReads.Load(),
+		RebuildActive:       s.stats.rebuildActive.Load(),
+		MinWatermarkStripes: s.stats.minWatermark.Load(),
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"shiftedmirror/internal/obs"
 	"shiftedmirror/internal/raid"
 	"shiftedmirror/internal/recon"
+	"shiftedmirror/internal/shard"
 	"shiftedmirror/internal/workload"
 )
 
@@ -370,6 +371,12 @@ type serverConfig struct {
 type Option struct {
 	cluster cluster.Option
 	server  func(*serverConfig)
+	// shard is the sharded-volume side (NewShardedVolume); metrics
+	// records WithMetrics' registry so the shard constructor can register
+	// each group's series under a group="<id>" label instead of letting
+	// the children collide on unlabeled names.
+	shard   func(*shard.Config)
+	metrics *obs.Registry
 }
 
 // WithGeometry sets the cluster volume's element size in bytes and
@@ -435,6 +442,7 @@ func WithWriteBatching(enabled bool) Option {
 func WithMetrics(reg *Registry) Option {
 	return Option{
 		cluster: cluster.WithMetrics(reg),
+		metrics: reg,
 		server: func(sc *serverConfig) {
 			m := blockserver.NewMetrics()
 			m.Register(reg)
