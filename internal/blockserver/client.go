@@ -3,10 +3,12 @@ package blockserver
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 
 	"shiftedmirror/internal/crc32c"
@@ -102,9 +104,13 @@ func DialContext(ctx context.Context, addr string, cfg Config) (*Client, error) 
 }
 
 // negotiate runs the OpFeatures exchange on a fresh connection. ok =
-// false means the peer does not speak the opcode (it tore the
+// false means the peer does not speak the opcode (it tore the probe
 // connection) and the caller should redial plain; a non-nil error means
-// the dial itself should fail (context cancelled or deadline passed).
+// the dial itself should fail. Only a peer-initiated tear is treated as
+// "old server": any other transport failure propagates, because
+// silently redialing plain there would permanently disable the
+// requested features (CRC integrity) on a healthy modern server over
+// one transient fault — with no signal to the caller.
 func (c *Client) negotiate(ctx context.Context) (ok bool, err error) {
 	var deadline time.Time
 	if c.cfg.OpTimeout > 0 {
@@ -119,27 +125,51 @@ func (c *Client) negotiate(ctx context.Context) (ok bool, err error) {
 	}
 	req := [2]byte{OpFeatures, c.cfg.Features}
 	if _, werr := c.conn.Write(req[:]); werr != nil {
-		return false, ctx.Err()
+		// The peer has not even read the opcode yet, so a write failure
+		// cannot be the old-server tear — fail the dial.
+		return false, negotiateErr(ctx, werr)
 	}
 	serr := readStatus(c.conn)
 	switch {
 	case serr == nil:
 	case IsRemote(serr):
 		return true, nil // recognized but refused: no features
+	case ctx.Err() == nil && isPeerTear(serr):
+		// Old servers tear the connection on the unknown opcode.
+		return false, nil
 	default:
-		// Old servers tear the connection on the unknown opcode; a
-		// cancelled or expired context is the caller's problem instead.
-		return false, ctx.Err()
+		return false, negotiateErr(ctx, serr)
 	}
 	var resp [5]byte
 	if _, rerr := io.ReadFull(c.conn, resp[:]); rerr != nil {
-		return false, ctx.Err()
+		// The server already answered OK to the opcode, so losing the
+		// payload is a transport failure, not a pre-negotiation peer.
+		return false, negotiateErr(ctx, rerr)
 	}
 	c.features = resp[0] & c.cfg.Features
 	if c.features&FeatureCRC != 0 {
 		c.crcBlock = int64(binary.BigEndian.Uint32(resp[1:]))
 	}
 	return true, nil
+}
+
+// negotiateErr prefers the context's verdict (cancelled or expired —
+// the caller's doing) over the raw transport error it provoked.
+func negotiateErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// isPeerTear reports whether err looks like the peer closing the
+// connection on us — what a server predating OpFeatures does with the
+// unknown opcode — as opposed to some other transport failure. EOF is
+// the clean close, ECONNRESET/EPIPE the close with our feature byte
+// still unread.
+func isPeerTear(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE)
 }
 
 // Features returns the feature flags granted at dial time.

@@ -282,3 +282,127 @@ func TestCrcVRecomputes(t *testing.T) {
 		t.Fatal("CrcV served the stale write-time checksum over rotten bytes")
 	}
 }
+
+// TestCRCSidecarOverlappingWriters drives the sidecar's in-flight
+// bookkeeping through the interleaving that used to corrupt it: two
+// connections write the same block as storeA, storeB, endB, endA,
+// which previously left A's CRC in the sidecar over B's bytes — a
+// spurious client-side CRCError on every later OpReadVC of the block.
+// With overlap detection neither writer publishes; the block stays
+// invalid and rangeCRC falls back to a fresh (coherent) checksum.
+func TestCRCSidecarOverlappingWriters(t *testing.T) {
+	const blk = int64(64)
+	mem := dev.NewMemStore(4 * blk)
+	srv := NewStoreServer(mem, WithCRC(blk))
+
+	a := bytes.Repeat([]byte{0xAA}, int(blk))
+	b := bytes.Repeat([]byte{0xBB}, int(blk))
+
+	srv.beginWrite(0, blk)
+	srv.beginWrite(0, blk)
+	if _, err := mem.WriteAt(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.WriteAt(b, 0); err != nil { // B's bytes win in the store
+		t.Fatal(err)
+	}
+	srv.endWrite(0, b, crc32c.Sum(b), true) // ...but B's endWrite runs first
+	srv.endWrite(0, a, crc32c.Sum(a), true)
+
+	if srv.crcValid[0]&1 != 0 {
+		t.Fatal("overlapping writers published a sidecar CRC")
+	}
+	if len(srv.crcBusy) != 0 {
+		t.Fatalf("in-flight table leaked %d entries", len(srv.crcBusy))
+	}
+	v := Vec{Off: 0, Len: int(blk)}
+	if got, want := srv.rangeCRC(v, b), crc32c.Sum(b); got != want {
+		t.Fatalf("rangeCRC after overlap %#08x, want fresh %#08x", got, want)
+	}
+
+	// A lone writer publishes again, and rangeCRC serves the write-time
+	// entry (passing different bytes proves it is the sidecar talking).
+	srv.beginWrite(0, blk)
+	if _, err := mem.WriteAt(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	srv.endWrite(0, a, crc32c.Sum(a), true)
+	if srv.crcValid[0]&1 == 0 {
+		t.Fatal("lone writer failed to publish")
+	}
+	if got, want := srv.rangeCRC(v, b), crc32c.Sum(a); got != want {
+		t.Fatalf("rangeCRC after lone write %#08x, want sidecar %#08x", got, want)
+	}
+
+	// An aborted write leaves the block invalid and the table clean.
+	srv.beginWrite(0, blk)
+	srv.abortWrite(0, blk)
+	if srv.crcValid[0]&1 != 0 || len(srv.crcBusy) != 0 {
+		t.Fatal("abortWrite left the sidecar valid or the in-flight table populated")
+	}
+}
+
+// TestNegotiateTransportError pins that a transport failure mid-
+// negotiation fails the dial instead of silently redialing plain: a
+// server that acknowledges OpFeatures but dies before the payload used
+// to yield a working connection with CRC integrity quietly disabled.
+func TestNegotiateTransportError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 2)
+			io.ReadFull(conn, buf)
+			conn.Write([]byte{statusOK}) // opcode recognized...
+			conn.Close()                 // ...but the feature payload never arrives
+		}
+	}()
+	client, err := DialConfig(ln.Addr().String(), Config{Features: FeatureCRC})
+	if err == nil {
+		client.Close()
+		t.Fatal("dial succeeded despite the negotiation exchange dying mid-payload")
+	}
+}
+
+// TestNegotiateOldServerRedialsPlain pins the compatibility path the
+// stricter error handling must preserve: a pre-negotiation server tears
+// the probe connection on the unknown opcode, and the client redials
+// without features rather than failing the dial.
+func TestNegotiateOldServerRedialsPlain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	probes := 0
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if probes++; probes == 1 {
+				buf := make([]byte, 2)
+				io.ReadFull(conn, buf)
+				conn.Close() // old server: tear on the unknown opcode
+				continue
+			}
+			defer conn.Close() // plain redial: hold open until the test ends
+		}
+	}()
+	client, err := DialConfig(ln.Addr().String(), Config{Features: FeatureCRC})
+	if err != nil {
+		t.Fatalf("dial against an old server: %v", err)
+	}
+	defer client.Close()
+	if client.HasCRC() {
+		t.Fatal("old server cannot have granted FeatureCRC")
+	}
+}

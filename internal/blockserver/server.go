@@ -133,6 +133,13 @@ type Server struct {
 	crcMu    sync.Mutex
 	crcSums  []uint32
 	crcValid []uint64 // bitmap, 1 = crcSums entry matches store content
+	// crcBusy tracks blocks with a store write in flight (between
+	// beginWrite and endWrite/abortWrite), so overlapping writers from
+	// different connections can be detected and denied sidecar
+	// publication — see endWrite. Stored by value: entries churn once
+	// per write, and a pointer map would put an allocation on the
+	// otherwise allocation-free wire path.
+	crcBusy map[int64]blockWrite
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -173,6 +180,7 @@ func (s *Server) initWire() {
 		blocks := (s.store.Size() + s.crcBlock - 1) / s.crcBlock
 		s.crcSums = make([]uint32, blocks)
 		s.crcValid = make([]uint64, (blocks+63)/64)
+		s.crcBusy = map[int64]blockWrite{}
 	}
 }
 

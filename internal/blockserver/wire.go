@@ -218,15 +218,16 @@ func (s *Server) handleWrite(conn net.Conn, scr *connScratch, acct *opAcct) erro
 	}
 	if s.direct != nil {
 		if p, ok := s.direct.Slice(int64(off), int64(n)); ok {
-			s.invalidateCRC(int64(off), int64(n))
+			s.beginWrite(int64(off), int64(n))
 			if _, err := io.ReadFull(conn, p); err != nil {
+				s.abortWrite(int64(off), int64(n))
 				return err
 			}
 			if acct != nil {
 				acct.in += int64(n)
 				acct.zeroCopy = true
 			}
-			s.noteWrite(int64(off), p, 0, false)
+			s.endWrite(int64(off), p, 0, false)
 			return writeOK(conn, nil)
 		}
 	}
@@ -238,10 +239,12 @@ func (s *Server) handleWrite(conn net.Conn, scr *connScratch, acct *opAcct) erro
 	if acct != nil {
 		acct.in += int64(n)
 	}
+	s.beginWrite(int64(off), int64(n))
 	if _, err := s.store.WriteAt(*buf, int64(off)); err != nil {
+		s.abortWrite(int64(off), int64(n))
 		return s.reply(conn, acct, err)
 	}
-	s.noteWrite(int64(off), *buf, 0, false)
+	s.endWrite(int64(off), *buf, 0, false)
 	return writeOK(conn, nil)
 }
 
@@ -301,8 +304,9 @@ func (s *Server) handleWriteV(conn net.Conn, scr *connScratch, acct *opAcct, wit
 		draining := storeErr != nil || crcErr != nil
 		if !draining && s.direct != nil {
 			if p, ok := s.direct.Slice(v.Off, int64(v.Len)); ok {
-				s.invalidateCRC(v.Off, int64(v.Len))
+				s.beginWrite(v.Off, int64(v.Len))
 				if _, err := io.ReadFull(conn, p); err != nil {
+					s.abortWrite(v.Off, int64(v.Len))
 					return err
 				}
 				if acct != nil {
@@ -311,11 +315,12 @@ func (s *Server) handleWriteV(conn net.Conn, scr *connScratch, acct *opAcct, wit
 				}
 				if withCRC {
 					if got := crc32c.Sum(p); got != want {
+						s.abortWrite(v.Off, int64(v.Len))
 						crcErr = &CRCError{Range: i, Want: want, Got: got, Write: true}
 						continue
 					}
 				}
-				s.noteWrite(v.Off, p, want, withCRC)
+				s.endWrite(v.Off, p, want, withCRC)
 				continue
 			}
 		}
@@ -338,11 +343,13 @@ func (s *Server) handleWriteV(conn net.Conn, scr *connScratch, acct *opAcct, wit
 				continue
 			}
 		}
+		s.beginWrite(v.Off, int64(v.Len))
 		if _, err := s.store.WriteAt(*buf, v.Off); err != nil {
+			s.abortWrite(v.Off, int64(v.Len))
 			storeErr, failed = err, i
 			continue
 		}
-		s.noteWrite(v.Off, *buf, want, withCRC)
+		s.endWrite(v.Off, *buf, want, withCRC)
 	}
 	if crcErr != nil {
 		if acct != nil {
@@ -427,40 +434,24 @@ func (s *Server) rangeCRC(v Vec, data []byte) uint32 {
 	return crc32c.Sum(data)
 }
 
-// noteWrite maintains the sidecar for a write of p at off: block-aligned
-// writes store fresh per-block CRCs (reusing the verified carried CRC
-// for the exactly-one-block case, which is what the cluster sends, so
-// the common path never checksums twice); unaligned writes invalidate
-// every block they touch. Called with the write already applied.
-func (s *Server) noteWrite(off int64, p []byte, known uint32, haveKnown bool) {
-	b := s.crcBlock
-	if b == 0 {
-		return
-	}
-	n := int64(len(p))
-	if off%b != 0 || n%b != 0 {
-		s.invalidateCRC(off, n)
-		return
-	}
-	if n == b && haveKnown {
-		s.setCRC(off/b, known)
-		return
-	}
-	for blk := int64(0); blk < n/b; blk++ {
-		s.setCRC(off/b+blk, crc32c.Sum(p[blk*b:(blk+1)*b]))
-	}
+// blockWrite tracks the store writes in flight on one sidecar block.
+type blockWrite struct {
+	writers int
+	// overlapped latches once two writes were in flight on the block at
+	// the same time: which payload the store kept is unknowable from up
+	// here (connections race on the store itself), so none of them may
+	// publish a write-time CRC — the block stays invalid and OpReadVC
+	// falls back to a fresh CRC of whatever it reads, which is always
+	// coherent.
+	overlapped bool
 }
 
-func (s *Server) setCRC(idx int64, crc uint32) {
-	s.crcMu.Lock()
-	s.crcSums[idx] = crc
-	s.crcValid[idx>>6] |= 1 << (idx & 63)
-	s.crcMu.Unlock()
-}
-
-// invalidateCRC clears the validity bit of every block overlapping
-// [off, off+n): the sidecar no longer describes those bytes.
-func (s *Server) invalidateCRC(off, n int64) {
+// beginWrite marks every sidecar block overlapping [off, off+n) as
+// having a store write in flight and invalidates its entry — the store
+// bytes are about to change, so a concurrent OpReadVC must not serve
+// the pre-write sidecar CRC against post-write bytes. Every beginWrite
+// must be paired with exactly one endWrite or abortWrite.
+func (s *Server) beginWrite(off, n int64) {
 	b := s.crcBlock
 	if b == 0 || n <= 0 {
 		return
@@ -469,6 +460,80 @@ func (s *Server) invalidateCRC(off, n int64) {
 	s.crcMu.Lock()
 	for idx := first; idx <= last; idx++ {
 		s.crcValid[idx>>6] &^= 1 << (idx & 63)
+		w := s.crcBusy[idx]
+		w.writers++
+		if w.writers > 1 {
+			w.overlapped = true
+		}
+		s.crcBusy[idx] = w
 	}
 	s.crcMu.Unlock()
 }
+
+// releaseBlock drops one in-flight writer from a block and reports
+// whether the finished write overlapped no other — only then does its
+// payload provably match the store bytes, making its CRC safe to
+// publish. Caller holds crcMu.
+func (s *Server) releaseBlock(idx int64) bool {
+	w, ok := s.crcBusy[idx]
+	if !ok {
+		return false
+	}
+	w.writers--
+	if w.writers <= 0 {
+		delete(s.crcBusy, idx)
+		return !w.overlapped
+	}
+	s.crcBusy[idx] = w
+	return false
+}
+
+// endWrite closes out a successfully applied write of p at off:
+// block-aligned writes publish per-block CRCs (reusing the verified
+// carried CRC for the exactly-one-block case, which is what the
+// cluster sends, so the common path never checksums twice) — but only
+// for blocks whose write overlapped no concurrent writer; unaligned
+// writes just release their blocks, leaving them invalid.
+func (s *Server) endWrite(off int64, p []byte, known uint32, haveKnown bool) {
+	b := s.crcBlock
+	if b == 0 || len(p) == 0 {
+		return
+	}
+	n := int64(len(p))
+	aligned := off%b == 0 && n%b == 0
+	first, last := off/b, (off+n-1)/b
+	for idx := first; idx <= last; idx++ {
+		var crc uint32
+		if aligned {
+			if n == b && haveKnown {
+				crc = known
+			} else {
+				blk := idx - first
+				crc = crc32c.Sum(p[blk*b : (blk+1)*b])
+			}
+		}
+		s.crcMu.Lock()
+		if clean := s.releaseBlock(idx); clean && aligned {
+			s.crcSums[idx] = crc
+			s.crcValid[idx>>6] |= 1 << (idx & 63)
+		}
+		s.crcMu.Unlock()
+	}
+}
+
+// abortWrite closes out a failed or rejected write: the in-flight marks
+// are released without publishing anything, so the blocks stay invalid
+// (the store may hold a torn or corrupt payload).
+func (s *Server) abortWrite(off, n int64) {
+	b := s.crcBlock
+	if b == 0 || n <= 0 {
+		return
+	}
+	first, last := off/b, (off+n-1)/b
+	s.crcMu.Lock()
+	for idx := first; idx <= last; idx++ {
+		s.releaseBlock(idx)
+	}
+	s.crcMu.Unlock()
+}
+

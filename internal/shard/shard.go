@@ -44,8 +44,10 @@ var (
 	// ErrGroupDegraded is returned when a group with non-online devices
 	// is asked to leave the volume — rebuild it first.
 	ErrGroupDegraded = errors.New("shard: group has non-online devices")
-	// ErrMigration is returned when topology changes collide with an
-	// extent migration already in flight.
+	// ErrMigration is returned when a topology change collides with an
+	// extent migration in flight or pending — a cancelled RemoveGroup
+	// leaves its plan persisted, and retrying that same removal to
+	// completion is the only topology change allowed until it finishes.
 	ErrMigration = errors.New("shard: extent migration in progress")
 )
 
@@ -82,6 +84,26 @@ func (c Config) withDefaults() Config {
 type group struct {
 	id  int
 	vol *cluster.Volume
+	// refs counts management operations (scrub, rebuild, placement
+	// sync, stats rollups) using vol outside the volume lock;
+	// RemoveGroup waits for it to drain before closing the child, so
+	// none of them ever sees a closed volume.
+	refs sync.WaitGroup
+}
+
+// removalState is the persisted plan of an in-flight RemoveGroup: the
+// leaving group, the surviving logical slots still homed on it, and the
+// freed physical home each one migrates into. The plan outlives a
+// cancelled call so a retry resumes the original src→dst pairing —
+// re-deriving it from the half-migrated extent table would compute a
+// larger survivor count (migrated slots no longer look gid-owned) and
+// alias two logical slots onto one physical stripe.
+type removalState struct {
+	gid    int
+	srcs   []int    // logical slots still homed on gid, ascending
+	dsts   []Extent // freed physical homes from the discarded tail, ascending
+	next   int      // first pair not yet migrated
+	active bool     // a RemoveGroup call is driving the plan right now
 }
 
 // ShardedVolume is a logical volume striped across shifted-mirror
@@ -89,18 +111,23 @@ type group struct {
 // cluster.Volume (ReadAtCtx/WriteAtCtx/RebuildDisk/Scrub) with disk
 // operations additionally keyed by group id.
 type ShardedVolume struct {
-	mu        sync.RWMutex
-	n         int
-	elemSize  int64
-	stripeB   int64 // n²·elementSize: logical bytes per stripe slot
-	groups    map[int]*group
-	order     []int // group ids, add order
-	extents   []Extent
-	nextID    int
-	migrating bool
-	cfg       Config
-	table     *PlacementTable
-	stats     shardStats
+	mu       sync.RWMutex
+	n        int
+	elemSize int64
+	stripeB  int64 // n²·elementSize: logical bytes per stripe slot
+	groups   map[int]*group
+	order    []int // group ids, add order
+	extents  []Extent
+	nextID   int
+	removal  *removalState // non-nil while a RemoveGroup is in flight or pending retry
+	cfg      Config
+	table    *PlacementTable
+	stats    shardStats
+
+	// migrateHook, when non-nil, runs outside the lock after each
+	// migrated extent with the number of pairs completed so far — test
+	// instrumentation for cancel/retry coverage.
+	migrateHook func(migrated int)
 }
 
 // New builds a ShardedVolume over already-open child volumes. All
@@ -433,24 +460,49 @@ func (s *ShardedVolume) WriteAtCtx(ctx context.Context, p []byte, off int64) (in
 	return len(p), nil
 }
 
-// lookup resolves a group id under the read lock.
-func (s *ShardedVolume) lookup(gid int) (*group, error) {
+// pin resolves a group id under the read lock and holds its refcount:
+// a concurrent RemoveGroup waits for every pin to drop before closing
+// the child volume. Every successful pin must be paired with unpin.
+func (s *ShardedVolume) pin(gid int) (*group, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	g, ok := s.groups[gid]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNoGroup, gid)
 	}
+	g.refs.Add(1)
 	return g, nil
+}
+
+// pinAll pins every live group in add order; release with unpinAll.
+func (s *ShardedVolume) pinAll() []*group {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	gs := make([]*group, 0, len(s.groups))
+	for _, gid := range s.order {
+		g := s.groups[gid]
+		g.refs.Add(1)
+		gs = append(gs, g)
+	}
+	return gs
+}
+
+func (g *group) unpin() { g.refs.Done() }
+
+func unpinAll(gs []*group) {
+	for _, g := range gs {
+		g.unpin()
+	}
 }
 
 // Fail declares one disk's content lost in the given group and moves
 // its placement entry to dead.
 func (s *ShardedVolume) Fail(gid int, id raid.DiskID) error {
-	g, err := s.lookup(gid)
+	g, err := s.pin(gid)
 	if err != nil {
 		return err
 	}
+	defer g.unpin()
 	if err := g.vol.Fail(id); err != nil {
 		return err
 	}
@@ -467,10 +519,11 @@ func (s *ShardedVolume) Fail(gid int, id raid.DiskID) error {
 // group; the placement entry becomes replacement-pending, eligible for
 // the rebuild scheduler.
 func (s *ShardedVolume) ReplaceBackend(gid int, id raid.DiskID, addr string) error {
-	g, err := s.lookup(gid)
+	g, err := s.pin(gid)
 	if err != nil {
 		return err
 	}
+	defer g.unpin()
 	if err := g.vol.ReplaceBackend(id, addr); err != nil {
 		return err
 	}
@@ -490,10 +543,11 @@ func (s *ShardedVolume) ReplaceBackend(gid int, id raid.DiskID, addr string) err
 // the duration, online on success, back to replacement-pending on
 // failure (with the incompleteness the watermark got to).
 func (s *ShardedVolume) RebuildDisk(ctx context.Context, gid int, id raid.DiskID) error {
-	g, err := s.lookup(gid)
+	g, err := s.pin(gid)
 	if err != nil {
 		return err
 	}
+	defer g.unpin()
 	s.table.mutate(gid, id, func(d *Device) { d.State = DeviceRebuilding })
 	s.stats.rebuildActive.Add(1)
 	err = g.vol.RebuildDisk(ctx, id)
@@ -523,12 +577,8 @@ func (s *ShardedVolume) RebuildDisk(ctx context.Context, gid int, id raid.DiskID
 // degraded-skip errors; either way the merged report says what was
 // covered.
 func (s *ShardedVolume) Scrub(ctx context.Context) (ScrubReport, error) {
-	s.mu.RLock()
-	gs := make([]*group, 0, len(s.groups))
-	for _, gid := range s.order {
-		gs = append(gs, s.groups[gid])
-	}
-	s.mu.RUnlock()
+	gs := s.pinAll()
+	defer unpinAll(gs)
 
 	type result struct {
 		gid    int
@@ -590,12 +640,8 @@ type ScrubReport struct {
 // online. Idempotent; the rebuild scheduler calls it each round, and
 // operators can call it any time.
 func (s *ShardedVolume) SyncPlacement() {
-	s.mu.RLock()
-	gs := make([]*group, 0, len(s.groups))
-	for _, gid := range s.order {
-		gs = append(gs, s.groups[gid])
-	}
-	s.mu.RUnlock()
+	gs := s.pinAll()
+	defer unpinAll(gs)
 	for _, g := range gs {
 		stripes := int64(g.vol.Stripes())
 		for _, id := range g.vol.Arch().Disks() {
@@ -636,7 +682,7 @@ func (s *ShardedVolume) AddGroup(c *cluster.Volume) (int, error) {
 			c.N(), c.ElementSize(), s.n, s.elemSize)
 	}
 	s.mu.Lock()
-	if s.migrating {
+	if s.removal != nil {
 		s.mu.Unlock()
 		return 0, ErrMigration
 	}
@@ -653,17 +699,26 @@ func (s *ShardedVolume) AddGroup(c *cluster.Volume) (int, error) {
 }
 
 // RemoveGroup detaches one group online, shrinking the logical address
-// space by the group's stripe count: the logical tail [newSize,
-// oldSize) is discarded (the exact inverse of AddGroup — vacate it
-// first), and every surviving logical stripe that lived on the leaving
-// group is migrated into the physical stripes the discarded tail
-// freed on other groups. Extents move one at a time under short
-// exclusive-lock holds, so reads and writes keep flowing between
-// stripe copies; ctx cancels between extents, leaving a consistent
-// half-migrated volume that a retry resumes.
+// space by the group's stripe count. The logical tail [newSize,
+// oldSize) is discarded the moment removal starts (the exact inverse
+// of AddGroup — vacate it first): the extent table is truncated up
+// front, so tail reads hit io.EOF and tail writes fail out-of-range
+// instead of aliasing the freed physical stripes that become migration
+// destinations. Every surviving logical stripe that lived on the
+// leaving group is then migrated into those freed stripes, one extent
+// at a time under short exclusive-lock holds, so reads and writes keep
+// flowing between stripe copies.
+//
+// ctx cancels between extents, leaving a consistent half-migrated
+// volume plus the persisted migration plan; calling RemoveGroup again
+// with the same gid resumes that plan where it stopped. Until the
+// retry completes, every other topology change (AddGroup, RemoveGroup
+// of a different group) fails with ErrMigration.
 //
 // Removal is refused while the group has non-online devices (rebuild
-// first) and for the last remaining group.
+// first) and for the last remaining group; a resumed removal skips the
+// degraded check — the tail is already gone, so finishing the
+// migration (degraded reads included) is strictly better than wedging.
 func (s *ShardedVolume) RemoveGroup(ctx context.Context, gid int) error {
 	s.mu.Lock()
 	g, ok := s.groups[gid]
@@ -671,76 +726,89 @@ func (s *ShardedVolume) RemoveGroup(ctx context.Context, gid int) error {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrNoGroup, gid)
 	}
-	if len(s.groups) == 1 {
-		s.mu.Unlock()
-		return ErrLastGroup
-	}
-	if s.migrating {
+	plan := s.removal
+	if plan != nil && (plan.gid != gid || plan.active) {
 		s.mu.Unlock()
 		return ErrMigration
 	}
-	for _, id := range g.vol.Arch().Disks() {
-		if g.vol.IsFailed(id) || g.vol.IsRebuilding(id) {
+	if plan == nil {
+		if len(s.groups) == 1 {
 			s.mu.Unlock()
-			return fmt.Errorf("%w: group %d disk %v", ErrGroupDegraded, gid, id)
+			return ErrLastGroup
 		}
-	}
-	removed := 0
-	for _, e := range s.extents {
-		if e.Group == gid {
-			removed++
+		for _, id := range g.vol.Arch().Disks() {
+			if g.vol.IsFailed(id) || g.vol.IsRebuilding(id) {
+				s.mu.Unlock()
+				return fmt.Errorf("%w: group %d disk %v", ErrGroupDegraded, gid, id)
+			}
 		}
-	}
-	newCount := len(s.extents) - removed
-	// Pair each surviving logical slot that lives on the leaving group
-	// (ascending) with a freed physical stripe from the discarded tail
-	// (ascending). The counts match by construction: the tail holds
-	// `removed` slots total, of which the gid-owned ones need no new
-	// home, and below the cut exactly (gid-slots − gid-tail-slots) need
-	// one — the same as the non-gid tail slots freeing up.
-	var srcs, dsts []int
-	for i := 0; i < newCount; i++ {
-		if s.extents[i].Group == gid {
-			srcs = append(srcs, i)
+		removed := 0
+		for _, e := range s.extents {
+			if e.Group == gid {
+				removed++
+			}
 		}
-	}
-	for j := newCount; j < len(s.extents); j++ {
-		if s.extents[j].Group != gid {
-			dsts = append(dsts, j)
+		newCount := len(s.extents) - removed
+		// Pair each surviving logical slot that lives on the leaving
+		// group (ascending) with a freed physical stripe from the
+		// discarded tail (ascending). The counts match by construction:
+		// the tail holds `removed` slots total, of which the gid-owned
+		// ones need no new home, and below the cut exactly
+		// (gid-slots − gid-tail-slots) need one — the same as the
+		// non-gid tail slots freeing up.
+		plan = &removalState{gid: gid}
+		for i := 0; i < newCount; i++ {
+			if s.extents[i].Group == gid {
+				plan.srcs = append(plan.srcs, i)
+			}
 		}
+		for j := newCount; j < len(s.extents); j++ {
+			if s.extents[j].Group != gid {
+				plan.dsts = append(plan.dsts, s.extents[j])
+			}
+		}
+		// Truncate now: the freed tail stripes must stop being
+		// addressable before the first one is reused as a migration
+		// destination, and the truncated table is also why the plan has
+		// to persist — it cannot be re-derived after this point.
+		s.extents = s.extents[:newCount]
+		s.removal = plan
 	}
-	s.migrating = true
+	plan.active = true
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
-		s.migrating = false
+		plan.active = false
 		s.mu.Unlock()
 	}()
 
 	buf := make([]byte, s.stripeB)
-	for k := range srcs {
+	for k := plan.next; k < len(plan.srcs); k++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		s.mu.Lock()
-		src, dst := s.extents[srcs[k]], s.extents[dsts[k]]
+		src, dst := s.extents[plan.srcs[k]], plan.dsts[k]
 		srcVol := s.groups[src.Group].vol
 		dstVol := s.groups[dst.Group].vol
 		if _, err := srcVol.ReadAtCtx(ctx, buf, int64(src.Stripe)*s.stripeB); err != nil {
 			s.mu.Unlock()
-			return fmt.Errorf("shard: migrate extent %d from group %d: %w", srcs[k], src.Group, err)
+			return fmt.Errorf("shard: migrate extent %d from group %d: %w", plan.srcs[k], src.Group, err)
 		}
 		if _, err := dstVol.WriteAtCtx(ctx, buf, int64(dst.Stripe)*s.stripeB); err != nil {
 			s.mu.Unlock()
-			return fmt.Errorf("shard: migrate extent %d to group %d: %w", srcs[k], dst.Group, err)
+			return fmt.Errorf("shard: migrate extent %d to group %d: %w", plan.srcs[k], dst.Group, err)
 		}
-		s.extents[srcs[k]] = dst
+		s.extents[plan.srcs[k]] = dst
+		plan.next = k + 1
 		s.stats.migratedExtents.Inc()
 		s.mu.Unlock()
+		if s.migrateHook != nil {
+			s.migrateHook(k + 1)
+		}
 	}
 
 	s.mu.Lock()
-	s.extents = s.extents[:newCount]
 	delete(s.groups, gid)
 	for i, id := range s.order {
 		if id == gid {
@@ -748,8 +816,12 @@ func (s *ShardedVolume) RemoveGroup(ctx context.Context, gid int) error {
 			break
 		}
 	}
+	s.removal = nil
 	s.mu.Unlock()
 	s.table.remove(gid)
+	// Management operations that pinned the group before it left the
+	// map may still be using the child; let them drain before Close.
+	g.refs.Wait()
 	g.vol.Close()
 	// The removed group's metric series keep their last values; stable
 	// group ids guarantee a future AddGroup never collides with them.

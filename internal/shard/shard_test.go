@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -563,4 +564,128 @@ func TestShardStatsJSON(t *testing.T) {
 	if h.Groups != 2 || h.Devices.ReplacementPending != 1 {
 		t.Fatalf("health: %+v", h)
 	}
+}
+
+// TestShardRemoveGroupCancelRetry pins the two halves of RemoveGroup's
+// crash-consistency story. First, the discarded tail is fenced the
+// moment removal starts — its physical stripes become migration
+// destinations, so leaving it addressable would alias migrated data.
+// Second, a cancelled migration persists its plan and a retry resumes
+// it; re-deriving the plan from the half-migrated extent table used to
+// alias two logical slots onto one physical stripe (the migrated slots
+// no longer look owned by the leaving group, shifting the cut).
+func TestShardRemoveGroupCancelRetry(t *testing.T) {
+	const n, elementSize = 2, int64(32)
+	s, _ := newTestShard(t, n, elementSize, []int{3, 3, 3}, Config{})
+	payload := shardPayload(t, s, 11)
+	stripeB := int64(n*n) * elementSize
+	oldSize := s.Size()
+
+	// Group 0 owns extents 0, 3, 6 of 9; slots 0 and 3 survive the cut
+	// at 6, so two pairs migrate. Cancel after the first.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.migrateHook = func(migrated int) {
+		if migrated == 1 {
+			cancel()
+		}
+	}
+	err := s.RemoveGroup(ctx, 0)
+	s.migrateHook = nil
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled removal: %v", err)
+	}
+
+	// The tail is gone and fenced despite the half-finished migration.
+	newSize := oldSize - 3*stripeB
+	if got := s.Size(); got != newSize {
+		t.Fatalf("size after cancelled removal: %d, want %d", got, newSize)
+	}
+	if _, err := s.ReadAt(make([]byte, stripeB), newSize); !errors.Is(err, io.EOF) {
+		t.Fatalf("tail read after fence: %v, want io.EOF", err)
+	}
+	if _, err := s.WriteAt(make([]byte, stripeB), newSize); err == nil {
+		t.Fatal("tail write accepted after fence")
+	}
+
+	// The surviving prefix stays byte-identical mid-migration.
+	got := make([]byte, newSize)
+	if _, err := s.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload[:newSize]) {
+		t.Fatal("surviving prefix corrupted by cancelled migration")
+	}
+
+	// Other topology changes are refused until the removal completes.
+	arch := raid.NewMirror(layout.NewShifted(n))
+	nb := startGroupBackends(t, arch, elementSize, 2)
+	child, err := cluster.New(arch, nb.addrs, fastClusterConfig(elementSize, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer child.Close()
+	if _, err := s.AddGroup(child); !errors.Is(err, ErrMigration) {
+		t.Fatalf("AddGroup during pending removal: %v", err)
+	}
+	if err := s.RemoveGroup(context.Background(), 1); !errors.Is(err, ErrMigration) {
+		t.Fatalf("RemoveGroup(other) during pending removal: %v", err)
+	}
+
+	// The retry resumes the persisted plan and finishes cleanly.
+	if err := s.RemoveGroup(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	got = make([]byte, newSize)
+	if _, err := s.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload[:newSize]) {
+		t.Fatal("data corrupted across cancel+retry removal")
+	}
+	for _, e := range s.ExtentTable() {
+		if e.Group == 0 {
+			t.Fatalf("extent still references removed group: %+v", e)
+		}
+	}
+	if _, ok := s.GroupVolume(0); ok {
+		t.Fatal("removed group still resolvable after retry")
+	}
+}
+
+// TestShardManagementDuringTopologyChange hammers the management
+// surface (stats rollups, placement sync) while groups are being
+// removed. The management paths pin child volumes by refcount, so
+// RemoveGroup's Close must wait for them to drain — without that, this
+// test races a child's Close against in-flight Stats/Watermark calls
+// (caught under -race, or as use-after-close errors).
+func TestShardManagementDuringTopologyChange(t *testing.T) {
+	s, _ := newTestShard(t, 2, 32, []int{2, 2, 2}, Config{})
+	shardPayload(t, s, 13)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Stats()
+				s.SyncPlacement()
+				s.Health()
+			}
+		}()
+	}
+	if err := s.RemoveGroup(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveGroup(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
 }

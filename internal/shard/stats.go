@@ -93,11 +93,9 @@ func (st *shardStats) register(reg *obs.Registry) {
 // refreshRollups recomputes the aggregate gauges from the placement
 // table and the children's own counters.
 func (s *ShardedVolume) refreshRollups() {
+	gs := s.pinAll()
+	defer unpinAll(gs)
 	s.mu.RLock()
-	gs := make([]*group, 0, len(s.groups))
-	for _, gid := range s.order {
-		gs = append(gs, s.groups[gid])
-	}
 	extents := len(s.extents)
 	s.mu.RUnlock()
 
@@ -183,11 +181,9 @@ type Health struct {
 // aggregates.
 func (s *ShardedVolume) Stats() Stats {
 	s.refreshRollups()
+	gs := s.pinAll()
+	defer unpinAll(gs)
 	s.mu.RLock()
-	gs := make([]*group, 0, len(s.groups))
-	for _, gid := range s.order {
-		gs = append(gs, s.groups[gid])
-	}
 	extents := len(s.extents)
 	s.mu.RUnlock()
 

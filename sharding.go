@@ -84,8 +84,10 @@ var (
 	// ErrGroupDegraded is returned when RemoveGroup targets a group with
 	// non-online devices.
 	ErrGroupDegraded = shard.ErrGroupDegraded
-	// ErrMigration is returned when topology changes collide with an
-	// extent migration in flight.
+	// ErrMigration is returned when a topology change collides with an
+	// extent migration in flight or pending — a cancelled RemoveGroup
+	// persists its plan, and only retrying that same removal is allowed
+	// until it completes.
 	ErrMigration = shard.ErrMigration
 )
 
