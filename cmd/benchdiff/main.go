@@ -71,9 +71,13 @@ type ratioResult struct {
 
 // comparison is the full report benchdiff emits.
 type comparison struct {
-	Threshold float64       `json:"threshold"`
-	Results   []result      `json:"results"`
-	Ratios    []ratioResult `json:"ratios,omitempty"`
+	// BaselineFile and Section identify which gate produced this
+	// comparison, so a failure in a multi-gate CI job names its source.
+	BaselineFile string        `json:"baseline_file"`
+	Section      string        `json:"section"`
+	Threshold    float64       `json:"threshold"`
+	Results      []result      `json:"results"`
+	Ratios       []ratioResult `json:"ratios,omitempty"`
 	// Missing are tracked benchmarks the run did not produce — a gate
 	// failure (the gate has rotted or the run was too narrow).
 	Missing []string `json:"missing,omitempty"`
@@ -83,7 +87,8 @@ type comparison struct {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_kernels.json", "baseline file holding the \"gate\" section")
+	baselinePath := flag.String("baseline", "BENCH_kernels.json", "baseline file holding the gate section")
+	section := flag.String("section", "gate", "top-level key of the baseline file holding the gate")
 	inputs := flag.String("input", "", "comma-separated files of pre-captured go test -bench output (default: run the benchmarks)")
 	benchRe := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
 	benchtime := flag.String("benchtime", "25ms", "go test -benchtime value (1x is too noisy to gate on)")
@@ -119,14 +124,14 @@ func main() {
 	}
 
 	if *update {
-		if err := updateBaseline(*baselinePath, medians, *threshold); err != nil {
+		if err := updateBaseline(*baselinePath, *section, medians, *threshold); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "benchdiff: wrote %d gate benchmarks to %s\n", len(medians), *baselinePath)
+		fmt.Fprintf(os.Stderr, "benchdiff: wrote %d gate benchmarks to %s#%s\n", len(medians), *baselinePath, *section)
 		return
 	}
 
-	g, err := loadGate(*baselinePath)
+	g, err := loadGate(*baselinePath, *section)
 	if err != nil {
 		fatal(err)
 	}
@@ -134,6 +139,9 @@ func main() {
 		g.Threshold = *threshold
 	}
 	cmp := compare(g, medians)
+	cmp.BaselineFile = *baselinePath
+	cmp.Section = *section
+	gateID := fmt.Sprintf("%s#%s", *baselinePath, *section)
 	blob, err := json.MarshalIndent(cmp, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -149,7 +157,7 @@ func main() {
 	for _, r := range cmp.Results {
 		status := "ok"
 		if r.Regressed {
-			status = "REGRESSED"
+			status = fmt.Sprintf("REGRESSED (%s)", gateID)
 		}
 		fmt.Fprintf(os.Stderr, "benchdiff: %-50s %10.0f -> %10.0f MB/s (%.2fx) %s\n",
 			r.Name, r.BaselineMBps, r.MeasuredMBps, r.Ratio, status)
@@ -157,19 +165,19 @@ func main() {
 	for _, r := range cmp.Ratios {
 		status := "ok"
 		if r.Failed {
-			status = "BELOW FLOOR"
+			status = fmt.Sprintf("BELOW FLOOR (%s)", gateID)
 		}
 		fmt.Fprintf(os.Stderr, "benchdiff: %s / %s = %.2f (min %.2f) %s\n",
 			r.Name, r.Baseline, r.Measured, r.Min, status)
 	}
 	for _, m := range cmp.Missing {
-		fmt.Fprintf(os.Stderr, "benchdiff: %-50s MISSING from run\n", m)
+		fmt.Fprintf(os.Stderr, "benchdiff: %-50s MISSING from run (%s)\n", m, gateID)
 	}
 	if cmp.Failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: FAILED (threshold %.0f%%)\n", g.Threshold*100)
+		fmt.Fprintf(os.Stderr, "benchdiff: FAILED gate %s (threshold %.0f%%)\n", gateID, g.Threshold*100)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchdiff: ok — %d benchmarks within %.0f%% of baseline\n", len(cmp.Results), g.Threshold*100)
+	fmt.Fprintf(os.Stderr, "benchdiff: ok — %s, %d benchmarks within %.0f%% of baseline\n", gateID, len(cmp.Results), g.Threshold*100)
 }
 
 func fatal(err error) {
@@ -231,25 +239,25 @@ func medianMBps(samples map[string][]float64) map[string]float64 {
 	return medians
 }
 
-// loadGate reads the baseline file's "gate" section.
-func loadGate(path string) (gate, error) {
+// loadGate reads one gate section of the baseline file.
+func loadGate(path, section string) (gate, error) {
 	var g gate
 	doc, err := readBaseline(path)
 	if err != nil {
 		return g, err
 	}
-	raw, ok := doc["gate"]
+	raw, ok := doc[section]
 	if !ok {
-		return g, fmt.Errorf("%s has no \"gate\" section (run benchdiff -update to create one)", path)
+		return g, fmt.Errorf("%s has no %q section (run benchdiff -update to create one)", path, section)
 	}
 	if err := json.Unmarshal(raw, &g); err != nil {
-		return g, fmt.Errorf("%s gate section: %w", path, err)
+		return g, fmt.Errorf("%s#%s: %w", path, section, err)
 	}
 	if g.Threshold <= 0 {
 		g.Threshold = 0.25
 	}
-	if len(g.Benchmarks) == 0 {
-		return g, fmt.Errorf("%s gate section tracks no benchmarks", path)
+	if len(g.Benchmarks) == 0 && len(g.Ratios) == 0 {
+		return g, fmt.Errorf("%s#%s tracks no benchmarks or ratios", path, section)
 	}
 	return g, nil
 }
@@ -325,15 +333,15 @@ func compare(g gate, medians map[string]float64) comparison {
 	return cmp
 }
 
-// updateBaseline rewrites the gate section of the baseline file in
+// updateBaseline rewrites one gate section of the baseline file in
 // place, keeping every other top-level key byte-identical.
-func updateBaseline(path string, medians map[string]float64, threshold float64) error {
+func updateBaseline(path, section string, medians map[string]float64, threshold float64) error {
 	doc, err := readBaseline(path)
 	if err != nil {
 		return err
 	}
 	g := gate{Threshold: threshold}
-	if raw, ok := doc["gate"]; ok {
+	if raw, ok := doc[section]; ok {
 		var old gate
 		if err := json.Unmarshal(raw, &old); err == nil {
 			if g.Threshold <= 0 {
@@ -354,7 +362,7 @@ func updateBaseline(path string, medians map[string]float64, threshold float64) 
 	if err != nil {
 		return err
 	}
-	doc["gate"] = raw
+	doc[section] = raw
 	blob, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

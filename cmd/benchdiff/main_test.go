@@ -121,10 +121,10 @@ func TestUpdateAndLoadBaselineRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	medians := medianMBps(parseBench([]byte(sampleOutput)))
-	if err := updateBaseline(path, medians, 0); err != nil {
+	if err := updateBaseline(path, "gate", medians, 0); err != nil {
 		t.Fatal(err)
 	}
-	g, err := loadGate(path)
+	g, err := loadGate(path, "gate")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,49 @@ func TestLoadGateErrors(t *testing.T) {
 	if err := os.WriteFile(path, []byte(`{"other": 1}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadGate(path); err == nil {
+	if _, err := loadGate(path, "gate"); err == nil {
 		t.Fatal("expected error for missing gate section")
+	}
+}
+
+// TestLoadGateSection: -section selects a non-default top-level key,
+// and a ratios-only section (no absolute medians) is a valid gate.
+func TestLoadGateSection(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "multi.json")
+	seed := `{
+	  "gate": {"threshold": 0.25, "benchmarks": {"BenchmarkA": 1}},
+	  "qos_gate": {"threshold": 0.5, "ratios": [{"name": "BenchmarkB", "baseline": "BenchmarkC", "min": 0.4}]}
+	}`
+	if err := os.WriteFile(path, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGate(path, "qos_gate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Threshold != 0.5 || len(g.Ratios) != 1 || g.Ratios[0].Min != 0.4 {
+		t.Fatalf("qos_gate section = %+v", g)
+	}
+	if len(g.Benchmarks) != 0 {
+		t.Fatalf("qos_gate benchmarks = %v, want none", g.Benchmarks)
+	}
+	// Updating one section must not clobber the other.
+	if err := updateBaseline(path, "qos_gate", map[string]float64{"BenchmarkB": 2, "BenchmarkC": 4}, 0); err != nil {
+		t.Fatal(err)
+	}
+	def, err := loadGate(path, "gate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Benchmarks["BenchmarkA"] != 1 {
+		t.Fatalf("default gate damaged by sectioned update: %+v", def)
+	}
+	q, err := loadGate(path, "qos_gate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Benchmarks["BenchmarkB"] != 2 || len(q.Ratios) != 1 {
+		t.Fatalf("sectioned update lost data: %+v", q)
 	}
 }

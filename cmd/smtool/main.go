@@ -532,6 +532,8 @@ func cmdCluster(args []string) error {
 	hedge := fs.Bool("hedge", false, "enable hedged reads (race slow backends against replica locations)")
 	crc := fs.Bool("crc", false, "end-to-end checksummed wire path (self-hosted backends get a matching CRC sidecar)")
 	noWriteBatch := fs.Bool("nowritebatch", false, "disable coalesced scatter writes (one OpWrite round trip per element copy, for A/B measurement)")
+	qosSLO := fs.Duration("qos", 0, "rebuild QoS: throttle the rebuild to hold user-read p99 under this SLO (0 = off, rebuild runs flat out)")
+	qosMin := fs.Float64("qosmin", 0, "rebuild QoS floor rate in stripes/sec (forward-progress guarantee; 0 = default 1)")
 	fs.Parse(args)
 
 	arch, err := buildArch(*arrName, *n, false)
@@ -541,7 +543,8 @@ func cmdCluster(args []string) error {
 	cfg := cluster.Config{
 		ElementSize: *elementSize, Stripes: *stripes,
 		HedgeEnabled: *hedge, DisableWriteBatch: *noWriteBatch,
-		WireCRC: *crc,
+		WireCRC:       *crc,
+		RebuildQoSSLO: *qosSLO, RebuildQoSMinRate: *qosMin,
 	}
 	diskSize := int64(*stripes) * int64(*n) * *elementSize
 
@@ -672,6 +675,11 @@ func cmdCluster(args []string) error {
 	if hs := finalStats.Hedge; *hedge || hs.Attempts > 0 {
 		fmt.Printf("hedging: %d attempts, %d wins, %d losses, %d cancels\n",
 			hs.Attempts, hs.Wins, hs.Losses, hs.Cancels)
+	}
+	if qs := finalStats.QoS; qs.Enabled {
+		fmt.Printf("rebuild qos: slo %s, rate %.1f stripes/s, headroom %dus, %d throttles, %d boosts, %.2fs waited\n",
+			time.Duration(qs.SLO*float64(time.Second)).Round(time.Microsecond),
+			qs.RateStripesPerSec, qs.HeadroomMicros, qs.Throttles, qs.Boosts, qs.WaitSeconds)
 	}
 	fmt.Printf("%-12s %-21s %5s %5s %8s %7s %5s %6s\n", "disk", "backend", "dead", "fail", "requests", "retries", "dials", "errors")
 	for _, b := range h.Backends {

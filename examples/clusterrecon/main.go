@@ -131,6 +131,9 @@ type report struct {
 	Tail *tailReport `json:"tail,omitempty"`
 	// Writes is the write-batching experiment.
 	Writes *writeReport `json:"writes,omitempty"`
+	// Live is the availability-under-load experiment (-live): a
+	// QoS-throttled rebuild racing a seeded multi-tenant workload.
+	Live *liveReport `json:"live,omitempty"`
 }
 
 func main() {
@@ -140,6 +143,7 @@ func main() {
 	rate := flag.Float64("rate", 2, "per-backend read bandwidth in MB/s (models disk media rate)")
 	quick := flag.Bool("quick", false, "small run for CI smoke tests")
 	crc := flag.Bool("crc", false, "run the rebuild over the checksummed wire path (per-element CRC32C end to end)")
+	live := flag.Bool("live", false, "also run the availability-under-load phase: QoS-throttled rebuild racing a seeded multi-tenant workload")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout")
 	flag.Parse()
 	if *quick {
@@ -211,6 +215,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *live {
+		lrep, err := measureLivePhase(*n, *element, *stripes, *rate, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clusterrecon: live traffic: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Live = &lrep
+		if err := assertLiveProperty(lrep); err != nil {
+			fmt.Fprintf(os.Stderr, "clusterrecon: availability property violated: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -246,6 +263,18 @@ func main() {
 	fmt.Printf("%-10s %16.1f %10.1f\n", "unbatched", wr.UnbatchedFramesPerStripe, wr.UnbatchedMBps)
 	fmt.Printf("rebuild write-back: %d round trips for %d slices\n",
 		wr.RebuildWriteBackFrames, wr.RebuildSlices)
+	if rep.Live != nil {
+		l := rep.Live
+		fmt.Printf("\navailability under load (%d ops, %d tenants, SLO %.1fms, floor %.0f stripes/s):\n",
+			l.Ops, l.Tenants, l.SLOMs, l.FloorStripesPerSec)
+		fmt.Printf("%-14s %10s %10s %10s %12s %12s %10s\n",
+			"arrangement", "idle p99", "live p99", "degraded", "inflation", "rebuild", "throttles")
+		for _, r := range l.Runs {
+			fmt.Printf("%-14s %8.2fms %8.2fms %8.2fms %11.2fx %9.1f/s %10d\n",
+				r.Arrangement, r.IdleP99Ms, r.LiveP99Ms, r.DegradedP99Ms,
+				r.DegradedInflationX, r.RebuildStripesPerS, r.QoS.Throttles)
+		}
+	}
 }
 
 // assertWireProperty checks the deterministic half of the paper's

@@ -536,4 +536,3 @@ func (s *Server) abortWrite(off, n int64) {
 	}
 	s.crcMu.Unlock()
 }
-

@@ -145,6 +145,28 @@ type Config struct {
 	HedgeMinDelay   time.Duration
 	HedgeMaxDelay   time.Duration
 	HedgeMinSamples int
+
+	// RebuildQoSSLO, when positive, enables the rebuild QoS controller:
+	// RebuildDisk slices and ScrubOnline batches draw stripes from a
+	// shared token bucket whose rate adapts to hold the user-read
+	// fetch-latency p99 (the sm_cluster_fetch_duration_seconds
+	// histogram) under this SLO. Zero disables QoS — rebuild runs flat
+	// out, the previous behaviour.
+	RebuildQoSSLO time.Duration
+	// RebuildQoSMinRate is the floor rate in stripes/second the
+	// controller never throttles below, the rebuild's forward-progress
+	// guarantee even under sustained SLO pressure. Default 1.
+	RebuildQoSMinRate float64
+	// RebuildQoSMaxRate caps the rate while the SLO has headroom.
+	// Default 1e6 stripes/second — effectively unthrottled.
+	RebuildQoSMaxRate float64
+	// RebuildQoSInterval is how often the controller re-reads the fetch
+	// histogram and adjusts the rate. Default 100ms.
+	RebuildQoSInterval time.Duration
+	// RebuildQoSMinSamples is the fewest fetch observations a feedback
+	// window needs before its p99 is trusted; quieter windows count as
+	// idle and the rate recovers toward the cap. Default 8.
+	RebuildQoSMinSamples int
 }
 
 func (c Config) withDefaults() Config {
@@ -200,6 +222,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HedgeMinSamples <= 0 {
 		c.HedgeMinSamples = 32
+	}
+	if c.RebuildQoSMinRate <= 0 {
+		c.RebuildQoSMinRate = 1
+	}
+	if c.RebuildQoSMaxRate <= 0 {
+		c.RebuildQoSMaxRate = 1e6
+	}
+	if c.RebuildQoSMaxRate < c.RebuildQoSMinRate {
+		c.RebuildQoSMaxRate = c.RebuildQoSMinRate
+	}
+	if c.RebuildQoSInterval <= 0 {
+		c.RebuildQoSInterval = 100 * time.Millisecond
+	}
+	if c.RebuildQoSMinSamples <= 0 {
+		c.RebuildQoSMinSamples = 8
 	}
 	return c
 }

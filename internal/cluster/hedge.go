@@ -29,42 +29,48 @@ type hedgeTarget struct {
 }
 
 // readBatch serves one backend's batch of spans, racing it against the
-// spans' replica locations when hedging is on and every span still has
-// a live backup copy.
-func (v *Volume) readBatch(ctx context.Context, id raid.DiskID, batch []*span, hedged bool) error {
-	if hedged {
+// spans' replica locations when hedging is on, the fetch is a user
+// read, and every span still has a live backup copy.
+func (v *Volume) readBatch(ctx context.Context, id raid.DiskID, batch []*span, kind fetchKind) error {
+	if v.cfg.HedgeEnabled && kind == fetchUser {
 		if backups := v.backupGroups(id, batch); backups != nil {
 			return v.hedgedRead(ctx, id, batch, backups)
 		}
 		// Degraded to a single surviving copy somewhere in the batch (or
 		// the replicas' backends are dead): nothing to race against.
 	}
-	return v.directRead(ctx, id, batch)
+	return v.directRead(ctx, id, batch, kind)
 }
 
 // directRead issues the batch as one pooled vectored read into the
 // spans' buffers.
-func (v *Volume) directRead(ctx context.Context, id raid.DiskID, batch []*span) error {
+func (v *Volume) directRead(ctx context.Context, id raid.DiskID, batch []*span, kind fetchKind) error {
 	vecs := make([]blockserver.Vec, len(batch))
 	dst := make([][]byte, len(batch))
 	for i, s := range batch {
 		vecs[i] = blockserver.Vec{Off: v.storeOffset(s.stripe, s.loc.row) + s.inner, Len: len(s.buf)}
 		dst[i] = s.buf
 	}
-	return v.readVecs(ctx, id, vecs, dst)
+	return v.readVecs(ctx, id, vecs, dst, kind)
 }
 
 // readVecs is the shared wire call: one ReadV through the backend's
 // pool. Successful round trips feed the fetch-latency histogram the
-// adaptive hedge delay quantiles; failures and cancelled losers are
-// excluded so they cannot drag the trigger around.
-func (v *Volume) readVecs(ctx context.Context, id raid.DiskID, vecs []blockserver.Vec, dst [][]byte) error {
+// adaptive hedge delay and the rebuild QoS controller quantile;
+// failures and cancelled losers are excluded so they cannot drag the
+// trigger around, and so are rebuild gathers — a throttled rebuild
+// round trip is not user-visible latency, and letting it into the
+// histogram would feed the QoS controller its own throttling as
+// apparent SLO pressure.
+func (v *Volume) readVecs(ctx context.Context, id raid.DiskID, vecs []blockserver.Vec, dst [][]byte, kind fetchKind) error {
 	start := time.Now()
 	err := v.pools[id].doCtx(ctx, func(ctx context.Context, c *blockserver.Client) error {
 		return c.ReadVCtx(ctx, vecs, dst)
 	})
 	if err == nil {
-		v.stats.fetchLat.Observe(time.Since(start))
+		if kind != fetchRebuild {
+			v.stats.fetchLat.Observe(time.Since(start))
+		}
 	} else if blockserver.IsCRC(err) {
 		// The backend's bytes failed their checksum at this client; the
 		// fetch engine fails the spans over to a replica like any other
@@ -136,7 +142,7 @@ func (v *Volume) hedgedRead(ctx context.Context, id raid.DiskID, batch []*span, 
 	primCtx, cancelPrim := context.WithCancel(ctx)
 	defer cancelPrim()
 	primDone := make(chan error, 1)
-	go func() { primDone <- v.directRead(primCtx, id, batch) }()
+	go func() { primDone <- v.directRead(primCtx, id, batch, fetchUser) }()
 
 	timer := time.NewTimer(v.hedgeDelay())
 	select {
@@ -226,7 +232,7 @@ func (v *Volume) readBackupGroup(ctx context.Context, id raid.DiskID, g []hedgeT
 		vecs[i] = blockserver.Vec{Off: v.storeOffset(t.s.stripe, t.loc.row) + t.s.inner, Len: len(t.buf)}
 		dst[i] = t.buf
 	}
-	return v.readVecs(ctx, id, vecs, dst)
+	return v.readVecs(ctx, id, vecs, dst, fetchUser)
 }
 
 // commitBackups copies the winning backup's scratch buffers into the

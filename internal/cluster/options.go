@@ -92,6 +92,20 @@ func WithPool(size, retries int, backoff time.Duration) Option {
 	}
 }
 
+// WithRebuildQoS enables the rebuild QoS controller: RebuildDisk slices
+// and ScrubOnline batches draw stripes from a shared token bucket whose
+// rate adapts — fed back from the sm_cluster_fetch_duration_seconds
+// histogram — to hold the user-read p99 under slo, while never
+// throttling below minStripesPerSec (the forward-progress floor; pass 0
+// for the default of 1). See Config.RebuildQoS* for the remaining
+// knobs.
+func WithRebuildQoS(slo time.Duration, minStripesPerSec float64) Option {
+	return func(c *Config) {
+		c.RebuildQoSSLO = slo
+		c.RebuildQoSMinRate = minStripesPerSec
+	}
+}
+
 // Open builds a Volume over the architecture and backend address map
 // using functional options — the option-first counterpart of New.
 func Open(arch *raid.Mirror, backends map[raid.DiskID]string, opts ...Option) (*Volume, error) {

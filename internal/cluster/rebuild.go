@@ -65,6 +65,13 @@ func (v *Volume) RebuildDisk(ctx context.Context, id raid.DiskID) error {
 			v.trace(obs.Event{Op: "rebuild", Target: id.String(), Bytes: rebuilt, Dur: time.Since(start), Err: err})
 			return err
 		}
+		// QoS throttle: pay for the next slice in stripes before taking
+		// the exclusive lock, so a throttled rebuild parks here with user
+		// I/O flowing, never inside the slice.
+		if err := v.qos.acquire(ctx, v.nextSliceStripes(id)); err != nil {
+			v.trace(obs.Event{Op: "rebuild", Target: id.String(), Bytes: rebuilt, Dur: time.Since(start), Err: err})
+			return err
+		}
 		done, n, err := v.rebuildSlice(ctx, id)
 		rebuilt += n
 		if err != nil {
@@ -154,6 +161,24 @@ func (v *Volume) rebuildSlice(ctx context.Context, id raid.DiskID) (done bool, w
 		return true, int64(len(buf)), nil
 	}
 	return false, int64(len(buf)), nil
+}
+
+// nextSliceStripes returns how many stripes the next rebuild slice for
+// id will recover — the QoS cost paid before taking the exclusive lock.
+func (v *Volume) nextSliceStripes(id raid.DiskID) int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if !v.failed[id] {
+		return 0
+	}
+	n := v.stripes - v.progress[id]
+	if n > v.cfg.RebuildBatch {
+		n = v.cfg.RebuildBatch
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
 }
 
 // mirrorArrangement returns the arrangement of the mirror array with

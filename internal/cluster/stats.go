@@ -64,6 +64,27 @@ type HedgeStats struct {
 	FetchLatency obs.HistSnapshot `json:"fetch_latency"`
 }
 
+// QoSStats summarizes the rebuild QoS controller (WithRebuildQoS).
+type QoSStats struct {
+	// Enabled reports whether the controller exists; every other field
+	// is zero when it does not.
+	Enabled bool `json:"enabled"`
+	// SLO is the user-read p99 target in seconds.
+	SLO float64 `json:"slo_seconds"`
+	// RateStripesPerSec is the token bucket's current refill rate.
+	RateStripesPerSec float64 `json:"rate_stripes_per_sec"`
+	// HeadroomMicros is the signed gap between the SLO and the last
+	// feedback window's user fetch p99 (negative while violated).
+	HeadroomMicros int64 `json:"headroom_micros"`
+	// Throttles counts rate halvings (SLO violations observed); Boosts
+	// counts rate raises under headroom.
+	Throttles int64 `json:"throttles"`
+	Boosts    int64 `json:"boosts"`
+	// WaitSeconds is the cumulative time rebuild and scrub spent parked
+	// waiting for tokens.
+	WaitSeconds float64 `json:"wait_seconds"`
+}
+
 // ScrubStats summarizes consistency-scrub coverage.
 type ScrubStats struct {
 	Runs             int64 `json:"runs"`
@@ -105,6 +126,7 @@ type Stats struct {
 	Rebuild RebuildStats `json:"rebuild"`
 	Scrub   ScrubStats   `json:"scrub"`
 	Hedge   HedgeStats   `json:"hedge"`
+	QoS     QoSStats     `json:"qos"`
 
 	// Backends is sorted by role then index, matching arch.Disks().
 	Backends []BackendStats `json:"backends"`
@@ -154,6 +176,17 @@ func (v *Volume) Stats() Stats {
 	if s.Rebuild.Seconds > 0 {
 		s.Rebuild.MBps = float64(s.Rebuild.Bytes) / 1e6 / s.Rebuild.Seconds
 		s.Rebuild.StripesPerSec = float64(s.Rebuild.Stripes) / s.Rebuild.Seconds
+	}
+	if v.qos != nil {
+		s.QoS = QoSStats{
+			Enabled:           true,
+			SLO:               v.cfg.RebuildQoSSLO.Seconds(),
+			RateStripesPerSec: v.qos.snapshotRate(),
+			HeadroomMicros:    v.stats.qosHeadroom.Load(),
+			Throttles:         v.stats.qosThrottles.Load(),
+			Boosts:            v.stats.qosBoosts.Load(),
+			WaitSeconds:       float64(v.stats.qosWaitNanos.Load()) / 1e9,
+		}
 	}
 	for _, id := range v.arch.Disks() {
 		ds := v.stats.perDisk[id]
@@ -258,7 +291,19 @@ func (v *Volume) RegisterMetrics(reg *obs.Registry, labels ...string) {
 	counter("sm_cluster_hedge_cancels_total",
 		"Hedge loser requests cancelled mid-flight.", &st.hedgeCancels)
 	histogram("sm_cluster_fetch_duration_seconds",
-		"Per-backend vectored-read round trips (source of the adaptive hedge delay).", st.fetchLat)
+		"Per-backend user/RMW vectored-read round trips (source of the adaptive hedge delay and the rebuild QoS feedback; rebuild gathers are excluded).", st.fetchLat)
+	gauge("sm_cluster_qos_rebuild_rate_stripes_per_sec",
+		"Current QoS token-bucket rate for rebuild and online scrub (0 until the controller is enabled).", &st.qosRate)
+	gauge("sm_cluster_qos_slo_headroom_microseconds",
+		"Signed gap between the rebuild QoS SLO and the last window's user fetch p99 (negative while violated).", &st.qosHeadroom)
+	counter("sm_cluster_qos_throttle_events_total",
+		"QoS rate halvings triggered by user-read p99 exceeding the SLO.", &st.qosThrottles)
+	counter("sm_cluster_qos_boost_events_total",
+		"QoS rate raises granted while the SLO had headroom.", &st.qosBoosts)
+	counter("sm_cluster_qos_wait_nanoseconds_total",
+		"Time rebuild and online scrub spent parked waiting for QoS tokens, in nanoseconds.", &st.qosWaitNanos)
+	gauge("sm_cluster_scrub_cursor_stripes",
+		"Online scrubber's resumable position.", &st.scrubCursor)
 	for _, id := range v.arch.Disks() {
 		ds := st.perDisk[id]
 		label := id.String()

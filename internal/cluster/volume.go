@@ -66,6 +66,14 @@ type Volume struct {
 	failed     map[raid.DiskID]bool
 	progress   map[raid.DiskID]int
 	rebuilding map[raid.DiskID]bool
+	// scrubPos is ScrubOnline's resumable cursor: the stripe the next
+	// online pass (or the resumption of a cancelled one) starts from.
+	scrubPos int
+
+	// qos, when non-nil, throttles rebuild slices and online scrub
+	// batches through a shared adaptive token bucket (Config.RebuildQoS*
+	// / WithRebuildQoS). Never blocks while mu is held.
+	qos *qosController
 
 	stats volumeStats
 }
@@ -105,6 +113,23 @@ type volumeStats struct {
 	hedgeWins     obs.Counter
 	hedgeLosses   obs.Counter
 	hedgeCancels  obs.Counter
+
+	// QoS controller accounting (rebuild/scrub throttling): qosRate is
+	// the current token-bucket rate in stripes/second, qosHeadroom the
+	// signed gap between the SLO and the last feedback window's user
+	// fetch p99 in microseconds (negative while the SLO is violated),
+	// qosThrottles/qosBoosts count rate halvings and raises, and
+	// qosWaitNanos accumulates time rebuild and scrub spent parked
+	// waiting for tokens.
+	qosRate      obs.Gauge
+	qosHeadroom  obs.Gauge
+	qosThrottles obs.Counter
+	qosBoosts    obs.Counter
+	qosWaitNanos obs.Counter
+
+	// scrubCursor mirrors Volume.scrubPos for exposition: the online
+	// scrubber's resumable position in stripes.
+	scrubCursor obs.Gauge
 
 	readLat  *obs.Histogram // ReadAt wall time
 	writeLat *obs.Histogram // WriteAt wall time
@@ -207,6 +232,9 @@ func New(arch *raid.Mirror, backends map[raid.DiskID]string, cfg Config) (*Volum
 		rebuilding:  map[raid.DiskID]bool{},
 	}
 	v.stats.init(arch.Disks(), cfg.Stripes)
+	if cfg.RebuildQoSSLO > 0 {
+		v.qos = newQoSController(cfg, &v.stats)
+	}
 	for _, id := range arch.Disks() {
 		addr, ok := backends[id]
 		if !ok {
@@ -334,7 +362,6 @@ const (
 // (the wire-measurable Properties 1/2), and RMW pre-reads are already
 // under the exclusive lock.
 func (v *Volume) fetchSpans(ctx context.Context, spans []*span, kind fetchKind) error {
-	hedged := v.cfg.HedgeEnabled && kind == fetchUser
 	pending := spans
 	for len(pending) > 0 {
 		if err := ctx.Err(); err != nil {
@@ -368,7 +395,7 @@ func (v *Volume) fetchSpans(ctx context.Context, spans []*span, kind fetchKind) 
 		results := make(chan result, len(groups))
 		for id, g := range groups {
 			go func(id raid.DiskID, g []*span) {
-				failed := v.fetchGroup(ctx, id, g, hedged)
+				failed := v.fetchGroup(ctx, id, g, kind)
 				results <- result{id, failed, len(g) - len(failed)}
 			}(id, g)
 		}
@@ -400,15 +427,15 @@ func (v *Volume) fetchSpans(ctx context.Context, spans []*span, kind fetchKind) 
 }
 
 // fetchGroup gathers one backend's spans in MaxBatch-sized OpReadV
-// round trips — hedged against the spans' replica locations when
-// requested — and returns the spans it could not serve.
-func (v *Volume) fetchGroup(ctx context.Context, id raid.DiskID, spans []*span, hedged bool) []*span {
+// round trips — hedged against the spans' replica locations for user
+// reads — and returns the spans it could not serve.
+func (v *Volume) fetchGroup(ctx context.Context, id raid.DiskID, spans []*span, kind fetchKind) []*span {
 	for start := 0; start < len(spans); start += v.cfg.MaxBatch {
 		end := start + v.cfg.MaxBatch
 		if end > len(spans) {
 			end = len(spans)
 		}
-		if err := v.readBatch(ctx, id, spans[start:end], hedged); err != nil {
+		if err := v.readBatch(ctx, id, spans[start:end], kind); err != nil {
 			// This batch and everything after it fails over together; the
 			// pool has already retried and possibly marked the backend dead.
 			// Record why, so exhaustion can tell corruption from loss.
@@ -1110,7 +1137,6 @@ func (v *Volume) Scrub(ctx context.Context) (ScrubReport, error) {
 	var report ScrubReport
 	batch := v.cfg.RebuildBatch
 	disks := v.arch.Disks()
-	rowBytes := int64(v.n) * v.elementSize
 	skipped := map[raid.DiskID]bool{}
 	crcMode := v.cfg.WireCRC
 	for s0 := 0; s0 < v.stripes; s0 += batch {
@@ -1133,68 +1159,86 @@ func (v *Volume) Scrub(ctx context.Context) (ScrubReport, error) {
 			// re-verify this batch — and every later one — byte-for-byte.
 			crcMode = false
 		}
-		// One gather per disk for the whole stripe batch.
-		content := map[raid.DiskID][]byte{}
-		var mu sync.Mutex
-		var wg sync.WaitGroup
-		var remoteErr error
-		for _, id := range disks {
-			if !v.available(id, s1-1) && !v.available(id, s0) {
-				skipped[id] = true
-				continue
-			}
-			wg.Add(1)
-			go func(id raid.DiskID) {
-				defer wg.Done()
-				buf := make([]byte, int64(s1-s0)*rowBytes)
-				err := v.readStore(ctx, id, buf, int64(s0)*rowBytes)
-				mu.Lock()
-				defer mu.Unlock()
-				switch {
-				case err == nil:
-					content[id] = buf
-				case blockserver.IsRemote(err):
-					if remoteErr == nil {
-						remoteErr = fmt.Errorf("cluster: scrub read on %v: %w", id, err)
-					}
-				default:
-					skipped[id] = true // unreachable: skip, like a failed disk
-				}
-			}(id)
-		}
-		wg.Wait()
-		if err := ctx.Err(); err != nil {
+		if err := v.scrubBatchBytes(ctx, &report, disks, skipped, s0, s1); err != nil {
 			return report, err
 		}
-		if remoteErr != nil {
-			return report, remoteErr
+	}
+	return report, v.scrubFinish(&report, skipped, len(disks))
+}
+
+// scrubBatchBytes verifies one stripe batch byte-for-byte: one full
+// content gather per healthy disk, then every replica compared against
+// its data element. Caller must hold v.mu (read).
+func (v *Volume) scrubBatchBytes(ctx context.Context, report *ScrubReport, disks []raid.DiskID, skipped map[raid.DiskID]bool, s0, s1 int) error {
+	rowBytes := int64(v.n) * v.elementSize
+	// One gather per disk for the whole stripe batch.
+	content := map[raid.DiskID][]byte{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var remoteErr error
+	for _, id := range disks {
+		if !v.available(id, s1-1) && !v.available(id, s0) {
+			skipped[id] = true
+			continue
 		}
-		for stripe := s0; stripe < s1; stripe++ {
-			base := int64(stripe-s0) * rowBytes
-			for disk := 0; disk < v.n; disk++ {
-				for row := 0; row < v.n; row++ {
-					locs := v.locations(disk, row)
-					data, ok := content[locs[0].id]
-					if !ok || !v.available(locs[0].id, stripe) {
+		wg.Add(1)
+		go func(id raid.DiskID) {
+			defer wg.Done()
+			buf := make([]byte, int64(s1-s0)*rowBytes)
+			err := v.readStore(ctx, id, buf, int64(s0)*rowBytes)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				content[id] = buf
+			case blockserver.IsRemote(err):
+				if remoteErr == nil {
+					remoteErr = fmt.Errorf("cluster: scrub read on %v: %w", id, err)
+				}
+			default:
+				skipped[id] = true // unreachable: skip, like a failed disk
+			}
+		}(id)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if remoteErr != nil {
+		return remoteErr
+	}
+	for stripe := s0; stripe < s1; stripe++ {
+		base := int64(stripe-s0) * rowBytes
+		for disk := 0; disk < v.n; disk++ {
+			for row := 0; row < v.n; row++ {
+				locs := v.locations(disk, row)
+				data, ok := content[locs[0].id]
+				if !ok || !v.available(locs[0].id, stripe) {
+					continue
+				}
+				want := data[base+int64(row)*v.elementSize : base+int64(row+1)*v.elementSize]
+				for _, loc := range locs[1:] {
+					repl, ok := content[loc.id]
+					if !ok || !v.available(loc.id, stripe) {
 						continue
 					}
-					want := data[base+int64(row)*v.elementSize : base+int64(row+1)*v.elementSize]
-					for _, loc := range locs[1:] {
-						repl, ok := content[loc.id]
-						if !ok || !v.available(loc.id, stripe) {
-							continue
-						}
-						got := repl[base+int64(loc.row)*v.elementSize : base+int64(loc.row+1)*v.elementSize]
-						if !bytes.Equal(want, got) {
-							return report, fmt.Errorf("%w: %v of data[%d] stripe %d row %d",
-								ErrScrubMismatch, loc.id, disk, stripe, row)
-						}
-						report.ElementsCompared++
+					got := repl[base+int64(loc.row)*v.elementSize : base+int64(loc.row+1)*v.elementSize]
+					if !bytes.Equal(want, got) {
+						return fmt.Errorf("%w: %v of data[%d] stripe %d row %d",
+							ErrScrubMismatch, loc.id, disk, stripe, row)
 					}
+					report.ElementsCompared++
 				}
 			}
 		}
 	}
+	return nil
+}
+
+// scrubFinish closes out a completed pass (full-lock Scrub or online):
+// sorts the skipped list into the report, rolls the counters, and
+// decides the degraded verdict. total is the disk count of the volume.
+func (v *Volume) scrubFinish(report *ScrubReport, skipped map[raid.DiskID]bool, total int) error {
 	for id := range skipped {
 		report.Skipped = append(report.Skipped, id)
 	}
@@ -1205,7 +1249,7 @@ func (v *Volume) Scrub(ctx context.Context) (ScrubReport, error) {
 	v.stats.scrubSkipped.Add(int64(len(report.Skipped)))
 	v.trace(obs.Event{Op: "scrub", Bytes: report.ElementsCompared * v.elementSize})
 	if len(report.Skipped) > 0 {
-		return report, fmt.Errorf("%w: scrub skipped %d of %d disks", ErrDegraded, len(report.Skipped), len(disks))
+		return fmt.Errorf("%w: scrub skipped %d of %d disks", ErrDegraded, len(report.Skipped), total)
 	}
-	return report, nil
+	return nil
 }

@@ -17,14 +17,14 @@ import (
 
 // testBackends is a set of in-process store servers, one per disk.
 type testBackends struct {
-	t       *testing.T
+	t       testing.TB
 	addrs   map[raid.DiskID]string
 	servers map[raid.DiskID]*blockserver.Server
 	stores  map[raid.DiskID]*dev.MemStore
 }
 
 // startBackends serves one MemStore per disk of the architecture.
-func startBackends(t *testing.T, arch *raid.Mirror, elementSize int64, stripes int) *testBackends {
+func startBackends(t testing.TB, arch *raid.Mirror, elementSize int64, stripes int) *testBackends {
 	t.Helper()
 	b := &testBackends{
 		t:       t,
@@ -104,7 +104,7 @@ func fastConfig(elementSize int64, stripes int) Config {
 	}
 }
 
-func newTestVolume(t *testing.T, arch *raid.Mirror, elementSize int64, stripes int) (*Volume, *testBackends) {
+func newTestVolume(t testing.TB, arch *raid.Mirror, elementSize int64, stripes int) (*Volume, *testBackends) {
 	t.Helper()
 	backends := startBackends(t, arch, elementSize, stripes)
 	v, err := New(arch, backends.addrs, fastConfig(elementSize, stripes))
@@ -118,7 +118,7 @@ func newTestVolume(t *testing.T, arch *raid.Mirror, elementSize int64, stripes i
 	return v, backends
 }
 
-func randomPayload(t *testing.T, v *Volume, seed int64) []byte {
+func randomPayload(t testing.TB, v *Volume, seed int64) []byte {
 	t.Helper()
 	payload := make([]byte, v.Size())
 	rand.New(rand.NewSource(seed)).Read(payload)

@@ -16,6 +16,8 @@
 package obs
 
 import (
+	"math"
+	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -188,6 +190,46 @@ func (s HistSnapshot) Quantile(q float64) time.Duration {
 		}
 	}
 	return s.Bounds[len(s.Bounds)-1]
+}
+
+// NearestRank returns the nearest-rank q-quantile (0 < q ≤ 1) of
+// ascending-sorted values: the element at rank ⌈q·n⌉, clamped to
+// [1, n]. Unlike HistSnapshot.Quantile it is exact — no bucket
+// rounding — so it is the estimator every sample-based latency report
+// in this repo (the recon simulator, the live-traffic phases, the
+// workload replay results) shares; reporting the same measurement
+// through two different estimators made runs incomparable.
+func NearestRank(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[nearestRankIndex(len(sorted), q)]
+}
+
+// NearestRankDur is NearestRank over ascending-sorted durations.
+func NearestRankDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[nearestRankIndex(len(sorted), q)]
+}
+
+// SortDurations sorts in place and returns its argument, so callers can
+// write obs.NearestRankDur(obs.SortDurations(lats), 0.99).
+func SortDurations(d []time.Duration) []time.Duration {
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	return d
+}
+
+func nearestRankIndex(n int, q float64) int {
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return rank - 1
 }
 
 // Event is one completed operation reported through a Tracer: which

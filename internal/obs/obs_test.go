@@ -77,6 +77,76 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileAtBucketBoundaries pins the estimator's math
+// exactly where two buckets meet: with counts split across adjacent
+// buckets, the quantile must report the upper bound of the bucket where
+// the *cumulative* count first reaches ⌈q·Count⌉ — not the next bucket
+// up, which an off-by-one (cum > target instead of cum >= target) would
+// produce. The live-traffic phases gate CI on these values, so the
+// rounding direction is load-bearing.
+func TestHistogramQuantileAtBucketBoundaries(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 10*time.Millisecond, 100*time.Millisecond)
+	// 50 samples in the first bucket, 50 in the second: the cumulative
+	// count reaches exactly 50 at the first bucket's edge.
+	for i := 0; i < 50; i++ {
+		h.Observe(time.Millisecond)      // on the 1ms edge: inside bucket 0
+		h.Observe(10 * time.Millisecond) // on the 10ms edge: inside bucket 1
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != time.Millisecond {
+		t.Errorf("p50 with a 50/50 split = %v, want 1ms (cumulative count reaches target at the lower bucket's edge)", got)
+	}
+	if got := s.Quantile(0.51); got != 10*time.Millisecond {
+		t.Errorf("p51 with a 50/50 split = %v, want 10ms", got)
+	}
+	if got := s.Quantile(1); got != 10*time.Millisecond {
+		t.Errorf("p100 = %v, want 10ms (highest occupied bucket)", got)
+	}
+	// Everything in the overflow bucket reports the last bound — the
+	// estimator never invents a value above its range.
+	h.Reset()
+	h.Observe(time.Hour)
+	if got := h.Snapshot().Quantile(0.99); got != 100*time.Millisecond {
+		t.Errorf("overflow p99 = %v, want last bound 100ms", got)
+	}
+}
+
+// TestNearestRank pins the shared sample-based estimator to classic
+// nearest-rank semantics (rank ⌈q·n⌉), byte-for-byte the math the recon
+// simulator's percentile() used before it was unified here.
+func TestNearestRank(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.5, 5},   // ⌈0.5·10⌉ = 5
+		{0.99, 10}, // ⌈0.99·10⌉ = 10
+		{0.01, 1},  // clamps to rank 1
+		{1, 10},
+		{0, 1}, // degenerate q clamps to rank 1
+	}
+	for _, c := range cases {
+		if got := NearestRank(vals, c.q); got != c.want {
+			t.Errorf("NearestRank(q=%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := NearestRank(nil, 0.5); got != 0 {
+		t.Errorf("NearestRank(nil) = %v, want 0", got)
+	}
+	durs := []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond, 4 * time.Millisecond}
+	if got := NearestRankDur(durs, 0.5); got != 2*time.Millisecond {
+		t.Errorf("NearestRankDur(q=0.5) = %v, want 2ms", got)
+	}
+	if got := NearestRankDur(nil, 0.5); got != 0 {
+		t.Errorf("NearestRankDur(nil) = %v, want 0", got)
+	}
+	shuffled := []time.Duration{4 * time.Millisecond, time.Millisecond, 3 * time.Millisecond, 2 * time.Millisecond}
+	if got := NearestRankDur(SortDurations(shuffled), 1); got != 4*time.Millisecond {
+		t.Errorf("SortDurations max = %v, want 4ms", got)
+	}
+}
+
 // TestSnapshotVersusReset pins the semantics apart: Snapshot is a pure
 // read (state unchanged, monotonic across calls), Reset zeroes.
 func TestSnapshotVersusReset(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 
 	"shiftedmirror/internal/array"
 	"shiftedmirror/internal/disk"
+	"shiftedmirror/internal/obs"
 	"shiftedmirror/internal/raid"
 	"shiftedmirror/internal/sim"
 	"shiftedmirror/internal/workload"
@@ -26,7 +27,9 @@ type OnlineStats struct {
 	UserReads     int
 	DegradedReads int
 	// MeanLatency and MaxLatency summarize user read response times;
-	// P50, P95 and P99 are latency percentiles (nearest-rank).
+	// P50, P95 and P99 are latency percentiles (obs.NearestRank — the
+	// same estimator the cluster live-traffic phase reports, so sim and
+	// wire numbers are comparable).
 	MeanLatency, MaxLatency float64
 	P50, P95, P99           float64
 }
@@ -107,26 +110,11 @@ func (s *Simulator) ReconstructOnline(failed []raid.DiskID, reads []workload.Rea
 	if len(latencies) > 0 {
 		stats.MeanLatency /= float64(len(latencies))
 		sort.Float64s(latencies)
-		stats.P50 = percentile(latencies, 50)
-		stats.P95 = percentile(latencies, 95)
-		stats.P99 = percentile(latencies, 99)
+		stats.P50 = obs.NearestRank(latencies, 0.50)
+		stats.P95 = obs.NearestRank(latencies, 0.95)
+		stats.P99 = obs.NearestRank(latencies, 0.99)
 	}
 	return stats, nil
-}
-
-// percentile returns the nearest-rank percentile of sorted values.
-func percentile(sorted []float64, p int) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > len(sorted) {
-		rank = len(sorted)
-	}
-	return sorted[rank-1]
 }
 
 // serveUserRead serves one user read at time now (or its arrival if

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/obs"
 	"shiftedmirror/internal/raid"
 	"shiftedmirror/internal/workload"
 )
@@ -176,18 +177,21 @@ func TestOnlinePercentiles(t *testing.T) {
 	}
 }
 
+// TestPercentileHelper pins the stats to the shared obs.NearestRank
+// estimator: the sim layer and the cluster live-traffic phase must
+// report p99 through the same math.
 func TestPercentileHelper(t *testing.T) {
 	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	if got := percentile(vals, 50); got != 5 {
+	if got := obs.NearestRank(vals, 0.50); got != 5 {
 		t.Errorf("p50 = %v", got)
 	}
-	if got := percentile(vals, 99); got != 10 {
+	if got := obs.NearestRank(vals, 0.99); got != 10 {
 		t.Errorf("p99 = %v", got)
 	}
-	if got := percentile(vals, 1); got != 1 {
+	if got := obs.NearestRank(vals, 0.01); got != 1 {
 		t.Errorf("p1 = %v", got)
 	}
-	if got := percentile(nil, 50); got != 0 {
+	if got := obs.NearestRank(nil, 0.50); got != 0 {
 		t.Errorf("empty = %v", got)
 	}
 }

@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testSpecs() []TenantSpec {
+	return []TenantSpec{
+		{Name: "reader-a", Weight: 3, ReadFraction: 1, OpBytes: 512, MeanGap: 0.0001},
+		{Name: "reader-b", Weight: 2, ReadFraction: 1, OpBytes: 1024, MeanGap: 0.0002},
+		{Name: "mixed", Weight: 1, ReadFraction: 0.7, OpBytes: 512, MeanGap: 0.0005},
+	}
+}
+
+// memTarget is an in-memory Target that records every issued op, so a
+// test can compare what two replay modes actually put on the wire.
+type memTarget struct {
+	data []byte
+	mu   sync.Mutex
+	// issued serializes each op as it arrives: kind, offset, length, and
+	// (for writes) the payload bytes.
+	issued []string
+	// block, when set, makes every op hang until ctx is cancelled.
+	block bool
+}
+
+func (m *memTarget) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	return m.serve(ctx, p, off, false)
+}
+
+func (m *memTarget) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	return m.serve(ctx, p, off, true)
+}
+
+func (m *memTarget) serve(ctx context.Context, p []byte, off int64, write bool) (int, error) {
+	if m.block {
+		<-ctx.Done()
+		return 0, ctx.Err()
+	}
+	m.mu.Lock()
+	if write {
+		m.issued = append(m.issued, fmt.Sprintf("write off=%d len=%d payload=%x", off, len(p), p))
+		copy(m.data[off:], p)
+	} else {
+		m.issued = append(m.issued, fmt.Sprintf("read off=%d len=%d", off, len(p)))
+		copy(p, m.data[off:])
+	}
+	m.mu.Unlock()
+	return len(p), nil
+}
+
+func (m *memTarget) sortedIssued() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := append([]string(nil), m.issued...)
+	// Concurrent replays interleave; compare as multisets.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestOpsDeterministic pins the generator's core contract: the same
+// seed yields the byte-identical op stream, and different seeds do not.
+func TestOpsDeterministic(t *testing.T) {
+	const size = 1 << 20
+	a := Ops(42, 500, size, testSpecs())
+	b := Ops(42, 500, size, testSpecs())
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := Ops(43, 500, size, testSpecs())
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+	// Arrival times are strictly increasing and offsets OpBytes-aligned
+	// within bounds.
+	prev := -1.0
+	for i, op := range a {
+		if op.Arrival <= prev {
+			t.Fatalf("op %d arrival %v not after %v", i, op.Arrival, prev)
+		}
+		prev = op.Arrival
+		if op.Off%int64(op.Len) != 0 || op.Off < 0 || op.Off+int64(op.Len) > size {
+			t.Fatalf("op %d addresses off=%d len=%d outside an aligned slot", i, op.Off, op.Len)
+		}
+	}
+}
+
+// TestReplayModesIssueIdenticalStream is the determinism satellite's
+// heart: open-loop and closed-loop replay of the same seeded stream put
+// the exact same ops — offsets, lengths, and write payload bytes — on
+// the wire; the mode changes only timing.
+func TestReplayModesIssueIdenticalStream(t *testing.T) {
+	const size = 1 << 18
+	ops := Ops(7, 300, size, testSpecs())
+	fill := func(op Op, buf []byte) {
+		Payload(buf, 7, int(op.Kind), op.Tenant, int(op.Off/int64(op.Len)), op.Len)
+	}
+	open := &memTarget{data: make([]byte, size)}
+	if _, err := ReplayOpen(context.Background(), open, ops, ReplayConfig{Fill: fill, TimeScale: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	closed := &memTarget{data: make([]byte, size)}
+	res, err := ReplayClosed(context.Background(), closed, ops, ReplayConfig{Fill: fill, Concurrency: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := open.sortedIssued(), closed.sortedIssued()
+	if len(a) != len(b) || len(a) != len(ops) {
+		t.Fatalf("issued %d open-loop vs %d closed-loop ops, want %d each", len(a), len(b), len(ops))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("issued op %d differs between modes:\n open:   %s\n closed: %s", i, a[i], b[i])
+		}
+	}
+	// Per-tenant accounting adds up and latencies were recorded sorted.
+	total := 0
+	for ti, tr := range res.Tenants {
+		total += tr.Reads + tr.Writes
+		if len(tr.ReadLats) != tr.Reads || len(tr.WriteLats) != tr.Writes {
+			t.Fatalf("tenant %d recorded %d/%d latencies for %d/%d ops",
+				ti, len(tr.ReadLats), len(tr.WriteLats), tr.Reads, tr.Writes)
+		}
+		for i := 1; i < len(tr.ReadLats); i++ {
+			if tr.ReadLats[i] < tr.ReadLats[i-1] {
+				t.Fatalf("tenant %d read latencies not sorted", ti)
+			}
+		}
+	}
+	if total != len(ops) {
+		t.Fatalf("tenant results cover %d ops, want %d", total, len(ops))
+	}
+}
+
+// TestReplayClosedCancelNoGoroutineLeak pins prompt cancellation: a
+// closed-loop replay against a target that hangs until cancelled must
+// return the context error and leave no worker goroutine behind.
+func TestReplayClosedCancelNoGoroutineLeak(t *testing.T) {
+	const size = 1 << 16
+	ops := Ops(11, 200, size, testSpecs())
+	before := runtime.NumGoroutine()
+	target := &memTarget{data: make([]byte, size), block: true}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var res Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = ReplayClosed(ctx, target, ops, ReplayConfig{Concurrency: 4})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the workers get in flight
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled replay did not return")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, tr := range res.Tenants {
+		if tr.Reads+tr.Writes != 0 {
+			t.Fatalf("blocked target completed ops: %+v", tr)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if cur := runtime.NumGoroutine(); cur <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before replay, %d after cancel", before, runtime.NumGoroutine())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

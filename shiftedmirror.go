@@ -426,6 +426,16 @@ func WithHedging(percentile float64, minDelay, maxDelay time.Duration) Option {
 	return Option{cluster: cluster.WithHedging(percentile, minDelay, maxDelay)}
 }
 
+// WithRebuildQoS enables the rebuild QoS controller on a cluster
+// volume: RebuildDisk slices and ScrubOnline batches draw stripes from
+// a shared token bucket whose rate adapts — fed back from the user-read
+// fetch-latency p99 — to hold that p99 under slo, while never
+// throttling below minStripesPerSec (the forward-progress floor; 0
+// takes the default of 1 stripe/sec). Volume side only.
+func WithRebuildQoS(slo time.Duration, minStripesPerSec float64) Option {
+	return Option{cluster: cluster.WithRebuildQoS(slo, minStripesPerSec)}
+}
+
 // WithWriteBatching toggles coalesced scatter-write (OpWriteV) frames
 // on a cluster volume's write fan-out and rebuild write-back. Batching
 // is on by default; disabling reverts to one OpWrite round trip per
