@@ -3,6 +3,7 @@
 // Subcommands:
 //
 //	layout  -n 3 -arrangement shifted          render a stripe layout and its properties
+//	layouts -n 4                               list the registered layout catalog with property verdicts
 //	plan    -n 5 -parity -fail data:1,mirror:3 print the reconstruction plan for a failure
 //	recon   -n 5 -fail data:0                  simulate reconstruction and report throughput
 //	verify  -n 5 -parity -fail data:0,parity:0 byte-level recovery verification
@@ -49,6 +50,8 @@ func main() {
 	switch os.Args[1] {
 	case "layout":
 		err = cmdLayout(os.Args[2:])
+	case "layouts":
+		err = cmdLayouts(os.Args[2:])
 	case "plan":
 		err = cmdPlan(os.Args[2:])
 	case "recon":
@@ -87,7 +90,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: smtool <layout|plan|recon|verify|write|search|trace|mttdl|device|serve|servedisk|cluster|shard> [flags]
+	fmt.Fprintln(os.Stderr, `usage: smtool <layout|layouts|plan|recon|verify|write|search|trace|mttdl|device|serve|servedisk|cluster|shard> [flags]
 run "smtool <subcommand> -h" for subcommand flags`)
 }
 
@@ -126,6 +129,30 @@ func cmdLayout(args []string) error {
 	}
 	fmt.Print(layout.RenderPair(arr))
 	fmt.Printf("properties: %v\n", layout.Check(arr))
+	return nil
+}
+
+// cmdLayouts prints the registered layout catalog: one row per family
+// instantiated at -n, with the paper's P1/P2/P3 verdicts and, for
+// pooled placements, the pool geometry the cluster would run under.
+func cmdLayouts(args []string) error {
+	fs := flag.NewFlagSet("layouts", flag.ExitOnError)
+	n := fs.Int("n", 4, "data disks to instantiate each family at")
+	fs.Parse(args)
+	fmt.Printf("registered layouts at n=%d (P1/P2/P3 are the paper's §IV-B properties):\n\n", *n)
+	fmt.Printf("%-16s %-24s %-10s %s\n", "name", "instance", "properties", "placement")
+	for _, name := range layout.Names() {
+		arr, err := layout.New(name, *n)
+		if err != nil {
+			fmt.Printf("%-16s not constructible at n=%d: %v\n", name, *n, err)
+			continue
+		}
+		place := "classic (n data + n mirror disks)"
+		if p, ok := arr.(layout.Placement); ok {
+			place = fmt.Sprintf("pooled: %d disks, period %d stripes", p.Width(), p.Period())
+		}
+		fmt.Printf("%-16s %-24s %-10v %s\n", name, arr.Name(), layout.Check(arr), place)
+	}
 	return nil
 }
 
@@ -521,6 +548,7 @@ func cmdCluster(args []string) error {
 	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
 	n := fs.Int("n", 4, "data disks")
 	arrName := fs.String("arrangement", "shifted", "shifted, traditional or iterated:K")
+	layoutName := fs.String("layout", "", "registered placement layout driving the data path (default: the -arrangement; see 'smtool layouts')")
 	elementSize := fs.Int64("element", 4096, "element size in bytes")
 	stripes := fs.Int("stripes", 16, "stripes per array")
 	rate := fs.Float64("rate", 0, "per-backend read bandwidth cap in MB/s (self-hosted backends only)")
@@ -542,6 +570,7 @@ func cmdCluster(args []string) error {
 	}
 	cfg := cluster.Config{
 		ElementSize: *elementSize, Stripes: *stripes,
+		Layout:       *layoutName,
 		HedgeEnabled: *hedge, DisableWriteBatch: *noWriteBatch,
 		WireCRC:       *crc,
 		RebuildQoSSLO: *qosSLO, RebuildQoSMinRate: *qosMin,
@@ -727,6 +756,7 @@ func cmdShard(args []string) error {
 	fs := flag.NewFlagSet("shard", flag.ExitOnError)
 	n := fs.Int("n", 3, "data disks per group")
 	arrName := fs.String("arrangement", "shifted", "shifted, traditional or iterated:K")
+	layoutName := fs.String("layout", "", "registered placement layout driving every group (default: the -arrangement; see 'smtool layouts')")
 	elementSize := fs.Int64("element", 4096, "element size in bytes")
 	stripes := fs.Int("stripes", 8, "stripes per group")
 	groups := fs.Int("groups", 3, "shifted-mirror groups striping the logical volume")
@@ -776,7 +806,7 @@ func cmdShard(args []string) error {
 	fmt.Printf("self-hosted %d groups × %d store servers (%d KiB per disk)\n",
 		*groups, len(backends[0]), diskSize/1024)
 
-	cfg := shard.Config{MaxConcurrentRebuilds: *concurrency}
+	cfg := shard.Config{MaxConcurrentRebuilds: *concurrency, Layout: *layoutName}
 	if *metricsAddr != "" {
 		cfg.Metrics = obs.NewRegistry()
 	}

@@ -134,6 +134,10 @@ type report struct {
 	// Live is the availability-under-load experiment (-live): a
 	// QoS-throttled rebuild racing a seeded multi-tenant workload.
 	Live *liveReport `json:"live,omitempty"`
+	// Bakeoff is the layout-catalog bake-off (-bakeoff): every
+	// registered family's rebuild fan-out, degraded-read cost, and
+	// write amplification over identical throttled backends.
+	Bakeoff *bakeoffReport `json:"bakeoff,omitempty"`
 }
 
 func main() {
@@ -142,8 +146,10 @@ func main() {
 	element := flag.Int64("element", 4096, "element size in bytes")
 	rate := flag.Float64("rate", 2, "per-backend read bandwidth in MB/s (models disk media rate)")
 	quick := flag.Bool("quick", false, "small run for CI smoke tests")
+	layoutName := flag.String("layout", "shifted", "registered layout measured against the traditional baseline (see 'smtool layouts')")
 	crc := flag.Bool("crc", false, "run the rebuild over the checksummed wire path (per-element CRC32C end to end)")
 	live := flag.Bool("live", false, "also run the availability-under-load phase: QoS-throttled rebuild racing a seeded multi-tenant workload")
+	bakeoff := flag.Bool("bakeoff", false, "also run the layout-catalog bake-off: every family's rebuild fan-out, degraded-read cost, and write amplification")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout")
 	flag.Parse()
 	if *quick {
@@ -165,22 +171,19 @@ func main() {
 			rep.LostDisk, float64(*stripes)*float64(*n)*float64(*element)/1e6)
 	}
 
-	type arrangement struct {
-		name string
-		arr  layout.Arrangement
+	families := []string{"traditional"}
+	if *layoutName != "traditional" {
+		families = append(families, *layoutName)
 	}
-	for _, a := range []arrangement{
-		{name: "traditional", arr: layout.NewTraditional(*n)},
-		{name: "shifted", arr: layout.NewShifted(*n)},
-	} {
-		rr, err := measure(a.name, a.arr, *element, *stripes, *rate, *crc)
+	for _, name := range families {
+		rr, err := measure(name, *n, *element, *stripes, *rate, *crc)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "clusterrecon: %s: %v\n", a.name, err)
+			fmt.Fprintf(os.Stderr, "clusterrecon: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		rep.Runs = append(rep.Runs, rr)
 	}
-	rep.Speedup = rep.Runs[0].RebuildSeconds / rep.Runs[1].RebuildSeconds
+	rep.Speedup = rep.Runs[0].RebuildSeconds / rep.Runs[len(rep.Runs)-1].RebuildSeconds
 
 	// The paper's Properties 1/2, measured on the wire. These counts are
 	// deterministic — unlike the timing, a violation is always a bug.
@@ -224,6 +227,26 @@ func main() {
 		rep.Live = &lrep
 		if err := assertLiveProperty(lrep); err != nil {
 			fmt.Fprintf(os.Stderr, "clusterrecon: availability property violated: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *bakeoff {
+		// The bake-off pins its own geometry: n=4 (the smallest n where
+		// every catalog family constructs) with the stripe count a
+		// multiple of the declustered schedule period.
+		bakeStripes := 28
+		if *quick {
+			bakeStripes = 14
+		}
+		brep, err := measureBakeoff(*element, bakeStripes, *rate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clusterrecon: bakeoff: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Bakeoff = &brep
+		if err := assertBakeoffProperty(brep); err != nil {
+			fmt.Fprintf(os.Stderr, "clusterrecon: bakeoff property violated: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -275,17 +298,54 @@ func main() {
 				r.DegradedInflationX, r.RebuildStripesPerS, r.QoS.Throttles)
 		}
 	}
+	if rep.Bakeoff != nil {
+		b := rep.Bakeoff
+		fmt.Printf("\nlayout bake-off (n=%d, %d stripes, %d B elements):\n", b.N, b.Stripes, b.ElementBytes)
+		fmt.Printf("%-14s %10s %8s %9s %10s %10s %12s\n",
+			"layout", "rebuild", "sources", "max/min", "degraded", "deg-src", "frames/strp")
+		for _, r := range b.Runs {
+			fmt.Printf("%-14s %10v %8d %9.2f %9.1f%% %10d %12.1f\n",
+				r.Layout, time.Duration(r.RebuildSeconds*float64(time.Second)).Round(time.Millisecond),
+				r.DistinctSources, r.SourceRatio, 100*r.DegradedFraction, r.DegradedSources,
+				r.WriteFramesPerStripe)
+		}
+	}
 }
 
 // assertWireProperty checks the deterministic half of the paper's
-// claim: a shifted rebuild sources from exactly n distinct backends
-// with uniform (±1) per-backend load, while the traditional rebuild
-// drains a single twin.
+// claim against the layout's own prediction: every measured family's
+// per-backend rebuild-read counters must exactly match
+// layout.RebuildSources over the same geometry — "whatever the
+// placement says", not a per-family special case. The named clauses
+// then restate the paper's headline numbers on top of the exact check:
+// a shifted rebuild sources from exactly n distinct backends with
+// uniform (±1) load, while the traditional rebuild drains a single
+// twin.
 func assertWireProperty(rep report) error {
 	total := int64(rep.N * rep.Stripes)
+	disks := raid.NewMirror(layout.NewShifted(rep.N)).Disks()
 	for _, r := range rep.Runs {
 		if r.TotalElements != total {
 			return fmt.Errorf("%s: rebuild read %d elements, want %d", r.Arrangement, r.TotalElements, total)
+		}
+		arr, err := layout.New(r.Arrangement, rep.N)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.Arrangement, err)
+		}
+		p, ok := arr.(layout.Placement)
+		if !ok {
+			p = layout.PlacementOf(arr)
+		}
+		predicted := layout.RebuildSources(p, 0, int64(rep.Stripes))
+		got := map[string]int64{}
+		for _, b := range r.RebuildReads {
+			got[b.Disk] = b.Elements
+		}
+		for i, want := range predicted {
+			if got[disks[i].String()] != want {
+				return fmt.Errorf("%s: backend %s served %d rebuild elements, placement predicts %d",
+					r.Arrangement, disks[i], got[disks[i].String()], want)
+			}
 		}
 		switch r.Arrangement {
 		case "shifted":
@@ -420,13 +480,14 @@ func measureTail(n int, element int64, stripes int, stall time.Duration, reads i
 }
 
 // measure runs one full lose-and-rebuild cycle over real sockets and
-// byte-verifies the outcome. With crc, every backend (including the
-// replacement) keeps a per-element sidecar and the volume checksums
-// the whole rebuild end to end.
-func measure(name string, arr layout.Arrangement, element int64, stripes int, rate float64, crc bool) (runReport, error) {
+// byte-verifies the outcome. The layout is selected by registered name
+// through Config.Layout over the standard shifted frame, so any
+// catalog family drives the identical wire path. With crc, every
+// backend (including the replacement) keeps a per-element sidecar and
+// the volume checksums the whole rebuild end to end.
+func measure(name string, n int, element int64, stripes int, rate float64, crc bool) (runReport, error) {
 	rr := runReport{Arrangement: name}
-	arch := raid.NewMirror(arr)
-	n := arch.N()
+	arch := raid.NewMirror(layout.NewShifted(n))
 	diskSize := int64(stripes) * int64(n) * element
 
 	// One throttled store server per disk: reads drain at the media rate.
@@ -461,7 +522,7 @@ func measure(name string, arr layout.Arrangement, element int64, stripes int, ra
 		backends[id] = addr
 	}
 
-	v, err := cluster.New(arch, backends, cluster.Config{ElementSize: element, Stripes: stripes, WireCRC: crc})
+	v, err := cluster.New(arch, backends, cluster.Config{ElementSize: element, Stripes: stripes, WireCRC: crc, Layout: name})
 	if err != nil {
 		return rr, err
 	}

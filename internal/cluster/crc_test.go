@@ -61,7 +61,7 @@ func newCRCVolume(t *testing.T, arch *raid.Mirror, elementSize int64, stripes in
 // server never sees happen.
 func rot(t *testing.T, v *Volume, b *testBackends, stripe, disk, row, src int) {
 	t.Helper()
-	loc := v.locations(disk, row)[src]
+	loc := v.locations(stripe, disk, row)[src]
 	off := v.storeOffset(stripe, loc.row)
 	store := b.stores[loc.id]
 	one := make([]byte, 1)
@@ -104,7 +104,7 @@ func TestClusterCRCReadFailover(t *testing.T) {
 	// Rot every remaining copy of the same element: the read must say
 	// "inconsistent", not "unrecoverable" — the bytes are all there,
 	// they are just all wrong.
-	locs := v.locations(0, 0)
+	locs := v.locations(0, 0, 0)
 	for src := 1; src < len(locs); src++ {
 		rot(t, v, b, 0, 0, 0, src)
 	}

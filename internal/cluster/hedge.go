@@ -88,7 +88,7 @@ func (v *Volume) readVecs(ctx context.Context, id raid.DiskID, vecs []blockserve
 func (v *Volume) backupGroups(primary raid.DiskID, batch []*span) map[raid.DiskID][]hedgeTarget {
 	groups := map[raid.DiskID][]hedgeTarget{}
 	for _, s := range batch {
-		locs := v.locations(s.disk, s.row)
+		locs := v.locations(s.stripe, s.disk, s.row)
 		found := false
 		for i := s.src + 1; i < len(locs); i++ {
 			loc := locs[i]

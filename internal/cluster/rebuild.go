@@ -117,16 +117,14 @@ func (v *Volume) rebuildSlice(ctx context.Context, id raid.DiskID) (done bool, w
 	spans := make([]*span, 0, count)
 	ops := make([]writeOp, 0, count)
 	i := 0
+	pf := v.poolIndex(id)
 	for stripe := s0; stripe < s1; stripe++ {
 		for r := 0; r < v.n; r++ {
-			// The content of target element (id, row r) is the data
-			// element it stores: itself for a data disk, DataOf for a
-			// mirror disk. fetchSpans routes to surviving copies only
-			// (the target disk is failed, so it is never a source).
-			dataAddr := layout.Addr{Disk: id.Index, Row: r}
-			if id.Role != raid.RoleData {
-				dataAddr = v.mirrorArrangement(id.Role).DataOf(layout.Addr{Disk: id.Index, Row: r})
-			}
+			// The content of target slot (id, row r) is whatever logical
+			// element the placement stores there in this stripe.
+			// fetchSpans routes to surviving copies only (the target
+			// disk is failed, so it is never a source).
+			dataAddr, _ := v.place.Owner(int64(stripe), layout.Slot{Disk: pf, Row: r})
 			b := buf[int64(i)*v.elementSize : int64(i+1)*v.elementSize]
 			spans = append(spans, &span{
 				stripe: stripe, disk: dataAddr.Disk, row: dataAddr.Row, buf: b,
@@ -179,15 +177,4 @@ func (v *Volume) nextSliceStripes(id raid.DiskID) int {
 		n = 0
 	}
 	return n
-}
-
-// mirrorArrangement returns the arrangement of the mirror array with
-// the given role.
-func (v *Volume) mirrorArrangement(role raid.Role) layout.Arrangement {
-	for mi, arr := range v.arch.Mirrors() {
-		if mirrorRoles[mi] == role {
-			return arr
-		}
-	}
-	panic(fmt.Sprintf("cluster: role %v has no arrangement", role))
 }

@@ -46,7 +46,15 @@ type span struct {
 // of a *raid.Mirror architecture striped over one blockserver backend
 // per disk. All methods are safe for concurrent use.
 type Volume struct {
-	arch        *raid.Mirror
+	arch *raid.Mirror
+	// place maps logical elements to the pool slots holding their
+	// copies — the single source of placement truth for the read
+	// failover, write fan-out, rebuild gather, scrub, and hedging
+	// paths. It is the architecture's arrangement wrapped as a classic
+	// two-array placement, or (Config.Layout / the arrangement itself
+	// implementing layout.Placement) a pooled placement such as the
+	// declustered schedule.
+	place       layout.Placement
 	n           int
 	elementSize int64
 	stripes     int
@@ -219,8 +227,13 @@ func New(arch *raid.Mirror, backends map[raid.DiskID]string, cfg Config) (*Volum
 		return nil, fmt.Errorf("cluster: parity architectures are not supported; use a mirror or three-mirror arrangement")
 	}
 	cfg = cfg.withDefaults()
+	place, err := resolvePlacement(arch, cfg.Layout)
+	if err != nil {
+		return nil, err
+	}
 	v := &Volume{
 		arch:        arch,
+		place:       place,
 		n:           arch.N(),
 		elementSize: cfg.ElementSize,
 		stripes:     cfg.Stripes,
@@ -315,19 +328,79 @@ func (v *Volume) storeOffset(stripe, row int) int64 {
 	return (int64(stripe)*int64(v.n) + int64(row)) * v.elementSize
 }
 
-// locations returns every physical home of data element (disk, row):
-// the data disk first, then each mirror array's replica. Under the
-// shifted arrangement the replica is always on a different backend than
-// any other copy, which is what makes failover and one-pass rebuild fan
-// out (Properties 1 and 2).
-func (v *Volume) locations(disk, row int) []location {
-	locs := make([]location, 0, 1+len(v.arch.Mirrors()))
-	locs = append(locs, location{raid.DiskID{Role: raid.RoleData, Index: disk}, row})
-	for mi, arr := range v.arch.Mirrors() {
-		m := arr.MirrorOf(layout.Addr{Disk: disk, Row: row})
-		locs = append(locs, location{raid.DiskID{Role: mirrorRoles[mi], Index: m.Disk}, m.Row})
+// locations returns every physical home of data element (disk, row) in
+// the given stripe: the primary copy first, then each replica in the
+// placement's failover order. Under the shifted arrangement every copy
+// is on a different backend than any other copy of the same disk's
+// elements, which is what makes failover and one-pass rebuild fan out
+// (Properties 1 and 2); under a pooled placement the homes also rotate
+// per stripe.
+func (v *Volume) locations(stripe, disk, row int) []location {
+	slots := v.place.Copies(int64(stripe), layout.Addr{Disk: disk, Row: row})
+	locs := make([]location, len(slots))
+	for i, s := range slots {
+		locs[i] = location{v.diskID(s.Disk), s.Row}
 	}
 	return locs
+}
+
+// resolvePlacement picks the Placement driving a volume: the named
+// registered layout when Config.Layout is set, the architecture's
+// arrangement when it implements layout.Placement itself, or the
+// arrangement(s) wrapped as the classic fixed two-array (or three-array)
+// geometry otherwise.
+func resolvePlacement(arch *raid.Mirror, name string) (layout.Placement, error) {
+	if name == "" {
+		if len(arch.Mirrors()) == 1 {
+			if p, ok := arch.Mirrors()[0].(layout.Placement); ok {
+				return checkPlacement(arch, p)
+			}
+		}
+		return layout.PlacementOf(arch.Mirrors()...), nil
+	}
+	if len(arch.Mirrors()) != 1 {
+		return nil, fmt.Errorf("cluster: layout %q needs a single-mirror architecture, not %s", name, arch.Name())
+	}
+	arr, err := layout.New(name, arch.N())
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if p, ok := arr.(layout.Placement); ok {
+		return checkPlacement(arch, p)
+	}
+	return layout.PlacementOf(arr), nil
+}
+
+// checkPlacement verifies a pooled placement spans exactly the
+// architecture's disks.
+func checkPlacement(arch *raid.Mirror, p layout.Placement) (layout.Placement, error) {
+	if want := len(arch.Disks()); p.Width() != want {
+		return nil, fmt.Errorf("cluster: placement spans %d pool disks, architecture has %d", p.Width(), want)
+	}
+	return p, nil
+}
+
+// diskID maps a placement pool-disk index to the disk slot serving it:
+// pool disks [0,n) are the data array, each further n-disk band one
+// mirror array.
+func (v *Volume) diskID(p int) raid.DiskID {
+	if p < v.n {
+		return raid.DiskID{Role: raid.RoleData, Index: p}
+	}
+	return raid.DiskID{Role: mirrorRoles[p/v.n-1], Index: p % v.n}
+}
+
+// poolIndex is the inverse of diskID.
+func (v *Volume) poolIndex(id raid.DiskID) int {
+	if id.Role == raid.RoleData {
+		return id.Index
+	}
+	for mi, role := range mirrorRoles {
+		if id.Role == role {
+			return (1+mi)*v.n + id.Index
+		}
+	}
+	panic(fmt.Sprintf("cluster: disk %v has no pool index", id))
 }
 
 // available reports whether a disk can serve the given stripe: it is
@@ -341,8 +414,8 @@ func (v *Volume) available(id raid.DiskID, stripe int) bool {
 type fetchKind int
 
 const (
-	// fetchUser is a client read: replica-served spans count as
-	// degraded reads.
+	// fetchUser is a client read: spans served from a non-primary copy
+	// count as degraded reads.
 	fetchUser fetchKind = iota
 	// fetchInternal is a read-modify-write pre-read: replica serving is
 	// routine, nothing extra is counted.
@@ -369,7 +442,7 @@ func (v *Volume) fetchSpans(ctx context.Context, spans []*span, kind fetchKind) 
 		}
 		groups := map[raid.DiskID][]*span{}
 		for _, s := range pending {
-			locs := v.locations(s.disk, s.row)
+			locs := v.locations(s.stripe, s.disk, s.row)
 			for s.src < len(locs) && !v.available(locs[s.src].id, s.stripe) {
 				s.src++
 			}
@@ -388,15 +461,25 @@ func (v *Volume) fetchSpans(ctx context.Context, spans []*span, kind fetchKind) 
 			groups[s.loc.id] = append(groups[s.loc.id], s)
 		}
 		type result struct {
-			id     raid.DiskID
-			spans  []*span // spans that must fail over
-			served int     // spans this backend actually served
+			id       raid.DiskID
+			spans    []*span // spans that must fail over
+			served   int     // spans this backend actually served
+			degraded int     // served spans routed past their primary copy
 		}
 		results := make(chan result, len(groups))
 		for id, g := range groups {
 			go func(id raid.DiskID, g []*span) {
 				failed := v.fetchGroup(ctx, id, g, kind)
-				results <- result{id, failed, len(g) - len(failed)}
+				// fetchGroup fails a suffix, so the served spans are the
+				// prefix; those with src > 0 were routed to a replica
+				// because the primary copy's disk was failed or dead.
+				degraded := 0
+				for _, s := range g[:len(g)-len(failed)] {
+					if s.src > 0 {
+						degraded++
+					}
+				}
+				results <- result{id, failed, len(g) - len(failed), degraded}
 			}(id, g)
 		}
 		pending = nil
@@ -404,9 +487,7 @@ func (v *Volume) fetchSpans(ctx context.Context, spans []*span, kind fetchKind) 
 			r := <-results
 			switch kind {
 			case fetchUser:
-				if r.id.Role != raid.RoleData {
-					v.stats.degradedReads.Add(int64(r.served))
-				}
+				v.stats.degradedReads.Add(int64(r.degraded))
 			case fetchRebuild:
 				v.stats.perDisk[r.id].rebuildReads.Add(int64(r.served))
 			}
@@ -573,7 +654,7 @@ func (v *Volume) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, erro
 			rmwSpans = append(rmwSpans, &span{stripe: stripe, disk: disk, row: row, buf: content})
 			patches = append(patches, patch{content: content, inner: inner, frag: p[total : total+int(chunk)]})
 		}
-		for _, loc := range v.locations(disk, row) {
+		for _, loc := range v.locations(stripe, disk, row) {
 			if !v.available(loc.id, stripe) {
 				continue // redundancy carries it until rebuild catches up
 			}
@@ -1091,12 +1172,12 @@ func (v *Volume) scrubBatchCRC(ctx context.Context, report *ScrubReport, disks [
 		base := (stripe - s0) * v.n
 		for disk := 0; disk < v.n; disk++ {
 			for row := 0; row < v.n; row++ {
-				locs := v.locations(disk, row)
+				locs := v.locations(stripe, disk, row)
 				data, ok := sums[locs[0].id]
 				if !ok || !v.available(locs[0].id, stripe) {
 					continue
 				}
-				want := data[base+row]
+				want := data[base+locs[0].row]
 				for _, loc := range locs[1:] {
 					repl, ok := sums[loc.id]
 					if !ok || !v.available(loc.id, stripe) {
@@ -1211,12 +1292,12 @@ func (v *Volume) scrubBatchBytes(ctx context.Context, report *ScrubReport, disks
 		base := int64(stripe-s0) * rowBytes
 		for disk := 0; disk < v.n; disk++ {
 			for row := 0; row < v.n; row++ {
-				locs := v.locations(disk, row)
+				locs := v.locations(stripe, disk, row)
 				data, ok := content[locs[0].id]
 				if !ok || !v.available(locs[0].id, stripe) {
 					continue
 				}
-				want := data[base+int64(row)*v.elementSize : base+int64(row+1)*v.elementSize]
+				want := data[base+int64(locs[0].row)*v.elementSize : base+int64(locs[0].row+1)*v.elementSize]
 				for _, loc := range locs[1:] {
 					repl, ok := content[loc.id]
 					if !ok || !v.available(loc.id, stripe) {

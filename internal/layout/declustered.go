@@ -1,0 +1,184 @@
+package layout
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// maxDeclusteredPeriod bounds the bipartition schedule: the schedule is
+// materialized up front, so an n whose exact design would need more
+// stripes than this is rejected rather than approximated.
+const maxDeclusteredPeriod = 20000
+
+// Declustered is a parity-declustered mirror placement built from a
+// balanced block design. Instead of a dedicated mirror array, the 2n
+// pool disks are re-bipartitioned every stripe into a data side and a
+// mirror side, with the paper's shifted arrangement applied within the
+// stripe. Over one schedule period every pair of pool disks lands on
+// opposite sides equally often, so the rebuild of any one disk reads
+// equally from ALL 2n-1 survivors instead of only the n disks of the
+// opposite array — the mirror analogue of parity declustering.
+//
+// Two exact constructions are used:
+//
+//   - 2n a power of two: the Sylvester Hadamard schedule. Stripe y in
+//     [1, 2n) puts pool disk x on the data side iff popcount(x AND y)
+//     is even. Period 2n-1; disks u != v are separated by stripe y iff
+//     popcount((u XOR v) AND y) is odd, which holds for exactly n of
+//     the 2n-1 stripes.
+//   - otherwise: every n-subset of {0..2n-1} containing disk 0, taken
+//     as the data side. Period C(2n-1, n-1); each pair is separated
+//     exactly C(2n-2, n-1) times, since 2*C(2n-3, n-2) (neither disk
+//     is 0) equals C(2n-2, n-1) (one of them is 0).
+//
+// As an Arrangement — the n-by-n frame view consumed by the raid
+// planners and the registry signature — Declustered delegates to the
+// inner shifted arrangement; the Placement face is what the cluster
+// volume consumes.
+type Declustered struct {
+	n     int
+	inner *Shifted
+	sched []bipart
+}
+
+// bipart is one stripe's bipartition of the 2n pool disks.
+type bipart struct {
+	data   []int  // pool disk of logical data disk i
+	mirror []int  // pool disk of logical mirror disk i
+	side   []int8 // per pool disk: 0 = data side, 1 = mirror side
+	pos    []int  // per pool disk: logical index within its side
+}
+
+func newBipart(onData []bool) bipart {
+	w := len(onData)
+	bp := bipart{side: make([]int8, w), pos: make([]int, w)}
+	for p, d := range onData {
+		if d {
+			bp.pos[p] = len(bp.data)
+			bp.data = append(bp.data, p)
+		} else {
+			bp.side[p] = 1
+			bp.pos[p] = len(bp.mirror)
+			bp.mirror = append(bp.mirror, p)
+		}
+	}
+	return bp
+}
+
+// NewDeclustered returns the declustered placement over n logical disks
+// (2n pool disks). It errors when no exact schedule within
+// maxDeclusteredPeriod stripes exists for that n: every n with 2n a
+// power of two works (period 2n-1), as does every n <= 7 (period
+// C(2n-1, n-1)).
+func NewDeclustered(n int) (*Declustered, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("layout: n must be >= 1, got %d", n)
+	}
+	w := 2 * n
+	d := &Declustered{n: n, inner: NewShifted(n)}
+	if w&(w-1) == 0 {
+		// Sylvester Hadamard schedule.
+		for y := 1; y < w; y++ {
+			onData := make([]bool, w)
+			for x := 0; x < w; x++ {
+				onData[x] = bits.OnesCount(uint(x&y))%2 == 0
+			}
+			d.sched = append(d.sched, newBipart(onData))
+		}
+		return d, nil
+	}
+	if p := binomial(w-1, n-1); p > maxDeclusteredPeriod {
+		return nil, fmt.Errorf("layout: declustered at n=%d needs a %d-stripe schedule (cap %d); supported: n <= 7 or 2n a power of two", n, p, maxDeclusteredPeriod)
+	}
+	// All n-subsets of the pool containing disk 0, as the data side,
+	// enumerated in lexicographic order of the remaining n-1 members.
+	members := make([]int, n-1)
+	var emit func(next, k int)
+	emit = func(next, k int) {
+		if k == n-1 {
+			onData := make([]bool, w)
+			onData[0] = true
+			for _, m := range members {
+				onData[m] = true
+			}
+			d.sched = append(d.sched, newBipart(onData))
+			return
+		}
+		for m := next; m < w; m++ {
+			members[k] = m
+			emit(m+1, k+1)
+		}
+	}
+	emit(1, 0)
+	return d, nil
+}
+
+// binomial returns C(n, k), saturating at a value above
+// maxDeclusteredPeriod instead of overflowing.
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 1; i <= k; i++ {
+		r = r * (n - k + i) / i
+		if r > 10*maxDeclusteredPeriod {
+			return r
+		}
+	}
+	return r
+}
+
+// Name implements Arrangement.
+func (d *Declustered) Name() string { return "declustered" }
+
+// N implements Arrangement and Placement.
+func (d *Declustered) N() int { return d.n }
+
+// MirrorOf implements Arrangement by delegating to the inner shifted
+// arrangement (the within-stripe frame view).
+func (d *Declustered) MirrorOf(a Addr) Addr { return d.inner.MirrorOf(a) }
+
+// DataOf implements Arrangement by delegating to the inner shifted
+// arrangement.
+func (d *Declustered) DataOf(b Addr) Addr { return d.inner.DataOf(b) }
+
+// Width implements Placement.
+func (d *Declustered) Width() int { return 2 * d.n }
+
+// Period implements Placement.
+func (d *Declustered) Period() int { return len(d.sched) }
+
+func (d *Declustered) at(stripe int64) *bipart {
+	i := stripe % int64(len(d.sched))
+	if i < 0 {
+		i += int64(len(d.sched))
+	}
+	return &d.sched[i]
+}
+
+// Copies implements Placement.
+func (d *Declustered) Copies(stripe int64, a Addr) []Slot {
+	mustValidAddr(a, d.n)
+	bp := d.at(stripe)
+	m := d.inner.MirrorOf(a)
+	return []Slot{
+		{Disk: bp.data[a.Disk], Row: a.Row},
+		{Disk: bp.mirror[m.Disk], Row: m.Row},
+	}
+}
+
+// Owner implements Placement.
+func (d *Declustered) Owner(stripe int64, s Slot) (Addr, int) {
+	if s.Disk < 0 || s.Disk >= 2*d.n || s.Row < 0 || s.Row >= d.n {
+		panic(fmt.Sprintf("layout: slot %+v out of range for width %d, n %d", s, 2*d.n, d.n))
+	}
+	bp := d.at(stripe)
+	if bp.side[s.Disk] == 0 {
+		return Addr{Disk: bp.pos[s.Disk], Row: s.Row}, 0
+	}
+	return d.inner.DataOf(Addr{Disk: bp.pos[s.Disk], Row: s.Row}), 1
+}

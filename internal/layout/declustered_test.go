@@ -1,0 +1,142 @@
+package layout
+
+import "testing"
+
+func mustDeclustered(t *testing.T, n int) *Declustered {
+	t.Helper()
+	d, err := NewDeclustered(n)
+	if err != nil {
+		t.Fatalf("NewDeclustered(%d): %v", n, err)
+	}
+	return d
+}
+
+func TestDeclusteredPeriods(t *testing.T) {
+	cases := []struct{ n, period int }{
+		{1, 1},   // 2n=2, Sylvester
+		{2, 3},   // 2n=4, Sylvester
+		{3, 10},  // C(5,2)
+		{4, 7},   // 2n=8, Sylvester
+		{5, 126}, // C(9,4)
+		{6, 462}, // C(11,5)
+		{8, 15},  // 2n=16, Sylvester
+	}
+	for _, tc := range cases {
+		d := mustDeclustered(t, tc.n)
+		if d.Period() != tc.period {
+			t.Errorf("n=%d: period %d, want %d", tc.n, d.Period(), tc.period)
+		}
+		if d.Width() != 2*tc.n {
+			t.Errorf("n=%d: width %d, want %d", tc.n, d.Width(), 2*tc.n)
+		}
+	}
+	if _, err := NewDeclustered(9); err == nil {
+		t.Error("NewDeclustered(9) succeeded, want schedule-cap error")
+	}
+	if _, err := NewDeclustered(0); err == nil {
+		t.Error("NewDeclustered(0) succeeded")
+	}
+}
+
+// TestDeclusteredScheduleBalanced verifies the balanced-block-design
+// property both constructions are chosen for: over one period, every
+// pair of pool disks lands on opposite sides of the bipartition equally
+// often, and every stripe splits the pool exactly in half.
+func TestDeclusteredScheduleBalanced(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 6, 8} {
+		d := mustDeclustered(t, n)
+		w := d.Width()
+		sep := make([][]int, w)
+		for i := range sep {
+			sep[i] = make([]int, w)
+		}
+		for s := int64(0); s < int64(d.Period()); s++ {
+			// Recover the bipartition through the public interface: the
+			// side of pool disk p is the copy index it owns.
+			onData := make([]bool, w)
+			nData := 0
+			for p := 0; p < w; p++ {
+				if _, ci := d.Owner(s, Slot{Disk: p, Row: 0}); ci == 0 {
+					onData[p] = true
+					nData++
+				}
+			}
+			if nData != n {
+				t.Fatalf("n=%d stripe %d: %d data-side disks, want %d", n, s, nData, n)
+			}
+			for u := 0; u < w; u++ {
+				for v := u + 1; v < w; v++ {
+					if onData[u] != onData[v] {
+						sep[u][v]++
+					}
+				}
+			}
+		}
+		want := sep[0][1]
+		if want == 0 {
+			t.Fatalf("n=%d: pair (0,1) never separated", n)
+		}
+		for u := 0; u < w; u++ {
+			for v := u + 1; v < w; v++ {
+				if sep[u][v] != want {
+					t.Errorf("n=%d: pair (%d,%d) separated %d times, want %d", n, u, v, sep[u][v], want)
+				}
+			}
+		}
+	}
+}
+
+func TestDeclusteredPlacementInverse(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		checkPlacementInverse(t, mustDeclustered(t, n))
+	}
+}
+
+// TestDeclusteredRebuildSourcesUniform is the package-level face of the
+// bake-off's hard assertion: rebuilding any pool disk over a whole
+// number of schedule periods reads exactly the same element count from
+// every one of the 2n-1 survivors.
+func TestDeclusteredRebuildSourcesUniform(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		d := mustDeclustered(t, n)
+		stripes := int64(d.Period())
+		for lost := 0; lost < d.Width(); lost++ {
+			counts := RebuildSources(d, lost, stripes)
+			if counts[lost] != 0 {
+				t.Fatalf("n=%d lost=%d: lost disk served %d elements", n, lost, counts[lost])
+			}
+			// Total work: n elements per stripe.
+			want := stripes * int64(n) / int64(d.Width()-1)
+			for q, c := range counts {
+				if q == lost {
+					continue
+				}
+				if c != want {
+					t.Errorf("n=%d lost=%d: survivor %d served %d elements, want %d", n, lost, q, c, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDeclusteredFrameIsShifted pins the Arrangement face: the n-by-n
+// frame view delegates to the paper's shifted arrangement, so raid
+// planners and property checks see a valid all-properties layout.
+func TestDeclusteredFrameIsShifted(t *testing.T) {
+	d := mustDeclustered(t, 4)
+	s := NewShifted(4)
+	for disk := 0; disk < 4; disk++ {
+		for row := 0; row < 4; row++ {
+			a := Addr{Disk: disk, Row: row}
+			if d.MirrorOf(a) != s.MirrorOf(a) {
+				t.Fatalf("MirrorOf(%v) diverges from shifted", a)
+			}
+		}
+	}
+	if err := CheckBijection(d); err != nil {
+		t.Fatal(err)
+	}
+	if p := Check(d); !p.All() {
+		t.Fatalf("declustered frame properties = %v", p)
+	}
+}

@@ -1,0 +1,118 @@
+package layout
+
+import "fmt"
+
+// Slot identifies one physical element slot within a stripe of a pooled
+// placement: a pool-disk index in [0, Width()) and a row index in
+// [0, N()).
+type Slot struct {
+	Disk, Row int
+}
+
+// Placement generalizes Arrangement from the fixed "data array plus
+// mirror array(s)" geometry to an explicit map from logical stripe
+// elements to the physical slots holding their copies. Unlike an
+// Arrangement, a Placement may vary by stripe index (Period > 1), which
+// is what lets a declustered layout spread rebuild load over every pool
+// disk instead of only the opposite array.
+type Placement interface {
+	// N is the logical stripe geometry: n disks (columns) by n rows.
+	N() int
+	// Width is the number of pool disks a stripe spans.
+	Width() int
+	// Period is the schedule length in stripes: Copies and Owner for
+	// stripe s depend only on s modulo Period. Stripe-invariant
+	// placements report 1.
+	Period() int
+	// Copies returns the slots holding the copies of logical element a
+	// in the given stripe, primary first. The returned slots are on
+	// distinct pool disks; the length is the replication factor.
+	Copies(stripe int64, a Addr) []Slot
+	// Owner is the inverse of Copies: the logical element stored in
+	// slot s of the given stripe and which copy it is (0 = primary).
+	Owner(stripe int64, s Slot) (Addr, int)
+}
+
+// Classic adapts the fixed mirror geometry to the Placement interface:
+// pool disk i < n is data disk i, and pool disk (1+m)*n + i is disk i of
+// mirror array m. It is stripe-invariant (Period 1).
+type Classic struct {
+	n       int
+	mirrors []Arrangement
+}
+
+// PlacementOf wraps one or more mirror arrangements (all sharing n) as a
+// classic pooled placement.
+func PlacementOf(mirrors ...Arrangement) *Classic {
+	if len(mirrors) == 0 {
+		panic("layout: PlacementOf needs at least one mirror arrangement")
+	}
+	n := mirrors[0].N()
+	for _, m := range mirrors[1:] {
+		if m.N() != n {
+			panic(fmt.Sprintf("layout: PlacementOf arrangements disagree on n: %d vs %d", n, m.N()))
+		}
+	}
+	return &Classic{n: n, mirrors: append([]Arrangement(nil), mirrors...)}
+}
+
+// N implements Placement.
+func (c *Classic) N() int { return c.n }
+
+// Width implements Placement.
+func (c *Classic) Width() int { return (1 + len(c.mirrors)) * c.n }
+
+// Period implements Placement.
+func (c *Classic) Period() int { return 1 }
+
+// Copies implements Placement.
+func (c *Classic) Copies(_ int64, a Addr) []Slot {
+	mustValidAddr(a, c.n)
+	out := make([]Slot, 0, 1+len(c.mirrors))
+	out = append(out, Slot{Disk: a.Disk, Row: a.Row})
+	for mi, arr := range c.mirrors {
+		b := arr.MirrorOf(a)
+		out = append(out, Slot{Disk: (1+mi)*c.n + b.Disk, Row: b.Row})
+	}
+	return out
+}
+
+// Owner implements Placement.
+func (c *Classic) Owner(_ int64, s Slot) (Addr, int) {
+	c.mustValidSlot(s)
+	if s.Disk < c.n {
+		return Addr{Disk: s.Disk, Row: s.Row}, 0
+	}
+	mi := s.Disk/c.n - 1
+	return c.mirrors[mi].DataOf(Addr{Disk: s.Disk % c.n, Row: s.Row}), mi + 1
+}
+
+func (c *Classic) mustValidSlot(s Slot) {
+	if s.Disk < 0 || s.Disk >= c.Width() || s.Row < 0 || s.Row >= c.n {
+		panic(fmt.Sprintf("layout: slot %+v out of range for width %d, n %d", s, c.Width(), c.n))
+	}
+}
+
+// RebuildSources simulates the rebuild of pool disk lost over stripes
+// [0, stripes): counts[d] is the number of elements read from surviving
+// pool disk d, taking the first surviving copy in Copies order (the same
+// failover order the cluster volume uses). counts[lost] is 0.
+func RebuildSources(p Placement, lost int, stripes int64) []int64 {
+	if lost < 0 || lost >= p.Width() {
+		panic(fmt.Sprintf("layout: RebuildSources lost disk %d out of range for width %d", lost, p.Width()))
+	}
+	counts := make([]int64, p.Width())
+	n := p.N()
+	for s := int64(0); s < stripes; s++ {
+		for row := 0; row < n; row++ {
+			a, _ := p.Owner(s, Slot{Disk: lost, Row: row})
+			for _, slot := range p.Copies(s, a) {
+				if slot.Disk != lost {
+					counts[slot.Disk]++
+					break
+				}
+			}
+		}
+	}
+	return counts
+}

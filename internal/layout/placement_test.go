@@ -1,0 +1,98 @@
+package layout
+
+import "testing"
+
+// checkPlacementInverse verifies, for every stripe in one period, that
+// Copies and Owner are exact inverses and that each of the Width()*N()
+// slots of a stripe is owned by exactly one (element, copy) pair.
+func checkPlacementInverse(t *testing.T, p Placement) {
+	t.Helper()
+	n, w := p.N(), p.Width()
+	for s := int64(0); s < int64(p.Period()); s++ {
+		owned := make(map[Slot]bool, w*n)
+		for disk := 0; disk < n; disk++ {
+			for row := 0; row < n; row++ {
+				a := Addr{Disk: disk, Row: row}
+				copies := p.Copies(s, a)
+				if len(copies) < 2 {
+					t.Fatalf("stripe %d: Copies(%v) has %d slots, want >= 2", s, a, len(copies))
+				}
+				seenDisk := map[int]bool{}
+				for ci, slot := range copies {
+					if slot.Disk < 0 || slot.Disk >= w || slot.Row < 0 || slot.Row >= n {
+						t.Fatalf("stripe %d: Copies(%v)[%d] = %+v out of range", s, a, ci, slot)
+					}
+					if seenDisk[slot.Disk] {
+						t.Fatalf("stripe %d: Copies(%v) repeats pool disk %d", s, a, slot.Disk)
+					}
+					seenDisk[slot.Disk] = true
+					if owned[slot] {
+						t.Fatalf("stripe %d: slot %+v owned twice", s, slot)
+					}
+					owned[slot] = true
+					back, backCi := p.Owner(s, slot)
+					if back != a || backCi != ci {
+						t.Fatalf("stripe %d: Owner(%+v) = %v copy %d, want %v copy %d", s, slot, back, backCi, a, ci)
+					}
+				}
+			}
+		}
+		if len(owned) != w*n {
+			t.Fatalf("stripe %d: %d slots owned, want %d", s, len(owned), w*n)
+		}
+	}
+}
+
+func TestClassicPlacementInverse(t *testing.T) {
+	checkPlacementInverse(t, PlacementOf(NewShifted(4)))
+	checkPlacementInverse(t, PlacementOf(NewTraditional(3)))
+	checkPlacementInverse(t, PlacementOf(NewGeneralShifted(5, 1, 1), NewGeneralShifted(5, 2, 1)))
+}
+
+func TestClassicPlacementGeometry(t *testing.T) {
+	p := PlacementOf(NewShifted(4))
+	if p.Width() != 8 || p.Period() != 1 || p.N() != 4 {
+		t.Fatalf("classic shifted(4): width %d period %d n %d", p.Width(), p.Period(), p.N())
+	}
+	three := PlacementOf(NewShifted(3), NewGeneralShifted(3, 2, 1))
+	if three.Width() != 9 {
+		t.Fatalf("three-mirror width %d, want 9", three.Width())
+	}
+	// Pool disk layout: data then each mirror array in order.
+	got := p.Copies(0, Addr{Disk: 1, Row: 2})
+	want := []Slot{{Disk: 1, Row: 2}, {Disk: 4 + 3, Row: 1}} // shifted: (1+2)%4=3
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Copies = %+v, want %+v", got, want)
+	}
+}
+
+// TestClassicRebuildSources pins the classic fan-outs the paper proves:
+// shifted rebuilds a data disk from all n mirror disks evenly,
+// traditional from exactly one.
+func TestClassicRebuildSources(t *testing.T) {
+	const n, stripes = 4, 12
+	shifted := PlacementOf(NewShifted(n))
+	counts := RebuildSources(shifted, 0, stripes)
+	for d := n; d < 2*n; d++ {
+		if counts[d] != stripes*n/n {
+			t.Errorf("shifted: mirror pool disk %d served %d elements, want %d", d, counts[d], stripes)
+		}
+	}
+	trad := PlacementOf(NewTraditional(n))
+	counts = RebuildSources(trad, 0, stripes)
+	if counts[n] != stripes*n {
+		t.Errorf("traditional: mirror pool disk %d served %d, want %d", n, counts[n], stripes*n)
+	}
+	for d := n + 1; d < 2*n; d++ {
+		if counts[d] != 0 {
+			t.Errorf("traditional: mirror pool disk %d served %d, want 0", d, counts[d])
+		}
+	}
+	// Failing a mirror-side disk reads back from the data side.
+	counts = RebuildSources(shifted, n, stripes)
+	for d := 0; d < n; d++ {
+		if counts[d] != stripes {
+			t.Errorf("shifted mirror loss: data pool disk %d served %d, want %d", d, counts[d], stripes)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory builds an arrangement of a named family for an n-disk stripe.
+// Factories return an error (rather than panicking) when the family is
+// undefined at that n — e.g. the rotated family needs a composite n and
+// the declustered family a tractable bipartition schedule.
+type Factory func(n int) (Arrangement, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register adds a named layout family to the registry, making it
+// constructible by New and by ParseSpec. It panics on an empty name or a
+// duplicate registration: both are programmer errors at init time.
+func Register(name string, f Factory) {
+	if name == "" {
+		panic("layout: Register with empty name")
+	}
+	if f == nil {
+		panic(fmt.Sprintf("layout: Register(%q) with nil factory", name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("layout: Register(%q) called twice", name))
+	}
+	registry[name] = f
+}
+
+// Names returns the registered layout family names in sorted order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Registered reports whether name is a registered layout family.
+func Registered(name string) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
+// New builds the named registered layout family for an n-disk stripe.
+func New(name string, n int) (Arrangement, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("layout: unknown layout %q (registered: %v)", name, Names())
+	}
+	return f(n)
+}
+
+func checkRegistryN(n int) error {
+	if n < 1 {
+		return fmt.Errorf("layout: n must be >= 1, got %d", n)
+	}
+	return nil
+}
+
+func init() {
+	Register("traditional", func(n int) (Arrangement, error) {
+		if err := checkRegistryN(n); err != nil {
+			return nil, err
+		}
+		return NewTraditional(n), nil
+	})
+	Register("shifted", func(n int) (Arrangement, error) {
+		if err := checkRegistryN(n); err != nil {
+			return nil, err
+		}
+		return NewShifted(n), nil
+	})
+	// The canonical member of the iterated family (Fig 8): k=3, the
+	// smallest iteration count beyond the shifted arrangement itself.
+	Register("iterated", func(n int) (Arrangement, error) {
+		if err := checkRegistryN(n); err != nil {
+			return nil, err
+		}
+		return NewIterated(n, 3), nil
+	})
+	// The canonical generalized shift: coefficients (2,1), the pair the
+	// three-mirror extension uses opposite (1,1). Needs n >= 3 so that
+	// a=2 is nonzero mod n.
+	Register("general-shifted", func(n int) (Arrangement, error) {
+		if err := checkRegistryN(n); err != nil {
+			return nil, err
+		}
+		if mod(2, n) == 0 {
+			return nil, fmt.Errorf("layout: general-shifted(2,1) needs n >= 3, got %d", n)
+		}
+		return NewGeneralShifted(n, 2, 1), nil
+	})
+	Register("declustered", func(n int) (Arrangement, error) {
+		if err := checkRegistryN(n); err != nil {
+			return nil, err
+		}
+		return NewDeclustered(n)
+	})
+	// The canonical rotated member: block height g = the smallest prime
+	// factor of n, the gentlest locality/fan-out tradeoff the family
+	// offers at that n. Needs a composite n: at a prime n the only
+	// divisors give back shifted (g=1) or traditional (g=n).
+	Register("rotated", func(n int) (Arrangement, error) {
+		if err := checkRegistryN(n); err != nil {
+			return nil, err
+		}
+		g := smallestPrimeFactor(n)
+		if g == 0 || g == n {
+			return nil, fmt.Errorf("layout: rotated needs a composite n (got %d); use rotated:G with an explicit divisor", n)
+		}
+		return NewRotated(n, g)
+	})
+}
+
+// smallestPrimeFactor returns the smallest prime factor of n, or 0 for
+// n < 2.
+func smallestPrimeFactor(n int) int {
+	if n < 2 {
+		return 0
+	}
+	for p := 2; p*p <= n; p++ {
+		if n%p == 0 {
+			return p
+		}
+	}
+	return n
+}

@@ -1,0 +1,147 @@
+package layout
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The canonical n for registry-wide tests: every registered family
+// constructs at n=4 (composite, 2n a power of two, 2 a unit... no — 2
+// is not a unit mod 4, which is exactly why general-shifted(2,1) loses
+// P3 there; it still constructs).
+const registryTestN = 4
+
+func TestRegistryNames(t *testing.T) {
+	want := []string{"declustered", "general-shifted", "iterated", "rotated", "shifted", "traditional"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		if !Registered(name) {
+			t.Errorf("Registered(%q) = false", name)
+		}
+	}
+	if Registered("no-such-layout") {
+		t.Error("Registered(no-such-layout) = true")
+	}
+}
+
+func TestNewUnknownLayout(t *testing.T) {
+	if _, err := New("no-such-layout", 4); err == nil {
+		t.Fatal("New(no-such-layout) succeeded")
+	}
+}
+
+// TestRegisteredLayoutsConstructAtN4 pins the guarantee the cluster
+// tests and the clusterrecon bake-off rely on: every registered family
+// is defined at n=4.
+func TestRegisteredLayoutsConstructAtN4(t *testing.T) {
+	for _, name := range Names() {
+		if _, err := New(name, registryTestN); err != nil {
+			t.Errorf("New(%q, %d): %v", name, registryTestN, err)
+		}
+	}
+}
+
+// TestRegisteredLayoutsAreBijections table-drives the bijection check
+// over every registered family at every n where the family is defined,
+// so any future registration is checked for free.
+func TestRegisteredLayoutsAreBijections(t *testing.T) {
+	for _, name := range Names() {
+		for n := 1; n <= 8; n++ {
+			arr, err := New(name, n)
+			if err != nil {
+				continue // family undefined at this n
+			}
+			if err := CheckBijection(arr); err != nil {
+				t.Errorf("%s at n=%d: %v", name, n, err)
+			}
+		}
+	}
+}
+
+// TestRegisteredLayoutProperties pins the P1/P2/P3 verdicts of each
+// family at n=4.
+func TestRegisteredLayoutProperties(t *testing.T) {
+	cases := []struct {
+		name string
+		want Properties
+	}{
+		{name: "traditional", want: Properties{P1: false, P2: false, P3: true}},
+		{name: "shifted", want: Properties{P1: true, P2: true, P3: true}},
+		// The frame view of declustered is the shifted arrangement.
+		{name: "declustered", want: Properties{P1: true, P2: true, P3: true}},
+		// The thrice-iterated map is (i,j) -> (3i+2j, 2i+j): at n=4 the
+		// j-coefficient 2 is not a unit (P1/P2 fail, unlike at odd n)
+		// while the i-coefficient 3 is (P3 holds).
+		{name: "iterated", want: Properties{P1: false, P2: false, P3: true}},
+		// b=1 is a unit (P1/P2); a=2 is not a unit mod 4 (no P3).
+		{name: "general-shifted", want: Properties{P1: true, P2: true, P3: false}},
+		// g=2 blocks: fan-out n/g=2 < n kills P1/P2; whole rows still
+		// land on distinct mirror disks (P3).
+		{name: "rotated", want: Properties{P1: false, P2: false, P3: true}},
+	}
+	covered := map[string]bool{}
+	for _, tc := range cases {
+		covered[tc.name] = true
+		arr, err := New(tc.name, registryTestN)
+		if err != nil {
+			t.Errorf("New(%q, %d): %v", tc.name, registryTestN, err)
+			continue
+		}
+		got := Check(arr)
+		if got != tc.want {
+			t.Errorf("%s at n=%d: properties %v, want %v", tc.name, registryTestN, got, tc.want)
+		}
+	}
+	for _, name := range Names() {
+		if !covered[name] {
+			t.Errorf("registered layout %q has no property expectation in this table", name)
+		}
+	}
+}
+
+func TestRegistryFactoryErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+	}{
+		{"rotated", 5},         // prime n: no proper block height
+		{"rotated", 1},         // no proper block height at all
+		{"general-shifted", 2}, // a=2 vanishes mod 2
+		{"declustered", 9},     // C(17,8) = 24310 exceeds the schedule cap
+		{"shifted", 0},         // invalid n must error, not panic
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.name, tc.n); err == nil {
+			t.Errorf("New(%q, %d) succeeded, want error", tc.name, tc.n)
+		}
+	}
+}
+
+func TestParseSpecRegistryFallback(t *testing.T) {
+	arr, err := ParseSpec("declustered", 4)
+	if err != nil {
+		t.Fatalf("ParseSpec(declustered): %v", err)
+	}
+	if _, ok := arr.(*Declustered); !ok {
+		t.Fatalf("ParseSpec(declustered) = %T", arr)
+	}
+	rot, err := ParseSpec("rotated:2", 4)
+	if err != nil {
+		t.Fatalf("ParseSpec(rotated:2): %v", err)
+	}
+	if r, ok := rot.(*Rotated); !ok || r.Group() != 2 {
+		t.Fatalf("ParseSpec(rotated:2) = %#v", rot)
+	}
+	// The registry's canonical rotated member picks g automatically.
+	if _, err := ParseSpec("rotated", 4); err != nil {
+		t.Fatalf("ParseSpec(rotated): %v", err)
+	}
+	if _, err := ParseSpec("rotated", 5); err == nil {
+		t.Fatal("ParseSpec(rotated) at prime n succeeded")
+	}
+	if _, err := ParseSpec("no-such-layout", 4); err == nil {
+		t.Fatal("ParseSpec(no-such-layout) succeeded")
+	}
+}

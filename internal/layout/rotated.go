@@ -1,0 +1,67 @@
+package layout
+
+import "fmt"
+
+// Rotated is the generalized-rotation family, parameterized for
+// degraded-read locality. Rows are grouped into blocks of g consecutive
+// rows (g must divide n) and a whole block of data disk i is mirrored
+// contiguously on one mirror disk, rotating by block index:
+//
+//	a[i][b*g + t]  ->  m[(i+b) mod n][(i mod (n/g))*g + t]
+//
+// for block b in [0, n/g) and offset t in [0, g). g=1 is exactly the
+// paper's shifted arrangement; g=n degenerates to the traditional
+// identity. In between, the family trades rebuild fan-out for locality:
+// a failed data disk is rebuilt from n/g mirror disks (g elements each,
+// on consecutive rows), and a degraded sequential read of one data disk
+// switches mirror disks only once per g elements instead of every
+// element.
+type Rotated struct {
+	n, g int
+}
+
+// NewRotated returns the rotated arrangement with block height g over n
+// disks. g must be a divisor of n in [1, n].
+func NewRotated(n, g int) (*Rotated, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("layout: n must be >= 1, got %d", n)
+	}
+	if g < 1 || g > n || n%g != 0 {
+		return nil, fmt.Errorf("layout: rotated block height g=%d must divide n=%d", g, n)
+	}
+	return &Rotated{n: n, g: g}, nil
+}
+
+// Name implements Arrangement.
+func (r *Rotated) Name() string { return fmt.Sprintf("rotated(g=%d)", r.g) }
+
+// N implements Arrangement.
+func (r *Rotated) N() int { return r.n }
+
+// Group returns the block height g.
+func (r *Rotated) Group() int { return r.g }
+
+// MirrorOf implements Arrangement.
+func (r *Rotated) MirrorOf(a Addr) Addr {
+	mustValidAddr(a, r.n)
+	b, t := a.Row/r.g, a.Row%r.g
+	return Addr{
+		Disk: (a.Disk + b) % r.n,
+		Row:  (a.Disk%(r.n/r.g))*r.g + t,
+	}
+}
+
+// DataOf implements Arrangement. Given mirror slot (d, row), the row
+// fixes t = row mod g and q = row/g = i mod (n/g); among the g data
+// disks congruent to q mod n/g, exactly one yields a block index in
+// [0, n/g), namely b = (d - q) mod (n/g), whence i = (d - b) mod n.
+func (r *Rotated) DataOf(m Addr) Addr {
+	mustValidAddr(m, r.n)
+	blocks := r.n / r.g
+	t, q := m.Row%r.g, m.Row/r.g
+	b := mod(m.Disk-q, blocks)
+	return Addr{
+		Disk: mod(m.Disk-b, r.n),
+		Row:  b*r.g + t,
+	}
+}

@@ -1,0 +1,90 @@
+package layout
+
+import "testing"
+
+func TestRotatedBijection(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		for g := 1; g <= n; g++ {
+			if n%g != 0 {
+				continue
+			}
+			r, err := NewRotated(n, g)
+			if err != nil {
+				t.Fatalf("NewRotated(%d,%d): %v", n, g, err)
+			}
+			if err := CheckBijection(r); err != nil {
+				t.Errorf("rotated(n=%d,g=%d): %v", n, g, err)
+			}
+		}
+	}
+}
+
+func TestRotatedDegenerateEnds(t *testing.T) {
+	// g=1 is the shifted arrangement; g=n is the traditional identity.
+	r1, _ := NewRotated(4, 1)
+	s := NewShifted(4)
+	rn, _ := NewRotated(4, 4)
+	for disk := 0; disk < 4; disk++ {
+		for row := 0; row < 4; row++ {
+			a := Addr{Disk: disk, Row: row}
+			if r1.MirrorOf(a) != s.MirrorOf(a) {
+				t.Fatalf("rotated(g=1).MirrorOf(%v) = %v, want shifted %v", a, r1.MirrorOf(a), s.MirrorOf(a))
+			}
+			if rn.MirrorOf(a) != a {
+				t.Fatalf("rotated(g=n).MirrorOf(%v) = %v, want identity", a, rn.MirrorOf(a))
+			}
+		}
+	}
+}
+
+func TestRotatedInvalid(t *testing.T) {
+	for _, tc := range []struct{ n, g int }{{4, 3}, {4, 0}, {4, 5}, {0, 1}, {6, 4}} {
+		if _, err := NewRotated(tc.n, tc.g); err == nil {
+			t.Errorf("NewRotated(%d,%d) succeeded", tc.n, tc.g)
+		}
+	}
+}
+
+// TestRotatedFanOutAndLocality pins the family's tradeoff: a failed
+// data disk is rebuilt from exactly n/g mirror disks, g elements each,
+// and each block of g elements lands on g consecutive rows of one
+// mirror disk.
+func TestRotatedFanOutAndLocality(t *testing.T) {
+	const n, g = 6, 2
+	r, err := NewRotated(n, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for disk := 0; disk < n; disk++ {
+		perMirror := map[int][]int{} // mirror disk -> rows
+		for row := 0; row < n; row++ {
+			m := r.MirrorOf(Addr{Disk: disk, Row: row})
+			perMirror[m.Disk] = append(perMirror[m.Disk], m.Row)
+		}
+		if len(perMirror) != n/g {
+			t.Fatalf("data disk %d spreads over %d mirror disks, want %d", disk, len(perMirror), n/g)
+		}
+		for md, rows := range perMirror {
+			if len(rows) != g {
+				t.Fatalf("data disk %d puts %d elements on mirror disk %d, want %d", disk, len(rows), md, g)
+			}
+			// Blocks arrive in row order, so consecutive entries are
+			// consecutive mirror rows.
+			for i := 1; i < len(rows); i++ {
+				if rows[i] != rows[i-1]+1 {
+					t.Fatalf("data disk %d on mirror disk %d: rows %v not contiguous", disk, md, rows)
+				}
+			}
+		}
+	}
+	// Mirror-disk loss has the same fan-out in the other direction.
+	for disk := 0; disk < n; disk++ {
+		src := map[int]int{}
+		for row := 0; row < n; row++ {
+			src[r.DataOf(Addr{Disk: disk, Row: row}).Disk]++
+		}
+		if len(src) != n/g {
+			t.Fatalf("mirror disk %d sources from %d data disks, want %d", disk, len(src), n/g)
+		}
+	}
+}

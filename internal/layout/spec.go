@@ -12,7 +12,10 @@ import (
 //	"shifted"          the paper's arrangement
 //	"iterated:K"       the K-times iterated transformation (Fig 8)
 //	"general:A,B"      the generalized shift (A*i + B*j) mod n
+//	"rotated:G"        the rotated family with block height G
 //
+// Any other spec is looked up in the layout registry, so every name in
+// Names() — e.g. "declustered" — works anywhere a spec string does.
 // n is the number of disks per array.
 func ParseSpec(spec string, n int) (Arrangement, error) {
 	switch {
@@ -40,7 +43,15 @@ func ParseSpec(spec string, n int) (Arrangement, error) {
 			return nil, fmt.Errorf("layout: coefficients (%d,%d) invalid mod %d (b must be a unit, a nonzero)", a, b, n)
 		}
 		return NewGeneralShifted(n, a, b), nil
+	case strings.HasPrefix(spec, "rotated:"):
+		g, err := strconv.Atoi(strings.TrimPrefix(spec, "rotated:"))
+		if err != nil {
+			return nil, fmt.Errorf("layout: bad block height in %q", spec)
+		}
+		return NewRotated(n, g)
+	case Registered(spec):
+		return New(spec, n)
 	default:
-		return nil, fmt.Errorf("layout: unknown arrangement %q (want traditional, shifted, iterated:K or general:A,B)", spec)
+		return nil, fmt.Errorf("layout: unknown arrangement %q (want one of %v, iterated:K, general:A,B or rotated:G)", spec, Names())
 	}
 }

@@ -64,6 +64,11 @@ type Config struct {
 	// drives at once (default 2). Within one group rebuilds run
 	// sequentially — the group's backends are the bottleneck anyway.
 	MaxConcurrentRebuilds int
+	// Layout, when non-empty, names a registered layout family (see
+	// layout.Names) that every child volume built by Open uses as its
+	// placement — equivalent to passing cluster.WithLayout to each
+	// group. Ignored by New, whose children are already built.
+	Layout string
 	// Metrics, when set, registers the sm_shard_* series plus each
 	// child's sm_cluster_* series labeled group="<id>" on the registry.
 	// Children must NOT be built with their own cluster.WithMetrics on
@@ -190,6 +195,9 @@ func New(children []*cluster.Volume, cfg Config) (*ShardedVolume, error) {
 // same options apply to every group; do not pass cluster.WithMetrics
 // (set Config.Metrics instead, which labels each group's series).
 func Open(arch *raid.Mirror, backends []map[raid.DiskID]string, cfg Config, copts ...cluster.Option) (*ShardedVolume, error) {
+	if cfg.Layout != "" {
+		copts = append(append([]cluster.Option(nil), copts...), cluster.WithLayout(cfg.Layout))
+	}
 	children := make([]*cluster.Volume, 0, len(backends))
 	fail := func(err error) (*ShardedVolume, error) {
 		for _, c := range children {

@@ -170,14 +170,38 @@ const (
 
 // NewTraditionalArrangement returns the classic RAID-1 identity
 // arrangement over n disks.
+//
+// Legacy — new code should go through the layout registry instead:
+// NewArrangement("traditional", n), or WithLayout("traditional") on a
+// volume constructor.
 func NewTraditionalArrangement(n int) Arrangement { return layout.NewTraditional(n) }
 
 // NewShiftedArrangement returns the paper's arrangement:
 // a[i][j] -> b[(i+j) mod n][i].
+//
+// Legacy — new code should go through the layout registry instead:
+// NewArrangement("shifted", n), or WithLayout("shifted") on a volume
+// constructor.
 func NewShiftedArrangement(n int) Arrangement { return layout.NewShifted(n) }
 
 // NewIteratedArrangement applies the Fig 8 transformation k times.
+//
+// Legacy — new code should go through the layout registry
+// (NewArrangement("iterated", n) registers k=3) or ParseArrangement
+// ("iterated:K" for other iteration counts).
 func NewIteratedArrangement(n, k int) Arrangement { return layout.NewIterated(n, k) }
+
+// LayoutNames lists every layout family registered with the catalog, in
+// sorted order — the names NewArrangement, ParseArrangement, and
+// WithLayout accept.
+func LayoutNames() []string { return layout.Names() }
+
+// NewArrangement builds a registered layout family by name at size n:
+// "traditional", "shifted", "iterated", "general-shifted", "declustered"
+// (parity-declustered mirror placement over 2n pooled disks), or
+// "rotated" (grouped rotation trading rebuild fan-out for degraded-read
+// locality). See LayoutNames for the live list.
+func NewArrangement(name string, n int) (Arrangement, error) { return layout.New(name, n) }
 
 // CheckProperties evaluates P1, P2 and P3 for an arrangement.
 func CheckProperties(a Arrangement) Properties { return layout.Check(a) }
@@ -215,6 +239,11 @@ func NewShiftedThreeMirror(n int) *Mirror {
 
 // NewMirrorWithArrangement builds a plain mirror method over a custom
 // arrangement (e.g. one found by layout.SearchValid).
+//
+// Legacy — for registered families, prefer keeping the architecture on
+// the shifted frame and selecting the placement by name with
+// WithLayout; a custom hand-built arrangement is the only reason to
+// call this directly.
 func NewMirrorWithArrangement(a Arrangement) *Mirror { return raid.NewMirror(a) }
 
 // NewRAID6 returns the RAID-6 baseline over n data disks (shortened
@@ -272,7 +301,8 @@ func MirrorParityImprovement(n int) float64 { return analysis.MirrorParityImprov
 func RenderLayout(a Arrangement) string { return layout.RenderPair(a) }
 
 // ParseArrangement builds an arrangement from a textual spec:
-// "traditional", "shifted", "iterated:K" or "general:A,B".
+// "traditional", "shifted", "iterated:K", "general:A,B", "rotated:G",
+// or any registered layout name (see LayoutNames).
 func ParseArrangement(spec string, n int) (Arrangement, error) { return layout.ParseSpec(spec, n) }
 
 // DiskModels lists the built-in drive models by name ("savvio" — the
@@ -434,6 +464,18 @@ func WithHedging(percentile float64, minDelay, maxDelay time.Duration) Option {
 // takes the default of 1 stripe/sec). Volume side only.
 func WithRebuildQoS(slo time.Duration, minStripesPerSec float64) Option {
 	return Option{cluster: cluster.WithRebuildQoS(slo, minStripesPerSec)}
+}
+
+// WithLayout selects the placement family driving a cluster volume's
+// read failover, write fan-out, rebuild gather, scrub, and hedging by
+// registered name (see LayoutNames) instead of the architecture's own
+// arrangement. The architecture supplies the frame — disk count and
+// addressing — and must be a single-mirror method without parity;
+// pooled families like "declustered" reinterpret all 2n backends as one
+// pool. On a sharded volume the layout applies to every group. Volume
+// side only.
+func WithLayout(name string) Option {
+	return Option{cluster: cluster.WithLayout(name)}
 }
 
 // WithWriteBatching toggles coalesced scatter-write (OpWriteV) frames
