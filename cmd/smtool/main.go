@@ -559,6 +559,8 @@ func cmdCluster(args []string) error {
 	statsJSON := fs.Bool("stats", false, "print the final Volume.Stats() snapshot as JSON")
 	hedge := fs.Bool("hedge", false, "enable hedged reads (race slow backends against replica locations)")
 	crc := fs.Bool("crc", false, "end-to-end checksummed wire path (self-hosted backends get a matching CRC sidecar)")
+	pipeline := fs.Bool("pipeline", false, "pipelined wire mode: multiplex tagged frames over the pooled connections (out-of-order completion, coalesced writev)")
+	pipeWindow := fs.Int("pipewindow", 0, "in-flight ops per pipelined connection (0 = default)")
 	noWriteBatch := fs.Bool("nowritebatch", false, "disable coalesced scatter writes (one OpWrite round trip per element copy, for A/B measurement)")
 	qosSLO := fs.Duration("qos", 0, "rebuild QoS: throttle the rebuild to hold user-read p99 under this SLO (0 = off, rebuild runs flat out)")
 	qosMin := fs.Float64("qosmin", 0, "rebuild QoS floor rate in stripes/sec (forward-progress guarantee; 0 = default 1)")
@@ -572,7 +574,8 @@ func cmdCluster(args []string) error {
 		ElementSize: *elementSize, Stripes: *stripes,
 		Layout:       *layoutName,
 		HedgeEnabled: *hedge, DisableWriteBatch: *noWriteBatch,
-		WireCRC:       *crc,
+		WireCRC:  *crc,
+		Pipeline: *pipeline, PipelineWindow: *pipeWindow,
 		RebuildQoSSLO: *qosSLO, RebuildQoSMinRate: *qosMin,
 	}
 	diskSize := int64(*stripes) * int64(*n) * *elementSize
@@ -704,6 +707,15 @@ func cmdCluster(args []string) error {
 	if hs := finalStats.Hedge; *hedge || hs.Attempts > 0 {
 		fmt.Printf("hedging: %d attempts, %d wins, %d losses, %d cancels\n",
 			hs.Attempts, hs.Wins, hs.Losses, hs.Cancels)
+	}
+	if ps := finalStats.Pipeline; ps.Enabled {
+		coalesce := 0.0
+		if ps.Writevs > 0 {
+			coalesce = float64(ps.Frames) / float64(ps.Writevs)
+		}
+		fmt.Printf("pipeline: %d submitted, %d abandoned, %d frames in %d writevs (%.1f frames/writev), queue-wait p99 %v\n",
+			ps.Submitted, ps.Abandoned, ps.Frames, ps.Writevs, coalesce,
+			ps.QueueWait.Quantile(0.99).Round(time.Microsecond))
 	}
 	if qs := finalStats.QoS; qs.Enabled {
 		fmt.Printf("rebuild qos: slo %s, rate %.1f stripes/s, headroom %dus, %d throttles, %d boosts, %.2fs waited\n",

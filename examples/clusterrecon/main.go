@@ -122,7 +122,11 @@ type report struct {
 	// WireCRC marks a run over the checksummed wire path: every backend
 	// keeps a per-element CRC32C sidecar and the volume verifies each
 	// element end to end.
-	WireCRC  bool        `json:"wire_crc"`
+	WireCRC bool `json:"wire_crc"`
+	// Pipeline marks a run over the pipelined wire mode: tagged frames
+	// multiplexed over each pooled connection with out-of-order
+	// completion and coalesced writev submission.
+	Pipeline bool        `json:"pipeline"`
 	LostDisk string      `json:"lost_disk"`
 	Runs     []runReport `json:"runs"`
 	// Speedup is traditional rebuild time over shifted rebuild time.
@@ -148,6 +152,7 @@ func main() {
 	quick := flag.Bool("quick", false, "small run for CI smoke tests")
 	layoutName := flag.String("layout", "shifted", "registered layout measured against the traditional baseline (see 'smtool layouts')")
 	crc := flag.Bool("crc", false, "run the rebuild over the checksummed wire path (per-element CRC32C end to end)")
+	pipeline := flag.Bool("pipeline", false, "run over the pipelined wire mode (tagged frames, out-of-order completion, coalesced writev)")
 	live := flag.Bool("live", false, "also run the availability-under-load phase: QoS-throttled rebuild racing a seeded multi-tenant workload")
 	bakeoff := flag.Bool("bakeoff", false, "also run the layout-catalog bake-off: every family's rebuild fan-out, degraded-read cost, and write amplification")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout")
@@ -158,7 +163,7 @@ func main() {
 
 	rep := report{
 		N: *n, Stripes: *stripes, ElementBytes: *element, RateMBps: *rate,
-		WireCRC:  *crc,
+		WireCRC: *crc, Pipeline: *pipeline,
 		LostDisk: raid.DiskID{Role: raid.RoleData, Index: 0}.String(),
 	}
 	if !*jsonOut {
@@ -166,6 +171,9 @@ func main() {
 			*n, *stripes, *element, *rate)
 		if *crc {
 			fmt.Println("wire CRC: on (every element checksummed end to end)")
+		}
+		if *pipeline {
+			fmt.Println("pipeline: on (tagged frames, out-of-order completion, coalesced writev)")
 		}
 		fmt.Printf("lost disk: %s (%.2f MB to recover over TCP)\n\n",
 			rep.LostDisk, float64(*stripes)*float64(*n)*float64(*element)/1e6)
@@ -176,7 +184,7 @@ func main() {
 		families = append(families, *layoutName)
 	}
 	for _, name := range families {
-		rr, err := measure(name, *n, *element, *stripes, *rate, *crc)
+		rr, err := measure(name, *n, *element, *stripes, *rate, *crc, *pipeline)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "clusterrecon: %s: %v\n", name, err)
 			os.Exit(1)
@@ -485,7 +493,7 @@ func measureTail(n int, element int64, stripes int, stall time.Duration, reads i
 // catalog family drives the identical wire path. With crc, every
 // backend (including the replacement) keeps a per-element sidecar and
 // the volume checksums the whole rebuild end to end.
-func measure(name string, n int, element int64, stripes int, rate float64, crc bool) (runReport, error) {
+func measure(name string, n int, element int64, stripes int, rate float64, crc, pipeline bool) (runReport, error) {
 	rr := runReport{Arrangement: name}
 	arch := raid.NewMirror(layout.NewShifted(n))
 	diskSize := int64(stripes) * int64(n) * element
@@ -522,7 +530,7 @@ func measure(name string, n int, element int64, stripes int, rate float64, crc b
 		backends[id] = addr
 	}
 
-	v, err := cluster.New(arch, backends, cluster.Config{ElementSize: element, Stripes: stripes, WireCRC: crc, Layout: name})
+	v, err := cluster.New(arch, backends, cluster.Config{ElementSize: element, Stripes: stripes, WireCRC: crc, Pipeline: pipeline, Layout: name})
 	if err != nil {
 		return rr, err
 	}

@@ -18,13 +18,24 @@ func TestVectoredOpsAllocFree(t *testing.T) {
 		t.Skip("race instrumentation adds its own allocations")
 	}
 	const blk = 1024
-	for _, crc := range []bool{false, true} {
-		name := map[bool]string{false: "plain", true: "crc"}[crc]
-		t.Run(name, func(t *testing.T) {
+	for _, mode := range []struct {
+		name     string
+		crc      bool
+		pipeline bool
+	}{
+		{"plain", false, false},
+		{"crc", true, false},
+		{"pipelined", false, true},
+		{"pipelined-crc", true, true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
 			var crcBlock int64
 			var features byte
-			if crc {
+			if mode.crc {
 				crcBlock, features = blk, FeatureCRC
+			}
+			if mode.pipeline {
+				features |= FeaturePipeline
 			}
 			addr, _ := startCRCServer(t, 64*blk, crcBlock, true)
 			client, err := DialConfig(addr, Config{Features: features})

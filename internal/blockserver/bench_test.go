@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"sync/atomic"
 	"testing"
 
 	"shiftedmirror/internal/dev"
@@ -103,14 +104,29 @@ func BenchmarkRawTCP(b *testing.B) {
 }
 
 func BenchmarkWirePath(b *testing.B) {
-	for _, crc := range []bool{false, true} {
-		mode := map[bool]string{false: "plain", true: "crc"}[crc]
+	modes := []struct {
+		name     string
+		crc      bool
+		features byte
+	}{
+		{"plain", false, 0},
+		{"crc", true, FeatureCRC},
+		// The pipelined leg is the A/B against plain: same bytes, same
+		// single caller, but every op carries a 4-byte tag, crosses the
+		// submit queue and writer goroutine, and demuxes by tag on the
+		// way back. With one caller there is nothing to overlap, so this
+		// measures pure framing+handoff overhead — the win shows up in
+		// BenchmarkWireSmallOp where the window actually fills.
+		{"pipelined", false, FeaturePipeline},
+	}
+	for _, m := range modes {
+		mode := m.name
+		crc := m.crc
+		features := m.features
 		mem := dev.NewMemStore(benchTotal)
 		var opts []ServerOption
-		var features byte
 		if crc {
 			opts = append(opts, WithCRC(benchRangeLen))
-			features = FeatureCRC
 		}
 		srv := NewStoreServer(mem, opts...)
 		addr, err := srv.Listen("127.0.0.1:0")
@@ -155,4 +171,85 @@ func BenchmarkWirePath(b *testing.B) {
 		client.Close()
 		srv.Close()
 	}
+}
+
+// BenchmarkWireSmallOp is the small-op saturation A/B at the cluster
+// pool's shape: two connections (PoolSize=2), sixteen goroutines, one
+// 512-byte single-vec read per op. The sync leg checks a connection
+// out per op exactly like the pool's slot semaphore, so at most two
+// requests are ever in flight and every op pays a full loopback round
+// trip. The pipelined leg shares the same two connections: frames
+// queue at the writer, coalesce into one writev, and complete out of
+// order, so all sixteen callers overlap on two sockets. The ratio
+// gate in BENCH_wire.json holds pipelined >= 2x sync within the same
+// run — the structural property the pipelined wire mode exists for.
+func BenchmarkWireSmallOp(b *testing.B) {
+	const smallLen = 512
+	const conns = 2
+	const callers = 64
+	mem := dev.NewMemStore(benchTotal)
+	srv := NewStoreServer(mem)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+
+	b.Run("sync", func(b *testing.B) {
+		slots := make(chan *Client, conns)
+		for i := 0; i < conns; i++ {
+			c, err := DialConfig(addr.String(), Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			slots <- c
+		}
+		var next atomic.Uint32
+		b.SetBytes(smallLen)
+		b.SetParallelism(callers)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			off := int64(next.Add(1)%(benchTotal/smallLen)) * smallLen
+			vecs := []Vec{{Off: off, Len: smallLen}}
+			dst := [][]byte{make([]byte, smallLen)}
+			for pb.Next() {
+				c := <-slots
+				err := c.ReadVCtx(ctx, vecs, dst)
+				slots <- c
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+
+	b.Run("pipelined", func(b *testing.B) {
+		clients := make([]*Client, conns)
+		for i := range clients {
+			c, err := DialConfig(addr.String(), Config{Features: FeaturePipeline})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			clients[i] = c
+		}
+		var next atomic.Uint32
+		b.SetBytes(smallLen)
+		b.SetParallelism(callers)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			n := next.Add(1)
+			c := clients[n%conns] // round-robin callers over the two pipes
+			off := int64(n%(benchTotal/smallLen)) * smallLen
+			vecs := []Vec{{Off: off, Len: smallLen}}
+			dst := [][]byte{make([]byte, smallLen)}
+			for pb.Next() {
+				if err := c.ReadVCtx(ctx, vecs, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
 }

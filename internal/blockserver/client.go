@@ -27,11 +27,21 @@ type Config struct {
 	// connection is poisoned and must be replaced.
 	OpTimeout time.Duration
 	// Features is the set of optional capabilities to request at dial
-	// time (FeatureCRC). The server grants a subset; servers predating
-	// the negotiation opcode tear the probe connection, which the client
-	// handles by redialing plain — so requesting features is always safe
-	// against old peers. 0 skips negotiation entirely.
+	// time (FeatureCRC, FeaturePipeline). The server grants a subset;
+	// servers predating the negotiation opcode tear the probe
+	// connection, which the client handles by redialing plain — so
+	// requesting features is always safe against old peers. 0 skips
+	// negotiation entirely.
 	Features byte
+	// PipeWindow bounds the in-flight ops on a pipelined connection
+	// (FeaturePipeline granted); <= 0 means DefaultPipeWindow. Ignored
+	// on synchronous connections.
+	PipeWindow int
+	// PipeStats, when non-nil, receives the pipelined connection's
+	// counters; one PipeStats may be shared across many clients
+	// (internal/cluster shares one per volume). nil means the client
+	// keeps private counters.
+	PipeStats *PipeStats
 }
 
 // Client is a remote handle to a served device or store. It implements
@@ -46,6 +56,11 @@ type Client struct {
 	// written once at dial time, before the client is shared.
 	features byte
 	crcBlock int64
+	// pipe is the multiplexing machinery when FeaturePipeline was
+	// granted; nil on synchronous connections. Set once at dial time.
+	// With a pipe, ops bypass the mu/beginOp path entirely — many may
+	// be in flight concurrently, completing out of order.
+	pipe *pipe
 
 	mu sync.Mutex
 	// broken is set once a transport or framing error leaves the stream
@@ -99,6 +114,10 @@ func DialContext(ctx context.Context, addr string, cfg Config) (*Client, error) 
 			}
 			c = &Client{cfg: cfg, conn: conn}
 		}
+	}
+	if c.features&FeaturePipeline != 0 {
+		c.pipe = newPipe(c.conn, cfg.PipeWindow, cfg.OpTimeout,
+			c.features&FeatureCRC != 0, cfg.PipeStats)
 	}
 	return c, nil
 }
@@ -183,12 +202,30 @@ func (c *Client) HasCRC() bool { return c.features&FeatureCRC != 0 }
 // FeatureCRC was not negotiated.
 func (c *Client) CRCBlock() int64 { return c.crcBlock }
 
-// Close releases the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// HasPipeline reports whether the connection negotiated
+// FeaturePipeline: ops multiplex over the tagged framing and may
+// complete out of order.
+func (c *Client) HasPipeline() bool { return c.pipe != nil }
+
+// Close releases the connection. On a pipelined connection every
+// in-flight op fails with a closed error and both background goroutines
+// are joined before Close returns.
+func (c *Client) Close() error {
+	if c.pipe != nil {
+		c.pipe.close() // closes the conn via fail
+		return nil
+	}
+	return c.conn.Close()
+}
 
 // Broken returns the error that poisoned the connection, or nil while it
 // is still usable.
 func (c *Client) Broken() error {
+	if c.pipe != nil {
+		c.pipe.mu.Lock()
+		defer c.pipe.mu.Unlock()
+		return c.pipe.err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.broken
@@ -355,6 +392,9 @@ func (c *Client) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error
 	if len(p) > MaxIOSize {
 		return 0, fmt.Errorf("%w: read of %d bytes exceeds limit", ErrProtocol, len(p))
 	}
+	if c.pipe != nil {
+		return c.pipe.read(ctx, p, off)
+	}
 	if err := c.beginOp(ctx); err != nil {
 		return 0, err
 	}
@@ -413,6 +453,9 @@ func (c *Client) ReadVCtx(ctx context.Context, vecs []Vec, dst [][]byte) error {
 	}
 	if total > MaxIOSize {
 		return fmt.Errorf("%w: gather of %d bytes exceeds limit", ErrProtocol, total)
+	}
+	if c.pipe != nil {
+		return c.pipe.readV(ctx, vecs, dst, total)
 	}
 	if err := c.beginOp(ctx); err != nil {
 		return err
@@ -484,6 +527,12 @@ func (c *Client) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, erro
 	if len(p) > MaxIOSize {
 		return 0, fmt.Errorf("%w: write of %d bytes exceeds limit", ErrProtocol, len(p))
 	}
+	if c.pipe != nil {
+		if err := c.pipe.write(ctx, p, off); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
 	if err := c.beginOp(ctx); err != nil {
 		return 0, err
 	}
@@ -550,6 +599,9 @@ func (c *Client) WriteVCtx(ctx context.Context, vecs []Vec, data [][]byte) (int,
 	}
 	if total > MaxIOSize {
 		return 0, fmt.Errorf("%w: scatter of %d bytes exceeds limit", ErrProtocol, total)
+	}
+	if c.pipe != nil {
+		return c.pipe.writeV(ctx, vecs, data)
 	}
 	if err := c.beginOp(ctx); err != nil {
 		return 0, err
@@ -662,6 +714,9 @@ func (c *Client) CrcV(ctx context.Context, vecs []Vec, out []uint32) error {
 	if _, err := checkVecs(vecs); err != nil {
 		return err
 	}
+	if c.pipe != nil {
+		return c.pipe.crcV(ctx, vecs, out)
+	}
 	if err := c.beginOp(ctx); err != nil {
 		return err
 	}
@@ -690,6 +745,15 @@ func (c *Client) crcV(vecs []Vec, out []uint32) error {
 
 // Size returns the remote device's logical capacity.
 func (c *Client) Size() (int64, error) {
+	if c.pipe != nil {
+		op, err := c.pipe.mgmt(context.Background(), OpSize, nil)
+		if err != nil {
+			return 0, err
+		}
+		v := op.u64
+		putPipeOp(op)
+		return int64(v), nil
+	}
 	var v uint64
 	err := c.do(context.Background(), func() error {
 		c.hdr[0] = OpSize
@@ -710,6 +774,17 @@ func (c *Client) FailDisk(id raid.DiskID) error { return c.diskOp(OpFail, id) }
 func (c *Client) Rebuild(id raid.DiskID) error { return c.diskOp(OpRebuild, id) }
 
 func (c *Client) diskOp(op byte, id raid.DiskID) error {
+	if c.pipe != nil {
+		var extra [5]byte
+		extra[0] = byte(id.Role)
+		binary.BigEndian.PutUint32(extra[1:], uint32(id.Index))
+		res, err := c.pipe.mgmt(context.Background(), op, extra[:])
+		if err != nil {
+			return err
+		}
+		putPipeOp(res)
+		return nil
+	}
 	return c.do(context.Background(), func() error {
 		c.hdr[0] = op
 		c.hdr[1] = byte(id.Role)
@@ -720,6 +795,14 @@ func (c *Client) diskOp(op byte, id raid.DiskID) error {
 
 // Scrub runs a remote consistency scrub.
 func (c *Client) Scrub() error {
+	if c.pipe != nil {
+		op, err := c.pipe.mgmt(context.Background(), OpScrub, nil)
+		if err != nil {
+			return err
+		}
+		putPipeOp(op)
+		return nil
+	}
 	return c.do(context.Background(), func() error {
 		c.hdr[0] = OpScrub
 		return c.roundTrip(c.hdr[:1])
@@ -728,6 +811,15 @@ func (c *Client) Scrub() error {
 
 // Health fetches the remote service counters and failed-disk list.
 func (c *Client) Health() (dev.Health, []raid.DiskID, error) {
+	if c.pipe != nil {
+		op, err := c.pipe.mgmt(context.Background(), OpHealth, nil)
+		if err != nil {
+			return dev.Health{}, nil, err
+		}
+		h, failed := op.health, op.failed
+		putPipeOp(op)
+		return h, failed, nil
+	}
 	var h dev.Health
 	var failed []raid.DiskID
 	err := c.do(context.Background(), func() error {

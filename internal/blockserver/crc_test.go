@@ -63,6 +63,12 @@ func TestFeatureNegotiationMatrix(t *testing.T) {
 		{"old-server", false, FeatureCRC, false},
 		{"old-client", true, 0, false},
 		{"both-old", false, 0, false},
+		// The pipeline feature composes with every CRC pairing: the
+		// tagged-frame mode carries the same payloads, so the matrix
+		// must round-trip identically. (A server that predates the
+		// feature is pinned by TestPipelineOldServerFallsBack.)
+		{"pipelined", false, FeaturePipeline, false},
+		{"pipelined-crc", true, FeatureCRC | FeaturePipeline, true},
 	}
 	for _, direct := range []bool{true, false} {
 		mode := map[bool]string{true: "direct", false: "pooled"}[direct]
@@ -81,6 +87,10 @@ func TestFeatureNegotiationMatrix(t *testing.T) {
 				defer client.Close()
 				if client.HasCRC() != tc.wantCRC {
 					t.Fatalf("HasCRC = %v, want %v", client.HasCRC(), tc.wantCRC)
+				}
+				wantPipe := tc.clientFeature&FeaturePipeline != 0
+				if client.HasPipeline() != wantPipe {
+					t.Fatalf("HasPipeline = %v, want %v", client.HasPipeline(), wantPipe)
 				}
 				if tc.wantCRC && client.CRCBlock() != blk {
 					t.Fatalf("CRCBlock = %d, want %d", client.CRCBlock(), blk)

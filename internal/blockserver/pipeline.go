@@ -1,0 +1,966 @@
+package blockserver
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shiftedmirror/internal/crc32c"
+	"shiftedmirror/internal/dev"
+	"shiftedmirror/internal/obs"
+	"shiftedmirror/internal/raid"
+)
+
+// This file is the client half of the pipelined wire mode
+// (FeaturePipeline): a single writer goroutine coalesces queued request
+// frames into one vectored write (many ops, one syscall), and a single
+// reader goroutine demuxes tagged responses to per-tag waiters, so many
+// operations share one connection with out-of-order completion. The
+// payload formats are exactly the synchronous ones; only the framing
+// differs (op|tag|payload requests, tag|status|payload responses).
+//
+// Cancellation never poisons the stream: a cancelled op abandons its
+// waiter, the reader later drains that tag's response into scratch, and
+// every other in-flight op is untouched. Only transport/framing trouble
+// (or an expired OpTimeout) tears the pipe, failing every in-flight tag
+// with the same terminal error.
+//
+// Ownership protocol: every op has exactly one cleanup owner, decided
+// by compare-and-swap on its state. The submitting goroutine owns ops
+// that reach pipeDone (and is the only recycler); an op that was
+// abandoned mid-flight is deliberately never recycled — whichever
+// goroutine drains or drops it just lets the GC take it, because a
+// pooled op that is still referenced from a dead pipe's queue must
+// never re-enter circulation. Cancellations are rare (hedge losers), so
+// the lost recycle is noise.
+
+// PipeStats collects one or more pipelined connections' counters. A nil
+// *PipeStats is never used — the client builds a private one when the
+// caller does not supply one via Config.PipeStats — and one PipeStats
+// may be shared by many connections (internal/cluster shares one per
+// volume). All updates are allocation-free.
+type PipeStats struct {
+	// InFlight is the current number of submitted-but-uncompleted ops
+	// across the sharing connections (window occupancy).
+	InFlight obs.Gauge
+	// QueueWait is the time an op spends queued before the writer
+	// goroutine picks it up for its coalesced writev.
+	QueueWait *obs.Histogram
+	// Frames counts request frames written; Writevs counts the vectored
+	// writes that carried them. Frames/Writevs is the coalescing factor.
+	Frames  obs.Counter
+	Writevs obs.Counter
+	// Submitted counts ops entering a pipe; Abandoned counts ops whose
+	// caller cancelled while they were in flight (their responses are
+	// drained off the stream without touching caller memory).
+	Submitted obs.Counter
+	Abandoned obs.Counter
+}
+
+// NewPipeStats returns a PipeStats ready for sharing across clients.
+func NewPipeStats() *PipeStats {
+	return &PipeStats{QueueWait: obs.NewHistogram()}
+}
+
+// pipeOp states. The lifecycle is queued → sending → sent → receiving →
+// done; an abandoning caller CASes queued→abandoned or sent→abandoned
+// and joins the writer/reader when the op is mid-transfer, so
+// caller-owned buffers are never touched after a cancelled call
+// returns.
+const (
+	pipeQueued int32 = iota
+	pipeSending
+	pipeSent
+	pipeReceiving
+	pipeDone
+	pipeAbandoned
+)
+
+// pipeOp is one in-flight pipelined operation: the request frame, where
+// the response lands, and the rendezvous state between the submitting
+// goroutine, the writer, and the reader. Recycled through a sync.Pool so
+// the steady state allocates nothing.
+type pipeOp struct {
+	op  byte
+	tag uint32
+
+	// Request frame: hdr holds op|tag plus all fixed headers; bufs is
+	// the slice list the writer feeds into the coalesced writev (header
+	// chunks interleaved with caller payload for writes).
+	hdr  []byte
+	bufs [][]byte
+
+	// Response decode inputs/outputs. dst are caller read buffers
+	// (touched only while the op is claimed, never after abandon);
+	// outCrcs is CrcV's caller slice; crcs is scratch for carried CRCs.
+	nvecs   int
+	total   int64
+	dst     [][]byte
+	outCrcs []uint32
+	crcs    []uint32
+	applied int
+	u64     uint64
+	health  dev.Health
+	failed  []raid.DiskID
+
+	err      error
+	enq      time.Time
+	deadline time.Time
+
+	state atomic.Int32
+	// done (cap 1) is signalled once the op completes or the pipe
+	// fails; only the submitting goroutine receives on it. sent (cap 2,
+	// signalled twice) is the writer's "your buffers are free" signal:
+	// an abandoning caller and the fail path may each consume one.
+	done chan struct{}
+	sent chan struct{}
+}
+
+var pipeOpPool = sync.Pool{New: func() any {
+	return &pipeOp{done: make(chan struct{}, 1), sent: make(chan struct{}, 2)}
+}}
+
+func getPipeOp() *pipeOp {
+	op := pipeOpPool.Get().(*pipeOp)
+	// Drain stale signals from the previous use (a completed op's sent
+	// signals are consumed only on the abandon/fail paths).
+	select {
+	case <-op.done:
+	default:
+	}
+	for {
+		select {
+		case <-op.sent:
+			continue
+		default:
+		}
+		break
+	}
+	op.err = nil
+	op.applied = 0
+	op.u64 = 0
+	op.nvecs = 0
+	op.total = 0
+	op.deadline = time.Time{}
+	op.state.Store(pipeQueued)
+	return op
+}
+
+// putPipeOp recycles a completed op. Callers must own the op (state
+// pipeDone, out of the waiters table, done signal consumed). Caller
+// payload references are dropped so the pool does not pin user memory.
+func putPipeOp(op *pipeOp) {
+	for i := range op.bufs {
+		op.bufs[i] = nil
+	}
+	op.bufs = op.bufs[:0]
+	for i := range op.dst {
+		op.dst[i] = nil
+	}
+	op.dst = op.dst[:0]
+	op.outCrcs = nil
+	op.failed = nil
+	pipeOpPool.Put(op)
+}
+
+func signalPipe(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// pipe is one pipelined connection's shared machinery: the bounded
+// in-flight window, the tag→waiter table, and the writer/reader pair.
+type pipe struct {
+	conn      net.Conn
+	br        *bufio.Reader
+	opTimeout time.Duration
+	crcMode   bool // FeatureCRC also negotiated: vector ops travel as VC twins
+	stats     *PipeStats
+
+	window chan struct{} // in-flight token semaphore
+	reqCh  chan *pipeOp  // cap == window, so sends never block
+	quit   chan struct{}
+
+	mu      sync.Mutex
+	waiters map[uint32]*pipeOp
+	nextTag uint32
+	err     error // terminal; set once by fail
+
+	failOnce sync.Once
+	wg       sync.WaitGroup
+
+	// Writer scratch: the assembled iovec list and the persistent
+	// net.Buffers header (WriteTo consumes its receiver, so keeping the
+	// field stops the slice header escaping per batch).
+	wbufs [][]byte
+	nb    net.Buffers
+	// Reader scratch for fixed-size response fields.
+	rhdr [16]byte
+}
+
+// pipeReaderSize is the demux reader's buffer: big enough that a burst
+// of small-op response headers costs one read syscall, small enough to
+// be irrelevant per connection.
+const pipeReaderSize = 64 << 10
+
+// DefaultPipeWindow is the in-flight window when Config.PipeWindow is
+// unset: deep enough to keep a loopback or LAN link busy with
+// element-sized ops, shallow enough to bound per-connection memory.
+const DefaultPipeWindow = 32
+
+func newPipe(conn net.Conn, window int, opTimeout time.Duration, crcMode bool, stats *PipeStats) *pipe {
+	if window <= 0 {
+		window = DefaultPipeWindow
+	}
+	if stats == nil {
+		stats = NewPipeStats()
+	}
+	if stats.QueueWait == nil {
+		stats.QueueWait = obs.NewHistogram()
+	}
+	p := &pipe{
+		conn:      conn,
+		br:        bufio.NewReaderSize(conn, pipeReaderSize),
+		opTimeout: opTimeout,
+		crcMode:   crcMode,
+		stats:     stats,
+		window:    make(chan struct{}, window),
+		reqCh:     make(chan *pipeOp, window),
+		quit:      make(chan struct{}),
+		waiters:   make(map[uint32]*pipeOp, window),
+	}
+	p.wg.Add(2)
+	go p.writeLoop()
+	go p.readLoop()
+	return p
+}
+
+// close tears the pipe down and joins both goroutines.
+func (p *pipe) close() {
+	p.fail(errPipeClosed)
+	p.wg.Wait()
+}
+
+var errPipeClosed = fmt.Errorf("blockserver: client closed")
+
+// terminalErr returns the pipe's terminal error once set.
+func (p *pipe) terminalErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return p.err
+	}
+	return errPipeClosed
+}
+
+// fail is the single teardown path: record the terminal error, stop
+// both goroutines, close the connection, and fail the in-flight
+// waiters. Ops the writer is mid-writev on are joined via their sent
+// signal first, so no caller resumes while a writev still references
+// its buffers; ops still queued are left to the writer's shutdown
+// drain, which is guaranteed to see them (submit enqueues under the
+// same lock fail uses to set the terminal error).
+func (p *pipe) fail(err error) {
+	p.failOnce.Do(func() {
+		p.mu.Lock()
+		p.err = err
+		ws := p.waiters
+		p.waiters = map[uint32]*pipeOp{}
+		p.mu.Unlock()
+		close(p.quit)
+		p.conn.Close()
+		for _, op := range ws {
+			for done := false; !done; {
+				switch op.state.Load() {
+				case pipeSending:
+					<-op.sent // the closed conn aborts the writev promptly
+				case pipeSent:
+					if op.state.CompareAndSwap(pipeSent, pipeDone) {
+						op.err = err
+						signalPipe(op.done)
+						p.releaseToken()
+						done = true
+					}
+				default:
+					// pipeQueued: the writer's shutdown drain delivers it.
+					// pipeAbandoned: the abandoner released its token and
+					// nobody waits; the GC reclaims it.
+					// pipeReceiving/pipeDone: the reader owns(-ed) it and
+					// delivers its own verdict.
+					done = true
+				}
+			}
+		}
+	})
+}
+
+func (p *pipe) acquireToken(ctx context.Context) error {
+	select {
+	case p.window <- struct{}{}:
+		p.stats.InFlight.Add(1)
+		return nil
+	case <-p.quit:
+		return p.terminalErr()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *pipe) releaseToken() {
+	<-p.window
+	p.stats.InFlight.Add(-1)
+}
+
+// submit registers op under a fresh tag and hands it to the writer. The
+// caller must hold a window token. Registration and the queue push
+// happen under the pipe lock — the push can never block (reqCh's cap is
+// the window size and every queued op holds a token) — so fail() can
+// rely on every registered op either being visible in the queue or
+// having observed the terminal error.
+func (p *pipe) submit(ctx context.Context, op *pipeOp) error {
+	p.mu.Lock()
+	if p.err != nil {
+		err := p.err
+		p.mu.Unlock()
+		return err
+	}
+	op.tag = p.nextTag
+	p.nextTag++
+	op.enq = time.Now()
+	if p.opTimeout > 0 {
+		op.deadline = op.enq.Add(p.opTimeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (op.deadline.IsZero() || d.Before(op.deadline)) {
+		op.deadline = d
+	}
+	binary.BigEndian.PutUint32(op.hdr[1:5], op.tag)
+	p.waiters[op.tag] = op
+	p.reqCh <- op
+	p.mu.Unlock()
+	p.stats.Submitted.Inc()
+	return nil
+}
+
+// wait blocks until the op completes or ctx is cancelled. On
+// cancellation the op is abandoned — its response will be drained off
+// the stream without touching caller memory — and the pipe stays
+// healthy. The returned bool reports whether the caller still owns the
+// op (and must recycle it); an abandoned op must never be recycled.
+func (p *pipe) wait(ctx context.Context, op *pipeOp) (error, bool) {
+	if ctx.Done() == nil {
+		<-op.done
+		return op.err, true
+	}
+	select {
+	case <-op.done:
+		return op.err, true
+	case <-ctx.Done():
+	}
+	return ctx.Err(), p.abandon(op)
+}
+
+// abandon detaches a cancelled caller from op. It returns true when the
+// op reached a terminal state anyway (the caller keeps ownership),
+// false when the op was handed off mid-flight. It never returns while
+// another goroutine may still touch the caller's buffers.
+func (p *pipe) abandon(op *pipeOp) (callerOwns bool) {
+	for {
+		switch op.state.Load() {
+		case pipeQueued:
+			if op.state.CompareAndSwap(pipeQueued, pipeAbandoned) {
+				// Still in reqCh: the writer (or its shutdown drain) will
+				// see the state and drop the frame without sending.
+				p.stats.Abandoned.Inc()
+				p.unregister(op.tag)
+				p.releaseToken()
+				return false
+			}
+		case pipeSending:
+			<-op.sent // the writev referencing our buffers must finish first
+		case pipeSent:
+			if op.state.CompareAndSwap(pipeSent, pipeAbandoned) {
+				// The reader will drain this tag's response into scratch.
+				p.stats.Abandoned.Inc()
+				p.releaseToken()
+				return false
+			}
+		case pipeReceiving:
+			<-op.done // the reader is writing our dst; join it
+			return true
+		default: // pipeDone
+			return true
+		}
+	}
+}
+
+// unregister removes a tag from the waiters table if still present.
+func (p *pipe) unregister(tag uint32) {
+	p.mu.Lock()
+	delete(p.waiters, tag)
+	p.mu.Unlock()
+}
+
+// --- writer -----------------------------------------------------------
+
+// writeLoop drains the request queue, coalescing every queued frame
+// into one vectored write: under load, many ops cost one writev
+// syscall. Abandoned-while-queued ops are dropped here. On exit the
+// queue is drained so no submitted op is left hanging.
+func (p *pipe) writeLoop() {
+	defer p.wg.Done()
+	defer p.drainQueue()
+	batch := make([]*pipeOp, 0, cap(p.reqCh))
+	for {
+		select {
+		case op := <-p.reqCh:
+			batch = append(batch[:0], op)
+			// One cooperative yield before draining: the callers that
+			// raced us to the queue get a scheduling slot to finish their
+			// enqueues, so the drain below coalesces a deeper batch into
+			// one writev. With nothing else runnable this costs well under
+			// a microsecond; under load it roughly halves the syscall rate.
+			runtime.Gosched()
+		drain:
+			for {
+				select {
+				case op2 := <-p.reqCh:
+					batch = append(batch, op2)
+				default:
+					break drain
+				}
+			}
+			if !p.writeBatch(batch) {
+				return
+			}
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// writeBatch streams one coalesced batch. Returns false when the pipe
+// has failed and the writer should exit.
+func (p *pipe) writeBatch(batch []*pipeOp) bool {
+	select {
+	case <-p.quit:
+		// The pipe failed while this batch sat in the queue: leave every
+		// op in pipeQueued for the shutdown drain to deliver.
+		return false
+	default:
+	}
+	now := time.Now()
+	bufs := p.wbufs[:0]
+	live := 0
+	for _, op := range batch {
+		if !op.state.CompareAndSwap(pipeQueued, pipeSending) {
+			continue // abandoned while queued; its frame is never sent
+		}
+		p.stats.QueueWait.Observe(now.Sub(op.enq))
+		bufs = append(bufs, op.bufs...)
+		batch[live] = op
+		live++
+	}
+	p.wbufs = bufs
+	if live == 0 {
+		return true
+	}
+	if p.opTimeout > 0 {
+		p.conn.SetWriteDeadline(now.Add(p.opTimeout))
+	}
+	p.nb = net.Buffers(bufs)
+	_, werr := p.nb.WriteTo(p.conn)
+	p.stats.Writevs.Inc()
+	p.stats.Frames.Add(int64(live))
+	for _, op := range batch[:live] {
+		op.state.CompareAndSwap(pipeSending, pipeSent)
+		// Two signals: an abandoning caller and fail() may each join.
+		signalPipe(op.sent)
+		signalPipe(op.sent)
+	}
+	if werr != nil {
+		p.fail(werr)
+		return false
+	}
+	return true
+}
+
+// drainQueue delivers the terminal error to every op still queued when
+// the writer exits. submit pushes under the same lock fail() uses to
+// publish the terminal error, so everything submitted before the pipe
+// died is guaranteed to be in the channel by now.
+func (p *pipe) drainQueue() {
+	err := p.terminalErr()
+	for {
+		select {
+		case op := <-p.reqCh:
+			if op.state.CompareAndSwap(pipeQueued, pipeDone) {
+				p.unregister(op.tag)
+				op.err = err
+				signalPipe(op.done)
+				p.releaseToken()
+			}
+			// else: abandoned while queued — already unregistered and
+			// token-released by the abandoner; the GC reclaims it.
+		default:
+			return
+		}
+	}
+}
+
+// --- reader -----------------------------------------------------------
+
+// readLoop demuxes tagged responses to their waiters. The connection
+// read deadline tracks the earliest in-flight deadline, so a stuck
+// server fails every waiter with a timeout instead of hanging forever;
+// idle timeouts (no expired waiter) just rearm. bufio.Reader.Peek is
+// used for the 5-byte header because it retains partially buffered
+// bytes across a deadline wake — a plain ReadFull would desync the
+// stream on an unlucky timeout.
+func (p *pipe) readLoop() {
+	defer p.wg.Done()
+	for {
+		if p.opTimeout > 0 {
+			dl := p.minDeadline()
+			if dl.IsZero() {
+				dl = time.Now().Add(p.opTimeout) // idle heartbeat
+			}
+			p.conn.SetReadDeadline(dl)
+		}
+		hdr, err := p.br.Peek(5)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() && !p.anyExpired() {
+				continue // spurious wake: no waiter actually timed out
+			}
+			select {
+			case <-p.quit:
+			default:
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					err = fmt.Errorf("blockserver: pipelined op timed out: %w", os.ErrDeadlineExceeded)
+				}
+				p.fail(err)
+			}
+			return
+		}
+		tag := binary.BigEndian.Uint32(hdr)
+		status := hdr[4]
+		p.br.Discard(5)
+		p.mu.Lock()
+		op := p.waiters[tag]
+		delete(p.waiters, tag)
+		p.mu.Unlock()
+		if op == nil {
+			p.fail(fmt.Errorf("%w: response for unknown tag %d", ErrProtocol, tag))
+			return
+		}
+		// Claim the op for decoding. A response can arrive while the op
+		// is still formally "sending" (the server answered an early frame
+		// of a coalesced batch mid-writev); that frame is fully on the
+		// wire, so decoding is safe. A failed claim means the caller
+		// abandoned: drain the payload without touching caller memory.
+		claimed := op.state.CompareAndSwap(pipeSent, pipeReceiving) ||
+			op.state.CompareAndSwap(pipeSending, pipeReceiving)
+		err = p.readResp(op, status, claimed)
+		if err != nil {
+			// Transport/framing trouble mid-response: the stream is
+			// desynchronized. Fail the pipe, then deliver to this op (it
+			// is already out of the waiters table, so fail missed it).
+			p.fail(err)
+			if claimed {
+				op.err = err
+				op.state.Store(pipeDone)
+				signalPipe(op.done)
+				p.releaseToken()
+			}
+			return
+		}
+		if claimed {
+			op.state.Store(pipeDone)
+			signalPipe(op.done)
+			p.releaseToken()
+		}
+		// Abandoned ops: token already released by the abandoner; the op
+		// is intentionally not recycled (see the ownership note on top).
+	}
+}
+
+// minDeadline returns the earliest deadline among in-flight waiters, or
+// zero when none carry one.
+func (p *pipe) minDeadline() time.Time {
+	var min time.Time
+	p.mu.Lock()
+	for _, op := range p.waiters {
+		if op.deadline.IsZero() {
+			continue
+		}
+		if min.IsZero() || op.deadline.Before(min) {
+			min = op.deadline
+		}
+	}
+	p.mu.Unlock()
+	return min
+}
+
+// anyExpired reports whether some waiter's deadline has actually passed
+// (as opposed to an idle-heartbeat wake).
+func (p *pipe) anyExpired() bool {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, op := range p.waiters {
+		if !op.deadline.IsZero() && !now.Before(op.deadline) {
+			return true
+		}
+	}
+	return false
+}
+
+// readResp consumes one response's payload. claimed=false means the
+// caller abandoned the op: the payload is drained (bufio.Discard, no
+// allocation), caller memory is never touched. Per-op errors (remote,
+// CRC) land in op.err with a nil return; a non-nil return is
+// transport/framing trouble that must fail the pipe.
+func (p *pipe) readResp(op *pipeOp, status byte, claimed bool) error {
+	switch status {
+	case statusOK:
+	case statusCRC:
+		if _, err := io.ReadFull(p.br, p.rhdr[:12]); err != nil {
+			return err
+		}
+		f := int(binary.BigEndian.Uint32(p.rhdr[:]))
+		if (op.op == OpWriteV || op.op == OpWriteVC) && f >= op.nvecs {
+			return fmt.Errorf("%w: failed-range index %d beyond %d ranges", ErrProtocol, f, op.nvecs)
+		}
+		op.applied = f
+		op.err = &CRCError{
+			Range: f,
+			Want:  binary.BigEndian.Uint32(p.rhdr[4:]),
+			Got:   binary.BigEndian.Uint32(p.rhdr[8:]),
+			Write: true,
+		}
+		return nil
+	default:
+		// Error response; OpWriteV/OpWriteVC carry the extended form.
+		if op.op == OpWriteV || op.op == OpWriteVC {
+			f, err := p.respUint32()
+			if err != nil {
+				return err
+			}
+			if int(f) >= op.nvecs {
+				return fmt.Errorf("%w: failed-range index %d beyond %d ranges", ErrProtocol, f, op.nvecs)
+			}
+			op.applied = int(f)
+		}
+		n, err := p.respUint32()
+		if err != nil {
+			return err
+		}
+		if n > 1<<16 {
+			return fmt.Errorf("%w: oversized error message (%d bytes)", ErrProtocol, n)
+		}
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(p.br, msg); err != nil {
+			return err
+		}
+		op.err = &RemoteError{Msg: string(msg)}
+		return nil
+	}
+
+	switch op.op {
+	case OpRead, OpReadV, OpReadVC:
+		m, err := p.respUint32()
+		if err != nil {
+			return err
+		}
+		if int64(m) != op.total {
+			return fmt.Errorf("%w: server returned %d bytes for a %d-byte gather", ErrProtocol, m, op.total)
+		}
+		crcMode := op.op == OpReadVC
+		if crcMode {
+			if cap(op.crcs) < op.nvecs {
+				op.crcs = make([]uint32, op.nvecs)
+			}
+			op.crcs = op.crcs[:op.nvecs]
+			for i := range op.crcs {
+				c, err := p.respUint32()
+				if err != nil {
+					return err
+				}
+				op.crcs[i] = c
+			}
+		}
+		if !claimed {
+			_, err := p.br.Discard(int(op.total))
+			return err
+		}
+		var crcErr error
+		for i, d := range op.dst {
+			if _, err := io.ReadFull(p.br, d); err != nil {
+				return err
+			}
+			if crcMode && crcErr == nil {
+				if got := crc32c.Sum(d); got != op.crcs[i] {
+					crcErr = &CRCError{Range: i, Want: op.crcs[i], Got: got}
+				}
+			}
+		}
+		op.err = crcErr
+		return nil
+	case OpWrite, OpFail, OpRebuild, OpScrub:
+		return nil
+	case OpWriteV, OpWriteVC:
+		m, err := p.respUint32()
+		if err != nil {
+			return err
+		}
+		if int(m) != op.nvecs {
+			return fmt.Errorf("%w: server applied %d of %d scatter ranges without error", ErrProtocol, m, op.nvecs)
+		}
+		op.applied = op.nvecs
+		return nil
+	case OpCrcV:
+		for i := 0; i < op.nvecs; i++ {
+			c, err := p.respUint32()
+			if err != nil {
+				return err
+			}
+			if claimed {
+				op.outCrcs[i] = c
+			}
+		}
+		return nil
+	case OpSize:
+		if _, err := io.ReadFull(p.br, p.rhdr[:8]); err != nil {
+			return err
+		}
+		op.u64 = binary.BigEndian.Uint64(p.rhdr[:8])
+		return nil
+	case OpHealth:
+		var vals [5]int64
+		for i := range vals {
+			if _, err := io.ReadFull(p.br, p.rhdr[:8]); err != nil {
+				return err
+			}
+			vals[i] = int64(binary.BigEndian.Uint64(p.rhdr[:8]))
+		}
+		nFailed, err := p.respUint32()
+		if err != nil {
+			return err
+		}
+		if nFailed > 1<<16 {
+			return fmt.Errorf("%w: implausible failed-disk count %d", ErrProtocol, nFailed)
+		}
+		failed := make([]raid.DiskID, 0, nFailed)
+		for i := uint32(0); i < nFailed; i++ {
+			if _, err := io.ReadFull(p.br, p.rhdr[:5]); err != nil {
+				return err
+			}
+			failed = append(failed, raid.DiskID{
+				Role:  raid.Role(p.rhdr[0]),
+				Index: int(binary.BigEndian.Uint32(p.rhdr[1:5])),
+			})
+		}
+		op.health = dev.Health{
+			ElementsRead:    vals[0],
+			ElementsWritten: vals[1],
+			DegradedReads:   vals[2],
+			ParityFallbacks: vals[3],
+			StripesRebuilt:  vals[4],
+		}
+		op.failed = failed
+		return nil
+	default:
+		return fmt.Errorf("%w: response for unexpected opcode %d", ErrProtocol, op.op)
+	}
+}
+
+func (p *pipe) respUint32() (uint32, error) {
+	if _, err := io.ReadFull(p.br, p.rhdr[:4]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(p.rhdr[:4]), nil
+}
+
+// --- op builders ------------------------------------------------------
+
+// growHdr sizes op's header scratch, keeping the backing array.
+func (op *pipeOp) growHdr(n int) []byte {
+	if cap(op.hdr) < n {
+		op.hdr = make([]byte, n)
+	}
+	op.hdr = op.hdr[:n]
+	return op.hdr
+}
+
+// run submits op and waits, recycling the op when ownership stays with
+// the caller. The caller must have filled the request frame; the tag
+// bytes (hdr[1:5]) are stamped by submit.
+func (p *pipe) run(ctx context.Context, op *pipeOp) (applied int, u64 uint64, err error) {
+	if err := p.acquireToken(ctx); err != nil {
+		putPipeOp(op)
+		return 0, 0, err
+	}
+	if err := p.submit(ctx, op); err != nil {
+		p.releaseToken()
+		putPipeOp(op)
+		return 0, 0, err
+	}
+	err, owns := p.wait(ctx, op)
+	if !owns {
+		return 0, 0, err
+	}
+	applied, u64 = op.applied, op.u64
+	putPipeOp(op)
+	return applied, u64, err
+}
+
+// read runs OpRead (Client.ReadAtCtx's pipelined path).
+func (p *pipe) read(ctx context.Context, dst []byte, off int64) (int, error) {
+	op := getPipeOp()
+	op.op = OpRead
+	h := op.growHdr(17)
+	h[0] = OpRead
+	binary.BigEndian.PutUint64(h[5:13], uint64(off))
+	binary.BigEndian.PutUint32(h[13:17], uint32(len(dst)))
+	op.bufs = append(op.bufs[:0], h)
+	op.total = int64(len(dst))
+	op.nvecs = 1
+	if cap(op.dst) < 1 {
+		op.dst = make([][]byte, 0, 1)
+	}
+	op.dst = append(op.dst[:0], dst)
+	_, _, err := p.run(ctx, op)
+	if err != nil {
+		return 0, err
+	}
+	return len(dst), nil
+}
+
+// readV runs OpReadV/OpReadVC. dst slices are written only while the op
+// is claimed, never after a cancelled call returns.
+func (p *pipe) readV(ctx context.Context, vecs []Vec, dst [][]byte, total int64) error {
+	op := getPipeOp()
+	opc := OpReadV
+	if p.crcMode {
+		opc = OpReadVC
+	}
+	op.op = opc
+	h := op.growHdr(9 + vecHdrSize*len(vecs))
+	h[0] = opc
+	binary.BigEndian.PutUint32(h[5:9], uint32(len(vecs)))
+	for i, v := range vecs {
+		putVecHdr(h[9+vecHdrSize*i:], v)
+	}
+	op.bufs = append(op.bufs[:0], h)
+	op.total = total
+	op.nvecs = len(vecs)
+	if cap(op.dst) < len(dst) {
+		op.dst = make([][]byte, 0, len(dst))
+	}
+	op.dst = append(op.dst[:0], dst...)
+	_, _, err := p.run(ctx, op)
+	return err
+}
+
+// write runs OpWrite.
+func (p *pipe) write(ctx context.Context, data []byte, off int64) error {
+	op := getPipeOp()
+	op.op = OpWrite
+	h := op.growHdr(17)
+	h[0] = OpWrite
+	binary.BigEndian.PutUint64(h[5:13], uint64(off))
+	binary.BigEndian.PutUint32(h[13:17], uint32(len(data)))
+	op.bufs = append(op.bufs[:0], h, data)
+	_, _, err := p.run(ctx, op)
+	return err
+}
+
+// writeV runs OpWriteV/OpWriteVC, interleaving caller payload slices
+// with per-range headers in the writer's coalesced writev — payloads
+// are never copied client-side, same as the synchronous path.
+func (p *pipe) writeV(ctx context.Context, vecs []Vec, data [][]byte) (int, error) {
+	op := getPipeOp()
+	opc, hsz := OpWriteV, vecHdrSize
+	if p.crcMode {
+		opc, hsz = OpWriteVC, vecHdrCRCSize
+	}
+	op.op = opc
+	h := op.growHdr(9 + hsz*len(vecs))
+	h[0] = opc
+	binary.BigEndian.PutUint32(h[5:9], uint32(len(vecs)))
+	if cap(op.bufs) < 1+2*len(vecs) {
+		op.bufs = make([][]byte, 0, 1+2*len(vecs))
+	}
+	bufs := op.bufs[:0]
+	start, at := 0, 9
+	for i, v := range vecs {
+		putVecHdr(h[at:], v)
+		if p.crcMode {
+			binary.BigEndian.PutUint32(h[at+12:], crc32c.Sum(data[i]))
+		}
+		at += hsz
+		bufs = append(bufs, h[start:at], data[i])
+		start = at
+	}
+	op.bufs = bufs
+	op.nvecs = len(vecs)
+	applied, _, err := p.run(ctx, op)
+	return applied, err
+}
+
+// crcV runs OpCrcV, filling out with the server's fresh checksums.
+func (p *pipe) crcV(ctx context.Context, vecs []Vec, out []uint32) error {
+	op := getPipeOp()
+	op.op = OpCrcV
+	h := op.growHdr(9 + vecHdrSize*len(vecs))
+	h[0] = OpCrcV
+	binary.BigEndian.PutUint32(h[5:9], uint32(len(vecs)))
+	for i, v := range vecs {
+		putVecHdr(h[9+vecHdrSize*i:], v)
+	}
+	op.bufs = append(op.bufs[:0], h)
+	op.nvecs = len(vecs)
+	op.outCrcs = out
+	_, _, err := p.run(ctx, op)
+	return err
+}
+
+// mgmt runs a management exchange (OpSize, OpScrub, OpHealth, disk
+// ops); extra is the opcode's fixed request payload. On success the
+// caller reads the result fields off the returned op and must recycle
+// it with putPipeOp.
+func (p *pipe) mgmt(ctx context.Context, opc byte, extra []byte) (*pipeOp, error) {
+	op := getPipeOp()
+	op.op = opc
+	h := op.growHdr(5 + len(extra))
+	h[0] = opc
+	copy(h[5:], extra)
+	op.bufs = append(op.bufs[:0], h)
+	if err := p.acquireToken(ctx); err != nil {
+		putPipeOp(op)
+		return nil, err
+	}
+	if err := p.submit(ctx, op); err != nil {
+		p.releaseToken()
+		putPipeOp(op)
+		return nil, err
+	}
+	err, owns := p.wait(ctx, op)
+	if !owns {
+		return nil, err
+	}
+	if err != nil {
+		putPipeOp(op)
+		return nil, err
+	}
+	return op, nil
+}

@@ -102,6 +102,21 @@ const (
 	// FeatureCRC enables the CRC-carrying vector opcodes (OpReadVC,
 	// OpWriteVC, OpCrcV). Granted only by servers running with WithCRC.
 	FeatureCRC byte = 1 << 0
+	// FeaturePipeline switches the connection to the tagged, pipelined
+	// framing after the OpFeatures exchange completes: every request
+	// carries a 32-bit tag, responses may complete out of order, and
+	// both ends coalesce frames into vectored writes. Payload layouts
+	// are identical to the synchronous framing:
+	//
+	//	request  = op(1) | tag(4) | payload
+	//	response = tag(4) | status(1) | payload
+	//
+	// Old servers tear the probe connection on OpFeatures (the client
+	// redials plain), and servers that recognize OpFeatures but predate
+	// this flag simply do not grant it — either way the client falls
+	// back to the synchronous one-op-per-connection path. See DESIGN.md
+	// §16 for the window/coalescing design.
+	FeaturePipeline byte = 1 << 1
 )
 
 // MaxIOSize bounds a single read or write payload (a protocol sanity

@@ -264,6 +264,10 @@ type connScratch struct {
 	// keeping it a field stops the slice header escaping per call.
 	nb  net.Buffers
 	hdr [16]byte
+	// pipelined is set by handleFeatures when FeaturePipeline is
+	// granted: serveConn switches to the pipelined serve loop after the
+	// negotiation reply is written.
+	pipelined bool
 }
 
 // readUint64 reads a big-endian uint64 through the scratch header, so
@@ -297,6 +301,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		if err := s.dispatch(conn, scr.hdr[0], scr); err != nil {
+			return
+		}
+		if scr.pipelined {
+			s.servePipelined(conn, scr)
 			return
 		}
 	}
@@ -353,7 +361,7 @@ func (s *Server) handle(conn net.Conn, op byte, scr *connScratch, acct *opAcct) 
 	case OpCrcV:
 		return s.handleCrcV(conn, scr, acct)
 	case OpFeatures:
-		return s.handleFeatures(conn)
+		return s.handleFeatures(conn, scr)
 	case OpSize:
 		return writeOK(conn, binary.BigEndian.AppendUint64(nil, uint64(s.store.Size())))
 	case OpFail, OpRebuild:

@@ -23,8 +23,10 @@ import (
 // models, fault-injection wrappers).
 
 // handleFeatures answers the negotiation opcode: the granted subset of
-// the client's requested flags, plus the server's CRC block size.
-func (s *Server) handleFeatures(conn net.Conn) error {
+// the client's requested flags, plus the server's CRC block size. A
+// granted FeaturePipeline is recorded in scr so serveConn can hand the
+// connection to the pipelined serve loop once the reply is on the wire.
+func (s *Server) handleFeatures(conn net.Conn, scr *connScratch) error {
 	var req [1]byte
 	if _, err := io.ReadFull(conn, req[:]); err != nil {
 		return err
@@ -33,6 +35,10 @@ func (s *Server) handleFeatures(conn net.Conn) error {
 	if s.crcBlock > 0 {
 		grant = req[0] & FeatureCRC
 	}
+	// Pipelining needs no server-side resources beyond the per-connection
+	// goroutines, so it is granted whenever asked for.
+	grant |= req[0] & FeaturePipeline
+	scr.pipelined = grant&FeaturePipeline != 0
 	var payload [5]byte
 	payload[0] = grant
 	binary.BigEndian.PutUint32(payload[1:], uint32(s.crcBlock))

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"time"
 
+	"shiftedmirror/internal/blockserver"
 	"shiftedmirror/internal/dev"
 	"shiftedmirror/internal/obs"
 )
@@ -127,6 +128,18 @@ type Config struct {
 	// per connection. Element-granular range merging is disabled so
 	// every range maps to one sidecar block on the server.
 	WireCRC bool
+	// Pipeline turns on the pipelined wire mode: every backend dial
+	// negotiates blockserver.FeaturePipeline and the pool multiplexes
+	// many in-flight ops over a small number of tagged-frame connections
+	// (out-of-order completion, coalesced writev submission) instead of
+	// dedicating one connection per op. PoolSize then sets the number of
+	// multiplexed connections and PipelineWindow the in-flight ops each
+	// may carry. Backends that predate the feature fall back to the
+	// synchronous path per connection.
+	Pipeline bool
+	// PipelineWindow bounds the in-flight operations per pipelined
+	// connection. Default blockserver.DefaultPipeWindow.
+	PipelineWindow int
 	// Tracer, when set, receives one obs.Event per cluster lifecycle
 	// operation (fail, auto_fail, replace_backend, rebuild_slice,
 	// rebuild, scrub). It runs inline and must be concurrency-safe.
@@ -209,6 +222,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxProbe <= 0 {
 		c.MaxProbe = 5 * time.Second
+	}
+	if c.PipelineWindow <= 0 {
+		c.PipelineWindow = blockserver.DefaultPipeWindow
 	}
 	if c.MaxBatch <= 0 || c.MaxBatch > maxVecCount {
 		c.MaxBatch = 512

@@ -57,6 +57,20 @@ func WithWireCRC(enabled bool) Option {
 	return func(c *Config) { c.WireCRC = enabled }
 }
 
+// WithPipeline toggles the pipelined wire mode: every backend dial
+// negotiates blockserver.FeaturePipeline and the pool multiplexes many
+// in-flight ops over a small number of tagged-frame connections
+// (out-of-order completion, coalesced writev submission). window bounds
+// the in-flight ops per connection; pass 0 for the default
+// (blockserver.DefaultPipeWindow). Backends that predate the feature
+// fall back to the synchronous path per connection. See Config.Pipeline.
+func WithPipeline(window int) Option {
+	return func(c *Config) {
+		c.Pipeline = true
+		c.PipelineWindow = window
+	}
+}
+
 // WithHedging enables hedged user reads: a backend that exceeds the
 // given fetch-latency percentile (clamped to [minDelay, maxDelay]) is
 // raced against the spans' replica locations and the loser is

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"shiftedmirror/internal/blockserver"
+	"shiftedmirror/internal/dev"
+	"shiftedmirror/internal/layout"
+	"shiftedmirror/internal/raid"
+)
+
+// replaceCRC is testBackends.replace with a CRC sidecar on the spare,
+// so a WireCRC volume keeps checksummed opcodes on the replacement.
+// (It also keeps this file's race-detector discipline: every backend
+// access is ordered through the server's sidecar mutex, which an
+// in-process socket alone would not make visible.)
+func (b *testBackends) replaceCRC(id raid.DiskID, elementSize int64) string {
+	b.t.Helper()
+	b.servers[id].Close()
+	store := dev.NewMemStore(b.stores[id].Size())
+	srv := blockserver.NewStoreServer(store, blockserver.WithCRC(elementSize))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	b.stores[id] = store
+	b.servers[id] = srv
+	return addr.String()
+}
+
+// TestVolumePipelinedEndToEnd runs the full volume lifecycle — fill,
+// verify, fail, degraded read, rebuild, scrub — over the pipelined wire
+// mode with end-to-end CRC, and checks the pipeline actually carried
+// the traffic: ops submitted, frames coalesced into fewer writevs, and
+// a drained window at rest. MaxBatch is tiny so the gather planner's
+// per-backend span lists split into several OpReadV batches, which
+// pipelined mode submits as one concurrent burst per backend.
+func TestVolumePipelinedEndToEnd(t *testing.T) {
+	const element = 512
+	const stripes = 4
+	arch := raid.NewMirror(layout.NewShifted(3))
+	backends := startCRCBackends(t, arch, element, stripes)
+	cfg := fastConfig(element, stripes)
+	cfg.WireCRC = true
+	cfg.Pipeline = true
+	cfg.MaxBatch = 4 // force multi-batch gathers through the burst path
+	v, err := New(arch, backends.addrs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(v.Close)
+	if err := v.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := make([]byte, v.Size())
+	rand.New(rand.NewSource(42)).Read(payload)
+	if _, err := v.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, v.Size())
+	if _, err := v.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("pipelined read-back mismatch")
+	}
+
+	ctx := context.Background()
+	lost := raid.DiskID{Role: raid.RoleData, Index: 0}
+	if err := v.Fail(lost); err != nil {
+		t.Fatal(err)
+	}
+	clear(got)
+	if _, err := v.ReadAtCtx(ctx, got, 0); err != nil {
+		t.Fatalf("degraded pipelined read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("degraded pipelined read mismatch")
+	}
+
+	if err := v.ReplaceBackend(lost, backends.replaceCRC(lost, element)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.RebuildDisk(ctx, lost); err != nil {
+		t.Fatalf("pipelined rebuild: %v", err)
+	}
+	clear(got)
+	if _, err := v.ReadAtCtx(ctx, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("post-rebuild pipelined read mismatch")
+	}
+	if _, err := v.Scrub(ctx); err != nil {
+		t.Fatalf("pipelined scrub: %v", err)
+	}
+
+	st := v.Stats()
+	ps := st.Pipeline
+	if !ps.Enabled {
+		t.Fatal("Stats.Pipeline.Enabled false on a pipelined volume")
+	}
+	if ps.Submitted == 0 {
+		t.Fatal("no ops submitted through the pipeline")
+	}
+	if ps.InFlight != 0 {
+		t.Fatalf("window not drained at rest: %d in flight", ps.InFlight)
+	}
+	if ps.Frames == 0 || ps.Writevs == 0 {
+		t.Fatalf("coalescing counters empty: %d frames, %d writevs", ps.Frames, ps.Writevs)
+	}
+	if ps.Frames < ps.Writevs {
+		t.Fatalf("more writevs (%d) than frames (%d)", ps.Writevs, ps.Frames)
+	}
+	if ps.QueueWait.Count == 0 {
+		t.Fatal("queue-wait histogram never observed")
+	}
+}

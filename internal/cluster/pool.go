@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"shiftedmirror/internal/blockserver"
@@ -31,13 +32,24 @@ type poolStats struct {
 // marked-dead/probe-recovery state machine. Transport failures close the
 // offending connection and are retried on a fresh one with exponential
 // backoff; after DeadAfter consecutive failures the backend is marked
-// dead and callers fail fast until a probe window reopens, at which
-// point one caller's dial doubles as the recovery probe.
+// dead and callers fail fast until a background probe dial revives it.
+//
+// Two wiring modes share the state machine:
+//
+//   - synchronous (Config.Pipeline false): connections are the
+//     concurrency units — an op checks out a connection for its full
+//     round trip, bounded by the PoolSize slot semaphore.
+//   - pipelined (Config.Pipeline true): PoolSize multiplexed
+//     connections carry many tagged in-flight ops each (bounded by the
+//     per-connection window), picked round-robin; a transport tear
+//     retires the one connection — counted once, however many in-flight
+//     ops it failed — and the next op redials the slot.
 type pool struct {
 	addr string
 	cfg  Config
 
-	slots chan struct{} // semaphore: cap = cfg.PoolSize
+	slots chan struct{} // semaphore: cap = cfg.PoolSize (synchronous mode)
+	rr    atomic.Uint32 // round-robin cursor over pipes (pipelined mode)
 
 	// closeCtx is cancelled by close() so an in-flight dial — typically
 	// a recovery probe against an unreachable backend, which would
@@ -47,47 +59,130 @@ type pool struct {
 	cancelClose context.CancelFunc
 
 	mu         sync.Mutex
-	idle       []*blockserver.Client
+	idle       []*blockserver.Client // synchronous mode
+	pipes      []*blockserver.Client // pipelined mode; nil slots redial on demand
+	dialing    []chan struct{}       // pipelined mode: per-slot single-flight dial latch
 	closed     bool
 	dead       bool
-	failures   int // consecutive transport failures
-	probeLevel int // consecutive failed probes while dead
+	probing    bool // a background probe dial is in flight
+	failures   int  // consecutive transport failures
+	probeLevel int  // consecutive failed probes while dead
 	nextProbe  time.Time
 
-	stats *poolStats // owned by the Volume; survives pool replacement
+	stats     *poolStats // owned by the Volume; survives pool replacement
+	pipeStats *blockserver.PipeStats
 }
 
-func newPool(addr string, cfg Config, stats *poolStats) *pool {
+func newPool(addr string, cfg Config, stats *poolStats, pipeStats *blockserver.PipeStats) *pool {
 	if stats == nil {
 		stats = &poolStats{}
 	}
-	p := &pool{addr: addr, cfg: cfg, stats: stats, slots: make(chan struct{}, cfg.PoolSize)}
+	p := &pool{addr: addr, cfg: cfg, stats: stats, pipeStats: pipeStats,
+		slots: make(chan struct{}, cfg.PoolSize)}
 	p.closeCtx, p.cancelClose = context.WithCancel(context.Background())
 	for i := 0; i < cfg.PoolSize; i++ {
 		p.slots <- struct{}{}
 	}
+	if cfg.Pipeline {
+		p.pipes = make([]*blockserver.Client, cfg.PoolSize)
+		p.dialing = make([]chan struct{}, cfg.PoolSize)
+	}
 	return p
 }
 
-// close tears down idle connections and aborts any dial in flight;
-// in-flight operations finish on their own connections.
+// close tears down idle and multiplexed connections and aborts any dial
+// in flight; synchronous in-flight operations finish on their own
+// connections, pipelined in-flight ops fail with a closed error.
 func (p *pool) close() {
 	p.mu.Lock()
 	p.closed = true
-	for _, c := range p.idle {
-		c.Close()
-	}
+	idle, pipes := p.idle, p.pipes
 	p.idle = nil
+	for i := range p.pipes {
+		p.pipes[i] = nil
+	}
 	p.mu.Unlock()
 	p.cancelClose()
+	for _, c := range idle {
+		c.Close()
+	}
+	for _, c := range pipes {
+		if c != nil {
+			c.Close()
+		}
+	}
 }
 
-// isDead reports the fail-fast state: dead with the probe window still
-// closed.
+// isDead reports the fail-fast state: marked dead with either a probe
+// already in flight or the probe window still closed. Foreground ops
+// never dial a dead backend themselves — recovery is the background
+// probe's job (see maybeProbe), so no caller burns DialTimeout against
+// a machine that is likely still down.
 func (p *pool) isDead() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.dead && time.Now().Before(p.nextProbe)
+	return p.dead && (p.probing || time.Now().Before(p.nextProbe))
+}
+
+// maybeProbe launches the background recovery probe when the backend is
+// dead and its probe window has opened. The probe dial holds no slot
+// token and no caller's context: foreground ops keep failing fast (and
+// keep their connection slots) while the probe sits out DialTimeout
+// against an unreachable peer. The window is pushed forward before the
+// dial so repeated callers cannot schedule a probe herd.
+func (p *pool) maybeProbe() {
+	p.mu.Lock()
+	if p.closed || !p.dead || p.probing || time.Now().Before(p.nextProbe) {
+		p.mu.Unlock()
+		return
+	}
+	p.probing = true
+	backoff := p.cfg.ProbeEvery << p.probeLevel
+	if backoff > p.cfg.MaxProbe {
+		backoff = p.cfg.MaxProbe
+	}
+	p.nextProbe = time.Now().Add(backoff)
+	if p.probeLevel < 30 {
+		p.probeLevel++
+	}
+	p.mu.Unlock()
+	go p.probe()
+}
+
+// probe is the background recovery dial. On success the backend is
+// revived and the fresh connection is handed to the pool (idle set or
+// an empty pipe slot) so the dial is not wasted; on failure the state
+// machine is left as maybeProbe set it (window advanced, level raised).
+func (p *pool) probe() {
+	c, err := p.dial(p.closeCtx)
+	p.mu.Lock()
+	p.probing = false
+	closed := p.closed
+	p.mu.Unlock()
+	if err != nil {
+		return
+	}
+	if closed {
+		c.Close()
+		return
+	}
+	p.noteSuccess()
+	if p.cfg.Pipeline {
+		p.mu.Lock()
+		for i := range p.pipes {
+			if p.pipes[i] == nil {
+				p.pipes[i] = c
+				c = nil
+				break
+			}
+		}
+		p.mu.Unlock()
+		if c != nil {
+			c.Close()
+		}
+		return
+	}
+	p.release(c)
 }
 
 // do runs fn with a pooled connection, retrying transport failures on
@@ -112,9 +207,13 @@ func (p *pool) doCtx(ctx context.Context, fn func(context.Context, *blockserver.
 		p.stats.errors.Inc()
 		return err
 	}
+	p.maybeProbe()
 	if p.isDead() {
 		p.stats.errors.Add(1)
 		return fmt.Errorf("%w: %s", ErrBackendDead, p.addr)
+	}
+	if p.cfg.Pipeline {
+		return p.doPipelined(ctx, fn)
 	}
 	select {
 	case <-p.slots:
@@ -175,6 +274,148 @@ func (p *pool) doCtx(ctx context.Context, fn func(context.Context, *blockserver.
 	return fmt.Errorf("cluster: backend %s: %w", p.addr, lastErr)
 }
 
+// doPipelined is doCtx's multiplexed-mode body: the op submits into a
+// round-robin-picked pipelined connection's in-flight window instead of
+// checking a whole connection out, so PoolSize connections serve
+// PoolSize×PipelineWindow concurrent ops. Cancellation abandons only
+// this op's tag (the stream stays healthy, nothing is retried, nothing
+// feeds dead-marking); a transport tear retires the one connection —
+// counted as a single failure however many in-flight tags it killed —
+// and the retry redials the slot.
+func (p *pool) doPipelined(ctx context.Context, fn func(context.Context, *blockserver.Client) error) error {
+	var lastErr error
+	for attempt := 0; attempt <= p.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			p.stats.retries.Inc()
+			if err := sleepCtx(ctx, p.cfg.RetryBackoff<<(attempt-1)); err != nil {
+				p.stats.errors.Inc()
+				return err
+			}
+			if p.isDead() {
+				break
+			}
+		}
+		slot, c, err := p.acquirePipe(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				p.stats.errors.Inc()
+				return err
+			}
+			lastErr = err
+			p.noteFailure()
+			continue
+		}
+		err = fn(ctx, c)
+		if err == nil || blockserver.IsRemote(err) || blockserver.IsCRC(err) ||
+			errors.Is(err, blockserver.ErrNoCRC) {
+			p.noteSuccess()
+			if err != nil {
+				p.stats.errors.Inc()
+			}
+			return err
+		}
+		if ctx.Err() != nil {
+			// The caller cancelled: the op abandoned its tag, the pipe is
+			// untouched. Never retried, never dead-marked.
+			p.stats.errors.Inc()
+			return err
+		}
+		// Transport trouble: the pipe failed every in-flight tag; retire
+		// the connection exactly once across all of them.
+		p.retirePipe(slot, c)
+		lastErr = err
+	}
+	p.stats.errors.Inc()
+	if p.isDead() {
+		return fmt.Errorf("%w: %s (last error: %v)", ErrBackendDead, p.addr, lastErr)
+	}
+	return fmt.Errorf("cluster: backend %s: %w", p.addr, lastErr)
+}
+
+// acquirePipe returns the round-robin slot's multiplexed connection,
+// dialing it on first use or after a retirement. Dials are single-flight
+// per slot: concurrent ops landing on an empty slot wait for the one
+// dial in progress and share its connection instead of racing their own
+// — a multiplexed connection exists precisely so that N ops do not cost
+// N sockets.
+func (p *pool) acquirePipe(ctx context.Context) (int, *blockserver.Client, error) {
+	slot := int(p.rr.Add(1)) % len(p.pipes)
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return 0, nil, fmt.Errorf("cluster: pool for %s is closed", p.addr)
+		}
+		if c := p.pipes[slot]; c != nil {
+			if c.Broken() == nil {
+				p.mu.Unlock()
+				return slot, c, nil
+			}
+			p.pipes[slot] = nil
+			p.mu.Unlock()
+			c.Close()
+			continue
+		}
+		if ch := p.dialing[slot]; ch != nil {
+			p.mu.Unlock()
+			select {
+			case <-ch:
+				continue // the dial finished; re-read the slot
+			case <-ctx.Done():
+				return 0, nil, ctx.Err()
+			case <-p.closeCtx.Done():
+				return 0, nil, fmt.Errorf("cluster: pool for %s is closed", p.addr)
+			}
+		}
+		ch := make(chan struct{})
+		p.dialing[slot] = ch
+		p.mu.Unlock()
+		c, err := p.dial(ctx)
+		p.mu.Lock()
+		p.dialing[slot] = nil
+		close(ch)
+		if p.closed {
+			p.mu.Unlock()
+			if c != nil {
+				c.Close()
+			}
+			return 0, nil, fmt.Errorf("cluster: pool for %s is closed", p.addr)
+		}
+		if err != nil {
+			p.mu.Unlock()
+			return 0, nil, err
+		}
+		if cur := p.pipes[slot]; cur != nil {
+			// A probe donated a connection while we dialed; keep it.
+			p.mu.Unlock()
+			c.Close()
+			return slot, cur, nil
+		}
+		p.pipes[slot] = c
+		p.mu.Unlock()
+		return slot, c, nil
+	}
+}
+
+// retirePipe drops a torn multiplexed connection from its slot. The
+// identity check makes the first observer the only one that closes the
+// connection and feeds the failure counter: a tear fails every op in
+// the window at once, and counting it once per op would catapult the
+// backend into the dead state on a single flaky socket.
+func (p *pool) retirePipe(slot int, c *blockserver.Client) {
+	p.mu.Lock()
+	owner := p.pipes[slot] == c
+	if owner {
+		p.pipes[slot] = nil
+	}
+	p.mu.Unlock()
+	if owner {
+		c.Close()
+		p.stats.poisoned.Inc()
+		p.noteFailure()
+	}
+}
+
 // sleepCtx sleeps for d or until ctx is cancelled, whichever is first.
 func sleepCtx(ctx context.Context, d time.Duration) error {
 	if ctx.Done() == nil {
@@ -191,7 +432,10 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// acquire pops an idle connection or dials a new one.
+// acquire pops an idle connection or dials a new one (synchronous
+// mode). Probing a dead backend is not this path's job anymore: the
+// background probe owns recovery, so acquire only runs against a
+// believed-healthy peer.
 func (p *pool) acquire(ctx context.Context) (*blockserver.Client, error) {
 	p.mu.Lock()
 	if p.closed {
@@ -204,35 +448,33 @@ func (p *pool) acquire(ctx context.Context) (*blockserver.Client, error) {
 		p.mu.Unlock()
 		return c, nil
 	}
-	// If the backend is dead, push the probe window forward *before*
-	// dialing so a herd of callers doesn't probe simultaneously.
-	if p.dead {
-		backoff := p.cfg.ProbeEvery << p.probeLevel
-		if backoff > p.cfg.MaxProbe {
-			backoff = p.cfg.MaxProbe
-		}
-		p.nextProbe = time.Now().Add(backoff)
-		if p.probeLevel < 30 {
-			p.probeLevel++
-		}
-	}
 	p.mu.Unlock()
+	return p.dial(ctx)
+}
+
+// dial opens one negotiated connection. The dial obeys both the
+// caller's context and pool shutdown: close() cancelling closeCtx
+// aborts a dial that would otherwise hang on an unreachable backend
+// until DialTimeout.
+func (p *pool) dial(ctx context.Context) (*blockserver.Client, error) {
 	p.stats.dials.Inc()
-	// The dial obeys both the caller's context and pool shutdown:
-	// close() cancelling closeCtx aborts a probe dial that would
-	// otherwise hang on an unreachable backend until DialTimeout.
 	dctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	stop := context.AfterFunc(p.closeCtx, cancel)
 	defer stop()
 	var features byte
 	if p.cfg.WireCRC {
-		features = blockserver.FeatureCRC
+		features |= blockserver.FeatureCRC
+	}
+	if p.cfg.Pipeline {
+		features |= blockserver.FeaturePipeline
 	}
 	return blockserver.DialContext(dctx, p.addr, blockserver.Config{
 		DialTimeout: p.cfg.DialTimeout,
 		OpTimeout:   p.cfg.OpTimeout,
 		Features:    features,
+		PipeWindow:  p.cfg.PipelineWindow,
+		PipeStats:   p.pipeStats,
 	})
 }
 

@@ -85,6 +85,31 @@ type QoSStats struct {
 	WaitSeconds float64 `json:"wait_seconds"`
 }
 
+// PipelineStats summarizes the pipelined wire mode (Config.Pipeline)
+// across every backend connection of the volume. Enabled mirrors the
+// config switch; the counters stay zero when pipelining is off or every
+// backend fell back to the synchronous path.
+type PipelineStats struct {
+	Enabled bool `json:"enabled"`
+	// InFlight is the current window occupancy summed over all
+	// pipelined connections (submitted-but-uncompleted ops).
+	InFlight int64 `json:"in_flight"`
+	// Submitted counts ops that entered a pipelined connection;
+	// Abandoned the subset whose caller cancelled mid-flight (their
+	// responses were drained off the stream without touching caller
+	// memory).
+	Submitted int64 `json:"submitted"`
+	Abandoned int64 `json:"abandoned"`
+	// Frames counts request frames written and Writevs the vectored
+	// writes that carried them; Frames/Writevs is the measured
+	// syscall-coalescing factor.
+	Frames  int64 `json:"frames"`
+	Writevs int64 `json:"writevs"`
+	// QueueWait is the time ops spent queued before the writer
+	// goroutine picked them up for a coalesced writev.
+	QueueWait obs.HistSnapshot `json:"queue_wait"`
+}
+
 // ScrubStats summarizes consistency-scrub coverage.
 type ScrubStats struct {
 	Runs             int64 `json:"runs"`
@@ -123,10 +148,11 @@ type Stats struct {
 	ReadLatency  obs.HistSnapshot `json:"read_latency"`
 	WriteLatency obs.HistSnapshot `json:"write_latency"`
 
-	Rebuild RebuildStats `json:"rebuild"`
-	Scrub   ScrubStats   `json:"scrub"`
-	Hedge   HedgeStats   `json:"hedge"`
-	QoS     QoSStats     `json:"qos"`
+	Rebuild  RebuildStats  `json:"rebuild"`
+	Scrub    ScrubStats    `json:"scrub"`
+	Hedge    HedgeStats    `json:"hedge"`
+	QoS      QoSStats      `json:"qos"`
+	Pipeline PipelineStats `json:"pipeline"`
 
 	// Backends is sorted by role then index, matching arch.Disks().
 	Backends []BackendStats `json:"backends"`
@@ -171,6 +197,15 @@ func (v *Volume) Stats() Stats {
 			Losses:       v.stats.hedgeLosses.Load(),
 			Cancels:      v.stats.hedgeCancels.Load(),
 			FetchLatency: v.stats.fetchLat.Snapshot(),
+		},
+		Pipeline: PipelineStats{
+			Enabled:   v.cfg.Pipeline,
+			InFlight:  v.stats.pipe.InFlight.Load(),
+			Submitted: v.stats.pipe.Submitted.Load(),
+			Abandoned: v.stats.pipe.Abandoned.Load(),
+			Frames:    v.stats.pipe.Frames.Load(),
+			Writevs:   v.stats.pipe.Writevs.Load(),
+			QueueWait: v.stats.pipe.QueueWait.Snapshot(),
 		},
 	}
 	if s.Rebuild.Seconds > 0 {
@@ -304,6 +339,18 @@ func (v *Volume) RegisterMetrics(reg *obs.Registry, labels ...string) {
 		"Time rebuild and online scrub spent parked waiting for QoS tokens, in nanoseconds.", &st.qosWaitNanos)
 	gauge("sm_cluster_scrub_cursor_stripes",
 		"Online scrubber's resumable position.", &st.scrubCursor)
+	gauge("sm_cluster_pipeline_in_flight",
+		"Current pipelined-window occupancy summed over all backend connections (submitted-but-uncompleted ops).", &st.pipe.InFlight)
+	counter("sm_cluster_pipeline_submitted_total",
+		"Operations submitted to pipelined connections.", &st.pipe.Submitted)
+	counter("sm_cluster_pipeline_abandoned_total",
+		"Pipelined operations whose caller cancelled mid-flight (responses drained off the stream).", &st.pipe.Abandoned)
+	counter("sm_cluster_pipeline_frames_total",
+		"Request frames written on pipelined connections.", &st.pipe.Frames)
+	counter("sm_cluster_pipeline_writevs_total",
+		"Vectored writes that carried pipelined frames; frames divided by writevs is the coalescing factor.", &st.pipe.Writevs)
+	histogram("sm_cluster_pipeline_queue_wait_seconds",
+		"Time pipelined ops spent queued before the writer goroutine picked them up for a coalesced writev.", st.pipe.QueueWait)
 	for _, id := range v.arch.Disks() {
 		ds := st.perDisk[id]
 		label := id.String()

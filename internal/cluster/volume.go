@@ -144,6 +144,13 @@ type volumeStats struct {
 	sliceLat *obs.Histogram // rebuild slice wall time (one exclusive-lock hold)
 	fetchLat *obs.Histogram // per-backend vectored-read round trips (hedge trigger source)
 
+	// pipe aggregates the pipelined-mode wire counters (in-flight window
+	// depth, queue-wait latency, frames-per-writev coalescing) across
+	// every backend connection. Allocated even when Config.Pipeline is
+	// off so Stats()/metrics registration stay unconditional; it simply
+	// stays at zero then.
+	pipe *blockserver.PipeStats
+
 	// perDisk is fixed at New: per-slot counters survive backend
 	// replacement, so a disk's history spans machine swaps.
 	perDisk map[raid.DiskID]*diskStats
@@ -171,6 +178,7 @@ func (s *volumeStats) init(disks []raid.DiskID, stripes int) {
 	s.writeLat = obs.NewHistogram()
 	s.sliceLat = obs.NewHistogram()
 	s.fetchLat = obs.NewHistogram()
+	s.pipe = blockserver.NewPipeStats()
 	s.perDisk = map[raid.DiskID]*diskStats{}
 	for _, id := range disks {
 		ds := &diskStats{}
@@ -253,7 +261,7 @@ func New(arch *raid.Mirror, backends map[raid.DiskID]string, cfg Config) (*Volum
 		if !ok {
 			return nil, fmt.Errorf("cluster: no backend address for disk %v", id)
 		}
-		v.pools[id] = newPool(addr, cfg, &v.stats.perDisk[id].pool)
+		v.pools[id] = newPool(addr, cfg, &v.stats.perDisk[id].pool, v.stats.pipe)
 		v.addrs[id] = addr
 	}
 	if len(backends) != len(v.pools) {
@@ -470,13 +478,27 @@ func (v *Volume) fetchSpans(ctx context.Context, spans []*span, kind fetchKind) 
 		for id, g := range groups {
 			go func(id raid.DiskID, g []*span) {
 				failed := v.fetchGroup(ctx, id, g, kind)
-				// fetchGroup fails a suffix, so the served spans are the
-				// prefix; those with src > 0 were routed to a replica
-				// because the primary copy's disk was failed or dead.
+				// fetchGroup can fail any subset of its batches (the
+				// pipelined burst lands them out of order), so count the
+				// served spans by exclusion; those with src > 0 were
+				// routed to a replica because the primary copy's disk
+				// was failed or dead.
 				degraded := 0
-				for _, s := range g[:len(g)-len(failed)] {
-					if s.src > 0 {
-						degraded++
+				if len(failed) == 0 {
+					for _, s := range g {
+						if s.src > 0 {
+							degraded++
+						}
+					}
+				} else {
+					isFailed := make(map[*span]bool, len(failed))
+					for _, s := range failed {
+						isFailed[s] = true
+					}
+					for _, s := range g {
+						if !isFailed[s] && s.src > 0 {
+							degraded++
+						}
 					}
 				}
 				results <- result{id, failed, len(g) - len(failed), degraded}
@@ -507,10 +529,55 @@ func (v *Volume) fetchSpans(ctx context.Context, spans []*span, kind fetchKind) 
 	return nil
 }
 
+// fetchGroupBurst bounds the concurrent OpReadV batches one pipelined
+// gather keeps in flight per backend. The per-connection window already
+// bounds the wire; this only caps goroutines for absurdly large spans.
+const fetchGroupBurst = 16
+
 // fetchGroup gathers one backend's spans in MaxBatch-sized OpReadV
 // round trips — hedged against the spans' replica locations for user
-// reads — and returns the spans it could not serve.
+// reads — and returns the spans it could not serve. In pipelined mode
+// every batch is submitted as one concurrent burst: the multiplexed
+// connections interleave the requests, coalesce their frames into few
+// writevs, and complete them out of order, so a multi-batch gather
+// costs one round-trip time instead of one per batch. In synchronous
+// mode batches stay serial, and a failed batch fails everything after
+// it too — the backend is likely down, so further round trips would
+// each burn a retry cycle.
 func (v *Volume) fetchGroup(ctx context.Context, id raid.DiskID, spans []*span, kind fetchKind) []*span {
+	if v.cfg.Pipeline && len(spans) > v.cfg.MaxBatch {
+		var (
+			wg     sync.WaitGroup
+			mu     sync.Mutex
+			failed []*span
+			sem    = make(chan struct{}, fetchGroupBurst)
+		)
+		for start := 0; start < len(spans); start += v.cfg.MaxBatch {
+			end := start + v.cfg.MaxBatch
+			if end > len(spans) {
+				end = len(spans)
+			}
+			batch := spans[start:end]
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(batch []*span) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if err := v.readBatch(ctx, id, batch, kind); err != nil {
+					// Record why, so exhaustion can tell corruption
+					// from loss.
+					for _, s := range batch {
+						s.lastErr = err
+					}
+					mu.Lock()
+					failed = append(failed, batch...)
+					mu.Unlock()
+				}
+			}(batch)
+		}
+		wg.Wait()
+		return failed
+	}
 	for start := 0; start < len(spans); start += v.cfg.MaxBatch {
 		end := start + v.cfg.MaxBatch
 		if end > len(spans) {
@@ -979,7 +1046,7 @@ func (v *Volume) ReplaceBackend(id raid.DiskID, addr string) error {
 	old.close()
 	// The disk slot's counters carry over: replacing the machine does
 	// not erase the disk's service history.
-	v.pools[id] = newPool(addr, v.cfg, &v.stats.perDisk[id].pool)
+	v.pools[id] = newPool(addr, v.cfg, &v.stats.perDisk[id].pool, v.stats.pipe)
 	v.addrs[id] = addr
 	v.trace(obs.Event{Op: "replace_backend", Target: id.String()})
 	return nil

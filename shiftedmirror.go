@@ -447,6 +447,19 @@ func WithWireCRC(blockSize int64) Option {
 	}
 }
 
+// WithPipeline turns on the pipelined wire mode on a cluster volume:
+// every backend dial negotiates the pipeline feature and the pool
+// multiplexes many in-flight ops over a small number of tagged-frame
+// connections with out-of-order completion and coalesced writev
+// submission. window bounds the in-flight ops per connection (0 takes
+// the default). Backends that predate the feature fall back to the
+// synchronous path per connection; served devices need no option — the
+// server side grants the feature whenever a client asks. Volume side
+// only.
+func WithPipeline(window int) Option {
+	return Option{cluster: cluster.WithPipeline(window)}
+}
+
 // WithHedging enables hedged reads on a cluster volume: a backend that
 // exceeds the given fetch-latency percentile (adaptive, clamped to
 // [minDelay, maxDelay]) is raced against the replica locations and the
